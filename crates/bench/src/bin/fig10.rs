@@ -1,0 +1,47 @@
+//! Regenerates Figure 10: speedup of Baseline+, WiSyncNoT, and WiSync
+//! over Baseline for the 26 PARSEC + SPLASH-2 application profiles at 64
+//! cores, plus the arithmetic and geometric means.
+//!
+//! ```text
+//! cargo run --release -p wisync-bench --bin fig10
+//! ```
+
+use wisync_bench::{fig10_all, geomean_speedup, mean_speedup};
+
+fn main() {
+    let cores = 64;
+    let results = fig10_all(cores);
+    println!("Figure 10: speedup over Baseline, {cores} cores");
+    println!(
+        "{:<15} {:>10} {:>10} {:>10}",
+        "app", "Baseline+", "WiSyncNoT", "WiSync"
+    );
+    for r in &results {
+        println!(
+            "{:<15} {:>10.2} {:>10.2} {:>10.2}",
+            r.name,
+            r.speedup(1),
+            r.speedup(2),
+            r.speedup(3)
+        );
+    }
+    println!("{:-<48}", "");
+    println!(
+        "{:<15} {:>10.2} {:>10.2} {:>10.2}",
+        "mean",
+        mean_speedup(&results, 1),
+        mean_speedup(&results, 2),
+        mean_speedup(&results, 3)
+    );
+    println!(
+        "{:<15} {:>10.2} {:>10.2} {:>10.2}",
+        "geoMean",
+        geomean_speedup(&results, 1),
+        geomean_speedup(&results, 2),
+        geomean_speedup(&results, 3)
+    );
+    println!();
+    println!("Paper's claims: WiSync geomean 1.23 over Baseline and 1.12 over Baseline+;");
+    println!("WiSyncNoT ~= WiSync; standouts streamcluster (~5.9), raytrace (~3.0),");
+    println!("ocean/radiosity; many apps near 1.0 (too little fine-grain sync).");
+}

@@ -1,0 +1,40 @@
+//! Regenerates Figure 11: geometric-mean application speedup over
+//! Baseline under the Table 6 memory/network variants, 64 cores.
+//!
+//! ```text
+//! cargo run --release -p wisync-bench --bin fig11
+//! ```
+//!
+//! Set `WISYNC_QUICK=1` to run a representative subset of applications.
+
+use wisync_bench::{fig11_point, fig11_variants};
+use wisync_workloads::AppProfile;
+
+fn main() {
+    let quick = std::env::var_os("WISYNC_QUICK").is_some();
+    let cores = 64;
+    let apps: Vec<AppProfile> = if quick {
+        ["streamcluster", "raytrace", "blacksholes", "ocean-c", "barnes"]
+            .iter()
+            .map(|n| AppProfile::by_name(n).expect("known app"))
+            .collect()
+    } else {
+        AppProfile::all()
+    };
+    println!(
+        "Figure 11: geomean speedup over Baseline under Table 6 variants, {cores} cores{}",
+        if quick { " (quick subset)" } else { "" }
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "variant", "Baseline+", "WiSyncNoT", "WiSync"
+    );
+    for (name, variant) in fig11_variants() {
+        let [plus, not, wisync] = fig11_point(variant, cores, &apps);
+        println!("{name:<12} {plus:>10.3} {not:>10.3} {wisync:>10.3}");
+    }
+    println!();
+    println!("Paper's claims: WiSync/WiSyncNoT speedups rise with a slower NoC and fall");
+    println!("with a faster one; the L2 variant barely moves the needle; doubling the");
+    println!("BM latency (SlowBMEM) has almost no effect.");
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figure 7: TightLoop execution time (cycles/iteration) on
+//! the four architectures, sweeping the core count 16–256.
+//!
+//! ```text
+//! cargo run --release -p wisync-bench --bin fig7
+//! ```
+//!
+//! Set `WISYNC_QUICK=1` to sweep only up to 64 cores.
+
+use wisync_bench::{fig7_core_counts, fig7_row, sci};
+
+fn main() {
+    let quick = std::env::var_os("WISYNC_QUICK").is_some();
+    let iters = 20;
+    println!("Figure 7: TightLoop, cycles per iteration (log-scale axis in the paper)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync"
+    );
+    for cores in fig7_core_counts() {
+        if quick && cores > 64 {
+            break;
+        }
+        let row = fig7_row(cores, iters);
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12}",
+            cores,
+            sci(row[0]),
+            sci(row[1]),
+            sci(row[2]),
+            sci(row[3])
+        );
+    }
+    println!();
+    println!("Paper's claims: WiSync ~1 order of magnitude below Baseline+, 2-3 orders");
+    println!("below Baseline; WiSyncNoT 2-6x WiSync; WiSync stays low as cores grow.");
+}

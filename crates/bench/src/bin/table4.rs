@@ -1,0 +1,48 @@
+//! Regenerates Table 4: area and power of the WiSync transceiver + two
+//! antennas at 22 nm, compared to two reference cores.
+//!
+//! ```text
+//! cargo run --release -p wisync-bench --bin table4
+//! ```
+
+use wisync_bench::phys::{table4, TransceiverDesign};
+
+fn main() {
+    let base = TransceiverDesign::yu_65nm();
+    let data = base.scale_to_22nm();
+    let tone = TransceiverDesign::tone_extension_22nm();
+    let total = TransceiverDesign::wisync_node_22nm();
+
+    println!("RF scaling model (paper §2, §7.1):");
+    println!(
+        "  65nm measured [Yu et al.]: {:.2} mm2, {:.1} mW, {:.0} Gb/s",
+        base.area_mm2, base.power_mw, base.bandwidth_gbps
+    );
+    println!(
+        "  22nm data transceiver    : {:.2} mm2, {:.1} mW",
+        data.area_mm2, data.power_mw
+    );
+    println!(
+        "  + tone ext. + 2nd antenna: {:.2} mm2, {:.1} mW",
+        tone.area_mm2, tone.power_mw
+    );
+    println!(
+        "  total (T+2A)             : {:.2} mm2, {:.1} mW",
+        total.area_mm2, total.power_mw
+    );
+    println!();
+    println!("Table 4: T+2A overhead relative to reference cores @22nm");
+    println!(
+        "{:<18} {:>10} {:>8} {:>12} {:>12}",
+        "core", "area mm2", "TDP W", "T+2A area %", "T+2A power %"
+    );
+    for row in table4() {
+        println!(
+            "{:<18} {:>10.1} {:>8.1} {:>12.1} {:>12.1}",
+            row.core.name, row.core.area_mm2, row.core.tdp_w, row.area_pct, row.power_pct
+        );
+    }
+    println!();
+    println!("Paper's Table 4: 0.7% / 0.4% of a Xeon Haswell core; 5.6% / 1.8% of an");
+    println!("Atom Silvermont core.");
+}

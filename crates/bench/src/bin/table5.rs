@@ -1,0 +1,35 @@
+//! Regenerates Table 5: Data-channel utilization of WiSyncNoT (WT) and
+//! WiSync (W), in percent of total cycles, for the seven most demanding
+//! applications plus the geometric mean over the whole suite.
+//!
+//! ```text
+//! cargo run --release -p wisync-bench --bin table5
+//! ```
+
+use wisync_bench::{fig10_all, geomean_util};
+use wisync_workloads::AppProfile;
+
+fn main() {
+    let cores = 64;
+    let results = fig10_all(cores);
+    let names = AppProfile::table5_names();
+    println!("Table 5: Data channel utilization (% of total cycles), {cores} cores");
+    print!("{:<4}", "");
+    for n in names {
+        print!(" {:>7.7}", n);
+    }
+    println!(" {:>7}", "GM");
+    for (row, label) in [(0usize, "WT"), (1, "W")] {
+        print!("{label:<4}");
+        for n in names {
+            let r = results.iter().find(|r| r.name == n).expect("app present");
+            print!(" {:>7.2}", 100.0 * r.util[row]);
+        }
+        let gm = geomean_util(results.iter().map(|r| r.util[row]));
+        println!(" {:>7.2}", 100.0 * gm);
+    }
+    println!();
+    println!("Paper's claims: utilizations of a few percent at most (WT up to 3.0% for");
+    println!("streamcluster); WiSync below WiSyncNoT because barriers move to the Tone");
+    println!("channel; geometric means around 0.2% (WT) and 0.1% (W).");
+}

@@ -1,0 +1,334 @@
+//! Shared harness code for regenerating every table and figure of the
+//! WiSync paper (see DESIGN.md §4 for the experiment index).
+//!
+//! Each `figN`/`tableN` function runs the corresponding experiment and
+//! returns structured rows; the `src/bin/` binaries print them in the
+//! paper's format, and `benches/` runs scaled-down versions under
+//! Criterion so `cargo bench` exercises every experiment.
+
+use wisync_core::{Machine, MachineConfig, MachineKind};
+use wisync_workloads::{
+    AppProfile, AppWorkload, CasKernel, CasKind, Livermore, LivermoreLoop, TightLoop,
+};
+
+pub use wisync_wireless::phys;
+
+/// Cycle budget used for every harness run (generous; runs that exceed
+/// it indicate a bug, not a slow workload).
+pub const BUDGET: u64 = 2_000_000_000_000;
+
+/// The four architectures in the paper's comparison order.
+pub fn kinds() -> [MachineKind; 4] {
+    MachineKind::all()
+}
+
+// --- Figure 7 -----------------------------------------------------------
+
+/// One Figure 7 row: TightLoop cycles/iteration for every architecture
+/// at `cores` cores.
+pub fn fig7_row(cores: usize, iters: u64) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (i, kind) in kinds().iter().enumerate() {
+        let mut m = Machine::new(MachineConfig::for_kind(*kind, cores));
+        out[i] = TightLoop::new(iters).run_cycles_per_iter(&mut m, BUDGET);
+    }
+    out
+}
+
+/// The paper's Figure 7 core-count sweep.
+pub fn fig7_core_counts() -> [usize; 5] {
+    [16, 32, 64, 128, 256]
+}
+
+// --- Figure 8 -----------------------------------------------------------
+
+/// The vector lengths of one Figure 8 panel.
+pub fn fig8_lengths(which: LivermoreLoop) -> Vec<u64> {
+    match which {
+        // Loops 2 and 3 sweep 16..16384; loop 6's quadratic work stops
+        // at 2048 (as in the paper).
+        LivermoreLoop::Loop2 | LivermoreLoop::Loop3 => {
+            vec![16, 64, 256, 1024, 4096, 16384]
+        }
+        LivermoreLoop::Loop6 => vec![16, 32, 64, 128, 256, 512, 1024, 2048],
+    }
+}
+
+/// One Figure 8 data point: execution cycles for every architecture.
+pub fn fig8_point(which: LivermoreLoop, n: u64, cores: usize) -> [u64; 4] {
+    let wl = match which {
+        LivermoreLoop::Loop2 => Livermore::loop2(n),
+        LivermoreLoop::Loop3 => Livermore::loop3(n, 10),
+        LivermoreLoop::Loop6 => Livermore::loop6(n),
+    };
+    let mut out = [0u64; 4];
+    for (i, kind) in kinds().iter().enumerate() {
+        let mut m = Machine::new(MachineConfig::for_kind(*kind, cores));
+        out[i] = wl.run_cycles(&mut m, BUDGET);
+    }
+    out
+}
+
+// --- Figure 9 -----------------------------------------------------------
+
+/// The critical-section sizes of Figure 9's x-axis (largest first, as
+/// plotted).
+pub fn fig9_critical_sections() -> [u64; 9] {
+    [65_536, 16_384, 4_096, 1_024, 256, 64, 16, 8, 4]
+}
+
+/// Scales the per-thread op count so runs stay short at huge critical
+/// sections and statistically meaningful at tiny ones.
+pub fn fig9_ops_for(w: u64) -> u64 {
+    (200_000 / (w + 100)).clamp(8, 200)
+}
+
+/// One Figure 9 data point: successful CASes per 1000 cycles for
+/// (Baseline, WiSync).
+pub fn fig9_point(kind: CasKind, w: u64, cores: usize) -> [f64; 2] {
+    let kernel = CasKernel {
+        kind,
+        critical_section: w,
+        ops_per_thread: fig9_ops_for(w),
+    };
+    let mut out = [0.0; 2];
+    for (i, cfg) in [
+        MachineConfig::baseline(cores),
+        MachineConfig::wisync(cores),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut m = Machine::new(cfg);
+        let (cycles, successes) = kernel.run_throughput(&mut m, BUDGET);
+        out[i] = successes as f64 * 1000.0 / cycles as f64;
+    }
+    out
+}
+
+// --- Figure 10 / Table 5 --------------------------------------------------
+
+/// Result of one application across the four architectures.
+#[derive(Clone, Debug)]
+pub struct AppResult {
+    /// Application name.
+    pub name: &'static str,
+    /// Cycles on each architecture, in [`kinds`] order.
+    pub cycles: [u64; 4],
+    /// Data-channel utilization (fraction) on WiSyncNoT and WiSync —
+    /// Table 5's "WT" and "W" columns.
+    pub util: [f64; 2],
+}
+
+impl AppResult {
+    /// Speedup of architecture `i` over Baseline.
+    pub fn speedup(&self, i: usize) -> f64 {
+        self.cycles[0] as f64 / self.cycles[i] as f64
+    }
+}
+
+/// Runs one application profile on all four architectures.
+pub fn fig10_app(profile: AppProfile, cores: usize) -> AppResult {
+    let mut cycles = [0u64; 4];
+    let mut util = [0.0; 2];
+    for (i, kind) in kinds().iter().enumerate() {
+        let mut m = Machine::new(MachineConfig::for_kind(*kind, cores));
+        cycles[i] = AppWorkload::new(profile).run_cycles(&mut m, BUDGET);
+        if *kind == MachineKind::WiSyncNoT {
+            util[0] = m.stats().data_utilization;
+        } else if *kind == MachineKind::WiSync {
+            util[1] = m.stats().data_utilization;
+        }
+    }
+    AppResult {
+        name: profile.name,
+        cycles,
+        util,
+    }
+}
+
+/// Runs the full Figure 10 suite at `cores` cores.
+pub fn fig10_all(cores: usize) -> Vec<AppResult> {
+    AppProfile::all()
+        .into_iter()
+        .map(|p| fig10_app(p, cores))
+        .collect()
+}
+
+/// Arithmetic mean of the speedups of architecture `i` over Baseline.
+pub fn mean_speedup(results: &[AppResult], i: usize) -> f64 {
+    results.iter().map(|r| r.speedup(i)).sum::<f64>() / results.len() as f64
+}
+
+/// Geometric mean of the speedups of architecture `i` over Baseline.
+pub fn geomean_speedup(results: &[AppResult], i: usize) -> f64 {
+    let log_sum: f64 = results.iter().map(|r| r.speedup(i).ln()).sum();
+    (log_sum / results.len() as f64).exp()
+}
+
+/// Geometric mean of a set of utilization fractions, as in Table 5's GM
+/// row (zeros are floored at 1e-4 to keep the mean defined).
+pub fn geomean_util(utils: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = utils.map(|u| u.max(1e-4)).collect();
+    let log_sum: f64 = v.iter().map(|u| u.ln()).sum();
+    (log_sum / v.len() as f64).exp()
+}
+
+// --- Figure 11 ------------------------------------------------------------
+
+/// A named Table 6 configuration variant.
+pub type ConfigVariant = (&'static str, fn(MachineConfig) -> MachineConfig);
+
+/// The Table 6 configuration variants by name, applied to a base config.
+pub fn fig11_variants() -> [ConfigVariant; 5] {
+    [
+        ("Default", |c| c),
+        ("SlowNet", MachineConfig::slow_net),
+        ("SlowNet+L2", MachineConfig::slow_net_l2),
+        ("FastNet", MachineConfig::fast_net),
+        ("SlowBMEM", MachineConfig::slow_bmem),
+    ]
+}
+
+/// Runs the application suite under one Table 6 variant and returns the
+/// geomean speedups over that variant's Baseline for (Baseline+,
+/// WiSyncNoT, WiSync).
+pub fn fig11_point(
+    variant: fn(MachineConfig) -> MachineConfig,
+    cores: usize,
+    apps: &[AppProfile],
+) -> [f64; 3] {
+    let mut per_kind_cycles: Vec<[u64; 4]> = Vec::new();
+    for profile in apps {
+        let mut cycles = [0u64; 4];
+        for (i, kind) in kinds().iter().enumerate() {
+            let cfg = variant(MachineConfig::for_kind(*kind, cores));
+            let mut m = Machine::new(cfg);
+            cycles[i] = AppWorkload::new(*profile).run_cycles(&mut m, BUDGET);
+        }
+        per_kind_cycles.push(cycles);
+    }
+    let geo = |i: usize| {
+        let log_sum: f64 = per_kind_cycles
+            .iter()
+            .map(|c| (c[0] as f64 / c[i] as f64).ln())
+            .sum();
+        (log_sum / per_kind_cycles.len() as f64).exp()
+    };
+    [geo(1), geo(2), geo(3)]
+}
+
+// --- Formatting helpers -----------------------------------------------------
+
+/// Formats a cycle count compactly (e.g. `1.03e6`).
+pub fn sci(v: u64) -> String {
+    if v < 10_000 {
+        format!("{v}")
+    } else {
+        format!("{:.2e}", v as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_row_has_expected_ordering() {
+        let row = fig7_row(16, 4);
+        assert!(row[3] < row[2], "WiSync < WiSyncNoT: {row:?}");
+        assert!(row[2] < row[0], "WiSyncNoT < Baseline: {row:?}");
+    }
+
+    #[test]
+    fn fig9_ops_scaling_bounds() {
+        assert_eq!(fig9_ops_for(65_536), 8);
+        assert_eq!(fig9_ops_for(4), 200);
+    }
+
+    #[test]
+    fn geomeans_behave() {
+        let results = vec![
+            AppResult {
+                name: "a",
+                cycles: [100, 100, 50, 25],
+                util: [0.0, 0.0],
+            },
+            AppResult {
+                name: "b",
+                cycles: [100, 100, 100, 100],
+                util: [0.01, 0.02],
+            },
+        ];
+        let g = geomean_speedup(&results, 3);
+        assert!((g - 2.0).abs() < 1e-12, "sqrt(4*1) = {g}");
+        let m = mean_speedup(&results, 3);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!(geomean_util([0.01, 0.04].into_iter()) - 0.02 < 1e-12);
+    }
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(123), "123");
+        assert_eq!(sci(1_030_000), "1.03e6");
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use wisync_core::{Machine, MachineConfig, RunOutcome};
+    use wisync_workloads::TightLoop;
+
+    /// Without exponential backoff, a synchronized barrier burst on the
+    /// Data channel livelocks: every retry collides with every other.
+    /// This is why §5.3's backoff is not optional.
+    #[test]
+    fn no_backoff_livelocks_the_data_channel() {
+        let mut cfg = MachineConfig::wisync_not(16);
+        cfg.wireless.max_backoff_exp = 0;
+        let mut m = Machine::new(cfg);
+        TightLoop::new(3).load(&mut m);
+        let r = m.run(2_000_000);
+        assert_eq!(r.outcome, RunOutcome::CycleLimit, "expected livelock");
+    }
+
+    /// A second Data channel roughly doubles broadcast bandwidth when
+    /// the channel itself is the bottleneck: every core streams stores
+    /// to its own BM word, saturating a single channel (the §4.1
+    /// multi-channel trade-off this repo implements as an extension).
+    #[test]
+    fn second_data_channel_doubles_streaming_bandwidth() {
+        use wisync_core::Pid;
+        use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
+        let run = |channels: usize| {
+            let mut cfg = MachineConfig::wisync(16);
+            cfg.wireless.data_channels = channels;
+            let mut m = Machine::new(cfg);
+            let words: Vec<u64> = (0..16).map(|_| m.bm_alloc(Pid(1), 1).unwrap()).collect();
+            for (c, &addr) in words.iter().enumerate() {
+                let mut b = ProgramBuilder::new();
+                b.push(Instr::Li { dst: Reg(1), imm: 50 });
+                let top = b.bind_here();
+                b.push(Instr::St {
+                    src: Reg(1),
+                    base: Reg(0),
+                    offset: addr,
+                    space: Space::Bm,
+                });
+                b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+                b.push(Instr::Bnez { cond: Reg(1), target: top });
+                b.push(Instr::Halt);
+                m.load_program(c, Pid(1), b.build().unwrap());
+            }
+            let r = m.run(100_000_000);
+            assert_eq!(r.outcome, RunOutcome::Completed);
+            r.cycles.as_u64()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            (two as f64) < 0.65 * one as f64,
+            "two channels should nearly halve a saturated stream: {one} -> {two}"
+        );
+    }
+}

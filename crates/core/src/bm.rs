@@ -1,0 +1,409 @@
+//! The Broadcast Memory: replicated storage, PID-tagged entries, and
+//! TLB-style virtual addressing (§4.2, §4.4, Figure 5).
+//!
+//! Real hardware replicates the BM in every node and keeps the replicas
+//! consistent through the broadcast Data channel; because updates apply
+//! chip-wide at a single delivery instant, the simulator stores one copy.
+//!
+//! Allocation follows §4.4: programs get page-level TLB translation, but
+//! different programs share chunks of the same *physical* BM page — each
+//! 64-bit chunk is tagged with the PID of its owner, and hardware checks
+//! the tag on every access.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A process identifier (the PID tag of §4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Words (64-bit chunks) per BM page: 4 KB pages of 8-byte entries.
+pub const WORDS_PER_PAGE: usize = 512;
+
+/// Errors from BM allocation and translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BmError {
+    /// No run of free chunks large enough exists; the caller should fall
+    /// back to plain memory (§4.2: "we envision transparently allocating
+    /// the variable in a page of regular memory").
+    OutOfSpace,
+    /// The virtual address is not mapped for this process.
+    UnmappedAddress { pid: Pid, vaddr: u64 },
+    /// The PID tag at the target chunk does not match (protection
+    /// violation, Figure 5).
+    ProtectionViolation { pid: Pid, vaddr: u64 },
+    /// The virtual address is not 8-byte aligned.
+    Unaligned(u64),
+    /// Freeing a chunk the process does not own.
+    NotOwned { pid: Pid, vaddr: u64 },
+    /// An allocation of zero words was requested.
+    ZeroAllocation,
+}
+
+impl fmt::Display for BmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmError::OutOfSpace => write!(f, "broadcast memory is out of space"),
+            BmError::UnmappedAddress { pid, vaddr } => {
+                write!(f, "{pid}: BM virtual address {vaddr:#x} is not mapped")
+            }
+            BmError::ProtectionViolation { pid, vaddr } => {
+                write!(f, "{pid}: PID tag mismatch at BM address {vaddr:#x}")
+            }
+            BmError::Unaligned(a) => write!(f, "BM address {a:#x} is not 8-byte aligned"),
+            BmError::NotOwned { pid, vaddr } => {
+                write!(f, "{pid}: freeing unowned BM address {vaddr:#x}")
+            }
+            BmError::ZeroAllocation => write!(f, "allocation of zero BM words"),
+        }
+    }
+}
+
+impl std::error::Error for BmError {}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    owner: Option<Pid>,
+    value: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ProcessTable {
+    /// vpage → ppage.
+    pages: HashMap<u64, usize>,
+    /// Next fresh vpage number to hand out.
+    next_vpage: u64,
+}
+
+/// The chip's Broadcast Memory (all replicas, stored once).
+///
+/// Physical addresses are entry indices `0..entries`; virtual addresses
+/// are per-process byte addresses translated through that process's page
+/// table, with a PID-tag check at the target chunk.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_core::bm::{BroadcastMemory, Pid};
+///
+/// let mut bm = BroadcastMemory::new(2048);
+/// let a = bm.alloc(Pid(1), 1)?;
+/// let b = bm.alloc(Pid(2), 1)?;
+/// bm.write(Pid(1), a, 7)?;
+/// assert_eq!(bm.read(Pid(1), a)?, 7);
+/// // Process 2 cannot touch process 1's chunk.
+/// assert!(bm.read(Pid(2), a).is_err());
+/// # let _ = b;
+/// # Ok::<(), wisync_core::bm::BmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BroadcastMemory {
+    entries: Vec<Entry>,
+    tables: HashMap<Pid, ProcessTable>,
+}
+
+impl BroadcastMemory {
+    /// Creates a BM with `entries` 64-bit chunks (paper default: 2048,
+    /// i.e. 16 KB as four 4 KB pages).
+    pub fn new(entries: usize) -> Self {
+        BroadcastMemory {
+            entries: vec![Entry::default(); entries],
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in 64-bit entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of allocated (PID-tagged) entries.
+    pub fn allocated(&self) -> usize {
+        self.entries.iter().filter(|e| e.owner.is_some()).count()
+    }
+
+    /// Allocates `words` *contiguous* chunks for `pid` and returns the
+    /// virtual byte address of the first (§4.4: the allocation message is
+    /// broadcast so every node's BM allocates the same entries; Bulk
+    /// accesses need contiguity).
+    ///
+    /// # Errors
+    ///
+    /// [`BmError::OutOfSpace`] when no contiguous run is free, or
+    /// [`BmError::ZeroAllocation`].
+    pub fn alloc(&mut self, pid: Pid, words: usize) -> Result<u64, BmError> {
+        if words == 0 {
+            return Err(BmError::ZeroAllocation);
+        }
+        // First-fit scan for a contiguous free run that does not cross a
+        // page boundary (a Bulk access must stay in one translated page).
+        let mut start = 0usize;
+        'scan: while start + words <= self.entries.len() {
+            let page_end = (start / WORDS_PER_PAGE + 1) * WORDS_PER_PAGE;
+            if start + words > page_end {
+                start = page_end;
+                continue;
+            }
+            for k in 0..words {
+                if self.entries[start + k].owner.is_some() {
+                    start += k + 1;
+                    continue 'scan;
+                }
+            }
+            // Found: tag and map.
+            for k in 0..words {
+                self.entries[start + k].owner = Some(pid);
+                self.entries[start + k].value = 0;
+            }
+            let ppage = start / WORDS_PER_PAGE;
+            let vpage = self.map_page(pid, ppage);
+            let offset = (start % WORDS_PER_PAGE) as u64 * 8;
+            return Ok(vpage * 4096 + offset);
+        }
+        Err(BmError::OutOfSpace)
+    }
+
+    /// Ensures `ppage` is mapped into `pid`'s table; returns its vpage.
+    fn map_page(&mut self, pid: Pid, ppage: usize) -> u64 {
+        let table = self.tables.entry(pid).or_default();
+        if let Some((&vpage, _)) = table.pages.iter().find(|(_, &p)| p == ppage) {
+            return vpage;
+        }
+        let vpage = table.next_vpage;
+        table.next_vpage += 1;
+        table.pages.insert(vpage, ppage);
+        vpage
+    }
+
+    /// Frees the chunk at `vaddr`, removing it from every replica.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors, or [`BmError::NotOwned`].
+    pub fn free(&mut self, pid: Pid, vaddr: u64) -> Result<(), BmError> {
+        let phys = self.translate(pid, vaddr)?;
+        let e = &mut self.entries[phys];
+        if e.owner != Some(pid) {
+            return Err(BmError::NotOwned { pid, vaddr });
+        }
+        e.owner = None;
+        e.value = 0;
+        Ok(())
+    }
+
+    /// Translates a virtual BM address for `pid` to a physical entry
+    /// index, checking alignment, mapping, and the PID tag (Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// [`BmError::Unaligned`], [`BmError::UnmappedAddress`], or
+    /// [`BmError::ProtectionViolation`].
+    pub fn translate(&self, pid: Pid, vaddr: u64) -> Result<usize, BmError> {
+        if !vaddr.is_multiple_of(8) {
+            return Err(BmError::Unaligned(vaddr));
+        }
+        let vpage = vaddr / 4096;
+        let offset = (vaddr % 4096) / 8;
+        let ppage = self
+            .tables
+            .get(&pid)
+            .and_then(|t| t.pages.get(&vpage))
+            .copied()
+            .ok_or(BmError::UnmappedAddress { pid, vaddr })?;
+        let phys = ppage * WORDS_PER_PAGE + offset as usize;
+        match self.entries[phys].owner {
+            Some(owner) if owner == pid => Ok(phys),
+            _ => Err(BmError::ProtectionViolation { pid, vaddr }),
+        }
+    }
+
+    /// Reads the chunk at `vaddr` as `pid` (local BM read).
+    pub fn read(&self, pid: Pid, vaddr: u64) -> Result<u64, BmError> {
+        Ok(self.entries[self.translate(pid, vaddr)?].value)
+    }
+
+    /// Writes the chunk at `vaddr` as `pid`. In the timed machine this is
+    /// only called at broadcast delivery; tests may call it directly.
+    pub fn write(&mut self, pid: Pid, vaddr: u64, value: u64) -> Result<(), BmError> {
+        let phys = self.translate(pid, vaddr)?;
+        self.entries[phys].value = value;
+        Ok(())
+    }
+
+    /// Reads a physical entry directly (delivery path and stats).
+    pub fn read_phys(&self, phys: usize) -> u64 {
+        self.entries[phys].value
+    }
+
+    /// Writes a physical entry directly (delivery path).
+    pub fn write_phys(&mut self, phys: usize, value: u64) {
+        self.entries[phys].value = value;
+    }
+
+    /// Toggles a physical entry between 0 and 1 (tone-barrier release:
+    /// "the controller toggles the value of the local BM location",
+    /// §4.2.2).
+    pub fn toggle_phys(&mut self, phys: usize) {
+        self.entries[phys].value ^= 1;
+    }
+
+    /// The PID owning a physical entry, if allocated.
+    pub fn owner_phys(&self, phys: usize) -> Option<Pid> {
+        self.entries[phys].owner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut bm = BroadcastMemory::new(64);
+        let a = bm.alloc(Pid(1), 1).unwrap();
+        assert_eq!(bm.read(Pid(1), a).unwrap(), 0);
+        bm.write(Pid(1), a, 99).unwrap();
+        assert_eq!(bm.read(Pid(1), a).unwrap(), 99);
+        assert_eq!(bm.allocated(), 1);
+    }
+
+    #[test]
+    fn contiguous_allocation_for_bulk() {
+        let mut bm = BroadcastMemory::new(2048);
+        let a = bm.alloc(Pid(1), 4).unwrap();
+        // Consecutive vaddrs translate to consecutive phys entries.
+        let base = bm.translate(Pid(1), a).unwrap();
+        for k in 0..4u64 {
+            assert_eq!(bm.translate(Pid(1), a + 8 * k).unwrap(), base + k as usize);
+        }
+    }
+
+    #[test]
+    fn two_processes_share_a_physical_page() {
+        let mut bm = BroadcastMemory::new(2048);
+        let a = bm.alloc(Pid(1), 1).unwrap();
+        let b = bm.alloc(Pid(2), 1).unwrap();
+        let pa = bm.translate(Pid(1), a).unwrap();
+        let pb = bm.translate(Pid(2), b).unwrap();
+        assert_eq!(pa / WORDS_PER_PAGE, pb / WORDS_PER_PAGE, "same ppage");
+        assert_ne!(pa, pb, "different chunks");
+        // Each process's view is private.
+        bm.write(Pid(1), a, 1).unwrap();
+        bm.write(Pid(2), b, 2).unwrap();
+        assert_eq!(bm.read(Pid(1), a).unwrap(), 1);
+        assert_eq!(bm.read(Pid(2), b).unwrap(), 2);
+    }
+
+    #[test]
+    fn protection_violation_on_foreign_chunk() {
+        let mut bm = BroadcastMemory::new(2048);
+        let a = bm.alloc(Pid(1), 1).unwrap();
+        let _b = bm.alloc(Pid(2), 1).unwrap();
+        // Pid 2 maps the same physical page, so the address translates,
+        // but the PID tag check fires.
+        let err = bm.read(Pid(2), a).unwrap_err();
+        assert_eq!(
+            err,
+            BmError::ProtectionViolation {
+                pid: Pid(2),
+                vaddr: a
+            }
+        );
+    }
+
+    #[test]
+    fn unmapped_and_unaligned() {
+        let bm = BroadcastMemory::new(64);
+        assert!(matches!(
+            bm.read(Pid(9), 0),
+            Err(BmError::UnmappedAddress { .. })
+        ));
+        assert_eq!(bm.translate(Pid(9), 4), Err(BmError::Unaligned(4)));
+    }
+
+    #[test]
+    fn out_of_space_and_free() {
+        let mut bm = BroadcastMemory::new(4);
+        let addrs: Vec<u64> = (0..4).map(|_| bm.alloc(Pid(1), 1).unwrap()).collect();
+        assert_eq!(bm.alloc(Pid(1), 1), Err(BmError::OutOfSpace));
+        bm.free(Pid(1), addrs[2]).unwrap();
+        assert_eq!(bm.allocated(), 3);
+        let again = bm.alloc(Pid(2), 1).unwrap();
+        assert_eq!(bm.read(Pid(2), again).unwrap(), 0);
+    }
+
+    #[test]
+    fn free_checks_ownership() {
+        let mut bm = BroadcastMemory::new(64);
+        let a = bm.alloc(Pid(1), 1).unwrap();
+        assert!(bm.free(Pid(2), a).is_err());
+        bm.free(Pid(1), a).unwrap();
+    }
+
+    #[test]
+    fn fragmented_space_rejects_large_contiguous_alloc() {
+        let mut bm = BroadcastMemory::new(8);
+        let mut addrs = Vec::new();
+        for _ in 0..8 {
+            addrs.push(bm.alloc(Pid(1), 1).unwrap());
+        }
+        // Free alternating chunks: 4 words free, but no 2-run.
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 2 == 0 {
+                bm.free(Pid(1), a).unwrap();
+            }
+        }
+        assert_eq!(bm.alloc(Pid(1), 2), Err(BmError::OutOfSpace));
+        assert!(bm.alloc(Pid(1), 1).is_ok());
+    }
+
+    #[test]
+    fn allocation_does_not_cross_pages() {
+        let mut bm = BroadcastMemory::new(2 * WORDS_PER_PAGE);
+        // Consume most of page 0, leaving 2 free words at its end.
+        bm.alloc(Pid(1), WORDS_PER_PAGE - 2).unwrap();
+        // A 4-word allocation must go to page 1 entirely.
+        let a = bm.alloc(Pid(1), 4).unwrap();
+        let phys = bm.translate(Pid(1), a).unwrap();
+        assert_eq!(phys / WORDS_PER_PAGE, 1);
+        assert_eq!(phys % WORDS_PER_PAGE, 0);
+    }
+
+    #[test]
+    fn zero_allocation_rejected() {
+        let mut bm = BroadcastMemory::new(64);
+        assert_eq!(bm.alloc(Pid(1), 0), Err(BmError::ZeroAllocation));
+    }
+
+    #[test]
+    fn toggle_phys_flips_low_bit() {
+        let mut bm = BroadcastMemory::new(64);
+        let a = bm.alloc(Pid(1), 1).unwrap();
+        let phys = bm.translate(Pid(1), a).unwrap();
+        bm.toggle_phys(phys);
+        assert_eq!(bm.read_phys(phys), 1);
+        bm.toggle_phys(phys);
+        assert_eq!(bm.read_phys(phys), 0);
+        assert_eq!(bm.owner_phys(phys), Some(Pid(1)));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            BmError::OutOfSpace,
+            BmError::UnmappedAddress { pid: Pid(1), vaddr: 8 },
+            BmError::ProtectionViolation { pid: Pid(1), vaddr: 8 },
+            BmError::Unaligned(3),
+            BmError::NotOwned { pid: Pid(1), vaddr: 8 },
+            BmError::ZeroAllocation,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

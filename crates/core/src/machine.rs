@@ -1,0 +1,1413 @@
+//! The cycle-level WiSync machine: cores executing kernel programs over
+//! the timed memory, NoC, and wireless substrates.
+//!
+//! Execution is event-driven. Each core runs its program instruction by
+//! instruction; straight-line ALU work is batched, while every memory,
+//! BM, tone, or wait instruction becomes a timed transaction against the
+//! appropriate substrate. The substrates are passive: they compute
+//! completion cycles and hand back wake-ups, and the machine turns those
+//! into events.
+
+use std::collections::HashMap;
+
+use wisync_isa::{Cond, Instr, Program, Reg, RmwSpec, Space};
+use wisync_mem::{MemOp, MemSystem, RmwKind};
+use wisync_noc::{Mesh, NodeId, NodeSet};
+use wisync_sim::{Cycle, DetRng, EventQueue};
+use wisync_wireless::{DataChannel, Resolution, ToneChannel, TxLen, TxToken};
+
+use crate::bm::{BmError, BroadcastMemory, Pid};
+use crate::config::{BmConsistency, MachineConfig};
+use crate::stats::MachineStats;
+use crate::trace::{Trace, TraceEvent};
+
+/// Maximum ALU instructions executed in one event before yielding.
+const MAX_BATCH: u64 = 1024;
+
+/// Messages carried on the wireless Data channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WirelessMsg {
+    /// A plain BM store: on delivery, every replica updates (§4.2.1).
+    BmWrite { phys: usize, value: u64, core: usize },
+    /// The write half of a BM RMW; on delivery it applies only if the
+    /// instruction's atomicity still holds (AFB clear, §4.2.1).
+    BmRmwWrite { phys: usize, value: u64, core: usize },
+    /// A Bulk store of four consecutive words (§3.2).
+    Bulk {
+        phys: usize,
+        values: [u64; 4],
+        core: usize,
+    },
+    /// First-arrival message of a tone barrier: Data channel message with
+    /// the Tone bit set (§4.2.2). The data field is immaterial.
+    ToneInit { phys: usize, core: usize },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    /// Core continues execution at its current pc.
+    Resume(usize),
+    /// Completion of the timed read a `WaitWhile` issued: re-check the
+    /// condition and either proceed or go to sleep.
+    WaitCheck(usize),
+    /// Resolve the given Data channel's slot at this event's cycle.
+    ChannelResolve(usize),
+    /// Chip-wide delivery of a wireless message.
+    Deliver(WirelessMsg),
+    /// A tone barrier observed silence: release it.
+    ToneComplete { phys: usize },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CoreStatus {
+    /// No program loaded.
+    Idle,
+    /// Executing (an event will advance it).
+    Running,
+    /// Waiting for a scheduled completion event.
+    Blocked,
+    /// Asleep in a spin-wait; woken by a write to the watched location.
+    Sleeping,
+    /// Program finished.
+    Halted,
+    /// Parked by a preemption request; its image awaits collection.
+    Preempted,
+    /// Program hit a simulation fault (e.g. BM protection violation).
+    Faulted,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingRmw {
+    phys: usize,
+    token: TxToken,
+    /// Whether the pending instruction is a CAS (for Figure 9 counting).
+    is_cas: bool,
+    /// Set when an incoming write to `phys` broke atomicity but the
+    /// message could no longer be cancelled; the delivery is dropped.
+    aborted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WaitInfo {
+    cond: Cond,
+    space: Space,
+    /// Byte address (cached space) or physical BM index (BM space).
+    loc: u64,
+    value: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Core {
+    pid: Pid,
+    program: Option<Program>,
+    pc: usize,
+    regs: [u64; wisync_isa::instr::NUM_REGS],
+    status: CoreStatus,
+    afb: bool,
+    /// A preemption was requested; the core parks at its next
+    /// instruction boundary (§5.2).
+    preempt_pending: bool,
+    /// TSO store buffer (depth 1): the physical BM index and value of
+    /// the in-flight store, if any (§4.2.1).
+    store_buffer: Option<(usize, u64)>,
+    /// The core is stalled waiting for the store buffer to drain (next
+    /// BM store/RMW/halt while a store is outstanding).
+    drain_block: bool,
+    pending_rmw: Option<PendingRmw>,
+    /// A cached load in flight: the destination register is filled at
+    /// completion with the value the line holds when it arrives (reading
+    /// at issue instead would return values stale by the full directory
+    /// queueing delay, making CAS retry loops convoy pathologically —
+    /// see DESIGN.md §5).
+    pending_load: Option<(Reg, u64)>,
+    /// Exponential-backoff exponent for BM RMW atomicity failures: the
+    /// hardware holds a failed RMW for a random wait in `[0, 2^i)` before
+    /// letting software observe the AFB, incrementing `i` per failure and
+    /// decrementing it per committed RMW (the paper's §5.3 policy applied
+    /// at the instruction-retry level, where synchronization contention
+    /// actually manifests).
+    rmw_exp: u32,
+    wait: Option<WaitInfo>,
+    finish: Option<Cycle>,
+}
+
+impl Core {
+    fn new() -> Self {
+        Core {
+            pid: Pid(0),
+            program: None,
+            pc: 0,
+            regs: [0; wisync_isa::instr::NUM_REGS],
+            status: CoreStatus::Idle,
+            afb: false,
+            preempt_pending: false,
+            store_buffer: None,
+            drain_block: false,
+            pending_rmw: None,
+            pending_load: None,
+            rmw_exp: 0,
+            wait: None,
+            finish: None,
+        }
+    }
+}
+
+/// Arrivals recorded while a barrier's init message is still in flight.
+///
+/// §4.2.2 speaks of "the first core" sending the init; simultaneous
+/// arrivals would each believe themselves first, but their init messages
+/// are interchangeable (same address, immaterial data field), so the
+/// simulator models the hardware as resolving them into one message:
+/// exactly one init is broadcast per barrier episode, and arrivals that
+/// happen while it is in flight are recorded and applied at delivery.
+#[derive(Clone, Debug, Default)]
+struct ToneInitPending {
+    /// Cores that arrived before the init message delivered.
+    early: Vec<usize>,
+}
+
+/// Why a [`Machine::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every loaded core halted.
+    Completed,
+    /// Some cores are asleep with nothing left to wake them.
+    Deadlock,
+    /// The cycle budget ran out.
+    CycleLimit,
+    /// At least one core faulted (see [`MachineStats::faults`]).
+    Faulted,
+}
+
+/// Result of running a machine.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Termination cause.
+    pub outcome: RunOutcome,
+    /// Cycle of the last processed event (total execution time).
+    pub cycles: Cycle,
+    /// Per-core completion cycles (None for cores that did not halt).
+    pub core_finish: Vec<Option<Cycle>>,
+}
+
+/// The architectural state of a preempted thread (§5.2): everything the
+/// OS must save to reschedule it later, on the same or (for programs not
+/// using the Tone channel) a different core. The AFB is part of the
+/// image — §4.2.1: "AFB is saved and restored on context switch".
+#[derive(Clone, Debug)]
+pub struct ThreadImage {
+    pid: Pid,
+    program: Program,
+    pc: usize,
+    regs: [u64; wisync_isa::instr::NUM_REGS],
+    afb: bool,
+    origin_core: usize,
+}
+
+impl ThreadImage {
+    /// The core the thread last ran on.
+    pub fn origin_core(&self) -> usize {
+        self.origin_core
+    }
+
+    /// The owning process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The saved AFB (1 after a preemption aborted an in-flight RMW).
+    pub fn afb(&self) -> bool {
+        self.afb
+    }
+}
+
+/// Errors from thread scheduling operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The core has no parked thread to take / no thread to preempt.
+    NothingToTake(usize),
+    /// The target core is still running another thread.
+    CoreBusy(usize),
+    /// §5.2: a thread armed for a tone barrier cannot migrate, because
+    /// the Armed bits live in its origin core's tone controller.
+    ToneArmed {
+        /// Core whose tone controller holds the thread's Armed bits.
+        origin: usize,
+        /// Attempted destination.
+        target: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NothingToTake(c) => write!(f, "core {c} has no parked thread"),
+            ScheduleError::CoreBusy(c) => write!(f, "core {c} is still running a thread"),
+            ScheduleError::ToneArmed { origin, target } => write!(
+                f,
+                "thread armed for a tone barrier on core {origin} cannot migrate to core {target}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A simulated WiSync (or baseline) manycore.
+///
+/// # Examples
+///
+/// Run one core storing to cached memory:
+///
+/// ```
+/// use wisync_core::{Machine, MachineConfig, Pid};
+/// use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Instr::Li { dst: Reg(1), imm: 5 });
+/// b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x100, space: Space::Cached });
+/// b.push(Instr::Halt);
+/// let prog = b.build().unwrap();
+///
+/// let mut m = Machine::new(MachineConfig::baseline(16));
+/// m.load_program(0, Pid(1), prog);
+/// let report = m.run(100_000);
+/// assert_eq!(report.outcome, wisync_core::RunOutcome::Completed);
+/// assert_eq!(m.mem_value(0x100), 5);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    mem: MemSystem,
+    bm: BroadcastMemory,
+    /// One or more Data channels (paper: one; §4.1 discusses more).
+    /// Messages are interleaved by physical BM index.
+    data: Vec<DataChannel<WirelessMsg>>,
+    tone: ToneChannel,
+    cores: Vec<Core>,
+    queue: EventQueue<Event>,
+    bm_waiters: HashMap<usize, Vec<usize>>,
+    tone_init: HashMap<usize, ToneInitPending>,
+    rng: DetRng,
+    now: Cycle,
+    stats: MachineStats,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let mesh = Mesh::new(config.cores, config.hop_latency);
+        let mem = MemSystem::new(config.mem, mesh);
+        let mut wireless = config.wireless;
+        wireless.seed ^= config.seed;
+        let n_channels = wireless.data_channels.max(1);
+        let data = (0..n_channels)
+            .map(|ch| {
+                let mut w = wireless;
+                w.seed ^= (ch as u64 + 1) << 32;
+                DataChannel::new(w, config.cores)
+            })
+            .collect();
+        Machine {
+            mem,
+            bm: BroadcastMemory::new(config.bm_entries),
+            data,
+            tone: ToneChannel::new(config.tone_table_capacity),
+            cores: (0..config.cores).map(|_| Core::new()).collect(),
+            queue: EventQueue::new(),
+            bm_waiters: HashMap::new(),
+            tone_init: HashMap::new(),
+            rng: DetRng::new(config.seed ^ 0xB0FF_0FF5),
+            now: Cycle::ZERO,
+            stats: MachineStats::default(),
+            trace: None,
+            config,
+        }
+    }
+
+    /// Enables event tracing with the given capacity (see
+    /// [`crate::trace`]). Replaces any existing trace.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, e: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(e);
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics accumulated so far (wireless stats are merged in when
+    /// [`Machine::run`] returns).
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The wired memory system (for warm-up pokes and inspection).
+    pub fn mem_value(&self, addr: u64) -> u64 {
+        self.mem.peek(addr)
+    }
+
+    /// Initializes a cached-memory word without timing (test/workload
+    /// setup).
+    pub fn mem_init(&mut self, addr: u64, value: u64) {
+        self.mem.poke(addr, value);
+    }
+
+    /// Allocates `words` contiguous BM chunks for `pid`.
+    ///
+    /// Allocation happens at program load time in this simulator; the
+    /// paper's allocation broadcast cost (§4.4) is off the measured path.
+    ///
+    /// # Errors
+    ///
+    /// See [`BmError`].
+    pub fn bm_alloc(&mut self, pid: Pid, words: usize) -> Result<u64, BmError> {
+        self.bm.alloc(pid, words)
+    }
+
+    /// Initializes a BM word without timing (setup).
+    ///
+    /// # Errors
+    ///
+    /// Translation/protection errors.
+    pub fn bm_init(&mut self, pid: Pid, vaddr: u64, value: u64) -> Result<(), BmError> {
+        self.bm.write(pid, vaddr, value)
+    }
+
+    /// Reads a BM word as `pid` (setup/assertions).
+    ///
+    /// # Errors
+    ///
+    /// Translation/protection errors.
+    pub fn bm_value(&self, pid: Pid, vaddr: u64) -> Result<u64, BmError> {
+        self.bm.read(pid, vaddr)
+    }
+
+    /// Allocates-and-arms a tone barrier at BM address `vaddr` of `pid`,
+    /// with the given participating cores (§4.4: participation must be
+    /// known when the tone barrier is allocated).
+    ///
+    /// # Errors
+    ///
+    /// BM translation errors; tone-table errors are surfaced as
+    /// [`BmError::OutOfSpace`] (callers fall back to Data-channel
+    /// barriers, §4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine kind has no Tone channel.
+    pub fn arm_tone(
+        &mut self,
+        pid: Pid,
+        vaddr: u64,
+        participants: impl IntoIterator<Item = usize>,
+    ) -> Result<(), BmError> {
+        assert!(
+            self.config.kind.has_tone(),
+            "{} has no Tone channel",
+            self.config.kind
+        );
+        let phys = self.bm.translate(pid, vaddr)?;
+        let set: NodeSet = participants.into_iter().map(NodeId).collect();
+        self.tone
+            .allocate(phys as u64, set)
+            .map_err(|_| BmError::OutOfSpace)
+    }
+
+    /// Loads `program` onto `core` under process `pid`. Cores run their
+    /// program once; looping workloads encode iteration counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is out of range.
+    pub fn load_program(&mut self, core: usize, pid: Pid, program: Program) {
+        let c = &mut self.cores[core];
+        c.pid = pid;
+        c.program = Some(program);
+        c.pc = 0;
+        c.status = CoreStatus::Running;
+        c.finish = None;
+    }
+
+    /// Sets a register of a core before running (per-thread parameters).
+    pub fn set_reg(&mut self, core: usize, r: Reg, value: u64) {
+        self.cores[core].regs[r.0 as usize] = value;
+    }
+
+    /// Reads a register of a core.
+    pub fn reg(&self, core: usize, r: Reg) -> u64 {
+        self.cores[core].regs[r.0 as usize]
+    }
+
+    /// Requests preemption of the thread on `core` (§5.2). The thread
+    /// parks at its next instruction boundary: immediately if it is
+    /// spin-waiting (the waiter registration is withdrawn), otherwise
+    /// when its in-flight operation completes. An in-flight BM RMW is
+    /// aborted with AFB = 1, exactly as an exception between the RMW and
+    /// its AFB check would (§4.2.1).
+    ///
+    /// Call [`Machine::run`] to let the machine reach the boundary, then
+    /// [`Machine::take_preempted`] to obtain the thread image.
+    pub fn request_preempt(&mut self, core: usize) {
+        self.cores[core].preempt_pending = true;
+        if self.cores[core].status == CoreStatus::Sleeping {
+            // Withdraw the spin-wait registration and park immediately.
+            if let Some(info) = self.cores[core].wait {
+                match info.space {
+                    Space::Cached => self.mem.unregister_waiter(self.node(core), info.loc),
+                    Space::Bm => {
+                        if let Some(ws) = self.bm_waiters.get_mut(&(info.loc as usize)) {
+                            ws.retain(|&c| c != core);
+                        }
+                    }
+                }
+            }
+            self.park(core);
+        }
+    }
+
+    /// Parks `core`'s thread (it re-executes its current instruction on
+    /// resumption — for spin-waits that is exactly the re-check the
+    /// paper's rescheduled thread would perform).
+    fn park(&mut self, core: usize) {
+        if let Some(p) = self.cores[core].pending_rmw.take() {
+            // §4.2.1: an exception while the wireless transfer is
+            // outstanding sets AFB and aborts the transfer.
+            self.cores[core].afb = true;
+            if !self.cancel_tx(p.token) {
+                // Mid-transmission: reinstate as aborted so the delivery
+                // drops the write.
+                self.cores[core].pending_rmw = Some(PendingRmw { aborted: true, ..p });
+                // The delivery event will try to resume this core; the
+                // parked status makes that a no-op.
+            }
+        }
+        // An outstanding TSO store is already committed to the channel
+        // and will perform globally; only the core-local bookkeeping is
+        // discarded with the thread.
+        self.cores[core].store_buffer = None;
+        self.cores[core].drain_block = false;
+        self.cores[core].status = CoreStatus::Preempted;
+        self.cores[core].preempt_pending = false;
+    }
+
+    /// Takes the image of a parked thread off `core`, leaving the core
+    /// idle.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::NothingToTake`] if no thread is parked there
+    /// (request preemption and run the machine first).
+    pub fn take_preempted(&mut self, core: usize) -> Result<ThreadImage, ScheduleError> {
+        if self.cores[core].status != CoreStatus::Preempted {
+            return Err(ScheduleError::NothingToTake(core));
+        }
+        let c = &mut self.cores[core];
+        let image = ThreadImage {
+            pid: c.pid,
+            program: c.program.take().expect("parked thread has a program"),
+            pc: c.pc,
+            regs: c.regs,
+            afb: c.afb,
+            origin_core: core,
+        };
+        c.status = CoreStatus::Idle;
+        c.afb = false;
+        c.wait = None;
+        c.pending_load = None;
+        Ok(image)
+    }
+
+    /// Reschedules a preempted thread onto `target` (the same core or,
+    /// for threads not armed in any tone barrier, a different one —
+    /// §5.2). The thread resumes at its saved program counter on the
+    /// next [`Machine::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::CoreBusy`] if `target` holds another thread;
+    /// [`ScheduleError::ToneArmed`] for a forbidden migration.
+    pub fn resume_thread(
+        &mut self,
+        target: usize,
+        image: ThreadImage,
+    ) -> Result<(), ScheduleError> {
+        match self.cores[target].status {
+            CoreStatus::Idle | CoreStatus::Halted => {}
+            _ => return Err(ScheduleError::CoreBusy(target)),
+        }
+        if target != image.origin_core && self.tone.armed_anywhere(NodeId(image.origin_core)) {
+            return Err(ScheduleError::ToneArmed {
+                origin: image.origin_core,
+                target,
+            });
+        }
+        let c = &mut self.cores[target];
+        c.pid = image.pid;
+        c.program = Some(image.program);
+        c.pc = image.pc;
+        c.regs = image.regs;
+        c.afb = image.afb;
+        c.status = CoreStatus::Running;
+        c.finish = None;
+        Ok(())
+    }
+
+    /// Runs until all loaded cores halt, deadlock, fault, or the cycle
+    /// budget is exhausted. Returns the report; machine state is
+    /// inspectable afterwards.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        // Kick off every loaded core.
+        for i in 0..self.cores.len() {
+            if self.cores[i].status == CoreStatus::Running && self.cores[i].program.is_some() {
+                self.queue.push(self.now, Event::Resume(i));
+            }
+        }
+        let deadline = Cycle(max_cycles);
+        let mut outcome = RunOutcome::Completed;
+        while let Some((at, ev)) = self.queue.pop() {
+            if at > deadline {
+                // Not yet due: put it back so a later run() continues
+                // exactly where this one stopped.
+                self.queue.push(at, ev);
+                outcome = RunOutcome::CycleLimit;
+                break;
+            }
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.dispatch(ev);
+        }
+        let loaded = self
+            .cores
+            .iter()
+            .filter(|c| !matches!(c.status, CoreStatus::Idle | CoreStatus::Preempted))
+            .count();
+        let halted = self
+            .cores
+            .iter()
+            .filter(|c| c.status == CoreStatus::Halted)
+            .count();
+        let faulted = self.cores.iter().any(|c| c.status == CoreStatus::Faulted);
+        if outcome == RunOutcome::Completed {
+            if faulted {
+                outcome = RunOutcome::Faulted;
+            } else if halted < loaded {
+                outcome = RunOutcome::Deadlock;
+            }
+        }
+        let mut data_stats = self.data[0].stats().clone();
+        for ch in &self.data[1..] {
+            let s = ch.stats();
+            data_stats.transfers += s.transfers;
+            data_stats.collisions += s.collisions;
+            data_stats.busy_cycles += s.busy_cycles;
+            data_stats.latency.merge(&s.latency);
+        }
+        self.stats.absorb_substrates(
+            data_stats,
+            *self.tone.stats(),
+            self.mem.stats().clone(),
+            self.now,
+        );
+        RunReport {
+            outcome,
+            cycles: self.now,
+            core_finish: self.cores.iter().map(|c| c.finish).collect(),
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Resume(core) => {
+                match self.cores[core].status {
+                    CoreStatus::Halted
+                    | CoreStatus::Faulted
+                    | CoreStatus::Idle
+                    | CoreStatus::Preempted => {}
+                    _ => {
+                        if let Some((dst, addr)) = self.cores[core].pending_load.take() {
+                            self.cores[core].regs[dst.0 as usize] = self.mem.peek(addr);
+                        }
+                        if self.cores[core].preempt_pending {
+                            self.park(core);
+                            return;
+                        }
+                        self.cores[core].status = CoreStatus::Running;
+                        self.advance_core(core);
+                    }
+                }
+            }
+            Event::WaitCheck(core) => self.wait_check(core),
+            Event::ChannelResolve(ch) => {
+                let now = self.now;
+                match self.data[ch].resolve(now) {
+                    Resolution::Idle => {}
+                    Resolution::Deferred(next_slots) => {
+                        for s in next_slots {
+                            self.queue.push(s, Event::ChannelResolve(ch));
+                        }
+                    }
+                    Resolution::Started {
+                        message,
+                        complete_at,
+                        ..
+                    } => self.queue.push(complete_at, Event::Deliver(message)),
+                    Resolution::Collision { retry_slots } => {
+                        self.record(TraceEvent::Collision { at: now, channel: ch });
+                        for s in retry_slots {
+                            self.queue.push(s, Event::ChannelResolve(ch));
+                        }
+                    }
+                }
+            }
+            Event::Deliver(msg) => self.deliver(msg),
+            Event::ToneComplete { phys } => self.tone_complete(phys),
+        }
+    }
+
+    // --- Core execution ---------------------------------------------------
+
+    fn fault(&mut self, core: usize, reason: String) {
+        self.cores[core].status = CoreStatus::Faulted;
+        self.stats.faults.push((core, reason));
+    }
+
+    fn node(&self, core: usize) -> NodeId {
+        NodeId(core)
+    }
+
+    /// Executes instructions for `core` starting at the current time,
+    /// until a blocking operation or the ALU batch limit.
+    fn advance_core(&mut self, core: usize) {
+        let mut t = self.now;
+        let mut batched = 0u64;
+        loop {
+            let (pc, instr) = {
+                let c = &self.cores[core];
+                let program = c.program.as_ref().expect("running core has a program");
+                (c.pc, program.fetch(c.pc))
+            };
+            macro_rules! regs {
+                ($r:expr) => {
+                    self.cores[core].regs[$r.0 as usize]
+                };
+            }
+            self.stats.instructions += 1;
+            match instr {
+                // --- ALU: executed inline, 1 cycle each -------------------
+                Instr::Li { dst, imm } => {
+                    regs!(dst) = imm;
+                }
+                Instr::Mov { dst, src } => {
+                    regs!(dst) = regs!(src);
+                }
+                Instr::Add { dst, a, b } => regs!(dst) = regs!(a).wrapping_add(regs!(b)),
+                Instr::Addi { dst, a, imm } => regs!(dst) = regs!(a).wrapping_add(imm),
+                Instr::Sub { dst, a, b } => regs!(dst) = regs!(a).wrapping_sub(regs!(b)),
+                Instr::Mul { dst, a, b } => regs!(dst) = regs!(a).wrapping_mul(regs!(b)),
+                Instr::And { dst, a, b } => regs!(dst) = regs!(a) & regs!(b),
+                Instr::Or { dst, a, b } => regs!(dst) = regs!(a) | regs!(b),
+                Instr::Xor { dst, a, b } => regs!(dst) = regs!(a) ^ regs!(b),
+                Instr::Shl { dst, a, b } => regs!(dst) = regs!(a) << (regs!(b) & 63),
+                Instr::Shr { dst, a, b } => regs!(dst) = regs!(a) >> (regs!(b) & 63),
+                Instr::CmpEq { dst, a, b } => regs!(dst) = (regs!(a) == regs!(b)) as u64,
+                Instr::CmpLt { dst, a, b } => regs!(dst) = (regs!(a) < regs!(b)) as u64,
+                Instr::ReadAfb { dst } => {
+                    let v = self.cores[core].afb as u64;
+                    regs!(dst) = v;
+                }
+                Instr::ReadWcb { dst } => {
+                    // 1 once the last BM store/RMW has completed. Under
+                    // SC stores block, so this is always 1; under TSO it
+                    // reflects the store buffer.
+                    regs!(dst) = self.cores[core].store_buffer.is_none() as u64;
+                }
+                Instr::Jump { target } => {
+                    self.cores[core].pc = target.0 as usize;
+                    t += 1;
+                    batched += 1;
+                    if batched >= MAX_BATCH {
+                        self.yield_core(core, t);
+                        return;
+                    }
+                    continue;
+                }
+                Instr::Beqz { cond, target } => {
+                    let taken = regs!(cond) == 0;
+                    self.cores[core].pc = if taken { target.0 as usize } else { pc + 1 };
+                    t += 1;
+                    batched += 1;
+                    if batched >= MAX_BATCH {
+                        self.yield_core(core, t);
+                        return;
+                    }
+                    continue;
+                }
+                Instr::Bnez { cond, target } => {
+                    let taken = regs!(cond) != 0;
+                    self.cores[core].pc = if taken { target.0 as usize } else { pc + 1 };
+                    t += 1;
+                    batched += 1;
+                    if batched >= MAX_BATCH {
+                        self.yield_core(core, t);
+                        return;
+                    }
+                    continue;
+                }
+
+                // --- Blocking operations ----------------------------------
+                Instr::Compute { cycles } => {
+                    self.stats.instructions += cycles.saturating_sub(1);
+                    self.cores[core].pc = pc + 1;
+                    self.block_until(core, t + cycles.max(1));
+                    return;
+                }
+                Instr::Ld {
+                    dst,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    match space {
+                        Space::Cached => {
+                            let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
+                            // The value is read when the line arrives.
+                            self.cores[core].pending_load = Some((dst, addr));
+                            self.cores[core].pc = pc + 1;
+                            self.block_until(core, o.complete_at);
+                        }
+                        Space::Bm => match self.bm_translate(core, addr) {
+                            Ok(phys) => {
+                                // TSO store forwarding: a load to the
+                                // address of the in-flight store reads
+                                // the buffered value (§4.2.1).
+                                let v = match self.cores[core].store_buffer {
+                                    Some((p, val)) if p == phys => val,
+                                    _ => self.bm.read_phys(phys),
+                                };
+                                regs!(dst) = v;
+                                self.stats.bm_loads += 1;
+                                self.cores[core].pc = pc + 1;
+                                self.block_until(core, t + self.config.bm_rt);
+                            }
+                            Err(e) => self.fault(core, e.to_string()),
+                        },
+                    }
+                    return;
+                }
+                Instr::St {
+                    src,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    let value = regs!(src);
+                    match space {
+                        Space::Cached => {
+                            let o = self.mem.access(self.node(core), addr, MemOp::Store(value), t);
+                            for (w, at) in &o.woken {
+                                self.queue.push(*at, Event::Resume(w.as_usize()));
+                            }
+                            self.cores[core].pc = pc + 1;
+                            self.block_until(core, o.complete_at);
+                        }
+                        Space::Bm => match self.bm_translate(core, addr) {
+                            Ok(phys) => {
+                                if self.cores[core].store_buffer.is_some() {
+                                    // Depth-1 store buffer: drain first,
+                                    // then re-execute this store.
+                                    self.cores[core].drain_block = true;
+                                    self.cores[core].status = CoreStatus::Blocked;
+                                    return;
+                                }
+                                self.stats.bm_stores += 1;
+                                self.request_tx(
+                                    core,
+                                    TxLen::Normal,
+                                    WirelessMsg::BmWrite { phys, value, core },
+                                    t + 1,
+                                );
+                                self.cores[core].pc = pc + 1;
+                                match self.config.bm_consistency {
+                                    BmConsistency::Sc => {
+                                        self.cores[core].drain_block = true;
+                                        self.cores[core].status = CoreStatus::Blocked;
+                                        self.cores[core].store_buffer = Some((phys, value));
+                                        return;
+                                    }
+                                    BmConsistency::Tso => {
+                                        // Continue past the store.
+                                        self.cores[core].store_buffer = Some((phys, value));
+                                        self.block_until(core, t + 1);
+                                        return;
+                                    }
+                                }
+                            }
+                            Err(e) => self.fault(core, e.to_string()),
+                        },
+                    }
+                    return;
+                }
+                Instr::Rmw {
+                    kind,
+                    dst,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    match space {
+                        Space::Cached => {
+                            let rk = self.rmw_kind(core, kind);
+                            self.stats.note_rmw_attempt(kind);
+                            let o = self.mem.access(self.node(core), addr, MemOp::Rmw(rk), t);
+                            if o.rmw_success {
+                                self.stats.note_rmw_success(kind);
+                            }
+                            regs!(dst) = o.value;
+                            for (w, at) in &o.woken {
+                                self.queue.push(*at, Event::Resume(w.as_usize()));
+                            }
+                            self.cores[core].pc = pc + 1;
+                            self.block_until(core, o.complete_at);
+                        }
+                        Space::Bm => {
+                            self.exec_bm_rmw(core, kind, dst, addr, t);
+                        }
+                    }
+                    return;
+                }
+                Instr::BulkLd { dst, base, offset } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    match self.bm_translate_run(core, addr, 4) {
+                        Ok(phys) => {
+                            for k in 0..4usize {
+                                let v = self.bm.read_phys(phys + k);
+                                self.cores[core].regs[dst.0 as usize + k] = v;
+                            }
+                            self.stats.bm_loads += 4;
+                            self.cores[core].pc = pc + 1;
+                            // Four pipelined local reads.
+                            self.block_until(core, t + self.config.bm_rt + 3);
+                        }
+                        Err(e) => self.fault(core, e.to_string()),
+                    }
+                    return;
+                }
+                Instr::BulkSt { src, base, offset } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    if self.cores[core].store_buffer.is_some() {
+                        self.cores[core].drain_block = true;
+                        self.cores[core].status = CoreStatus::Blocked;
+                        return;
+                    }
+                    match self.bm_translate_run(core, addr, 4) {
+                        Ok(phys) => {
+                            let mut values = [0u64; 4];
+                            for (k, v) in values.iter_mut().enumerate() {
+                                *v = self.cores[core].regs[src.0 as usize + k];
+                            }
+                            self.stats.bm_stores += 4;
+                            self.request_tx(
+                                core,
+                                TxLen::Bulk,
+                                WirelessMsg::Bulk { phys, values, core },
+                                t + 1,
+                            );
+                            self.cores[core].pc = pc + 1;
+                            // Bulk transfers are uninterruptible (§4.3.4):
+                            // they block the core under both models.
+                            self.cores[core].drain_block = true;
+                            self.cores[core].status = CoreStatus::Blocked;
+                        }
+                        Err(e) => self.fault(core, e.to_string()),
+                    }
+                    return;
+                }
+                Instr::ToneSt { base, offset } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    self.exec_tone_st(core, addr, t);
+                    return;
+                }
+                Instr::ToneLd { dst, base, offset } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    match self.bm_translate(core, addr) {
+                        Ok(phys) => {
+                            let v = self.bm.read_phys(phys);
+                            regs!(dst) = v;
+                            self.cores[core].pc = pc + 1;
+                            self.block_until(core, t + self.config.bm_rt);
+                        }
+                        Err(e) => self.fault(core, e.to_string()),
+                    }
+                    return;
+                }
+                Instr::WaitWhile {
+                    cond,
+                    base,
+                    offset,
+                    value,
+                    space,
+                } => {
+                    let addr = regs!(base).wrapping_add(offset);
+                    let v = regs!(value);
+                    match space {
+                        Space::Cached => {
+                            // Timed (possibly contended) load; the value is
+                            // re-checked at completion.
+                            let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
+                            self.cores[core].wait = Some(WaitInfo {
+                                cond,
+                                space,
+                                loc: addr,
+                                value: v,
+                            });
+                            self.cores[core].status = CoreStatus::Blocked;
+                            self.queue.push(o.complete_at, Event::WaitCheck(core));
+                        }
+                        Space::Bm => match self.bm_translate(core, addr) {
+                            Ok(phys) => {
+                                self.cores[core].wait = Some(WaitInfo {
+                                    cond,
+                                    space,
+                                    loc: phys as u64,
+                                    value: v,
+                                });
+                                self.cores[core].status = CoreStatus::Blocked;
+                                self.queue
+                                    .push(t + self.config.bm_rt, Event::WaitCheck(core));
+                            }
+                            Err(e) => self.fault(core, e.to_string()),
+                        },
+                    }
+                    return;
+                }
+                Instr::Halt => {
+                    if self.cores[core].store_buffer.is_some() {
+                        // Retire only after the outstanding BM store
+                        // performs (its effects must be globally visible).
+                        self.cores[core].drain_block = true;
+                        self.cores[core].status = CoreStatus::Blocked;
+                        return;
+                    }
+                    self.cores[core].status = CoreStatus::Halted;
+                    self.cores[core].finish = Some(t);
+                    self.record(TraceEvent::Halted { at: t, core });
+                    return;
+                }
+            }
+            // Fallthrough for 1-cycle inline instructions.
+            self.cores[core].pc = pc + 1;
+            t += 1;
+            batched += 1;
+            if batched >= MAX_BATCH {
+                self.yield_core(core, t);
+                return;
+            }
+        }
+    }
+
+    fn yield_core(&mut self, core: usize, at: Cycle) {
+        self.cores[core].status = CoreStatus::Blocked;
+        self.queue.push(at, Event::Resume(core));
+    }
+
+    fn block_until(&mut self, core: usize, at: Cycle) {
+        self.cores[core].status = CoreStatus::Blocked;
+        self.queue.push(at, Event::Resume(core));
+    }
+
+    fn rmw_kind(&self, core: usize, kind: RmwSpec) -> RmwKind {
+        let r = |reg: Reg| self.cores[core].regs[reg.0 as usize];
+        match kind {
+            RmwSpec::Cas { expected, new } => RmwKind::Cas {
+                expected: r(expected),
+                new: r(new),
+            },
+            RmwSpec::Swap { src } => RmwKind::Swap(r(src)),
+            RmwSpec::FetchAdd { src } => RmwKind::FetchAdd(r(src)),
+            RmwSpec::FetchInc => RmwKind::FetchAdd(1),
+            RmwSpec::TestSet => RmwKind::TestSet,
+        }
+    }
+
+    fn bm_translate(&mut self, core: usize, vaddr: u64) -> Result<usize, BmError> {
+        if !self.config.kind.has_bm() {
+            return Err(BmError::UnmappedAddress {
+                pid: self.cores[core].pid,
+                vaddr,
+            });
+        }
+        self.bm.translate(self.cores[core].pid, vaddr)
+    }
+
+    /// Translates a run of `words` consecutive BM words (Bulk access).
+    fn bm_translate_run(&mut self, core: usize, vaddr: u64, words: usize) -> Result<usize, BmError> {
+        let first = self.bm_translate(core, vaddr)?;
+        for k in 1..words {
+            let p = self.bm_translate(core, vaddr + 8 * k as u64)?;
+            if p != first + k {
+                return Err(BmError::UnmappedAddress {
+                    pid: self.cores[core].pid,
+                    vaddr: vaddr + 8 * k as u64,
+                });
+            }
+        }
+        Ok(first)
+    }
+
+    /// The Data channel that carries messages for physical BM index
+    /// `phys` (interleaved when more than one channel is configured).
+    fn channel_of(&self, phys: usize) -> usize {
+        phys % self.data.len()
+    }
+
+    fn request_tx(&mut self, core: usize, len: TxLen, msg: WirelessMsg, at: Cycle) -> TxToken {
+        let phys = match msg {
+            WirelessMsg::BmWrite { phys, .. }
+            | WirelessMsg::BmRmwWrite { phys, .. }
+            | WirelessMsg::Bulk { phys, .. }
+            | WirelessMsg::ToneInit { phys, .. } => phys,
+        };
+        let ch = self.channel_of(phys);
+        let node = self.node(core);
+        let (token, slot) = self.data[ch].request(node, len, msg, at);
+        self.queue.push(slot, Event::ChannelResolve(ch));
+        token
+    }
+
+    fn exec_bm_rmw(&mut self, core: usize, kind: RmwSpec, dst: Reg, vaddr: u64, t: Cycle) {
+        if self.cores[core].store_buffer.is_some() {
+            // RMWs are ordered behind the outstanding store: drain first,
+            // then re-execute.
+            self.cores[core].drain_block = true;
+            self.cores[core].status = CoreStatus::Blocked;
+            return;
+        }
+        let phys = match self.bm_translate(core, vaddr) {
+            Ok(p) => p,
+            Err(e) => {
+                self.fault(core, e.to_string());
+                return;
+            }
+        };
+        self.stats.note_rmw_attempt(kind);
+        let old = self.bm.read_phys(phys);
+        self.cores[core].regs[dst.0 as usize] = old;
+        let rk = self.rmw_kind(core, kind);
+        let (new, writes) = match rk {
+            RmwKind::Cas { expected, new } => (new, old == expected),
+            RmwKind::Swap(v) => (v, true),
+            RmwKind::FetchAdd(d) => (old.wrapping_add(d), true),
+            RmwKind::TestSet => (1, true),
+        };
+        self.cores[core].afb = false;
+        if !writes {
+            // CAS comparison failed: no broadcast, no atomicity window.
+            self.cores[core].pc += 1;
+            self.block_until(core, t + self.config.bm_rt);
+            return;
+        }
+        let token = self.request_tx(
+            core,
+            TxLen::Normal,
+            WirelessMsg::BmRmwWrite {
+                phys,
+                value: new,
+                core,
+            },
+            t + self.config.bm_rt,
+        );
+        self.cores[core].pending_rmw = Some(PendingRmw {
+            phys,
+            token,
+            is_cas: matches!(kind, RmwSpec::Cas { .. }),
+            aborted: false,
+        });
+        self.cores[core].pc += 1;
+        self.cores[core].status = CoreStatus::Blocked;
+    }
+
+    fn exec_tone_st(&mut self, core: usize, vaddr: u64, t: Cycle) {
+        if !self.config.kind.has_tone() {
+            self.fault(
+                core,
+                format!("tone_st on {} (no Tone channel)", self.config.kind),
+            );
+            return;
+        }
+        let phys = match self.bm_translate(core, vaddr) {
+            Ok(p) => p,
+            Err(e) => {
+                self.fault(core, e.to_string());
+                return;
+            }
+        };
+        let key = phys as u64;
+        // The arriving core must be armed (§4.4).
+        match self.tone.armed(key) {
+            Ok(set) if set.contains(self.node(core)) => {}
+            Ok(_) => {
+                self.fault(core, format!("core {core} not armed for tone barrier"));
+                return;
+            }
+            Err(e) => {
+                self.fault(core, e.to_string());
+                return;
+            }
+        }
+        if self.tone.is_active(key) {
+            match self.tone.arrive(key, self.node(core)) {
+                Ok(all) => {
+                    if all {
+                        let slot = self
+                            .tone
+                            .completion_slot(key, t)
+                            .expect("active barrier has a slot");
+                        self.queue.push(slot, Event::ToneComplete { phys });
+                    }
+                }
+                Err(e) => {
+                    self.fault(core, e.to_string());
+                    return;
+                }
+            }
+        } else {
+            // Barrier not active yet. The first arrival (in this episode)
+            // broadcasts the init; arrivals while it is in flight are
+            // recorded and applied at delivery (see [`ToneInitPending`]).
+            let first = !self.tone_init.contains_key(&phys);
+            self.tone_init.entry(phys).or_default().early.push(core);
+            if first {
+                self.request_tx(
+                    core,
+                    TxLen::Normal,
+                    WirelessMsg::ToneInit { phys, core },
+                    t + 1,
+                );
+            }
+        }
+        // tone_st is fire-and-forget: the core proceeds (to its spin).
+        self.cores[core].pc += 1;
+        self.block_until(core, t + 1);
+    }
+
+    // --- Deliveries ---------------------------------------------------------
+
+    /// Fails the pending RMWs of every core other than `writer` that
+    /// targets `phys` (§4.2.1: incoming stores are compared against
+    /// pending RMW addresses).
+    fn break_conflicting_rmws(&mut self, phys: usize, writer: usize, at: Cycle) {
+        for i in 0..self.cores.len() {
+            if i == writer {
+                continue;
+            }
+            let Some(p) = self.cores[i].pending_rmw else {
+                continue;
+            };
+            if p.phys != phys {
+                continue;
+            }
+            self.cores[i].afb = true;
+            self.stats.bm_rmw_atomicity_failures += 1;
+            self.record(TraceEvent::RmwAborted { at, core: i, phys });
+            // Hold the failed instruction for an exponentially-backed-off
+            // wait before software sees the AFB (§5.3).
+            let exp = self.cores[i].rmw_exp.min(10);
+            let wait = self.rng.gen_range(1 << exp);
+            self.cores[i].rmw_exp = (self.cores[i].rmw_exp + 1).min(10);
+            if self.cancel_tx(p.token) {
+                // The write never reaches the network: the RMW completes
+                // without its write (WCB sets, AFB=1).
+                self.cores[i].pending_rmw = None;
+                self.queue.push(at + wait, Event::Resume(i));
+            } else {
+                // Already transmitting: drop the write at delivery.
+                self.cores[i].pending_rmw = Some(PendingRmw {
+                    aborted: true,
+                    ..p
+                });
+            }
+        }
+    }
+
+    /// Cancels a queued transmission on whichever channel holds it.
+    fn cancel_tx(&mut self, token: TxToken) -> bool {
+        self.data.iter_mut().any(|ch| ch.cancel(token).is_some())
+    }
+
+    fn wake_bm_waiters(&mut self, phys: usize, at: Cycle) {
+        if let Some(ws) = self.bm_waiters.remove(&phys) {
+            for w in ws {
+                self.queue.push(at, Event::Resume(w));
+            }
+        }
+    }
+
+    fn deliver(&mut self, msg: WirelessMsg) {
+        let at = self.now;
+        match msg {
+            WirelessMsg::BmWrite { phys, value, core } => {
+                self.record(TraceEvent::Delivered {
+                    at,
+                    core,
+                    phys,
+                    kind: "store",
+                });
+                self.bm.write_phys(phys, value);
+                // Guarded: after a preemption this core may already host
+                // another thread with its own in-flight store.
+                if self.cores[core].store_buffer == Some((phys, value)) {
+                    self.cores[core].store_buffer = None;
+                }
+                self.break_conflicting_rmws(phys, core, at);
+                self.wake_bm_waiters(phys, at);
+                if self.cores[core].drain_block {
+                    self.cores[core].drain_block = false;
+                    self.queue.push(at, Event::Resume(core));
+                }
+            }
+            WirelessMsg::BmRmwWrite { phys, value, core } => {
+                let Some(pending) = self.cores[core].pending_rmw.take() else {
+                    // The thread was preempted and its RMW cancelled
+                    // between transmission start and delivery.
+                    return;
+                };
+                debug_assert_eq!(pending.phys, phys);
+                if pending.aborted || self.cores[core].afb {
+                    // Atomicity failed mid-flight: the write is dropped.
+                    let exp = self.cores[core].rmw_exp.min(10);
+                    let wait = self.rng.gen_range(1 << exp);
+                    self.queue.push(at + wait, Event::Resume(core));
+                    return;
+                }
+                self.record(TraceEvent::Delivered {
+                    at,
+                    core,
+                    phys,
+                    kind: "rmw",
+                });
+                self.bm.write_phys(phys, value);
+                self.cores[core].rmw_exp = self.cores[core].rmw_exp.saturating_sub(1);
+                self.stats.note_bm_rmw_committed(pending.is_cas);
+                self.break_conflicting_rmws(phys, core, at);
+                self.wake_bm_waiters(phys, at);
+                self.queue.push(at, Event::Resume(core));
+            }
+            WirelessMsg::Bulk { phys, values, core } => {
+                self.record(TraceEvent::Delivered {
+                    at,
+                    core,
+                    phys,
+                    kind: "bulk",
+                });
+                for (k, v) in values.iter().enumerate() {
+                    self.bm.write_phys(phys + k, *v);
+                    self.break_conflicting_rmws(phys + k, core, at);
+                    self.wake_bm_waiters(phys + k, at);
+                }
+                if self.cores[core].drain_block {
+                    self.cores[core].drain_block = false;
+                    self.queue.push(at, Event::Resume(core));
+                }
+            }
+            WirelessMsg::ToneInit { phys, core } => {
+                self.record(TraceEvent::Delivered {
+                    at,
+                    core,
+                    phys,
+                    kind: "tone-init",
+                });
+                let key = phys as u64;
+                let pending = self.tone_init.remove(&phys).unwrap_or_default();
+                if !self.tone.is_active(key) {
+                    self.tone
+                        .activate(key, at)
+                        .expect("armed barrier activates");
+                    self.record(TraceEvent::ToneActivated { at, phys });
+                }
+                let mut all = false;
+                for e in pending.early {
+                    all = self
+                        .tone
+                        .arrive(key, NodeId(e))
+                        .expect("early arrival is armed");
+                }
+                if all {
+                    let slot = self
+                        .tone
+                        .completion_slot(key, at)
+                        .expect("active barrier has a slot");
+                    self.queue.push(slot, Event::ToneComplete { phys });
+                }
+            }
+        }
+    }
+
+    fn tone_complete(&mut self, phys: usize) {
+        let at = self.now;
+        self.tone
+            .complete(phys as u64, at)
+            .expect("completing an active barrier");
+        self.bm.toggle_phys(phys);
+        self.stats.tone_barriers += 1;
+        self.record(TraceEvent::ToneCompleted { at, phys });
+        self.wake_bm_waiters(phys, at);
+    }
+
+    // --- Wait handling --------------------------------------------------------
+
+    fn wait_check(&mut self, core: usize) {
+        if self.cores[core].status == CoreStatus::Preempted {
+            return;
+        }
+        if self.cores[core].preempt_pending {
+            self.park(core);
+            return;
+        }
+        let info = self.cores[core].wait.expect("wait_check without wait info");
+        let current = match info.space {
+            Space::Cached => self.mem.peek(info.loc),
+            Space::Bm => self.bm.read_phys(info.loc as usize),
+        };
+        let waiting = match info.cond {
+            Cond::Eq => current == info.value,
+            Cond::Ne => current != info.value,
+        };
+        if waiting {
+            match info.space {
+                Space::Cached => self.mem.register_waiter(self.node(core), info.loc),
+                Space::Bm => self
+                    .bm_waiters
+                    .entry(info.loc as usize)
+                    .or_default()
+                    .push(core),
+            }
+            self.cores[core].status = CoreStatus::Sleeping;
+        } else {
+            self.cores[core].wait = None;
+            self.cores[core].pc += 1;
+            self.cores[core].status = CoreStatus::Running;
+            self.advance_core(core);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Whole-machine statistics.
+
+use wisync_isa::RmwSpec;
+use wisync_mem::MemStats;
+use wisync_sim::Cycle;
+use wisync_wireless::{DataChannelStats, ToneChannelStats};
+
+/// Statistics for one machine run.
+///
+/// Substrate statistics (Data channel, Tone channel, memory system) are
+/// merged in when [`crate::Machine::run`] returns.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Kernel instructions executed (a `Compute {{ cycles }}` counts as
+    /// `cycles` instructions).
+    pub instructions: u64,
+    /// BM words read locally.
+    pub bm_loads: u64,
+    /// BM words written (each is one broadcast, or a quarter of a Bulk).
+    pub bm_stores: u64,
+    /// BM RMWs whose atomicity failed (AFB set, §4.2.1).
+    pub bm_rmw_atomicity_failures: u64,
+    /// Tone barriers completed.
+    pub tone_barriers: u64,
+    /// Atomic RMW instructions attempted (both spaces).
+    pub rmw_attempts: u64,
+    /// Atomic RMW instructions that performed their write.
+    pub rmw_successes: u64,
+    /// CAS instructions attempted (subset of `rmw_attempts`).
+    pub cas_attempts: u64,
+    /// CAS instructions that compared equal *and* committed atomically
+    /// (the quantity Figure 9 plots per 1000 cycles).
+    pub cas_successes: u64,
+    /// Per-core simulation faults (protection violations etc.).
+    pub faults: Vec<(usize, String)>,
+    /// Wireless Data channel statistics.
+    pub data: DataChannelStats,
+    /// Fraction of run cycles the Data channel was busy (Table 5).
+    pub data_utilization: f64,
+    /// Tone channel statistics.
+    pub tone: ToneChannelStats,
+    /// Wired memory hierarchy statistics.
+    pub mem: MemStats,
+}
+
+impl MachineStats {
+    pub(crate) fn note_rmw_attempt(&mut self, kind: RmwSpec) {
+        self.rmw_attempts += 1;
+        if matches!(kind, RmwSpec::Cas { .. }) {
+            self.cas_attempts += 1;
+        }
+    }
+
+    pub(crate) fn note_rmw_success(&mut self, kind: RmwSpec) {
+        self.rmw_successes += 1;
+        if matches!(kind, RmwSpec::Cas { .. }) {
+            self.cas_successes += 1;
+        }
+    }
+
+    pub(crate) fn note_bm_rmw_committed(&mut self, was_cas: bool) {
+        self.rmw_successes += 1;
+        if was_cas {
+            self.cas_successes += 1;
+        }
+    }
+
+    pub(crate) fn absorb_substrates(
+        &mut self,
+        data: DataChannelStats,
+        tone: ToneChannelStats,
+        mem: MemStats,
+        now: Cycle,
+    ) {
+        self.data_utilization = if now.as_u64() == 0 {
+            0.0
+        } else {
+            data.busy_cycles as f64 / now.as_u64() as f64
+        };
+        self.data = data;
+        self.tone = tone;
+        self.mem = mem;
+    }
+
+    /// CAS throughput in successful CASes per 1000 cycles (Figure 9's
+    /// y-axis) over a run of `cycles`.
+    pub fn cas_throughput_per_kcycle(&self, cycles: Cycle) -> f64 {
+        if cycles.as_u64() == 0 {
+            0.0
+        } else {
+            self.cas_successes as f64 * 1000.0 / cycles.as_u64() as f64
+        }
+    }
+}

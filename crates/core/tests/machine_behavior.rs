@@ -1,0 +1,519 @@
+//! Behavioral tests of the timed machine: BM semantics, AFB protocol,
+//! tone barriers, spin-wait wake-ups, and multiprogramming protection.
+
+use wisync_core::{Machine, MachineConfig, MachineKind, Pid, RunOutcome};
+use wisync_isa::{Cond, Instr, Program, ProgramBuilder, Reg, RmwSpec, Space};
+
+fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+    let mut b = ProgramBuilder::new();
+    f(&mut b);
+    b.push(Instr::Halt);
+    b.build().unwrap()
+}
+
+/// A program that fetch&incs a BM counter `n` times with the paper's
+/// AFB-retry idiom (Figure 4(a)).
+fn bm_fetch_inc_loop(addr: u64, n: u64) -> Program {
+    build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: n });
+        let retry = b.bind_here();
+        b.push(Instr::Rmw {
+            kind: RmwSpec::FetchInc,
+            dst: Reg(2),
+            base: Reg(0),
+            offset: addr,
+            space: Space::Bm,
+        });
+        b.push(Instr::ReadAfb { dst: Reg(3) });
+        b.push(Instr::Bnez { cond: Reg(3), target: retry });
+        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(1), target: retry });
+    })
+}
+
+#[test]
+fn bm_store_broadcasts_to_all_replicas() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let addr = m.bm_alloc(Pid(1), 1).unwrap();
+    let writer = build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: 77 });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: addr,
+            space: Space::Bm,
+        });
+    });
+    // A reader on another core spins until the value arrives, then
+    // copies it to a register.
+    let reader = build(|b| {
+        b.push(Instr::WaitWhile {
+            cond: Cond::Eq,
+            base: Reg(0),
+            offset: addr,
+            value: Reg(0), // wait while == 0
+            space: Space::Bm,
+        });
+        b.push(Instr::Ld {
+            dst: Reg(5),
+            base: Reg(0),
+            offset: addr,
+            space: Space::Bm,
+        });
+    });
+    m.load_program(0, Pid(1), writer);
+    m.load_program(7, Pid(1), reader);
+    let r = m.run(100_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.bm_value(Pid(1), addr).unwrap(), 77);
+    assert_eq!(m.reg(7, Reg(5)), 77);
+}
+
+#[test]
+fn bm_store_takes_at_least_transfer_latency() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let addr = m.bm_alloc(Pid(1), 1).unwrap();
+    let writer = build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: addr,
+            space: Space::Bm,
+        });
+    });
+    m.load_program(0, Pid(1), writer);
+    let r = m.run(10_000);
+    // li (1 cycle) + issue (1) + 5-cycle transfer: at least 7 cycles,
+    // and well under 10 ("all the other 100+ BMs get updated in less
+    // than 10 processor cycles").
+    let finish = r.core_finish[0].unwrap();
+    assert!(finish.as_u64() >= 7, "finish {finish}");
+    assert!(finish.as_u64() <= 10, "finish {finish}");
+}
+
+#[test]
+fn concurrent_bm_fetch_inc_is_atomic() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let addr = m.bm_alloc(Pid(1), 1).unwrap();
+    for c in 0..16 {
+        m.load_program(c, Pid(1), bm_fetch_inc_loop(addr, 25));
+    }
+    let r = m.run(3_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.bm_value(Pid(1), addr).unwrap(), 16 * 25);
+}
+
+#[test]
+fn afb_fires_under_contention() {
+    let mut m = Machine::new(MachineConfig::wisync(64));
+    let addr = m.bm_alloc(Pid(1), 1).unwrap();
+    for c in 0..64 {
+        m.load_program(c, Pid(1), bm_fetch_inc_loop(addr, 10));
+    }
+    let r = m.run(10_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.bm_value(Pid(1), addr).unwrap(), 640);
+    // With 64 cores hammering one word, some RMWs must lose atomicity.
+    assert!(
+        m.stats().bm_rmw_atomicity_failures > 0,
+        "expected AFB failures under contention"
+    );
+}
+
+#[test]
+fn bm_cas_comparison_failure_sets_no_afb_and_skips_broadcast() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let addr = m.bm_alloc(Pid(1), 1).unwrap();
+    m.bm_init(Pid(1), addr, 5).unwrap();
+    let prog = build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: 99 }); // expected (wrong)
+        b.push(Instr::Li { dst: Reg(2), imm: 1 }); // new
+        b.push(Instr::Rmw {
+            kind: RmwSpec::Cas {
+                expected: Reg(1),
+                new: Reg(2),
+            },
+            dst: Reg(3),
+            base: Reg(0),
+            offset: addr,
+            space: Space::Bm,
+        });
+        b.push(Instr::ReadAfb { dst: Reg(4) });
+    });
+    m.load_program(0, Pid(1), prog);
+    let r = m.run(10_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(0, Reg(3)), 5, "CAS returns old value");
+    assert_eq!(m.reg(0, Reg(4)), 0, "no atomicity failure");
+    assert_eq!(m.bm_value(Pid(1), addr).unwrap(), 5, "no write");
+    assert_eq!(m.stats().cas_successes, 0);
+    assert_eq!(m.stats().cas_attempts, 1);
+    assert_eq!(m.stats().data.transfers, 0, "no broadcast for failed CAS");
+}
+
+#[test]
+fn bulk_store_moves_four_words_in_one_message() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let addr = m.bm_alloc(Pid(1), 4).unwrap();
+    let writer = build(|b| {
+        for k in 0..4u8 {
+            b.push(Instr::Li {
+                dst: Reg(4 + k),
+                imm: 100 + k as u64,
+            });
+        }
+        b.push(Instr::BulkSt {
+            src: Reg(4),
+            base: Reg(0),
+            offset: addr,
+        });
+        b.push(Instr::BulkLd {
+            dst: Reg(10),
+            base: Reg(0),
+            offset: addr,
+        });
+    });
+    m.load_program(0, Pid(1), writer);
+    let r = m.run(10_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    for k in 0..4u64 {
+        assert_eq!(m.bm_value(Pid(1), addr + 8 * k).unwrap(), 100 + k);
+        assert_eq!(m.reg(0, Reg(10 + k as u8)), 100 + k);
+    }
+    assert_eq!(m.stats().data.transfers, 1, "one Bulk message");
+    assert_eq!(m.stats().data.busy_cycles, 15, "Bulk takes 15 cycles");
+}
+
+#[test]
+fn tone_barrier_releases_all_participants() {
+    let cores = 8;
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(Pid(1), 1).unwrap();
+    m.arm_tone(Pid(1), flag, 0..cores).unwrap();
+    let prog = |jitter: u64| {
+        build(|b| {
+            b.push(Instr::Compute { cycles: 10 + jitter });
+            b.push(Instr::ToneSt {
+                base: Reg(0),
+                offset: flag,
+            });
+            // Spin until the hardware toggles the flag to 1.
+            b.push(Instr::Li { dst: Reg(1), imm: 1 });
+            b.push(Instr::WaitWhile {
+                cond: Cond::Ne,
+                base: Reg(0),
+                offset: flag,
+                value: Reg(1),
+                space: Space::Bm,
+            });
+        })
+    };
+    for c in 0..cores {
+        m.load_program(c, Pid(1), prog(7 * c as u64));
+    }
+    let r = m.run(100_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.stats().tone_barriers, 1);
+    assert_eq!(m.bm_value(Pid(1), flag).unwrap(), 1, "sense toggled");
+    // No core may be released before the last arrival (compute 10+7*7=59).
+    for c in 0..cores {
+        assert!(r.core_finish[c].unwrap().as_u64() >= 59, "core {c}");
+    }
+}
+
+#[test]
+fn tone_barrier_reusable_across_episodes() {
+    let cores = 4;
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(Pid(1), 1).unwrap();
+    m.arm_tone(Pid(1), flag, 0..cores).unwrap();
+    // Two episodes with sense reversal: spin for 1, then spin for 0.
+    let prog = build(|b| {
+        // Episode 1.
+        b.push(Instr::ToneSt { base: Reg(0), offset: flag });
+        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: Reg(0),
+            offset: flag,
+            value: Reg(1),
+            space: Space::Bm,
+        });
+        // Episode 2.
+        b.push(Instr::ToneSt { base: Reg(0), offset: flag });
+        b.push(Instr::Li { dst: Reg(1), imm: 0 });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: Reg(0),
+            offset: flag,
+            value: Reg(1),
+            space: Space::Bm,
+        });
+    });
+    for c in 0..cores {
+        m.load_program(c, Pid(1), prog.clone());
+    }
+    let r = m.run(100_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.stats().tone_barriers, 2);
+    assert_eq!(m.bm_value(Pid(1), flag).unwrap(), 0, "toggled twice");
+}
+
+#[test]
+fn simultaneous_tone_arrivals_resolve_via_one_init() {
+    // All cores arrive at the same cycle: redundant init messages must
+    // collapse into a single delivered init (plus collisions), not a
+    // serialized storm.
+    let cores = 16;
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(Pid(1), 1).unwrap();
+    m.arm_tone(Pid(1), flag, 0..cores).unwrap();
+    let prog = build(|b| {
+        b.push(Instr::ToneSt { base: Reg(0), offset: flag });
+        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: Reg(0),
+            offset: flag,
+            value: Reg(1),
+            space: Space::Bm,
+        });
+    });
+    for c in 0..cores {
+        m.load_program(c, Pid(1), prog.clone());
+    }
+    let r = m.run(100_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.stats().data.transfers, 1, "exactly one init delivered");
+    // The whole barrier resolves fast (tens of cycles, not thousands).
+    assert!(r.cycles.as_u64() < 200, "barrier took {}", r.cycles);
+}
+
+#[test]
+fn spin_wait_on_cached_flag_wakes_on_store() {
+    let mut m = Machine::new(MachineConfig::baseline(16));
+    let flag = 0x1000u64;
+    let data = 0x2000u64;
+    let producer = build(|b| {
+        b.push(Instr::Compute { cycles: 500 });
+        b.push(Instr::Li { dst: Reg(1), imm: 42 });
+        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: data, space: Space::Cached });
+        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: flag, space: Space::Cached });
+    });
+    let consumer = build(|b| {
+        b.push(Instr::WaitWhile {
+            cond: Cond::Eq,
+            base: Reg(0),
+            offset: flag,
+            value: Reg(0),
+            space: Space::Cached,
+        });
+        b.push(Instr::Ld { dst: Reg(5), base: Reg(0), offset: data, space: Space::Cached });
+    });
+    m.load_program(0, Pid(1), producer);
+    m.load_program(9, Pid(1), consumer);
+    let r = m.run(100_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(9, Reg(5)), 42);
+    // Consumer must finish after the producer's 500-cycle compute.
+    assert!(r.core_finish[9].unwrap().as_u64() > 500);
+}
+
+#[test]
+fn many_spinners_all_wake() {
+    let cores = 32;
+    let mut m = Machine::new(MachineConfig::baseline(64));
+    let flag = 0x1000u64;
+    let producer = build(|b| {
+        b.push(Instr::Compute { cycles: 2000 });
+        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: flag, space: Space::Cached });
+    });
+    let consumer = build(|b| {
+        b.push(Instr::WaitWhile {
+            cond: Cond::Eq,
+            base: Reg(0),
+            offset: flag,
+            value: Reg(0),
+            space: Space::Cached,
+        });
+    });
+    m.load_program(0, Pid(1), producer);
+    for c in 1..cores {
+        m.load_program(c, Pid(1), consumer.clone());
+    }
+    let r = m.run(1_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    // Wake-burst reloads serialize at the directory: finishes spread out.
+    let finishes: Vec<u64> = (1..cores)
+        .map(|c| r.core_finish[c].unwrap().as_u64())
+        .collect();
+    let min = finishes.iter().min().unwrap();
+    let max = finishes.iter().max().unwrap();
+    assert!(max > min, "reload burst should serialize ({min}..{max})");
+}
+
+#[test]
+fn protection_violation_faults_the_core() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let a1 = m.bm_alloc(Pid(1), 1).unwrap();
+    let _a2 = m.bm_alloc(Pid(2), 1).unwrap();
+    // Process 2's thread tries to read process 1's variable. Both
+    // processes map the same physical page, so the address translates —
+    // the PID tag check must fire.
+    let prog = build(|b| {
+        b.push(Instr::Ld {
+            dst: Reg(1),
+            base: Reg(0),
+            offset: a1,
+            space: Space::Bm,
+        });
+    });
+    m.load_program(3, Pid(2), prog);
+    let r = m.run(10_000);
+    assert_eq!(r.outcome, RunOutcome::Faulted);
+    assert_eq!(m.stats().faults.len(), 1);
+    assert!(m.stats().faults[0].1.contains("PID tag mismatch"));
+}
+
+#[test]
+fn multiprogramming_two_processes_run_independently() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let a1 = m.bm_alloc(Pid(1), 1).unwrap();
+    let a2 = m.bm_alloc(Pid(2), 1).unwrap();
+    let prog = |addr: u64, val: u64| {
+        build(move |b| {
+            b.push(Instr::Li { dst: Reg(1), imm: val });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: addr,
+                space: Space::Bm,
+            });
+        })
+    };
+    m.load_program(0, Pid(1), prog(a1, 111));
+    m.load_program(1, Pid(2), prog(a2, 222));
+    let r = m.run(10_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.bm_value(Pid(1), a1).unwrap(), 111);
+    assert_eq!(m.bm_value(Pid(2), a2).unwrap(), 222);
+}
+
+#[test]
+fn bm_unavailable_on_baseline_faults() {
+    let mut m = Machine::new(MachineConfig::baseline(16));
+    let prog = build(|b| {
+        b.push(Instr::Ld {
+            dst: Reg(1),
+            base: Reg(0),
+            offset: 0,
+            space: Space::Bm,
+        });
+    });
+    m.load_program(0, Pid(1), prog);
+    assert_eq!(m.run(1000).outcome, RunOutcome::Faulted);
+}
+
+#[test]
+fn tone_unavailable_on_wisync_not_faults() {
+    let mut m = Machine::new(MachineConfig::wisync_not(16));
+    assert_eq!(m.config().kind, MachineKind::WiSyncNoT);
+    let addr = m.bm_alloc(Pid(1), 1).unwrap();
+    let prog = build(|b| {
+        b.push(Instr::ToneSt {
+            base: Reg(0),
+            offset: addr,
+        });
+    });
+    m.load_program(0, Pid(1), prog);
+    assert_eq!(m.run(1000).outcome, RunOutcome::Faulted);
+}
+
+#[test]
+fn deadlock_detected_when_flag_never_set() {
+    let mut m = Machine::new(MachineConfig::baseline(16));
+    let prog = build(|b| {
+        b.push(Instr::WaitWhile {
+            cond: Cond::Eq,
+            base: Reg(0),
+            offset: 0x100,
+            value: Reg(0),
+            space: Space::Cached,
+        });
+    });
+    m.load_program(0, Pid(1), prog);
+    assert_eq!(m.run(100_000).outcome, RunOutcome::Deadlock);
+}
+
+#[test]
+fn cycle_limit_reported() {
+    let mut m = Machine::new(MachineConfig::baseline(16));
+    let prog = {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_here();
+        b.push(Instr::Compute { cycles: 1000 });
+        b.push(Instr::Jump { target: top });
+        b.build().unwrap()
+    };
+    m.load_program(0, Pid(1), prog);
+    assert_eq!(m.run(5_000).outcome, RunOutcome::CycleLimit);
+}
+
+#[test]
+fn deterministic_replay_whole_machine() {
+    let run = || {
+        let mut m = Machine::new(MachineConfig::wisync(32));
+        let addr = m.bm_alloc(Pid(1), 1).unwrap();
+        for c in 0..32 {
+            m.load_program(c, Pid(1), bm_fetch_inc_loop(addr, 8));
+        }
+        let r = m.run(10_000_000);
+        (r.cycles, m.stats().data.collisions, m.stats().bm_rmw_atomicity_failures)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cached_rmw_contention_far_slower_than_bm() {
+    // The core claim of the paper, in miniature: 64 cores contending on
+    // fetch&inc complete far sooner through the BM than the caches.
+    let n = 20;
+    let cores = 64;
+    let mut wisync = Machine::new(MachineConfig::wisync(cores));
+    let addr = wisync.bm_alloc(Pid(1), 1).unwrap();
+    for c in 0..cores {
+        wisync.load_program(c, Pid(1), bm_fetch_inc_loop(addr, n));
+    }
+    let rw = wisync.run(50_000_000);
+    assert_eq!(rw.outcome, RunOutcome::Completed);
+
+    let mut base = Machine::new(MachineConfig::baseline(cores));
+    let cached_loop = build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: n });
+        let top = b.bind_here();
+        b.push(Instr::Rmw {
+            kind: RmwSpec::FetchInc,
+            dst: Reg(2),
+            base: Reg(0),
+            offset: 0x4000,
+            space: Space::Cached,
+        });
+        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(1), target: top });
+    });
+    for c in 0..cores {
+        base.load_program(c, Pid(1), cached_loop.clone());
+    }
+    let rb = base.run(50_000_000);
+    assert_eq!(rb.outcome, RunOutcome::Completed);
+    assert_eq!(base.mem_value(0x4000), cores as u64 * n);
+
+    assert!(
+        rb.cycles.as_u64() > 3 * rw.cycles.as_u64(),
+        "baseline {} vs wisync {}",
+        rb.cycles,
+        rw.cycles
+    );
+}

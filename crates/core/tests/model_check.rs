@@ -1,0 +1,136 @@
+//! Cross-validation: the analytic [`CostModel`] must track the simulator
+//! within a small constant factor across core counts — if it drifts, one
+//! of the two is wrong.
+
+use wisync_core::model::CostModel;
+use wisync_core::{Machine, MachineConfig, MachineKind, Pid, RunOutcome};
+use wisync_isa::{Instr, Program, ProgramBuilder, Reg};
+use wisync_sync::{Barrier, BmCentralBarrier, CentralBarrier, ToneBarrierCode, TournamentBarrier};
+
+const PID: Pid = Pid(1);
+
+/// Measures one barrier episode's marginal cost: run `iters` episodes
+/// with no compute and divide.
+fn measure_barrier(kind: MachineKind, cores: usize, iters: u64) -> f64 {
+    let mut m = Machine::new(MachineConfig::for_kind(kind, cores));
+    let mk: Box<dyn Fn(usize) -> Barrier> = match kind {
+        MachineKind::Baseline => Box::new(move |_| {
+            Barrier::Central(CentralBarrier {
+                count_addr: 0x100,
+                release_addr: 0x180,
+                n: cores as u64,
+                use_cas: true,
+            })
+        }),
+        MachineKind::BaselinePlus => Box::new(move |tid| {
+            Barrier::Tournament(TournamentBarrier {
+                flags_base: 0x10000,
+                release_addr: 0x100,
+                n: cores,
+                tid,
+            })
+        }),
+        MachineKind::WiSyncNoT => {
+            let count = m.bm_alloc(PID, 1).unwrap();
+            let release = m.bm_alloc(PID, 1).unwrap();
+            Box::new(move |_| {
+                Barrier::BmCentral(BmCentralBarrier {
+                    count_vaddr: count,
+                    release_vaddr: release,
+                    n: cores as u64,
+                })
+            })
+        }
+        MachineKind::WiSync => {
+            let flag = m.bm_alloc(PID, 1).unwrap();
+            m.arm_tone(PID, flag, 0..cores).unwrap();
+            Box::new(move |_| Barrier::Tone(ToneBarrierCode { flag_vaddr: flag }))
+        }
+    };
+    let prog = |barrier: Barrier| -> Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(10), imm: iters });
+        b.push(Instr::Li { dst: Reg(11), imm: 0 });
+        let top = b.bind_here();
+        barrier.emit(&mut b, Reg(11));
+        b.push(Instr::Addi { dst: Reg(10), a: Reg(10), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(10), target: top });
+        b.push(Instr::Halt);
+        b.build().unwrap()
+    };
+    for c in 0..cores {
+        m.load_program(c, PID, prog(mk(c)));
+    }
+    let r = m.run(1_000_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed, "{kind} {cores}");
+    r.cycles.as_u64() as f64 / iters as f64
+}
+
+fn assert_within_factor(model: f64, sim: f64, factor: f64, what: &str) {
+    let ratio = model / sim;
+    assert!(
+        (1.0 / factor..factor).contains(&ratio),
+        "{what}: model {model:.0} vs sim {sim:.0} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn central_barrier_model_tracks_simulation() {
+    for cores in [16usize, 64] {
+        let model = CostModel::new(&MachineConfig::baseline(cores)).central_barrier();
+        let sim = measure_barrier(MachineKind::Baseline, cores, 8);
+        assert_within_factor(model, sim, 3.0, &format!("central @{cores}"));
+    }
+}
+
+#[test]
+fn tournament_barrier_model_tracks_simulation() {
+    for cores in [16usize, 64] {
+        let model = CostModel::new(&MachineConfig::baseline_plus(cores)).tournament_barrier();
+        let sim = measure_barrier(MachineKind::BaselinePlus, cores, 8);
+        assert_within_factor(model, sim, 3.0, &format!("tournament @{cores}"));
+    }
+}
+
+#[test]
+fn bm_central_barrier_model_tracks_simulation() {
+    for cores in [16usize, 64] {
+        let model = CostModel::new(&MachineConfig::wisync_not(cores)).bm_central_barrier();
+        let sim = measure_barrier(MachineKind::WiSyncNoT, cores, 8);
+        assert_within_factor(model, sim, 3.0, &format!("bm central @{cores}"));
+    }
+}
+
+#[test]
+fn tone_barrier_model_tracks_simulation() {
+    for cores in [16usize, 64, 128] {
+        let model = CostModel::new(&MachineConfig::wisync(cores)).tone_barrier();
+        let sim = measure_barrier(MachineKind::WiSync, cores, 8);
+        // The measured episode includes the loop's handful of ALU
+        // instructions, so allow a wider factor at this tiny scale.
+        assert_within_factor(model, sim, 4.0, &format!("tone @{cores}"));
+    }
+}
+
+#[test]
+fn model_predicts_simulated_ordering() {
+    let cores = 64;
+    let sims: Vec<f64> = MachineKind::all()
+        .iter()
+        .map(|&k| measure_barrier(k, cores, 6))
+        .collect();
+    let models = CostModel::new(&MachineConfig::wisync(cores)).fig7_prediction();
+    // Pairwise order agreement between model and simulation, for pairs
+    // the model separates clearly (near-ties like Baseline+ vs WiSyncNoT
+    // at small core counts legitimately cross over).
+    for i in 0..4 {
+        for j in 0..4 {
+            if models[i] * 2.0 < models[j] {
+                assert!(
+                    sims[i] < sims[j],
+                    "order disagreement between {i} and {j}: model {models:?} sim {sims:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Context switching, preemption, and thread migration (§5.2), and the
+//! AFB save/restore rule (§4.2.1).
+
+use wisync_core::{Machine, MachineConfig, Pid, RunOutcome, ScheduleError};
+use wisync_isa::{Cond, Instr, Program, ProgramBuilder, Reg, RmwSpec, Space};
+
+const PID: Pid = Pid(1);
+
+fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+    let mut b = ProgramBuilder::new();
+    f(&mut b);
+    b.push(Instr::Halt);
+    b.build().unwrap()
+}
+
+/// A waiter spinning on a BM flag, then copying the flag into r5.
+fn bm_waiter(flag: u64) -> Program {
+    build(|b| {
+        b.push(Instr::WaitWhile {
+            cond: Cond::Eq,
+            base: Reg(0),
+            offset: flag,
+            value: Reg(0),
+            space: Space::Bm,
+        });
+        b.push(Instr::Ld {
+            dst: Reg(5),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Bm,
+        });
+    })
+}
+
+#[test]
+fn preempted_thread_sees_bm_updates_made_while_descheduled() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    m.load_program(3, PID, bm_waiter(flag));
+    // Let the waiter go to sleep.
+    assert_eq!(m.run(1_000).outcome, RunOutcome::Deadlock);
+    // Preempt it (it is spin-waiting, so it parks immediately).
+    m.request_preempt(3);
+    let image = m.take_preempted(3).unwrap();
+    assert_eq!(image.origin_core(), 3);
+    assert_eq!(image.pid(), PID);
+
+    // While descheduled, another core broadcasts the flag.
+    let writer = build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: 777 });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Bm,
+        });
+    });
+    m.load_program(0, PID, writer);
+    assert_eq!(m.run(10_000).outcome, RunOutcome::Completed);
+
+    // Reschedule the waiter on the SAME core: "when the thread is
+    // rescheduled again, it will see the correct BM state."
+    m.resume_thread(3, image).unwrap();
+    assert_eq!(m.run(100_000).outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(3, Reg(5)), 777);
+}
+
+#[test]
+fn migration_to_another_core_works_for_data_channel_threads() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    m.load_program(3, PID, bm_waiter(flag));
+    assert_eq!(m.run(1_000).outcome, RunOutcome::Deadlock);
+    m.request_preempt(3);
+    let image = m.take_preempted(3).unwrap();
+
+    let writer = build(|b| {
+        b.push(Instr::Li { dst: Reg(1), imm: 555 });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Bm,
+        });
+    });
+    m.load_program(0, PID, writer);
+    m.run(10_000);
+
+    // Migrate to core 12: the BM state is identical in every node.
+    m.resume_thread(12, image).unwrap();
+    assert_eq!(m.run(100_000).outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(12, Reg(5)), 555);
+}
+
+#[test]
+fn tone_armed_thread_cannot_migrate() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    m.arm_tone(PID, flag, [3usize, 4]).unwrap();
+    m.load_program(3, PID, bm_waiter(flag));
+    assert_eq!(m.run(1_000).outcome, RunOutcome::Deadlock);
+    m.request_preempt(3);
+    let image = m.take_preempted(3).unwrap();
+    // Migration rejected...
+    let err = m.resume_thread(9, image.clone()).unwrap_err();
+    assert_eq!(err, ScheduleError::ToneArmed { origin: 3, target: 9 });
+    // ...but rescheduling on the same core is fine (§5.2: "threads can
+    // still be preempted").
+    m.resume_thread(3, image).unwrap();
+}
+
+#[test]
+fn preempt_mid_compute_parks_at_boundary() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let prog = build(|b| {
+        b.push(Instr::Compute { cycles: 5_000 });
+        b.push(Instr::Li { dst: Reg(7), imm: 42 });
+    });
+    m.load_program(2, PID, prog);
+    // Run only 100 cycles: the core is mid-Compute.
+    assert_eq!(m.run(100).outcome, RunOutcome::CycleLimit);
+    m.request_preempt(2);
+    assert!(
+        m.take_preempted(2).is_err(),
+        "still in flight; boundary not reached"
+    );
+    // Let it reach the boundary, park, and collect.
+    m.run(100_000);
+    let image = m.take_preempted(2).unwrap();
+    m.resume_thread(2, image).unwrap();
+    assert_eq!(m.run(100_000).outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(2, Reg(7)), 42);
+}
+
+#[test]
+fn preemption_during_pending_rmw_sets_afb() {
+    // Two cores contend on a BM word; we preempt one while the machine
+    // is saturated so a pending RMW is likely in flight. §4.2.1: the
+    // exception aborts the transfer and sets AFB, which is saved in the
+    // image; the retry loop then re-executes after resume.
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let addr = m.bm_alloc(PID, 1).unwrap();
+    let inc_loop = |n: u64| {
+        build(move |b| {
+            b.push(Instr::Li { dst: Reg(1), imm: n });
+            let retry = b.bind_here();
+            b.push(Instr::Rmw {
+                kind: RmwSpec::FetchInc,
+                dst: Reg(2),
+                base: Reg(0),
+                offset: addr,
+                space: Space::Bm,
+            });
+            b.push(Instr::ReadAfb { dst: Reg(3) });
+            b.push(Instr::Bnez { cond: Reg(3), target: retry });
+            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+            b.push(Instr::Bnez { cond: Reg(1), target: retry });
+        })
+    };
+    m.load_program(0, PID, inc_loop(200));
+    m.load_program(1, PID, inc_loop(200));
+    // Stop very early and preempt core 1 at whatever point it reached.
+    m.run(40);
+    m.request_preempt(1);
+    m.run(10_000_000);
+    let image = m.take_preempted(1).expect("parked at a boundary");
+    // Resume and finish: no increment may be lost or duplicated.
+    m.resume_thread(1, image).unwrap();
+    let r = m.run(50_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.bm_value(PID, addr).unwrap(), 400);
+}
+
+#[test]
+fn resume_on_busy_core_rejected() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    m.load_program(3, PID, bm_waiter(flag));
+    m.load_program(4, PID, bm_waiter(flag));
+    assert_eq!(m.run(1_000).outcome, RunOutcome::Deadlock);
+    m.request_preempt(3);
+    let image = m.take_preempted(3).unwrap();
+    assert_eq!(
+        m.resume_thread(4, image).unwrap_err(),
+        ScheduleError::CoreBusy(4)
+    );
+}
+
+#[test]
+fn take_without_preempt_is_an_error() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    assert_eq!(
+        m.take_preempted(5).unwrap_err(),
+        ScheduleError::NothingToTake(5)
+    );
+}
+
+#[test]
+fn schedule_error_display() {
+    for e in [
+        ScheduleError::NothingToTake(1),
+        ScheduleError::CoreBusy(2),
+        ScheduleError::ToneArmed { origin: 1, target: 2 },
+    ] {
+        assert!(!e.to_string().is_empty());
+    }
+}

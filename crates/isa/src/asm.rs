@@ -1,0 +1,599 @@
+//! A small text assembly format for kernel programs, plus the matching
+//! disassembler — convenient for examples, tests, and debugging dumps.
+//!
+//! # Syntax
+//!
+//! One instruction per line; `;` starts a comment; labels are
+//! identifiers followed by `:` on their own line or before an
+//! instruction. Immediates are decimal or `0x` hex. Memory operands are
+//! `mem[rB + OFF]` (cached) or `bm[rB + OFF]` (Broadcast Memory).
+//!
+//! ```text
+//! ; fetch&inc with the AFB retry protocol
+//!     li r1, 10
+//! retry:
+//!     rmw.fetchinc r2, bm[r0 + 0x8]
+//!     readafb r3
+//!     bnez r3, retry
+//!     addi r1, r1, -1
+//!     bnez r1, retry
+//!     halt
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use wisync_isa::asm::{assemble, disassemble};
+//!
+//! let prog = assemble("li r1, 7\nst r1, mem[r0 + 0x40]\nhalt\n")?;
+//! assert_eq!(prog.len(), 3);
+//! let listing = disassemble(&prog);
+//! assert!(listing.contains("mem[r0 + 0x40]"));
+//! # Ok::<(), wisync_isa::asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{Cond, Instr, Reg, RmwSpec, Space};
+use crate::program::{Program, ProgramBuilder, ProgramError};
+
+/// Errors from assembling text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// Syntax error with line number (1-based) and message.
+    Syntax {
+        /// Line the error occurred on.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The assembled program failed validation.
+    Program(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::Program(e) => write!(f, "program error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Program(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let n = t
+        .strip_prefix('r')
+        .and_then(|d| d.parse::<u8>().ok())
+        .ok_or_else(|| syntax(line, format!("expected register, got `{t}`")))?;
+    if n >= 32 {
+        return Err(syntax(line, format!("register r{n} out of range")));
+    }
+    Ok(Reg(n))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<u64>()
+    }
+    .map_err(|_| syntax(line, format!("expected immediate, got `{t}`")))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+/// Parses `mem[rB + OFF]` / `bm[rB]` / `bm[rB + 0x10]`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Space, Reg, u64), AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (space, rest) = if let Some(r) = t.strip_prefix("mem[") {
+        (Space::Cached, r)
+    } else if let Some(r) = t.strip_prefix("bm[") {
+        (Space::Bm, r)
+    } else {
+        return Err(syntax(line, format!("expected mem[..] or bm[..], got `{t}`")));
+    };
+    let inner = rest
+        .strip_suffix(']')
+        .ok_or_else(|| syntax(line, "missing `]`"))?;
+    let mut parts = inner.splitn(2, '+');
+    let base = parse_reg(parts.next().unwrap_or(""), line)?;
+    let offset = match parts.next() {
+        Some(off) => parse_imm(off, line)?,
+        None => 0,
+    };
+    Ok((space, base, offset))
+}
+
+/// Assembles a text program. See the module docs for the syntax.
+///
+/// # Errors
+///
+/// [`AsmError::Syntax`] with a line number, or [`AsmError::Program`] for
+/// validation failures (unbound labels, fall-through ends, ...).
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, crate::instr::Label> = HashMap::new();
+    let mut get_label = |b: &mut ProgramBuilder, name: &str| {
+        *labels
+            .entry(name.to_owned())
+            .or_insert_with(|| b.label())
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find(';') {
+            line = &line[..pos];
+        }
+        let mut line = line.trim();
+        // Leading labels (possibly several).
+        while let Some(pos) = line.find(':') {
+            let (name, rest) = line.split_at(pos);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(syntax(line_no, format!("bad label `{name}`")));
+            }
+            let l = get_label(&mut b, name);
+            b.bind(l);
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (op, args) = match line.split_once(char::is_whitespace) {
+            Some((op, rest)) => (op, rest.trim()),
+            None => (line, ""),
+        };
+        let argv: Vec<&str> = args
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if argv.len() == n {
+                Ok(())
+            } else {
+                Err(syntax(
+                    line_no,
+                    format!("`{op}` expects {n} operands, got {}", argv.len()),
+                ))
+            }
+        };
+        let instr = match op {
+            "li" => {
+                need(2)?;
+                Instr::Li {
+                    dst: parse_reg(argv[0], line_no)?,
+                    imm: parse_imm(argv[1], line_no)?,
+                }
+            }
+            "mov" => {
+                need(2)?;
+                Instr::Mov {
+                    dst: parse_reg(argv[0], line_no)?,
+                    src: parse_reg(argv[1], line_no)?,
+                }
+            }
+            "addi" => {
+                need(3)?;
+                Instr::Addi {
+                    dst: parse_reg(argv[0], line_no)?,
+                    a: parse_reg(argv[1], line_no)?,
+                    imm: parse_imm(argv[2], line_no)?,
+                }
+            }
+            "add" | "sub" | "mul" | "and" | "or" | "xor" | "shl" | "shr" | "cmpeq" | "cmplt" => {
+                need(3)?;
+                let dst = parse_reg(argv[0], line_no)?;
+                let a = parse_reg(argv[1], line_no)?;
+                let bb = parse_reg(argv[2], line_no)?;
+                match op {
+                    "add" => Instr::Add { dst, a, b: bb },
+                    "sub" => Instr::Sub { dst, a, b: bb },
+                    "mul" => Instr::Mul { dst, a, b: bb },
+                    "and" => Instr::And { dst, a, b: bb },
+                    "or" => Instr::Or { dst, a, b: bb },
+                    "xor" => Instr::Xor { dst, a, b: bb },
+                    "shl" => Instr::Shl { dst, a, b: bb },
+                    "shr" => Instr::Shr { dst, a, b: bb },
+                    "cmpeq" => Instr::CmpEq { dst, a, b: bb },
+                    _ => Instr::CmpLt { dst, a, b: bb },
+                }
+            }
+            "jmp" => {
+                need(1)?;
+                let target = get_label(&mut b, argv[0]);
+                Instr::Jump { target }
+            }
+            "beqz" | "bnez" => {
+                need(2)?;
+                let cond = parse_reg(argv[0], line_no)?;
+                let target = get_label(&mut b, argv[1]);
+                if op == "beqz" {
+                    Instr::Beqz { cond, target }
+                } else {
+                    Instr::Bnez { cond, target }
+                }
+            }
+            "compute" => {
+                need(1)?;
+                Instr::Compute {
+                    cycles: parse_imm(argv[0], line_no)?,
+                }
+            }
+            "ld" => {
+                need(2)?;
+                let dst = parse_reg(argv[0], line_no)?;
+                let (space, base, offset) = parse_mem(argv[1], line_no)?;
+                Instr::Ld {
+                    dst,
+                    base,
+                    offset,
+                    space,
+                }
+            }
+            "st" => {
+                need(2)?;
+                let src = parse_reg(argv[0], line_no)?;
+                let (space, base, offset) = parse_mem(argv[1], line_no)?;
+                Instr::St {
+                    src,
+                    base,
+                    offset,
+                    space,
+                }
+            }
+            "bulkld" | "bulkst" => {
+                need(2)?;
+                let r = parse_reg(argv[0], line_no)?;
+                let (space, base, offset) = parse_mem(argv[1], line_no)?;
+                if space != Space::Bm {
+                    return Err(syntax(line_no, "bulk accesses are BM-only"));
+                }
+                if op == "bulkld" {
+                    Instr::BulkLd {
+                        dst: r,
+                        base,
+                        offset,
+                    }
+                } else {
+                    Instr::BulkSt {
+                        src: r,
+                        base,
+                        offset,
+                    }
+                }
+            }
+            "readafb" => {
+                need(1)?;
+                Instr::ReadAfb {
+                    dst: parse_reg(argv[0], line_no)?,
+                }
+            }
+            "readwcb" => {
+                need(1)?;
+                Instr::ReadWcb {
+                    dst: parse_reg(argv[0], line_no)?,
+                }
+            }
+            "tonest" => {
+                need(1)?;
+                let (space, base, offset) = parse_mem(argv[0], line_no)?;
+                if space != Space::Bm {
+                    return Err(syntax(line_no, "tone accesses are BM-only"));
+                }
+                Instr::ToneSt { base, offset }
+            }
+            "toneld" => {
+                need(2)?;
+                let dst = parse_reg(argv[0], line_no)?;
+                let (space, base, offset) = parse_mem(argv[1], line_no)?;
+                if space != Space::Bm {
+                    return Err(syntax(line_no, "tone accesses are BM-only"));
+                }
+                Instr::ToneLd { dst, base, offset }
+            }
+            "halt" => {
+                need(0)?;
+                Instr::Halt
+            }
+            _ if op.starts_with("rmw.") => {
+                let kind_name = &op[4..];
+                let dst = parse_reg(
+                    argv.first()
+                        .ok_or_else(|| syntax(line_no, "rmw needs a destination"))?,
+                    line_no,
+                )?;
+                let (space, base, offset) = parse_mem(
+                    argv.get(1)
+                        .ok_or_else(|| syntax(line_no, "rmw needs a memory operand"))?,
+                    line_no,
+                )?;
+                let kind = match kind_name {
+                    "fetchinc" => {
+                        need(2)?;
+                        RmwSpec::FetchInc
+                    }
+                    "testset" => {
+                        need(2)?;
+                        RmwSpec::TestSet
+                    }
+                    "fetchadd" => {
+                        need(3)?;
+                        RmwSpec::FetchAdd {
+                            src: parse_reg(argv[2], line_no)?,
+                        }
+                    }
+                    "swap" => {
+                        need(3)?;
+                        RmwSpec::Swap {
+                            src: parse_reg(argv[2], line_no)?,
+                        }
+                    }
+                    "cas" => {
+                        need(4)?;
+                        RmwSpec::Cas {
+                            expected: parse_reg(argv[2], line_no)?,
+                            new: parse_reg(argv[3], line_no)?,
+                        }
+                    }
+                    other => return Err(syntax(line_no, format!("unknown rmw kind `{other}`"))),
+                };
+                Instr::Rmw {
+                    kind,
+                    dst,
+                    base,
+                    offset,
+                    space,
+                }
+            }
+            _ if op.starts_with("waitwhile.") => {
+                need(2)?;
+                let cond = match &op[10..] {
+                    "eq" => Cond::Eq,
+                    "ne" => Cond::Ne,
+                    other => {
+                        return Err(syntax(line_no, format!("unknown condition `{other}`")))
+                    }
+                };
+                let (space, base, offset) = parse_mem(argv[0], line_no)?;
+                let value = parse_reg(argv[1], line_no)?;
+                Instr::WaitWhile {
+                    cond,
+                    base,
+                    offset,
+                    value,
+                    space,
+                }
+            }
+            other => return Err(syntax(line_no, format!("unknown instruction `{other}`"))),
+        };
+        b.push(instr);
+    }
+    Ok(b.build()?)
+}
+
+fn mem_operand(space: Space, base: Reg, offset: u64) -> String {
+    let s = match space {
+        Space::Cached => "mem",
+        Space::Bm => "bm",
+    };
+    if offset == 0 {
+        format!("{s}[{base}]")
+    } else {
+        format!("{s}[{base} + {offset:#x}]")
+    }
+}
+
+/// Formats one (resolved) instruction in the assembler's syntax. Branch
+/// targets print as `Lpc` labels.
+pub fn format_instr(i: &Instr) -> String {
+    match *i {
+        Instr::Li { dst, imm } => format!("li {dst}, {imm:#x}"),
+        Instr::Mov { dst, src } => format!("mov {dst}, {src}"),
+        Instr::Add { dst, a, b } => format!("add {dst}, {a}, {b}"),
+        Instr::Addi { dst, a, imm } => format!("addi {dst}, {a}, {imm:#x}"),
+        Instr::Sub { dst, a, b } => format!("sub {dst}, {a}, {b}"),
+        Instr::Mul { dst, a, b } => format!("mul {dst}, {a}, {b}"),
+        Instr::And { dst, a, b } => format!("and {dst}, {a}, {b}"),
+        Instr::Or { dst, a, b } => format!("or {dst}, {a}, {b}"),
+        Instr::Xor { dst, a, b } => format!("xor {dst}, {a}, {b}"),
+        Instr::Shl { dst, a, b } => format!("shl {dst}, {a}, {b}"),
+        Instr::Shr { dst, a, b } => format!("shr {dst}, {a}, {b}"),
+        Instr::CmpEq { dst, a, b } => format!("cmpeq {dst}, {a}, {b}"),
+        Instr::CmpLt { dst, a, b } => format!("cmplt {dst}, {a}, {b}"),
+        Instr::Jump { target } => format!("jmp L{}", target.0),
+        Instr::Beqz { cond, target } => format!("beqz {cond}, L{}", target.0),
+        Instr::Bnez { cond, target } => format!("bnez {cond}, L{}", target.0),
+        Instr::Compute { cycles } => format!("compute {cycles}"),
+        Instr::Ld {
+            dst,
+            base,
+            offset,
+            space,
+        } => format!("ld {dst}, {}", mem_operand(space, base, offset)),
+        Instr::St {
+            src,
+            base,
+            offset,
+            space,
+        } => format!("st {src}, {}", mem_operand(space, base, offset)),
+        Instr::Rmw {
+            kind,
+            dst,
+            base,
+            offset,
+            space,
+        } => {
+            let m = mem_operand(space, base, offset);
+            match kind {
+                RmwSpec::FetchInc => format!("rmw.fetchinc {dst}, {m}"),
+                RmwSpec::TestSet => format!("rmw.testset {dst}, {m}"),
+                RmwSpec::FetchAdd { src } => format!("rmw.fetchadd {dst}, {m}, {src}"),
+                RmwSpec::Swap { src } => format!("rmw.swap {dst}, {m}, {src}"),
+                RmwSpec::Cas { expected, new } => {
+                    format!("rmw.cas {dst}, {m}, {expected}, {new}")
+                }
+            }
+        }
+        Instr::BulkLd { dst, base, offset } => {
+            format!("bulkld {dst}, {}", mem_operand(Space::Bm, base, offset))
+        }
+        Instr::BulkSt { src, base, offset } => {
+            format!("bulkst {src}, {}", mem_operand(Space::Bm, base, offset))
+        }
+        Instr::ReadAfb { dst } => format!("readafb {dst}"),
+        Instr::ReadWcb { dst } => format!("readwcb {dst}"),
+        Instr::ToneSt { base, offset } => {
+            format!("tonest {}", mem_operand(Space::Bm, base, offset))
+        }
+        Instr::ToneLd { dst, base, offset } => {
+            format!("toneld {dst}, {}", mem_operand(Space::Bm, base, offset))
+        }
+        Instr::WaitWhile {
+            cond,
+            base,
+            offset,
+            value,
+            space,
+        } => {
+            let c = match cond {
+                Cond::Eq => "eq",
+                Cond::Ne => "ne",
+            };
+            format!("waitwhile.{c} {}, {value}", mem_operand(space, base, offset))
+        }
+        Instr::Halt => "halt".to_owned(),
+    }
+}
+
+/// Disassembles a program to re-assemblable text: branch targets become
+/// `Lpc:` labels bound at the target instruction.
+pub fn disassemble(p: &Program) -> String {
+    use std::collections::BTreeSet;
+    let mut targets = BTreeSet::new();
+    for i in p.instrs() {
+        if let Some(l) = i.target() {
+            targets.insert(l.0 as usize);
+        }
+    }
+    let mut out = String::new();
+    for (pc, i) in p.instrs().iter().enumerate() {
+        if targets.contains(&pc) {
+            out.push_str(&format!("L{pc}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&format_instr(i));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_the_afb_idiom() {
+        let prog = assemble(
+            "; fetch&inc with AFB retry\n\
+             li r1, 10\n\
+             retry:\n\
+             rmw.fetchinc r2, bm[r0 + 0x8]\n\
+             readafb r3\n\
+             bnez r3, retry\n\
+             addi r1, r1, -1\n\
+             bnez r1, retry\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 7);
+        // Branches resolved to pc 1.
+        assert_eq!(prog.fetch(3).target().unwrap().0, 1);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let src = "li r1, 0x2a\n\
+                   top:\n\
+                   st r1, mem[r0 + 0x100]\n\
+                   ld r2, bm[r3]\n\
+                   rmw.cas r4, bm[r0 + 0x10], r5, r6\n\
+                   waitwhile.ne mem[r0 + 0x40], r2\n\
+                   beqz r2, top\n\
+                   tonest bm[r0 + 0x8]\n\
+                   halt\n";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1, p2, "roundtrip:\n{text}");
+    }
+
+    #[test]
+    fn error_reporting_carries_line_numbers() {
+        let e = assemble("li r1, 1\nbogus r1\nhalt\n").unwrap_err();
+        match e {
+            AsmError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        assert!(assemble("li r99, 1\nhalt\n").is_err());
+        assert!(assemble("ld r1, stack[r0]\nhalt\n").is_err());
+        assert!(assemble("bulkld r1, mem[r0]\nhalt\n").is_err());
+        assert!(assemble("rmw.frobnicate r1, bm[r0]\nhalt\n").is_err());
+        assert!(assemble("waitwhile.gt mem[r0], r1\nhalt\n").is_err());
+        assert!(assemble("add r1, r2\nhalt\n").is_err(), "arity");
+    }
+
+    #[test]
+    fn unbound_label_surfaces_as_program_error() {
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(matches!(e, AsmError::Program(_)));
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn negative_immediates_wrap() {
+        let p = assemble("addi r1, r1, -1\nhalt\n").unwrap();
+        match p.fetch(0) {
+            Instr::Addi { imm, .. } => assert_eq!(imm, u64::MAX),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_and_decimal_immediates() {
+        let p = assemble("li r1, 0x10\nli r2, 16\nhalt\n").unwrap();
+        match (p.fetch(0), p.fetch(1)) {
+            (Instr::Li { imm: a, .. }, Instr::Li { imm: b, .. }) => assert_eq!(a, b),
+            _ => unreachable!(),
+        }
+    }
+}

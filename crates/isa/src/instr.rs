@@ -1,0 +1,351 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+/// One of the 32 general-purpose 64-bit registers of a kernel thread.
+///
+/// Register 0 is an ordinary register (not hardwired to zero); workload
+/// generators conventionally keep it holding zero for use as a base.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers per thread.
+pub const NUM_REGS: usize = 32;
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A branch target. Before [`crate::ProgramBuilder::build`] resolves a
+/// program, a label's value is a builder-assigned id; afterwards it is
+/// the target instruction index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Which memory an access targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// The coherent cached hierarchy (L1/L2/memory).
+    Cached,
+    /// The per-core Broadcast Memory: local reads, broadcast writes,
+    /// uncacheable (§3.2).
+    Bm,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Cached => write!(f, "mem"),
+            Space::Bm => write!(f, "bm"),
+        }
+    }
+}
+
+/// The comparison of a spin-wait instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Wait while `*addr == reg`.
+    Eq,
+    /// Wait while `*addr != reg`.
+    Ne,
+}
+
+/// Atomic read-modify-write operation selector (§3.2 lists Test&Set,
+/// Fetch&Inc, Fetch&Add, and CAS).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RmwSpec {
+    /// Compare-and-swap: `if *addr == regs[expected] { *addr = regs[new] }`.
+    /// The destination register receives the *old* value.
+    Cas {
+        /// Register holding the value to compare against.
+        expected: Reg,
+        /// Register holding the value to store on success.
+        new: Reg,
+    },
+    /// Unconditional exchange with `regs[src]`.
+    Swap {
+        /// Register holding the value to store.
+        src: Reg,
+    },
+    /// `*addr += regs[src]`, destination gets the old value.
+    FetchAdd {
+        /// Register holding the addend.
+        src: Reg,
+    },
+    /// `*addr += 1`, destination gets the old value.
+    FetchInc,
+    /// `*addr = 1`, destination gets the old value (0 means acquired).
+    TestSet,
+}
+
+impl RmwSpec {
+    /// Registers this spec reads.
+    pub fn source_regs(self) -> Vec<Reg> {
+        match self {
+            RmwSpec::Cas { expected, new } => vec![expected, new],
+            RmwSpec::Swap { src } | RmwSpec::FetchAdd { src } => vec![src],
+            RmwSpec::FetchInc | RmwSpec::TestSet => Vec::new(),
+        }
+    }
+}
+
+/// A kernel instruction.
+///
+/// Memory operands are `regs[base] + offset` byte addresses and must be
+/// 8-byte aligned at execution time. Every plain instruction costs one
+/// cycle on the timed machine; [`Instr::Compute`] stands for `cycles`
+/// one-cycle instructions of local work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    // --- ALU -----------------------------------------------------------
+    /// `dst = imm`.
+    Li { dst: Reg, imm: u64 },
+    /// `dst = src`.
+    Mov { dst: Reg, src: Reg },
+    /// `dst = a + b` (wrapping).
+    Add { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a + imm` (wrapping).
+    Addi { dst: Reg, a: Reg, imm: u64 },
+    /// `dst = a - b` (wrapping).
+    Sub { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a * b` (wrapping).
+    Mul { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a & b`.
+    And { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a | b`.
+    Or { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a ^ b`.
+    Xor { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a << (b & 63)`.
+    Shl { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a >> (b & 63)`.
+    Shr { dst: Reg, a: Reg, b: Reg },
+    /// `dst = (a == b) as u64`.
+    CmpEq { dst: Reg, a: Reg, b: Reg },
+    /// `dst = (a < b) as u64` (unsigned).
+    CmpLt { dst: Reg, a: Reg, b: Reg },
+
+    // --- Control flow ---------------------------------------------------
+    /// Unconditional jump.
+    Jump { target: Label },
+    /// Branch if `cond == 0`.
+    Beqz { cond: Reg, target: Label },
+    /// Branch if `cond != 0`.
+    Bnez { cond: Reg, target: Label },
+
+    // --- Work stand-in ---------------------------------------------------
+    /// Models `cycles` cycles of straight-line local computation.
+    Compute { cycles: u64 },
+
+    // --- Memory -----------------------------------------------------------
+    /// `dst = *(regs[base] + offset)` in `space`.
+    Ld { dst: Reg, base: Reg, offset: u64, space: Space },
+    /// `*(regs[base] + offset) = src` in `space`. BM stores broadcast to
+    /// all replicas and retire when the WCB sets (§4.2.1).
+    St { src: Reg, base: Reg, offset: u64, space: Space },
+    /// Atomic RMW in `space`; `dst` receives the old value. BM RMWs may
+    /// fail atomicity — software must check the AFB ([`Instr::ReadAfb`])
+    /// and retry (§4.3.1, Figure 4(a,b)).
+    Rmw {
+        kind: RmwSpec,
+        dst: Reg,
+        base: Reg,
+        offset: u64,
+        space: Space,
+    },
+    /// Bulk load: `dst..dst+3 = BM[addr..addr+32]` (BM only, §3.2).
+    BulkLd { dst: Reg, base: Reg, offset: u64 },
+    /// Bulk store: `BM[addr..addr+32] = src..src+3`, one 15-cycle
+    /// uninterruptible wireless message.
+    BulkSt { src: Reg, base: Reg, offset: u64 },
+
+    // --- WCB/AFB ----------------------------------------------------------
+    /// `dst = AFB` for the most recent BM RMW (1 = atomicity failed, the
+    /// write did not happen). Reading clears nothing; the next BM RMW
+    /// rewrites it.
+    ReadAfb { dst: Reg },
+    /// `dst = WCB` (1 = the last BM store/RMW has completed). The timed
+    /// machine blocks stores until completion, so this reads 1.
+    ReadWcb { dst: Reg },
+
+    // --- Tone channel -------------------------------------------------------
+    /// Tone-barrier arrival at the BM address (§4.2.2). Not an ordinary
+    /// store: the first arriving core broadcasts the barrier-init
+    /// message; later cores silently stop their tone.
+    ToneSt { base: Reg, offset: u64 },
+    /// Reads the tone-barrier BM location (local, 0 or 1).
+    ToneLd { dst: Reg, base: Reg, offset: u64 },
+
+    // --- Spin support --------------------------------------------------------
+    /// Blocks while `*(regs[base]+offset) <cond> regs[value]` holds.
+    ///
+    /// Semantically equal to a load/compare/branch spin loop; the timed
+    /// machine fast-forwards it by sleeping until a write to the line
+    /// wakes the core, then re-loading through the normal (contended)
+    /// path — preserving wake-burst serialization without simulating
+    /// idle polls (DESIGN.md §5.3).
+    WaitWhile {
+        cond: Cond,
+        base: Reg,
+        offset: u64,
+        value: Reg,
+        space: Space,
+    },
+
+    /// Terminates the thread.
+    Halt,
+}
+
+impl Instr {
+    /// The highest register index this instruction touches, used by
+    /// program validation.
+    pub fn max_reg(&self) -> Option<u8> {
+        let mut regs: Vec<u8> = Vec::new();
+        let mut add = |r: Reg| regs.push(r.0);
+        match *self {
+            Instr::Li { dst, .. } => add(dst),
+            Instr::Mov { dst, src } => {
+                add(dst);
+                add(src);
+            }
+            Instr::Add { dst, a, b }
+            | Instr::Sub { dst, a, b }
+            | Instr::Mul { dst, a, b }
+            | Instr::And { dst, a, b }
+            | Instr::Or { dst, a, b }
+            | Instr::Xor { dst, a, b }
+            | Instr::Shl { dst, a, b }
+            | Instr::Shr { dst, a, b }
+            | Instr::CmpEq { dst, a, b }
+            | Instr::CmpLt { dst, a, b } => {
+                add(dst);
+                add(a);
+                add(b);
+            }
+            Instr::Addi { dst, a, .. } => {
+                add(dst);
+                add(a);
+            }
+            Instr::Jump { .. } | Instr::Compute { .. } | Instr::Halt => {}
+            Instr::Beqz { cond, .. } | Instr::Bnez { cond, .. } => add(cond),
+            Instr::Ld { dst, base, .. } => {
+                add(dst);
+                add(base);
+            }
+            Instr::St { src, base, .. } => {
+                add(src);
+                add(base);
+            }
+            Instr::Rmw {
+                kind, dst, base, ..
+            } => {
+                add(dst);
+                add(base);
+                for r in kind.source_regs() {
+                    add(r);
+                }
+            }
+            // Bulk ops touch four consecutive registers.
+            Instr::BulkLd { dst, base, .. } => {
+                add(Reg(dst.0 + 3));
+                add(base);
+            }
+            Instr::BulkSt { src, base, .. } => {
+                add(Reg(src.0 + 3));
+                add(base);
+            }
+            Instr::ReadAfb { dst } | Instr::ReadWcb { dst } => add(dst),
+            Instr::ToneSt { base, .. } => add(base),
+            Instr::ToneLd { dst, base, .. } => {
+                add(dst);
+                add(base);
+            }
+            Instr::WaitWhile {
+                base, value, ..
+            } => {
+                add(base);
+                add(value);
+            }
+        }
+        regs.into_iter().max()
+    }
+
+    /// The branch target, if this is a control-flow instruction.
+    pub fn target(&self) -> Option<Label> {
+        match *self {
+            Instr::Jump { target } | Instr::Beqz { target, .. } | Instr::Bnez { target, .. } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target (used by the builder's label
+    /// resolution).
+    pub(crate) fn set_target(&mut self, new: Label) {
+        match self {
+            Instr::Jump { target } | Instr::Beqz { target, .. } | Instr::Bnez { target, .. } => {
+                *target = new;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_reg_spans_bulk_window() {
+        let i = Instr::BulkLd {
+            dst: Reg(10),
+            base: Reg(2),
+            offset: 0,
+        };
+        assert_eq!(i.max_reg(), Some(13));
+    }
+
+    #[test]
+    fn max_reg_sees_rmw_sources() {
+        let i = Instr::Rmw {
+            kind: RmwSpec::Cas {
+                expected: Reg(20),
+                new: Reg(21),
+            },
+            dst: Reg(1),
+            base: Reg(0),
+            offset: 0,
+            space: Space::Bm,
+        };
+        assert_eq!(i.max_reg(), Some(21));
+    }
+
+    #[test]
+    fn target_extraction() {
+        assert_eq!(Instr::Jump { target: Label(3) }.target(), Some(Label(3)));
+        assert_eq!(Instr::Halt.target(), None);
+        let mut i = Instr::Beqz {
+            cond: Reg(0),
+            target: Label(1),
+        };
+        i.set_target(Label(9));
+        assert_eq!(i.target(), Some(Label(9)));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Reg(5).to_string(), "r5");
+        assert_eq!(Label(2).to_string(), "L2");
+        assert_eq!(Space::Bm.to_string(), "bm");
+        assert_eq!(Space::Cached.to_string(), "mem");
+    }
+}

@@ -1,0 +1,626 @@
+//! Architectural (timing-free) interpreter for functional testing.
+//!
+//! [`ArchSim`] runs a set of kernel programs — one per thread — against
+//! zero-latency shared memory with a seeded random interleaving, one
+//! instruction at a time. Atomics are truly atomic (so the AFB always
+//! reads 0 and the WCB always reads 1), and tone barriers complete
+//! instantly once all armed participants arrive. This strips WiSync's
+//! *timing* away and leaves its *semantics*, which is exactly what
+//! property tests over sync algorithms need: mutual exclusion, barrier
+//! episodes, and producer/consumer ordering must hold under every
+//! interleaving, fast or slow.
+
+use std::collections::HashMap;
+
+use wisync_sim::DetRng;
+
+use crate::instr::{Cond, Instr, RmwSpec, Space, NUM_REGS};
+use crate::program::Program;
+
+/// Why a [`ArchSim::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every thread executed its `Halt`.
+    AllHalted,
+    /// No thread can make progress: all non-halted threads are blocked in
+    /// `WaitWhile` with no writer left to release them.
+    Deadlock,
+    /// The step budget ran out first.
+    StepLimit,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum ThreadStatus {
+    Runnable,
+    Blocked {
+        cond: Cond,
+        addr: u64,
+        value: u64,
+        space: Space,
+    },
+    Halted,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    program: Program,
+    pc: usize,
+    regs: [u64; NUM_REGS],
+    status: ThreadStatus,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ToneBarrier {
+    participants: usize,
+    arrived: usize,
+}
+
+/// The functional multi-thread interpreter. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_isa::{Instr, ProgramBuilder, Reg, RmwSpec, Space};
+/// use wisync_isa::interp::{ArchSim, RunOutcome};
+///
+/// // Two threads each fetch&add 1 to the same BM word, 10 times.
+/// let prog = |n: u64| {
+///     let mut b = ProgramBuilder::new();
+///     b.push(Instr::Li { dst: Reg(1), imm: n });
+///     let top = b.bind_here();
+///     b.push(Instr::Rmw {
+///         kind: RmwSpec::FetchInc,
+///         dst: Reg(2),
+///         base: Reg(0),
+///         offset: 0x40,
+///         space: Space::Bm,
+///     });
+///     b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+///     b.push(Instr::Bnez { cond: Reg(1), target: top });
+///     b.push(Instr::Halt);
+///     b.build().unwrap()
+/// };
+/// let mut sim = ArchSim::new(vec![prog(10), prog(10)], 1);
+/// assert_eq!(sim.run(10_000), RunOutcome::AllHalted);
+/// assert_eq!(sim.bm(0x40), 20);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArchSim {
+    threads: Vec<Thread>,
+    mem: HashMap<u64, u64>,
+    bm: HashMap<u64, u64>,
+    tones: HashMap<u64, ToneBarrier>,
+    rng: DetRng,
+    steps: u64,
+}
+
+impl ArchSim {
+    /// Creates an interpreter with one thread per program and the given
+    /// interleaving seed.
+    pub fn new(programs: Vec<Program>, seed: u64) -> Self {
+        let threads = programs
+            .into_iter()
+            .map(|program| Thread {
+                program,
+                pc: 0,
+                regs: [0; NUM_REGS],
+                status: ThreadStatus::Runnable,
+            })
+            .collect();
+        ArchSim {
+            threads,
+            mem: HashMap::new(),
+            bm: HashMap::new(),
+            tones: HashMap::new(),
+            rng: DetRng::new(seed),
+            steps: 0,
+        }
+    }
+
+    /// Declares a tone barrier at BM address `addr` with `participants`
+    /// armed threads (the functional analogue of §4.4 allocation).
+    pub fn arm_tone(&mut self, addr: u64, participants: usize) {
+        self.tones.insert(
+            addr,
+            ToneBarrier {
+                participants,
+                arrived: 0,
+            },
+        );
+    }
+
+    /// Reads cached memory (0 if never written).
+    pub fn mem(&self, addr: u64) -> u64 {
+        self.mem.get(&(addr / 8)).copied().unwrap_or(0)
+    }
+
+    /// Writes cached memory directly (test setup).
+    pub fn set_mem(&mut self, addr: u64, v: u64) {
+        self.mem.insert(addr / 8, v);
+        self.requeue_waiters();
+    }
+
+    /// Reads a BM word (0 if never written).
+    pub fn bm(&self, addr: u64) -> u64 {
+        self.bm.get(&(addr / 8)).copied().unwrap_or(0)
+    }
+
+    /// Writes a BM word directly (test setup).
+    pub fn set_bm(&mut self, addr: u64, v: u64) {
+        self.bm.insert(addr / 8, v);
+        self.requeue_waiters();
+    }
+
+    /// Register `r` of thread `tid`.
+    pub fn reg(&self, tid: usize, r: u8) -> u64 {
+        self.threads[tid].regs[r as usize]
+    }
+
+    /// Sets register `r` of thread `tid` (used to pass per-thread
+    /// parameters before running).
+    pub fn set_reg(&mut self, tid: usize, r: u8, v: u64) {
+        self.threads[tid].regs[r as usize] = v;
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether thread `tid` has halted.
+    pub fn halted(&self, tid: usize) -> bool {
+        self.threads[tid].status == ThreadStatus::Halted
+    }
+
+    /// Runs until all threads halt, deadlock, or `max_steps`
+    /// instructions execute.
+    pub fn run(&mut self, max_steps: u64) -> RunOutcome {
+        for _ in 0..max_steps {
+            let runnable: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == ThreadStatus::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let any_blocked = self
+                    .threads
+                    .iter()
+                    .any(|t| matches!(t.status, ThreadStatus::Blocked { .. }));
+                return if any_blocked {
+                    RunOutcome::Deadlock
+                } else {
+                    RunOutcome::AllHalted
+                };
+            }
+            let pick = runnable[self.rng.gen_range(runnable.len() as u64) as usize];
+            self.step_thread(pick);
+            self.steps += 1;
+        }
+        RunOutcome::StepLimit
+    }
+
+    fn read(&self, space: Space, addr: u64) -> u64 {
+        match space {
+            Space::Cached => self.mem(addr),
+            Space::Bm => self.bm(addr),
+        }
+    }
+
+    fn write(&mut self, space: Space, addr: u64, v: u64) {
+        match space {
+            Space::Cached => self.mem.insert(addr / 8, v),
+            Space::Bm => self.bm.insert(addr / 8, v),
+        };
+        self.requeue_waiters();
+    }
+
+    /// Re-evaluates all blocked threads' wait conditions.
+    fn requeue_waiters(&mut self) {
+        for i in 0..self.threads.len() {
+            if let ThreadStatus::Blocked {
+                cond,
+                addr,
+                value,
+                space,
+            } = self.threads[i].status
+            {
+                let cur = self.read(space, addr);
+                let still_waiting = match cond {
+                    Cond::Eq => cur == value,
+                    Cond::Ne => cur != value,
+                };
+                if !still_waiting {
+                    self.threads[i].status = ThreadStatus::Runnable;
+                }
+            }
+        }
+    }
+
+    fn addr_of(&self, tid: usize, base: u8, offset: u64) -> u64 {
+        let a = self.threads[tid].regs[base as usize].wrapping_add(offset);
+        assert_eq!(a % 8, 0, "thread {tid}: unaligned access at {a:#x}");
+        a
+    }
+
+    fn step_thread(&mut self, tid: usize) {
+        let pc = self.threads[tid].pc;
+        let instr = self.threads[tid].program.fetch(pc);
+        let mut next_pc = pc + 1;
+        macro_rules! regs {
+            ($r:expr) => {
+                self.threads[tid].regs[$r.0 as usize]
+            };
+        }
+        match instr {
+            Instr::Li { dst, imm } => regs!(dst) = imm,
+            Instr::Mov { dst, src } => regs!(dst) = regs!(src),
+            Instr::Add { dst, a, b } => regs!(dst) = regs!(a).wrapping_add(regs!(b)),
+            Instr::Addi { dst, a, imm } => regs!(dst) = regs!(a).wrapping_add(imm),
+            Instr::Sub { dst, a, b } => regs!(dst) = regs!(a).wrapping_sub(regs!(b)),
+            Instr::Mul { dst, a, b } => regs!(dst) = regs!(a).wrapping_mul(regs!(b)),
+            Instr::And { dst, a, b } => regs!(dst) = regs!(a) & regs!(b),
+            Instr::Or { dst, a, b } => regs!(dst) = regs!(a) | regs!(b),
+            Instr::Xor { dst, a, b } => regs!(dst) = regs!(a) ^ regs!(b),
+            Instr::Shl { dst, a, b } => regs!(dst) = regs!(a) << (regs!(b) & 63),
+            Instr::Shr { dst, a, b } => regs!(dst) = regs!(a) >> (regs!(b) & 63),
+            Instr::CmpEq { dst, a, b } => regs!(dst) = (regs!(a) == regs!(b)) as u64,
+            Instr::CmpLt { dst, a, b } => regs!(dst) = (regs!(a) < regs!(b)) as u64,
+            Instr::Jump { target } => next_pc = target.0 as usize,
+            Instr::Beqz { cond, target } => {
+                if regs!(cond) == 0 {
+                    next_pc = target.0 as usize;
+                }
+            }
+            Instr::Bnez { cond, target } => {
+                if regs!(cond) != 0 {
+                    next_pc = target.0 as usize;
+                }
+            }
+            Instr::Compute { .. } => {}
+            Instr::Ld {
+                dst, base, offset, space,
+            } => {
+                let a = self.addr_of(tid, base.0, offset);
+                let v = self.read(space, a);
+                regs!(dst) = v;
+            }
+            Instr::St {
+                src, base, offset, space,
+            } => {
+                let a = self.addr_of(tid, base.0, offset);
+                let v = regs!(src);
+                self.write(space, a, v);
+            }
+            Instr::Rmw {
+                kind,
+                dst,
+                base,
+                offset,
+                space,
+            } => {
+                let a = self.addr_of(tid, base.0, offset);
+                let old = self.read(space, a);
+                let new = match kind {
+                    RmwSpec::Cas { expected, new } => {
+                        if old == regs!(expected) {
+                            Some(regs!(new))
+                        } else {
+                            None
+                        }
+                    }
+                    RmwSpec::Swap { src } => Some(regs!(src)),
+                    RmwSpec::FetchAdd { src } => Some(old.wrapping_add(regs!(src))),
+                    RmwSpec::FetchInc => Some(old.wrapping_add(1)),
+                    RmwSpec::TestSet => Some(1),
+                };
+                if let Some(v) = new {
+                    self.write(space, a, v);
+                }
+                regs!(dst) = old;
+            }
+            Instr::BulkLd { dst, base, offset } => {
+                let a = self.addr_of(tid, base.0, offset);
+                for k in 0..4u64 {
+                    let v = self.bm(a + 8 * k);
+                    self.threads[tid].regs[dst.0 as usize + k as usize] = v;
+                }
+            }
+            Instr::BulkSt { src, base, offset } => {
+                let a = self.addr_of(tid, base.0, offset);
+                for k in 0..4u64 {
+                    let v = self.threads[tid].regs[src.0 as usize + k as usize];
+                    self.bm.insert((a + 8 * k) / 8, v);
+                }
+                self.requeue_waiters();
+            }
+            Instr::ReadAfb { dst } => regs!(dst) = 0,
+            Instr::ReadWcb { dst } => regs!(dst) = 1,
+            Instr::ToneSt { base, offset } => {
+                let a = self.addr_of(tid, base.0, offset);
+                let t = self
+                    .tones
+                    .get_mut(&a)
+                    .unwrap_or_else(|| panic!("tone_st on unarmed address {a:#x}"));
+                t.arrived += 1;
+                if t.arrived >= t.participants {
+                    t.arrived = 0;
+                    let cur = self.bm(a);
+                    self.write(Space::Bm, a, cur ^ 1);
+                }
+            }
+            Instr::ToneLd { dst, base, offset } => {
+                let a = self.addr_of(tid, base.0, offset);
+                let v = self.bm(a);
+                regs!(dst) = v;
+            }
+            Instr::WaitWhile {
+                cond,
+                base,
+                offset,
+                value,
+                space,
+            } => {
+                let a = self.addr_of(tid, base.0, offset);
+                let cur = self.read(space, a);
+                let v = regs!(value);
+                let waiting = match cond {
+                    Cond::Eq => cur == v,
+                    Cond::Ne => cur != v,
+                };
+                if waiting {
+                    self.threads[tid].status = ThreadStatus::Blocked {
+                        cond,
+                        addr: a,
+                        value: v,
+                        space,
+                    };
+                    // Re-execute (and re-check) once unblocked.
+                    next_pc = pc;
+                }
+            }
+            Instr::Halt => {
+                self.threads[tid].status = ThreadStatus::Halted;
+                next_pc = pc;
+            }
+        }
+        self.threads[tid].pc = next_pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, Reg};
+    use crate::program::ProgramBuilder;
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new();
+        f(&mut b);
+        b.push(Instr::Halt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn alu_ops() {
+        let p = build(|b| {
+            b.push(Instr::Li { dst: Reg(1), imm: 6 });
+            b.push(Instr::Li { dst: Reg(2), imm: 3 });
+            b.push(Instr::Add { dst: Reg(3), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Sub { dst: Reg(4), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Mul { dst: Reg(5), a: Reg(1), b: Reg(2) });
+            b.push(Instr::And { dst: Reg(6), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Or { dst: Reg(7), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Xor { dst: Reg(8), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Shl { dst: Reg(9), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Shr { dst: Reg(10), a: Reg(1), b: Reg(2) });
+            b.push(Instr::CmpEq { dst: Reg(11), a: Reg(1), b: Reg(2) });
+            b.push(Instr::CmpLt { dst: Reg(12), a: Reg(2), b: Reg(1) });
+            b.push(Instr::Mov { dst: Reg(13), src: Reg(3) });
+        });
+        let mut s = ArchSim::new(vec![p], 1);
+        assert_eq!(s.run(100), RunOutcome::AllHalted);
+        let want = [
+            (3, 9),
+            (4, 3),
+            (5, 18),
+            (6, 2),
+            (7, 7),
+            (8, 5),
+            (9, 48),
+            (10, 0),
+            (11, 0),
+            (12, 1),
+            (13, 9),
+        ];
+        for (r, v) in want {
+            assert_eq!(s.reg(0, r), v, "r{r}");
+        }
+    }
+
+    #[test]
+    fn branches_loop() {
+        // Sum 1..=5 via a loop.
+        let p = build(|b| {
+            b.push(Instr::Li { dst: Reg(1), imm: 5 });
+            let top = b.bind_here();
+            b.push(Instr::Add { dst: Reg(2), a: Reg(2), b: Reg(1) });
+            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+            b.push(Instr::Bnez { cond: Reg(1), target: top });
+        });
+        let mut s = ArchSim::new(vec![p], 1);
+        s.run(100);
+        assert_eq!(s.reg(0, 2), 15);
+    }
+
+    #[test]
+    fn memory_spaces_are_distinct() {
+        let p = build(|b| {
+            b.push(Instr::Li { dst: Reg(1), imm: 11 });
+            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x80, space: Space::Cached });
+            b.push(Instr::Li { dst: Reg(1), imm: 22 });
+            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x80, space: Space::Bm });
+            b.push(Instr::Ld { dst: Reg(2), base: Reg(0), offset: 0x80, space: Space::Cached });
+            b.push(Instr::Ld { dst: Reg(3), base: Reg(0), offset: 0x80, space: Space::Bm });
+        });
+        let mut s = ArchSim::new(vec![p], 1);
+        s.run(100);
+        assert_eq!(s.reg(0, 2), 11);
+        assert_eq!(s.reg(0, 3), 22);
+        assert_eq!(s.mem(0x80), 11);
+        assert_eq!(s.bm(0x80), 22);
+    }
+
+    #[test]
+    fn cas_loop_counts_atomically() {
+        // Each of 4 threads does 100 CAS-increments; total must be 400
+        // under any interleaving.
+        let prog = || {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li { dst: Reg(1), imm: 100 });
+            let retry = b.bind_here();
+            b.push(Instr::Ld { dst: Reg(2), base: Reg(0), offset: 0x40, space: Space::Cached });
+            b.push(Instr::Addi { dst: Reg(3), a: Reg(2), imm: 1 });
+            b.push(Instr::Rmw {
+                kind: RmwSpec::Cas { expected: Reg(2), new: Reg(3) },
+                dst: Reg(4),
+                base: Reg(0),
+                offset: 0x40,
+                space: Space::Cached,
+            });
+            b.push(Instr::CmpEq { dst: Reg(5), a: Reg(4), b: Reg(2) });
+            b.push(Instr::Beqz { cond: Reg(5), target: retry });
+            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+            b.push(Instr::Bnez { cond: Reg(1), target: retry });
+            b.push(Instr::Halt);
+            b.build().unwrap()
+        };
+        for seed in 1..4 {
+            let mut s = ArchSim::new((0..4).map(|_| prog()).collect(), seed);
+            assert_eq!(s.run(1_000_000), RunOutcome::AllHalted);
+            assert_eq!(s.mem(0x40), 400, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wait_while_blocks_until_released() {
+        // Thread 0 waits for flag != 0; thread 1 sets it after computing.
+        let waiter = build(|b| {
+            b.push(Instr::WaitWhile {
+                cond: Cond::Eq,
+                base: Reg(0),
+                offset: 0x40,
+                value: Reg(0), // == 0
+                space: Space::Cached,
+            });
+            b.push(Instr::Ld { dst: Reg(1), base: Reg(0), offset: 0x48, space: Space::Cached });
+        });
+        let setter = build(|b| {
+            b.push(Instr::Li { dst: Reg(1), imm: 99 });
+            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x48, space: Space::Cached });
+            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x40, space: Space::Cached });
+        });
+        let mut s = ArchSim::new(vec![waiter, setter], 3);
+        assert_eq!(s.run(1000), RunOutcome::AllHalted);
+        assert_eq!(s.reg(0, 1), 99, "data visible after flag");
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let waiter = build(|b| {
+            b.push(Instr::WaitWhile {
+                cond: Cond::Eq,
+                base: Reg(0),
+                offset: 0x40,
+                value: Reg(0),
+                space: Space::Bm,
+            });
+        });
+        let mut s = ArchSim::new(vec![waiter], 1);
+        assert_eq!(s.run(1000), RunOutcome::Deadlock);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let spin = {
+            let mut b = ProgramBuilder::new();
+            let top = b.bind_here();
+            b.push(Instr::Jump { target: top });
+            b.build().unwrap()
+        };
+        let mut s = ArchSim::new(vec![spin], 1);
+        assert_eq!(s.run(50), RunOutcome::StepLimit);
+        assert_eq!(s.steps(), 50);
+    }
+
+    #[test]
+    fn tone_barrier_toggles_on_last_arrival() {
+        let prog = || {
+            build(|b| {
+                b.push(Instr::ToneSt { base: Reg(0), offset: 0x40 });
+                b.push(Instr::Li { dst: Reg(2), imm: 1 });
+                b.push(Instr::WaitWhile {
+                    cond: Cond::Ne,
+                    base: Reg(0),
+                    offset: 0x40,
+                    value: Reg(2), // wait while bm != 1
+                    space: Space::Bm,
+                });
+            })
+        };
+        let mut s = ArchSim::new(vec![prog(), prog(), prog()], 7);
+        s.arm_tone(0x40, 3);
+        assert_eq!(s.run(1000), RunOutcome::AllHalted);
+        assert_eq!(s.bm(0x40), 1);
+    }
+
+    #[test]
+    fn bulk_roundtrip() {
+        let p = build(|b| {
+            for k in 0..4u8 {
+                b.push(Instr::Li { dst: Reg(4 + k), imm: 100 + k as u64 });
+            }
+            b.push(Instr::BulkSt { src: Reg(4), base: Reg(0), offset: 0x100 });
+            b.push(Instr::BulkLd { dst: Reg(10), base: Reg(0), offset: 0x100 });
+        });
+        let mut s = ArchSim::new(vec![p], 1);
+        s.run(100);
+        for k in 0..4u8 {
+            assert_eq!(s.reg(0, 10 + k), 100 + k as u64);
+            assert_eq!(s.bm(0x100 + 8 * k as u64), 100 + k as u64);
+        }
+    }
+
+    #[test]
+    fn afb_wcb_constants_in_archsim() {
+        let p = build(|b| {
+            b.push(Instr::ReadAfb { dst: Reg(1) });
+            b.push(Instr::ReadWcb { dst: Reg(2) });
+        });
+        let mut s = ArchSim::new(vec![p], 1);
+        s.run(10);
+        assert_eq!(s.reg(0, 1), 0);
+        assert_eq!(s.reg(0, 2), 1);
+    }
+
+    #[test]
+    fn set_reg_passes_parameters() {
+        let p = build(|b| {
+            b.push(Instr::Addi { dst: Reg(2), a: Reg(1), imm: 1 });
+        });
+        let mut s = ArchSim::new(vec![p], 1);
+        s.set_reg(0, 1, 41);
+        s.run(10);
+        assert_eq!(s.reg(0, 2), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_faults() {
+        let p = build(|b| {
+            b.push(Instr::Ld { dst: Reg(1), base: Reg(0), offset: 3, space: Space::Cached });
+        });
+        ArchSim::new(vec![p], 1).run(10);
+    }
+}

@@ -1,0 +1,46 @@
+//! Kernel instruction set for the WiSync simulator.
+//!
+//! The paper presents WiSync with "an example ISA" (§1): plain loads and
+//! stores that bypass the caches when aimed at the Broadcast Memory,
+//! Bulk 4-word transfers, atomic read-modify-write instructions with the
+//! WCB/AFB completion/atomicity bits, and the `tone_ld`/`tone_st` pair
+//! driving the Tone channel (§3.2, §4.2). This crate defines a small
+//! register machine carrying all of those, used three ways:
+//!
+//! 1. workload generators and the synchronization library
+//!    (`wisync-sync`) emit programs in this ISA,
+//! 2. the cycle-level machine (`wisync-core`) executes them against the
+//!    timed memory/wireless substrates,
+//! 3. the architectural interpreter ([`interp::ArchSim`]) executes them
+//!    with zero-latency memory and randomized thread interleaving, so
+//!    property tests can check *functional* correctness (mutual
+//!    exclusion, barrier semantics) independent of timing.
+//!
+//! # Examples
+//!
+//! Building and running a two-instruction program:
+//!
+//! ```
+//! use wisync_isa::{Instr, ProgramBuilder, Reg};
+//! use wisync_isa::interp::ArchSim;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.push(Instr::Li { dst: Reg(1), imm: 7 });
+//! b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x100, space: wisync_isa::Space::Cached });
+//! b.push(Instr::Halt);
+//! let prog = b.build()?;
+//!
+//! let mut sim = ArchSim::new(vec![prog], 42);
+//! sim.run(1000);
+//! assert_eq!(sim.mem(0x100), 7);
+//! # Ok::<(), wisync_isa::ProgramError>(())
+//! ```
+
+pub mod asm;
+pub mod instr;
+pub mod interp;
+pub mod program;
+
+pub use asm::{assemble, disassemble, AsmError};
+pub use instr::{Cond, Instr, Label, Reg, RmwSpec, Space};
+pub use program::{Program, ProgramBuilder, ProgramError};

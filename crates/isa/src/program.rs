@@ -1,0 +1,292 @@
+//! Programs and the label-resolving builder.
+
+use std::fmt;
+
+use crate::instr::{Instr, Label, NUM_REGS};
+
+/// Errors detected when building or validating a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch references a label that was never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    RebodundLabel(Label),
+    /// An instruction names a register outside `r0..r31` (bulk windows
+    /// must fit too).
+    BadRegister { pc: usize, reg: u8 },
+    /// The program does not end every path with `Halt` (specifically:
+    /// the final instruction can fall through past the end).
+    MissingHalt,
+    /// The program is empty.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnboundLabel(l) => write!(f, "label {l} referenced but never bound"),
+            ProgramError::RebodundLabel(l) => write!(f, "label {l} bound twice"),
+            ProgramError::BadRegister { pc, reg } => {
+                write!(f, "instruction {pc} uses register r{reg} (max is r31)")
+            }
+            ProgramError::MissingHalt => write!(f, "control can fall off the end of the program"),
+            ProgramError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated, label-resolved kernel program.
+///
+/// After building, every [`Label`] inside an instruction holds the index
+/// of its target instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The instructions, with branch targets resolved to indices.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for built programs).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn fetch(&self, pc: usize) -> Instr {
+        self.instrs[pc]
+    }
+}
+
+/// Incremental assembler for kernel programs.
+///
+/// # Examples
+///
+/// A spin-decrement loop:
+///
+/// ```
+/// use wisync_isa::{Instr, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Instr::Li { dst: Reg(1), imm: 3 });
+/// let top = b.bind_here();
+/// b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX }); // -1
+/// b.push(Instr::Bnez { cond: Reg(1), target: top });
+/// b.push(Instr::Halt);
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), wisync_isa::ProgramError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    /// `bindings[i]` is the pc bound to label i, if any.
+    bindings: Vec<Option<usize>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates a fresh, not-yet-bound label.
+    pub fn label(&mut self) -> Label {
+        self.bindings.push(None);
+        Label((self.bindings.len() - 1) as u32)
+    }
+
+    /// Binds `label` to the next instruction to be pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label id is out of range (not from this builder).
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.bindings[label.0 as usize];
+        assert!(slot.is_none(), "label {label} bound twice");
+        *slot = Some(self.instrs.len());
+    }
+
+    /// Allocates a label and binds it to the next instruction.
+    pub fn bind_here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Appends an instruction; returns its index.
+    pub fn push(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    /// Appends a sequence of instructions.
+    pub fn extend<I: IntoIterator<Item = Instr>>(&mut self, iter: I) {
+        self.instrs.extend(iter);
+    }
+
+    /// Current instruction count (the pc of the next push).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Resolves labels, validates, and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`]. Every referenced label must be bound, all
+    /// register windows must fit in `r0..r31`, the program must be
+    /// non-empty, and the final instruction must not fall through.
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        if self.instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        // Resolve labels to pcs.
+        for pc in 0..self.instrs.len() {
+            if let Some(label) = self.instrs[pc].target() {
+                let bound = self
+                    .bindings
+                    .get(label.0 as usize)
+                    .copied()
+                    .flatten()
+                    .ok_or(ProgramError::UnboundLabel(label))?;
+                self.instrs[pc].set_target(Label(bound as u32));
+            }
+        }
+        // Validate registers.
+        for (pc, i) in self.instrs.iter().enumerate() {
+            if let Some(max) = i.max_reg() {
+                if max as usize >= NUM_REGS {
+                    return Err(ProgramError::BadRegister { pc, reg: max });
+                }
+            }
+        }
+        // The last instruction must not fall through.
+        match self.instrs.last() {
+            Some(Instr::Halt) | Some(Instr::Jump { .. }) => {}
+            _ => return Err(ProgramError::MissingHalt),
+        }
+        Ok(Program {
+            instrs: self.instrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Reg, Space};
+
+    #[test]
+    fn build_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        let top = b.bind_here(); // pc 0
+        b.push(Instr::Beqz {
+            cond: Reg(1),
+            target: end,
+        }); // pc 0
+        b.push(Instr::Jump { target: top }); // pc 1
+        b.bind(end);
+        b.push(Instr::Halt); // pc 2
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0).target(), Some(Label(2)));
+        assert_eq!(p.fetch(1).target(), Some(Label(0)));
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.push(Instr::Jump { target: l });
+        assert_eq!(b.build(), Err(ProgramError::UnboundLabel(Label(0))));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(ProgramBuilder::new().build(), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn fallthrough_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li {
+            dst: Reg(0),
+            imm: 0,
+        });
+        assert_eq!(b.build(), Err(ProgramError::MissingHalt));
+    }
+
+    #[test]
+    fn jump_as_last_instruction_allowed() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_here();
+        b.push(Instr::Compute { cycles: 10 });
+        b.push(Instr::Jump { target: top });
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn bulk_register_overflow_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::BulkLd {
+            dst: Reg(30),
+            base: Reg(0),
+            offset: 0,
+        });
+        b.push(Instr::Halt);
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::BadRegister { pc: 0, reg: 33 })
+        ));
+    }
+
+    #[test]
+    fn good_register_use_accepted() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Ld {
+            dst: Reg(31),
+            base: Reg(0),
+            offset: 8,
+            space: Space::Cached,
+        });
+        b.push(Instr::Halt);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ProgramError::UnboundLabel(Label(1)),
+            ProgramError::RebodundLabel(Label(1)),
+            ProgramError::BadRegister { pc: 0, reg: 40 },
+            ProgramError::MissingHalt,
+            ProgramError::Empty,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

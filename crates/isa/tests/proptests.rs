@@ -1,0 +1,199 @@
+//! Property-based tests for the kernel ISA: random straight-line ALU
+//! programs must compute exactly what a host-side evaluator computes,
+//! and the builder must accept/reject programs per its documented rules.
+
+use proptest::prelude::*;
+use wisync_isa::interp::{ArchSim, RunOutcome};
+use wisync_isa::{assemble, disassemble, Cond, Instr, ProgramBuilder, Reg, RmwSpec, Space};
+
+#[derive(Debug, Clone, Copy)]
+enum AluOp {
+    Li(u64),
+    Mov,
+    Add,
+    Addi(u64),
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    CmpEq,
+    CmpLt,
+}
+
+fn alu_strategy() -> impl Strategy<Value = (AluOp, u8, u8, u8)> {
+    let op = prop_oneof![
+        any::<u64>().prop_map(AluOp::Li),
+        Just(AluOp::Mov),
+        Just(AluOp::Add),
+        any::<u64>().prop_map(AluOp::Addi),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::CmpEq),
+        Just(AluOp::CmpLt),
+    ];
+    (op, 0u8..16, 0u8..16, 0u8..16)
+}
+
+fn host_eval(regs: &mut [u64; 32], op: AluOp, d: usize, a: usize, bb: usize) {
+    regs[d] = match op {
+        AluOp::Li(imm) => imm,
+        AluOp::Mov => regs[a],
+        AluOp::Add => regs[a].wrapping_add(regs[bb]),
+        AluOp::Addi(imm) => regs[a].wrapping_add(imm),
+        AluOp::Sub => regs[a].wrapping_sub(regs[bb]),
+        AluOp::Mul => regs[a].wrapping_mul(regs[bb]),
+        AluOp::And => regs[a] & regs[bb],
+        AluOp::Or => regs[a] | regs[bb],
+        AluOp::Xor => regs[a] ^ regs[bb],
+        AluOp::Shl => regs[a] << (regs[bb] & 63),
+        AluOp::Shr => regs[a] >> (regs[bb] & 63),
+        AluOp::CmpEq => (regs[a] == regs[bb]) as u64,
+        AluOp::CmpLt => (regs[a] < regs[bb]) as u64,
+    };
+}
+
+fn to_instr(op: AluOp, d: u8, a: u8, bb: u8) -> Instr {
+    let (dst, a, b) = (Reg(d), Reg(a), Reg(bb));
+    match op {
+        AluOp::Li(imm) => Instr::Li { dst, imm },
+        AluOp::Mov => Instr::Mov { dst, src: a },
+        AluOp::Add => Instr::Add { dst, a, b },
+        AluOp::Addi(imm) => Instr::Addi { dst, a, imm },
+        AluOp::Sub => Instr::Sub { dst, a, b },
+        AluOp::Mul => Instr::Mul { dst, a, b },
+        AluOp::And => Instr::And { dst, a, b },
+        AluOp::Or => Instr::Or { dst, a, b },
+        AluOp::Xor => Instr::Xor { dst, a, b },
+        AluOp::Shl => Instr::Shl { dst, a, b },
+        AluOp::Shr => Instr::Shr { dst, a, b },
+        AluOp::CmpEq => Instr::CmpEq { dst, a, b },
+        AluOp::CmpLt => Instr::CmpLt { dst, a, b },
+    }
+}
+
+proptest! {
+    /// ArchSim's ALU agrees with a host-side evaluator on arbitrary
+    /// straight-line programs.
+    #[test]
+    fn alu_matches_host(ops in proptest::collection::vec(alu_strategy(), 1..100)) {
+        let mut b = ProgramBuilder::new();
+        let mut expect = [0u64; 32];
+        for &(op, d, a, bb) in &ops {
+            b.push(to_instr(op, d, a, bb));
+            host_eval(&mut expect, op, d as usize, a as usize, bb as usize);
+        }
+        b.push(Instr::Halt);
+        let prog = b.build().unwrap();
+        let mut sim = ArchSim::new(vec![prog], 1);
+        prop_assert_eq!(sim.run(1000), RunOutcome::AllHalted);
+        for r in 0..16u8 {
+            prop_assert_eq!(sim.reg(0, r), expect[r as usize], "r{}", r);
+        }
+    }
+
+    /// A counting loop terminates in exactly the expected number of
+    /// instructions (branch semantics are precise).
+    #[test]
+    fn loop_executes_exact_instruction_count(n in 1u64..500) {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(1), imm: n });
+        let top = b.bind_here();
+        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(1), target: top });
+        b.push(Instr::Halt);
+        let prog = b.build().unwrap();
+        let mut sim = ArchSim::new(vec![prog], 1);
+        prop_assert_eq!(sim.run(10 * n + 100), RunOutcome::AllHalted);
+        // li + n*(addi+bnez) + halt.
+        prop_assert_eq!(sim.steps(), 1 + 2 * n + 1);
+    }
+
+    /// Interleaving never changes a single-threaded program's result.
+    #[test]
+    fn single_thread_result_independent_of_seed(seed in any::<u64>()) {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(1), imm: 7 });
+        b.push(Instr::Li { dst: Reg(2), imm: 9 });
+        b.push(Instr::Mul { dst: Reg(3), a: Reg(1), b: Reg(2) });
+        b.push(Instr::Halt);
+        let prog = b.build().unwrap();
+        let mut sim = ArchSim::new(vec![prog], seed);
+        sim.run(100);
+        prop_assert_eq!(sim.reg(0, 3), 63);
+    }
+}
+
+fn any_space() -> impl Strategy<Value = Space> {
+    prop_oneof![Just(Space::Cached), Just(Space::Bm)]
+}
+
+fn any_straightline_instr() -> impl Strategy<Value = Instr> {
+    let reg = (0u8..32).prop_map(Reg);
+    let off = (0u64..0x1000u64).prop_map(|v| v * 8);
+    prop_oneof![
+        (reg.clone(), any::<u64>()).prop_map(|(dst, imm)| Instr::Li { dst, imm }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(dst, a, b)| Instr::Add { dst, a, b }),
+        (reg.clone(), reg.clone(), any::<u64>())
+            .prop_map(|(dst, a, imm)| Instr::Addi { dst, a, imm }),
+        (reg.clone(), reg.clone(), off.clone(), any_space())
+            .prop_map(|(dst, base, offset, space)| Instr::Ld { dst, base, offset, space }),
+        (reg.clone(), reg.clone(), off.clone(), any_space())
+            .prop_map(|(src, base, offset, space)| Instr::St { src, base, offset, space }),
+        (reg.clone(), reg.clone(), off.clone(), any_space()).prop_map(
+            |(dst, base, offset, space)| Instr::Rmw {
+                kind: RmwSpec::FetchInc,
+                dst,
+                base,
+                offset,
+                space
+            }
+        ),
+        (reg.clone(), reg.clone(), reg.clone(), reg.clone(), off.clone(), any_space()).prop_map(
+            |(dst, expected, new, base, offset, space)| Instr::Rmw {
+                kind: RmwSpec::Cas { expected, new },
+                dst,
+                base,
+                offset,
+                space
+            }
+        ),
+        (reg.clone(), reg.clone(), off.clone(), any_space()).prop_map(
+            |(value, base, offset, space)| Instr::WaitWhile {
+                cond: Cond::Ne,
+                base,
+                offset,
+                value,
+                space
+            }
+        ),
+        (1u64..10_000).prop_map(|cycles| Instr::Compute { cycles }),
+        (reg.clone()).prop_map(|dst| Instr::ReadAfb { dst }),
+        (reg).prop_map(|dst| Instr::ReadWcb { dst }),
+    ]
+}
+
+proptest! {
+    /// Disassembling and re-assembling any straight-line program yields
+    /// an identical program.
+    #[test]
+    fn asm_roundtrip(instrs in proptest::collection::vec(any_straightline_instr(), 0..60)) {
+        let mut b = ProgramBuilder::new();
+        for i in &instrs {
+            b.push(*i);
+        }
+        b.push(Instr::Halt);
+        let p1 = b.build().unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+        prop_assert_eq!(p1, p2);
+    }
+}

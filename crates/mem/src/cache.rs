@@ -1,0 +1,261 @@
+//! Private L1 cache structure: set-associative, LRU, MOESI line states.
+
+use crate::config::MemConfig;
+
+/// MOESI coherence state of a line in an L1 cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Invalid (not present).
+    #[default]
+    Invalid,
+    /// Shared, clean, other copies may exist.
+    Shared,
+    /// Exclusive, clean, only copy; silently upgradable to Modified.
+    Exclusive,
+    /// Owned: dirty but shared; this cache supplies data on reads.
+    Owned,
+    /// Modified: dirty, only copy.
+    Modified,
+}
+
+impl LineState {
+    /// Whether a load hits in this state.
+    pub fn readable(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// Whether a store hits in this state without a directory transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: u64,
+    state: LineState,
+    /// Last-use stamp for LRU.
+    lru: u64,
+}
+
+/// A set-associative, LRU, write-back private L1 cache.
+///
+/// Tracks only line presence and MOESI state — data lives in the shared
+/// backing store of [`crate::MemSystem`] — so the structure is cheap even
+/// for 256 cores.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_mem::{L1Cache, LineState, MemConfig};
+///
+/// let mut l1 = L1Cache::new(&MemConfig::default());
+/// assert_eq!(l1.state(3), LineState::Invalid);
+/// l1.insert(3, LineState::Shared);
+/// assert!(l1.state(3).readable());
+/// ```
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    sets: Vec<Vec<Way>>,
+    assoc: usize,
+    tick: u64,
+}
+
+impl L1Cache {
+    /// Creates an empty cache with the geometry from `config`.
+    pub fn new(config: &MemConfig) -> Self {
+        let n_sets = config.l1_sets();
+        L1Cache {
+            sets: vec![Vec::with_capacity(config.l1_assoc); n_sets],
+            assoc: config.l1_assoc,
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Current state of `line` (does not touch LRU).
+    pub fn state(&self, line: u64) -> LineState {
+        let set = &self.sets[self.set_index(line)];
+        set.iter()
+            .find(|w| w.line == line)
+            .map_or(LineState::Invalid, |w| w.state)
+    }
+
+    /// Looks up `line`, refreshing its LRU position. Returns its state.
+    pub fn touch(&mut self, line: u64) -> LineState {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        match set.iter_mut().find(|w| w.line == line) {
+            Some(w) => {
+                w.lru = tick;
+                w.state
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Transitions `line` to `state` if present; inserting it (possibly
+    /// evicting the set's LRU way) if absent. Returns the evicted line and
+    /// its state, if an eviction occurred.
+    ///
+    /// Inserting `LineState::Invalid` removes the line instead.
+    pub fn insert(&mut self, line: u64, state: LineState) -> Option<(u64, LineState)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let assoc = self.assoc;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            if state == LineState::Invalid {
+                set.swap_remove(pos);
+            } else {
+                set[pos].state = state;
+                set[pos].lru = tick;
+            }
+            return None;
+        }
+        if state == LineState::Invalid {
+            return None;
+        }
+        let evicted = if set.len() >= assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let w = set.swap_remove(victim);
+            Some((w.line, w.state))
+        } else {
+            None
+        };
+        set.push(Way {
+            line,
+            state,
+            lru: tick,
+        });
+        evicted
+    }
+
+    /// Invalidates `line` if present; returns its prior state.
+    pub fn invalidate(&mut self, line: u64) -> LineState {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            let w = set.swap_remove(pos);
+            w.state
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> L1Cache {
+        // 2 sets x 2 ways.
+        let cfg = MemConfig {
+            l1_bytes: 4 * 64,
+            l1_assoc: 2,
+            ..MemConfig::default()
+        };
+        L1Cache::new(&cfg)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = small();
+        assert!(c.is_empty());
+        c.insert(0, LineState::Shared);
+        assert_eq!(c.state(0), LineState::Shared);
+        assert_eq!(c.touch(0), LineState::Shared);
+        assert_eq!(c.state(1), LineState::Invalid);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn state_transition_in_place() {
+        let mut c = small();
+        c.insert(0, LineState::Shared);
+        assert!(c.insert(0, LineState::Modified).is_none());
+        assert_eq!(c.state(0), LineState::Modified);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_in_set() {
+        let mut c = small();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(0, LineState::Shared);
+        c.insert(2, LineState::Shared);
+        c.touch(0); // make line 2 the LRU
+        let evicted = c.insert(4, LineState::Shared);
+        assert_eq!(evicted, Some((2, LineState::Shared)));
+        assert_eq!(c.state(0), LineState::Shared);
+        assert_eq!(c.state(4), LineState::Shared);
+        assert_eq!(c.state(2), LineState::Invalid);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(7, LineState::Modified);
+        assert_eq!(c.invalidate(7), LineState::Modified);
+        assert_eq!(c.invalidate(7), LineState::Invalid);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_invalid_removes() {
+        let mut c = small();
+        c.insert(1, LineState::Exclusive);
+        c.insert(1, LineState::Invalid);
+        assert_eq!(c.state(1), LineState::Invalid);
+        // Inserting Invalid for an absent line is a no-op.
+        assert!(c.insert(9, LineState::Invalid).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn states_readable_writable() {
+        assert!(!LineState::Invalid.readable());
+        assert!(LineState::Shared.readable());
+        assert!(!LineState::Shared.writable());
+        assert!(LineState::Exclusive.writable());
+        assert!(LineState::Modified.writable());
+        assert!(LineState::Owned.readable());
+        assert!(!LineState::Owned.writable());
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        c.insert(0, LineState::Shared); // set 0
+        c.insert(1, LineState::Shared); // set 1
+        c.insert(2, LineState::Shared); // set 0
+        c.insert(3, LineState::Shared); // set 1
+        assert_eq!(c.len(), 4);
+        // A fifth line evicts only within its own set.
+        c.insert(4, LineState::Shared); // set 0
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.state(1), LineState::Shared);
+        assert_eq!(c.state(3), LineState::Shared);
+    }
+}

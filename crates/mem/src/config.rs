@@ -1,0 +1,104 @@
+//! Memory-system configuration (Table 1 and Table 6 of the paper).
+
+/// Cache line size in bytes; fixed at the paper's 64 B.
+pub const LINE_BYTES: usize = 64;
+
+/// Timing and geometry parameters of the wired memory hierarchy.
+///
+/// Defaults reproduce Table 1 ("Default" row of Table 6); the sensitivity
+/// variants of Table 6 are provided as constructors.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_mem::MemConfig;
+///
+/// let c = MemConfig::default();
+/// assert_eq!(c.l1_rt, 2);
+/// assert_eq!(c.l2_rt, 6);
+/// assert_eq!(c.mem_rt, 110);
+/// let slow = MemConfig::slow_net_l2();
+/// assert_eq!(slow.l2_rt, 12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 capacity in bytes (private, write-back). Paper: 32 KB.
+    pub l1_bytes: usize,
+    /// L1 associativity. Paper: 2-way.
+    pub l1_assoc: usize,
+    /// L1 hit round-trip in cycles. Paper: 2.
+    pub l1_rt: u64,
+    /// L2 bank round-trip (local) in cycles. Paper: 6.
+    pub l2_rt: u64,
+    /// Off-chip memory round-trip in cycles. Paper: 110.
+    pub mem_rt: u64,
+    /// Use the virtual-tree multicast for invalidations (Baseline+
+    /// broadcast hardware, Krishna et al. \[22\]).
+    pub tree_multicast: bool,
+}
+
+impl MemConfig {
+    /// Table 1 / Table 6 "Default" parameters.
+    pub fn new() -> Self {
+        MemConfig {
+            l1_bytes: 32 * 1024,
+            l1_assoc: 2,
+            l1_rt: 2,
+            l2_rt: 6,
+            mem_rt: 110,
+            tree_multicast: false,
+        }
+    }
+
+    /// Table 6 "SlowNet+L2": doubles the L2 round trip to 12 cycles.
+    /// (The slower network itself is configured on the mesh.)
+    pub fn slow_net_l2() -> Self {
+        MemConfig {
+            l2_rt: 12,
+            ..MemConfig::new()
+        }
+    }
+
+    /// Enables the Baseline+ virtual-tree invalidation multicast.
+    pub fn with_tree_multicast(mut self) -> Self {
+        self.tree_multicast = true;
+        self
+    }
+
+    /// Number of 64 B lines an L1 holds.
+    pub fn l1_lines(&self) -> usize {
+        self.l1_bytes / LINE_BYTES
+    }
+
+    /// Number of L1 sets.
+    pub fn l1_sets(&self) -> usize {
+        self.l1_lines() / self.l1_assoc
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l1_assoc, 2);
+        assert_eq!(c.l1_lines(), 512);
+        assert_eq!(c.l1_sets(), 256);
+        assert!(!c.tree_multicast);
+    }
+
+    #[test]
+    fn variants() {
+        assert_eq!(MemConfig::slow_net_l2().l2_rt, 12);
+        assert!(MemConfig::new().with_tree_multicast().tree_multicast);
+    }
+}

@@ -1,0 +1,49 @@
+//! Cache-hierarchy and coherence timing model for the WiSync simulator.
+//!
+//! Models the conventional (wired) memory system of Table 1: private
+//! 32 KB L1s, a shared L2 distributed as one 512 KB bank per node, a
+//! MOESI directory protocol, four off-chip memory controllers at the mesh
+//! corners, and an optional virtual-tree invalidation multicast (the
+//! Baseline+ enhancement after Krishna et al. \[22\]).
+//!
+//! The model is *transaction-level*: each access computes its completion
+//! time from the protocol message sequence it would generate (L1 lookup,
+//! request to the home bank, forwards/invalidations, data response), and
+//! contention is modeled through per-line transaction serialization at the
+//! directory — the phenomenon that makes hot synchronization lines slow.
+//! Router-level flit arbitration is abstracted (see `DESIGN.md` §5.1).
+//!
+//! Data and timing are decoupled: the value effect of an access applies at
+//! its serialization point (issue order, which event-driven execution
+//! makes globally consistent), while the completion cycle models latency.
+//!
+//! # Examples
+//!
+//! ```
+//! use wisync_mem::{MemConfig, MemOp, MemSystem};
+//! use wisync_noc::{Mesh, NodeId};
+//! use wisync_sim::Cycle;
+//!
+//! let mesh = Mesh::new(16, 4);
+//! let mut mem = MemSystem::new(MemConfig::default(), mesh);
+//! let st = mem.access(NodeId(0), 0x1000, MemOp::Store(7), Cycle(0));
+//! let ld = mem.access(NodeId(1), 0x1000, MemOp::Load, st.complete_at);
+//! assert_eq!(ld.value, 7);
+//! assert!(ld.complete_at > st.complete_at);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod op;
+pub mod system;
+
+pub use cache::{L1Cache, LineState};
+pub use config::MemConfig;
+pub use op::{MemOp, MemOutcome, RmwKind};
+pub use system::{MemStats, MemSystem};
+
+/// Byte address of the 64 B cache line containing `addr`.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr / config::LINE_BYTES as u64
+}

@@ -1,0 +1,106 @@
+//! Memory operations and their outcomes.
+
+use wisync_noc::NodeId;
+use wisync_sim::Cycle;
+
+/// The flavor of an atomic read-modify-write through the cache hierarchy.
+///
+/// The Baseline machines execute these via the coherence protocol
+/// (acquiring the line in M state, like x86 `lock` ops); the WiSync
+/// machines execute the same kinds against the Broadcast Memory instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwKind {
+    /// Compare-and-swap: if current == `expected`, write `new`.
+    Cas {
+        /// Value the location must currently hold.
+        expected: u64,
+        /// Value written on success.
+        new: u64,
+    },
+    /// Unconditional exchange, returning the old value.
+    Swap(u64),
+    /// Add `delta` (wrapping), returning the old value.
+    FetchAdd(u64),
+    /// Set to 1, returning the old value (old == 0 means "acquired").
+    TestSet,
+}
+
+impl RmwKind {
+    /// Applies the operation to `current`, returning
+    /// `(new_value_to_store, success)`. For non-CAS kinds success is
+    /// always true; for CAS it reflects the comparison, and on failure the
+    /// stored value is unchanged.
+    pub fn apply(self, current: u64) -> (u64, bool) {
+        match self {
+            RmwKind::Cas { expected, new } => {
+                if current == expected {
+                    (new, true)
+                } else {
+                    (current, false)
+                }
+            }
+            RmwKind::Swap(v) => (v, true),
+            RmwKind::FetchAdd(d) => (current.wrapping_add(d), true),
+            RmwKind::TestSet => (1, true),
+        }
+    }
+
+    /// Whether this kind writes the location when applied to `current`.
+    pub fn writes(self, current: u64) -> bool {
+        self.apply(current).1
+    }
+}
+
+/// One memory access as seen by the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read a 64-bit word.
+    Load,
+    /// Write a 64-bit word.
+    Store(u64),
+    /// Atomic read-modify-write of a 64-bit word.
+    Rmw(RmwKind),
+}
+
+/// Result of a memory access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemOutcome {
+    /// Value read (loads and RMWs return the *old* value; stores return
+    /// the value written).
+    pub value: u64,
+    /// Cycle at which the access completes and the core may proceed.
+    pub complete_at: Cycle,
+    /// For `Rmw(Cas{..})`: whether the comparison succeeded. `true` for
+    /// every other operation.
+    pub rmw_success: bool,
+    /// Spin-waiters on this line to wake, paired with the cycle at which
+    /// each observes the change (store completion, i.e. after its
+    /// invalidations). Empty for loads.
+    pub woken: Vec<(NodeId, Cycle)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_semantics() {
+        let cas = RmwKind::Cas {
+            expected: 5,
+            new: 9,
+        };
+        assert_eq!(cas.apply(5), (9, true));
+        assert_eq!(cas.apply(4), (4, false));
+        assert!(!cas.writes(4));
+        assert!(cas.writes(5));
+    }
+
+    #[test]
+    fn swap_fetchadd_testset() {
+        assert_eq!(RmwKind::Swap(3).apply(8), (3, true));
+        assert_eq!(RmwKind::FetchAdd(2).apply(40), (42, true));
+        assert_eq!(RmwKind::FetchAdd(1).apply(u64::MAX), (0, true));
+        assert_eq!(RmwKind::TestSet.apply(0), (1, true));
+        assert_eq!(RmwKind::TestSet.apply(1), (1, true));
+    }
+}

@@ -1,0 +1,669 @@
+//! The shared memory system: distributed L2 directory + private L1s.
+
+use std::collections::HashMap;
+
+use wisync_noc::{Mesh, NodeId};
+use wisync_sim::{Cycle, Histogram};
+
+use crate::cache::{L1Cache, LineState};
+use crate::config::MemConfig;
+use crate::line_of;
+use crate::op::{MemOp, MemOutcome, RmwKind};
+
+/// A set of sharer nodes, stored as a fixed bitset (supports up to 256
+/// nodes, the paper's largest configuration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SharerSet {
+    bits: [u64; 4],
+}
+
+impl SharerSet {
+    fn insert(&mut self, n: usize) {
+        self.bits[n / 64] |= 1 << (n % 64);
+    }
+
+    fn remove(&mut self, n: usize) {
+        self.bits[n / 64] &= !(1 << (n % 64));
+    }
+
+    fn contains(&self, n: usize) -> bool {
+        self.bits[n / 64] & (1 << (n % 64)) != 0
+    }
+
+    fn clear(&mut self) {
+        self.bits = [0; 4];
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..256).filter(move |&n| self.contains(n))
+    }
+}
+
+/// Directory entry for one line resident in the (inclusive) L2.
+#[derive(Clone, Copy, Debug, Default)]
+struct DirEntry {
+    /// Node whose L1 holds the line in E/M/O (supplies data on forwards).
+    owner: Option<usize>,
+    /// Nodes whose L1s hold a readable copy (includes the owner).
+    sharers: SharerSet,
+}
+
+/// Counters and latency summaries for the wired memory system.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Load accesses issued.
+    pub loads: u64,
+    /// Store accesses issued.
+    pub stores: u64,
+    /// Atomic RMW accesses issued.
+    pub rmws: u64,
+    /// Accesses satisfied in the local L1.
+    pub l1_hits: u64,
+    /// Directory transactions (L1 misses and upgrades).
+    pub dir_transactions: u64,
+    /// Lines fetched from off-chip memory (cold misses).
+    pub cold_misses: u64,
+    /// Individual invalidation messages sent (tree multicasts count the
+    /// number of invalidated copies).
+    pub invalidations: u64,
+    /// Completion latency of every access, in cycles.
+    pub latency: Histogram,
+}
+
+/// The wired memory hierarchy of one simulated manycore.
+///
+/// See the crate docs for the modeling approach. Addresses are byte
+/// addresses; every access is to one naturally-aligned 64-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_mem::{MemConfig, MemOp, MemSystem, RmwKind};
+/// use wisync_noc::{Mesh, NodeId};
+/// use wisync_sim::Cycle;
+///
+/// let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
+/// let r = mem.access(
+///     NodeId(2),
+///     64,
+///     MemOp::Rmw(RmwKind::FetchAdd(5)),
+///     Cycle(0),
+/// );
+/// assert_eq!(r.value, 0); // old value
+/// assert_eq!(mem.peek(64), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemSystem {
+    config: MemConfig,
+    mesh: Mesh,
+    l1: Vec<L1Cache>,
+    dir: HashMap<u64, DirEntry>,
+    /// Per-line transaction serialization: the directory finishes one
+    /// coherence transaction on a line before starting the next.
+    line_busy: HashMap<u64, Cycle>,
+    data: HashMap<u64, u64>,
+    waiters: HashMap<u64, Vec<NodeId>>,
+    stats: MemStats,
+}
+
+impl MemSystem {
+    /// Creates a memory system for every node of `mesh`.
+    pub fn new(config: MemConfig, mesh: Mesh) -> Self {
+        let l1 = (0..mesh.len()).map(|_| L1Cache::new(&config)).collect();
+        MemSystem {
+            config,
+            mesh,
+            l1,
+            dir: HashMap::new(),
+            line_busy: HashMap::new(),
+            data: HashMap::new(),
+            waiters: HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Reads the current value of the word at `addr` without modeling any
+    /// timing (used for spin-condition checks and test assertions).
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.data.get(&(addr / 8)).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr` without timing or coherence effects.
+    /// Intended for pre-run initialization of workload data.
+    pub fn poke(&mut self, addr: u64, value: u64) {
+        self.data.insert(addr / 8, value);
+    }
+
+    /// Registers `core` as spin-waiting on the line containing `addr`.
+    /// The next store/RMW that writes the line returns the core in
+    /// [`MemOutcome::woken`]. Registration is idempotent per line.
+    pub fn register_waiter(&mut self, core: NodeId, addr: u64) {
+        let list = self.waiters.entry(line_of(addr)).or_default();
+        if !list.contains(&core) {
+            list.push(core);
+        }
+    }
+
+    /// Removes `core` from the waiter list of `addr`'s line (used on
+    /// context switches).
+    pub fn unregister_waiter(&mut self, core: NodeId, addr: u64) {
+        if let Some(list) = self.waiters.get_mut(&line_of(addr)) {
+            list.retain(|&c| c != core);
+        }
+    }
+
+    /// Performs one timed access.
+    ///
+    /// The data effect applies at issue (the event-driven caller processes
+    /// events in cycle order, so issue order is a consistent
+    /// linearization); `complete_at` is when the core may proceed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned or `core` is out of range.
+    pub fn access(&mut self, core: NodeId, addr: u64, op: MemOp, now: Cycle) -> MemOutcome {
+        assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
+        assert!(core.as_usize() < self.mesh.len(), "core {core} out of range");
+        let line = line_of(addr);
+        let outcome = match op {
+            MemOp::Load => self.do_load(core, addr, line, now),
+            MemOp::Store(v) => self.do_write(core, addr, line, now, Some(v), None),
+            MemOp::Rmw(kind) => self.do_write(core, addr, line, now, None, Some(kind)),
+        };
+        match op {
+            MemOp::Load => self.stats.loads += 1,
+            MemOp::Store(_) => self.stats.stores += 1,
+            MemOp::Rmw(_) => self.stats.rmws += 1,
+        }
+        self.stats
+            .latency
+            .record(outcome.complete_at.saturating_since(now));
+        outcome
+    }
+
+    fn do_load(&mut self, core: NodeId, addr: u64, line: u64, now: Cycle) -> MemOutcome {
+        let c = core.as_usize();
+        let value = self.peek(addr);
+        let l1_rt = self.config.l1_rt;
+        if self.l1[c].touch(line).readable() {
+            self.stats.l1_hits += 1;
+            return MemOutcome {
+                value,
+                complete_at: now + l1_rt,
+                rmw_success: true,
+                woken: Vec::new(),
+            };
+        }
+        // L1 miss: request to the home bank's directory.
+        self.stats.dir_transactions += 1;
+        let home = self.mesh.home_bank(line);
+        let arrival = now + l1_rt + self.mesh.latency(core, home);
+        let start = arrival.max_with(self.line_free(line));
+        let cold = self.cold_penalty(line, home);
+        let entry = self.dir.entry(line).or_default();
+        let done;
+        match entry.owner {
+            Some(o) if o != c => {
+                // Dirty/exclusive elsewhere: forward to the owner, which
+                // supplies data directly to the requester. MOESI: a
+                // modified owner keeps the line in Owned state.
+                let fwd = self.mesh.latency(home, NodeId(o))
+                    + self.config.l1_rt
+                    + self.mesh.latency(NodeId(o), core);
+                done = start + self.config.l2_rt + fwd;
+                let owner_state = self.l1[o].state(line);
+                let keeps_ownership = matches!(
+                    owner_state,
+                    LineState::Modified | LineState::Owned
+                );
+                let entry = self.dir.entry(line).or_default();
+                if keeps_ownership {
+                    self.l1[o].insert(line, LineState::Owned);
+                } else {
+                    // Clean exclusive copy: owner degrades to Shared.
+                    self.l1[o].insert(line, LineState::Shared);
+                    entry.owner = None;
+                }
+                let entry = self.dir.entry(line).or_default();
+                entry.sharers.insert(c);
+                self.fill_l1(c, line, LineState::Shared);
+            }
+            _ => {
+                // Clean in L2 (or this core is the stale owner after an
+                // eviction race): supply from the home bank.
+                done = start + cold + self.config.l2_rt + self.mesh.latency(home, core);
+                let no_sharers = entry.sharers.is_empty();
+                let state = if no_sharers {
+                    entry.owner = Some(c);
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+                entry.sharers.insert(c);
+                self.fill_l1(c, line, state);
+            }
+        }
+        self.line_busy.insert(line, done);
+        MemOutcome {
+            value,
+            complete_at: done,
+            rmw_success: true,
+            woken: Vec::new(),
+        }
+    }
+
+    /// Shared path for stores and RMWs: acquire write ownership, apply
+    /// the data effect, wake spin-waiters.
+    fn do_write(
+        &mut self,
+        core: NodeId,
+        addr: u64,
+        line: u64,
+        now: Cycle,
+        store: Option<u64>,
+        rmw: Option<RmwKind>,
+    ) -> MemOutcome {
+        let c = core.as_usize();
+        let old = self.peek(addr);
+        // Compute the data effect first.
+        let (new_value, success, writes) = match (store, rmw) {
+            (Some(v), None) => (v, true, true),
+            (None, Some(kind)) => {
+                let (nv, ok) = kind.apply(old);
+                (nv, ok, kind.writes(old))
+            }
+            _ => unreachable!("exactly one of store/rmw"),
+        };
+
+        let l1_rt = self.config.l1_rt;
+        let complete_at;
+        if self.l1[c].touch(line).writable() {
+            // Silent E->M upgrade or M hit.
+            self.stats.l1_hits += 1;
+            self.l1[c].insert(line, LineState::Modified);
+            complete_at = now + l1_rt;
+        } else {
+            self.stats.dir_transactions += 1;
+            let home = self.mesh.home_bank(line);
+            let arrival = now + l1_rt + self.mesh.latency(core, home);
+            let start = arrival.max_with(self.line_free(line));
+            let cold = self.cold_penalty(line, home);
+            let entry = self.dir.entry(line).or_default();
+            // Everyone except the requester must drop their copy.
+            let owner = entry.owner.filter(|&o| o != c);
+            let targets: Vec<usize> = entry.sharers.iter().filter(|&s| s != c).collect();
+            let inv_lat = self.invalidation_latency(home, &targets, owner, core);
+            self.stats.invalidations += targets.len() as u64;
+            for t in &targets {
+                self.l1[*t].invalidate(line);
+            }
+            let entry = self.dir.entry(line).or_default();
+            entry.sharers.clear();
+            entry.sharers.insert(c);
+            entry.owner = Some(c);
+            let grant = self.mesh.latency(home, core);
+            complete_at = start + cold + self.config.l2_rt + inv_lat + grant;
+            self.fill_l1(c, line, LineState::Modified);
+            self.line_busy.insert(line, complete_at);
+        }
+
+        if writes {
+            self.data.insert(addr / 8, new_value);
+        }
+        let woken = if writes {
+            self.take_waiters(line, complete_at, core)
+        } else {
+            Vec::new()
+        };
+        MemOutcome {
+            value: if store.is_some() { new_value } else { old },
+            complete_at,
+            rmw_success: success,
+            woken,
+        }
+    }
+
+    /// Latency to invalidate all other copies (and pull dirty data from an
+    /// owner). Invalidations fly in parallel; the directory waits for the
+    /// slowest acknowledgment. Baseline+ replaces the unicast storm with
+    /// one virtual-tree multicast plus an ack-combining reduction.
+    fn invalidation_latency(
+        &self,
+        home: NodeId,
+        sharer_targets: &[usize],
+        owner: Option<usize>,
+        requester: NodeId,
+    ) -> u64 {
+        if sharer_targets.is_empty() && owner.is_none() {
+            return 0;
+        }
+        let mut lat = 0u64;
+        if !sharer_targets.is_empty() {
+            if self.config.tree_multicast {
+                lat = self.mesh.broadcast_latency(home) + self.mesh.reduction_latency(home);
+            } else {
+                for &t in sharer_targets {
+                    let rt = 2 * self.mesh.latency(home, NodeId(t));
+                    lat = lat.max(rt);
+                }
+            }
+        }
+        if let Some(o) = owner {
+            // The owner also forwards the dirty data to the requester.
+            let fetch = self.mesh.latency(home, NodeId(o))
+                + self.config.l1_rt
+                + self.mesh.latency(NodeId(o), requester);
+            lat = lat.max(fetch);
+        }
+        lat
+    }
+
+    fn line_free(&self, line: u64) -> Cycle {
+        self.line_busy.get(&line).copied().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Extra latency if the line is not yet resident in the L2 (cold miss
+    /// to off-chip memory via the nearest controller).
+    fn cold_penalty(&mut self, line: u64, home: NodeId) -> u64 {
+        if self.dir.contains_key(&line) {
+            0
+        } else {
+            self.stats.cold_misses += 1;
+            let (_, hops) = self.mesh.nearest_memory_controller(home);
+            self.config.mem_rt + 2 * hops * self.mesh.hop_latency()
+        }
+    }
+
+    /// Inserts a line into an L1, propagating any eviction back into the
+    /// directory so the two views stay consistent.
+    fn fill_l1(&mut self, core: usize, line: u64, state: LineState) {
+        if let Some((evicted_line, evicted_state)) = self.l1[core].insert(line, state) {
+            if let Some(entry) = self.dir.get_mut(&evicted_line) {
+                entry.sharers.remove(core);
+                if entry.owner == Some(core) {
+                    // Write-back: data already lives in the backing store.
+                    entry.owner = None;
+                }
+            }
+            debug_assert!(evicted_state.readable());
+        }
+    }
+
+    fn take_waiters(&mut self, line: u64, at: Cycle, writer: NodeId) -> Vec<(NodeId, Cycle)> {
+        match self.waiters.remove(&line) {
+            Some(list) => list
+                .into_iter()
+                .filter(|&c| c != writer)
+                .map(|c| (c, at))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// L1 state of `line` at `core` (for tests and assertions).
+    pub fn l1_state(&self, core: NodeId, line: u64) -> LineState {
+        self.l1[core.as_usize()].state(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: usize) -> MemSystem {
+        MemSystem::new(MemConfig::default(), Mesh::new(n, 4))
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut m = sys(16);
+        let a = m.access(NodeId(0), 0x100, MemOp::Load, Cycle(0));
+        assert_eq!(a.value, 0);
+        // Cold miss: must cost far more than an L1 hit.
+        assert!(a.complete_at.as_u64() > 100, "cold miss {:?}", a.complete_at);
+        let b = m.access(NodeId(0), 0x100, MemOp::Load, a.complete_at);
+        assert_eq!(b.complete_at - a.complete_at, 2, "L1 hit RT");
+        assert_eq!(m.stats().l1_hits, 1);
+        assert_eq!(m.stats().cold_misses, 1);
+    }
+
+    #[test]
+    fn store_then_remote_load_forwards_from_owner() {
+        let mut m = sys(16);
+        let s = m.access(NodeId(0), 0x200, MemOp::Store(42), Cycle(0));
+        assert_eq!(m.peek(0x200), 42);
+        assert_eq!(m.l1_state(NodeId(0), line_of(0x200)), LineState::Modified);
+        let l = m.access(NodeId(5), 0x200, MemOp::Load, s.complete_at);
+        assert_eq!(l.value, 42);
+        // Owner keeps the line in Owned state (MOESI).
+        assert_eq!(m.l1_state(NodeId(0), line_of(0x200)), LineState::Owned);
+        assert_eq!(m.l1_state(NodeId(5), line_of(0x200)), LineState::Shared);
+    }
+
+    #[test]
+    fn exclusive_enables_silent_upgrade() {
+        let mut m = sys(16);
+        let l = m.access(NodeId(3), 0x300, MemOp::Load, Cycle(0));
+        assert_eq!(m.l1_state(NodeId(3), line_of(0x300)), LineState::Exclusive);
+        let before_dir = m.stats().dir_transactions;
+        let s = m.access(NodeId(3), 0x300, MemOp::Store(1), l.complete_at);
+        assert_eq!(s.complete_at - l.complete_at, 2, "silent E->M upgrade");
+        assert_eq!(m.stats().dir_transactions, before_dir);
+        assert_eq!(m.l1_state(NodeId(3), line_of(0x300)), LineState::Modified);
+    }
+
+    #[test]
+    fn store_invalidates_sharers() {
+        let mut m = sys(16);
+        let mut t = Cycle(0);
+        for c in 0..4 {
+            t = m.access(NodeId(c), 0x400, MemOp::Load, t).complete_at;
+        }
+        let inv_before = m.stats().invalidations;
+        m.access(NodeId(9), 0x400, MemOp::Store(5), t);
+        assert!(m.stats().invalidations > inv_before);
+        for c in 0..4 {
+            assert_eq!(m.l1_state(NodeId(c), line_of(0x400)), LineState::Invalid);
+        }
+        assert_eq!(m.l1_state(NodeId(9), line_of(0x400)), LineState::Modified);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = sys(16);
+        m.poke(0x500, 10);
+        let ok = m.access(
+            NodeId(0),
+            0x500,
+            MemOp::Rmw(RmwKind::Cas {
+                expected: 10,
+                new: 20,
+            }),
+            Cycle(0),
+        );
+        assert!(ok.rmw_success);
+        assert_eq!(ok.value, 10);
+        assert_eq!(m.peek(0x500), 20);
+        let fail = m.access(
+            NodeId(1),
+            0x500,
+            MemOp::Rmw(RmwKind::Cas {
+                expected: 10,
+                new: 30,
+            }),
+            ok.complete_at,
+        );
+        assert!(!fail.rmw_success);
+        assert_eq!(fail.value, 20);
+        assert_eq!(m.peek(0x500), 20);
+    }
+
+    #[test]
+    fn contended_line_serializes() {
+        let mut m = sys(64);
+        // Warm both lines (avoid cold-miss penalties in the comparison).
+        let w = m.access(NodeId(0), 0x600, MemOp::Store(0), Cycle(0));
+        let w2 = m.access(NodeId(8), 0x10000, MemOp::Store(0), w.complete_at);
+        let t = w2.complete_at;
+        // Two cores RMW the same line at the same cycle: the second must
+        // finish strictly after the first (directory serialization).
+        let a = m.access(NodeId(1), 0x600, MemOp::Rmw(RmwKind::FetchAdd(1)), t);
+        let b = m.access(NodeId(2), 0x600, MemOp::Rmw(RmwKind::FetchAdd(1)), t);
+        assert!(b.complete_at > a.complete_at);
+        assert_eq!(m.peek(0x600), 2);
+        // Different lines do not serialize against each other.
+        let c = m.access(NodeId(3), 0x10000, MemOp::Rmw(RmwKind::FetchAdd(1)), t);
+        assert!(c.complete_at < b.complete_at);
+    }
+
+    #[test]
+    fn waiters_wake_on_write_only() {
+        let mut m = sys(16);
+        // Warm: writer owns the line.
+        let w = m.access(NodeId(0), 0x700, MemOp::Store(0), Cycle(0));
+        m.register_waiter(NodeId(4), 0x700);
+        m.register_waiter(NodeId(5), 0x700);
+        m.register_waiter(NodeId(5), 0x700); // idempotent
+        let ld = m.access(NodeId(6), 0x700, MemOp::Load, w.complete_at);
+        assert!(ld.woken.is_empty(), "loads do not wake");
+        let st = m.access(NodeId(0), 0x700, MemOp::Store(1), ld.complete_at);
+        let mut woken: Vec<_> = st.woken.iter().map(|(c, _)| c.as_usize()).collect();
+        woken.sort_unstable();
+        assert_eq!(woken, vec![4, 5]);
+        assert!(st.woken.iter().all(|&(_, at)| at == st.complete_at));
+        // Waiters were consumed.
+        let st2 = m.access(NodeId(0), 0x700, MemOp::Store(2), st.complete_at);
+        assert!(st2.woken.is_empty());
+    }
+
+    #[test]
+    fn failed_cas_does_not_wake() {
+        let mut m = sys(16);
+        m.poke(0x800, 1);
+        m.register_waiter(NodeId(3), 0x800);
+        let r = m.access(
+            NodeId(0),
+            0x800,
+            MemOp::Rmw(RmwKind::Cas {
+                expected: 0,
+                new: 7,
+            }),
+            Cycle(0),
+        );
+        assert!(!r.rmw_success);
+        assert!(r.woken.is_empty());
+    }
+
+    #[test]
+    fn writer_does_not_wake_itself() {
+        let mut m = sys(16);
+        m.register_waiter(NodeId(0), 0x900);
+        let st = m.access(NodeId(0), 0x900, MemOp::Store(1), Cycle(0));
+        assert!(st.woken.is_empty());
+    }
+
+    #[test]
+    fn unregister_waiter() {
+        let mut m = sys(16);
+        m.register_waiter(NodeId(1), 0xA00);
+        m.unregister_waiter(NodeId(1), 0xA00);
+        let st = m.access(NodeId(0), 0xA00, MemOp::Store(1), Cycle(0));
+        assert!(st.woken.is_empty());
+    }
+
+    #[test]
+    fn tree_multicast_cheaper_with_many_sharers() {
+        let mesh = Mesh::new(64, 4);
+        let mut plain = MemSystem::new(MemConfig::default(), mesh.clone());
+        let mut tree = MemSystem::new(MemConfig::default().with_tree_multicast(), mesh);
+        let mut t_plain = Cycle(0);
+        let mut t_tree = Cycle(0);
+        for c in 0..63 {
+            t_plain = plain.access(NodeId(c), 0xB00, MemOp::Load, t_plain).complete_at;
+            t_tree = tree.access(NodeId(c), 0xB00, MemOp::Load, t_tree).complete_at;
+        }
+        let sp = plain.access(NodeId(63), 0xB00, MemOp::Store(1), t_plain);
+        let st = tree.access(NodeId(63), 0xB00, MemOp::Store(1), t_tree);
+        let lp = sp.complete_at - t_plain;
+        let lt = st.complete_at - t_tree;
+        // With 63 sharers spread across the mesh, the unicast storm waits
+        // for the farthest ack; the tree multicast is bounded by the tree
+        // depth. They can tie only if the farthest sharer is at the tree's
+        // own depth, so allow <=.
+        assert!(lt <= lp, "tree {lt} vs plain {lp}");
+    }
+
+    #[test]
+    fn poke_peek_roundtrip() {
+        let mut m = sys(16);
+        m.poke(0xC00, 123);
+        assert_eq!(m.peek(0xC00), 123);
+        assert_eq!(m.peek(0xC08), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        sys(16).access(NodeId(0), 3, MemOp::Load, Cycle(0));
+    }
+
+    #[test]
+    fn l1_capacity_eviction_keeps_directory_consistent() {
+        // Tiny L1: 2 lines total.
+        let cfg = MemConfig {
+            l1_bytes: 2 * 64,
+            l1_assoc: 1,
+            ..MemConfig::default()
+        };
+        let mut m = MemSystem::new(cfg, Mesh::new(4, 4));
+        let mut t = Cycle(0);
+        // Touch many distinct lines mapping over both sets.
+        for i in 0..8u64 {
+            t = m.access(NodeId(0), i * 64, MemOp::Store(i), t).complete_at;
+        }
+        // All data survives even though most lines were evicted.
+        for i in 0..8u64 {
+            assert_eq!(m.peek(i * 64), i);
+        }
+        // Re-reading an evicted line is a miss serviced by L2 (not a
+        // stale-owner forward to ourselves).
+        let r = m.access(NodeId(0), 0, MemOp::Load, t);
+        assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut m = sys(16);
+            let mut t = Cycle(0);
+            for i in 0..100u64 {
+                let core = NodeId((i % 16) as usize);
+                let addr = (i % 7) * 64;
+                let op = if i % 3 == 0 {
+                    MemOp::Store(i)
+                } else if i % 3 == 1 {
+                    MemOp::Load
+                } else {
+                    MemOp::Rmw(RmwKind::FetchAdd(1))
+                };
+                t = m.access(core, addr, op, t).complete_at;
+            }
+            t
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,197 @@
+//! A compact set of node ids.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// A fixed-capacity bitset of nodes (up to 256, the paper's largest
+/// machine).
+///
+/// # Examples
+///
+/// ```
+/// use wisync_noc::{NodeId, NodeSet};
+///
+/// let mut s = NodeSet::new();
+/// s.insert(NodeId(3));
+/// s.insert(NodeId(200));
+/// assert!(s.contains(NodeId(3)));
+/// assert_eq!(s.len(), 2);
+/// let members: Vec<_> = s.iter().collect();
+/// assert_eq!(members, vec![NodeId(3), NodeId(200)]);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    bits: [u64; 4],
+}
+
+impl NodeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    /// Creates a set containing nodes `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 256`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= 256, "NodeSet capacity is 256");
+        let mut s = NodeSet::new();
+        for i in 0..n {
+            s.insert(NodeId(i));
+        }
+        s
+    }
+
+    /// Adds a node. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is ≥ 256.
+    pub fn insert(&mut self, n: NodeId) -> bool {
+        let i = n.as_usize();
+        assert!(i < 256, "NodeSet capacity is 256");
+        let had = self.contains(n);
+        self.bits[i / 64] |= 1 << (i % 64);
+        !had
+    }
+
+    /// Removes a node. Returns whether it was present.
+    pub fn remove(&mut self, n: NodeId) -> bool {
+        let i = n.as_usize();
+        if i >= 256 {
+            return false;
+        }
+        let had = self.contains(n);
+        self.bits[i / 64] &= !(1 << (i % 64));
+        had
+    }
+
+    /// Whether the set contains `n`.
+    pub fn contains(&self, n: NodeId) -> bool {
+        let i = n.as_usize();
+        i < 256 && self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.bits = [0; 4];
+    }
+
+    /// Iterates members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..256).map(NodeId).filter(move |&n| self.contains(n))
+    }
+
+    /// Whether every member of `self` is also in `other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::new();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new();
+        assert!(s.insert(NodeId(0)));
+        assert!(!s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(255)));
+        assert!(s.contains(NodeId(0)));
+        assert!(s.contains(NodeId(255)));
+        assert!(!s.contains(NodeId(1)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(NodeId(0)));
+        assert!(!s.remove(NodeId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn first_n_and_iter() {
+        let s = NodeSet::first_n(5);
+        assert_eq!(s.len(), 5);
+        let v: Vec<_> = s.iter().map(NodeId::as_usize).collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = NodeSet::first_n(10);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn subset() {
+        let small = NodeSet::first_n(4);
+        let big = NodeSet::first_n(8);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: NodeSet = [NodeId(1), NodeId(3)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        let mut t = NodeSet::new();
+        t.extend(s.iter());
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let s = NodeSet::first_n(2);
+        assert_eq!(format!("{s:?}"), "{NodeId(0), NodeId(1)}");
+        assert_eq!(format!("{:?}", NodeSet::new()), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overflow_panics() {
+        NodeSet::new().insert(NodeId(256));
+    }
+}

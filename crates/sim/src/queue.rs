@@ -1,0 +1,159 @@
+//! Deterministic timestamped event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// A deterministic priority queue of `(Cycle, E)` events.
+///
+/// Events pop in increasing cycle order; events scheduled for the same
+/// cycle pop in the order they were pushed (FIFO tie-break via a
+/// monotonically increasing sequence number). This determinism is what
+/// makes whole-machine simulations replayable: two runs with the same
+/// configuration produce identical cycle counts.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'b');
+/// q.push(Cycle(3), 'c');
+/// q.push(Cycle(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at cycle `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Returns the cycle of the earliest pending event without removing it.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events but keeps the sequence counter, so FIFO
+    /// ordering guarantees still hold across the clear.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 1u32);
+        q.push(Cycle(5), 2);
+        q.push(Cycle(20), 3);
+        assert_eq!(q.pop(), Some((Cycle(5), 2)));
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(Cycle(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(4), ());
+        assert_eq!(q.peek_cycle(), Some(Cycle(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_cycle(), None);
+    }
+
+    #[test]
+    fn clear_preserves_fifo_across_epochs() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), 'x');
+        q.clear();
+        q.push(Cycle(1), 'a');
+        q.push(Cycle(1), 'b');
+        assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(1), 'b')));
+    }
+}

@@ -1,0 +1,404 @@
+//! Statistics collection: counters, latency histograms, utilization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_sim::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A running latency/value summary: count, sum, min, max, mean.
+///
+/// Used for e.g. "the average latency of a Data channel transfer in
+/// WiSyncNoT and WiSync is 9.8 and 5.6 cycles" (paper §7.4).
+///
+/// # Examples
+///
+/// ```
+/// use wisync_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(5);
+/// h.record(7);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), 6.0);
+/// assert_eq!(h.min(), Some(5));
+/// assert_eq!(h.max(), Some(7));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+    /// Power-of-two bucket counts: bucket i holds values in [2^i, 2^(i+1)).
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        let bucket = 64 - (value | 1).leading_zeros() as usize - 1;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Approximate p-th percentile (`p` in `[0.0, 1.0]`) from the
+    /// power-of-two buckets. Returns `None` if empty.
+    ///
+    /// The answer is the upper bound of the bucket containing the p-th
+    /// sample, so it is exact only to within a factor of two — sufficient
+    /// for the tail-latency sanity checks in the test suite.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return Some((2u64 << i).saturating_sub(1));
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={:?} max={:?}",
+            self.count, self.mean(), self.min, self.max
+        )
+    }
+}
+
+/// Tracks what fraction of simulated time a resource was busy.
+///
+/// Busy intervals are recorded as `[start, end)` spans; overlapping spans
+/// must not be recorded (the resources we track — wireless channels — are
+/// exclusive by construction).
+///
+/// # Examples
+///
+/// ```
+/// use wisync_sim::{Cycle, Utilization};
+///
+/// let mut u = Utilization::new();
+/// u.add_busy(Cycle(10), Cycle(15));
+/// assert_eq!(u.busy_cycles(), 5);
+/// assert!((u.fraction(Cycle(100)) - 0.05).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Utilization {
+    busy: u64,
+}
+
+impl Utilization {
+    /// Creates a tracker with no busy time.
+    pub fn new() -> Self {
+        Utilization { busy: 0 }
+    }
+
+    /// Records a busy span `[start, end)`.
+    ///
+    /// Spans with `end <= start` contribute nothing.
+    pub fn add_busy(&mut self, start: Cycle, end: Cycle) {
+        self.busy += end.saturating_since(start);
+    }
+
+    /// Records `n` busy cycles directly.
+    pub fn add_busy_cycles(&mut self, n: u64) {
+        self.busy += n;
+    }
+
+    /// Total busy cycles recorded.
+    pub fn busy_cycles(self) -> u64 {
+        self.busy
+    }
+
+    /// Busy fraction of the window `[0, now)`. Returns `0.0` at time zero.
+    pub fn fraction(self, now: Cycle) -> f64 {
+        if now.as_u64() == 0 {
+            0.0
+        } else {
+            self.busy as f64 / now.as_u64() as f64
+        }
+    }
+}
+
+/// A named bundle of counters and histograms for ad-hoc reporting.
+///
+/// Subsystems keep strongly-typed stats structs; `StatSet` is the
+/// stringly-keyed export format the bench harness prints.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_sim::StatSet;
+///
+/// let mut s = StatSet::new();
+/// s.bump("collisions");
+/// s.bump_by("collisions", 2);
+/// assert_eq!(s.counter("collisions"), 3);
+/// assert_eq!(s.counter("missing"), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatSet {
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, f64>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        StatSet::default()
+    }
+
+    /// Increments the named counter by one, creating it at zero if needed.
+    pub fn bump(&mut self, name: &str) {
+        self.bump_by(name, 1);
+    }
+
+    /// Increments the named counter by `n`.
+    pub fn bump_by(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Stores a named floating-point value (overwrites).
+    pub fn set_value(&mut self, name: &str, v: f64) {
+        self.values.insert(name.to_owned(), v);
+    }
+
+    /// Reads a named value; missing values read as `0.0`.
+    pub fn value(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates values in name order.
+    pub fn values(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        for (k, v) in &self.values {
+            writeln!(f, "{k}: {v:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 >= 500);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(30));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = Utilization::new();
+        u.add_busy(Cycle(0), Cycle(25));
+        u.add_busy(Cycle(50), Cycle(75));
+        assert_eq!(u.busy_cycles(), 50);
+        assert!((u.fraction(Cycle(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(Utilization::new().fraction(Cycle(0)), 0.0);
+    }
+
+    #[test]
+    fn utilization_ignores_inverted_span() {
+        let mut u = Utilization::new();
+        u.add_busy(Cycle(10), Cycle(5));
+        assert_eq!(u.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn statset_roundtrip() {
+        let mut s = StatSet::new();
+        s.bump("x");
+        s.set_value("f", 1.5);
+        assert_eq!(s.counter("x"), 1);
+        assert_eq!(s.value("f"), 1.5);
+        assert_eq!(s.counters().count(), 1);
+        assert_eq!(s.values().count(), 1);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in processor cycles.
+///
+/// The paper's cores run at 1 GHz, so one cycle is also one nanosecond and
+/// one wireless slot. `Cycle` is an absolute timestamp; differences between
+/// two `Cycle`s are plain `u64` durations.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let end = start + 28;
+/// assert_eq!(end - start, 28);
+/// assert_eq!(end, Cycle(128));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero timestamp, the start of every simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    ///
+    /// ```
+    /// # use wisync_sim::Cycle;
+    /// assert_eq!(Cycle(42).as_u64(), 42);
+    /// ```
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two timestamps.
+    ///
+    /// ```
+    /// # use wisync_sim::Cycle;
+    /// assert_eq!(Cycle(3).max_with(Cycle(7)), Cycle(7));
+    /// ```
+    #[inline]
+    pub fn max_with(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero if `earlier`
+    /// is actually later.
+    ///
+    /// ```
+    /// # use wisync_sim::Cycle;
+    /// assert_eq!(Cycle(10).saturating_since(Cycle(4)), 6);
+    /// assert_eq!(Cycle(4).saturating_since(Cycle(10)), 0);
+    /// ```
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn sub(self, rhs: u64) -> Cycle {
+        Cycle(self.0 - rhs)
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: u64) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Duration between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (underflow).
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl Sum<u64> for Cycle {
+    fn sum<I: Iterator<Item = u64>>(iter: I) -> Cycle {
+        Cycle(iter.sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(10);
+        assert_eq!(a + 5, Cycle(15));
+        assert_eq!((a + 5) - a, 5);
+        let mut b = a;
+        b += 3;
+        assert_eq!(b, Cycle(13));
+        b -= 13;
+        assert_eq!(b, Cycle::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(1).max_with(Cycle(2)), Cycle(2));
+        assert_eq!(Cycle(9).max_with(Cycle(2)), Cycle(9));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(7).to_string(), "7cyc");
+    }
+
+    #[test]
+    fn saturating_since_saturates() {
+        assert_eq!(Cycle(0).saturating_since(Cycle(100)), 0);
+    }
+}

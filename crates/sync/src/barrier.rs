@@ -1,0 +1,345 @@
+//! Barrier implementations: centralized (Baseline), tournament
+//! (Baseline+), BM central (WiSyncNoT), and tone (WiSync).
+//!
+//! All barriers are sense-reversing (§4.3.2): the caller keeps the sense
+//! in a register initialized to 0, and every emitted episode starts by
+//! toggling it.
+
+use wisync_isa::{Cond, Instr, ProgramBuilder, Reg, RmwSpec, Space};
+
+use crate::{SCRATCH, ZERO};
+
+fn emit_toggle_sense(b: &mut ProgramBuilder, sense: Reg) {
+    let [t, ..] = SCRATCH;
+    b.push(Instr::Li { dst: t, imm: 1 });
+    b.push(Instr::Xor {
+        dst: sense,
+        a: sense,
+        b: t,
+    });
+}
+
+/// The centralized sense-reversing barrier of the Baseline machine
+/// (Table 2): a shared count incremented with a CAS loop, and a release
+/// flag everyone spins on. Place `count_addr` and `release_addr` on
+/// different cache lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CentralBarrier {
+    /// Address of the arrival count.
+    pub count_addr: u64,
+    /// Address of the release flag.
+    pub release_addr: u64,
+    /// Number of participating threads.
+    pub n: u64,
+    /// Increment the count with a CAS loop (the Baseline machine's only
+    /// atomic, per Table 2) instead of fetch&add. The fetch&add variant
+    /// exists for the ablation benches.
+    pub use_cas: bool,
+}
+
+impl CentralBarrier {
+    /// Emits one barrier episode. `sense` holds the caller's sense
+    /// register (initially 0).
+    pub fn emit(&self, b: &mut ProgramBuilder, sense: Reg) {
+        let [t, old, new, last, ..] = SCRATCH;
+        emit_toggle_sense(b, sense);
+        if self.use_cas {
+            let retry = b.bind_here();
+            b.push(Instr::Ld {
+                dst: old,
+                base: ZERO,
+                offset: self.count_addr,
+                space: Space::Cached,
+            });
+            b.push(Instr::Addi { dst: new, a: old, imm: 1 });
+            b.push(Instr::Rmw {
+                kind: RmwSpec::Cas {
+                    expected: old,
+                    new,
+                },
+                dst: t,
+                base: ZERO,
+                offset: self.count_addr,
+                space: Space::Cached,
+            });
+            // CAS returned the pre-value; retry unless it matched.
+            b.push(Instr::CmpEq { dst: t, a: t, b: old });
+            b.push(Instr::Beqz { cond: t, target: retry });
+        } else {
+            b.push(Instr::Li { dst: t, imm: 1 });
+            b.push(Instr::Rmw {
+                kind: RmwSpec::FetchAdd { src: t },
+                dst: old,
+                base: ZERO,
+                offset: self.count_addr,
+                space: Space::Cached,
+            });
+        }
+        // Last arriver resets the count and releases; others spin.
+        let spin = b.label();
+        let done = b.label();
+        b.push(Instr::Li {
+            dst: last,
+            imm: self.n - 1,
+        });
+        b.push(Instr::CmpEq {
+            dst: last,
+            a: old,
+            b: last,
+        });
+        b.push(Instr::Beqz {
+            cond: last,
+            target: spin,
+        });
+        b.push(Instr::Li { dst: t, imm: 0 });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.count_addr,
+            space: Space::Cached,
+        });
+        b.push(Instr::St {
+            src: sense,
+            base: ZERO,
+            offset: self.release_addr,
+            space: Space::Cached,
+        });
+        b.push(Instr::Jump { target: done });
+        b.bind(spin);
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.release_addr,
+            value: sense,
+            space: Space::Cached,
+        });
+        b.bind(done);
+    }
+}
+
+/// The tournament barrier of Baseline+ (Mellor-Crummey & Scott \[31\]):
+/// log₂(N) pairwise arrival rounds over per-pair flags, then a central
+/// sense-reversed release (cheap under Baseline+'s tree multicast).
+///
+/// Each (thread, round) flag gets its own cache line below `flags_base`.
+/// The code is specialized per thread at build time, as a real runtime
+/// would via its thread id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TournamentBarrier {
+    /// Base address of the flag array.
+    pub flags_base: u64,
+    /// Address of the release flag.
+    pub release_addr: u64,
+    /// Number of participating threads.
+    pub n: usize,
+    /// This thread's id, `0..n`.
+    pub tid: usize,
+}
+
+impl TournamentBarrier {
+    /// Number of arrival rounds.
+    pub fn rounds(n: usize) -> usize {
+        assert!(n > 0);
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+
+    /// Bytes of flag storage this barrier needs below `flags_base`.
+    pub fn flags_bytes(n: usize) -> u64 {
+        (n * Self::rounds(n).max(1)) as u64 * 64
+    }
+
+    fn flag_addr(&self, thread: usize, round: usize) -> u64 {
+        let rounds = Self::rounds(self.n).max(1);
+        self.flags_base + ((thread * rounds + round) as u64) * 64
+    }
+
+    /// Emits one barrier episode for this thread.
+    pub fn emit(&self, b: &mut ProgramBuilder, sense: Reg) {
+        emit_toggle_sense(b, sense);
+        let j = self.tid;
+        for k in 0..Self::rounds(self.n) {
+            let pair = 1usize << (k + 1);
+            let half = 1usize << k;
+            if j % pair == half {
+                // Loser: publish arrival to the winner and stop climbing.
+                b.push(Instr::St {
+                    src: sense,
+                    base: ZERO,
+                    offset: self.flag_addr(j, k),
+                    space: Space::Cached,
+                });
+                break;
+            } else if j.is_multiple_of(pair) && j + half < self.n {
+                // Winner: wait for the partner's arrival.
+                b.push(Instr::WaitWhile {
+                    cond: Cond::Ne,
+                    base: ZERO,
+                    offset: self.flag_addr(j + half, k),
+                    value: sense,
+                    space: Space::Cached,
+                });
+            }
+        }
+        if j == 0 {
+            // Champion: release everyone.
+            b.push(Instr::St {
+                src: sense,
+                base: ZERO,
+                offset: self.release_addr,
+                space: Space::Cached,
+            });
+        } else {
+            b.push(Instr::WaitWhile {
+                cond: Cond::Ne,
+                base: ZERO,
+                offset: self.release_addr,
+                value: sense,
+                space: Space::Cached,
+            });
+        }
+    }
+}
+
+/// The WiSyncNoT barrier: the centralized sense-reversing algorithm run
+/// on Broadcast Memory — fetch&inc with the AFB protocol for arrival, a
+/// broadcast store for release, and purely local spinning (§4.3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BmCentralBarrier {
+    /// BM virtual address of the arrival count.
+    pub count_vaddr: u64,
+    /// BM virtual address of the release flag.
+    pub release_vaddr: u64,
+    /// Number of participating threads.
+    pub n: u64,
+}
+
+impl BmCentralBarrier {
+    /// Emits one barrier episode.
+    pub fn emit(&self, b: &mut ProgramBuilder, sense: Reg) {
+        let [t, old, afb, last, ..] = SCRATCH;
+        emit_toggle_sense(b, sense);
+        let retry = b.bind_here();
+        b.push(Instr::Rmw {
+            kind: RmwSpec::FetchInc,
+            dst: old,
+            base: ZERO,
+            offset: self.count_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::ReadAfb { dst: afb });
+        b.push(Instr::Bnez {
+            cond: afb,
+            target: retry,
+        });
+        let spin = b.label();
+        let done = b.label();
+        b.push(Instr::Li {
+            dst: last,
+            imm: self.n - 1,
+        });
+        b.push(Instr::CmpEq {
+            dst: last,
+            a: old,
+            b: last,
+        });
+        b.push(Instr::Beqz {
+            cond: last,
+            target: spin,
+        });
+        b.push(Instr::Li { dst: t, imm: 0 });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.count_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::St {
+            src: sense,
+            base: ZERO,
+            offset: self.release_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::Jump { target: done });
+        b.bind(spin);
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.release_vaddr,
+            value: sense,
+            space: Space::Bm,
+        });
+        b.bind(done);
+    }
+}
+
+/// The WiSync tone barrier (§4.3.3, Figure 4(c)): `tone_st` on arrival,
+/// then spin locally until the hardware toggles the flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ToneBarrierCode {
+    /// BM virtual address of the armed tone-barrier flag.
+    pub flag_vaddr: u64,
+}
+
+impl ToneBarrierCode {
+    /// Emits one barrier episode.
+    pub fn emit(&self, b: &mut ProgramBuilder, sense: Reg) {
+        emit_toggle_sense(b, sense);
+        b.push(Instr::ToneSt {
+            base: ZERO,
+            offset: self.flag_vaddr,
+        });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            value: sense,
+            space: Space::Bm,
+        });
+    }
+}
+
+/// A barrier of any style, for configuration-generic workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Barrier {
+    /// Centralized CAS barrier (Baseline).
+    Central(CentralBarrier),
+    /// Tournament barrier (Baseline+).
+    Tournament(TournamentBarrier),
+    /// BM centralized barrier over the Data channel (WiSyncNoT).
+    BmCentral(BmCentralBarrier),
+    /// Tone-channel barrier (WiSync).
+    Tone(ToneBarrierCode),
+}
+
+impl Barrier {
+    /// Emits one barrier episode.
+    pub fn emit(&self, b: &mut ProgramBuilder, sense: Reg) {
+        match *self {
+            Barrier::Central(x) => x.emit(b, sense),
+            Barrier::Tournament(x) => x.emit(b, sense),
+            Barrier::BmCentral(x) => x.emit(b, sense),
+            Barrier::Tone(x) => x.emit(b, sense),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tournament_rounds() {
+        assert_eq!(TournamentBarrier::rounds(2), 1);
+        assert_eq!(TournamentBarrier::rounds(4), 2);
+        assert_eq!(TournamentBarrier::rounds(5), 3);
+        assert_eq!(TournamentBarrier::rounds(64), 6);
+        assert_eq!(TournamentBarrier::rounds(1), 0);
+    }
+
+    #[test]
+    fn tournament_flags_footprint() {
+        assert_eq!(TournamentBarrier::flags_bytes(4), 4 * 2 * 64);
+        // One round minimum so the base is still line-aligned storage.
+        assert_eq!(TournamentBarrier::flags_bytes(1), 64);
+    }
+}

@@ -1,0 +1,50 @@
+//! Synchronization algorithms for the WiSync evaluation, emitted as
+//! kernel-ISA code.
+//!
+//! Table 2 pairs each architecture with a synchronization toolkit:
+//!
+//! | Config     | Locks            | Barriers                      |
+//! |------------|------------------|-------------------------------|
+//! | Baseline   | CAS (TTAS)       | Centralized (CAS counter)     |
+//! | Baseline+  | MCS \[31\]       | Tournament \[31\]             |
+//! | WiSyncNoT  | BM test&set      | BM central (Data channel)     |
+//! | WiSync     | BM test&set      | Tone barrier                  |
+//!
+//! This crate provides code generators for all of them, plus the
+//! producer-consumer, reduction, and multicast idioms of §4.3/Figure 4.
+//! Generators append instructions to a [`wisync_isa::ProgramBuilder`];
+//! the caller owns program structure (loops, compute phases).
+//!
+//! # Register conventions
+//!
+//! - `r0` must hold zero whenever emitted code runs (generators use it
+//!   as the base register for absolute addresses).
+//! - Generators scratch only registers `r24..r31` ([`SCRATCH`]); caller
+//!   state in `r1..r23` survives any emitted sequence.
+//! - Sense-reversing barriers keep their sense in a caller-provided
+//!   register, toggled by the emitted code each episode.
+
+pub mod barrier;
+pub mod lock;
+pub mod patterns;
+
+pub use barrier::{Barrier, BmCentralBarrier, CentralBarrier, ToneBarrierCode, TournamentBarrier};
+pub use lock::{BmLock, CachedLock, Lock, McsLock};
+pub use patterns::{Eureka, Multicast, ProducerConsumer, Reduction};
+
+use wisync_isa::Reg;
+
+/// Registers reserved as scratch space for emitted synchronization code.
+pub const SCRATCH: [Reg; 8] = [
+    Reg(24),
+    Reg(25),
+    Reg(26),
+    Reg(27),
+    Reg(28),
+    Reg(29),
+    Reg(30),
+    Reg(31),
+];
+
+/// The zero-base register (must hold 0 at runtime).
+pub const ZERO: Reg = Reg(0);

@@ -1,0 +1,285 @@
+//! Lock implementations: TTAS/CAS (Baseline), MCS (Baseline+), and the
+//! BM test&set lock (WiSync).
+
+use wisync_isa::{Cond, Instr, ProgramBuilder, Reg, RmwSpec, Space};
+
+use crate::{SCRATCH, ZERO};
+
+/// A test-and-test-and-set lock through the cache hierarchy, acquired
+/// with CAS — the Baseline configuration's lock (Table 2).
+///
+/// The lock word lives at `flag_addr` (give it its own cache line); 0 is
+/// free, 1 is held.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachedLock {
+    /// Address of the lock word.
+    pub flag_addr: u64,
+}
+
+impl CachedLock {
+    /// Emits an acquire: spin until the word reads 0, then CAS 0→1;
+    /// on CAS failure, go back to spinning.
+    pub fn emit_acquire(&self, b: &mut ProgramBuilder) {
+        let [t_old, t_exp, t_new, ..] = SCRATCH;
+        let retry = b.bind_here();
+        // Spin locally while the lock reads non-zero (test).
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.flag_addr,
+            value: ZERO,
+            space: Space::Cached,
+        });
+        // Attempt CAS(0 -> 1) (test-and-set).
+        b.push(Instr::Li { dst: t_exp, imm: 0 });
+        b.push(Instr::Li { dst: t_new, imm: 1 });
+        b.push(Instr::Rmw {
+            kind: RmwSpec::Cas {
+                expected: t_exp,
+                new: t_new,
+            },
+            dst: t_old,
+            base: ZERO,
+            offset: self.flag_addr,
+            space: Space::Cached,
+        });
+        b.push(Instr::Bnez {
+            cond: t_old,
+            target: retry,
+        });
+    }
+
+    /// Emits a release: store 0.
+    pub fn emit_release(&self, b: &mut ProgramBuilder) {
+        let [t, ..] = SCRATCH;
+        b.push(Instr::Li { dst: t, imm: 0 });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.flag_addr,
+            space: Space::Cached,
+        });
+    }
+}
+
+/// An MCS queue lock (Mellor-Crummey & Scott \[31\]) — the Baseline+
+/// configuration's lock.
+///
+/// The lock is a tail pointer at `tail_addr` (0 = free). Each thread
+/// brings a 2-word queue node: `next` at offset 0, `locked` at offset 8.
+/// Put each thread's node on its own cache line. Node addresses are
+/// passed in a register at emit time so node pools can be reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct McsLock {
+    /// Address of the tail pointer word.
+    pub tail_addr: u64,
+}
+
+/// Byte offset of an MCS queue node's `next` field.
+pub const MCS_NEXT: u64 = 0;
+/// Byte offset of an MCS queue node's `locked` field.
+pub const MCS_LOCKED: u64 = 8;
+
+impl McsLock {
+    /// Emits an acquire with the caller's queue node address in `qnode`
+    /// (must stay intact until release).
+    pub fn emit_acquire(&self, b: &mut ProgramBuilder, qnode: Reg) {
+        let [t0, pred, one, ..] = SCRATCH;
+        // qnode.next = 0; qnode.locked = 1.
+        b.push(Instr::Li { dst: t0, imm: 0 });
+        b.push(Instr::St {
+            src: t0,
+            base: qnode,
+            offset: MCS_NEXT,
+            space: Space::Cached,
+        });
+        b.push(Instr::Li { dst: one, imm: 1 });
+        b.push(Instr::St {
+            src: one,
+            base: qnode,
+            offset: MCS_LOCKED,
+            space: Space::Cached,
+        });
+        // pred = swap(tail, qnode).
+        b.push(Instr::Rmw {
+            kind: RmwSpec::Swap { src: qnode },
+            dst: pred,
+            base: ZERO,
+            offset: self.tail_addr,
+            space: Space::Cached,
+        });
+        let have_lock = b.label();
+        b.push(Instr::Beqz {
+            cond: pred,
+            target: have_lock,
+        });
+        // pred.next = qnode; spin on our own locked flag.
+        b.push(Instr::St {
+            src: qnode,
+            base: pred,
+            offset: MCS_NEXT,
+            space: Space::Cached,
+        });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: qnode,
+            offset: MCS_LOCKED,
+            value: t0, // == 0
+            space: Space::Cached,
+        });
+        b.bind(have_lock);
+    }
+
+    /// Emits a release with the same `qnode` register as the acquire.
+    pub fn emit_release(&self, b: &mut ProgramBuilder, qnode: Reg) {
+        let [t0, succ, zero, ..] = SCRATCH;
+        b.push(Instr::Li { dst: zero, imm: 0 });
+        // succ = qnode.next.
+        b.push(Instr::Ld {
+            dst: succ,
+            base: qnode,
+            offset: MCS_NEXT,
+            space: Space::Cached,
+        });
+        let hand_over = b.label();
+        let done = b.label();
+        b.push(Instr::Bnez {
+            cond: succ,
+            target: hand_over,
+        });
+        // No known successor: try CAS(tail, qnode, 0) to close the queue.
+        b.push(Instr::Rmw {
+            kind: RmwSpec::Cas {
+                expected: qnode,
+                new: zero,
+            },
+            dst: t0,
+            base: ZERO,
+            offset: self.tail_addr,
+            space: Space::Cached,
+        });
+        let wait_succ = b.label();
+        // CAS returned the old tail; if it was our node, the queue is
+        // closed and we are done.
+        b.push(Instr::CmpEq { dst: t0, a: t0, b: qnode });
+        b.push(Instr::Beqz {
+            cond: t0,
+            target: wait_succ,
+        });
+        b.push(Instr::Jump { target: done });
+        // Someone is enqueueing: wait for qnode.next to be filled in.
+        b.bind(wait_succ);
+        b.push(Instr::WaitWhile {
+            cond: Cond::Eq,
+            base: qnode,
+            offset: MCS_NEXT,
+            value: zero,
+            space: Space::Cached,
+        });
+        b.push(Instr::Ld {
+            dst: succ,
+            base: qnode,
+            offset: MCS_NEXT,
+            space: Space::Cached,
+        });
+        b.bind(hand_over);
+        // succ.locked = 0.
+        b.push(Instr::St {
+            src: zero,
+            base: succ,
+            offset: MCS_LOCKED,
+            space: Space::Cached,
+        });
+        b.bind(done);
+    }
+}
+
+/// A test&set lock in the Broadcast Memory — the WiSync lock (§4.3.1).
+///
+/// Acquire is a BM Test&Set with the AFB-retry protocol of Figure 4(a);
+/// waiting threads spin on their *local* BM replica, so the lock word
+/// ping-pongs over the wireless channel only on ownership changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BmLock {
+    /// BM virtual address of the lock word.
+    pub vaddr: u64,
+}
+
+impl BmLock {
+    /// Emits an acquire.
+    pub fn emit_acquire(&self, b: &mut ProgramBuilder) {
+        let [old, afb, ..] = SCRATCH;
+        let retry = b.bind_here();
+        // Spin on the local replica until the lock looks free.
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.vaddr,
+            value: ZERO,
+            space: Space::Bm,
+        });
+        b.push(Instr::Rmw {
+            kind: RmwSpec::TestSet,
+            dst: old,
+            base: ZERO,
+            offset: self.vaddr,
+            space: Space::Bm,
+        });
+        // Figure 4(a): retry on atomicity failure...
+        b.push(Instr::ReadAfb { dst: afb });
+        b.push(Instr::Bnez {
+            cond: afb,
+            target: retry,
+        });
+        // ...and on finding the lock already held.
+        b.push(Instr::Bnez {
+            cond: old,
+            target: retry,
+        });
+    }
+
+    /// Emits a release: broadcast-store 0.
+    pub fn emit_release(&self, b: &mut ProgramBuilder) {
+        let [t, ..] = SCRATCH;
+        b.push(Instr::Li { dst: t, imm: 0 });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.vaddr,
+            space: Space::Bm,
+        });
+    }
+}
+
+/// A lock of any style, for workloads that are generic over the machine
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lock {
+    /// TTAS/CAS through the caches (Baseline).
+    Cached(CachedLock),
+    /// MCS queue lock (Baseline+); the queue-node address must be in the
+    /// given register at acquire/release time.
+    Mcs(McsLock, Reg),
+    /// BM test&set (WiSync configurations).
+    Bm(BmLock),
+}
+
+impl Lock {
+    /// Emits an acquire for this lock style.
+    pub fn emit_acquire(&self, b: &mut ProgramBuilder) {
+        match *self {
+            Lock::Cached(l) => l.emit_acquire(b),
+            Lock::Mcs(l, qnode) => l.emit_acquire(b, qnode),
+            Lock::Bm(l) => l.emit_acquire(b),
+        }
+    }
+
+    /// Emits a release for this lock style.
+    pub fn emit_release(&self, b: &mut ProgramBuilder) {
+        match *self {
+            Lock::Cached(l) => l.emit_release(b),
+            Lock::Mcs(l, qnode) => l.emit_release(b, qnode),
+            Lock::Bm(l) => l.emit_release(b),
+        }
+    }
+}

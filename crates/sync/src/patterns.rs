@@ -1,0 +1,270 @@
+//! Producer-consumer, reduction, multicast, and OR-barrier idioms
+//! (§4.3.4, §4.3.5, Figure 4(d)).
+
+use wisync_isa::{Cond, Instr, ProgramBuilder, Reg, RmwSpec, Space};
+
+use crate::{SCRATCH, ZERO};
+
+/// The single-producer/single-consumer channel of §4.3.4: a data word
+/// (or Bulk-transferred block) plus a full/empty flag, both in the BM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProducerConsumer {
+    /// BM virtual address of the data block.
+    pub data_vaddr: u64,
+    /// BM virtual address of the full/empty flag.
+    pub flag_vaddr: u64,
+    /// Transfer 4 words with Bulk instructions instead of 1 word.
+    pub bulk: bool,
+}
+
+impl ProducerConsumer {
+    /// Emits one produce step: wait empty, write data (from `src`, or
+    /// `src..src+3` for bulk), set the flag.
+    pub fn emit_produce(&self, b: &mut ProgramBuilder, src: Reg) {
+        let [t, ..] = SCRATCH;
+        // Wait until the consumer has cleared the flag.
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            value: ZERO,
+            space: Space::Bm,
+        });
+        if self.bulk {
+            b.push(Instr::BulkSt {
+                src,
+                base: ZERO,
+                offset: self.data_vaddr,
+            });
+        } else {
+            b.push(Instr::St {
+                src,
+                base: ZERO,
+                offset: self.data_vaddr,
+                space: Space::Bm,
+            });
+        }
+        b.push(Instr::Li { dst: t, imm: 1 });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            space: Space::Bm,
+        });
+    }
+
+    /// Emits one consume step: wait full, read data into `dst` (or
+    /// `dst..dst+3` for bulk), clear the flag.
+    pub fn emit_consume(&self, b: &mut ProgramBuilder, dst: Reg) {
+        let [t, one, ..] = SCRATCH;
+        b.push(Instr::Li { dst: one, imm: 1 });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            value: one,
+            space: Space::Bm,
+        });
+        if self.bulk {
+            b.push(Instr::BulkLd {
+                dst,
+                base: ZERO,
+                offset: self.data_vaddr,
+            });
+        } else {
+            b.push(Instr::Ld {
+                dst,
+                base: ZERO,
+                offset: self.data_vaddr,
+                space: Space::Bm,
+            });
+        }
+        b.push(Instr::Li { dst: t, imm: 0 });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            space: Space::Bm,
+        });
+    }
+}
+
+/// A BM reduction variable (§4.3.5): every thread adds its contribution
+/// with fetch&add under the AFB protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reduction {
+    /// BM virtual address of the accumulator.
+    pub acc_vaddr: u64,
+}
+
+impl Reduction {
+    /// Emits `acc += src` with AFB retry.
+    pub fn emit_add(&self, b: &mut ProgramBuilder, src: Reg) {
+        let [t, afb, ..] = SCRATCH;
+        let retry = b.bind_here();
+        b.push(Instr::Rmw {
+            kind: RmwSpec::FetchAdd { src },
+            dst: t,
+            base: ZERO,
+            offset: self.acc_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::ReadAfb { dst: afb });
+        b.push(Instr::Bnez {
+            cond: afb,
+            target: retry,
+        });
+    }
+}
+
+/// The multicast (single producer, N consumers) idiom of §4.3.5 /
+/// Figure 4(d): data word + reader count + sense-reversing toggle flag.
+///
+/// Both producer and consumers keep a local sense register (initially
+/// 0), toggled per round by the emitted code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Multicast {
+    /// BM virtual address of the data word.
+    pub data_vaddr: u64,
+    /// BM virtual address of the reader count.
+    pub count_vaddr: u64,
+    /// BM virtual address of the toggling release flag.
+    pub flag_vaddr: u64,
+    /// Number of consumers.
+    pub readers: u64,
+}
+
+impl Multicast {
+    /// Emits one producer round: write data, set count = N, toggle the
+    /// flag, spin until count reaches 0.
+    pub fn emit_produce(&self, b: &mut ProgramBuilder, src: Reg, sense: Reg) {
+        let [t, one, ..] = SCRATCH;
+        b.push(Instr::St {
+            src,
+            base: ZERO,
+            offset: self.data_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::Li {
+            dst: t,
+            imm: self.readers,
+        });
+        b.push(Instr::St {
+            src: t,
+            base: ZERO,
+            offset: self.count_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::Li { dst: one, imm: 1 });
+        b.push(Instr::Xor {
+            dst: sense,
+            a: sense,
+            b: one,
+        });
+        b.push(Instr::St {
+            src: sense,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            space: Space::Bm,
+        });
+        // Wait for all readers: count == 0.
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.count_vaddr,
+            value: ZERO,
+            space: Space::Bm,
+        });
+    }
+
+    /// Emits one consumer round: wait for the flag to toggle to the new
+    /// sense, read data into `dst`, decrement the count.
+    pub fn emit_consume(&self, b: &mut ProgramBuilder, dst: Reg, sense: Reg) {
+        let [t, afb, one, ..] = SCRATCH;
+        b.push(Instr::Li { dst: one, imm: 1 });
+        b.push(Instr::Xor {
+            dst: sense,
+            a: sense,
+            b: one,
+        });
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            value: sense,
+            space: Space::Bm,
+        });
+        b.push(Instr::Ld {
+            dst,
+            base: ZERO,
+            offset: self.data_vaddr,
+            space: Space::Bm,
+        });
+        // fetch&add(count, -1) with AFB retry.
+        b.push(Instr::Li {
+            dst: t,
+            imm: u64::MAX, // -1
+        });
+        let retry = b.bind_here();
+        b.push(Instr::Rmw {
+            kind: RmwSpec::FetchAdd { src: t },
+            dst: afb,
+            base: ZERO,
+            offset: self.count_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::ReadAfb { dst: afb });
+        b.push(Instr::Bnez {
+            cond: afb,
+            target: retry,
+        });
+    }
+}
+
+/// An OR-barrier ("Eureka", §4.3.2): a boolean BM flag that any thread
+/// may raise; all threads poll it. Sense-reversing for reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eureka {
+    /// BM virtual address of the eureka flag.
+    pub flag_vaddr: u64,
+}
+
+impl Eureka {
+    /// Emits the trigger: broadcast the new sense.
+    pub fn emit_trigger(&self, b: &mut ProgramBuilder, sense: Reg) {
+        b.push(Instr::St {
+            src: sense,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            space: Space::Bm,
+        });
+    }
+
+    /// Emits a blocking wait for the trigger (polling threads would
+    /// interleave this with work; the wait variant is the building
+    /// block).
+    pub fn emit_wait(&self, b: &mut ProgramBuilder, sense: Reg) {
+        b.push(Instr::WaitWhile {
+            cond: Cond::Ne,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            value: sense,
+            space: Space::Bm,
+        });
+    }
+
+    /// Emits a non-blocking poll: `dst = (flag == sense)`.
+    pub fn emit_poll(&self, b: &mut ProgramBuilder, dst: Reg, sense: Reg) {
+        b.push(Instr::Ld {
+            dst,
+            base: ZERO,
+            offset: self.flag_vaddr,
+            space: Space::Bm,
+        });
+        b.push(Instr::CmpEq {
+            dst,
+            a: dst,
+            b: sense,
+        });
+    }
+}

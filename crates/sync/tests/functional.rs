@@ -1,0 +1,246 @@
+//! Functional correctness of the synchronization algorithms, checked on
+//! the architectural interpreter under many random interleavings.
+//!
+//! Mutual exclusion is verified with the classic non-atomic
+//! read-modify-write trick: inside the critical section each thread does
+//! `tmp = counter; compute; counter = tmp + 1` with plain loads/stores.
+//! If exclusion ever fails under some interleaving, increments are lost
+//! and the final count is short.
+
+use wisync_isa::interp::{ArchSim, RunOutcome};
+use wisync_isa::{Instr, Program, ProgramBuilder, Reg, Space};
+use wisync_sync::{
+    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock,
+    ToneBarrierCode, TournamentBarrier,
+};
+
+const COUNTER: u64 = 0x8000;
+const ITERS: u64 = 12;
+
+/// Builds a program that acquires `lock`, does a non-atomic increment of
+/// COUNTER (in `space`), releases, `ITERS` times.
+fn lock_worker(lock: Lock, space: Space, qnode_addr: Option<u64>) -> Program {
+    let mut b = ProgramBuilder::new();
+    if let Some(q) = qnode_addr {
+        b.push(Instr::Li { dst: Reg(1), imm: q });
+    }
+    b.push(Instr::Li { dst: Reg(2), imm: ITERS });
+    let top = b.bind_here();
+    lock.emit_acquire(&mut b);
+    // Critical section: non-atomic increment.
+    b.push(Instr::Ld {
+        dst: Reg(3),
+        base: Reg(0),
+        offset: COUNTER,
+        space,
+    });
+    b.push(Instr::Addi {
+        dst: Reg(3),
+        a: Reg(3),
+        imm: 1,
+    });
+    b.push(Instr::St {
+        src: Reg(3),
+        base: Reg(0),
+        offset: COUNTER,
+        space,
+    });
+    lock.emit_release(&mut b);
+    b.push(Instr::Addi {
+        dst: Reg(2),
+        a: Reg(2),
+        imm: u64::MAX,
+    });
+    b.push(Instr::Bnez {
+        cond: Reg(2),
+        target: top,
+    });
+    b.push(Instr::Halt);
+    b.build().unwrap()
+}
+
+fn check_mutual_exclusion(mk: impl Fn(usize) -> Program, threads: usize, space: Space) {
+    for seed in 1..=20u64 {
+        let progs: Vec<Program> = (0..threads).map(&mk).collect();
+        let mut sim = ArchSim::new(progs, seed);
+        let out = sim.run(4_000_000);
+        assert_eq!(out, RunOutcome::AllHalted, "seed {seed}");
+        let total = match space {
+            Space::Cached => sim.mem(COUNTER),
+            Space::Bm => sim.bm(COUNTER),
+        };
+        assert_eq!(
+            total,
+            threads as u64 * ITERS,
+            "lost increments under seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn ttas_lock_mutual_exclusion() {
+    let lock = Lock::Cached(CachedLock { flag_addr: 0x100 });
+    check_mutual_exclusion(|_| lock_worker(lock, Space::Cached, None), 6, Space::Cached);
+}
+
+#[test]
+fn mcs_lock_mutual_exclusion() {
+    let mcs = McsLock { tail_addr: 0x100 };
+    check_mutual_exclusion(
+        |tid| {
+            let qnode = 0x4000 + tid as u64 * 64;
+            lock_worker(Lock::Mcs(mcs, Reg(1)), Space::Cached, Some(qnode))
+        },
+        6,
+        Space::Cached,
+    );
+}
+
+#[test]
+fn bm_lock_mutual_exclusion() {
+    let lock = Lock::Bm(BmLock { vaddr: 0x100 });
+    check_mutual_exclusion(|_| lock_worker(lock, Space::Bm, None), 6, Space::Bm);
+}
+
+/// Builds a barrier-phase checker: each thread writes its arrival stamp
+/// into a private slot before the barrier and, after the barrier, reads
+/// every other thread's slot. If the barrier ever lets a thread through
+/// early, it observes a stale (smaller) phase stamp.
+fn barrier_worker(mk_barrier: &dyn Fn(usize) -> Barrier, tid: usize, n: usize) -> Program {
+    let slots = 0x9000u64; // slot per thread, cached space
+    let phases = 3u64;
+    let mut b = ProgramBuilder::new();
+    // r10 = phase counter.
+    b.push(Instr::Li { dst: Reg(10), imm: 0 });
+    // r11 = sense for the barrier.
+    b.push(Instr::Li { dst: Reg(11), imm: 0 });
+    b.push(Instr::Li { dst: Reg(12), imm: phases });
+    let top = b.bind_here();
+    // Publish my phase.
+    b.push(Instr::Addi { dst: Reg(10), a: Reg(10), imm: 1 });
+    b.push(Instr::St {
+        src: Reg(10),
+        base: Reg(0),
+        offset: slots + tid as u64 * 64,
+        space: Space::Cached,
+    });
+    mk_barrier(tid).emit(&mut b, Reg(11));
+    // Check everyone reached my phase: accumulate min into r13.
+    b.push(Instr::Li { dst: Reg(13), imm: u64::MAX });
+    for other in 0..n {
+        b.push(Instr::Ld {
+            dst: Reg(14),
+            base: Reg(0),
+            offset: slots + other as u64 * 64,
+            space: Space::Cached,
+        });
+        // r13 = min(r13, r14)
+        b.push(Instr::CmpLt {
+            dst: Reg(15),
+            a: Reg(14),
+            b: Reg(13),
+        });
+        let keep = b.label();
+        b.push(Instr::Beqz {
+            cond: Reg(15),
+            target: keep,
+        });
+        b.push(Instr::Mov {
+            dst: Reg(13),
+            src: Reg(14),
+        });
+        b.bind(keep);
+    }
+    // If min phase < my phase, record failure in r20.
+    b.push(Instr::CmpLt {
+        dst: Reg(16),
+        a: Reg(13),
+        b: Reg(10),
+    });
+    b.push(Instr::Or {
+        dst: Reg(20),
+        a: Reg(20),
+        b: Reg(16),
+    });
+    // Second barrier so nobody races ahead into the next publish.
+    mk_barrier(tid).emit(&mut b, Reg(11));
+    b.push(Instr::Addi { dst: Reg(12), a: Reg(12), imm: u64::MAX });
+    b.push(Instr::Bnez { cond: Reg(12), target: top });
+    b.push(Instr::Halt);
+    b.build().unwrap()
+}
+
+fn check_barrier(mk: &dyn Fn(usize) -> Barrier, n: usize, tone_flag: Option<u64>) {
+    for seed in 1..=15u64 {
+        let progs: Vec<Program> = (0..n).map(|tid| barrier_worker(mk, tid, n)).collect();
+        let mut sim = ArchSim::new(progs, seed);
+        if let Some(flag) = tone_flag {
+            sim.arm_tone(flag, n);
+        }
+        let out = sim.run(4_000_000);
+        assert_eq!(out, RunOutcome::AllHalted, "seed {seed}");
+        for tid in 0..n {
+            assert_eq!(sim.reg(tid, 20), 0, "thread {tid} saw stale phase, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn central_barrier_separates_phases() {
+    let mk = |_tid: usize| {
+        Barrier::Central(CentralBarrier {
+            count_addr: 0x100,
+            release_addr: 0x140,
+            n: 5,
+            use_cas: true,
+        })
+    };
+    check_barrier(&mk, 5, None);
+}
+
+#[test]
+fn central_barrier_fetch_add_variant() {
+    let mk = |_tid: usize| {
+        Barrier::Central(CentralBarrier {
+            count_addr: 0x100,
+            release_addr: 0x140,
+            n: 4,
+            use_cas: false,
+        })
+    };
+    check_barrier(&mk, 4, None);
+}
+
+#[test]
+fn tournament_barrier_separates_phases() {
+    for n in [2usize, 3, 4, 6, 8] {
+        let mk = move |tid: usize| {
+            Barrier::Tournament(TournamentBarrier {
+                flags_base: 0x1000,
+                release_addr: 0x100,
+                n,
+                tid,
+            })
+        };
+        check_barrier(&mk, n, None);
+    }
+}
+
+#[test]
+fn bm_central_barrier_separates_phases() {
+    let mk = |_tid: usize| {
+        Barrier::BmCentral(BmCentralBarrier {
+            count_vaddr: 0x100,
+            release_vaddr: 0x140,
+            n: 5,
+        })
+    };
+    check_barrier(&mk, 5, None);
+}
+
+#[test]
+fn tone_barrier_separates_phases() {
+    let flag = 0x100u64;
+    let mk = move |_tid: usize| Barrier::Tone(ToneBarrierCode { flag_vaddr: flag });
+    check_barrier(&mk, 5, Some(flag));
+}

@@ -1,0 +1,196 @@
+//! Producer-consumer, reduction, multicast, and eureka idioms: checked
+//! functionally (ArchSim, random interleavings) and on the timed machine.
+
+use wisync_core::{Machine, MachineConfig, Pid, RunOutcome};
+use wisync_isa::interp::{ArchSim, RunOutcome as ArchOutcome};
+use wisync_isa::{Instr, Program, ProgramBuilder, Reg};
+use wisync_sync::{Eureka, Multicast, ProducerConsumer, Reduction};
+
+const PID: Pid = Pid(1);
+
+fn halt(mut b: ProgramBuilder) -> Program {
+    b.push(Instr::Halt);
+    b.build().unwrap()
+}
+
+#[test]
+fn producer_consumer_functional_ordering() {
+    // Producer sends 1..=10; consumer sums. Flag protocol must deliver
+    // every value exactly once under any interleaving.
+    let pc = ProducerConsumer {
+        data_vaddr: 0x100,
+        flag_vaddr: 0x140,
+        bulk: false,
+    };
+    let producer = {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(2), imm: 10 });
+        b.push(Instr::Li { dst: Reg(3), imm: 0 }); // value
+        let top = b.bind_here();
+        b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
+        pc.emit_produce(&mut b, Reg(3));
+        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        halt(b)
+    };
+    let consumer = {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(2), imm: 10 });
+        b.push(Instr::Li { dst: Reg(4), imm: 0 }); // sum
+        let top = b.bind_here();
+        pc.emit_consume(&mut b, Reg(5));
+        b.push(Instr::Add { dst: Reg(4), a: Reg(4), b: Reg(5) });
+        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        halt(b)
+    };
+    for seed in 1..=10 {
+        let mut sim = ArchSim::new(vec![producer.clone(), consumer.clone()], seed);
+        assert_eq!(sim.run(1_000_000), ArchOutcome::AllHalted, "seed {seed}");
+        assert_eq!(sim.reg(1, 4), 55, "seed {seed}");
+    }
+}
+
+#[test]
+fn producer_consumer_bulk_timed() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let data = m.bm_alloc(PID, 4).unwrap();
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    let pc = ProducerConsumer {
+        data_vaddr: data,
+        flag_vaddr: flag,
+        bulk: true,
+    };
+    let producer = {
+        let mut b = ProgramBuilder::new();
+        for k in 0..4u8 {
+            b.push(Instr::Li {
+                dst: Reg(4 + k),
+                imm: 1000 + k as u64,
+            });
+        }
+        pc.emit_produce(&mut b, Reg(4));
+        halt(b)
+    };
+    let consumer = {
+        let mut b = ProgramBuilder::new();
+        pc.emit_consume(&mut b, Reg(8));
+        halt(b)
+    };
+    m.load_program(0, PID, producer);
+    m.load_program(5, PID, consumer);
+    let r = m.run(1_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    for k in 0..4u8 {
+        assert_eq!(m.reg(5, Reg(8 + k)), 1000 + k as u64);
+    }
+    assert_eq!(m.bm_value(PID, flag).unwrap(), 0, "flag cleared");
+}
+
+#[test]
+fn reduction_sums_all_contributions_timed() {
+    let cores = 16;
+    let mut m = Machine::new(MachineConfig::wisync(cores));
+    let acc = m.bm_alloc(PID, 1).unwrap();
+    let red = Reduction { acc_vaddr: acc };
+    for c in 0..cores {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: (c + 1) as u64,
+        });
+        red.emit_add(&mut b, Reg(1));
+        m.load_program(c, PID, halt(b));
+    }
+    let r = m.run(10_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    let expect: u64 = (1..=cores as u64).sum();
+    assert_eq!(m.bm_value(PID, acc).unwrap(), expect);
+}
+
+#[test]
+fn multicast_delivers_to_all_readers() {
+    let readers = 6usize;
+    let rounds = 4u64;
+    let mc = Multicast {
+        data_vaddr: 0x100,
+        count_vaddr: 0x140,
+        flag_vaddr: 0x180,
+        readers: readers as u64,
+    };
+    let producer = {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(2), imm: rounds });
+        b.push(Instr::Li { dst: Reg(3), imm: 100 }); // payload
+        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+        let top = b.bind_here();
+        mc.emit_produce(&mut b, Reg(3), Reg(11));
+        b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
+        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        halt(b)
+    };
+    let reader = {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(2), imm: rounds });
+        b.push(Instr::Li { dst: Reg(4), imm: 0 }); // sum of payloads
+        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+        let top = b.bind_here();
+        mc.emit_consume(&mut b, Reg(5), Reg(11));
+        b.push(Instr::Add { dst: Reg(4), a: Reg(4), b: Reg(5) });
+        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        halt(b)
+    };
+    for seed in 1..=10 {
+        let mut progs = vec![producer.clone()];
+        progs.extend((0..readers).map(|_| reader.clone()));
+        let mut sim = ArchSim::new(progs, seed);
+        assert_eq!(sim.run(2_000_000), ArchOutcome::AllHalted, "seed {seed}");
+        // Every reader saw 100+101+102+103.
+        for r in 1..=readers {
+            assert_eq!(sim.reg(r, 4), 406, "reader {r}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn eureka_releases_waiters_timed() {
+    let cores = 8;
+    let mut m = Machine::new(MachineConfig::wisync(cores));
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    let e = Eureka { flag_vaddr: flag };
+    // Core 3 "finds the solution" after some work; everyone else waits.
+    for c in 0..cores {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(11), imm: 1 }); // sense for episode 1
+        if c == 3 {
+            b.push(Instr::Compute { cycles: 700 });
+            e.emit_trigger(&mut b, Reg(11));
+        } else {
+            e.emit_wait(&mut b, Reg(11));
+        }
+        m.load_program(c, PID, halt(b));
+    }
+    let r = m.run(1_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    for c in 0..cores {
+        let f = r.core_finish[c].unwrap().as_u64();
+        assert!(f >= 700, "core {c} released early at {f}");
+        assert!(f < 800, "core {c} released too late at {f}");
+    }
+}
+
+#[test]
+fn eureka_poll_is_nonblocking() {
+    let mut m = Machine::new(MachineConfig::wisync(4));
+    let flag = m.bm_alloc(PID, 1).unwrap();
+    let e = Eureka { flag_vaddr: flag };
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Li { dst: Reg(11), imm: 1 });
+    e.emit_poll(&mut b, Reg(5), Reg(11));
+    m.load_program(0, PID, halt(b));
+    let r = m.run(10_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(0, Reg(5)), 0, "not triggered yet");
+}

@@ -1,0 +1,100 @@
+//! Wireless channel timing parameters (Table 1, §4.1).
+
+/// Collision-resolution policy of the MAC (§5.3).
+///
+/// The paper uses exponential backoff and notes that adaptive policies
+/// (a la Reactive Synchronization \[27\]) "would be easy to support
+/// because all nodes have all the information at all times" — but does
+/// not explore them. [`MacPolicy::Reactive`] implements that idea:
+/// since every transceiver observed the same collision, the colliding
+/// nodes resolve it by deterministic consensus (node-id order), taking
+/// staggered slots with no further collisions among themselves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MacPolicy {
+    /// Random exponential backoff (paper §5.3, the default).
+    #[default]
+    Exponential,
+    /// Deterministic consensus ordering after a collision (the paper's
+    /// unexplored adaptive alternative).
+    Reactive,
+}
+
+/// Timing parameters of the wireless channels.
+///
+/// Defaults reproduce the paper: a 77-bit message over a 19 Gb/s channel
+/// takes 4 transfer cycles plus 1 listen cycle = 5 cycles; a collision is
+/// detected in the second cycle, so colliding transfers release the
+/// channel after 2 cycles; a Bulk message takes 15 cycles (the three
+/// trailing words skip the collision check and carry no header).
+///
+/// # Examples
+///
+/// ```
+/// use wisync_wireless::WirelessConfig;
+///
+/// let c = WirelessConfig::default();
+/// assert_eq!(c.tx_cycles, 5);
+/// assert_eq!(c.bulk_cycles, 15);
+/// assert_eq!(c.collision_cycles, 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WirelessConfig {
+    /// Cycles a normal Data channel message occupies the channel.
+    pub tx_cycles: u64,
+    /// Cycles a Bulk (4-word) message occupies the channel.
+    pub bulk_cycles: u64,
+    /// Cycles a collision occupies the channel before it is free again.
+    pub collision_cycles: u64,
+    /// Maximum exponent of the exponential-backoff window (caps the
+    /// random wait at `2^max_backoff_exp - 1` cycles), as in Ethernet
+    /// \[32\].
+    pub max_backoff_exp: u32,
+    /// Seed for the MAC's deterministic backoff randomness.
+    pub seed: u64,
+    /// Collision-resolution policy (§5.3).
+    pub mac_policy: MacPolicy,
+    /// Number of parallel Data channels at different frequency bands.
+    ///
+    /// The paper uses one ("we want to keep our system simple and the
+    /// transceiver small", §4.1) but discusses multiple channels as the
+    /// way to enable parallel wireless communication; this knob exists
+    /// for that exploration (BM addresses are interleaved across
+    /// channels). Area/power would scale roughly linearly (§2).
+    pub data_channels: usize,
+}
+
+impl WirelessConfig {
+    /// The paper's Table 1 parameters.
+    pub fn new() -> Self {
+        WirelessConfig {
+            tx_cycles: 5,
+            bulk_cycles: 15,
+            collision_cycles: 2,
+            max_backoff_exp: 10,
+            seed: 0x5739_4C01,
+            mac_policy: MacPolicy::Exponential,
+            data_channels: 1,
+        }
+    }
+}
+
+impl Default for WirelessConfig {
+    fn default() -> Self {
+        WirelessConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = WirelessConfig::default();
+        assert_eq!(c.tx_cycles, 5);
+        assert_eq!(c.bulk_cycles, 15);
+        assert_eq!(c.collision_cycles, 2);
+        assert!(c.max_backoff_exp >= 4);
+        assert_eq!(c.data_channels, 1, "the paper's single-channel design");
+    }
+}

@@ -1,0 +1,547 @@
+//! The wireless Data channel: a single shared 19 Gb/s broadcast medium.
+
+use std::collections::{BTreeMap, HashMap};
+
+use wisync_noc::NodeId;
+use wisync_sim::{Cycle, DetRng, Histogram};
+
+use crate::config::{MacPolicy, WirelessConfig};
+use crate::mac::MacState;
+
+/// Length class of a Data channel message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxLen {
+    /// One 64-bit word + header: 5 cycles.
+    Normal,
+    /// Bulk message (4 words): 15 cycles (§4.1 — the trailing words skip
+    /// the collision-listen cycle and carry no header).
+    Bulk,
+}
+
+/// Handle identifying a requested transmission, usable to cancel it while
+/// it is still queued (e.g. when a pending RMW's atomicity fails, §4.2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TxToken(u64);
+
+/// What happened when a pending slot was resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resolution<M> {
+    /// Nothing was pending at this slot (stale resolve; harmless).
+    Idle,
+    /// The channel was busy; the pending attempts moved to the returned
+    /// slots (the first lands when the channel frees, the rest are
+    /// dithered to avoid a synchronized pile-up). Schedule resolves at
+    /// each returned slot.
+    Deferred(Vec<Cycle>),
+    /// Exactly one node transmitted. The message is delivered to every
+    /// node (including the sender's own BM) at `complete_at`.
+    Started {
+        /// Transmitting node.
+        node: NodeId,
+        /// Token of the transmission that started.
+        token: TxToken,
+        /// The message payload, returned to the caller for delivery.
+        message: M,
+        /// Cycle at which the transfer completes chip-wide.
+        complete_at: Cycle,
+    },
+    /// Two or more nodes started in the same slot. Each backs off and
+    /// retries; schedule resolves at the returned slots.
+    Collision {
+        /// Distinct retry slots that now need resolving.
+        retry_slots: Vec<Cycle>,
+    },
+}
+
+/// Statistics for the Data channel.
+#[derive(Clone, Debug, Default)]
+pub struct DataChannelStats {
+    /// Successful transmissions.
+    pub transfers: u64,
+    /// Collision events (each involves ≥2 nodes).
+    pub collisions: u64,
+    /// Cycles the channel was occupied (transfers + collision windows).
+    pub busy_cycles: u64,
+    /// Latency from request to chip-wide delivery, per transfer.
+    pub latency: Histogram,
+}
+
+#[derive(Debug)]
+struct Pending<M> {
+    node: NodeId,
+    len: TxLen,
+    message: M,
+    requested_at: Cycle,
+    /// Slot this transmission currently plans to start in.
+    slot: Cycle,
+    /// Per-frame backoff state (see [`MacState`]).
+    mac: MacState,
+}
+
+/// The single shared wireless Data channel (§4.1).
+///
+/// The channel is a passive arbiter driven by its owner's event loop:
+///
+/// 1. [`DataChannel::request`] enqueues a transmission and returns the
+///    slot in which the node will attempt to start (`max(now, expected
+///    free)` — the paper's "wait until the cycle when the network is next
+///    expected to be free").
+/// 2. The owner schedules a resolve event at that slot and calls
+///    [`DataChannel::resolve`], acting on the returned [`Resolution`]:
+///    deliver started messages at their completion cycle, schedule
+///    further resolves for deferred/collided attempts.
+///
+/// Collisions happen exactly when ≥2 pending transmissions share a start
+/// slot; each collided node backs off exponentially ([`MacState`]).
+///
+/// # Examples
+///
+/// ```
+/// use wisync_noc::NodeId;
+/// use wisync_sim::Cycle;
+/// use wisync_wireless::{DataChannel, Resolution, TxLen, WirelessConfig};
+///
+/// let mut ch: DataChannel<&str> = DataChannel::new(WirelessConfig::default(), 4);
+/// let (_, slot) = ch.request(NodeId(0), TxLen::Normal, "write x=1", Cycle(0));
+/// match ch.resolve(slot) {
+///     Resolution::Started { complete_at, message, .. } => {
+///         assert_eq!(message, "write x=1");
+///         assert_eq!(complete_at, Cycle(5));
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct DataChannel<M> {
+    config: WirelessConfig,
+    busy_until: Cycle,
+    /// Reactive policy only: the consensus reservation horizon. Every
+    /// node observes every collision (the paper's §5.3 observation that
+    /// chip-wide broadcast makes consensus trivial), so colliding nodes
+    /// book non-overlapping TDMA slots that all other nodes respect.
+    reserved_until: Cycle,
+    pending_by_slot: BTreeMap<Cycle, Vec<TxToken>>,
+    pending: HashMap<TxToken, Pending<M>>,
+    nodes: usize,
+    next_token: u64,
+    rng: DetRng,
+    stats: DataChannelStats,
+}
+
+impl<M> DataChannel<M> {
+    /// Creates a channel shared by `nodes` transceivers.
+    pub fn new(config: WirelessConfig, nodes: usize) -> Self {
+        DataChannel {
+            busy_until: Cycle::ZERO,
+            reserved_until: Cycle::ZERO,
+            pending_by_slot: BTreeMap::new(),
+            pending: HashMap::new(),
+            nodes,
+            next_token: 0,
+            rng: DetRng::new(config.seed ^ 0x0D17_E4ED),
+            stats: DataChannelStats::default(),
+            config,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &DataChannelStats {
+        &self.stats
+    }
+
+    /// Channel utilization over `[0, now)`.
+    pub fn utilization(&self, now: Cycle) -> f64 {
+        if now.as_u64() == 0 {
+            0.0
+        } else {
+            self.stats.busy_cycles as f64 / now.as_u64() as f64
+        }
+    }
+
+    /// Number of transmissions queued but not yet started.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues a transmission from `node` and returns `(token, slot)`:
+    /// the slot the node will attempt to start in. The owner must call
+    /// [`DataChannel::resolve`] at that slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn request(&mut self, node: NodeId, len: TxLen, message: M, now: Cycle) -> (TxToken, Cycle) {
+        assert!(node.as_usize() < self.nodes, "node {node} out of range");
+        let slot = match self.config.mac_policy {
+            MacPolicy::Exponential => now.max_with(self.busy_until),
+            MacPolicy::Reactive => {
+                // A node's intent is private until it transmits, so a
+                // fresh request cannot book the consensus schedule; it
+                // attempts at the public horizon (busy time plus slots
+                // booked by previously observed collisions). Ties
+                // collide once and are then booked publicly.
+                now.max_with(self.busy_until).max_with(self.reserved_until)
+            }
+        };
+        let token = TxToken(self.next_token);
+        self.next_token += 1;
+        let mac = MacState::new(
+            self.config.seed ^ (token.0 << 8) ^ (node.as_usize() as u64 + 1),
+            self.config.max_backoff_exp,
+        );
+        self.pending.insert(
+            token,
+            Pending {
+                node,
+                len,
+                message,
+                requested_at: now,
+                slot,
+                mac,
+            },
+        );
+        self.pending_by_slot.entry(slot).or_default().push(token);
+        (token, slot)
+    }
+
+    /// Cancels a queued transmission (one whose transfer has not started).
+    /// Returns the message if the cancellation succeeded, or `None` if
+    /// the transmission already started or completed.
+    pub fn cancel(&mut self, token: TxToken) -> Option<M> {
+        let p = self.pending.remove(&token)?;
+        if let Some(list) = self.pending_by_slot.get_mut(&p.slot) {
+            list.retain(|&t| t != token);
+            if list.is_empty() {
+                self.pending_by_slot.remove(&p.slot);
+            }
+        }
+        Some(p.message)
+    }
+
+    fn duration_of(&self, token: &TxToken) -> u64 {
+        match self.pending[token].len {
+            TxLen::Normal => self.config.tx_cycles,
+            TxLen::Bulk => self.config.bulk_cycles,
+        }
+    }
+
+    /// Resolves the attempts scheduled for `slot`. See [`Resolution`].
+    ///
+    /// Calling resolve for a slot with no attempts returns
+    /// [`Resolution::Idle`] and is harmless, so owners may schedule
+    /// resolves liberally.
+    pub fn resolve(&mut self, slot: Cycle) -> Resolution<M> {
+        // Collect every attempt scheduled at or before `slot` (cancelled
+        // tokens have already been removed from `pending`).
+        let mut due: Vec<TxToken> = Vec::new();
+        let slots: Vec<Cycle> = self
+            .pending_by_slot
+            .range(..=slot)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in slots {
+            if let Some(list) = self.pending_by_slot.remove(&c) {
+                due.extend(list.into_iter().filter(|t| self.pending.contains_key(t)));
+            }
+        }
+        if due.is_empty() {
+            return Resolution::Idle;
+        }
+        if self.busy_until > slot {
+            // Channel still busy. A strictly 1-persistent retry (all
+            // waiters attempting the instant the channel frees) causes a
+            // synchronized pile-up whose collision chains never die down
+            // under barrier bursts. Under exponential backoff, waiters
+            // beyond the first dither over a window proportional to the
+            // group size (non-persistent CSMA); under the Reactive
+            // policy they take consensus-spaced slots one transfer
+            // apart (TDMA-style).
+            let free = self.busy_until;
+            let window = 2 * due.len() as u64;
+            let mut retry_slots: Vec<Cycle> = Vec::new();
+            let mut ordered = due;
+            if self.config.mac_policy == MacPolicy::Reactive {
+                ordered.sort_by_key(|t| self.pending[t].node);
+            }
+            for (i, t) in ordered.into_iter().enumerate() {
+                let retry = match self.config.mac_policy {
+                    MacPolicy::Exponential => {
+                        if i == 0 {
+                            free
+                        } else {
+                            free + self.rng.gen_range(window)
+                        }
+                    }
+                    MacPolicy::Reactive => {
+                        // Deferred attempts re-aim at the public horizon
+                        // without booking (their intent is still
+                        // private); ties resolve via one collision.
+                        free.max_with(self.reserved_until)
+                    }
+                };
+                self.pending.get_mut(&t).expect("pending").slot = retry;
+                self.pending_by_slot.entry(retry).or_default().push(t);
+                if !retry_slots.contains(&retry) {
+                    retry_slots.push(retry);
+                }
+            }
+            return Resolution::Deferred(retry_slots);
+        }
+        if due.len() == 1 {
+            let token = due[0];
+            let p = self.pending.remove(&token).expect("pending");
+            let dur = match p.len {
+                TxLen::Normal => self.config.tx_cycles,
+                TxLen::Bulk => self.config.bulk_cycles,
+            };
+            let complete_at = slot + dur;
+            self.busy_until = complete_at;
+            self.stats.transfers += 1;
+            self.stats.busy_cycles += dur;
+            self.stats
+                .latency
+                .record(complete_at.saturating_since(p.requested_at));
+            return Resolution::Started {
+                node: p.node,
+                token,
+                message: p.message,
+                complete_at,
+            };
+        }
+        // Collision: detected in cycle 2; channel free afterwards.
+        self.stats.collisions += 1;
+        self.stats.busy_cycles += self.config.collision_cycles;
+        self.busy_until = slot + self.config.collision_cycles;
+        let mut retry_slots = Vec::new();
+        match self.config.mac_policy {
+            MacPolicy::Exponential => {
+                for token in due {
+                    let p = self.pending.get_mut(&token).expect("pending");
+                    let wait = p.mac.on_collision();
+                    let retry =
+                        (slot + self.config.collision_cycles + wait).max_with(self.busy_until);
+                    p.slot = retry;
+                    self.pending_by_slot.entry(retry).or_default().push(token);
+                    if !retry_slots.contains(&retry) {
+                        retry_slots.push(retry);
+                    }
+                }
+            }
+            MacPolicy::Reactive => {
+                // Every node decoded the same collision, so the
+                // contenders re-book consensus TDMA slots at the shared
+                // reservation horizon, in node-id order.
+                let mut ordered = due;
+                ordered.sort_by_key(|t| self.pending[t].node);
+                for token in ordered {
+                    let retry = (slot + self.config.collision_cycles)
+                        .max_with(self.busy_until)
+                        .max_with(self.reserved_until);
+                    self.reserved_until = retry + self.duration_of(&token);
+                    self.pending.get_mut(&token).expect("pending").slot = retry;
+                    self.pending_by_slot.entry(retry).or_default().push(token);
+                    if !retry_slots.contains(&retry) {
+                        retry_slots.push(retry);
+                    }
+                }
+            }
+        }
+        Resolution::Collision { retry_slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(nodes: usize) -> DataChannel<u32> {
+        DataChannel::new(WirelessConfig::default(), nodes)
+    }
+
+    /// Drives the channel to completion, returning (message, sender,
+    /// delivery cycle) in delivery order.
+    fn drain(ch: &mut DataChannel<u32>, mut slots: Vec<Cycle>) -> Vec<(u32, NodeId, Cycle)> {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while let Some(slot) = slots.iter().min().copied() {
+            slots.retain(|&s| s != slot);
+            match ch.resolve(slot) {
+                Resolution::Idle => {}
+                Resolution::Deferred(next) => slots.extend(next),
+                Resolution::Started {
+                    node,
+                    message,
+                    complete_at,
+                    ..
+                } => out.push((message, node, complete_at)),
+                Resolution::Collision { retry_slots } => slots.extend(retry_slots),
+            }
+            guard += 1;
+            assert!(guard < 10_000, "drain did not converge");
+        }
+        out
+    }
+
+    #[test]
+    fn single_transfer_takes_five_cycles() {
+        let mut ch = chan(4);
+        let (_, slot) = ch.request(NodeId(0), TxLen::Normal, 1, Cycle(10));
+        assert_eq!(slot, Cycle(10));
+        let done = drain(&mut ch, vec![slot]);
+        assert_eq!(done, vec![(1, NodeId(0), Cycle(15))]);
+        assert_eq!(ch.stats().transfers, 1);
+        assert_eq!(ch.stats().collisions, 0);
+        assert_eq!(ch.stats().busy_cycles, 5);
+    }
+
+    #[test]
+    fn bulk_takes_fifteen_cycles() {
+        let mut ch = chan(4);
+        let (_, slot) = ch.request(NodeId(2), TxLen::Bulk, 9, Cycle(0));
+        let done = drain(&mut ch, vec![slot]);
+        assert_eq!(done[0].2, Cycle(15));
+    }
+
+    #[test]
+    fn busy_channel_defers_later_request() {
+        let mut ch = chan(4);
+        let (_, s0) = ch.request(NodeId(0), TxLen::Normal, 1, Cycle(0));
+        assert!(matches!(ch.resolve(s0), Resolution::Started { .. }));
+        // Channel busy until cycle 5: a request at cycle 2 waits.
+        let (_, s1) = ch.request(NodeId(1), TxLen::Normal, 2, Cycle(2));
+        assert_eq!(s1, Cycle(5));
+        let done = drain(&mut ch, vec![s1]);
+        assert_eq!(done, vec![(2, NodeId(1), Cycle(10))]);
+    }
+
+    #[test]
+    fn simultaneous_requests_collide_then_all_succeed() {
+        let mut ch = chan(8);
+        let mut slots = Vec::new();
+        for n in 0..8 {
+            let (_, s) = ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+            assert_eq!(s, Cycle(0));
+            slots.push(s);
+        }
+        slots.dedup();
+        let done = drain(&mut ch, slots);
+        assert_eq!(done.len(), 8, "all messages eventually delivered");
+        assert!(ch.stats().collisions >= 1);
+        // Deliveries are strictly ordered (no overlap).
+        for w in done.windows(2) {
+            assert!(w[1].2.saturating_since(w[0].2) >= 5);
+        }
+        // The total order is chip-wide: exactly 8 transfers.
+        assert_eq!(ch.stats().transfers, 8);
+    }
+
+    #[test]
+    fn collision_costs_two_cycles() {
+        let mut ch = chan(2);
+        ch.request(NodeId(0), TxLen::Normal, 0, Cycle(0));
+        ch.request(NodeId(1), TxLen::Normal, 1, Cycle(0));
+        match ch.resolve(Cycle(0)) {
+            Resolution::Collision { retry_slots } => {
+                // Channel frees at cycle 2; retries never before that.
+                for s in retry_slots {
+                    assert!(s >= Cycle(2));
+                }
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+        assert_eq!(ch.stats().busy_cycles, 2);
+    }
+
+    #[test]
+    fn cancel_pending_prevents_transfer() {
+        let mut ch = chan(2);
+        let (t0, s0) = ch.request(NodeId(0), TxLen::Normal, 7, Cycle(0));
+        assert_eq!(ch.cancel(t0), Some(7));
+        assert_eq!(ch.cancel(t0), None, "double cancel");
+        assert_eq!(ch.resolve(s0), Resolution::Idle);
+        assert_eq!(ch.pending_len(), 0);
+    }
+
+    #[test]
+    fn cancel_after_start_fails() {
+        let mut ch = chan(2);
+        let (t0, s0) = ch.request(NodeId(0), TxLen::Normal, 7, Cycle(0));
+        assert!(matches!(ch.resolve(s0), Resolution::Started { .. }));
+        assert_eq!(ch.cancel(t0), None);
+    }
+
+    #[test]
+    fn cancelled_rival_leaves_clean_start() {
+        // Two requests in the same slot, one cancelled before resolve:
+        // the survivor transmits without collision.
+        let mut ch = chan(2);
+        let (t0, _) = ch.request(NodeId(0), TxLen::Normal, 1, Cycle(0));
+        let (_, s1) = ch.request(NodeId(1), TxLen::Normal, 2, Cycle(0));
+        ch.cancel(t0);
+        match ch.resolve(s1) {
+            Resolution::Started { node, message, .. } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(message, 2);
+            }
+            other => panic!("expected start, got {other:?}"),
+        }
+        assert_eq!(ch.stats().collisions, 0);
+    }
+
+    #[test]
+    fn stale_resolve_is_idle() {
+        let mut ch = chan(2);
+        assert_eq!(ch.resolve(Cycle(100)), Resolution::Idle);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut ch = chan(2);
+        let (_, s) = ch.request(NodeId(0), TxLen::Normal, 0, Cycle(0));
+        drain(&mut ch, vec![s]);
+        assert!((ch.utilization(Cycle(100)) - 0.05).abs() < 1e-9);
+        assert_eq!(ch.utilization(Cycle(0)), 0.0);
+    }
+
+    #[test]
+    fn burst_latency_reasonable() {
+        // 64 simultaneous senders must all get through in a bounded time:
+        // at ~7 cycles/transfer amortized plus backoff, well under 64*40.
+        let mut ch = chan(64);
+        let mut slots = Vec::new();
+        for n in 0..64 {
+            let (_, s) = ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+            slots.push(s);
+        }
+        slots.dedup();
+        let done = drain(&mut ch, slots);
+        assert_eq!(done.len(), 64);
+        let last = done.iter().map(|d| d.2).max().unwrap();
+        assert!(
+            last.as_u64() > 64 * 5,
+            "cannot beat the serialization bound"
+        );
+        assert!(last.as_u64() < 64 * 40, "backoff storm too costly: {last}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut ch = chan(16);
+            let mut slots = Vec::new();
+            for n in 0..16 {
+                let (_, s) = ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+                slots.push(s);
+            }
+            slots.dedup();
+            drain(&mut ch, slots)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        chan(2).request(NodeId(2), TxLen::Normal, 0, Cycle(0));
+    }
+}

@@ -1,0 +1,31 @@
+//! On-chip wireless communication substrate for WiSync.
+//!
+//! Implements the two wireless channels of the paper (§4.1, Figure 3):
+//!
+//! - the **Data channel** ([`DataChannel`]): a single 19 Gb/s channel at
+//!   60 GHz, time-slotted in 1 ns slots. A normal message (64-bit datum +
+//!   11-bit address + Bulk/Tone bits ≈ 77 bits) takes 5 cycles; cycle 2 is
+//!   a listen cycle, so a collision costs only 2 cycles. A Bulk message
+//!   (4 words) takes 15 cycles. Nodes that find the channel busy wait
+//!   until the cycle it is next expected free — so bursts of arrivals
+//!   collide and resolve through the exponential-backoff MAC
+//!   ([`MacState`]).
+//! - the **Tone channel** ([`ToneChannel`]): a 1 Gb/s channel at 90 GHz
+//!   carrying only tones, used to run AND-barriers almost for free. The
+//!   per-node tone controllers keep chip-wide consistent AllocB/ActiveB
+//!   tables and time-multiplex the channel round-robin across active
+//!   barriers (§5.1).
+//!
+//! The [`phys`] module holds the RF technology scaling model behind the
+//! paper's Table 4 area/power comparison.
+
+pub mod config;
+pub mod data;
+pub mod mac;
+pub mod phys;
+pub mod tone;
+
+pub use config::{MacPolicy, WirelessConfig};
+pub use data::{DataChannel, DataChannelStats, Resolution, TxLen, TxToken};
+pub use mac::MacState;
+pub use tone::{ToneChannel, ToneChannelStats, ToneError};

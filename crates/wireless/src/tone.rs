@@ -1,0 +1,455 @@
+//! The Tone channel: near-free AND-barriers over a 1 Gb/s tone medium.
+
+use std::fmt;
+
+use wisync_noc::{NodeId, NodeSet};
+use wisync_sim::Cycle;
+
+/// Errors from tone-barrier table operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToneError {
+    /// AllocB is full; the allocation must fall back to a Data-channel
+    /// barrier (§5.1 sizes AllocB and ActiveB equally and errors on
+    /// overflow).
+    TableFull,
+    /// The address already has an allocated tone barrier.
+    AlreadyAllocated,
+    /// No tone barrier is allocated at this address.
+    NotAllocated,
+    /// The barrier is already active (first core already arrived).
+    AlreadyActive,
+    /// The barrier is not currently active.
+    NotActive,
+    /// The arriving node is not armed for this barrier (§4.4: tone
+    /// barriers require participation to be known at allocation time).
+    NotParticipant(NodeId),
+    /// The barrier is active and cannot be deallocated yet.
+    StillActive,
+}
+
+impl fmt::Display for ToneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToneError::TableFull => write!(f, "AllocB table is full"),
+            ToneError::AlreadyAllocated => write!(f, "tone barrier already allocated"),
+            ToneError::NotAllocated => write!(f, "no tone barrier allocated at this address"),
+            ToneError::AlreadyActive => write!(f, "tone barrier already active"),
+            ToneError::NotActive => write!(f, "tone barrier not active"),
+            ToneError::NotParticipant(n) => write!(f, "node {n} is not armed for this barrier"),
+            ToneError::StillActive => write!(f, "tone barrier still active"),
+        }
+    }
+}
+
+impl std::error::Error for ToneError {}
+
+#[derive(Clone, Debug)]
+struct AllocEntry {
+    addr: u64,
+    armed: NodeSet,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveEntry {
+    addr: u64,
+    participants: NodeSet,
+    arrived: NodeSet,
+    activated_at: Cycle,
+}
+
+/// Statistics for the Tone channel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ToneChannelStats {
+    /// Tone barriers completed.
+    pub barriers_completed: u64,
+    /// Total cycles during which at least one barrier was active (tones
+    /// present on the channel).
+    pub active_cycles: u64,
+    /// Peak number of concurrently active barriers.
+    pub peak_active: usize,
+}
+
+/// Chip-wide model of the Tone channel's controller tables (§5.1).
+///
+/// Real hardware replicates AllocB and ActiveB in every node, kept
+/// consistent by the broadcast Data channel; since they are consistent by
+/// construction, the simulator stores one copy. Per-node divergence (the
+/// Armed and Arrived bits) is kept inside the entries as [`NodeSet`]s.
+///
+/// The channel's 1 ns slots are assigned round-robin to active barriers
+/// in ActiveB order: the barrier at index `i` of `k` active barriers owns
+/// the slots where `cycle % k == i`. A barrier completes at its first
+/// owned slot after the last participant arrives (silence observed), at
+/// which point the hardware toggles the corresponding BM location in
+/// every node (the caller performs the toggle).
+///
+/// # Examples
+///
+/// ```
+/// use wisync_noc::{NodeId, NodeSet};
+/// use wisync_sim::Cycle;
+/// use wisync_wireless::ToneChannel;
+///
+/// let mut tc = ToneChannel::new(16);
+/// tc.allocate(0x40, NodeSet::first_n(2))?;
+/// tc.activate(0x40, Cycle(10))?;
+/// assert!(!tc.arrive(0x40, NodeId(0))?);
+/// assert!(tc.arrive(0x40, NodeId(1))?, "last arrival completes");
+/// let done = tc.completion_slot(0x40, Cycle(30))?;
+/// tc.complete(0x40, done)?;
+/// # Ok::<(), wisync_wireless::ToneError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ToneChannel {
+    capacity: usize,
+    alloc_b: Vec<AllocEntry>,
+    active_b: Vec<ActiveEntry>,
+    stats: ToneChannelStats,
+}
+
+impl ToneChannel {
+    /// Creates a tone channel whose AllocB/ActiveB tables hold
+    /// `capacity` barriers each.
+    pub fn new(capacity: usize) -> Self {
+        ToneChannel {
+            capacity,
+            alloc_b: Vec::new(),
+            active_b: Vec::new(),
+            stats: ToneChannelStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ToneChannelStats {
+        &self.stats
+    }
+
+    /// Number of allocated tone barriers.
+    pub fn alloc_count(&self) -> usize {
+        self.alloc_b.len()
+    }
+
+    /// Number of currently active tone barriers.
+    pub fn active_count(&self) -> usize {
+        self.active_b.len()
+    }
+
+    /// Whether a tone barrier is allocated at `addr`.
+    pub fn is_allocated(&self, addr: u64) -> bool {
+        self.alloc_b.iter().any(|e| e.addr == addr)
+    }
+
+    /// Whether the barrier at `addr` is active.
+    pub fn is_active(&self, addr: u64) -> bool {
+        self.active_b.iter().any(|e| e.addr == addr)
+    }
+
+    /// The armed (participating) nodes of the barrier at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::NotAllocated`] if no barrier exists at `addr`.
+    pub fn armed(&self, addr: u64) -> Result<NodeSet, ToneError> {
+        self.alloc_b
+            .iter()
+            .find(|e| e.addr == addr)
+            .map(|e| e.armed)
+            .ok_or(ToneError::NotAllocated)
+    }
+
+    /// Whether `node` is armed for any allocated tone barrier (used to
+    /// enforce §5.2's migration restriction: a thread participating in a
+    /// tone barrier must not move to another core).
+    pub fn armed_anywhere(&self, node: NodeId) -> bool {
+        self.alloc_b.iter().any(|e| e.armed.contains(node))
+    }
+
+    /// Allocates a tone barrier at BM address `addr`, arming exactly the
+    /// given nodes (the OS records participation at allocation, §4.4).
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::TableFull`] if AllocB is full (the caller should fall
+    /// back to a Data-channel barrier); [`ToneError::AlreadyAllocated`]
+    /// if `addr` already has one.
+    pub fn allocate(&mut self, addr: u64, armed: NodeSet) -> Result<(), ToneError> {
+        if self.is_allocated(addr) {
+            return Err(ToneError::AlreadyAllocated);
+        }
+        if self.alloc_b.len() >= self.capacity {
+            return Err(ToneError::TableFull);
+        }
+        self.alloc_b.push(AllocEntry { addr, armed });
+        Ok(())
+    }
+
+    /// Deallocates the barrier at `addr` (entries below shift up, §5.1).
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::NotAllocated`] if absent; [`ToneError::StillActive`]
+    /// if the barrier is mid-episode.
+    pub fn deallocate(&mut self, addr: u64) -> Result<(), ToneError> {
+        if self.is_active(addr) {
+            return Err(ToneError::StillActive);
+        }
+        let pos = self
+            .alloc_b
+            .iter()
+            .position(|e| e.addr == addr)
+            .ok_or(ToneError::NotAllocated)?;
+        self.alloc_b.remove(pos);
+        Ok(())
+    }
+
+    /// Activates the barrier at `addr`: copies its AllocB entry to the
+    /// bottom of ActiveB. Non-armed nodes are marked as already arrived
+    /// (they refuse to participate, §5.1).
+    ///
+    /// Called when the first-arrival message (Data channel, Tone bit set)
+    /// is delivered chip-wide.
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::NotAllocated`] or [`ToneError::AlreadyActive`].
+    pub fn activate(&mut self, addr: u64, now: Cycle) -> Result<(), ToneError> {
+        if self.is_active(addr) {
+            return Err(ToneError::AlreadyActive);
+        }
+        let alloc = self
+            .alloc_b
+            .iter()
+            .find(|e| e.addr == addr)
+            .ok_or(ToneError::NotAllocated)?;
+        self.active_b.push(ActiveEntry {
+            addr,
+            participants: alloc.armed,
+            arrived: NodeSet::new(),
+            activated_at: now,
+        });
+        self.stats.peak_active = self.stats.peak_active.max(self.active_b.len());
+        Ok(())
+    }
+
+    /// Marks `node` as arrived at the active barrier `addr` (its tone
+    /// controller stops issuing the tone in the barrier's slots). Returns
+    /// `true` when every participant has arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::NotActive`] if the barrier is not active;
+    /// [`ToneError::NotParticipant`] if `node` was not armed.
+    pub fn arrive(&mut self, addr: u64, node: NodeId) -> Result<bool, ToneError> {
+        let entry = self
+            .active_b
+            .iter_mut()
+            .find(|e| e.addr == addr)
+            .ok_or(ToneError::NotActive)?;
+        if !entry.participants.contains(node) {
+            return Err(ToneError::NotParticipant(node));
+        }
+        entry.arrived.insert(node);
+        Ok(entry.arrived.len() == entry.participants.len())
+    }
+
+    /// Whether all participants of the active barrier have arrived.
+    pub fn all_arrived(&self, addr: u64) -> Result<bool, ToneError> {
+        let entry = self
+            .active_b
+            .iter()
+            .find(|e| e.addr == addr)
+            .ok_or(ToneError::NotActive)?;
+        Ok(entry.arrived.len() == entry.participants.len())
+    }
+
+    /// The cycle at which silence is observed for barrier `addr`, given
+    /// the last arrival happened at `last_arrival`: the barrier's next
+    /// round-robin slot strictly after the arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::NotActive`] if the barrier is not active.
+    pub fn completion_slot(&self, addr: u64, last_arrival: Cycle) -> Result<Cycle, ToneError> {
+        let idx = self
+            .active_b
+            .iter()
+            .position(|e| e.addr == addr)
+            .ok_or(ToneError::NotActive)? as u64;
+        let k = self.active_b.len() as u64;
+        let t = last_arrival.as_u64() + 1;
+        let offset = (idx + k - t % k) % k;
+        Ok(Cycle(t + offset))
+    }
+
+    /// Completes the barrier at `addr` at cycle `now`: removes it from
+    /// ActiveB (lower entries shift up) and records statistics. The
+    /// caller then toggles the BM location in every node and releases
+    /// spinning cores.
+    ///
+    /// # Errors
+    ///
+    /// [`ToneError::NotActive`] if the barrier is not active.
+    pub fn complete(&mut self, addr: u64, now: Cycle) -> Result<(), ToneError> {
+        let pos = self
+            .active_b
+            .iter()
+            .position(|e| e.addr == addr)
+            .ok_or(ToneError::NotActive)?;
+        let entry = self.active_b.remove(pos);
+        self.stats.barriers_completed += 1;
+        self.stats.active_cycles += now.saturating_since(entry.activated_at);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(nodes: &[usize]) -> NodeSet {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn full_barrier_lifecycle() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0, 1, 2])).unwrap();
+        assert!(tc.is_allocated(0x10));
+        assert!(!tc.is_active(0x10));
+
+        tc.activate(0x10, Cycle(100)).unwrap();
+        assert!(tc.is_active(0x10));
+        assert!(!tc.arrive(0x10, NodeId(0)).unwrap());
+        assert!(!tc.arrive(0x10, NodeId(1)).unwrap());
+        assert!(!tc.all_arrived(0x10).unwrap());
+        assert!(tc.arrive(0x10, NodeId(2)).unwrap());
+        assert!(tc.all_arrived(0x10).unwrap());
+
+        let done = tc.completion_slot(0x10, Cycle(150)).unwrap();
+        assert!(done > Cycle(150));
+        tc.complete(0x10, done).unwrap();
+        assert!(!tc.is_active(0x10));
+        assert!(tc.is_allocated(0x10), "allocation survives completion");
+        assert_eq!(tc.stats().barriers_completed, 1);
+
+        // Reusable: a second episode works.
+        tc.activate(0x10, done).unwrap();
+        assert!(tc.is_active(0x10));
+    }
+
+    #[test]
+    fn single_active_barrier_completes_next_cycle() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0])).unwrap();
+        tc.activate(0x10, Cycle(0)).unwrap();
+        // k = 1: every slot belongs to this barrier.
+        assert_eq!(tc.completion_slot(0x10, Cycle(10)).unwrap(), Cycle(11));
+    }
+
+    #[test]
+    fn round_robin_slots_with_multiple_active() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0])).unwrap();
+        tc.allocate(0x20, set(&[1])).unwrap();
+        tc.allocate(0x30, set(&[2])).unwrap();
+        tc.activate(0x10, Cycle(0)).unwrap();
+        tc.activate(0x20, Cycle(0)).unwrap();
+        tc.activate(0x30, Cycle(0)).unwrap();
+        // k = 3; barrier indices 0, 1, 2 own slots cycle%3 == idx.
+        let c0 = tc.completion_slot(0x10, Cycle(10)).unwrap();
+        let c1 = tc.completion_slot(0x20, Cycle(10)).unwrap();
+        let c2 = tc.completion_slot(0x30, Cycle(10)).unwrap();
+        assert_eq!(c0.as_u64() % 3, 0);
+        assert_eq!(c1.as_u64() % 3, 1);
+        assert_eq!(c2.as_u64() % 3, 2);
+        for c in [c0, c1, c2] {
+            assert!(c > Cycle(10) && c <= Cycle(13));
+        }
+    }
+
+    #[test]
+    fn completion_shifts_table_up() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0])).unwrap();
+        tc.allocate(0x20, set(&[0])).unwrap();
+        tc.activate(0x10, Cycle(0)).unwrap();
+        tc.activate(0x20, Cycle(0)).unwrap();
+        tc.complete(0x10, Cycle(5)).unwrap();
+        // 0x20 is now the only active barrier: owns every slot.
+        assert_eq!(tc.completion_slot(0x20, Cycle(10)).unwrap(), Cycle(11));
+    }
+
+    #[test]
+    fn alloc_table_overflow() {
+        let mut tc = ToneChannel::new(2);
+        tc.allocate(0x10, set(&[0])).unwrap();
+        tc.allocate(0x20, set(&[0])).unwrap();
+        assert_eq!(tc.allocate(0x30, set(&[0])), Err(ToneError::TableFull));
+        tc.deallocate(0x10).unwrap();
+        tc.allocate(0x30, set(&[0])).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_missing_errors() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0])).unwrap();
+        assert_eq!(tc.allocate(0x10, set(&[1])), Err(ToneError::AlreadyAllocated));
+        assert_eq!(tc.deallocate(0x99), Err(ToneError::NotAllocated));
+        assert_eq!(tc.activate(0x99, Cycle(0)), Err(ToneError::NotAllocated));
+        assert_eq!(tc.arrive(0x10, NodeId(0)), Err(ToneError::NotActive));
+        assert_eq!(
+            tc.completion_slot(0x10, Cycle(0)),
+            Err(ToneError::NotActive)
+        );
+        tc.activate(0x10, Cycle(0)).unwrap();
+        assert_eq!(tc.activate(0x10, Cycle(1)), Err(ToneError::AlreadyActive));
+        assert_eq!(tc.deallocate(0x10), Err(ToneError::StillActive));
+    }
+
+    #[test]
+    fn non_participant_rejected() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0, 1])).unwrap();
+        tc.activate(0x10, Cycle(0)).unwrap();
+        assert_eq!(
+            tc.arrive(0x10, NodeId(5)),
+            Err(ToneError::NotParticipant(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn arrive_is_idempotent_for_counting() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0, 1])).unwrap();
+        tc.activate(0x10, Cycle(0)).unwrap();
+        assert!(!tc.arrive(0x10, NodeId(0)).unwrap());
+        assert!(!tc.arrive(0x10, NodeId(0)).unwrap(), "re-arrival harmless");
+        assert!(tc.arrive(0x10, NodeId(1)).unwrap());
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut tc = ToneChannel::new(4);
+        tc.allocate(0x10, set(&[0])).unwrap();
+        tc.activate(0x10, Cycle(10)).unwrap();
+        tc.complete(0x10, Cycle(30)).unwrap();
+        assert_eq!(tc.stats().active_cycles, 20);
+        assert_eq!(tc.stats().peak_active, 1);
+        assert_eq!(tc.stats().barriers_completed, 1);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ToneError::TableFull,
+            ToneError::AlreadyAllocated,
+            ToneError::NotAllocated,
+            ToneError::AlreadyActive,
+            ToneError::NotActive,
+            ToneError::NotParticipant(NodeId(1)),
+            ToneError::StillActive,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

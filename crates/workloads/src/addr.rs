@@ -1,0 +1,102 @@
+//! Cached-memory address allocation for workload data.
+
+/// A bump allocator for cached-memory addresses, used by workload
+/// builders to lay out shared synchronization variables (line-aligned,
+/// to avoid false sharing) and per-thread data regions.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_workloads::AddrSpace;
+///
+/// let mut a = AddrSpace::new();
+/// let flag = a.line();
+/// let other = a.line();
+/// assert_eq!(flag % 64, 0);
+/// assert_ne!(flag / 64, other / 64, "separate cache lines");
+/// let region = a.bytes(1000);
+/// assert_eq!(region % 64, 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl AddrSpace {
+    /// Base of the workload data segment (clear of the low addresses
+    /// tests like to use for ad-hoc variables).
+    pub const BASE: u64 = 0x1000_0000;
+
+    /// Creates an allocator at the default base.
+    pub fn new() -> Self {
+        AddrSpace { next: Self::BASE }
+    }
+
+    /// Creates an allocator at a custom base (must be line-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 64-byte aligned.
+    pub fn at(base: u64) -> Self {
+        assert_eq!(base % 64, 0, "base must be line-aligned");
+        AddrSpace { next: base }
+    }
+
+    /// Allocates one exclusive 64-byte cache line; returns its address.
+    pub fn line(&mut self) -> u64 {
+        self.bytes(64)
+    }
+
+    /// Allocates a line-aligned region of at least `n` bytes.
+    pub fn bytes(&mut self, n: u64) -> u64 {
+        let addr = self.next;
+        let lines = n.div_ceil(64).max(1);
+        self.next += lines * 64;
+        addr
+    }
+
+    /// Next unallocated address.
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for AddrSpace {
+    fn default() -> Self {
+        AddrSpace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_do_not_overlap() {
+        let mut a = AddrSpace::new();
+        let x = a.line();
+        let y = a.line();
+        assert_eq!(y - x, 64);
+    }
+
+    #[test]
+    fn bytes_rounds_to_lines() {
+        let mut a = AddrSpace::new();
+        let r = a.bytes(65);
+        let s = a.line();
+        assert_eq!(s - r, 128);
+    }
+
+    #[test]
+    fn zero_bytes_still_advances() {
+        let mut a = AddrSpace::new();
+        let r = a.bytes(0);
+        assert_ne!(a.watermark(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn misaligned_base_panics() {
+        AddrSpace::at(10);
+    }
+}

@@ -1,0 +1,474 @@
+//! The CAS kernels of §6 / Figure 9: FIFO, LIFO, and ADD operations on
+//! lock-free shared structures, with a parameterized number of
+//! instructions between successive operations ("critical section size").
+//!
+//! On WiSync machines the contended words live in the Broadcast Memory
+//! and are updated with BM CAS under the AFB protocol; on the Baseline
+//! they live in cached memory and are updated through the coherence
+//! protocol. These kernels use no locks or barriers, so (as in the
+//! paper) the comparison is Baseline vs WiSync only.
+//!
+//! Structure models:
+//!
+//! - **ADD**: Treiber-style push-only stack. Each thread links nodes
+//!   from its private pool onto a shared head pointer with CAS; the
+//!   final chain is walked to verify no insertion was lost.
+//! - **LIFO**: a stack whose top index is a counter moved up and down
+//!   with CAS; each operation also touches the corresponding slot line,
+//!   modeling the node access.
+//! - **FIFO**: a queue with separate head and tail counters (two
+//!   contended words); threads alternate enqueue and dequeue.
+
+use wisync_core::{Machine, Pid, RunOutcome};
+use wisync_isa::{Instr, ProgramBuilder, Reg, RmwSpec, Space};
+
+use crate::addr::AddrSpace;
+
+/// Which CAS kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CasKind {
+    /// Enqueue + dequeue on a two-counter queue.
+    Fifo,
+    /// Push + pop on a one-counter stack.
+    Lifo,
+    /// Push-only onto a linked stack.
+    Add,
+}
+
+impl std::fmt::Display for CasKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CasKind::Fifo => write!(f, "FIFO"),
+            CasKind::Lifo => write!(f, "LIFO"),
+            CasKind::Add => write!(f, "ADD"),
+        }
+    }
+}
+
+/// A CAS kernel instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CasKernel {
+    /// Which structure.
+    pub kind: CasKind,
+    /// Instructions executed between successive successful operations
+    /// (Figure 9's x-axis, 4 .. 64K).
+    pub critical_section: u64,
+    /// Successful operations each thread performs. For FIFO and LIFO an
+    /// "operation" is one enqueue+dequeue / push+pop pair.
+    pub ops_per_thread: u64,
+}
+
+/// Verification data for a finished CAS-kernel run.
+#[derive(Clone, Copy, Debug)]
+pub struct CasCheck {
+    kind: CasKind,
+    space: Space,
+    hot_a: u64,
+    hot_b: u64,
+    threads: u64,
+    ops: u64,
+}
+
+impl CasCheck {
+    fn read_hot(&self, m: &Machine, addr: u64) -> u64 {
+        match self.space {
+            Space::Cached => m.mem_value(addr),
+            Space::Bm => m.bm_value(Pid(1), addr).expect("hot word readable"),
+        }
+    }
+
+    /// Verifies structural invariants after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on corruption or lost updates.
+    pub fn assert_correct(&self, m: &Machine) {
+        match self.kind {
+            CasKind::Add => {
+                // Walk the chain from head: must contain threads*ops nodes.
+                let mut count = 0u64;
+                let mut p = self.read_hot(m, self.hot_a);
+                while p != 0 {
+                    count += 1;
+                    assert!(count <= self.threads * self.ops, "cycle in ADD chain");
+                    p = m.mem_value(p);
+                }
+                assert_eq!(count, self.threads * self.ops, "lost ADD insertions");
+            }
+            CasKind::Lifo => {
+                // Equal pushes and pops: top returns to its initial value.
+                assert_eq!(
+                    self.read_hot(m, self.hot_a),
+                    self.threads,
+                    "LIFO top should return to initial size"
+                );
+            }
+            CasKind::Fifo => {
+                // tail - head == initial queue length.
+                let head = self.read_hot(m, self.hot_a);
+                let tail = self.read_hot(m, self.hot_b);
+                assert_eq!(tail - head, self.threads, "FIFO length drifted");
+                assert_eq!(head, self.threads * self.ops, "lost dequeues");
+            }
+        }
+    }
+}
+
+impl CasKernel {
+    /// Loads the kernel onto every core of `m`; returns the checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine kind is Baseline+ (the paper compares only
+    /// Baseline and WiSync here) — Baseline+ behaves identically to
+    /// Baseline for lock-free code, so use Baseline.
+    pub fn load(&self, m: &mut Machine) -> CasCheck {
+        let pid = Pid(1);
+        let cores = m.config().cores;
+        let space = if m.config().kind.has_bm() {
+            Space::Bm
+        } else {
+            Space::Cached
+        };
+        let mut addr = AddrSpace::new();
+        let (hot_a, hot_b) = match space {
+            Space::Bm => {
+                // Separate words; allocate two so FIFO's counters both
+                // broadcast. (Unused second word for LIFO/ADD.)
+                (m.bm_alloc(pid, 1).unwrap(), m.bm_alloc(pid, 1).unwrap())
+            }
+            Space::Cached => (addr.line(), addr.line()),
+        };
+        match self.kind {
+            CasKind::Add => self.load_add(m, pid, space, hot_a, &mut addr),
+            CasKind::Lifo => self.load_counter_kernel(m, pid, space, hot_a, hot_b, &mut addr, false),
+            CasKind::Fifo => self.load_counter_kernel(m, pid, space, hot_a, hot_b, &mut addr, true),
+        }
+        CasCheck {
+            kind: self.kind,
+            space,
+            hot_a,
+            hot_b,
+            threads: cores as u64,
+            ops: self.ops_per_thread,
+        }
+    }
+
+    /// Loads, runs, verifies, and returns (total cycles, successful CAS
+    /// count) — Figure 9's throughput is `successes * 1000 / cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails or verification fails.
+    pub fn run_throughput(&self, m: &mut Machine, max_cycles: u64) -> (u64, u64) {
+        let check = self.load(m);
+        let r = m.run(max_cycles);
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Completed,
+            "{} kernel did not complete on {}",
+            self.kind,
+            m.config().kind
+        );
+        check.assert_correct(m);
+        (r.cycles.as_u64(), m.stats().cas_successes)
+    }
+
+    /// Emits a CAS-with-retry of `[hot] : expected -> new`, re-running
+    /// from `reload` on comparison or atomicity failure.
+    ///
+    /// `expected` and `new` must be loaded within the reload block.
+    fn emit_cas_retry(
+        b: &mut ProgramBuilder,
+        space: Space,
+        hot: u64,
+        expected: Reg,
+        new: Reg,
+        reload: wisync_isa::Label,
+    ) {
+        let got = Reg(20);
+        let afb = Reg(21);
+        b.push(Instr::Rmw {
+            kind: RmwSpec::Cas { expected, new },
+            dst: got,
+            base: Reg(0),
+            offset: hot,
+            space,
+        });
+        if space == Space::Bm {
+            b.push(Instr::ReadAfb { dst: afb });
+            b.push(Instr::Bnez {
+                cond: afb,
+                target: reload,
+            });
+        }
+        b.push(Instr::CmpEq {
+            dst: got,
+            a: got,
+            b: expected,
+        });
+        b.push(Instr::Beqz {
+            cond: got,
+            target: reload,
+        });
+    }
+
+    fn load_add(&self, m: &mut Machine, pid: Pid, space: Space, head: u64, addr: &mut AddrSpace) {
+        let cores = m.config().cores;
+        // Private node pools: one line per node.
+        let pools: Vec<u64> = (0..cores)
+            .map(|_| addr.bytes(self.ops_per_thread * 64))
+            .collect();
+        for (tid, &pool) in pools.iter().enumerate() {
+            let mut b = ProgramBuilder::new();
+            // r1 = node pointer, r2 = remaining ops.
+            b.push(Instr::Li { dst: Reg(1), imm: pool });
+            b.push(Instr::Li {
+                dst: Reg(2),
+                imm: self.ops_per_thread,
+            });
+            let op_top = b.bind_here();
+            b.push(Instr::Compute {
+                cycles: self.critical_section,
+            });
+            // Push: node.next = head; CAS(head, old, node).
+            let reload = b.bind_here();
+            b.push(Instr::Ld {
+                dst: Reg(3),
+                base: Reg(0),
+                offset: head,
+                space,
+            });
+            b.push(Instr::St {
+                src: Reg(3),
+                base: Reg(1),
+                offset: 0,
+                space: Space::Cached,
+            });
+            Self::emit_cas_retry(&mut b, space, head, Reg(3), Reg(1), reload);
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: 64,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(2),
+                a: Reg(2),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(2),
+                target: op_top,
+            });
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("ADD kernel builds"));
+        }
+    }
+
+    /// LIFO (`fifo == false`): pop (top -= 1) then push (top += 1) on one
+    /// counter. FIFO (`fifo == true`): enqueue (tail += 1) then dequeue
+    /// (head += 1) on two counters. Each op touches a slot line.
+    #[allow(clippy::too_many_arguments)]
+    fn load_counter_kernel(
+        &self,
+        m: &mut Machine,
+        pid: Pid,
+        space: Space,
+        head: u64,
+        tail: u64,
+        addr: &mut AddrSpace,
+        fifo: bool,
+    ) {
+        let cores = m.config().cores;
+        const SLOTS: u64 = 256;
+        let slots = addr.bytes(SLOTS * 64);
+        // Pre-fill with `cores` items so the structure never empties:
+        // every thread operates produce-first.
+        let initial = cores as u64;
+        match space {
+            Space::Bm => {
+                if fifo {
+                    m.bm_init(pid, tail, initial).unwrap();
+                } else {
+                    m.bm_init(pid, head, initial).unwrap();
+                }
+            }
+            Space::Cached => {
+                if fifo {
+                    m.mem_init(tail, initial);
+                } else {
+                    m.mem_init(head, initial);
+                }
+            }
+        }
+        for tid in 0..cores {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li {
+                dst: Reg(2),
+                imm: self.ops_per_thread,
+            });
+            b.push(Instr::Li { dst: Reg(9), imm: 3 }); // shift for slots
+            let op_top = b.bind_here();
+            b.push(Instr::Compute {
+                cycles: self.critical_section,
+            });
+            // First half: push (LIFO: top += 1) / enqueue (FIFO: tail += 1).
+            let grow_hot = if fifo { tail } else { head };
+            let reload1 = b.bind_here();
+            b.push(Instr::Ld {
+                dst: Reg(3),
+                base: Reg(0),
+                offset: grow_hot,
+                space,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(4),
+                a: Reg(3),
+                imm: 1,
+            });
+            Self::emit_cas_retry(&mut b, space, grow_hot, Reg(3), Reg(4), reload1);
+            // Write the claimed slot (slot = old % SLOTS; SLOTS is a
+            // power of two so a mask works).
+            b.push(Instr::Li {
+                dst: Reg(5),
+                imm: SLOTS - 1,
+            });
+            b.push(Instr::And {
+                dst: Reg(5),
+                a: Reg(3),
+                b: Reg(5),
+            });
+            b.push(Instr::Li { dst: Reg(6), imm: 6 }); // * 64
+            b.push(Instr::Shl {
+                dst: Reg(5),
+                a: Reg(5),
+                b: Reg(6),
+            });
+            b.push(Instr::Addi {
+                dst: Reg(5),
+                a: Reg(5),
+                imm: slots,
+            });
+            b.push(Instr::St {
+                src: Reg(3),
+                base: Reg(5),
+                offset: 0,
+                space: Space::Cached,
+            });
+            // Second half: pop (LIFO: top -= 1) / dequeue (FIFO: head += 1).
+            let reload2 = b.bind_here();
+            let (shrink_hot, delta) = if fifo { (head, 1u64) } else { (head, u64::MAX) };
+            b.push(Instr::Ld {
+                dst: Reg(3),
+                base: Reg(0),
+                offset: shrink_hot,
+                space,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(4),
+                a: Reg(3),
+                imm: delta,
+            });
+            Self::emit_cas_retry(&mut b, space, shrink_hot, Reg(3), Reg(4), reload2);
+            // Read the slot we popped/dequeued.
+            b.push(Instr::Li {
+                dst: Reg(5),
+                imm: SLOTS - 1,
+            });
+            b.push(Instr::And {
+                dst: Reg(5),
+                a: Reg(3),
+                b: Reg(5),
+            });
+            b.push(Instr::Li { dst: Reg(6), imm: 6 });
+            b.push(Instr::Shl {
+                dst: Reg(5),
+                a: Reg(5),
+                b: Reg(6),
+            });
+            b.push(Instr::Addi {
+                dst: Reg(5),
+                a: Reg(5),
+                imm: slots,
+            });
+            b.push(Instr::Ld {
+                dst: Reg(7),
+                base: Reg(5),
+                offset: 0,
+                space: Space::Cached,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(2),
+                a: Reg(2),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(2),
+                target: op_top,
+            });
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("counter kernel builds"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisync_core::MachineConfig;
+
+    fn run(kind: CasKind, cfg: MachineConfig, w: u64, ops: u64) -> (u64, u64) {
+        let mut m = Machine::new(cfg);
+        CasKernel {
+            kind,
+            critical_section: w,
+            ops_per_thread: ops,
+        }
+        .run_throughput(&mut m, 2_000_000_000)
+    }
+
+    #[test]
+    fn add_kernel_correct_both_machines() {
+        run(CasKind::Add, MachineConfig::baseline(16), 50, 10);
+        run(CasKind::Add, MachineConfig::wisync(16), 50, 10);
+    }
+
+    #[test]
+    fn lifo_kernel_correct_both_machines() {
+        run(CasKind::Lifo, MachineConfig::baseline(16), 50, 10);
+        run(CasKind::Lifo, MachineConfig::wisync(16), 50, 10);
+    }
+
+    #[test]
+    fn fifo_kernel_correct_both_machines() {
+        run(CasKind::Fifo, MachineConfig::baseline(16), 50, 10);
+        run(CasKind::Fifo, MachineConfig::wisync(16), 50, 10);
+    }
+
+    #[test]
+    fn wisync_throughput_higher_at_small_critical_sections() {
+        for kind in [CasKind::Add, CasKind::Lifo, CasKind::Fifo] {
+            let (bc, bs) = run(kind, MachineConfig::baseline(32), 16, 20);
+            let (wc, ws) = run(kind, MachineConfig::wisync(32), 16, 20);
+            let b_tp = bs as f64 * 1000.0 / bc as f64;
+            let w_tp = ws as f64 * 1000.0 / wc as f64;
+            assert!(
+                w_tp > 3.0 * b_tp,
+                "{kind}: wisync {w_tp:.1} vs baseline {b_tp:.1} per kcycle"
+            );
+        }
+    }
+
+    #[test]
+    fn throughputs_converge_at_large_critical_sections() {
+        let (bc, bs) = run(CasKind::Add, MachineConfig::baseline(16), 16_384, 4);
+        let (wc, ws) = run(CasKind::Add, MachineConfig::wisync(16), 16_384, 4);
+        let b_tp = bs as f64 * 1000.0 / bc as f64;
+        let w_tp = ws as f64 * 1000.0 / wc as f64;
+        let ratio = w_tp / b_tp;
+        assert!(
+            (0.8..1.6).contains(&ratio),
+            "expected parity at 16K instructions, got ratio {ratio:.2}"
+        );
+    }
+}

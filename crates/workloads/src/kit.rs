@@ -1,0 +1,262 @@
+//! Configuration-aware synchronization factories: pick the Table 2
+//! lock/barrier implementation matching a machine's kind, allocating the
+//! needed cached or BM storage.
+
+use wisync_core::{Machine, MachineKind, Pid};
+use wisync_isa::{Instr, ProgramBuilder, Reg};
+use wisync_sync::{
+    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock,
+    ToneBarrierCode, TournamentBarrier,
+};
+
+use crate::addr::AddrSpace;
+
+/// Register that holds the thread's MCS queue-node address (set by
+/// [`LockHandle::emit_init`]).
+pub const MCS_QNODE_REG: Reg = Reg(22);
+
+/// A barrier allocated for a specific machine; yields per-thread
+/// [`Barrier`] code generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierHandle {
+    /// Centralized CAS barrier in cached memory (Baseline).
+    Central(CentralBarrier),
+    /// Tournament barrier in cached memory (Baseline+).
+    Tournament {
+        /// Base of the per-(thread, round) flag array.
+        flags_base: u64,
+        /// Release flag address.
+        release_addr: u64,
+        /// Participants.
+        n: usize,
+    },
+    /// Centralized barrier in BM over the Data channel (WiSyncNoT, or
+    /// WiSync fallback when the tone tables are full, §4.4).
+    BmCentral(BmCentralBarrier),
+    /// Tone-channel barrier (WiSync).
+    Tone(ToneBarrierCode),
+}
+
+impl BarrierHandle {
+    /// Allocates a barrier for all `n` threads (thread i on core i) on
+    /// `m`, choosing the style from the machine kind. Falls back from
+    /// Tone to BmCentral when the tone tables are full, per §4.4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if BM allocation fails on a BM machine (the BM comfortably
+    /// fits the evaluation's barrier variables).
+    pub fn alloc(m: &mut Machine, pid: Pid, addr: &mut AddrSpace, n: usize) -> BarrierHandle {
+        BarrierHandle::alloc_range(m, pid, addr, 0, n)
+    }
+
+    /// Like [`BarrierHandle::alloc`] but for threads pinned to cores
+    /// `first_core .. first_core + n` (multiprogrammed machines). The
+    /// per-thread generator still takes group-local thread ids `0..n`.
+    pub fn alloc_range(
+        m: &mut Machine,
+        pid: Pid,
+        addr: &mut AddrSpace,
+        first_core: usize,
+        n: usize,
+    ) -> BarrierHandle {
+        match m.config().kind {
+            MachineKind::Baseline => BarrierHandle::Central(CentralBarrier {
+                count_addr: addr.line(),
+                release_addr: addr.line(),
+                n: n as u64,
+                use_cas: true,
+            }),
+            MachineKind::BaselinePlus => {
+                let flags_base = addr.bytes(TournamentBarrier::flags_bytes(n));
+                let release_addr = addr.line();
+                BarrierHandle::Tournament {
+                    flags_base,
+                    release_addr,
+                    n,
+                }
+            }
+            MachineKind::WiSyncNoT => {
+                let count = m.bm_alloc(pid, 1).expect("BM space for barrier count");
+                let release = m.bm_alloc(pid, 1).expect("BM space for barrier release");
+                BarrierHandle::BmCentral(BmCentralBarrier {
+                    count_vaddr: count,
+                    release_vaddr: release,
+                    n: n as u64,
+                })
+            }
+            MachineKind::WiSync => {
+                let flag = m.bm_alloc(pid, 1).expect("BM space for tone flag");
+                match m.arm_tone(pid, flag, first_core..first_core + n) {
+                    Ok(()) => BarrierHandle::Tone(ToneBarrierCode { flag_vaddr: flag }),
+                    Err(_) => {
+                        // Tone tables full: Data-channel barrier instead.
+                        let count = m.bm_alloc(pid, 1).expect("BM space for barrier count");
+                        BarrierHandle::BmCentral(BmCentralBarrier {
+                            count_vaddr: count,
+                            release_vaddr: flag,
+                            n: n as u64,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-thread barrier code generator.
+    pub fn for_tid(&self, tid: usize) -> Barrier {
+        match *self {
+            BarrierHandle::Central(c) => Barrier::Central(c),
+            BarrierHandle::Tournament {
+                flags_base,
+                release_addr,
+                n,
+            } => Barrier::Tournament(TournamentBarrier {
+                flags_base,
+                release_addr,
+                n,
+                tid,
+            }),
+            BarrierHandle::BmCentral(c) => Barrier::BmCentral(c),
+            BarrierHandle::Tone(t) => Barrier::Tone(t),
+        }
+    }
+}
+
+/// A lock allocated for a specific machine; yields per-thread [`Lock`]
+/// code generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockHandle {
+    /// TTAS/CAS lock (Baseline) — also the plain-memory fallback when
+    /// the BM is full (§4.2, the dedup/fluidanimate case).
+    Cached(CachedLock),
+    /// MCS lock (Baseline+); queue nodes at `qnode_base + tid * 64`.
+    Mcs {
+        /// Tail-pointer address.
+        tail_addr: u64,
+        /// Base of the per-thread queue-node array.
+        qnode_base: u64,
+    },
+    /// BM test&set lock (WiSync machines).
+    Bm(BmLock),
+}
+
+impl LockHandle {
+    /// Allocates a lock on `m` for its kind. On BM machines, falls back
+    /// to a cached TTAS lock when the BM is out of space — the paper's
+    /// transparent plain-memory allocation (§4.2, evaluated with dedup
+    /// and fluidanimate in §7.4).
+    pub fn alloc(m: &mut Machine, pid: Pid, addr: &mut AddrSpace, threads: usize) -> LockHandle {
+        match m.config().kind {
+            MachineKind::Baseline => LockHandle::Cached(CachedLock {
+                flag_addr: addr.line(),
+            }),
+            MachineKind::BaselinePlus => LockHandle::Mcs {
+                tail_addr: addr.line(),
+                qnode_base: addr.bytes(threads as u64 * 64),
+            },
+            MachineKind::WiSyncNoT | MachineKind::WiSync => match m.bm_alloc(pid, 1) {
+                Ok(v) => LockHandle::Bm(BmLock { vaddr: v }),
+                Err(_) => LockHandle::Cached(CachedLock {
+                    flag_addr: addr.line(),
+                }),
+            },
+        }
+    }
+
+    /// Whether this lock ended up in plain memory despite running on a
+    /// BM machine.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, LockHandle::Cached(_))
+    }
+
+    /// Emits per-thread initialization (the MCS queue-node pointer).
+    /// Call once at the top of each thread's program.
+    pub fn emit_init(&self, b: &mut ProgramBuilder, tid: usize) {
+        if let LockHandle::Mcs { qnode_base, .. } = *self {
+            b.push(Instr::Li {
+                dst: MCS_QNODE_REG,
+                imm: qnode_base + tid as u64 * 64,
+            });
+        }
+    }
+
+    /// The per-thread lock code generator.
+    pub fn for_tid(&self, _tid: usize) -> Lock {
+        match *self {
+            LockHandle::Cached(l) => Lock::Cached(l),
+            LockHandle::Mcs { tail_addr, .. } => {
+                Lock::Mcs(McsLock { tail_addr }, MCS_QNODE_REG)
+            }
+            LockHandle::Bm(l) => Lock::Bm(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisync_core::MachineConfig;
+
+    #[test]
+    fn barrier_style_follows_kind() {
+        let pid = Pid(1);
+        let mut addr = AddrSpace::new();
+        let mut base = Machine::new(MachineConfig::baseline(16));
+        assert!(matches!(
+            BarrierHandle::alloc(&mut base, pid, &mut addr, 16),
+            BarrierHandle::Central(_)
+        ));
+        let mut plus = Machine::new(MachineConfig::baseline_plus(16));
+        assert!(matches!(
+            BarrierHandle::alloc(&mut plus, pid, &mut addr, 16),
+            BarrierHandle::Tournament { .. }
+        ));
+        let mut wnt = Machine::new(MachineConfig::wisync_not(16));
+        assert!(matches!(
+            BarrierHandle::alloc(&mut wnt, pid, &mut addr, 16),
+            BarrierHandle::BmCentral(_)
+        ));
+        let mut w = Machine::new(MachineConfig::wisync(16));
+        assert!(matches!(
+            BarrierHandle::alloc(&mut w, pid, &mut addr, 16),
+            BarrierHandle::Tone(_)
+        ));
+    }
+
+    #[test]
+    fn tone_table_overflow_falls_back_to_data_channel() {
+        let mut cfg = MachineConfig::wisync(16);
+        cfg.tone_table_capacity = 2;
+        let mut m = Machine::new(cfg);
+        let mut addr = AddrSpace::new();
+        let pid = Pid(1);
+        assert!(matches!(
+            BarrierHandle::alloc(&mut m, pid, &mut addr, 16),
+            BarrierHandle::Tone(_)
+        ));
+        assert!(matches!(
+            BarrierHandle::alloc(&mut m, pid, &mut addr, 16),
+            BarrierHandle::Tone(_)
+        ));
+        assert!(matches!(
+            BarrierHandle::alloc(&mut m, pid, &mut addr, 16),
+            BarrierHandle::BmCentral(_)
+        ));
+    }
+
+    #[test]
+    fn lock_falls_back_to_plain_memory_when_bm_full() {
+        let mut cfg = MachineConfig::wisync(16);
+        cfg.bm_entries = 2;
+        let mut m = Machine::new(cfg);
+        let mut addr = AddrSpace::new();
+        let pid = Pid(1);
+        let l1 = LockHandle::alloc(&mut m, pid, &mut addr, 16);
+        let l2 = LockHandle::alloc(&mut m, pid, &mut addr, 16);
+        let l3 = LockHandle::alloc(&mut m, pid, &mut addr, 16);
+        assert!(!l1.is_cached());
+        assert!(!l2.is_cached());
+        assert!(l3.is_cached(), "third lock overflows the 2-entry BM");
+    }
+}

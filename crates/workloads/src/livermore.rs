@@ -1,0 +1,596 @@
+//! Parallelized Livermore loops 2, 3, and 6 (Figure 8).
+//!
+//! Following Sampson et al. \[37\], these three loops are the Livermore
+//! kernels whose parallelizations are representative with regard to
+//! synchronization:
+//!
+//! - **Loop 2** (ICCG excerpt): log₂(n) tree-reduction stages with a
+//!   barrier between stages — barrier cost dominates at small n.
+//! - **Loop 3** (inner product): data-parallel multiply-accumulate with
+//!   a two-barrier reduction per repetition.
+//! - **Loop 6** (general linear recurrence): the prefix dependence
+//!   forces a barrier per outer iteration, with inner work growing
+//!   linearly — many barriers, large total compute.
+//!
+//! Work is distributed cyclically (thread t takes elements t, t+T, ...),
+//! and the arithmetic is executed for real so results are verifiable.
+
+use wisync_core::{Machine, Pid, RunOutcome};
+use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
+
+use crate::addr::AddrSpace;
+use crate::kit::BarrierHandle;
+
+/// Which Livermore kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LivermoreLoop {
+    /// ICCG excerpt (tree reduction).
+    Loop2,
+    /// Inner product.
+    Loop3,
+    /// General linear recurrence.
+    Loop6,
+}
+
+impl std::fmt::Display for LivermoreLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LivermoreLoop::Loop2 => write!(f, "Loop 2"),
+            LivermoreLoop::Loop3 => write!(f, "Loop 3"),
+            LivermoreLoop::Loop6 => write!(f, "Loop 6"),
+        }
+    }
+}
+
+/// A Livermore kernel instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Livermore {
+    /// Which loop.
+    pub which: LivermoreLoop,
+    /// Vector length (Figure 8 sweeps 16..16384; Loop 6 up to 2048).
+    pub n: u64,
+    /// Kernel repetitions (Loop 3 only; loops 2 and 6 mutate their
+    /// arrays and run a single pass).
+    pub reps: u64,
+}
+
+/// Handles for verifying a finished Livermore run.
+#[derive(Clone, Copy, Debug)]
+pub struct LivermoreCheck {
+    which: LivermoreLoop,
+    n: u64,
+    reps: u64,
+    /// Address holding the final result (Loop 2: tree root; Loop 3:
+    /// total; Loop 6: base of w[]).
+    result_addr: u64,
+}
+
+impl LivermoreCheck {
+    /// Verifies the computation's result against a host-side reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if the result is wrong.
+    pub fn assert_correct(&self, m: &Machine) {
+        match self.which {
+            LivermoreLoop::Loop2 => {
+                // Tree-summing an array of 1s yields n.
+                assert_eq!(m.mem_value(self.result_addr), self.n, "loop2 root");
+            }
+            LivermoreLoop::Loop3 => {
+                // q = sum(x[k] * z[k]) with x = z = 1: q = n per rep;
+                // thread 0 accumulates across reps.
+                assert_eq!(
+                    m.mem_value(self.result_addr),
+                    self.n * self.reps,
+                    "loop3 total"
+                );
+            }
+            LivermoreLoop::Loop6 => {
+                // w[i] = 1 + sum_{k<i} w[k] (wrapping): w[i] = 2^i mod 2^64.
+                let mut expect = Vec::with_capacity(self.n as usize);
+                let mut sum = 0u64;
+                for i in 0..self.n {
+                    let w = 1u64.wrapping_add(sum);
+                    expect.push(w);
+                    sum = sum.wrapping_add(w);
+                    let got = m.mem_value(self.result_addr + 8 * i);
+                    assert_eq!(got, expect[i as usize], "loop6 w[{i}]");
+                }
+            }
+        }
+    }
+}
+
+impl Livermore {
+    /// Loop 2 at vector length `n`.
+    pub fn loop2(n: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "loop2 needs a power of two");
+        Livermore {
+            which: LivermoreLoop::Loop2,
+            n,
+            reps: 1,
+        }
+    }
+
+    /// Loop 3 at vector length `n`, repeated `reps` times.
+    pub fn loop3(n: u64, reps: u64) -> Self {
+        Livermore {
+            which: LivermoreLoop::Loop3,
+            n,
+            reps,
+        }
+    }
+
+    /// Loop 6 at vector length `n`.
+    pub fn loop6(n: u64) -> Self {
+        Livermore {
+            which: LivermoreLoop::Loop6,
+            n,
+            reps: 1,
+        }
+    }
+
+    /// Loads the kernel onto every core of `m`; returns the checker.
+    pub fn load(&self, m: &mut Machine) -> LivermoreCheck {
+        match self.which {
+            LivermoreLoop::Loop2 => self.load_loop2(m),
+            LivermoreLoop::Loop3 => self.load_loop3(m),
+            LivermoreLoop::Loop6 => self.load_loop6(m),
+        }
+    }
+
+    /// Loads, runs, verifies, and returns total cycles — the Figure 8
+    /// metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not complete or computes a wrong result.
+    pub fn run_cycles(&self, m: &mut Machine, max_cycles: u64) -> u64 {
+        let check = self.load(m);
+        let r = m.run(max_cycles);
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Completed,
+            "{} (n={}) did not complete on {}",
+            self.which,
+            self.n,
+            m.config().kind
+        );
+        check.assert_correct(m);
+        r.cycles.as_u64()
+    }
+
+    /// Emits `dst = base_imm + idx*8` (element address computation).
+    fn emit_elem_addr(b: &mut ProgramBuilder, dst: Reg, base_imm: u64, idx: Reg, scale3: Reg) {
+        b.push(Instr::Li { dst: scale3, imm: 3 });
+        b.push(Instr::Shl {
+            dst,
+            a: idx,
+            b: scale3,
+        });
+        b.push(Instr::Addi {
+            dst,
+            a: dst,
+            imm: base_imm,
+        });
+    }
+
+    fn load_loop2(&self, m: &mut Machine) -> LivermoreCheck {
+        let pid = Pid(1);
+        let cores = m.config().cores;
+        let t = cores as u64;
+        let mut addr = AddrSpace::new();
+        let barrier = BarrierHandle::alloc(m, pid, &mut addr, cores);
+        // Ping-pong buffers.
+        let buf_a = addr.bytes(self.n * 8);
+        let buf_b = addr.bytes(self.n * 8);
+        for k in 0..self.n {
+            m.mem_init(buf_a + 8 * k, 1);
+        }
+        let stages = self.n.trailing_zeros() as u64;
+        for tid in 0..cores {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+            let mut src = buf_a;
+            let mut dst_buf = buf_b;
+            for s in 0..stages {
+                let items = self.n >> (s + 1);
+                // for k = tid; k < items; k += T:
+                //   dst[k] = src[2k] + src[2k+1]
+                b.push(Instr::Li {
+                    dst: Reg(1),
+                    imm: tid as u64,
+                });
+                b.push(Instr::Li { dst: Reg(2), imm: items });
+                let loop_top = b.label();
+                let loop_end = b.label();
+                b.bind(loop_top);
+                b.push(Instr::CmpLt {
+                    dst: Reg(3),
+                    a: Reg(1),
+                    b: Reg(2),
+                });
+                b.push(Instr::Beqz {
+                    cond: Reg(3),
+                    target: loop_end,
+                });
+                // r4 = 2k; addresses in r5/r6/r7.
+                b.push(Instr::Add {
+                    dst: Reg(4),
+                    a: Reg(1),
+                    b: Reg(1),
+                });
+                Self::emit_elem_addr(&mut b, Reg(5), src, Reg(4), Reg(9));
+                b.push(Instr::Ld {
+                    dst: Reg(6),
+                    base: Reg(5),
+                    offset: 0,
+                    space: Space::Cached,
+                });
+                b.push(Instr::Ld {
+                    dst: Reg(7),
+                    base: Reg(5),
+                    offset: 8,
+                    space: Space::Cached,
+                });
+                b.push(Instr::Add {
+                    dst: Reg(6),
+                    a: Reg(6),
+                    b: Reg(7),
+                });
+                Self::emit_elem_addr(&mut b, Reg(5), dst_buf, Reg(1), Reg(9));
+                b.push(Instr::St {
+                    src: Reg(6),
+                    base: Reg(5),
+                    offset: 0,
+                    space: Space::Cached,
+                });
+                b.push(Instr::Addi {
+                    dst: Reg(1),
+                    a: Reg(1),
+                    imm: t,
+                });
+                b.push(Instr::Jump { target: loop_top });
+                b.bind(loop_end);
+                barrier.for_tid(tid).emit(&mut b, Reg(11));
+                std::mem::swap(&mut src, &mut dst_buf);
+            }
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("loop2 builds"));
+        }
+        // After `stages` swaps, the final stage wrote the buffer now in
+        // `src`-position for an even/odd stage count.
+        let result = if stages % 2 == 1 { buf_b } else { buf_a };
+        LivermoreCheck {
+            which: self.which,
+            n: self.n,
+            reps: 1,
+            result_addr: result,
+        }
+    }
+
+    fn load_loop3(&self, m: &mut Machine) -> LivermoreCheck {
+        let pid = Pid(1);
+        let cores = m.config().cores;
+        let t = cores as u64;
+        let mut addr = AddrSpace::new();
+        let barrier = BarrierHandle::alloc(m, pid, &mut addr, cores);
+        let x = addr.bytes(self.n * 8);
+        let z = addr.bytes(self.n * 8);
+        // One partial-sum line per thread, plus the running total.
+        let partials = addr.bytes(t * 64);
+        let total = addr.line();
+        for k in 0..self.n {
+            m.mem_init(x + 8 * k, 1);
+            m.mem_init(z + 8 * k, 1);
+        }
+        for tid in 0..cores {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+            b.push(Instr::Li {
+                dst: Reg(12),
+                imm: self.reps,
+            });
+            let rep_top = b.bind_here();
+            // q = 0; for k = tid; k < n; k += T: q += x[k]*z[k].
+            b.push(Instr::Li { dst: Reg(4), imm: 0 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: tid as u64,
+            });
+            b.push(Instr::Li { dst: Reg(2), imm: self.n });
+            let loop_top = b.label();
+            let loop_end = b.label();
+            b.bind(loop_top);
+            b.push(Instr::CmpLt {
+                dst: Reg(3),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Beqz {
+                cond: Reg(3),
+                target: loop_end,
+            });
+            Self::emit_elem_addr(&mut b, Reg(5), x, Reg(1), Reg(9));
+            b.push(Instr::Ld {
+                dst: Reg(6),
+                base: Reg(5),
+                offset: 0,
+                space: Space::Cached,
+            });
+            Self::emit_elem_addr(&mut b, Reg(5), z, Reg(1), Reg(9));
+            b.push(Instr::Ld {
+                dst: Reg(7),
+                base: Reg(5),
+                offset: 0,
+                space: Space::Cached,
+            });
+            b.push(Instr::Mul {
+                dst: Reg(6),
+                a: Reg(6),
+                b: Reg(7),
+            });
+            b.push(Instr::Add {
+                dst: Reg(4),
+                a: Reg(4),
+                b: Reg(6),
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: t,
+            });
+            b.push(Instr::Jump { target: loop_top });
+            b.bind(loop_end);
+            // partials[tid] = q; barrier; thread 0 reduces; barrier.
+            b.push(Instr::St {
+                src: Reg(4),
+                base: Reg(0),
+                offset: partials + tid as u64 * 64,
+                space: Space::Cached,
+            });
+            barrier.for_tid(tid).emit(&mut b, Reg(11));
+            if tid == 0 {
+                b.push(Instr::Ld {
+                    dst: Reg(5),
+                    base: Reg(0),
+                    offset: total,
+                    space: Space::Cached,
+                });
+                for other in 0..cores {
+                    b.push(Instr::Ld {
+                        dst: Reg(6),
+                        base: Reg(0),
+                        offset: partials + other as u64 * 64,
+                        space: Space::Cached,
+                    });
+                    b.push(Instr::Add {
+                        dst: Reg(5),
+                        a: Reg(5),
+                        b: Reg(6),
+                    });
+                }
+                b.push(Instr::St {
+                    src: Reg(5),
+                    base: Reg(0),
+                    offset: total,
+                    space: Space::Cached,
+                });
+            }
+            barrier.for_tid(tid).emit(&mut b, Reg(11));
+            b.push(Instr::Addi {
+                dst: Reg(12),
+                a: Reg(12),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(12),
+                target: rep_top,
+            });
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("loop3 builds"));
+        }
+        LivermoreCheck {
+            which: self.which,
+            n: self.n,
+            reps: self.reps,
+            result_addr: total,
+        }
+    }
+
+    fn load_loop6(&self, m: &mut Machine) -> LivermoreCheck {
+        let pid = Pid(1);
+        let cores = m.config().cores;
+        let t = cores as u64;
+        let mut addr = AddrSpace::new();
+        let barrier = BarrierHandle::alloc(m, pid, &mut addr, cores);
+        let w = addr.bytes(self.n * 8);
+        let partials = addr.bytes(t * 64);
+        for tid in 0..cores {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+            // r12 = i (outer), runs 0..n.
+            b.push(Instr::Li { dst: Reg(12), imm: 0 });
+            b.push(Instr::Li { dst: Reg(13), imm: self.n });
+            let outer_top = b.label();
+            let outer_end = b.label();
+            b.bind(outer_top);
+            b.push(Instr::CmpLt {
+                dst: Reg(3),
+                a: Reg(12),
+                b: Reg(13),
+            });
+            b.push(Instr::Beqz {
+                cond: Reg(3),
+                target: outer_end,
+            });
+            // partial = sum of w[k] for k = tid; k < i; k += T.
+            b.push(Instr::Li { dst: Reg(4), imm: 0 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: tid as u64,
+            });
+            let inner_top = b.label();
+            let inner_end = b.label();
+            b.bind(inner_top);
+            b.push(Instr::CmpLt {
+                dst: Reg(3),
+                a: Reg(1),
+                b: Reg(12),
+            });
+            b.push(Instr::Beqz {
+                cond: Reg(3),
+                target: inner_end,
+            });
+            Self::emit_elem_addr(&mut b, Reg(5), w, Reg(1), Reg(9));
+            b.push(Instr::Ld {
+                dst: Reg(6),
+                base: Reg(5),
+                offset: 0,
+                space: Space::Cached,
+            });
+            b.push(Instr::Add {
+                dst: Reg(4),
+                a: Reg(4),
+                b: Reg(6),
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: t,
+            });
+            b.push(Instr::Jump { target: inner_top });
+            b.bind(inner_end);
+            b.push(Instr::St {
+                src: Reg(4),
+                base: Reg(0),
+                offset: partials + tid as u64 * 64,
+                space: Space::Cached,
+            });
+            barrier.for_tid(tid).emit(&mut b, Reg(11));
+            if tid == 0 {
+                // w[i] = 1 + sum(partials).
+                b.push(Instr::Li { dst: Reg(5), imm: 1 });
+                for other in 0..cores {
+                    b.push(Instr::Ld {
+                        dst: Reg(6),
+                        base: Reg(0),
+                        offset: partials + other as u64 * 64,
+                        space: Space::Cached,
+                    });
+                    b.push(Instr::Add {
+                        dst: Reg(5),
+                        a: Reg(5),
+                        b: Reg(6),
+                    });
+                }
+                Self::emit_elem_addr(&mut b, Reg(7), w, Reg(12), Reg(9));
+                b.push(Instr::St {
+                    src: Reg(5),
+                    base: Reg(7),
+                    offset: 0,
+                    space: Space::Cached,
+                });
+            }
+            barrier.for_tid(tid).emit(&mut b, Reg(11));
+            b.push(Instr::Addi {
+                dst: Reg(12),
+                a: Reg(12),
+                imm: 1,
+            });
+            b.push(Instr::Jump { target: outer_top });
+            b.bind(outer_end);
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("loop6 builds"));
+        }
+        LivermoreCheck {
+            which: self.which,
+            n: self.n,
+            reps: 1,
+            result_addr: w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisync_core::MachineConfig;
+
+    #[test]
+    fn loop2_correct_on_all_configs() {
+        for cfg in [
+            MachineConfig::baseline(16),
+            MachineConfig::baseline_plus(16),
+            MachineConfig::wisync_not(16),
+            MachineConfig::wisync(16),
+        ] {
+            let mut m = Machine::new(cfg);
+            Livermore::loop2(64).run_cycles(&mut m, 100_000_000);
+        }
+    }
+
+    #[test]
+    fn loop3_correct_on_all_configs() {
+        for cfg in [
+            MachineConfig::baseline(16),
+            MachineConfig::baseline_plus(16),
+            MachineConfig::wisync_not(16),
+            MachineConfig::wisync(16),
+        ] {
+            let mut m = Machine::new(cfg);
+            Livermore::loop3(128, 3).run_cycles(&mut m, 100_000_000);
+        }
+    }
+
+    #[test]
+    fn loop6_correct_on_all_configs() {
+        for cfg in [
+            MachineConfig::baseline(16),
+            MachineConfig::baseline_plus(16),
+            MachineConfig::wisync_not(16),
+            MachineConfig::wisync(16),
+        ] {
+            let mut m = Machine::new(cfg);
+            Livermore::loop6(32).run_cycles(&mut m, 300_000_000);
+        }
+    }
+
+    #[test]
+    fn wisync_wins_at_small_vectors() {
+        let run = |cfg| {
+            let mut m = Machine::new(cfg);
+            Livermore::loop3(16, 5).run_cycles(&mut m, 500_000_000)
+        };
+        let baseline = run(MachineConfig::baseline(16));
+        let wisync = run(MachineConfig::wisync(16));
+        assert!(
+            wisync * 3 < baseline,
+            "wisync {wisync} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn gap_narrows_at_large_vectors() {
+        let ratio = |n| {
+            let run = |cfg| {
+                let mut m = Machine::new(cfg);
+                Livermore::loop3(n, 2).run_cycles(&mut m, 1_000_000_000)
+            };
+            run(MachineConfig::baseline(16)) as f64 / run(MachineConfig::wisync(16)) as f64
+        };
+        let small = ratio(16);
+        let large = ratio(4096);
+        assert!(
+            large < small,
+            "speedup should shrink with vector length: {small:.2} -> {large:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn loop2_requires_power_of_two() {
+        Livermore::loop2(48);
+    }
+}

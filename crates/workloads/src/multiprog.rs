@@ -1,0 +1,252 @@
+//! Multiprogrammed workload mixes (§3.1: "it is likely that a large
+//! manycore will be shared by multiple applications").
+//!
+//! A [`MultiprogramMix`] partitions the machine's cores among several
+//! application profiles, each running under its own PID with its own
+//! BM allocations, barriers, and locks. The programs share the single
+//! wireless Data channel and the tone tables — exactly the resource
+//! sharing WiSync's PID tags and per-process AllocB accounting exist
+//! to make safe.
+
+use wisync_core::{Machine, Pid, RunOutcome};
+use wisync_isa::{Instr, ProgramBuilder, Reg};
+use wisync_sim::DetRng;
+
+use crate::addr::AddrSpace;
+use crate::apps::AppProfile;
+use crate::kit::{BarrierHandle, LockHandle};
+
+/// One entry of a multiprogrammed mix: an application profile and how
+/// many cores it gets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slice {
+    /// The application to run.
+    pub profile: AppProfile,
+    /// Cores assigned (contiguous; the mix packs slices in order).
+    pub cores: usize,
+}
+
+/// A set of applications sharing one machine.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_core::{Machine, MachineConfig, RunOutcome};
+/// use wisync_workloads::{AppProfile, MultiprogramMix, Slice};
+///
+/// let mut stream = AppProfile::by_name("streamcluster").unwrap();
+/// stream.phases = 5;
+/// let mut ray = AppProfile::by_name("raytrace").unwrap();
+/// ray.phases = 1;
+/// let mix = MultiprogramMix::new(vec![
+///     Slice { profile: stream, cores: 8 },
+///     Slice { profile: ray, cores: 8 },
+/// ]);
+/// let mut m = Machine::new(MachineConfig::wisync(16));
+/// mix.load(&mut m);
+/// assert_eq!(m.run(1_000_000_000).outcome, RunOutcome::Completed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiprogramMix {
+    slices: Vec<Slice>,
+    seed: u64,
+}
+
+impl MultiprogramMix {
+    /// Creates a mix from slices (packed onto cores in order).
+    pub fn new(slices: Vec<Slice>) -> Self {
+        MultiprogramMix { slices, seed: 1 }
+    }
+
+    /// Total cores the mix needs.
+    pub fn cores_needed(&self) -> usize {
+        self.slices.iter().map(|s| s.cores).sum()
+    }
+
+    /// The slices of this mix.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Loads every slice onto `m`, each under its own PID (1, 2, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has fewer cores than [`Self::cores_needed`].
+    pub fn load(&self, m: &mut Machine) {
+        assert!(
+            self.cores_needed() <= m.config().cores,
+            "mix needs {} cores, machine has {}",
+            self.cores_needed(),
+            m.config().cores
+        );
+        let mut first_core = 0usize;
+        // Keep each program's cached data disjoint.
+        let mut addr = AddrSpace::new();
+        for (i, slice) in self.slices.iter().enumerate() {
+            let pid = Pid(i as u32 + 1);
+            load_on_cores(m, pid, slice.profile, first_core, slice.cores, &mut addr, self.seed);
+            first_core += slice.cores;
+        }
+    }
+
+    /// Loads, runs, and returns per-slice finish cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not complete.
+    pub fn run(&self, m: &mut Machine, max_cycles: u64) -> Vec<u64> {
+        self.load(m);
+        let r = m.run(max_cycles);
+        assert_eq!(r.outcome, RunOutcome::Completed, "mix did not complete");
+        let mut finishes = Vec::new();
+        let mut first = 0usize;
+        for slice in &self.slices {
+            let last = (first..first + slice.cores)
+                .map(|c| r.core_finish[c].expect("halted").as_u64())
+                .max()
+                .unwrap_or(0);
+            finishes.push(last);
+            first += slice.cores;
+        }
+        finishes
+    }
+}
+
+/// Loads one application profile onto cores `first .. first + n` of `m`
+/// under `pid`. (The single-program [`crate::AppWorkload`] is the
+/// `first = 0, n = all` case.)
+pub(crate) fn load_on_cores(
+    m: &mut Machine,
+    pid: Pid,
+    prof: AppProfile,
+    first: usize,
+    n: usize,
+    addr: &mut AddrSpace,
+    seed: u64,
+) {
+    let barrier = BarrierHandle::alloc_range(m, pid, addr, first, n);
+    let n_locks = prof.n_locks.max(1);
+    let locks: Vec<LockHandle> = (0..n_locks)
+        .map(|_| LockHandle::alloc(m, pid, addr, n))
+        .collect();
+    let mut rng = DetRng::new(seed ^ 0x5EED_4A99 ^ (pid.0 as u64) << 16);
+    for tid in 0..n {
+        let jitter_span = prof.compute * prof.jitter_pct / 100;
+        let compute = prof.compute - jitter_span / 2 + rng.gen_range(jitter_span.max(1));
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+        b.push(Instr::Li {
+            dst: Reg(12),
+            imm: prof.phases,
+        });
+        let phase_top = b.bind_here();
+        b.push(Instr::Compute {
+            cycles: compute.max(1),
+        });
+        for l in 0..prof.locks_per_phase {
+            if prof.inter_lock > 0 {
+                b.push(Instr::Compute {
+                    cycles: prof.inter_lock,
+                });
+            }
+            let idx = (tid * 31 + l as usize * 17) % n_locks;
+            let lock = &locks[idx];
+            lock.emit_init(&mut b, tid);
+            lock.for_tid(tid).emit_acquire(&mut b);
+            b.push(Instr::Compute {
+                cycles: prof.lock_hold.max(1),
+            });
+            lock.for_tid(tid).emit_release(&mut b);
+        }
+        barrier.for_tid(tid).emit(&mut b, Reg(11));
+        b.push(Instr::Addi {
+            dst: Reg(12),
+            a: Reg(12),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(12),
+            target: phase_top,
+        });
+        b.push(Instr::Halt);
+        m.load_program(first + tid, pid, b.build().expect("app program builds"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisync_core::{MachineConfig, MachineKind};
+
+    fn small(name: &str, phases: u64) -> AppProfile {
+        let mut p = AppProfile::by_name(name).unwrap();
+        p.phases = phases;
+        p
+    }
+
+    #[test]
+    fn mix_runs_on_all_kinds() {
+        for kind in MachineKind::all() {
+            let mix = MultiprogramMix::new(vec![
+                Slice { profile: small("streamcluster", 4), cores: 8 },
+                Slice { profile: small("fft", 2), cores: 4 },
+            ]);
+            let mut m = Machine::new(MachineConfig::for_kind(kind, 16));
+            let finishes = mix.run(&mut m, 10_000_000_000);
+            assert_eq!(finishes.len(), 2, "{kind}");
+            assert!(finishes.iter().all(|&f| f > 0), "{kind}");
+        }
+    }
+
+    #[test]
+    fn slices_use_distinct_pids_and_do_not_fault() {
+        let mix = MultiprogramMix::new(vec![
+            Slice { profile: small("radiosity", 1), cores: 6 },
+            Slice { profile: small("volrend", 1), cores: 6 },
+            Slice { profile: small("blacksholes", 1), cores: 4 },
+        ]);
+        assert_eq!(mix.cores_needed(), 16);
+        let mut m = Machine::new(MachineConfig::wisync(16));
+        mix.run(&mut m, 10_000_000_000);
+        assert!(m.stats().faults.is_empty());
+    }
+
+    #[test]
+    fn colocation_slows_a_barrier_app_only_modestly() {
+        // streamcluster alone on 8 cores of a 16-core chip vs co-located
+        // with a lock-heavy neighbor: the shared Data channel adds some
+        // interference, but the Tone channel keeps barriers fast.
+        let alone = {
+            let mix = MultiprogramMix::new(vec![Slice {
+                profile: small("streamcluster", 40),
+                cores: 8,
+            }]);
+            let mut m = Machine::new(MachineConfig::wisync(16));
+            mix.run(&mut m, 10_000_000_000)[0]
+        };
+        let colocated = {
+            let mix = MultiprogramMix::new(vec![
+                Slice { profile: small("streamcluster", 40), cores: 8 },
+                Slice { profile: small("radiosity", 2), cores: 8 },
+            ]);
+            let mut m = Machine::new(MachineConfig::wisync(16));
+            mix.run(&mut m, 10_000_000_000)[0]
+        };
+        assert!(
+            (colocated as f64) < 2.0 * alone as f64,
+            "interference bounded: alone {alone}, colocated {colocated}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mix needs")]
+    fn oversubscription_rejected() {
+        let mix = MultiprogramMix::new(vec![Slice {
+            profile: small("fft", 1),
+            cores: 32,
+        }]);
+        let mut m = Machine::new(MachineConfig::wisync(16));
+        mix.load(&mut m);
+    }
+}

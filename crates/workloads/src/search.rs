@@ -1,0 +1,237 @@
+//! Parallel search with an OR-barrier (Eureka): the paper's §4.3.2 use
+//! case — "OR-barriers are triggered as soon as one of the participating
+//! processors detects a certain condition, e.g., ... the solution of a
+//! parallel search".
+//!
+//! Threads scan disjoint strided ranges of a key space for a target
+//! value planted in one thread's range. The finder raises the eureka
+//! flag; everyone else polls it between work quanta and stops early.
+//! On WiSync machines the flag lives in the BM (one broadcast store to
+//! raise, local 2-cycle polls); on the baselines it is a cached flag
+//! whose polls stay local until invalidated.
+
+use wisync_core::{Machine, MachineKind, Pid, RunOutcome};
+use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
+
+use crate::addr::AddrSpace;
+
+/// A parallel-search workload instance.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_core::{Machine, MachineConfig};
+/// use wisync_workloads::EurekaSearch;
+///
+/// let mut m = Machine::new(MachineConfig::wisync(16));
+/// let cycles = EurekaSearch::new(4_000, 1_234).run_cycles(&mut m, 1_000_000_000);
+/// assert!(cycles > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EurekaSearch {
+    /// Keys in the search space.
+    pub space: u64,
+    /// Index of the planted solution (`< space`).
+    pub target_index: u64,
+    /// Work quantum: keys examined between eureka polls.
+    pub quantum: u64,
+    /// Cycles of work per examined key.
+    pub per_key: u64,
+}
+
+impl EurekaSearch {
+    /// A search over `space` keys with the solution at `target_index`,
+    /// polling every 32 keys, 4 cycles per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_index >= space` or `space == 0`.
+    pub fn new(space: u64, target_index: u64) -> Self {
+        assert!(space > 0 && target_index < space, "target must be in space");
+        EurekaSearch {
+            space,
+            target_index,
+            quantum: 32,
+            per_key: 4,
+        }
+    }
+
+    /// Loads the search onto every core of `m`. Returns the address of
+    /// the "found by" cell (cached memory) for verification.
+    pub fn load(&self, m: &mut Machine) -> u64 {
+        let pid = Pid(1);
+        let cores = m.config().cores as u64;
+        let mut addr = AddrSpace::new();
+        let found_by = addr.line();
+        m.mem_init(found_by, u64::MAX);
+        // The eureka flag: BM on WiSync machines, cached otherwise.
+        let (flag_addr, flag_space) = if m.config().kind.has_bm() {
+            (m.bm_alloc(pid, 1).expect("BM space"), Space::Bm)
+        } else {
+            (addr.line(), Space::Cached)
+        };
+        // Thread t scans keys t, t+T, t+2T, ...; the key equal to
+        // target_index is "the solution". Keys are compared by index
+        // arithmetic (the data array itself is implicit: per_key cycles
+        // of Compute stand for hashing/compare work).
+        for tid in 0..m.config().cores {
+            let mut b = ProgramBuilder::new();
+            // r1 = current key index, r2 = space, r3 = target.
+            b.push(Instr::Li { dst: Reg(1), imm: tid as u64 });
+            b.push(Instr::Li { dst: Reg(2), imm: self.space });
+            b.push(Instr::Li { dst: Reg(3), imm: self.target_index });
+            // r4 = keys left in the current quantum.
+            b.push(Instr::Li { dst: Reg(4), imm: self.quantum });
+            let outer = b.label();
+            let check_key = b.label();
+            let poll = b.label();
+            let stop = b.label();
+            let found = b.label();
+            b.bind(outer);
+            // Done with my range? Then just wait for someone's eureka.
+            b.push(Instr::CmpLt { dst: Reg(5), a: Reg(1), b: Reg(2) });
+            b.push(Instr::Beqz { cond: Reg(5), target: poll });
+            b.bind(check_key);
+            b.push(Instr::Compute { cycles: self.per_key.max(1) });
+            b.push(Instr::CmpEq { dst: Reg(5), a: Reg(1), b: Reg(3) });
+            b.push(Instr::Bnez { cond: Reg(5), target: found });
+            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: cores });
+            b.push(Instr::Addi { dst: Reg(4), a: Reg(4), imm: u64::MAX });
+            b.push(Instr::Bnez { cond: Reg(4), target: outer });
+            // Quantum exhausted: poll the eureka flag, then continue.
+            b.push(Instr::Li { dst: Reg(4), imm: self.quantum });
+            b.push(Instr::Ld {
+                dst: Reg(6),
+                base: Reg(0),
+                offset: flag_addr,
+                space: flag_space,
+            });
+            b.push(Instr::Bnez { cond: Reg(6), target: stop });
+            b.push(Instr::Jump { target: outer });
+            // Found it: record myself and raise the eureka.
+            b.bind(found);
+            b.push(Instr::Li { dst: Reg(7), imm: tid as u64 });
+            b.push(Instr::St {
+                src: Reg(7),
+                base: Reg(0),
+                offset: found_by,
+                space: Space::Cached,
+            });
+            b.push(Instr::Li { dst: Reg(7), imm: 1 });
+            b.push(Instr::St {
+                src: Reg(7),
+                base: Reg(0),
+                offset: flag_addr,
+                space: flag_space,
+            });
+            b.push(Instr::Halt);
+            // Out of keys: block until the eureka arrives.
+            b.bind(poll);
+            b.push(Instr::WaitWhile {
+                cond: wisync_isa::Cond::Eq,
+                base: Reg(0),
+                offset: flag_addr,
+                value: Reg(0),
+                space: flag_space,
+            });
+            b.bind(stop);
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("search builds"));
+        }
+        found_by
+    }
+
+    /// Loads, runs, verifies the right thread found the target, and
+    /// returns total cycles (time until every thread observed the
+    /// eureka and stopped).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-completion or a wrong finder.
+    pub fn run_cycles(&self, m: &mut Machine, max_cycles: u64) -> u64 {
+        let cores = m.config().cores as u64;
+        let found_by = self.load(m);
+        let r = m.run(max_cycles);
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Completed,
+            "search did not complete on {}",
+            m.config().kind
+        );
+        assert_eq!(
+            m.mem_value(found_by),
+            self.target_index % cores,
+            "wrong finder"
+        );
+        r.cycles.as_u64()
+    }
+}
+
+/// Marker: this workload supports every [`MachineKind`].
+pub fn supported_kinds() -> [MachineKind; 4] {
+    MachineKind::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisync_core::MachineConfig;
+
+    #[test]
+    fn search_finds_target_on_all_kinds() {
+        for kind in MachineKind::all() {
+            let mut m = Machine::new(MachineConfig::for_kind(kind, 16));
+            EurekaSearch::new(2_000, 777).run_cycles(&mut m, 2_000_000_000);
+        }
+    }
+
+    #[test]
+    fn early_target_terminates_much_sooner_than_late() {
+        let run = |target| {
+            let mut m = Machine::new(MachineConfig::wisync(16));
+            EurekaSearch::new(8_000, target).run_cycles(&mut m, 2_000_000_000)
+        };
+        let early = run(5);
+        let late = run(7_995);
+        assert!(early * 5 < late, "eureka cuts work: early {early}, late {late}");
+    }
+
+    #[test]
+    fn eureka_propagation_is_faster_on_wisync() {
+        // Same search; the win is the eureka raise + observation path.
+        // With coarse polling the totals are close, so compare the tail:
+        // time from the finder's halt to the last thread's halt.
+        let tail = |cfg: MachineConfig| {
+            let mut m = Machine::new(cfg);
+            let s = EurekaSearch {
+                space: 4_000,
+                target_index: 1_000,
+                quantum: 16,
+                per_key: 4,
+            };
+            s.load(&mut m);
+            let r = m.run(2_000_000_000);
+            assert_eq!(r.outcome, RunOutcome::Completed);
+            let finishes: Vec<u64> = r
+                .core_finish
+                .iter()
+                .map(|f| f.unwrap().as_u64())
+                .collect();
+            let first = finishes.iter().min().unwrap();
+            let last = finishes.iter().max().unwrap();
+            last - first
+        };
+        let base = tail(MachineConfig::baseline(16));
+        let wisync = tail(MachineConfig::wisync(16));
+        assert!(
+            wisync <= base,
+            "wisync tail {wisync} vs baseline tail {base}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in space")]
+    fn bad_target_rejected() {
+        EurekaSearch::new(10, 10);
+    }
+}

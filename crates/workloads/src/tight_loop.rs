@@ -1,0 +1,180 @@
+//! TightLoop: the barrier stress microbenchmark of §6 / Figure 7.
+//!
+//! "Each thread adds-up the contents of a 50-element array into a local
+//! variable and then synchronizes in a barrier. The process repeats in a
+//! loop."
+
+use wisync_core::{Machine, Pid};
+use wisync_isa::{Instr, ProgramBuilder, Reg};
+
+use crate::addr::AddrSpace;
+use crate::kit::BarrierHandle;
+
+/// The TightLoop workload. One thread per core.
+///
+/// # Examples
+///
+/// ```
+/// use wisync_core::{Machine, MachineConfig, RunOutcome};
+/// use wisync_workloads::TightLoop;
+///
+/// let mut m = Machine::new(MachineConfig::wisync(16));
+/// TightLoop::new(5).load(&mut m);
+/// let report = m.run(10_000_000);
+/// assert_eq!(report.outcome, RunOutcome::Completed);
+/// let per_iter = report.cycles.as_u64() / 5;
+/// assert!(per_iter > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TightLoop {
+    /// Barrier episodes to run.
+    pub iters: u64,
+    /// Elements each thread sums between barriers (paper: 50).
+    pub array_len: u64,
+}
+
+impl TightLoop {
+    /// TightLoop with the paper's 50-element arrays.
+    pub fn new(iters: u64) -> Self {
+        TightLoop {
+            iters,
+            array_len: 50,
+        }
+    }
+
+    /// Loads the workload onto every core of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is zero.
+    pub fn load(&self, m: &mut Machine) {
+        assert!(self.iters > 0, "need at least one iteration");
+        let pid = Pid(1);
+        let cores = m.config().cores;
+        let mut addr = AddrSpace::new();
+        let barrier = BarrierHandle::alloc(m, pid, &mut addr, cores);
+        // Per-thread private arrays, initialized to 1s.
+        let array_bytes = self.array_len * 8;
+        let bases: Vec<u64> = (0..cores).map(|_| addr.bytes(array_bytes)).collect();
+        for &base in &bases {
+            for k in 0..self.array_len {
+                m.mem_init(base + 8 * k, 1);
+            }
+        }
+        for (tid, &base) in bases.iter().enumerate() {
+            let mut b = ProgramBuilder::new();
+            // r1 = iteration counter, r11 = barrier sense.
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: self.iters,
+            });
+            b.push(Instr::Li { dst: Reg(11), imm: 0 });
+            let top = b.bind_here();
+            // Sum the private array: r4 = sum, r3 = element address.
+            b.push(Instr::Li { dst: Reg(4), imm: 0 });
+            b.push(Instr::Li { dst: Reg(3), imm: base });
+            b.push(Instr::Li {
+                dst: Reg(5),
+                imm: base + array_bytes,
+            });
+            let elem = b.bind_here();
+            b.push(Instr::Ld {
+                dst: Reg(6),
+                base: Reg(3),
+                offset: 0,
+                space: wisync_isa::Space::Cached,
+            });
+            b.push(Instr::Add {
+                dst: Reg(4),
+                a: Reg(4),
+                b: Reg(6),
+            });
+            b.push(Instr::Addi {
+                dst: Reg(3),
+                a: Reg(3),
+                imm: 8,
+            });
+            b.push(Instr::CmpLt {
+                dst: Reg(7),
+                a: Reg(3),
+                b: Reg(5),
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(7),
+                target: elem,
+            });
+            barrier.for_tid(tid).emit(&mut b, Reg(11));
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: top,
+            });
+            b.push(Instr::Halt);
+            m.load_program(tid, pid, b.build().expect("tight loop builds"));
+        }
+    }
+
+    /// Runs the workload and returns cycles per iteration — the Figure 7
+    /// metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not complete.
+    pub fn run_cycles_per_iter(&self, m: &mut Machine, max_cycles: u64) -> u64 {
+        self.load(m);
+        let r = m.run(max_cycles);
+        assert_eq!(
+            r.outcome,
+            wisync_core::RunOutcome::Completed,
+            "TightLoop did not complete on {}",
+            m.config().kind
+        );
+        r.cycles.as_u64() / self.iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisync_core::{MachineConfig, RunOutcome};
+
+    #[test]
+    fn all_configs_complete_and_sum_correctly() {
+        for cfg in [
+            MachineConfig::baseline(16),
+            MachineConfig::baseline_plus(16),
+            MachineConfig::wisync_not(16),
+            MachineConfig::wisync(16),
+        ] {
+            let kind = cfg.kind;
+            let mut m = Machine::new(cfg);
+            TightLoop::new(3).load(&mut m);
+            let r = m.run(50_000_000);
+            assert_eq!(r.outcome, RunOutcome::Completed, "{kind}");
+            // Every thread's last sum is the array total.
+            for c in 0..16 {
+                assert_eq!(m.reg(c, Reg(4)), 50, "{kind} core {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_ordering_holds_at_16_cores() {
+        let per_iter = |cfg| {
+            let mut m = Machine::new(cfg);
+            TightLoop::new(8).run_cycles_per_iter(&mut m, 100_000_000)
+        };
+        let baseline = per_iter(MachineConfig::baseline(16));
+        let plus = per_iter(MachineConfig::baseline_plus(16));
+        let not = per_iter(MachineConfig::wisync_not(16));
+        let wisync = per_iter(MachineConfig::wisync(16));
+        assert!(
+            wisync < not && not < plus && plus < baseline,
+            "w={wisync} not={not} plus={plus} base={baseline}"
+        );
+    }
+}

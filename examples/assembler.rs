@@ -1,0 +1,52 @@
+//! Writing kernel programs as text assembly, and watching the wireless
+//! fabric through the machine tracer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example assembler
+//! ```
+
+use wisync::core::{Machine, MachineConfig, Pid, RunOutcome};
+use wisync::isa::{assemble, disassemble};
+
+fn main() {
+    let pid = Pid(1);
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let counter = m.bm_alloc(pid, 1).expect("BM space");
+    let flag = m.bm_alloc(pid, 1).expect("BM space");
+    m.arm_tone(pid, flag, 0..4).expect("tone table space");
+    m.enable_trace(256);
+
+    // Four workers: add this thread's contribution (passed in r1) into
+    // the shared counter with the Figure 4(a) AFB-retry idiom, then meet
+    // in a tone barrier.
+    let src = format!(
+        "; worker: wireless fetch&add + tone barrier
+             li   r11, 1            ; barrier sense
+         retry:
+             rmw.fetchadd r2, bm[r0 + {counter:#x}], r1
+             readafb r3
+             bnez r3, retry
+             tonest bm[r0 + {flag:#x}]
+             waitwhile.ne bm[r0 + {flag:#x}], r11
+             halt
+        "
+    );
+    let prog = assemble(&src).expect("assembles");
+
+    println!("assembled {} instructions; disassembly:", prog.len());
+    println!("{}", disassemble(&prog));
+
+    for tid in 0..4 {
+        m.load_program(tid, pid, prog.clone());
+        m.set_reg(tid, wisync::isa::Reg(1), 10 + tid as u64);
+    }
+    let r = m.run(100_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+
+    println!("counter = {} (expected {})", m.bm_value(pid, counter).unwrap(), 10 + 11 + 12 + 13);
+    println!();
+    println!("wireless timeline:");
+    print!("{}", m.trace().expect("tracing enabled").render());
+}

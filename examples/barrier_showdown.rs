@@ -1,0 +1,32 @@
+//! Barrier showdown: the paper's Figure 7 experiment in miniature.
+//!
+//! Runs TightLoop (sum a 50-element private array, hit a barrier,
+//! repeat) on all four architectures at several core counts and prints
+//! cycles per iteration.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example barrier_showdown
+//! ```
+
+use wisync::core::{Machine, MachineConfig, MachineKind};
+use wisync::workloads::TightLoop;
+
+fn main() {
+    let iters = 20;
+    println!("TightLoop: cycles per iteration (lower is better)");
+    println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync");
+    for cores in [16usize, 32, 64, 128] {
+        let mut row = format!("{cores:<8}");
+        for kind in MachineKind::all() {
+            let mut m = Machine::new(MachineConfig::for_kind(kind, cores));
+            let per_iter = TightLoop::new(iters).run_cycles_per_iter(&mut m, 5_000_000_000);
+            row.push_str(&format!(" {per_iter:>10}"));
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("Expected shape (paper Fig. 7): WiSync < WiSyncNoT < Baseline+ << Baseline,");
+    println!("with the gaps growing as the core count rises.");
+}

@@ -1,0 +1,54 @@
+//! # WiSync: fast synchronization through on-chip wireless communication
+//!
+//! A from-scratch Rust reproduction of *"WiSync: An Architecture for Fast
+//! Synchronization through On-Chip Wireless Communication"* (Abadal,
+//! Cabellos-Aparicio, Alarcón, Torrellas — ASPLOS 2016), including the
+//! cycle-level manycore simulator it is evaluated on.
+//!
+//! The paper augments every core of a manycore with an RF transceiver and
+//! two antennas. Writes to a per-core **Broadcast Memory (BM)** are
+//! broadcast on a shared wireless **Data channel** so that every replica
+//! updates in under 10 cycles, and a second 1-bit **Tone channel** runs
+//! AND-barriers nearly for free. This crate re-exports the whole system:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event engine |
+//! | [`noc`] | 2D-mesh NoC timing model |
+//! | [`mem`] | L1/L2 + MOESI directory timing model |
+//! | [`wireless`] | Data/Tone channels, backoff MAC, RF tech model |
+//! | [`isa`] | kernel instruction set + architectural interpreter |
+//! | [`core`] | Broadcast Memory, machine configurations, the machine |
+//! | [`sync`] | Table 2 locks/barriers + Figure 4 idioms as codegen |
+//! | [`workloads`] | TightLoop, Livermore 2/3/6, CAS kernels, app profiles |
+//!
+//! # Quick start
+//!
+//! Compare a barrier microbenchmark across all four of the paper's
+//! architectures (Figure 7's experiment in miniature):
+//!
+//! ```
+//! use wisync::core::{Machine, MachineConfig, MachineKind};
+//! use wisync::workloads::TightLoop;
+//!
+//! let mut results = Vec::new();
+//! for kind in MachineKind::all() {
+//!     let mut m = Machine::new(MachineConfig::for_kind(kind, 16));
+//!     let cycles_per_iter = TightLoop::new(5).run_cycles_per_iter(&mut m, 1_000_000_000);
+//!     results.push((kind, cycles_per_iter));
+//! }
+//! // WiSync is fastest; the plain Baseline is slowest.
+//! assert!(results[3].1 < results[0].1);
+//! ```
+//!
+//! See `examples/` for runnable programs and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+pub use wisync_core as core;
+pub use wisync_isa as isa;
+pub use wisync_mem as mem;
+pub use wisync_noc as noc;
+pub use wisync_sim as sim;
+pub use wisync_sync as sync;
+pub use wisync_wireless as wireless;
+pub use wisync_workloads as workloads;

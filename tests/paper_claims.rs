@@ -1,0 +1,122 @@
+//! End-to-end acceptance tests for the paper's headline claims, at a
+//! scale that keeps `cargo test` fast (the full-scale numbers live in
+//! EXPERIMENTS.md and regenerate via the wisync-bench binaries).
+
+use wisync::core::{Machine, MachineConfig, MachineKind};
+use wisync::workloads::{CasKernel, CasKind, Livermore, TightLoop};
+
+fn tightloop_cycles(kind: MachineKind, cores: usize) -> u64 {
+    let mut m = Machine::new(MachineConfig::for_kind(kind, cores));
+    TightLoop::new(10).run_cycles_per_iter(&mut m, 1_000_000_000)
+}
+
+/// Figure 7's ordering: WiSync < WiSyncNoT < Baseline+ < Baseline at 64
+/// cores, with WiSync about an order of magnitude under Baseline+.
+#[test]
+fn fig7_ordering_and_magnitude_at_64_cores() {
+    let base = tightloop_cycles(MachineKind::Baseline, 64);
+    let plus = tightloop_cycles(MachineKind::BaselinePlus, 64);
+    let not = tightloop_cycles(MachineKind::WiSyncNoT, 64);
+    let wisync = tightloop_cycles(MachineKind::WiSync, 64);
+    assert!(
+        wisync < not && not < plus && plus < base,
+        "ordering: {wisync} {not} {plus} {base}"
+    );
+    assert!(plus >= 8 * wisync, "~1 order vs Baseline+: {plus} vs {wisync}");
+    assert!(base >= 20 * wisync, "large gap vs Baseline: {base} vs {wisync}");
+    // WiSyncNoT within the paper's 2-6x of WiSync.
+    assert!(not >= 2 * wisync && not <= 12 * wisync);
+}
+
+/// Figure 7's scaling claim: WiSync's time stays nearly flat from 16 to
+/// 256 cores while Baseline's explodes.
+#[test]
+fn fig7_scaling_shapes() {
+    let w16 = tightloop_cycles(MachineKind::WiSync, 16);
+    let w256 = tightloop_cycles(MachineKind::WiSync, 256);
+    assert!(w256 < 2 * w16, "tone barrier nearly flat: {w16} -> {w256}");
+    let b16 = tightloop_cycles(MachineKind::Baseline, 16);
+    let b256 = tightloop_cycles(MachineKind::Baseline, 256);
+    assert!(b256 > 20 * b16, "baseline blows up: {b16} -> {b256}");
+}
+
+/// Figure 8's crossover: the WiSync advantage on Livermore loop 3
+/// shrinks monotonically-ish as the vector grows.
+#[test]
+fn fig8_gains_shrink_with_vector_length() {
+    let ratio = |n: u64| {
+        let mut b = Machine::new(MachineConfig::baseline(32));
+        let bc = Livermore::loop3(n, 3).run_cycles(&mut b, 1_000_000_000_000);
+        let mut w = Machine::new(MachineConfig::wisync(32));
+        let wc = Livermore::loop3(n, 3).run_cycles(&mut w, 1_000_000_000_000);
+        bc as f64 / wc as f64
+    };
+    let small = ratio(16);
+    let large = ratio(8192);
+    assert!(small > 1.5, "visible gain at n=16: {small:.2}");
+    assert!(large < small * 0.7, "gain shrinks: {small:.2} -> {large:.2}");
+    assert!(large < 1.35, "near parity at n=8192: {large:.2}");
+}
+
+/// Figure 9's crossover: CAS throughput parity at huge critical
+/// sections, large gap at tiny ones.
+#[test]
+fn fig9_parity_and_gap() {
+    let tput = |cfg: MachineConfig, w: u64| {
+        let mut m = Machine::new(cfg);
+        let (cycles, succ) = CasKernel {
+            kind: CasKind::Lifo,
+            critical_section: w,
+            ops_per_thread: 16,
+        }
+        .run_throughput(&mut m, 1_000_000_000_000);
+        succ as f64 * 1000.0 / cycles as f64
+    };
+    let big_b = tput(MachineConfig::baseline(64), 32_768);
+    let big_w = tput(MachineConfig::wisync(64), 32_768);
+    let ratio_big = big_w / big_b;
+    assert!(
+        (0.7..1.8).contains(&ratio_big),
+        "parity at 32K instr: {ratio_big:.2}"
+    );
+    let small_b = tput(MachineConfig::baseline(64), 16);
+    let small_w = tput(MachineConfig::wisync(64), 16);
+    assert!(
+        small_w > 5.0 * small_b,
+        "large gap at 16 instr: {small_w:.1} vs {small_b:.1}"
+    );
+}
+
+/// Table 4 as an assertion (the model is deterministic).
+#[test]
+fn table4_overheads() {
+    let rows = wisync::wireless::phys::table4();
+    assert!((rows[0].area_pct - 0.7).abs() < 0.05);
+    assert!((rows[0].power_pct - 0.4).abs() < 0.05);
+    assert!((rows[1].area_pct - 5.6).abs() < 0.1);
+    assert!((rows[1].power_pct - 1.8).abs() < 0.1);
+}
+
+/// Figure 11's direction: WiSync's TightLoop advantage over Baseline
+/// grows with a slower NoC and shrinks with a faster one, and is
+/// insensitive to BM latency.
+#[test]
+fn fig11_sensitivity_directions() {
+    let advantage = |f: fn(MachineConfig) -> MachineConfig| {
+        let mut mb = Machine::new(f(MachineConfig::baseline(32)));
+        let b = TightLoop::new(8).run_cycles_per_iter(&mut mb, 1_000_000_000);
+        let mut mw = Machine::new(f(MachineConfig::wisync(32)));
+        let w = TightLoop::new(8).run_cycles_per_iter(&mut mw, 1_000_000_000);
+        b as f64 / w as f64
+    };
+    let default = advantage(|c| c);
+    let slow = advantage(MachineConfig::slow_net);
+    let fast = advantage(MachineConfig::fast_net);
+    let slow_bm = advantage(MachineConfig::slow_bmem);
+    assert!(slow > default, "slow net helps: {slow:.2} vs {default:.2}");
+    assert!(fast < default, "fast net hurts: {fast:.2} vs {default:.2}");
+    assert!(
+        (slow_bm / default - 1.0).abs() < 0.15,
+        "BM latency barely matters: {slow_bm:.2} vs {default:.2}"
+    );
+}

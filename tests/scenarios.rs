@@ -1,0 +1,196 @@
+//! Cross-crate scenario tests: realistic combinations of the public API
+//! that no single crate exercises on its own.
+
+use wisync::core::{Machine, MachineConfig, Pid, RunOutcome};
+use wisync::isa::{Cond, Instr, ProgramBuilder, Reg, Space};
+use wisync::sync::{BmLock, ProducerConsumer, Reduction, ToneBarrierCode};
+use wisync::workloads::{AppProfile, AppWorkload, TightLoop};
+
+/// Two independent programs share one WiSync chip: program A runs a
+/// tone-barrier pipeline on cores 0..8 while program B runs a lock-based
+/// counter on cores 8..16. Both must finish correctly, without
+/// interfering through the BM (PID isolation) while sharing the single
+/// Data channel.
+#[test]
+fn multiprogrammed_mixed_workloads() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let pid_a = Pid(1);
+    let pid_b = Pid(2);
+
+    let acc_a = m.bm_alloc(pid_a, 1).unwrap();
+    let flag_a = m.bm_alloc(pid_a, 1).unwrap();
+    m.arm_tone(pid_a, flag_a, 0..8).unwrap();
+    let red = Reduction { acc_vaddr: acc_a };
+    let barrier = ToneBarrierCode { flag_vaddr: flag_a };
+    for tid in 0..8 {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(11), imm: 0 });
+        b.push(Instr::Li { dst: Reg(9), imm: 3 }); // 3 rounds
+        let top = b.bind_here();
+        b.push(Instr::Compute { cycles: 50 + tid as u64 });
+        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        red.emit_add(&mut b, Reg(1));
+        barrier.emit(&mut b, Reg(11));
+        b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(9), target: top });
+        b.push(Instr::Halt);
+        m.load_program(tid, pid_a, b.build().unwrap());
+    }
+
+    let lock_b = m.bm_alloc(pid_b, 1).unwrap();
+    let lock = BmLock { vaddr: lock_b };
+    let counter = 0x9000u64;
+    for tid in 8..16 {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li { dst: Reg(9), imm: 5 });
+        let top = b.bind_here();
+        lock.emit_acquire(&mut b);
+        b.push(Instr::Ld { dst: Reg(1), base: Reg(0), offset: counter, space: Space::Cached });
+        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: 1 });
+        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: counter, space: Space::Cached });
+        lock.emit_release(&mut b);
+        b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
+        b.push(Instr::Bnez { cond: Reg(9), target: top });
+        b.push(Instr::Halt);
+        m.load_program(tid, pid_b, b.build().unwrap());
+    }
+
+    let r = m.run(50_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(m.bm_value(pid_a, acc_a).unwrap(), 8 * 3);
+    assert_eq!(m.mem_value(counter), 8 * 5);
+    assert_eq!(m.stats().tone_barriers, 3);
+    assert!(m.stats().faults.is_empty());
+}
+
+/// A three-stage pipeline over BM producer-consumer channels spanning
+/// the mesh: stage 0 produces, stage 1 transforms, stage 2 consumes.
+#[test]
+fn pipelined_producer_consumer_chain() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let pid = Pid(1);
+    let ch1 = ProducerConsumer {
+        data_vaddr: m.bm_alloc(pid, 1).unwrap(),
+        flag_vaddr: m.bm_alloc(pid, 1).unwrap(),
+        bulk: false,
+    };
+    let ch2 = ProducerConsumer {
+        data_vaddr: m.bm_alloc(pid, 1).unwrap(),
+        flag_vaddr: m.bm_alloc(pid, 1).unwrap(),
+        bulk: false,
+    };
+    let rounds = 10u64;
+
+    // Stage 0 (core 0): produce 1..=rounds into ch1.
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Li { dst: Reg(9), imm: rounds });
+    b.push(Instr::Li { dst: Reg(3), imm: 0 });
+    let top = b.bind_here();
+    b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
+    ch1.emit_produce(&mut b, Reg(3));
+    b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
+    b.push(Instr::Bnez { cond: Reg(9), target: top });
+    b.push(Instr::Halt);
+    m.load_program(0, pid, b.build().unwrap());
+
+    // Stage 1 (core 7): consume ch1, double, produce into ch2.
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Li { dst: Reg(9), imm: rounds });
+    let top = b.bind_here();
+    ch1.emit_consume(&mut b, Reg(4));
+    b.push(Instr::Add { dst: Reg(4), a: Reg(4), b: Reg(4) });
+    ch2.emit_produce(&mut b, Reg(4));
+    b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
+    b.push(Instr::Bnez { cond: Reg(9), target: top });
+    b.push(Instr::Halt);
+    m.load_program(7, pid, b.build().unwrap());
+
+    // Stage 2 (core 15): consume ch2 and accumulate.
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Li { dst: Reg(9), imm: rounds });
+    b.push(Instr::Li { dst: Reg(5), imm: 0 });
+    let top = b.bind_here();
+    ch2.emit_consume(&mut b, Reg(4));
+    b.push(Instr::Add { dst: Reg(5), a: Reg(5), b: Reg(4) });
+    b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
+    b.push(Instr::Bnez { cond: Reg(9), target: top });
+    b.push(Instr::Halt);
+    m.load_program(15, pid, b.build().unwrap());
+
+    let r = m.run(10_000_000);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    // sum of 2*(1..=rounds).
+    assert_eq!(m.reg(15, Reg(5)), rounds * (rounds + 1));
+}
+
+/// The whole evaluation pipeline is deterministic end-to-end: loading a
+/// real workload twice produces bit-identical cycle counts and stats.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let mut m = Machine::new(MachineConfig::wisync(32));
+        let c = TightLoop::new(6).run_cycles_per_iter(&mut m, 1_000_000_000);
+        (
+            c,
+            m.stats().data.transfers,
+            m.stats().data.collisions,
+            m.stats().instructions,
+        )
+    };
+    assert_eq!(run(), run());
+
+    let run_app = || {
+        let mut prof = AppProfile::by_name("radiosity").unwrap();
+        prof.phases = 2;
+        let mut m = Machine::new(MachineConfig::baseline_plus(16));
+        AppWorkload::new(prof).run_cycles(&mut m, 1_000_000_000_000)
+    };
+    assert_eq!(run_app(), run_app());
+}
+
+/// A WiSync machine that exhausts its tone tables transparently falls
+/// back to Data-channel barriers and still completes (the §4.4 rule,
+/// end to end).
+#[test]
+fn tone_table_exhaustion_fallback_end_to_end() {
+    let mut cfg = MachineConfig::wisync(16);
+    cfg.tone_table_capacity = 0;
+    let mut m = Machine::new(cfg);
+    let cycles = TightLoop::new(5).run_cycles_per_iter(&mut m, 1_000_000_000);
+    assert!(cycles > 0);
+    assert_eq!(m.stats().tone_barriers, 0, "no tone barriers available");
+    assert!(m.stats().data.transfers > 0, "barrier ran on the Data channel");
+}
+
+/// Context-switch rule of §5.2: Data-channel state survives a thread
+/// being "re-loaded" onto a different core (migration), because the BM
+/// replicas are identical everywhere.
+#[test]
+fn migration_sees_consistent_bm() {
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let pid = Pid(1);
+    let addr = m.bm_alloc(pid, 1).unwrap();
+    // Phase 1: core 2 writes.
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Li { dst: Reg(1), imm: 1234 });
+    b.push(Instr::St { src: Reg(1), base: Reg(0), offset: addr, space: Space::Bm });
+    b.push(Instr::Halt);
+    m.load_program(2, pid, b.build().unwrap());
+    assert_eq!(m.run(10_000).outcome, RunOutcome::Completed);
+    // Phase 2: the "migrated" thread resumes on core 9 and reads its
+    // state from the local replica.
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Li { dst: Reg(2), imm: 1234 });
+    b.push(Instr::WaitWhile {
+        cond: Cond::Ne,
+        base: Reg(0),
+        offset: addr,
+        value: Reg(2),
+        space: Space::Bm,
+    });
+    b.push(Instr::Ld { dst: Reg(3), base: Reg(0), offset: addr, space: Space::Bm });
+    b.push(Instr::Halt);
+    m.load_program(9, pid, b.build().unwrap());
+    assert_eq!(m.run(100_000).outcome, RunOutcome::Completed);
+    assert_eq!(m.reg(9, Reg(3)), 1234);
+}
