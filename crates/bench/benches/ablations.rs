@@ -1,10 +1,15 @@
 //! Ablation benches for the design choices called out in DESIGN.md §5:
 //! what each mechanism buys, measured on the barrier microbenchmark.
+//!
+//! Runs on the in-repo `wisync-testkit` harness; timings land in
+//! `results/bench_ablations.json`. (The livelock behaviour a zero
+//! backoff cap causes is pinned by a unit test in `wisync-bench`, not
+//! here — benches measure, tests assert.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use wisync_core::{Machine, MachineConfig};
+use wisync_testkit::Harness;
 use wisync_workloads::TightLoop;
 
 fn run_tightloop(cfg: MachineConfig) -> u64 {
@@ -12,139 +17,122 @@ fn run_tightloop(cfg: MachineConfig) -> u64 {
     TightLoop::new(5).run_cycles_per_iter(&mut m, 1_000_000_000)
 }
 
-/// Exponential backoff: window caps of 2^3, 2^6, and the default 2^10,
-/// on the Data-channel barrier machine. (A cap of 0 — no backoff —
-/// livelocks outright: simultaneous retries collide forever. The unit
-/// test below the benches pins that behaviour.)
-fn backoff_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_backoff");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("ablations");
+    h.print_header();
+
+    // Exponential backoff: window caps of 2^3, 2^6, and the default 2^10,
+    // on the Data-channel barrier machine. (A cap of 0 — no backoff —
+    // livelocks outright: simultaneous retries collide forever.)
     for cap in [3u32, 6, 10] {
-        g.bench_function(format!("wisync_not_16cores_cap{cap}"), |b| {
-            b.iter(|| {
+        h.bench(
+            &format!("ablation_backoff/wisync_not_16cores_cap{cap}"),
+            || {
                 let mut cfg = MachineConfig::wisync_not(16);
                 cfg.wireless.max_backoff_exp = cap;
                 black_box(run_tightloop(cfg))
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-/// Baseline+'s virtual-tree invalidation multicast on vs off (i.e. the
-/// tournament barrier running on plain Baseline memory hardware).
-fn tree_multicast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_tree_multicast");
-    g.sample_size(10);
-    g.bench_function("tournament_with_tree_16cores", |b| {
-        b.iter(|| black_box(run_tightloop(MachineConfig::baseline_plus(16))))
-    });
-    g.bench_function("tournament_without_tree_16cores", |b| {
-        b.iter(|| {
+    // Baseline+'s virtual-tree invalidation multicast on vs off (i.e. the
+    // tournament barrier running on plain Baseline memory hardware).
+    h.bench(
+        "ablation_tree_multicast/tournament_with_tree_16cores",
+        || black_box(run_tightloop(MachineConfig::baseline_plus(16))),
+    );
+    h.bench(
+        "ablation_tree_multicast/tournament_without_tree_16cores",
+        || {
             let mut cfg = MachineConfig::baseline_plus(16);
             cfg.mem.tree_multicast = false;
             black_box(run_tightloop(cfg))
-        })
-    });
-    g.finish();
-}
+        },
+    );
 
-/// Tone channel vs Data-channel fallback: force the tone tables to zero
-/// capacity so WiSync's barrier falls back to the BM-central algorithm
-/// (the §4.4 fallback path), and compare.
-fn tone_vs_fallback(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_tone_channel");
-    g.sample_size(10);
-    g.bench_function("tone_barrier_16cores", |b| {
-        b.iter(|| black_box(run_tightloop(MachineConfig::wisync(16))))
+    // Tone channel vs Data-channel fallback: force the tone tables to
+    // zero capacity so WiSync's barrier falls back to the BM-central
+    // algorithm (the §4.4 fallback path), and compare.
+    h.bench("ablation_tone_channel/tone_barrier_16cores", || {
+        black_box(run_tightloop(MachineConfig::wisync(16)))
     });
-    g.bench_function("fallback_data_barrier_16cores", |b| {
-        b.iter(|| {
+    h.bench(
+        "ablation_tone_channel/fallback_data_barrier_16cores",
+        || {
             let mut cfg = MachineConfig::wisync(16);
             cfg.tone_table_capacity = 0;
             black_box(run_tightloop(cfg))
-        })
-    });
-    g.finish();
-}
+        },
+    );
 
-/// BM latency sensitivity beyond Table 6: 2 (default), 4, 8 cycles.
-fn bm_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_bm_latency");
-    g.sample_size(10);
+    // BM latency sensitivity beyond Table 6: 2 (default), 4, 8 cycles.
     for rt in [2u64, 4, 8] {
-        g.bench_function(format!("wisync_16cores_bm_rt{rt}"), |b| {
-            b.iter(|| {
+        h.bench(
+            &format!("ablation_bm_latency/wisync_16cores_bm_rt{rt}"),
+            || {
                 let mut cfg = MachineConfig::wisync(16);
                 cfg.bm_rt = rt;
                 black_box(run_tightloop(cfg))
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-/// Data channel count (§4.1's rejected multi-channel design): TightLoop
-/// barely benefits (one barrier word), quantifying why the paper keeps a
-/// single channel.
-fn channel_count(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_data_channels");
-    g.sample_size(10);
+    // Data channel count (§4.1's rejected multi-channel design): TightLoop
+    // barely benefits (one barrier word), quantifying why the paper keeps
+    // a single channel.
     for channels in [1usize, 2, 4] {
-        g.bench_function(format!("wisync_not_16cores_{channels}ch"), |b| {
-            b.iter(|| {
+        h.bench(
+            &format!("ablation_data_channels/wisync_not_16cores_{channels}ch"),
+            || {
                 let mut cfg = MachineConfig::wisync_not(16);
                 cfg.wireless.data_channels = channels;
                 black_box(run_tightloop(cfg))
-            })
+            },
+        );
+    }
+
+    // SC vs TSO BM stores (§4.2.1) on a store-then-compute producer loop.
+    {
+        use wisync_core::{Pid, RunOutcome};
+        use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
+        let run = |cfg: MachineConfig| {
+            let mut m = Machine::new(cfg);
+            let addr = m.bm_alloc(Pid(1), 1).unwrap();
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 200,
+            });
+            let top = b.bind_here();
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: addr,
+                space: Space::Bm,
+            });
+            b.push(Instr::Compute { cycles: 20 });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: top,
+            });
+            b.push(Instr::Halt);
+            m.load_program(0, Pid(1), b.build().unwrap());
+            let r = m.run(1_000_000);
+            assert_eq!(r.outcome, RunOutcome::Completed);
+            r.cycles.as_u64()
+        };
+        h.bench("ablation_consistency/sc_store_compute_loop", || {
+            black_box(run(MachineConfig::wisync(16)))
+        });
+        h.bench("ablation_consistency/tso_store_compute_loop", || {
+            black_box(run(MachineConfig::wisync(16).with_tso()))
         });
     }
-    g.finish();
-}
 
-/// SC vs TSO BM stores (§4.2.1) on a store-then-compute producer loop.
-fn consistency_model(c: &mut Criterion) {
-    use wisync_core::{Pid, RunOutcome};
-    use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
-    let run = |cfg: MachineConfig| {
-        let mut m = Machine::new(cfg);
-        let addr = m.bm_alloc(Pid(1), 1).unwrap();
-        let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(1), imm: 200 });
-        let top = b.bind_here();
-        b.push(Instr::St {
-            src: Reg(1),
-            base: Reg(0),
-            offset: addr,
-            space: Space::Bm,
-        });
-        b.push(Instr::Compute { cycles: 20 });
-        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(1), target: top });
-        b.push(Instr::Halt);
-        m.load_program(0, Pid(1), b.build().unwrap());
-        let r = m.run(1_000_000);
-        assert_eq!(r.outcome, RunOutcome::Completed);
-        r.cycles.as_u64()
-    };
-    let mut g = c.benchmark_group("ablation_consistency");
-    g.sample_size(20);
-    g.bench_function("sc_store_compute_loop", |b| {
-        b.iter(|| black_box(run(MachineConfig::wisync(16))))
-    });
-    g.bench_function("tso_store_compute_loop", |b| {
-        b.iter(|| black_box(run(MachineConfig::wisync(16).with_tso())))
-    });
-    g.finish();
+    h.finish().expect("write bench report");
 }
-
-criterion_group!(
-    ablations,
-    backoff_policy,
-    tree_multicast,
-    tone_vs_fallback,
-    bm_latency,
-    channel_count,
-    consistency_model
-);
-criterion_main!(ablations);

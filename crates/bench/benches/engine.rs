@@ -1,96 +1,90 @@
 //! Engine microbenchmarks: raw throughput of the simulation substrates,
 //! useful for spotting performance regressions in the simulator itself.
+//!
+//! Runs on the in-repo `wisync-testkit` harness; timings land in
+//! `results/bench_engine.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use wisync_mem::{MemConfig, MemOp, MemSystem};
 use wisync_noc::{Mesh, NodeId};
 use wisync_sim::{Cycle, DetRng, EventQueue};
+use wisync_testkit::{BenchConfig, Harness};
 use wisync_wireless::{DataChannel, Resolution, TxLen, WirelessConfig};
 
-fn event_queue_throughput(c: &mut Criterion) {
-    c.bench_function("engine/event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = DetRng::new(7);
-            for i in 0..10_000u64 {
-                q.push(Cycle(rng.gen_range(1_000_000)), i);
-            }
-            let mut last = Cycle::ZERO;
-            while let Some((at, e)) = q.pop() {
-                debug_assert!(at >= last);
-                last = at;
-                black_box(e);
-            }
-        })
+fn main() {
+    let mut h = Harness::new("engine").with_config(BenchConfig {
+        warmup_iters: 3,
+        iters: 20,
     });
-}
+    h.print_header();
 
-fn mem_access_throughput(c: &mut Criterion) {
-    c.bench_function("engine/mem_10k_mixed_accesses", |b| {
-        b.iter(|| {
-            let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(64, 4));
-            let mut t = Cycle::ZERO;
-            for i in 0..10_000u64 {
-                let core = NodeId((i % 64) as usize);
-                let addr = (i % 512) * 64;
-                let op = if i % 3 == 0 {
-                    MemOp::Store(i)
-                } else {
-                    MemOp::Load
-                };
-                t = mem.access(core, addr, op, t).complete_at;
-            }
-            black_box(t)
-        })
+    h.bench("engine/event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = DetRng::new(7);
+        for i in 0..10_000u64 {
+            q.push(Cycle(rng.gen_range(1_000_000)), i);
+        }
+        let mut last = Cycle::ZERO;
+        while let Some((at, e)) = q.pop() {
+            debug_assert!(at >= last);
+            last = at;
+            black_box(e);
+        }
+        last
     });
-}
 
-fn channel_throughput(c: &mut Criterion) {
-    c.bench_function("engine/data_channel_1k_contended_transfers", |b| {
-        b.iter(|| {
-            let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 64);
-            let mut slots = Vec::new();
-            for i in 0..1_000u64 {
-                let (_, s) = ch.request(NodeId((i % 64) as usize), TxLen::Normal, i, Cycle(i / 8));
-                slots.push(s);
-            }
-            slots.sort_unstable();
-            slots.dedup();
-            let mut delivered = 0u64;
-            while let Some(slot) = slots.first().copied() {
-                slots.remove(0);
-                match ch.resolve(slot) {
-                    Resolution::Idle => {}
-                    Resolution::Deferred(next) => {
-                        for s in next {
-                            if !slots.contains(&s) {
-                                slots.push(s);
-                            }
+    h.bench("engine/mem_10k_mixed_accesses", || {
+        let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(64, 4));
+        let mut t = Cycle::ZERO;
+        for i in 0..10_000u64 {
+            let core = NodeId((i % 64) as usize);
+            let addr = (i % 512) * 64;
+            let op = if i % 3 == 0 {
+                MemOp::Store(i)
+            } else {
+                MemOp::Load
+            };
+            t = mem.access(core, addr, op, t).complete_at;
+        }
+        black_box(t)
+    });
+
+    h.bench("engine/data_channel_1k_contended_transfers", || {
+        let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 64);
+        let mut slots = Vec::new();
+        for i in 0..1_000u64 {
+            let (_, s) = ch.request(NodeId((i % 64) as usize), TxLen::Normal, i, Cycle(i / 8));
+            slots.push(s);
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        let mut delivered = 0u64;
+        while let Some(slot) = slots.first().copied() {
+            slots.remove(0);
+            match ch.resolve(slot) {
+                Resolution::Idle => {}
+                Resolution::Deferred(next) => {
+                    for s in next {
+                        if !slots.contains(&s) {
+                            slots.push(s);
                         }
-                        slots.sort_unstable();
                     }
-                    Resolution::Started { .. } => delivered += 1,
-                    Resolution::Collision { retry_slots } => {
-                        for s in retry_slots {
-                            if !slots.contains(&s) {
-                                slots.push(s);
-                            }
+                    slots.sort_unstable();
+                }
+                Resolution::Started { .. } => delivered += 1,
+                Resolution::Collision { retry_slots } => {
+                    for s in retry_slots {
+                        if !slots.contains(&s) {
+                            slots.push(s);
                         }
-                        slots.sort_unstable();
                     }
+                    slots.sort_unstable();
                 }
             }
-            black_box(delivered)
-        })
+        }
+        black_box(delivered)
     });
-}
 
-criterion_group!(
-    engine,
-    event_queue_throughput,
-    mem_access_throughput,
-    channel_throughput
-);
-criterion_main!(engine);
+    h.finish().expect("write bench report");
+}

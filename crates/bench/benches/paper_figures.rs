@@ -1,104 +1,66 @@
-//! Criterion benches: one per paper table/figure, at reduced scale so
+//! Paper-figure benches: one per paper table/figure, at reduced scale so
 //! `cargo bench` exercises every experiment in minutes. The full-scale
 //! numbers come from the `src/bin/` harnesses (see EXPERIMENTS.md).
+//!
+//! Runs on the in-repo `wisync-testkit` harness (criterion is not
+//! available offline); timings land in `results/bench_paper_figures.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use wisync_bench::{fig10_app, fig11_point, fig7_row, fig8_point, fig9_point, phys};
 use wisync_core::MachineConfig;
+use wisync_testkit::Harness;
 use wisync_workloads::{AppProfile, CasKind, LivermoreLoop};
 
-fn table4_area_power(c: &mut Criterion) {
-    c.bench_function("table4/area_power_model", |b| {
-        b.iter(|| black_box(phys::table4()))
-    });
-}
+fn main() {
+    let mut h = Harness::new("paper_figures");
+    h.print_header();
 
-fn fig7_tightloop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_tightloop");
-    g.sample_size(10);
-    g.bench_function("16cores_all_configs", |b| {
-        b.iter(|| black_box(fig7_row(16, 4)))
-    });
-    g.finish();
-}
+    h.bench("table4/area_power_model", || black_box(phys::table4()));
 
-fn fig8_livermore(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_livermore");
-    g.sample_size(10);
-    g.bench_function("loop2_n64_16cores", |b| {
-        b.iter(|| black_box(fig8_point(LivermoreLoop::Loop2, 64, 16)))
+    h.bench("fig7_tightloop/16cores_all_configs", || {
+        black_box(fig7_row(16, 4))
     });
-    g.bench_function("loop3_n256_16cores", |b| {
-        b.iter(|| black_box(fig8_point(LivermoreLoop::Loop3, 256, 16)))
-    });
-    g.bench_function("loop6_n32_16cores", |b| {
-        b.iter(|| black_box(fig8_point(LivermoreLoop::Loop6, 32, 16)))
-    });
-    g.finish();
-}
 
-fn fig9_cas(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_cas");
-    g.sample_size(10);
+    h.bench("fig8_livermore/loop2_n64_16cores", || {
+        black_box(fig8_point(LivermoreLoop::Loop2, 64, 16))
+    });
+    h.bench("fig8_livermore/loop3_n256_16cores", || {
+        black_box(fig8_point(LivermoreLoop::Loop3, 256, 16))
+    });
+    h.bench("fig8_livermore/loop6_n32_16cores", || {
+        black_box(fig8_point(LivermoreLoop::Loop6, 32, 16))
+    });
+
     for kind in [CasKind::Fifo, CasKind::Lifo, CasKind::Add] {
-        g.bench_function(format!("{kind}_w64_16cores"), |b| {
-            b.iter(|| black_box(fig9_point(kind, 64, 16)))
+        h.bench(&format!("fig9_cas/{kind}_w64_16cores"), || {
+            black_box(fig9_point(kind, 64, 16))
         });
     }
-    g.finish();
-}
 
-fn fig10_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_apps");
-    g.sample_size(10);
     let mut stream = AppProfile::by_name("streamcluster").expect("profile");
     stream.phases = 40;
-    g.bench_function("streamcluster_16cores", |b| {
-        b.iter(|| black_box(fig10_app(stream, 16)))
+    h.bench("fig10_apps/streamcluster_16cores", || {
+        black_box(fig10_app(stream, 16))
     });
     let mut ray = AppProfile::by_name("raytrace").expect("profile");
     ray.phases = 2;
-    g.bench_function("raytrace_16cores", |b| {
-        b.iter(|| black_box(fig10_app(ray, 16)))
+    h.bench("fig10_apps/raytrace_16cores", || {
+        black_box(fig10_app(ray, 16))
     });
-    g.finish();
-}
 
-fn table5_utilization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_utilization");
-    g.sample_size(10);
     let mut prof = AppProfile::by_name("water-ns").expect("profile");
     prof.phases = 4;
-    g.bench_function("water_ns_util_16cores", |b| {
-        b.iter(|| {
-            let r = fig10_app(prof, 16);
-            black_box(r.util)
-        })
+    h.bench("table5_utilization/water_ns_util_16cores", || {
+        let r = fig10_app(prof, 16);
+        black_box(r.util)
     });
-    g.finish();
-}
 
-fn fig11_sensitivity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_sensitivity");
-    g.sample_size(10);
     let mut apps = vec![AppProfile::by_name("ocean-c").expect("profile")];
     apps[0].phases = 20;
-    g.bench_function("slownet_ocean_16cores", |b| {
-        b.iter(|| black_box(fig11_point(MachineConfig::slow_net, 16, &apps)))
+    h.bench("fig11_sensitivity/slownet_ocean_16cores", || {
+        black_box(fig11_point(MachineConfig::slow_net, 16, &apps))
     });
-    g.finish();
-}
 
-criterion_group!(
-    figures,
-    table4_area_power,
-    fig7_tightloop,
-    fig8_livermore,
-    fig9_cas,
-    fig10_apps,
-    table5_utilization,
-    fig11_sensitivity
-);
-criterion_main!(figures);
+    h.finish().expect("write bench report");
+}

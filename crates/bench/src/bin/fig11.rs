@@ -14,10 +14,16 @@ fn main() {
     let quick = std::env::var_os("WISYNC_QUICK").is_some();
     let cores = 64;
     let apps: Vec<AppProfile> = if quick {
-        ["streamcluster", "raytrace", "blacksholes", "ocean-c", "barnes"]
-            .iter()
-            .map(|n| AppProfile::by_name(n).expect("known app"))
-            .collect()
+        [
+            "streamcluster",
+            "raytrace",
+            "blacksholes",
+            "ocean-c",
+            "barnes",
+        ]
+        .iter()
+        .map(|n| AppProfile::by_name(n).expect("known app"))
+        .collect()
     } else {
         AppProfile::all()
     };

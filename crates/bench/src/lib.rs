@@ -92,12 +92,9 @@ pub fn fig9_point(kind: CasKind, w: u64, cores: usize) -> [f64; 2] {
         ops_per_thread: fig9_ops_for(w),
     };
     let mut out = [0.0; 2];
-    for (i, cfg) in [
-        MachineConfig::baseline(cores),
-        MachineConfig::wisync(cores),
-    ]
-    .into_iter()
-    .enumerate()
+    for (i, cfg) in [MachineConfig::baseline(cores), MachineConfig::wisync(cores)]
+        .into_iter()
+        .enumerate()
     {
         let mut m = Machine::new(cfg);
         let (cycles, successes) = kernel.run_throughput(&mut m, BUDGET);
@@ -307,7 +304,10 @@ mod ablation_tests {
             let words: Vec<u64> = (0..16).map(|_| m.bm_alloc(Pid(1), 1).unwrap()).collect();
             for (c, &addr) in words.iter().enumerate() {
                 let mut b = ProgramBuilder::new();
-                b.push(Instr::Li { dst: Reg(1), imm: 50 });
+                b.push(Instr::Li {
+                    dst: Reg(1),
+                    imm: 50,
+                });
                 let top = b.bind_here();
                 b.push(Instr::St {
                     src: Reg(1),
@@ -315,8 +315,15 @@ mod ablation_tests {
                     offset: addr,
                     space: Space::Bm,
                 });
-                b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-                b.push(Instr::Bnez { cond: Reg(1), target: top });
+                b.push(Instr::Addi {
+                    dst: Reg(1),
+                    a: Reg(1),
+                    imm: u64::MAX,
+                });
+                b.push(Instr::Bnez {
+                    cond: Reg(1),
+                    target: top,
+                });
                 b.push(Instr::Halt);
                 m.load_program(c, Pid(1), b.build().unwrap());
             }

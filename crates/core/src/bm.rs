@@ -397,10 +397,19 @@ mod tests {
     fn error_display_nonempty() {
         for e in [
             BmError::OutOfSpace,
-            BmError::UnmappedAddress { pid: Pid(1), vaddr: 8 },
-            BmError::ProtectionViolation { pid: Pid(1), vaddr: 8 },
+            BmError::UnmappedAddress {
+                pid: Pid(1),
+                vaddr: 8,
+            },
+            BmError::ProtectionViolation {
+                pid: Pid(1),
+                vaddr: 8,
+            },
             BmError::Unaligned(3),
-            BmError::NotOwned { pid: Pid(1), vaddr: 8 },
+            BmError::NotOwned {
+                pid: Pid(1),
+                vaddr: 8,
+            },
             BmError::ZeroAllocation,
         ] {
             assert!(!e.to_string().is_empty());

@@ -28,10 +28,18 @@ const MAX_BATCH: u64 = 1024;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WirelessMsg {
     /// A plain BM store: on delivery, every replica updates (§4.2.1).
-    BmWrite { phys: usize, value: u64, core: usize },
+    BmWrite {
+        phys: usize,
+        value: u64,
+        core: usize,
+    },
     /// The write half of a BM RMW; on delivery it applies only if the
     /// instruction's atomicity still holds (AFB clear, §4.2.1).
-    BmRmwWrite { phys: usize, value: u64, core: usize },
+    BmRmwWrite {
+        phys: usize,
+        value: u64,
+        core: usize,
+    },
     /// A Bulk store of four consecutive words (§3.2).
     Bulk {
         phys: usize,
@@ -635,25 +643,23 @@ impl Machine {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Resume(core) => {
-                match self.cores[core].status {
-                    CoreStatus::Halted
-                    | CoreStatus::Faulted
-                    | CoreStatus::Idle
-                    | CoreStatus::Preempted => {}
-                    _ => {
-                        if let Some((dst, addr)) = self.cores[core].pending_load.take() {
-                            self.cores[core].regs[dst.0 as usize] = self.mem.peek(addr);
-                        }
-                        if self.cores[core].preempt_pending {
-                            self.park(core);
-                            return;
-                        }
-                        self.cores[core].status = CoreStatus::Running;
-                        self.advance_core(core);
+            Event::Resume(core) => match self.cores[core].status {
+                CoreStatus::Halted
+                | CoreStatus::Faulted
+                | CoreStatus::Idle
+                | CoreStatus::Preempted => {}
+                _ => {
+                    if let Some((dst, addr)) = self.cores[core].pending_load.take() {
+                        self.cores[core].regs[dst.0 as usize] = self.mem.peek(addr);
                     }
+                    if self.cores[core].preempt_pending {
+                        self.park(core);
+                        return;
+                    }
+                    self.cores[core].status = CoreStatus::Running;
+                    self.advance_core(core);
                 }
-            }
+            },
             Event::WaitCheck(core) => self.wait_check(core),
             Event::ChannelResolve(ch) => {
                 let now = self.now;
@@ -670,7 +676,10 @@ impl Machine {
                         ..
                     } => self.queue.push(complete_at, Event::Deliver(message)),
                     Resolution::Collision { retry_slots } => {
-                        self.record(TraceEvent::Collision { at: now, channel: ch });
+                        self.record(TraceEvent::Collision {
+                            at: now,
+                            channel: ch,
+                        });
                         for s in retry_slots {
                             self.queue.push(s, Event::ChannelResolve(ch));
                         }
@@ -823,7 +832,9 @@ impl Machine {
                     let value = regs!(src);
                     match space {
                         Space::Cached => {
-                            let o = self.mem.access(self.node(core), addr, MemOp::Store(value), t);
+                            let o = self
+                                .mem
+                                .access(self.node(core), addr, MemOp::Store(value), t);
                             for (w, at) in &o.woken {
                                 self.queue.push(*at, Event::Resume(w.as_usize()));
                             }
@@ -1061,7 +1072,12 @@ impl Machine {
     }
 
     /// Translates a run of `words` consecutive BM words (Bulk access).
-    fn bm_translate_run(&mut self, core: usize, vaddr: u64, words: usize) -> Result<usize, BmError> {
+    fn bm_translate_run(
+        &mut self,
+        core: usize,
+        vaddr: u64,
+        words: usize,
+    ) -> Result<usize, BmError> {
         let first = self.bm_translate(core, vaddr)?;
         for k in 1..words {
             let p = self.bm_translate(core, vaddr + 8 * k as u64)?;
@@ -1242,10 +1258,7 @@ impl Machine {
                 self.queue.push(at + wait, Event::Resume(i));
             } else {
                 // Already transmitting: drop the write at delivery.
-                self.cores[i].pending_rmw = Some(PendingRmw {
-                    aborted: true,
-                    ..p
-                });
+                self.cores[i].pending_rmw = Some(PendingRmw { aborted: true, ..p });
             }
         }
     }

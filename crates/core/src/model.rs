@@ -139,7 +139,10 @@ mod tests {
             // WiSync cheapest, Baseline dearest at every scale; at 16
             // cores Baseline+ and WiSyncNoT legitimately cross (as in
             // the paper's Figure 7).
-            assert!(w < w_not && w < p && p < b && w_not < b, "{cores}: {b} {p} {w_not} {w}");
+            assert!(
+                w < w_not && w < p && p < b && w_not < b,
+                "{cores}: {b} {p} {w_not} {w}"
+            );
             // The WiSyncNoT-vs-Baseline+ crossover lands between 16 and
             // 256 cores in both model and simulator (earlier in the
             // simulator); by 256 the model must agree.

@@ -212,9 +212,18 @@ mod tests {
                 core: 1,
                 phys: 2,
             },
-            TraceEvent::ToneActivated { at: Cycle(4), phys: 3 },
-            TraceEvent::ToneCompleted { at: Cycle(5), phys: 3 },
-            TraceEvent::Halted { at: Cycle(6), core: 2 },
+            TraceEvent::ToneActivated {
+                at: Cycle(4),
+                phys: 3,
+            },
+            TraceEvent::ToneCompleted {
+                at: Cycle(5),
+                phys: 3,
+            },
+            TraceEvent::Halted {
+                at: Cycle(6),
+                core: 2,
+            },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());

@@ -1,6 +1,6 @@
 //! The SC vs TSO pipeline policies for BM stores (§4.2.1).
 
-use wisync_core::{BmConsistency, Machine, MachineConfig, Pid, RunOutcome};
+use wisync_core::{Machine, MachineConfig, Pid, RunOutcome};
 use wisync_isa::{Cond, Instr, Program, ProgramBuilder, Reg, Space};
 
 const PID: Pid = Pid(1);
@@ -21,7 +21,10 @@ fn tso_overlaps_store_with_compute() {
         let mut m = Machine::new(cfg);
         let addr = m.bm_alloc(PID, 1).unwrap();
         let prog = build(|b| {
-            b.push(Instr::Li { dst: Reg(1), imm: 9 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 9,
+            });
             b.push(Instr::St {
                 src: Reg(1),
                 base: Reg(0),
@@ -40,7 +43,10 @@ fn tso_overlaps_store_with_compute() {
     let tso = run(MachineConfig::wisync(16).with_tso());
     assert!(tso < sc, "tso {tso} should beat sc {sc}");
     // The TSO run hides the full transfer latency behind the compute.
-    assert!(sc - tso >= 4, "hides most of the 5-cycle transfer: {sc} vs {tso}");
+    assert!(
+        sc - tso >= 4,
+        "hides most of the 5-cycle transfer: {sc} vs {tso}"
+    );
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn tso_store_buffer_forwards_to_own_loads() {
     let mut m = Machine::new(MachineConfig::wisync(16).with_tso());
     let addr = m.bm_alloc(PID, 1).unwrap();
     let prog = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 1234 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1234,
+        });
         b.push(Instr::St {
             src: Reg(1),
             base: Reg(0),
@@ -77,7 +86,10 @@ fn tso_wcb_reads_zero_while_store_in_flight() {
     let mut m = Machine::new(MachineConfig::wisync(16).with_tso());
     let addr = m.bm_alloc(PID, 1).unwrap();
     let prog = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 5 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 5,
+        });
         b.push(Instr::St {
             src: Reg(1),
             base: Reg(0),
@@ -105,10 +117,26 @@ fn tso_preserves_store_order() {
     let data = m.bm_alloc(PID, 1).unwrap();
     let flag = m.bm_alloc(PID, 1).unwrap();
     let producer = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 31337 });
-        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: data, space: Space::Bm });
-        b.push(Instr::Li { dst: Reg(2), imm: 1 });
-        b.push(Instr::St { src: Reg(2), base: Reg(0), offset: flag, space: Space::Bm });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 31337,
+        });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: data,
+            space: Space::Bm,
+        });
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: 1,
+        });
+        b.push(Instr::St {
+            src: Reg(2),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Bm,
+        });
     });
     let consumer = build(|b| {
         b.push(Instr::WaitWhile {
@@ -118,7 +146,12 @@ fn tso_preserves_store_order() {
             value: Reg(0),
             space: Space::Bm,
         });
-        b.push(Instr::Ld { dst: Reg(5), base: Reg(0), offset: data, space: Space::Bm });
+        b.push(Instr::Ld {
+            dst: Reg(5),
+            base: Reg(0),
+            offset: data,
+            space: Space::Bm,
+        });
     });
     m.load_program(0, PID, producer);
     m.load_program(9, PID, consumer);
@@ -135,7 +168,10 @@ fn tso_and_sc_agree_on_final_state() {
         let addr = m.bm_alloc(PID, 1).unwrap();
         for c in 0..8 {
             let prog = build(|b| {
-                b.push(Instr::Li { dst: Reg(1), imm: 10 });
+                b.push(Instr::Li {
+                    dst: Reg(1),
+                    imm: 10,
+                });
                 let retry = b.bind_here();
                 b.push(Instr::Rmw {
                     kind: wisync_isa::RmwSpec::FetchInc,
@@ -145,9 +181,19 @@ fn tso_and_sc_agree_on_final_state() {
                     space: Space::Bm,
                 });
                 b.push(Instr::ReadAfb { dst: Reg(3) });
-                b.push(Instr::Bnez { cond: Reg(3), target: retry });
-                b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-                b.push(Instr::Bnez { cond: Reg(1), target: retry });
+                b.push(Instr::Bnez {
+                    cond: Reg(3),
+                    target: retry,
+                });
+                b.push(Instr::Addi {
+                    dst: Reg(1),
+                    a: Reg(1),
+                    imm: u64::MAX,
+                });
+                b.push(Instr::Bnez {
+                    cond: Reg(1),
+                    target: retry,
+                });
             });
             m.load_program(c, PID, prog);
         }
@@ -163,15 +209,26 @@ fn tso_halt_waits_for_drain() {
     let mut m = Machine::new(MachineConfig::wisync(16).with_tso());
     let addr = m.bm_alloc(PID, 1).unwrap();
     let prog = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
-        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: addr, space: Space::Bm });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: addr,
+            space: Space::Bm,
+        });
         // Halt immediately: the thread may not retire before the store
         // is globally visible.
     });
     m.load_program(0, PID, prog);
     let r = m.run(10_000);
     assert_eq!(r.outcome, RunOutcome::Completed);
-    assert!(r.core_finish[0].unwrap().as_u64() >= 6, "waited for broadcast");
+    assert!(
+        r.core_finish[0].unwrap().as_u64() >= 6,
+        "waited for broadcast"
+    );
     assert_eq!(m.bm_value(PID, addr).unwrap(), 1);
 }
 
@@ -188,9 +245,22 @@ fn consistent_back_to_back_stores_serialize() {
         let a = m.bm_alloc(PID, 1).unwrap();
         let b_addr = m.bm_alloc(PID, 1).unwrap();
         let prog = build(|b| {
-            b.push(Instr::Li { dst: Reg(1), imm: 1 });
-            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: a, space: Space::Bm });
-            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: b_addr, space: Space::Bm });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 1,
+            });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: a,
+                space: Space::Bm,
+            });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: b_addr,
+                space: Space::Bm,
+            });
         });
         m.load_program(0, PID, prog);
         let r = m.run(10_000);

@@ -15,7 +15,10 @@ fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
 /// AFB-retry idiom (Figure 4(a)).
 fn bm_fetch_inc_loop(addr: u64, n: u64) -> Program {
     build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: n });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: n,
+        });
         let retry = b.bind_here();
         b.push(Instr::Rmw {
             kind: RmwSpec::FetchInc,
@@ -25,9 +28,19 @@ fn bm_fetch_inc_loop(addr: u64, n: u64) -> Program {
             space: Space::Bm,
         });
         b.push(Instr::ReadAfb { dst: Reg(3) });
-        b.push(Instr::Bnez { cond: Reg(3), target: retry });
-        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(1), target: retry });
+        b.push(Instr::Bnez {
+            cond: Reg(3),
+            target: retry,
+        });
+        b.push(Instr::Addi {
+            dst: Reg(1),
+            a: Reg(1),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(1),
+            target: retry,
+        });
     })
 }
 
@@ -36,7 +49,10 @@ fn bm_store_broadcasts_to_all_replicas() {
     let mut m = Machine::new(MachineConfig::wisync(16));
     let addr = m.bm_alloc(Pid(1), 1).unwrap();
     let writer = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 77 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 77,
+        });
         b.push(Instr::St {
             src: Reg(1),
             base: Reg(0),
@@ -74,7 +90,10 @@ fn bm_store_takes_at_least_transfer_latency() {
     let mut m = Machine::new(MachineConfig::wisync(16));
     let addr = m.bm_alloc(Pid(1), 1).unwrap();
     let writer = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
         b.push(Instr::St {
             src: Reg(1),
             base: Reg(0),
@@ -127,8 +146,14 @@ fn bm_cas_comparison_failure_sets_no_afb_and_skips_broadcast() {
     let addr = m.bm_alloc(Pid(1), 1).unwrap();
     m.bm_init(Pid(1), addr, 5).unwrap();
     let prog = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 99 }); // expected (wrong)
-        b.push(Instr::Li { dst: Reg(2), imm: 1 }); // new
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 99,
+        }); // expected (wrong)
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: 1,
+        }); // new
         b.push(Instr::Rmw {
             kind: RmwSpec::Cas {
                 expected: Reg(1),
@@ -193,13 +218,18 @@ fn tone_barrier_releases_all_participants() {
     m.arm_tone(Pid(1), flag, 0..cores).unwrap();
     let prog = |jitter: u64| {
         build(|b| {
-            b.push(Instr::Compute { cycles: 10 + jitter });
+            b.push(Instr::Compute {
+                cycles: 10 + jitter,
+            });
             b.push(Instr::ToneSt {
                 base: Reg(0),
                 offset: flag,
             });
             // Spin until the hardware toggles the flag to 1.
-            b.push(Instr::Li { dst: Reg(1), imm: 1 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 1,
+            });
             b.push(Instr::WaitWhile {
                 cond: Cond::Ne,
                 base: Reg(0),
@@ -231,8 +261,14 @@ fn tone_barrier_reusable_across_episodes() {
     // Two episodes with sense reversal: spin for 1, then spin for 0.
     let prog = build(|b| {
         // Episode 1.
-        b.push(Instr::ToneSt { base: Reg(0), offset: flag });
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::ToneSt {
+            base: Reg(0),
+            offset: flag,
+        });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
         b.push(Instr::WaitWhile {
             cond: Cond::Ne,
             base: Reg(0),
@@ -241,8 +277,14 @@ fn tone_barrier_reusable_across_episodes() {
             space: Space::Bm,
         });
         // Episode 2.
-        b.push(Instr::ToneSt { base: Reg(0), offset: flag });
-        b.push(Instr::Li { dst: Reg(1), imm: 0 });
+        b.push(Instr::ToneSt {
+            base: Reg(0),
+            offset: flag,
+        });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 0,
+        });
         b.push(Instr::WaitWhile {
             cond: Cond::Ne,
             base: Reg(0),
@@ -270,8 +312,14 @@ fn simultaneous_tone_arrivals_resolve_via_one_init() {
     let flag = m.bm_alloc(Pid(1), 1).unwrap();
     m.arm_tone(Pid(1), flag, 0..cores).unwrap();
     let prog = build(|b| {
-        b.push(Instr::ToneSt { base: Reg(0), offset: flag });
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::ToneSt {
+            base: Reg(0),
+            offset: flag,
+        });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
         b.push(Instr::WaitWhile {
             cond: Cond::Ne,
             base: Reg(0),
@@ -297,9 +345,22 @@ fn spin_wait_on_cached_flag_wakes_on_store() {
     let data = 0x2000u64;
     let producer = build(|b| {
         b.push(Instr::Compute { cycles: 500 });
-        b.push(Instr::Li { dst: Reg(1), imm: 42 });
-        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: data, space: Space::Cached });
-        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: flag, space: Space::Cached });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 42,
+        });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: data,
+            space: Space::Cached,
+        });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Cached,
+        });
     });
     let consumer = build(|b| {
         b.push(Instr::WaitWhile {
@@ -309,7 +370,12 @@ fn spin_wait_on_cached_flag_wakes_on_store() {
             value: Reg(0),
             space: Space::Cached,
         });
-        b.push(Instr::Ld { dst: Reg(5), base: Reg(0), offset: data, space: Space::Cached });
+        b.push(Instr::Ld {
+            dst: Reg(5),
+            base: Reg(0),
+            offset: data,
+            space: Space::Cached,
+        });
     });
     m.load_program(0, Pid(1), producer);
     m.load_program(9, Pid(1), consumer);
@@ -327,8 +393,16 @@ fn many_spinners_all_wake() {
     let flag = 0x1000u64;
     let producer = build(|b| {
         b.push(Instr::Compute { cycles: 2000 });
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
-        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: flag, space: Space::Cached });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Cached,
+        });
     });
     let consumer = build(|b| {
         b.push(Instr::WaitWhile {
@@ -384,7 +458,10 @@ fn multiprogramming_two_processes_run_independently() {
     let a2 = m.bm_alloc(Pid(2), 1).unwrap();
     let prog = |addr: u64, val: u64| {
         build(move |b| {
-            b.push(Instr::Li { dst: Reg(1), imm: val });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: val,
+            });
             b.push(Instr::St {
                 src: Reg(1),
                 base: Reg(0),
@@ -470,7 +547,11 @@ fn deterministic_replay_whole_machine() {
             m.load_program(c, Pid(1), bm_fetch_inc_loop(addr, 8));
         }
         let r = m.run(10_000_000);
-        (r.cycles, m.stats().data.collisions, m.stats().bm_rmw_atomicity_failures)
+        (
+            r.cycles,
+            m.stats().data.collisions,
+            m.stats().bm_rmw_atomicity_failures,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -491,7 +572,10 @@ fn cached_rmw_contention_far_slower_than_bm() {
 
     let mut base = Machine::new(MachineConfig::baseline(cores));
     let cached_loop = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: n });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: n,
+        });
         let top = b.bind_here();
         b.push(Instr::Rmw {
             kind: RmwSpec::FetchInc,
@@ -500,8 +584,15 @@ fn cached_rmw_contention_far_slower_than_bm() {
             offset: 0x4000,
             space: Space::Cached,
         });
-        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(1), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(1),
+            a: Reg(1),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(1),
+            target: top,
+        });
     });
     for c in 0..cores {
         base.load_program(c, Pid(1), cached_loop.clone());

@@ -49,12 +49,25 @@ fn measure_barrier(kind: MachineKind, cores: usize, iters: u64) -> f64 {
     };
     let prog = |barrier: Barrier| -> Program {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(10), imm: iters });
-        b.push(Instr::Li { dst: Reg(11), imm: 0 });
+        b.push(Instr::Li {
+            dst: Reg(10),
+            imm: iters,
+        });
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        });
         let top = b.bind_here();
         barrier.emit(&mut b, Reg(11));
-        b.push(Instr::Addi { dst: Reg(10), a: Reg(10), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(10), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(10),
+            a: Reg(10),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(10),
+            target: top,
+        });
         b.push(Instr::Halt);
         b.build().unwrap()
     };

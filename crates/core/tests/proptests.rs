@@ -1,146 +1,190 @@
 //! Property-based tests for the Broadcast Memory and machine-level
 //! invariants.
 
-use proptest::prelude::*;
 use wisync_core::bm::{BmError, BroadcastMemory, Pid};
 use wisync_core::{Machine, MachineConfig, RunOutcome};
 use wisync_isa::{Instr, ProgramBuilder, Reg, RmwSpec, Space};
+use wisync_testkit::gen;
+use wisync_testkit::{check_with, prop_assert, prop_assert_eq, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random alloc/free sequences preserve BM invariants: allocation
-    /// count is exact, translations of live allocations always succeed
-    /// and are disjoint, and freed chunks are reusable.
-    #[test]
-    fn bm_alloc_free_invariants(
-        ops in proptest::collection::vec((any::<bool>(), 0u32..4, 1usize..6), 1..100)
-    ) {
-        let mut bm = BroadcastMemory::new(256);
-        // Live allocations: (pid, vaddr, words).
-        let mut live: Vec<(Pid, u64, usize)> = Vec::new();
-        let mut allocated_words = 0usize;
-        for (alloc, pid_n, words) in ops {
-            let pid = Pid(pid_n);
-            if alloc {
-                match bm.alloc(pid, words) {
-                    Ok(vaddr) => {
-                        live.push((pid, vaddr, words));
-                        allocated_words += words;
+/// Random alloc/free sequences preserve BM invariants: allocation count
+/// is exact, translations of live allocations always succeed and are
+/// disjoint, and freed chunks are reusable.
+#[test]
+fn bm_alloc_free_invariants() {
+    check_with(
+        Config::with_cases(64),
+        "bm_alloc_free_invariants",
+        gen::vecs(
+            (gen::bools(), gen::range(0u32..4), gen::range(1usize..6)),
+            1..100,
+        ),
+        |ops| {
+            let mut bm = BroadcastMemory::new(256);
+            // Live allocations: (pid, vaddr, words).
+            let mut live: Vec<(Pid, u64, usize)> = Vec::new();
+            let mut allocated_words = 0usize;
+            for (alloc, pid_n, words) in ops {
+                let pid = Pid(pid_n);
+                if alloc {
+                    match bm.alloc(pid, words) {
+                        Ok(vaddr) => {
+                            live.push((pid, vaddr, words));
+                            allocated_words += words;
+                        }
+                        Err(BmError::OutOfSpace) => {
+                            // Only legal when a contiguous run is truly absent;
+                            // at minimum, the BM cannot have `words` fully free
+                            // everywhere... weaker check: capacity pressure.
+                            prop_assert!(allocated_words + words > 0);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
                     }
-                    Err(BmError::OutOfSpace) => {
-                        // Only legal when a contiguous run is truly absent;
-                        // at minimum, the BM cannot have `words` fully free
-                        // everywhere... weaker check: capacity pressure.
-                        prop_assert!(allocated_words + words > 0);
+                } else if let Some((pid, vaddr, words)) = live.pop() {
+                    for k in 0..words {
+                        bm.free(pid, vaddr + 8 * k as u64).unwrap();
                     }
-                    Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    allocated_words -= words;
                 }
-            } else if let Some((pid, vaddr, words)) = live.pop() {
+                prop_assert_eq!(bm.allocated(), allocated_words);
+            }
+            // All live allocations translate, are contiguous, and disjoint.
+            let mut phys_seen = std::collections::BTreeSet::new();
+            for &(pid, vaddr, words) in &live {
+                let base = bm.translate(pid, vaddr).unwrap();
                 for k in 0..words {
-                    bm.free(pid, vaddr + 8 * k as u64).unwrap();
+                    let p = bm.translate(pid, vaddr + 8 * k as u64).unwrap();
+                    prop_assert_eq!(p, base + k);
+                    prop_assert!(phys_seen.insert(p), "overlapping allocation");
                 }
-                allocated_words -= words;
             }
-            prop_assert_eq!(bm.allocated(), allocated_words);
-        }
-        // All live allocations translate, are contiguous, and disjoint.
-        let mut phys_seen = std::collections::BTreeSet::new();
-        for &(pid, vaddr, words) in &live {
-            let base = bm.translate(pid, vaddr).unwrap();
-            for k in 0..words {
-                let p = bm.translate(pid, vaddr + 8 * k as u64).unwrap();
-                prop_assert_eq!(p, base + k);
-                prop_assert!(phys_seen.insert(p), "overlapping allocation");
-            }
-        }
-    }
-
-    /// Values written by one process are readable only by it; a second
-    /// process always faults on translation or protection.
-    #[test]
-    fn bm_isolation(v1 in any::<u64>(), v2 in any::<u64>()) {
-        let mut bm = BroadcastMemory::new(64);
-        let a1 = bm.alloc(Pid(1), 1).unwrap();
-        let a2 = bm.alloc(Pid(2), 1).unwrap();
-        bm.write(Pid(1), a1, v1).unwrap();
-        bm.write(Pid(2), a2, v2).unwrap();
-        prop_assert_eq!(bm.read(Pid(1), a1).unwrap(), v1);
-        prop_assert_eq!(bm.read(Pid(2), a2).unwrap(), v2);
-        prop_assert!(bm.read(Pid(2), a1).is_err());
-        prop_assert!(bm.read(Pid(1), a2).is_err());
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Values written by one process are readable only by it; a second
+/// process always faults on translation or protection.
+#[test]
+fn bm_isolation() {
+    check_with(
+        Config::with_cases(64),
+        "bm_isolation",
+        (gen::full::<u64>(), gen::full::<u64>()),
+        |(v1, v2)| {
+            let mut bm = BroadcastMemory::new(64);
+            let a1 = bm.alloc(Pid(1), 1).unwrap();
+            let a2 = bm.alloc(Pid(2), 1).unwrap();
+            bm.write(Pid(1), a1, v1).unwrap();
+            bm.write(Pid(2), a2, v2).unwrap();
+            prop_assert_eq!(bm.read(Pid(1), a1).unwrap(), v1);
+            prop_assert_eq!(bm.read(Pid(2), a2).unwrap(), v2);
+            prop_assert!(bm.read(Pid(2), a1).is_err());
+            prop_assert!(bm.read(Pid(1), a2).is_err());
+            Ok(())
+        },
+    );
+}
 
-    /// BM fetch&inc is atomic for any mix of per-core counts, and the
-    /// whole machine is deterministic.
-    #[test]
-    fn machine_fetch_inc_atomicity(counts in proptest::collection::vec(1u64..12, 2..10)) {
-        let cores = counts.len();
-        let run = |counts: &[u64]| {
-            let mut m = Machine::new(MachineConfig::wisync(16).with_seed(7));
+/// BM fetch&inc is atomic for any mix of per-core counts, and the whole
+/// machine is deterministic.
+#[test]
+fn machine_fetch_inc_atomicity() {
+    check_with(
+        Config::with_cases(12),
+        "machine_fetch_inc_atomicity",
+        gen::vecs(gen::range(1u64..12), 2..10),
+        |counts| {
+            let run = |counts: &[u64]| {
+                let mut m = Machine::new(MachineConfig::wisync(16).with_seed(7));
+                let addr = m.bm_alloc(wisync_core::Pid(1), 1).unwrap();
+                for (c, &n) in counts.iter().enumerate() {
+                    let mut b = ProgramBuilder::new();
+                    b.push(Instr::Li {
+                        dst: Reg(1),
+                        imm: n,
+                    });
+                    let retry = b.bind_here();
+                    b.push(Instr::Rmw {
+                        kind: RmwSpec::FetchInc,
+                        dst: Reg(2),
+                        base: Reg(0),
+                        offset: addr,
+                        space: Space::Bm,
+                    });
+                    b.push(Instr::ReadAfb { dst: Reg(3) });
+                    b.push(Instr::Bnez {
+                        cond: Reg(3),
+                        target: retry,
+                    });
+                    b.push(Instr::Addi {
+                        dst: Reg(1),
+                        a: Reg(1),
+                        imm: u64::MAX,
+                    });
+                    b.push(Instr::Bnez {
+                        cond: Reg(1),
+                        target: retry,
+                    });
+                    b.push(Instr::Halt);
+                    m.load_program(c, wisync_core::Pid(1), b.build().unwrap());
+                }
+                let r = m.run(100_000_000);
+                (
+                    r.outcome,
+                    r.cycles,
+                    m.bm_value(wisync_core::Pid(1), addr).unwrap(),
+                )
+            };
+            let (outcome, cycles, total) = run(&counts);
+            prop_assert_eq!(outcome, RunOutcome::Completed);
+            prop_assert_eq!(total, counts.iter().sum::<u64>());
+            // Determinism: identical re-run, identical cycle count.
+            let (_, cycles2, total2) = run(&counts);
+            prop_assert_eq!(cycles, cycles2);
+            prop_assert_eq!(total, total2);
+            Ok(())
+        },
+    );
+}
+
+/// Broadcast stores from arbitrary cores leave every value equal to the
+/// last delivered write, and the writer order on the channel is a total
+/// order (transfers == stores).
+#[test]
+fn machine_broadcast_total_order() {
+    check_with(
+        Config::with_cases(12),
+        "machine_broadcast_total_order",
+        gen::vecs(gen::range(0usize..16), 1..12),
+        |writers| {
+            let mut m = Machine::new(MachineConfig::wisync(16));
             let addr = m.bm_alloc(wisync_core::Pid(1), 1).unwrap();
-            for (c, &n) in counts.iter().enumerate() {
+            let mut loaded = std::collections::BTreeSet::new();
+            for (i, &w) in writers.iter().enumerate() {
+                if !loaded.insert(w) {
+                    continue; // one program per core
+                }
                 let mut b = ProgramBuilder::new();
-                b.push(Instr::Li { dst: Reg(1), imm: n });
-                let retry = b.bind_here();
-                b.push(Instr::Rmw {
-                    kind: RmwSpec::FetchInc,
-                    dst: Reg(2),
+                b.push(Instr::Li {
+                    dst: Reg(1),
+                    imm: 1000 + i as u64,
+                });
+                b.push(Instr::St {
+                    src: Reg(1),
                     base: Reg(0),
                     offset: addr,
                     space: Space::Bm,
                 });
-                b.push(Instr::ReadAfb { dst: Reg(3) });
-                b.push(Instr::Bnez { cond: Reg(3), target: retry });
-                b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-                b.push(Instr::Bnez { cond: Reg(1), target: retry });
                 b.push(Instr::Halt);
-                m.load_program(c, wisync_core::Pid(1), b.build().unwrap());
+                m.load_program(w, wisync_core::Pid(1), b.build().unwrap());
             }
-            let r = m.run(100_000_000);
-            (r.outcome, r.cycles, m.bm_value(wisync_core::Pid(1), addr).unwrap())
-        };
-        let (outcome, cycles, total) = run(&counts);
-        prop_assert_eq!(outcome, RunOutcome::Completed);
-        prop_assert_eq!(total, counts.iter().sum::<u64>());
-        // Determinism: identical re-run, identical cycle count.
-        let (_, cycles2, total2) = run(&counts);
-        prop_assert_eq!(cycles, cycles2);
-        prop_assert_eq!(total, total2);
-        let _ = cores;
-    }
-
-    /// Broadcast stores from arbitrary cores leave every value equal to
-    /// the last delivered write, and the writer order on the channel is
-    /// a total order (transfers == stores).
-    #[test]
-    fn machine_broadcast_total_order(writers in proptest::collection::vec(0usize..16, 1..12)) {
-        let mut m = Machine::new(MachineConfig::wisync(16));
-        let addr = m.bm_alloc(wisync_core::Pid(1), 1).unwrap();
-        let mut loaded = std::collections::BTreeSet::new();
-        for (i, &w) in writers.iter().enumerate() {
-            if !loaded.insert(w) {
-                continue; // one program per core
-            }
-            let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(1), imm: 1000 + i as u64 });
-            b.push(Instr::St {
-                src: Reg(1),
-                base: Reg(0),
-                offset: addr,
-                space: Space::Bm,
-            });
-            b.push(Instr::Halt);
-            m.load_program(w, wisync_core::Pid(1), b.build().unwrap());
-        }
-        let r = m.run(10_000_000);
-        prop_assert_eq!(r.outcome, RunOutcome::Completed);
-        let final_val = m.bm_value(wisync_core::Pid(1), addr).unwrap();
-        prop_assert!(final_val >= 1000);
-        prop_assert_eq!(m.stats().data.transfers, loaded.len() as u64);
-    }
+            let r = m.run(10_000_000);
+            prop_assert_eq!(r.outcome, RunOutcome::Completed);
+            let final_val = m.bm_value(wisync_core::Pid(1), addr).unwrap();
+            prop_assert!(final_val >= 1000);
+            prop_assert_eq!(m.stats().data.transfers, loaded.len() as u64);
+            Ok(())
+        },
+    );
 }

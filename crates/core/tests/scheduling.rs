@@ -47,7 +47,10 @@ fn preempted_thread_sees_bm_updates_made_while_descheduled() {
 
     // While descheduled, another core broadcasts the flag.
     let writer = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 777 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 777,
+        });
         b.push(Instr::St {
             src: Reg(1),
             base: Reg(0),
@@ -75,7 +78,10 @@ fn migration_to_another_core_works_for_data_channel_threads() {
     let image = m.take_preempted(3).unwrap();
 
     let writer = build(|b| {
-        b.push(Instr::Li { dst: Reg(1), imm: 555 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 555,
+        });
         b.push(Instr::St {
             src: Reg(1),
             base: Reg(0),
@@ -103,7 +109,13 @@ fn tone_armed_thread_cannot_migrate() {
     let image = m.take_preempted(3).unwrap();
     // Migration rejected...
     let err = m.resume_thread(9, image.clone()).unwrap_err();
-    assert_eq!(err, ScheduleError::ToneArmed { origin: 3, target: 9 });
+    assert_eq!(
+        err,
+        ScheduleError::ToneArmed {
+            origin: 3,
+            target: 9
+        }
+    );
     // ...but rescheduling on the same core is fine (§5.2: "threads can
     // still be preempted").
     m.resume_thread(3, image).unwrap();
@@ -114,7 +126,10 @@ fn preempt_mid_compute_parks_at_boundary() {
     let mut m = Machine::new(MachineConfig::wisync(16));
     let prog = build(|b| {
         b.push(Instr::Compute { cycles: 5_000 });
-        b.push(Instr::Li { dst: Reg(7), imm: 42 });
+        b.push(Instr::Li {
+            dst: Reg(7),
+            imm: 42,
+        });
     });
     m.load_program(2, PID, prog);
     // Run only 100 cycles: the core is mid-Compute.
@@ -142,7 +157,10 @@ fn preemption_during_pending_rmw_sets_afb() {
     let addr = m.bm_alloc(PID, 1).unwrap();
     let inc_loop = |n: u64| {
         build(move |b| {
-            b.push(Instr::Li { dst: Reg(1), imm: n });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: n,
+            });
             let retry = b.bind_here();
             b.push(Instr::Rmw {
                 kind: RmwSpec::FetchInc,
@@ -152,9 +170,19 @@ fn preemption_during_pending_rmw_sets_afb() {
                 space: Space::Bm,
             });
             b.push(Instr::ReadAfb { dst: Reg(3) });
-            b.push(Instr::Bnez { cond: Reg(3), target: retry });
-            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-            b.push(Instr::Bnez { cond: Reg(1), target: retry });
+            b.push(Instr::Bnez {
+                cond: Reg(3),
+                target: retry,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: retry,
+            });
         })
     };
     m.load_program(0, PID, inc_loop(200));
@@ -200,7 +228,10 @@ fn schedule_error_display() {
     for e in [
         ScheduleError::NothingToTake(1),
         ScheduleError::CoreBusy(2),
-        ScheduleError::ToneArmed { origin: 1, target: 2 },
+        ScheduleError::ToneArmed {
+            origin: 1,
+            target: 2,
+        },
     ] {
         assert!(!e.to_string().is_empty());
     }

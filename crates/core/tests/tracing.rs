@@ -12,7 +12,10 @@ fn trace_captures_store_delivery_and_halt() {
     let addr = m.bm_alloc(PID, 1).unwrap();
     m.enable_trace(64);
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(1), imm: 7 });
+    b.push(Instr::Li {
+        dst: Reg(1),
+        imm: 7,
+    });
     b.push(Instr::St {
         src: Reg(1),
         base: Reg(0),
@@ -25,9 +28,14 @@ fn trace_captures_store_delivery_and_halt() {
 
     let trace = m.trace().expect("enabled");
     let kinds: Vec<&TraceEvent> = trace.events().iter().collect();
-    assert!(kinds
-        .iter()
-        .any(|e| matches!(e, TraceEvent::Delivered { kind: "store", core: 0, .. })));
+    assert!(kinds.iter().any(|e| matches!(
+        e,
+        TraceEvent::Delivered {
+            kind: "store",
+            core: 0,
+            ..
+        }
+    )));
     assert!(kinds
         .iter()
         .any(|e| matches!(e, TraceEvent::Halted { core: 0, .. })));
@@ -47,7 +55,10 @@ fn trace_captures_tone_barrier_lifecycle() {
     m.enable_trace(128);
     for c in 0..cores {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(11), imm: 1 });
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 1,
+        });
         b.push(Instr::Compute {
             cycles: 10 + 5 * c as u64,
         });
@@ -87,7 +98,10 @@ fn trace_captures_afb_aborts_under_contention() {
     m.enable_trace(4096);
     for c in 0..16 {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(1), imm: 10 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 10,
+        });
         let retry = b.bind_here();
         b.push(Instr::Rmw {
             kind: RmwSpec::FetchInc,
@@ -97,9 +111,19 @@ fn trace_captures_afb_aborts_under_contention() {
             space: Space::Bm,
         });
         b.push(Instr::ReadAfb { dst: Reg(3) });
-        b.push(Instr::Bnez { cond: Reg(3), target: retry });
-        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(1), target: retry });
+        b.push(Instr::Bnez {
+            cond: Reg(3),
+            target: retry,
+        });
+        b.push(Instr::Addi {
+            dst: Reg(1),
+            a: Reg(1),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(1),
+            target: retry,
+        });
         b.push(Instr::Halt);
         m.load_program(c, PID, b.build().unwrap());
     }
@@ -127,7 +151,10 @@ fn tracing_does_not_change_timing() {
         }
         for c in 0..8 {
             let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(1), imm: 5 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 5,
+            });
             let retry = b.bind_here();
             b.push(Instr::Rmw {
                 kind: RmwSpec::FetchInc,
@@ -137,9 +164,19 @@ fn tracing_does_not_change_timing() {
                 space: Space::Bm,
             });
             b.push(Instr::ReadAfb { dst: Reg(3) });
-            b.push(Instr::Bnez { cond: Reg(3), target: retry });
-            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-            b.push(Instr::Bnez { cond: Reg(1), target: retry });
+            b.push(Instr::Bnez {
+                cond: Reg(3),
+                target: retry,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: retry,
+            });
             b.push(Instr::Halt);
             m.load_program(c, PID, b.build().unwrap());
         }

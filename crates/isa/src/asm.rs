@@ -111,7 +111,10 @@ fn parse_mem(tok: &str, line: usize) -> Result<(Space, Reg, u64), AsmError> {
     } else if let Some(r) = t.strip_prefix("bm[") {
         (Space::Bm, r)
     } else {
-        return Err(syntax(line, format!("expected mem[..] or bm[..], got `{t}`")));
+        return Err(syntax(
+            line,
+            format!("expected mem[..] or bm[..], got `{t}`"),
+        ));
     };
     let inner = rest
         .strip_suffix(']')
@@ -135,9 +138,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     let mut b = ProgramBuilder::new();
     let mut labels: HashMap<String, crate::instr::Label> = HashMap::new();
     let mut get_label = |b: &mut ProgramBuilder, name: &str| {
-        *labels
-            .entry(name.to_owned())
-            .or_insert_with(|| b.label())
+        *labels.entry(name.to_owned()).or_insert_with(|| b.label())
     };
 
     for (idx, raw) in src.lines().enumerate() {
@@ -373,9 +374,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 let cond = match &op[10..] {
                     "eq" => Cond::Eq,
                     "ne" => Cond::Ne,
-                    other => {
-                        return Err(syntax(line_no, format!("unknown condition `{other}`")))
-                    }
+                    other => return Err(syntax(line_no, format!("unknown condition `{other}`"))),
                 };
                 let (space, base, offset) = parse_mem(argv[0], line_no)?;
                 let value = parse_reg(argv[1], line_no)?;
@@ -482,7 +481,10 @@ pub fn format_instr(i: &Instr) -> String {
                 Cond::Eq => "eq",
                 Cond::Ne => "ne",
             };
-            format!("waitwhile.{c} {}, {value}", mem_operand(space, base, offset))
+            format!(
+                "waitwhile.{c} {}, {value}",
+                mem_operand(space, base, offset)
+            )
         }
         Instr::Halt => "halt".to_owned(),
     }

@@ -147,10 +147,20 @@ pub enum Instr {
 
     // --- Memory -----------------------------------------------------------
     /// `dst = *(regs[base] + offset)` in `space`.
-    Ld { dst: Reg, base: Reg, offset: u64, space: Space },
+    Ld {
+        dst: Reg,
+        base: Reg,
+        offset: u64,
+        space: Space,
+    },
     /// `*(regs[base] + offset) = src` in `space`. BM stores broadcast to
     /// all replicas and retire when the WCB sets (§4.2.1).
-    St { src: Reg, base: Reg, offset: u64, space: Space },
+    St {
+        src: Reg,
+        base: Reg,
+        offset: u64,
+        space: Space,
+    },
     /// Atomic RMW in `space`; `dst` receives the old value. BM RMWs may
     /// fail atomicity — software must check the AFB ([`Instr::ReadAfb`])
     /// and retry (§4.3.1, Figure 4(a,b)).
@@ -268,9 +278,7 @@ impl Instr {
                 add(dst);
                 add(base);
             }
-            Instr::WaitWhile {
-                base, value, ..
-            } => {
+            Instr::WaitWhile { base, value, .. } => {
                 add(base);
                 add(value);
             }

@@ -280,14 +280,20 @@ impl ArchSim {
             }
             Instr::Compute { .. } => {}
             Instr::Ld {
-                dst, base, offset, space,
+                dst,
+                base,
+                offset,
+                space,
             } => {
                 let a = self.addr_of(tid, base.0, offset);
                 let v = self.read(space, a);
                 regs!(dst) = v;
             }
             Instr::St {
-                src, base, offset, space,
+                src,
+                base,
+                offset,
+                space,
             } => {
                 let a = self.addr_of(tid, base.0, offset);
                 let v = regs!(src);
@@ -405,19 +411,68 @@ mod tests {
     #[test]
     fn alu_ops() {
         let p = build(|b| {
-            b.push(Instr::Li { dst: Reg(1), imm: 6 });
-            b.push(Instr::Li { dst: Reg(2), imm: 3 });
-            b.push(Instr::Add { dst: Reg(3), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Sub { dst: Reg(4), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Mul { dst: Reg(5), a: Reg(1), b: Reg(2) });
-            b.push(Instr::And { dst: Reg(6), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Or { dst: Reg(7), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Xor { dst: Reg(8), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Shl { dst: Reg(9), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Shr { dst: Reg(10), a: Reg(1), b: Reg(2) });
-            b.push(Instr::CmpEq { dst: Reg(11), a: Reg(1), b: Reg(2) });
-            b.push(Instr::CmpLt { dst: Reg(12), a: Reg(2), b: Reg(1) });
-            b.push(Instr::Mov { dst: Reg(13), src: Reg(3) });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 6,
+            });
+            b.push(Instr::Li {
+                dst: Reg(2),
+                imm: 3,
+            });
+            b.push(Instr::Add {
+                dst: Reg(3),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Sub {
+                dst: Reg(4),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Mul {
+                dst: Reg(5),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::And {
+                dst: Reg(6),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Or {
+                dst: Reg(7),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Xor {
+                dst: Reg(8),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Shl {
+                dst: Reg(9),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Shr {
+                dst: Reg(10),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::CmpEq {
+                dst: Reg(11),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::CmpLt {
+                dst: Reg(12),
+                a: Reg(2),
+                b: Reg(1),
+            });
+            b.push(Instr::Mov {
+                dst: Reg(13),
+                src: Reg(3),
+            });
         });
         let mut s = ArchSim::new(vec![p], 1);
         assert_eq!(s.run(100), RunOutcome::AllHalted);
@@ -443,11 +498,25 @@ mod tests {
     fn branches_loop() {
         // Sum 1..=5 via a loop.
         let p = build(|b| {
-            b.push(Instr::Li { dst: Reg(1), imm: 5 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 5,
+            });
             let top = b.bind_here();
-            b.push(Instr::Add { dst: Reg(2), a: Reg(2), b: Reg(1) });
-            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-            b.push(Instr::Bnez { cond: Reg(1), target: top });
+            b.push(Instr::Add {
+                dst: Reg(2),
+                a: Reg(2),
+                b: Reg(1),
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: top,
+            });
         });
         let mut s = ArchSim::new(vec![p], 1);
         s.run(100);
@@ -457,12 +526,38 @@ mod tests {
     #[test]
     fn memory_spaces_are_distinct() {
         let p = build(|b| {
-            b.push(Instr::Li { dst: Reg(1), imm: 11 });
-            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x80, space: Space::Cached });
-            b.push(Instr::Li { dst: Reg(1), imm: 22 });
-            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x80, space: Space::Bm });
-            b.push(Instr::Ld { dst: Reg(2), base: Reg(0), offset: 0x80, space: Space::Cached });
-            b.push(Instr::Ld { dst: Reg(3), base: Reg(0), offset: 0x80, space: Space::Bm });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 11,
+            });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: 0x80,
+                space: Space::Cached,
+            });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 22,
+            });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: 0x80,
+                space: Space::Bm,
+            });
+            b.push(Instr::Ld {
+                dst: Reg(2),
+                base: Reg(0),
+                offset: 0x80,
+                space: Space::Cached,
+            });
+            b.push(Instr::Ld {
+                dst: Reg(3),
+                base: Reg(0),
+                offset: 0x80,
+                space: Space::Bm,
+            });
         });
         let mut s = ArchSim::new(vec![p], 1);
         s.run(100);
@@ -478,21 +573,50 @@ mod tests {
         // under any interleaving.
         let prog = || {
             let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(1), imm: 100 });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 100,
+            });
             let retry = b.bind_here();
-            b.push(Instr::Ld { dst: Reg(2), base: Reg(0), offset: 0x40, space: Space::Cached });
-            b.push(Instr::Addi { dst: Reg(3), a: Reg(2), imm: 1 });
+            b.push(Instr::Ld {
+                dst: Reg(2),
+                base: Reg(0),
+                offset: 0x40,
+                space: Space::Cached,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(3),
+                a: Reg(2),
+                imm: 1,
+            });
             b.push(Instr::Rmw {
-                kind: RmwSpec::Cas { expected: Reg(2), new: Reg(3) },
+                kind: RmwSpec::Cas {
+                    expected: Reg(2),
+                    new: Reg(3),
+                },
                 dst: Reg(4),
                 base: Reg(0),
                 offset: 0x40,
                 space: Space::Cached,
             });
-            b.push(Instr::CmpEq { dst: Reg(5), a: Reg(4), b: Reg(2) });
-            b.push(Instr::Beqz { cond: Reg(5), target: retry });
-            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-            b.push(Instr::Bnez { cond: Reg(1), target: retry });
+            b.push(Instr::CmpEq {
+                dst: Reg(5),
+                a: Reg(4),
+                b: Reg(2),
+            });
+            b.push(Instr::Beqz {
+                cond: Reg(5),
+                target: retry,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: retry,
+            });
             b.push(Instr::Halt);
             b.build().unwrap()
         };
@@ -514,12 +638,30 @@ mod tests {
                 value: Reg(0), // == 0
                 space: Space::Cached,
             });
-            b.push(Instr::Ld { dst: Reg(1), base: Reg(0), offset: 0x48, space: Space::Cached });
+            b.push(Instr::Ld {
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 0x48,
+                space: Space::Cached,
+            });
         });
         let setter = build(|b| {
-            b.push(Instr::Li { dst: Reg(1), imm: 99 });
-            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x48, space: Space::Cached });
-            b.push(Instr::St { src: Reg(1), base: Reg(0), offset: 0x40, space: Space::Cached });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 99,
+            });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: 0x48,
+                space: Space::Cached,
+            });
+            b.push(Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: 0x40,
+                space: Space::Cached,
+            });
         });
         let mut s = ArchSim::new(vec![waiter, setter], 3);
         assert_eq!(s.run(1000), RunOutcome::AllHalted);
@@ -558,8 +700,14 @@ mod tests {
     fn tone_barrier_toggles_on_last_arrival() {
         let prog = || {
             build(|b| {
-                b.push(Instr::ToneSt { base: Reg(0), offset: 0x40 });
-                b.push(Instr::Li { dst: Reg(2), imm: 1 });
+                b.push(Instr::ToneSt {
+                    base: Reg(0),
+                    offset: 0x40,
+                });
+                b.push(Instr::Li {
+                    dst: Reg(2),
+                    imm: 1,
+                });
                 b.push(Instr::WaitWhile {
                     cond: Cond::Ne,
                     base: Reg(0),
@@ -579,10 +727,21 @@ mod tests {
     fn bulk_roundtrip() {
         let p = build(|b| {
             for k in 0..4u8 {
-                b.push(Instr::Li { dst: Reg(4 + k), imm: 100 + k as u64 });
+                b.push(Instr::Li {
+                    dst: Reg(4 + k),
+                    imm: 100 + k as u64,
+                });
             }
-            b.push(Instr::BulkSt { src: Reg(4), base: Reg(0), offset: 0x100 });
-            b.push(Instr::BulkLd { dst: Reg(10), base: Reg(0), offset: 0x100 });
+            b.push(Instr::BulkSt {
+                src: Reg(4),
+                base: Reg(0),
+                offset: 0x100,
+            });
+            b.push(Instr::BulkLd {
+                dst: Reg(10),
+                base: Reg(0),
+                offset: 0x100,
+            });
         });
         let mut s = ArchSim::new(vec![p], 1);
         s.run(100);
@@ -607,7 +766,11 @@ mod tests {
     #[test]
     fn set_reg_passes_parameters() {
         let p = build(|b| {
-            b.push(Instr::Addi { dst: Reg(2), a: Reg(1), imm: 1 });
+            b.push(Instr::Addi {
+                dst: Reg(2),
+                a: Reg(1),
+                imm: 1,
+            });
         });
         let mut s = ArchSim::new(vec![p], 1);
         s.set_reg(0, 1, 41);
@@ -619,7 +782,12 @@ mod tests {
     #[should_panic(expected = "unaligned")]
     fn unaligned_faults() {
         let p = build(|b| {
-            b.push(Instr::Ld { dst: Reg(1), base: Reg(0), offset: 3, space: Space::Cached });
+            b.push(Instr::Ld {
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 3,
+                space: Space::Cached,
+            });
         });
         ArchSim::new(vec![p], 1).run(10);
     }

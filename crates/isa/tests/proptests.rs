@@ -2,9 +2,10 @@
 //! programs must compute exactly what a host-side evaluator computes,
 //! and the builder must accept/reject programs per its documented rules.
 
-use proptest::prelude::*;
 use wisync_isa::interp::{ArchSim, RunOutcome};
 use wisync_isa::{assemble, disassemble, Cond, Instr, ProgramBuilder, Reg, RmwSpec, Space};
+use wisync_testkit::gen::{self, BoxedGen, Gen};
+use wisync_testkit::{check, prop_assert_eq};
 
 #[derive(Debug, Clone, Copy)]
 enum AluOp {
@@ -23,23 +24,33 @@ enum AluOp {
     CmpLt,
 }
 
-fn alu_strategy() -> impl Strategy<Value = (AluOp, u8, u8, u8)> {
-    let op = prop_oneof![
-        any::<u64>().prop_map(AluOp::Li),
-        Just(AluOp::Mov),
-        Just(AluOp::Add),
-        any::<u64>().prop_map(AluOp::Addi),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::CmpEq),
-        Just(AluOp::CmpLt),
-    ];
-    (op, 0u8..16, 0u8..16, 0u8..16)
+fn alu_gen() -> (
+    BoxedGen<AluOp>,
+    gen::IntGen<u8>,
+    gen::IntGen<u8>,
+    gen::IntGen<u8>,
+) {
+    let op = gen::one_of(vec![
+        gen::full::<u64>().map(AluOp::Li).boxed(),
+        gen::just(AluOp::Mov).boxed(),
+        gen::just(AluOp::Add).boxed(),
+        gen::full::<u64>().map(AluOp::Addi).boxed(),
+        gen::just(AluOp::Sub).boxed(),
+        gen::just(AluOp::Mul).boxed(),
+        gen::just(AluOp::And).boxed(),
+        gen::just(AluOp::Or).boxed(),
+        gen::just(AluOp::Xor).boxed(),
+        gen::just(AluOp::Shl).boxed(),
+        gen::just(AluOp::Shr).boxed(),
+        gen::just(AluOp::CmpEq).boxed(),
+        gen::just(AluOp::CmpLt).boxed(),
+    ]);
+    (
+        op.boxed(),
+        gen::range(0u8..16),
+        gen::range(0u8..16),
+        gen::range(0u8..16),
+    )
 }
 
 fn host_eval(regs: &mut [u64; 32], op: AluOp, d: usize, a: usize, bb: usize) {
@@ -79,11 +90,11 @@ fn to_instr(op: AluOp, d: u8, a: u8, bb: u8) -> Instr {
     }
 }
 
-proptest! {
-    /// ArchSim's ALU agrees with a host-side evaluator on arbitrary
-    /// straight-line programs.
-    #[test]
-    fn alu_matches_host(ops in proptest::collection::vec(alu_strategy(), 1..100)) {
+/// ArchSim's ALU agrees with a host-side evaluator on arbitrary
+/// straight-line programs.
+#[test]
+fn alu_matches_host() {
+    check("alu_matches_host", gen::vecs(alu_gen(), 1..100), |ops| {
         let mut b = ProgramBuilder::new();
         let mut expect = [0u64; 32];
         for &(op, d, a, bb) in &ops {
@@ -97,103 +108,172 @@ proptest! {
         for r in 0..16u8 {
             prop_assert_eq!(sim.reg(0, r), expect[r as usize], "r{}", r);
         }
-    }
-
-    /// A counting loop terminates in exactly the expected number of
-    /// instructions (branch semantics are precise).
-    #[test]
-    fn loop_executes_exact_instruction_count(n in 1u64..500) {
-        let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(1), imm: n });
-        let top = b.bind_here();
-        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(1), target: top });
-        b.push(Instr::Halt);
-        let prog = b.build().unwrap();
-        let mut sim = ArchSim::new(vec![prog], 1);
-        prop_assert_eq!(sim.run(10 * n + 100), RunOutcome::AllHalted);
-        // li + n*(addi+bnez) + halt.
-        prop_assert_eq!(sim.steps(), 1 + 2 * n + 1);
-    }
-
-    /// Interleaving never changes a single-threaded program's result.
-    #[test]
-    fn single_thread_result_independent_of_seed(seed in any::<u64>()) {
-        let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(1), imm: 7 });
-        b.push(Instr::Li { dst: Reg(2), imm: 9 });
-        b.push(Instr::Mul { dst: Reg(3), a: Reg(1), b: Reg(2) });
-        b.push(Instr::Halt);
-        let prog = b.build().unwrap();
-        let mut sim = ArchSim::new(vec![prog], seed);
-        sim.run(100);
-        prop_assert_eq!(sim.reg(0, 3), 63);
-    }
+        Ok(())
+    });
 }
 
-fn any_space() -> impl Strategy<Value = Space> {
-    prop_oneof![Just(Space::Cached), Just(Space::Bm)]
+/// A counting loop terminates in exactly the expected number of
+/// instructions (branch semantics are precise).
+#[test]
+fn loop_executes_exact_instruction_count() {
+    check(
+        "loop_executes_exact_instruction_count",
+        gen::range(1u64..500),
+        |n| {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: n,
+            });
+            let top = b.bind_here();
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(1),
+                target: top,
+            });
+            b.push(Instr::Halt);
+            let prog = b.build().unwrap();
+            let mut sim = ArchSim::new(vec![prog], 1);
+            prop_assert_eq!(sim.run(10 * n + 100), RunOutcome::AllHalted);
+            // li + n*(addi+bnez) + halt.
+            prop_assert_eq!(sim.steps(), 1 + 2 * n + 1);
+            Ok(())
+        },
+    );
 }
 
-fn any_straightline_instr() -> impl Strategy<Value = Instr> {
-    let reg = (0u8..32).prop_map(Reg);
-    let off = (0u64..0x1000u64).prop_map(|v| v * 8);
-    prop_oneof![
-        (reg.clone(), any::<u64>()).prop_map(|(dst, imm)| Instr::Li { dst, imm }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(dst, a, b)| Instr::Add { dst, a, b }),
-        (reg.clone(), reg.clone(), any::<u64>())
-            .prop_map(|(dst, a, imm)| Instr::Addi { dst, a, imm }),
-        (reg.clone(), reg.clone(), off.clone(), any_space())
-            .prop_map(|(dst, base, offset, space)| Instr::Ld { dst, base, offset, space }),
-        (reg.clone(), reg.clone(), off.clone(), any_space())
-            .prop_map(|(src, base, offset, space)| Instr::St { src, base, offset, space }),
-        (reg.clone(), reg.clone(), off.clone(), any_space()).prop_map(
-            |(dst, base, offset, space)| Instr::Rmw {
+/// Interleaving never changes a single-threaded program's result.
+#[test]
+fn single_thread_result_independent_of_seed() {
+    check(
+        "single_thread_result_independent_of_seed",
+        gen::full::<u64>(),
+        |seed| {
+            let mut b = ProgramBuilder::new();
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: 7,
+            });
+            b.push(Instr::Li {
+                dst: Reg(2),
+                imm: 9,
+            });
+            b.push(Instr::Mul {
+                dst: Reg(3),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Halt);
+            let prog = b.build().unwrap();
+            let mut sim = ArchSim::new(vec![prog], seed);
+            sim.run(100);
+            prop_assert_eq!(sim.reg(0, 3), 63);
+            Ok(())
+        },
+    );
+}
+
+fn any_space() -> BoxedGen<Space> {
+    gen::one_of(vec![
+        gen::just(Space::Cached).boxed(),
+        gen::just(Space::Bm).boxed(),
+    ])
+    .boxed()
+}
+
+fn reg() -> impl Gen<Value = Reg> + 'static {
+    gen::range(0u8..32).map(Reg)
+}
+
+fn off() -> impl Gen<Value = u64> + 'static {
+    gen::range(0u64..0x1000).map(|v| v * 8)
+}
+
+fn any_straightline_instr() -> BoxedGen<Instr> {
+    gen::one_of(vec![
+        (reg(), gen::full::<u64>())
+            .map(|(dst, imm)| Instr::Li { dst, imm })
+            .boxed(),
+        (reg(), reg(), reg())
+            .map(|(dst, a, b)| Instr::Add { dst, a, b })
+            .boxed(),
+        (reg(), reg(), gen::full::<u64>())
+            .map(|(dst, a, imm)| Instr::Addi { dst, a, imm })
+            .boxed(),
+        (reg(), reg(), off(), any_space())
+            .map(|(dst, base, offset, space)| Instr::Ld {
+                dst,
+                base,
+                offset,
+                space,
+            })
+            .boxed(),
+        (reg(), reg(), off(), any_space())
+            .map(|(src, base, offset, space)| Instr::St {
+                src,
+                base,
+                offset,
+                space,
+            })
+            .boxed(),
+        (reg(), reg(), off(), any_space())
+            .map(|(dst, base, offset, space)| Instr::Rmw {
                 kind: RmwSpec::FetchInc,
                 dst,
                 base,
                 offset,
-                space
-            }
-        ),
-        (reg.clone(), reg.clone(), reg.clone(), reg.clone(), off.clone(), any_space()).prop_map(
-            |(dst, expected, new, base, offset, space)| Instr::Rmw {
+                space,
+            })
+            .boxed(),
+        (reg(), reg(), reg(), reg(), off(), any_space())
+            .map(|(dst, expected, new, base, offset, space)| Instr::Rmw {
                 kind: RmwSpec::Cas { expected, new },
                 dst,
                 base,
                 offset,
-                space
-            }
-        ),
-        (reg.clone(), reg.clone(), off.clone(), any_space()).prop_map(
-            |(value, base, offset, space)| Instr::WaitWhile {
+                space,
+            })
+            .boxed(),
+        (reg(), reg(), off(), any_space())
+            .map(|(value, base, offset, space)| Instr::WaitWhile {
                 cond: Cond::Ne,
                 base,
                 offset,
                 value,
-                space
-            }
-        ),
-        (1u64..10_000).prop_map(|cycles| Instr::Compute { cycles }),
-        (reg.clone()).prop_map(|dst| Instr::ReadAfb { dst }),
-        (reg).prop_map(|dst| Instr::ReadWcb { dst }),
-    ]
+                space,
+            })
+            .boxed(),
+        gen::range(1u64..10_000)
+            .map(|cycles| Instr::Compute { cycles })
+            .boxed(),
+        reg().map(|dst| Instr::ReadAfb { dst }).boxed(),
+        reg().map(|dst| Instr::ReadWcb { dst }).boxed(),
+    ])
+    .boxed()
 }
 
-proptest! {
-    /// Disassembling and re-assembling any straight-line program yields
-    /// an identical program.
-    #[test]
-    fn asm_roundtrip(instrs in proptest::collection::vec(any_straightline_instr(), 0..60)) {
-        let mut b = ProgramBuilder::new();
-        for i in &instrs {
-            b.push(*i);
-        }
-        b.push(Instr::Halt);
-        let p1 = b.build().unwrap();
-        let text = disassemble(&p1);
-        let p2 = assemble(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
-        prop_assert_eq!(p1, p2);
-    }
+/// Disassembling and re-assembling any straight-line program yields an
+/// identical program.
+#[test]
+fn asm_roundtrip() {
+    check(
+        "asm_roundtrip",
+        gen::vecs(any_straightline_instr(), 0..60),
+        |instrs| {
+            let mut b = ProgramBuilder::new();
+            for i in &instrs {
+                b.push(*i);
+            }
+            b.push(Instr::Halt);
+            let p1 = b.build().unwrap();
+            let text = disassemble(&p1);
+            let p2 = assemble(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+            prop_assert_eq!(p1, p2);
+            Ok(())
+        },
+    );
 }

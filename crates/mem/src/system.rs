@@ -177,7 +177,10 @@ impl MemSystem {
     /// Panics if `addr` is not 8-byte aligned or `core` is out of range.
     pub fn access(&mut self, core: NodeId, addr: u64, op: MemOp, now: Cycle) -> MemOutcome {
         assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
-        assert!(core.as_usize() < self.mesh.len(), "core {core} out of range");
+        assert!(
+            core.as_usize() < self.mesh.len(),
+            "core {core} out of range"
+        );
         let line = line_of(addr);
         let outcome = match op {
             MemOp::Load => self.do_load(core, addr, line, now),
@@ -226,10 +229,7 @@ impl MemSystem {
                     + self.mesh.latency(NodeId(o), core);
                 done = start + self.config.l2_rt + fwd;
                 let owner_state = self.l1[o].state(line);
-                let keeps_ownership = matches!(
-                    owner_state,
-                    LineState::Modified | LineState::Owned
-                );
+                let keeps_ownership = matches!(owner_state, LineState::Modified | LineState::Owned);
                 let entry = self.dir.entry(line).or_default();
                 if keeps_ownership {
                     self.l1[o].insert(line, LineState::Owned);
@@ -434,7 +434,11 @@ mod tests {
         let a = m.access(NodeId(0), 0x100, MemOp::Load, Cycle(0));
         assert_eq!(a.value, 0);
         // Cold miss: must cost far more than an L1 hit.
-        assert!(a.complete_at.as_u64() > 100, "cold miss {:?}", a.complete_at);
+        assert!(
+            a.complete_at.as_u64() > 100,
+            "cold miss {:?}",
+            a.complete_at
+        );
         let b = m.access(NodeId(0), 0x100, MemOp::Load, a.complete_at);
         assert_eq!(b.complete_at - a.complete_at, 2, "L1 hit RT");
         assert_eq!(m.stats().l1_hits, 1);
@@ -593,8 +597,12 @@ mod tests {
         let mut t_plain = Cycle(0);
         let mut t_tree = Cycle(0);
         for c in 0..63 {
-            t_plain = plain.access(NodeId(c), 0xB00, MemOp::Load, t_plain).complete_at;
-            t_tree = tree.access(NodeId(c), 0xB00, MemOp::Load, t_tree).complete_at;
+            t_plain = plain
+                .access(NodeId(c), 0xB00, MemOp::Load, t_plain)
+                .complete_at;
+            t_tree = tree
+                .access(NodeId(c), 0xB00, MemOp::Load, t_tree)
+                .complete_at;
         }
         let sp = plain.access(NodeId(63), 0xB00, MemOp::Store(1), t_plain);
         let st = tree.access(NodeId(63), 0xB00, MemOp::Store(1), t_tree);

@@ -2,13 +2,14 @@
 //! effects must match a simple sequential reference, and timing must be
 //! monotone.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use wisync_mem::{MemConfig, MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId};
 use wisync_sim::Cycle;
+use wisync_testkit::gen::{self, BoxedGen, Gen};
+use wisync_testkit::{check_with, prop_assert, prop_assert_eq, Config};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Load,
     Store(u64),
@@ -18,105 +19,126 @@ enum Op {
     TestSet,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Load),
-        any::<u64>().prop_map(Op::Store),
-        (0u64..4, any::<u64>()).prop_map(|(expected, new)| Op::Cas { expected, new }),
-        (1u64..100).prop_map(Op::FetchAdd),
-        any::<u64>().prop_map(Op::Swap),
-        Just(Op::TestSet),
-    ]
+fn op_gen() -> BoxedGen<Op> {
+    gen::one_of(vec![
+        gen::just(Op::Load).boxed(),
+        gen::full::<u64>().map(Op::Store).boxed(),
+        (gen::range(0u64..4), gen::full::<u64>())
+            .map(|(expected, new)| Op::Cas { expected, new })
+            .boxed(),
+        gen::range(1u64..100).map(Op::FetchAdd).boxed(),
+        gen::full::<u64>().map(Op::Swap).boxed(),
+        gen::just(Op::TestSet).boxed(),
+    ])
+    .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Issue-order data semantics match a sequential reference model,
-    /// for any interleaving of cores and addresses.
-    #[test]
-    fn data_matches_sequential_reference(
-        ops in proptest::collection::vec(
-            (0usize..16, 0u64..16, op_strategy()),
-            1..200
-        )
-    ) {
-        let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
-        let mut reference: HashMap<u64, u64> = HashMap::new();
-        let mut t = Cycle::ZERO;
-        for (core, slot, op) in ops {
-            let addr = slot * 8; // several words per line: exercises sharing
-            let refv = reference.entry(addr).or_insert(0);
-            let memop = match op {
-                Op::Load => MemOp::Load,
-                Op::Store(v) => MemOp::Store(v),
-                Op::Cas { expected, new } => MemOp::Rmw(RmwKind::Cas { expected, new }),
-                Op::FetchAdd(d) => MemOp::Rmw(RmwKind::FetchAdd(d)),
-                Op::Swap(v) => MemOp::Rmw(RmwKind::Swap(v)),
-                Op::TestSet => MemOp::Rmw(RmwKind::TestSet),
-            };
-            let out = mem.access(NodeId(core), addr, memop, t);
-            // Check against the reference and update it.
-            match op {
-                Op::Load => prop_assert_eq!(out.value, *refv),
-                Op::Store(v) => {
-                    prop_assert_eq!(out.value, v);
-                    *refv = v;
-                }
-                Op::Cas { expected, new } => {
-                    prop_assert_eq!(out.value, *refv);
-                    prop_assert_eq!(out.rmw_success, *refv == expected);
-                    if *refv == expected {
-                        *refv = new;
+/// Issue-order data semantics match a sequential reference model, for
+/// any interleaving of cores and addresses.
+#[test]
+fn data_matches_sequential_reference() {
+    check_with(
+        Config::with_cases(64),
+        "data_matches_sequential_reference",
+        gen::vecs(
+            (gen::range(0usize..16), gen::range(0u64..16), op_gen()),
+            1..200,
+        ),
+        |ops| {
+            let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
+            let mut reference: HashMap<u64, u64> = HashMap::new();
+            let mut t = Cycle::ZERO;
+            for (core, slot, op) in ops {
+                let addr = slot * 8; // several words per line: exercises sharing
+                let refv = reference.entry(addr).or_insert(0);
+                let memop = match op {
+                    Op::Load => MemOp::Load,
+                    Op::Store(v) => MemOp::Store(v),
+                    Op::Cas { expected, new } => MemOp::Rmw(RmwKind::Cas { expected, new }),
+                    Op::FetchAdd(d) => MemOp::Rmw(RmwKind::FetchAdd(d)),
+                    Op::Swap(v) => MemOp::Rmw(RmwKind::Swap(v)),
+                    Op::TestSet => MemOp::Rmw(RmwKind::TestSet),
+                };
+                let out = mem.access(NodeId(core), addr, memop, t);
+                // Check against the reference and update it.
+                match op {
+                    Op::Load => prop_assert_eq!(out.value, *refv),
+                    Op::Store(v) => {
+                        prop_assert_eq!(out.value, v);
+                        *refv = v;
+                    }
+                    Op::Cas { expected, new } => {
+                        prop_assert_eq!(out.value, *refv);
+                        prop_assert_eq!(out.rmw_success, *refv == expected);
+                        if *refv == expected {
+                            *refv = new;
+                        }
+                    }
+                    Op::FetchAdd(d) => {
+                        prop_assert_eq!(out.value, *refv);
+                        *refv = refv.wrapping_add(d);
+                    }
+                    Op::Swap(v) => {
+                        prop_assert_eq!(out.value, *refv);
+                        *refv = v;
+                    }
+                    Op::TestSet => {
+                        prop_assert_eq!(out.value, *refv);
+                        *refv = 1;
                     }
                 }
-                Op::FetchAdd(d) => {
-                    prop_assert_eq!(out.value, *refv);
-                    *refv = refv.wrapping_add(d);
-                }
-                Op::Swap(v) => {
-                    prop_assert_eq!(out.value, *refv);
-                    *refv = v;
-                }
-                Op::TestSet => {
-                    prop_assert_eq!(out.value, *refv);
-                    *refv = 1;
-                }
+                prop_assert_eq!(mem.peek(addr), *refv);
+                // Timing sanity: completion is strictly after issue and the
+                // next issue time never goes backwards.
+                prop_assert!(out.complete_at > t);
+                t = t.max_with(Cycle(out.complete_at.as_u64().saturating_sub(40)));
             }
-            prop_assert_eq!(mem.peek(addr), *refv);
-            // Timing sanity: completion is strictly after issue and the
-            // next issue time never goes backwards.
-            prop_assert!(out.complete_at > t);
-            t = t.max_with(Cycle(out.complete_at.as_u64().saturating_sub(40)));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// An L1 hit costs exactly the configured round trip, wherever the
-    /// line came from.
-    #[test]
-    fn l1_hit_cost_is_constant(core in 0usize..16, slot in 0u64..64) {
-        let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
-        let addr = slot * 64;
-        let a = mem.access(NodeId(core), addr, MemOp::Load, Cycle(0));
-        let b = mem.access(NodeId(core), addr, MemOp::Load, a.complete_at);
-        prop_assert_eq!(b.complete_at - a.complete_at, 2);
-    }
+/// An L1 hit costs exactly the configured round trip, wherever the line
+/// came from.
+#[test]
+fn l1_hit_cost_is_constant() {
+    check_with(
+        Config::with_cases(64),
+        "l1_hit_cost_is_constant",
+        (gen::range(0usize..16), gen::range(0u64..64)),
+        |(core, slot)| {
+            let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
+            let addr = slot * 64;
+            let a = mem.access(NodeId(core), addr, MemOp::Load, Cycle(0));
+            let b = mem.access(NodeId(core), addr, MemOp::Load, a.complete_at);
+            prop_assert_eq!(b.complete_at - a.complete_at, 2);
+            Ok(())
+        },
+    );
+}
 
-    /// Waiters are woken exactly once per registration, and only by
-    /// writes that change the line.
-    #[test]
-    fn waiters_wake_once(waiters in proptest::collection::btree_set(1usize..16, 1..10)) {
-        let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
-        let addr = 0x400;
-        for &w in &waiters {
-            mem.register_waiter(NodeId(w), addr);
-        }
-        let st = mem.access(NodeId(0), addr, MemOp::Store(1), Cycle(0));
-        let woken: std::collections::BTreeSet<usize> =
-            st.woken.iter().map(|(c, _)| c.as_usize()).collect();
-        prop_assert_eq!(woken, waiters);
-        // Second store wakes nobody.
-        let st2 = mem.access(NodeId(0), addr, MemOp::Store(2), st.complete_at);
-        prop_assert!(st2.woken.is_empty());
-    }
+/// Waiters are woken exactly once per registration, and only by writes
+/// that change the line.
+#[test]
+fn waiters_wake_once() {
+    check_with(
+        Config::with_cases(64),
+        "waiters_wake_once",
+        gen::btree_sets(gen::range(1usize..16), 1..10),
+        |waiters| {
+            let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(16, 4));
+            let addr = 0x400;
+            for &w in &waiters {
+                mem.register_waiter(NodeId(w), addr);
+            }
+            let st = mem.access(NodeId(0), addr, MemOp::Store(1), Cycle(0));
+            let woken: std::collections::BTreeSet<usize> =
+                st.woken.iter().map(|(c, _)| c.as_usize()).collect();
+            prop_assert_eq!(woken, waiters);
+            // Second store wakes nobody.
+            let st2 = mem.access(NodeId(0), addr, MemOp::Store(2), st.complete_at);
+            prop_assert!(st2.woken.is_empty());
+            Ok(())
+        },
+    );
 }

@@ -1,86 +1,131 @@
 //! Property-based tests for the mesh model.
 
-use proptest::prelude::*;
 use wisync_noc::{Mesh, NodeId, NodeSet};
+use wisync_testkit::gen;
+use wisync_testkit::{check, prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Hop distance is a metric: symmetric, zero iff equal, triangle
-    /// inequality.
-    #[test]
-    fn hops_is_a_metric(
-        nodes in 2usize..300,
-        hop in 1u64..8,
-        picks in proptest::collection::vec(any::<usize>(), 3)
-    ) {
-        let m = Mesh::new(nodes, hop);
-        let a = NodeId(picks[0] % nodes);
-        let b = NodeId(picks[1] % nodes);
-        let c = NodeId(picks[2] % nodes);
-        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
-        prop_assert_eq!(m.hops(a, a), 0);
-        if a != b {
-            prop_assert!(m.hops(a, b) > 0);
-        }
-        prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
-    }
-
-    /// Latency scales linearly with hop latency.
-    #[test]
-    fn latency_scales(nodes in 2usize..300, x in any::<usize>(), y in any::<usize>()) {
-        let m1 = Mesh::new(nodes, 1);
-        let m4 = Mesh::new(nodes, 4);
-        let a = NodeId(x % nodes);
-        let b = NodeId(y % nodes);
-        prop_assert_eq!(m4.latency(a, b), 4 * m1.latency(a, b));
-    }
-
-    /// Broadcast from any source reaches the farthest node: its latency
-    /// upper-bounds every point-to-point latency from that source.
-    #[test]
-    fn broadcast_dominates_unicast(nodes in 2usize..300, src in any::<usize>()) {
-        let m = Mesh::new(nodes, 4);
-        let s = NodeId(src % nodes);
-        let bcast = m.broadcast_latency(s);
-        for d in m.iter() {
-            if d != s {
-                prop_assert!(m.latency(s, d) <= bcast, "dst {d}");
+/// Hop distance is a metric: symmetric, zero iff equal, triangle
+/// inequality.
+#[test]
+fn hops_is_a_metric() {
+    check(
+        "hops_is_a_metric",
+        (
+            gen::range(2usize..300),
+            gen::range(1u64..8),
+            gen::vecs(gen::full::<usize>(), 3..4),
+        ),
+        |(nodes, hop, picks)| {
+            let m = Mesh::new(nodes, hop);
+            let a = NodeId(picks[0] % nodes);
+            let b = NodeId(picks[1] % nodes);
+            let c = NodeId(picks[2] % nodes);
+            prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+            prop_assert_eq!(m.hops(a, a), 0);
+            if a != b {
+                prop_assert!(m.hops(a, b) > 0);
             }
-        }
-    }
+            prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+            Ok(())
+        },
+    );
+}
 
-    /// Home banks are always valid nodes and cover the whole machine.
-    #[test]
-    fn home_bank_valid(nodes in 1usize..300, line in any::<u64>()) {
-        let m = Mesh::new(nodes, 4);
-        prop_assert!(m.home_bank(line).as_usize() < nodes);
-    }
+/// Latency scales linearly with hop latency.
+#[test]
+fn latency_scales() {
+    check(
+        "latency_scales",
+        (
+            gen::range(2usize..300),
+            gen::full::<usize>(),
+            gen::full::<usize>(),
+        ),
+        |(nodes, x, y)| {
+            let m1 = Mesh::new(nodes, 1);
+            let m4 = Mesh::new(nodes, 4);
+            let a = NodeId(x % nodes);
+            let b = NodeId(y % nodes);
+            prop_assert_eq!(m4.latency(a, b), 4 * m1.latency(a, b));
+            Ok(())
+        },
+    );
+}
 
-    /// The nearest memory controller really is nearest.
-    #[test]
-    fn nearest_mc_is_minimal(nodes in 4usize..300, node in any::<usize>()) {
-        let m = Mesh::new(nodes, 4);
-        let n = NodeId(node % nodes);
-        let (_, best) = m.nearest_memory_controller(n);
-        for mc in m.memory_controllers() {
-            prop_assert!(m.hops(n, mc) >= best);
-        }
-    }
-
-    /// NodeSet behaves like a set of usize.
-    #[test]
-    fn nodeset_matches_reference(ops in proptest::collection::vec((any::<bool>(), 0usize..256), 1..200)) {
-        let mut set = NodeSet::new();
-        let mut reference = std::collections::BTreeSet::new();
-        for &(insert, n) in &ops {
-            if insert {
-                prop_assert_eq!(set.insert(NodeId(n)), reference.insert(n));
-            } else {
-                prop_assert_eq!(set.remove(NodeId(n)), reference.remove(&n));
+/// Broadcast from any source reaches the farthest node: its latency
+/// upper-bounds every point-to-point latency from that source.
+#[test]
+fn broadcast_dominates_unicast() {
+    check(
+        "broadcast_dominates_unicast",
+        (gen::range(2usize..300), gen::full::<usize>()),
+        |(nodes, src)| {
+            let m = Mesh::new(nodes, 4);
+            let s = NodeId(src % nodes);
+            let bcast = m.broadcast_latency(s);
+            for d in m.iter() {
+                if d != s {
+                    prop_assert!(m.latency(s, d) <= bcast, "dst {d}");
+                }
             }
-        }
-        prop_assert_eq!(set.len(), reference.len());
-        let got: Vec<usize> = set.iter().map(NodeId::as_usize).collect();
-        let want: Vec<usize> = reference.into_iter().collect();
-        prop_assert_eq!(got, want);
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Home banks are always valid nodes and cover the whole machine.
+#[test]
+fn home_bank_valid() {
+    check(
+        "home_bank_valid",
+        (gen::range(1usize..300), gen::full::<u64>()),
+        |(nodes, line)| {
+            let m = Mesh::new(nodes, 4);
+            prop_assert!(m.home_bank(line).as_usize() < nodes);
+            Ok(())
+        },
+    );
+}
+
+/// The nearest memory controller really is nearest.
+#[test]
+fn nearest_mc_is_minimal() {
+    check(
+        "nearest_mc_is_minimal",
+        (gen::range(4usize..300), gen::full::<usize>()),
+        |(nodes, node)| {
+            let m = Mesh::new(nodes, 4);
+            let n = NodeId(node % nodes);
+            let (_, best) = m.nearest_memory_controller(n);
+            for mc in m.memory_controllers() {
+                prop_assert!(m.hops(n, mc) >= best);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// NodeSet behaves like a set of usize.
+#[test]
+fn nodeset_matches_reference() {
+    check(
+        "nodeset_matches_reference",
+        gen::vecs((gen::bools(), gen::range(0usize..256)), 1..200),
+        |ops| {
+            let mut set = NodeSet::new();
+            let mut reference = std::collections::BTreeSet::new();
+            for &(insert, n) in &ops {
+                if insert {
+                    prop_assert_eq!(set.insert(NodeId(n)), reference.insert(n));
+                } else {
+                    prop_assert_eq!(set.remove(NodeId(n)), reference.remove(&n));
+                }
+            }
+            prop_assert_eq!(set.len(), reference.len());
+            let got: Vec<usize> = set.iter().map(NodeId::as_usize).collect();
+            let want: Vec<usize> = reference.into_iter().collect();
+            prop_assert_eq!(got, want);
+            Ok(())
+        },
+    );
 }

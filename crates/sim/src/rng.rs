@@ -31,7 +31,11 @@ impl DetRng {
     /// non-zero constant because xorshift has an all-zero fixed point.
     pub fn new(seed: u64) -> Self {
         DetRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

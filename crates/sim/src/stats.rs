@@ -180,7 +180,10 @@ impl fmt::Display for Histogram {
         write!(
             f,
             "n={} mean={:.1} min={:?} max={:?}",
-            self.count, self.mean(), self.min, self.max
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
         )
     }
 }

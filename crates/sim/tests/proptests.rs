@@ -1,84 +1,124 @@
 //! Property-based tests for the simulation engine.
 
-use proptest::prelude::*;
 use wisync_sim::{Cycle, DetRng, EventQueue, Histogram};
+use wisync_testkit::gen;
+use wisync_testkit::{check, prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Events always pop in nondecreasing cycle order, regardless of
-    /// push order.
-    #[test]
-    fn event_queue_pops_sorted(pushes in proptest::collection::vec((0u64..10_000, 0u32..100), 1..200)) {
-        let mut q = EventQueue::new();
-        for &(at, e) in &pushes {
-            q.push(Cycle(at), e);
-        }
-        let mut last = Cycle::ZERO;
-        let mut count = 0;
-        while let Some((at, _)) = q.pop() {
-            prop_assert!(at >= last);
-            last = at;
-            count += 1;
-        }
-        prop_assert_eq!(count, pushes.len());
-    }
+/// Events always pop in nondecreasing cycle order, regardless of push
+/// order.
+#[test]
+fn event_queue_pops_sorted() {
+    check(
+        "event_queue_pops_sorted",
+        gen::vecs((gen::range(0u64..10_000), gen::range(0u32..100)), 1..200),
+        |pushes| {
+            let mut q = EventQueue::new();
+            for &(at, e) in &pushes {
+                q.push(Cycle(at), e);
+            }
+            let mut last = Cycle::ZERO;
+            let mut count = 0;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at >= last);
+                last = at;
+                count += 1;
+            }
+            prop_assert_eq!(count, pushes.len());
+            Ok(())
+        },
+    );
+}
 
-    /// Same-cycle events pop in insertion order (FIFO).
-    #[test]
-    fn event_queue_fifo_within_cycle(n in 1usize..100, cycle in 0u64..1000) {
-        let mut q = EventQueue::new();
-        for i in 0..n {
-            q.push(Cycle(cycle), i);
-        }
-        for i in 0..n {
-            prop_assert_eq!(q.pop(), Some((Cycle(cycle), i)));
-        }
-    }
+/// Same-cycle events pop in insertion order (FIFO).
+#[test]
+fn event_queue_fifo_within_cycle() {
+    check(
+        "event_queue_fifo_within_cycle",
+        (gen::range(1usize..100), gen::range(0u64..1000)),
+        |(n, cycle)| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(Cycle(cycle), i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.pop(), Some((Cycle(cycle), i)));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// `gen_range` stays in bounds for any seed and bound.
-    #[test]
-    fn rng_range_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut r = DetRng::new(seed);
-        for _ in 0..100 {
-            prop_assert!(r.gen_range(bound) < bound);
-        }
-    }
+/// `gen_range` stays in bounds for any seed and bound.
+#[test]
+fn rng_range_in_bounds() {
+    check(
+        "rng_range_in_bounds",
+        (gen::full::<u64>(), gen::range(1u64..1_000_000)),
+        |(seed, bound)| {
+            let mut r = DetRng::new(seed);
+            for _ in 0..100 {
+                prop_assert!(r.gen_range(bound) < bound);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The generator is a pure function of its seed.
-    #[test]
-    fn rng_deterministic(seed in any::<u64>()) {
+/// The generator is a pure function of its seed.
+#[test]
+fn rng_deterministic() {
+    check("rng_deterministic", gen::full::<u64>(), |seed| {
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..50 {
             prop_assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Histogram summary statistics agree with a direct computation.
-    #[test]
-    fn histogram_matches_reference(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut h = Histogram::new();
-        for &v in &values {
-            h.record(v);
-        }
-        let sum: u64 = values.iter().sum();
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert_eq!(h.sum(), sum);
-        prop_assert_eq!(h.min(), values.iter().min().copied());
-        prop_assert_eq!(h.max(), values.iter().max().copied());
-        let mean = sum as f64 / values.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-9);
-        // Percentiles are monotone in p.
-        let p50 = h.percentile(0.5).unwrap();
-        let p90 = h.percentile(0.9).unwrap();
-        prop_assert!(p50 <= p90);
-    }
+/// Histogram summary statistics agree with a direct computation.
+#[test]
+fn histogram_matches_reference() {
+    check(
+        "histogram_matches_reference",
+        gen::vecs(gen::range(0u64..1_000_000), 1..200),
+        |values| {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let sum: u64 = values.iter().sum();
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.sum(), sum);
+            prop_assert_eq!(h.min(), values.iter().min().copied());
+            prop_assert_eq!(h.max(), values.iter().max().copied());
+            let mean = sum as f64 / values.len() as f64;
+            prop_assert!((h.mean() - mean).abs() < 1e-9);
+            // Percentiles are monotone in p.
+            let p50 = h.percentile(0.5).unwrap();
+            let p90 = h.percentile(0.9).unwrap();
+            prop_assert!(p50 <= p90);
+            Ok(())
+        },
+    );
+}
 
-    /// Cycle arithmetic: (a + d) - a == d.
-    #[test]
-    fn cycle_arithmetic_roundtrip(a in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
-        let c = Cycle(a);
-        prop_assert_eq!((c + d) - c, d);
-        prop_assert_eq!((c + d).saturating_since(c), d);
-        prop_assert_eq!(c.saturating_since(c + d + 1), 0);
-    }
+/// Cycle arithmetic: (a + d) - a == d.
+#[test]
+fn cycle_arithmetic_roundtrip() {
+    check(
+        "cycle_arithmetic_roundtrip",
+        (
+            gen::range(0u64..u64::MAX / 2),
+            gen::range(0u64..u64::MAX / 4),
+        ),
+        |(a, d)| {
+            let c = Cycle(a);
+            prop_assert_eq!((c + d) - c, d);
+            prop_assert_eq!((c + d).saturating_since(c), d);
+            prop_assert_eq!(c.saturating_since(c + d + 1), 0);
+            Ok(())
+        },
+    );
 }

@@ -51,20 +51,28 @@ impl CentralBarrier {
                 offset: self.count_addr,
                 space: Space::Cached,
             });
-            b.push(Instr::Addi { dst: new, a: old, imm: 1 });
+            b.push(Instr::Addi {
+                dst: new,
+                a: old,
+                imm: 1,
+            });
             b.push(Instr::Rmw {
-                kind: RmwSpec::Cas {
-                    expected: old,
-                    new,
-                },
+                kind: RmwSpec::Cas { expected: old, new },
                 dst: t,
                 base: ZERO,
                 offset: self.count_addr,
                 space: Space::Cached,
             });
             // CAS returned the pre-value; retry unless it matched.
-            b.push(Instr::CmpEq { dst: t, a: t, b: old });
-            b.push(Instr::Beqz { cond: t, target: retry });
+            b.push(Instr::CmpEq {
+                dst: t,
+                a: t,
+                b: old,
+            });
+            b.push(Instr::Beqz {
+                cond: t,
+                target: retry,
+            });
         } else {
             b.push(Instr::Li { dst: t, imm: 1 });
             b.push(Instr::Rmw {

@@ -161,7 +161,11 @@ impl McsLock {
         let wait_succ = b.label();
         // CAS returned the old tail; if it was our node, the queue is
         // closed and we are done.
-        b.push(Instr::CmpEq { dst: t0, a: t0, b: qnode });
+        b.push(Instr::CmpEq {
+            dst: t0,
+            a: t0,
+            b: qnode,
+        });
         b.push(Instr::Beqz {
             cond: t0,
             target: wait_succ,

@@ -10,8 +10,8 @@
 use wisync_isa::interp::{ArchSim, RunOutcome};
 use wisync_isa::{Instr, Program, ProgramBuilder, Reg, Space};
 use wisync_sync::{
-    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock,
-    ToneBarrierCode, TournamentBarrier,
+    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock, ToneBarrierCode,
+    TournamentBarrier,
 };
 
 const COUNTER: u64 = 0x8000;
@@ -22,9 +22,15 @@ const ITERS: u64 = 12;
 fn lock_worker(lock: Lock, space: Space, qnode_addr: Option<u64>) -> Program {
     let mut b = ProgramBuilder::new();
     if let Some(q) = qnode_addr {
-        b.push(Instr::Li { dst: Reg(1), imm: q });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: q,
+        });
     }
-    b.push(Instr::Li { dst: Reg(2), imm: ITERS });
+    b.push(Instr::Li {
+        dst: Reg(2),
+        imm: ITERS,
+    });
     let top = b.bind_here();
     lock.emit_acquire(&mut b);
     // Critical section: non-atomic increment.
@@ -111,13 +117,26 @@ fn barrier_worker(mk_barrier: &dyn Fn(usize) -> Barrier, tid: usize, n: usize) -
     let phases = 3u64;
     let mut b = ProgramBuilder::new();
     // r10 = phase counter.
-    b.push(Instr::Li { dst: Reg(10), imm: 0 });
+    b.push(Instr::Li {
+        dst: Reg(10),
+        imm: 0,
+    });
     // r11 = sense for the barrier.
-    b.push(Instr::Li { dst: Reg(11), imm: 0 });
-    b.push(Instr::Li { dst: Reg(12), imm: phases });
+    b.push(Instr::Li {
+        dst: Reg(11),
+        imm: 0,
+    });
+    b.push(Instr::Li {
+        dst: Reg(12),
+        imm: phases,
+    });
     let top = b.bind_here();
     // Publish my phase.
-    b.push(Instr::Addi { dst: Reg(10), a: Reg(10), imm: 1 });
+    b.push(Instr::Addi {
+        dst: Reg(10),
+        a: Reg(10),
+        imm: 1,
+    });
     b.push(Instr::St {
         src: Reg(10),
         base: Reg(0),
@@ -126,7 +145,10 @@ fn barrier_worker(mk_barrier: &dyn Fn(usize) -> Barrier, tid: usize, n: usize) -
     });
     mk_barrier(tid).emit(&mut b, Reg(11));
     // Check everyone reached my phase: accumulate min into r13.
-    b.push(Instr::Li { dst: Reg(13), imm: u64::MAX });
+    b.push(Instr::Li {
+        dst: Reg(13),
+        imm: u64::MAX,
+    });
     for other in 0..n {
         b.push(Instr::Ld {
             dst: Reg(14),
@@ -164,8 +186,15 @@ fn barrier_worker(mk_barrier: &dyn Fn(usize) -> Barrier, tid: usize, n: usize) -
     });
     // Second barrier so nobody races ahead into the next publish.
     mk_barrier(tid).emit(&mut b, Reg(11));
-    b.push(Instr::Addi { dst: Reg(12), a: Reg(12), imm: u64::MAX });
-    b.push(Instr::Bnez { cond: Reg(12), target: top });
+    b.push(Instr::Addi {
+        dst: Reg(12),
+        a: Reg(12),
+        imm: u64::MAX,
+    });
+    b.push(Instr::Bnez {
+        cond: Reg(12),
+        target: top,
+    });
     b.push(Instr::Halt);
     b.build().unwrap()
 }
@@ -180,7 +209,11 @@ fn check_barrier(mk: &dyn Fn(usize) -> Barrier, n: usize, tone_flag: Option<u64>
         let out = sim.run(4_000_000);
         assert_eq!(out, RunOutcome::AllHalted, "seed {seed}");
         for tid in 0..n {
-            assert_eq!(sim.reg(tid, 20), 0, "thread {tid} saw stale phase, seed {seed}");
+            assert_eq!(
+                sim.reg(tid, 20),
+                0,
+                "thread {tid} saw stale phase, seed {seed}"
+            );
         }
     }
 }

@@ -24,24 +24,58 @@ fn producer_consumer_functional_ordering() {
     };
     let producer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: 10 });
-        b.push(Instr::Li { dst: Reg(3), imm: 0 }); // value
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: 10,
+        });
+        b.push(Instr::Li {
+            dst: Reg(3),
+            imm: 0,
+        }); // value
         let top = b.bind_here();
-        b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
+        b.push(Instr::Addi {
+            dst: Reg(3),
+            a: Reg(3),
+            imm: 1,
+        });
         pc.emit_produce(&mut b, Reg(3));
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         halt(b)
     };
     let consumer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: 10 });
-        b.push(Instr::Li { dst: Reg(4), imm: 0 }); // sum
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: 10,
+        });
+        b.push(Instr::Li {
+            dst: Reg(4),
+            imm: 0,
+        }); // sum
         let top = b.bind_here();
         pc.emit_consume(&mut b, Reg(5));
-        b.push(Instr::Add { dst: Reg(4), a: Reg(4), b: Reg(5) });
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Add {
+            dst: Reg(4),
+            a: Reg(4),
+            b: Reg(5),
+        });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         halt(b)
     };
     for seed in 1..=10 {
@@ -120,26 +154,66 @@ fn multicast_delivers_to_all_readers() {
     };
     let producer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: rounds });
-        b.push(Instr::Li { dst: Reg(3), imm: 100 }); // payload
-        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: rounds,
+        });
+        b.push(Instr::Li {
+            dst: Reg(3),
+            imm: 100,
+        }); // payload
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        }); // sense
         let top = b.bind_here();
         mc.emit_produce(&mut b, Reg(3), Reg(11));
-        b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(3),
+            a: Reg(3),
+            imm: 1,
+        });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         halt(b)
     };
     let reader = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: rounds });
-        b.push(Instr::Li { dst: Reg(4), imm: 0 }); // sum of payloads
-        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: rounds,
+        });
+        b.push(Instr::Li {
+            dst: Reg(4),
+            imm: 0,
+        }); // sum of payloads
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        }); // sense
         let top = b.bind_here();
         mc.emit_consume(&mut b, Reg(5), Reg(11));
-        b.push(Instr::Add { dst: Reg(4), a: Reg(4), b: Reg(5) });
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Add {
+            dst: Reg(4),
+            a: Reg(4),
+            b: Reg(5),
+        });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         halt(b)
     };
     for seed in 1..=10 {
@@ -163,7 +237,10 @@ fn eureka_releases_waiters_timed() {
     // Core 3 "finds the solution" after some work; everyone else waits.
     for c in 0..cores {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(11), imm: 1 }); // sense for episode 1
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 1,
+        }); // sense for episode 1
         if c == 3 {
             b.push(Instr::Compute { cycles: 700 });
             e.emit_trigger(&mut b, Reg(11));
@@ -187,7 +264,10 @@ fn eureka_poll_is_nonblocking() {
     let flag = m.bm_alloc(PID, 1).unwrap();
     let e = Eureka { flag_vaddr: flag };
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(11), imm: 1 });
+    b.push(Instr::Li {
+        dst: Reg(11),
+        imm: 1,
+    });
     e.emit_poll(&mut b, Reg(5), Reg(11));
     m.load_program(0, PID, halt(b));
     let r = m.run(10_000);

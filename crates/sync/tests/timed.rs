@@ -5,8 +5,8 @@
 use wisync_core::{Machine, MachineConfig, Pid, RunOutcome};
 use wisync_isa::{Instr, Program, ProgramBuilder, Reg};
 use wisync_sync::{
-    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock,
-    ToneBarrierCode, TournamentBarrier,
+    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock, ToneBarrierCode,
+    TournamentBarrier,
 };
 
 const PID: Pid = Pid(1);
@@ -14,13 +14,26 @@ const PID: Pid = Pid(1);
 /// Program: `iters` episodes of (tiny compute; barrier).
 fn barrier_loop(barrier: Barrier, iters: u64) -> Program {
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(10), imm: iters });
-    b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+    b.push(Instr::Li {
+        dst: Reg(10),
+        imm: iters,
+    });
+    b.push(Instr::Li {
+        dst: Reg(11),
+        imm: 0,
+    }); // sense
     let top = b.bind_here();
     b.push(Instr::Compute { cycles: 20 });
     barrier.emit(&mut b, Reg(11));
-    b.push(Instr::Addi { dst: Reg(10), a: Reg(10), imm: u64::MAX });
-    b.push(Instr::Bnez { cond: Reg(10), target: top });
+    b.push(Instr::Addi {
+        dst: Reg(10),
+        a: Reg(10),
+        imm: u64::MAX,
+    });
+    b.push(Instr::Bnez {
+        cond: Reg(10),
+        target: top,
+    });
     b.push(Instr::Halt);
     b.build().unwrap()
 }
@@ -138,14 +151,24 @@ fn run_lock_machine(cores: usize, iters: u64, cfg: MachineConfig, style: &str) -
                 imm: 0x40000 + c as u64 * 64,
             });
         }
-        b.push(Instr::Li { dst: Reg(2), imm: iters });
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: iters,
+        });
         let top = b.bind_here();
         lock.emit_acquire(&mut b);
         b.push(Instr::Compute { cycles: 30 });
         lock.emit_release(&mut b);
         b.push(Instr::Compute { cycles: 100 });
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         b.push(Instr::Halt);
         m.load_program(c, PID, b.build().unwrap());
     }
@@ -178,7 +201,10 @@ fn mcs_lock_timed_correctness() {
             dst: Reg(1),
             imm: 0x40000 + c as u64 * 64,
         });
-        b.push(Instr::Li { dst: Reg(2), imm: 10 });
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: 10,
+        });
         let top = b.bind_here();
         lock.emit_acquire(&mut b, Reg(1));
         b.push(Instr::Ld {
@@ -187,7 +213,11 @@ fn mcs_lock_timed_correctness() {
             offset: 0x8000,
             space: wisync_isa::Space::Cached,
         });
-        b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
+        b.push(Instr::Addi {
+            dst: Reg(3),
+            a: Reg(3),
+            imm: 1,
+        });
         b.push(Instr::St {
             src: Reg(3),
             base: Reg(0),
@@ -195,8 +225,15 @@ fn mcs_lock_timed_correctness() {
             space: wisync_isa::Space::Cached,
         });
         lock.emit_release(&mut b, Reg(1));
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         b.push(Instr::Halt);
         m.load_program(c, PID, b.build().unwrap());
     }

@@ -1,0 +1,225 @@
+//! A criterion-lite benchmark harness.
+//!
+//! [`Harness::bench`] warms a closure up, times a fixed number of
+//! iterations, and summarizes the samples (median/p95 come from the
+//! power-of-two-bucket [`Histogram`] in `wisync-sim`, so they are exact
+//! to within a factor of two — the same fidelity the simulator's own
+//! tail-latency checks use). [`Harness::finish`] prints a table and
+//! writes a JSON report under `results/`.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wisync_sim::Histogram;
+
+use crate::json::Json;
+
+/// Re-export so bench files don't need a direct `std::hint` import.
+pub use std::hint::black_box as bb;
+
+/// Timing parameters for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Untimed iterations run first to populate caches and branch
+    /// predictors.
+    pub warmup_iters: u32,
+    /// Timed iterations; one sample each.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    /// Default is 2 warmup + 10 timed iterations; under
+    /// [`quick_mode`] (CI smoke runs) it drops to 1 + 3.
+    fn default() -> Self {
+        if quick_mode() {
+            BenchConfig {
+                warmup_iters: 1,
+                iters: 3,
+            }
+        } else {
+            BenchConfig {
+                warmup_iters: 2,
+                iters: 10,
+            }
+        }
+    }
+}
+
+/// Summary of one benchmark's timed samples, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (slash-separated group/case by convention).
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Mean sample, ns.
+    pub mean_ns: f64,
+    /// Fastest sample, ns.
+    pub min_ns: u64,
+    /// Slowest sample, ns.
+    pub max_ns: u64,
+    /// Median sample, ns (bucketed, see module docs).
+    pub median_ns: u64,
+    /// 95th-percentile sample, ns (bucketed).
+    pub p95_ns: u64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("iters", Json::U64(self.iters as u64)),
+            ("mean_ns", Json::F64(self.mean_ns)),
+            ("min_ns", Json::U64(self.min_ns)),
+            ("max_ns", Json::U64(self.max_ns)),
+            ("median_ns", Json::U64(self.median_ns)),
+            ("p95_ns", Json::U64(self.p95_ns)),
+        ])
+    }
+}
+
+/// Collects benchmark results for one suite (one bench binary).
+pub struct Harness {
+    suite: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+    out_dir: PathBuf,
+}
+
+impl Harness {
+    /// Creates a harness writing `results/bench_<suite>.json` on
+    /// [`finish`](Harness::finish).
+    pub fn new(suite: &str) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            config: BenchConfig::default(),
+            results: Vec::new(),
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Overrides the default timing parameters for subsequent benches.
+    pub fn with_config(mut self, config: BenchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the report directory (default `results/`).
+    pub fn with_out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = dir.into();
+        self
+    }
+
+    /// Runs one benchmark: warmup, then `iters` timed runs of `f`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        for _ in 0..self.config.warmup_iters {
+            black_box(f());
+        }
+        let mut hist = Histogram::new();
+        for _ in 0..self.config.iters.max(1) {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            hist.record(ns);
+        }
+        let result = BenchResult {
+            name: name.to_string(),
+            iters: self.config.iters.max(1),
+            mean_ns: hist.mean(),
+            min_ns: hist.min().unwrap_or(0),
+            max_ns: hist.max().unwrap_or(0),
+            median_ns: hist.percentile(0.5).unwrap_or(0),
+            p95_ns: hist.percentile(0.95).unwrap_or(0),
+        };
+        println!(
+            "{:<52} {:>12} {:>12} {:>12}",
+            result.name,
+            format_ns(result.mean_ns),
+            format_ns(result.median_ns as f64),
+            format_ns(result.p95_ns as f64),
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Prints the footer and writes the JSON report. Returns the report
+    /// path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let report = Json::obj([
+            ("suite", Json::from(self.suite.as_str())),
+            (
+                "benches",
+                Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+            ),
+        ]);
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(format!("bench_{}.json", self.suite));
+        std::fs::write(&path, report.render())?;
+        println!("\nreport: {}", path.display());
+        Ok(path)
+    }
+
+    /// Prints the standard column header for bench output.
+    pub fn print_header(&self) {
+        println!(
+            "{:<52} {:>12} {:>12} {:>12}",
+            format!("bench ({})", self.suite),
+            "mean",
+            "median",
+            "p95"
+        );
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Returns true when the environment asks benches to run at reduced
+/// scale (`WISYNC_QUICK=1`), as CI smoke runs do.
+pub fn quick_mode() -> bool {
+    std::env::var_os("WISYNC_QUICK").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples_and_writes_report() {
+        let dir = std::env::temp_dir().join("wisync_testkit_bench_test");
+        let mut h = Harness::new("selftest")
+            .with_config(BenchConfig {
+                warmup_iters: 1,
+                iters: 5,
+            })
+            .with_out_dir(&dir);
+        let r = h.bench("noop_sum", || (0..100u64).sum::<u64>()).clone();
+        assert_eq!(r.iters, 5);
+        assert!(r.min_ns <= r.max_ns);
+        assert!(r.median_ns <= r.p95_ns.max(r.max_ns));
+        let path = h.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"suite\": \"selftest\""));
+        assert!(text.contains("noop_sum"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(1_500.0), "1.5 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.5 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.00 s");
+    }
+}

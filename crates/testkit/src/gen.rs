@@ -1,0 +1,409 @@
+//! Composable, deterministic value generators with shrinking.
+//!
+//! A [`Gen`] produces values from a [`DetRng`] and can propose *shrink
+//! candidates* for a failing value: strictly simpler values that the
+//! runner retries to find a minimal counterexample. Integer generators
+//! shrink toward their lower bound (binary-search style) and vector
+//! generators shrink both structurally (fewer elements) and element-wise;
+//! mapped and `one_of` generators do not shrink (the pre-image of an
+//! arbitrary closure is unknown), which matches how the workspace uses
+//! them — enums built from shrinkable integer tuples.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use wisync_sim::DetRng;
+
+/// A deterministic generator of test values.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Produces one value from the generator's distribution.
+    fn generate(&self, rng: &mut DetRng) -> Self::Value;
+
+    /// Proposes strictly-simpler candidates for a failing value, simplest
+    /// first. The default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`. The result does not shrink.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the generator for use in heterogeneous collections
+    /// (see [`one_of`]).
+    fn boxed(self) -> BoxedGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased generator, as produced by [`Gen::boxed`].
+pub type BoxedGen<T> = Box<dyn Gen<Value = T>>;
+
+impl<T: Clone + Debug> Gen for BoxedGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut DetRng) -> T {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+// --- Integers ---------------------------------------------------------------
+
+/// Integer types usable with [`range`] / [`range_incl`] / [`full`].
+pub trait SampleInt: Copy + Clone + Debug + Ord {
+    /// The type's minimum value.
+    const MIN_VALUE: Self;
+    /// The type's maximum value.
+    const MAX_VALUE: Self;
+    /// Uniform sample in `[lo, hi]` (inclusive).
+    fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self;
+    /// Widens to `u64` (every supported type fits).
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`; only called with in-range values.
+    fn from_u64(v: u64) -> Self;
+    /// `v - 1`.
+    fn pred(v: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleInt for $t {
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+
+            fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                let (lo64, hi64) = (lo as u64, hi as u64);
+                if lo64 == 0 && hi64 == u64::MAX {
+                    // Full-width range: `hi - lo + 1` would overflow.
+                    rng.next_u64() as $t
+                } else {
+                    rng.gen_inclusive(lo64, hi64) as $t
+                }
+            }
+
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+
+            fn pred(v: Self) -> Self {
+                v - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+/// Uniform integers over an inclusive range, shrinking toward `lo`.
+#[derive(Clone, Debug)]
+pub struct IntGen<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleInt> Gen for IntGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut DetRng) -> T {
+        T::sample(rng, self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let (v, lo) = (value.to_u64(), self.lo.to_u64());
+        if v == lo {
+            return Vec::new();
+        }
+        // Ascending candidates `lo, v - (v-lo)/2, v - (v-lo)/4, …, v - 1`:
+        // the greedy runner takes the smallest one that still fails, so
+        // repeated passes binary-search the exact failure boundary.
+        let mut out = vec![self.lo];
+        let mut delta = (v - lo) / 2;
+        while delta > 0 {
+            let candidate = v - delta;
+            if candidate != lo {
+                out.push(T::from_u64(candidate));
+            }
+            delta /= 2;
+        }
+        out
+    }
+}
+
+/// Uniform integers in the half-open range `lo..hi` (like `proptest`'s
+/// `lo..hi` strategies). Panics if the range is empty.
+pub fn range<T: SampleInt>(r: Range<T>) -> IntGen<T> {
+    assert!(r.start < r.end, "range: empty range");
+    IntGen {
+        lo: r.start,
+        hi: T::pred(r.end),
+    }
+}
+
+/// Uniform integers in the inclusive range `[lo, hi]`.
+pub fn range_incl<T: SampleInt>(lo: T, hi: T) -> IntGen<T> {
+    assert!(lo <= hi, "range_incl: empty range");
+    IntGen { lo, hi }
+}
+
+/// Uniform integers over the type's entire domain (like
+/// `proptest`'s `any::<T>()`), shrinking toward `T::MIN`.
+pub fn full<T: SampleInt>() -> IntGen<T> {
+    IntGen {
+        lo: T::MIN_VALUE,
+        hi: T::MAX_VALUE,
+    }
+}
+
+// --- Bool / constants -------------------------------------------------------
+
+/// Uniform booleans; `true` shrinks to `false`.
+#[derive(Clone, Debug)]
+pub struct BoolGen;
+
+impl Gen for BoolGen {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut DetRng) -> bool {
+        rng.gen_range(2) == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Uniform booleans.
+pub fn bools() -> BoolGen {
+    BoolGen
+}
+
+/// Always produces a clone of `value` (like `proptest`'s `Just`).
+#[derive(Clone, Debug)]
+pub struct JustGen<T> {
+    value: T,
+}
+
+impl<T: Clone + Debug> Gen for JustGen<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut DetRng) -> T {
+        self.value.clone()
+    }
+}
+
+/// A constant generator.
+pub fn just<T: Clone + Debug>(value: T) -> JustGen<T> {
+    JustGen { value }
+}
+
+// --- Map / one_of -----------------------------------------------------------
+
+/// Generator adapter produced by [`Gen::map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, F> Gen for Map<G, F>
+where
+    G: Gen,
+    U: Clone + Debug,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut DetRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives (like `prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<BoxedGen<T>>,
+}
+
+impl<T: Clone + Debug> Gen for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut DetRng) -> T {
+        let i = rng.gen_range(self.choices.len() as u64) as usize;
+        self.choices[i].generate(rng)
+    }
+}
+
+/// Chooses uniformly among `choices` each case. Panics if empty.
+pub fn one_of<T: Clone + Debug>(choices: Vec<BoxedGen<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of: no choices");
+    OneOf { choices }
+}
+
+// --- Tuples -----------------------------------------------------------------
+
+macro_rules! impl_tuple_gen {
+    ($(($($g:ident / $idx:tt),+))*) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut DetRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_gen! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+// --- Collections ------------------------------------------------------------
+
+/// Vectors of generated elements with length in a half-open range.
+pub struct VecGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut DetRng) -> Vec<G::Value> {
+        let n = rng.gen_inclusive(self.min as u64, self.max as u64) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // Structural shrinks first: drop the front/back half, then drop
+        // single elements — all while respecting the minimum length.
+        if n > self.min {
+            let half = n / 2;
+            if half >= self.min && half < n {
+                out.push(value[n - half..].to_vec());
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..n {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element-wise shrinks: simplify one element at a time.
+        for (i, elem) in value.iter().enumerate() {
+            for candidate in self.elem.shrink(elem) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Vectors with element generator `elem` and length in `len` (half-open,
+/// like `proptest::collection::vec`).
+pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "vecs: empty length range");
+    VecGen {
+        elem,
+        min: len.start,
+        max: len.end - 1,
+    }
+}
+
+/// Ordered sets of generated elements with size in a half-open range.
+///
+/// If the element domain is too small to reach the sampled size the set
+/// is returned at whatever size was reachable (mirroring `proptest`,
+/// which treats the size as a best-effort target).
+pub struct BTreeSetGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+impl<G: Gen> Gen for BTreeSetGen<G>
+where
+    G::Value: Ord,
+{
+    type Value = BTreeSet<G::Value>;
+
+    fn generate(&self, rng: &mut DetRng) -> BTreeSet<G::Value> {
+        let target = rng.gen_inclusive(self.min as u64, self.max as u64) as usize;
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < 64 * (target + 1) {
+            set.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+
+    fn shrink(&self, value: &BTreeSet<G::Value>) -> Vec<BTreeSet<G::Value>> {
+        let mut out = Vec::new();
+        if value.len() > self.min {
+            for elem in value {
+                let mut v = value.clone();
+                v.remove(elem);
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Ordered sets with element generator `elem` and size in `size`
+/// (half-open, like `proptest::collection::btree_set`).
+pub fn btree_sets<G: Gen>(elem: G, size: Range<usize>) -> BTreeSetGen<G>
+where
+    G::Value: Ord,
+{
+    assert!(size.start < size.end, "btree_sets: empty size range");
+    BTreeSetGen {
+        elem,
+        min: size.start,
+        max: size.end - 1,
+    }
+}

@@ -1,0 +1,176 @@
+//! A minimal, deterministic JSON value and serializer.
+//!
+//! The bench harness and sweep runner emit machine-readable reports under
+//! `results/` without pulling in serde. Serialization is deterministic:
+//! object keys keep insertion order, floats render with Rust's
+//! shortest-roundtrip `{:?}` formatting, and non-finite floats become
+//! `null` — so two runs with identical inputs produce byte-identical
+//! files.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float; NaN/infinity serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::F64(f)
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::obj([
+            ("name", Json::from("fig7")),
+            ("cores", Json::Arr(vec![Json::U64(16), Json::U64(32)])),
+            ("speedup", Json::F64(1.25)),
+            ("bad", Json::F64(f64::NAN)),
+            ("quote", Json::from("a\"b")),
+        ]);
+        let text = v.render();
+        assert!(text.contains("\"name\": \"fig7\""));
+        assert!(text.contains("\"speedup\": 1.25"));
+        assert!(text.contains("\"bad\": null"));
+        assert!(text.contains("a\\\"b"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = Json::obj([("b", Json::U64(1)), ("a", Json::F64(0.1))]);
+        assert_eq!(v.render(), v.render());
+        // Insertion order, not sorted order.
+        let b = v.render().find("\"b\"").unwrap();
+        let a = v.render().find("\"a\"").unwrap();
+        assert!(b < a);
+    }
+}

@@ -1,0 +1,326 @@
+//! The property runner: N seeded cases, shrinking, seed reproduction.
+//!
+//! [`check`] runs a property over generated inputs. Each case derives its
+//! own seed from the property name and case index, so a failure report
+//! can name the *one* seed that reproduces it:
+//!
+//! ```text
+//! WISYNC_TESTKIT_SEED=0x1234abcd cargo test -p wisync-noc failing_property
+//! ```
+//!
+//! With `WISYNC_TESTKIT_SEED` set, every `check` in the process runs
+//! exactly that case (same generation, same shrinking, same report),
+//! which is what makes a printed failure replayable.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use wisync_sim::DetRng;
+
+use crate::gen::Gen;
+
+/// Environment variable that replays a single failing case.
+pub const SEED_ENV: &str = "WISYNC_TESTKIT_SEED";
+
+/// A property failure: carries the assertion message.
+#[derive(Clone, Debug)]
+pub struct Failed {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl Failed {
+    /// Creates a failure with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Failed {
+            message: message.into(),
+        }
+    }
+}
+
+/// What a property returns: `Ok(())` or a failed assertion.
+pub type PropResult = Result<(), Failed>;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases (ignored when [`SEED_ENV`] is set).
+    pub cases: u32,
+    /// Upper bound on shrink candidate evaluations per failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_steps: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases (like `ProptestConfig::with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Asserts a condition inside a property, returning [`Failed`] early.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::Failed::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+// Panic-hook management: properties may panic (e.g. `unwrap`), and the
+// shrink loop re-runs a failing property many times. A process-wide hook
+// suppresses the default "thread panicked" spew for panics we catch,
+// without touching panics from unrelated test threads.
+thread_local! {
+    static CAPTURING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs the property, translating panics into [`Failed`].
+fn run_case<V, P>(prop: &P, value: V) -> PropResult
+where
+    P: Fn(V) -> PropResult,
+{
+    install_quiet_hook();
+    CAPTURING.with(|c| c.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    CAPTURING.with(|c| c.set(false));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "property panicked".to_string()
+            };
+            Err(Failed::new(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// FNV-1a, used to give each property its own seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive case indices.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of case `case` of property `name`.
+fn case_seed(name: &str, case: u32) -> u64 {
+    mix(hash_name(name) ^ ((case as u64) << 32))
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var(SEED_ENV).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("{SEED_ENV}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// Runs `prop` against [`Config::default`]-many generated cases.
+///
+/// On failure, shrinks to a minimal counterexample and panics with a
+/// report that includes the reproduction seed.
+pub fn check<G, P>(name: &str, generator: G, prop: P)
+where
+    G: Gen,
+    P: Fn(G::Value) -> PropResult,
+{
+    check_with(Config::default(), name, generator, prop);
+}
+
+/// [`check`] with an explicit [`Config`].
+pub fn check_with<G, P>(config: Config, name: &str, generator: G, prop: P)
+where
+    G: Gen,
+    P: Fn(G::Value) -> PropResult,
+{
+    if let Some(seed) = env_seed() {
+        // Replay mode: run exactly the requested case.
+        run_seeded_case(&config, name, &generator, &prop, seed);
+        return;
+    }
+    for case in 0..config.cases {
+        run_seeded_case(&config, name, &generator, &prop, case_seed(name, case));
+    }
+}
+
+fn run_seeded_case<G, P>(config: &Config, name: &str, generator: &G, prop: &P, seed: u64)
+where
+    G: Gen,
+    P: Fn(G::Value) -> PropResult,
+{
+    let mut rng = DetRng::new(seed);
+    let original = generator.generate(&mut rng);
+    let failure = match run_case(prop, original.clone()) {
+        Ok(()) => return,
+        Err(f) => f,
+    };
+    let (minimal, minimal_failure, steps) =
+        shrink_failure(config, generator, prop, original.clone(), failure.clone());
+    panic!(
+        "property '{name}' failed (seed 0x{seed:016x})\n\
+         \n\
+         minimal counterexample ({steps} shrink steps):\n  {minimal:?}\n\
+         minimal failure:\n  {min_msg}\n\
+         \n\
+         original counterexample:\n  {original:?}\n\
+         original failure:\n  {orig_msg}\n\
+         \n\
+         reproduce with: {SEED_ENV}=0x{seed:016x} cargo test {name_hint}\n",
+        min_msg = indent(&minimal_failure.message),
+        orig_msg = indent(&failure.message),
+        name_hint = name.split_whitespace().next().unwrap_or(name),
+    );
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_failure<G, P>(
+    config: &Config,
+    generator: &G,
+    prop: &P,
+    mut current: G::Value,
+    mut current_failure: Failed,
+) -> (G::Value, Failed, u32)
+where
+    G: Gen,
+    P: Fn(G::Value) -> PropResult,
+{
+    let mut steps = 0u32;
+    'outer: loop {
+        for candidate in generator.shrink(&current) {
+            if steps >= config.max_shrink_steps {
+                break 'outer;
+            }
+            steps += 1;
+            if let Err(f) = run_case(prop, candidate.clone()) {
+                current = candidate;
+                current_failure = f;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, current_failure, steps)
+}
+
+fn indent(s: &str) -> String {
+    s.replace('\n', "\n  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check_with(
+            Config::with_cases(33),
+            "counts cases",
+            gen::full::<u64>(),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        seen += counter.get();
+        // In replay mode (env seed set) exactly one case runs.
+        let expect = if std::env::var(SEED_ENV).is_ok() {
+            1
+        } else {
+            33
+        };
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn case_seeds_differ_across_names_and_cases() {
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+    }
+}

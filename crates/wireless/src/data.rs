@@ -170,7 +170,13 @@ impl<M> DataChannel<M> {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn request(&mut self, node: NodeId, len: TxLen, message: M, now: Cycle) -> (TxToken, Cycle) {
+    pub fn request(
+        &mut self,
+        node: NodeId,
+        len: TxLen,
+        message: M,
+        now: Cycle,
+    ) -> (TxToken, Cycle) {
         assert!(node.as_usize() < self.nodes, "node {node} out of range");
         let slot = match self.config.mac_policy {
             MacPolicy::Exponential => now.max_with(self.busy_until),

@@ -193,8 +193,16 @@ mod tests {
         let haswell = rows[0];
         let atom = rows[1];
         assert_eq!(haswell.core.name, "Xeon Haswell");
-        assert!((haswell.area_pct - 0.7).abs() < 0.05, "{}", haswell.area_pct);
-        assert!((haswell.power_pct - 0.4).abs() < 0.05, "{}", haswell.power_pct);
+        assert!(
+            (haswell.area_pct - 0.7).abs() < 0.05,
+            "{}",
+            haswell.area_pct
+        );
+        assert!(
+            (haswell.power_pct - 0.4).abs() < 0.05,
+            "{}",
+            haswell.power_pct
+        );
         assert!((atom.area_pct - 5.6).abs() < 0.1, "{}", atom.area_pct);
         assert!((atom.power_pct - 1.8).abs() < 0.1, "{}", atom.power_pct);
     }

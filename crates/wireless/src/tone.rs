@@ -393,7 +393,10 @@ mod tests {
     fn duplicate_and_missing_errors() {
         let mut tc = ToneChannel::new(4);
         tc.allocate(0x10, set(&[0])).unwrap();
-        assert_eq!(tc.allocate(0x10, set(&[1])), Err(ToneError::AlreadyAllocated));
+        assert_eq!(
+            tc.allocate(0x10, set(&[1])),
+            Err(ToneError::AlreadyAllocated)
+        );
         assert_eq!(tc.deallocate(0x99), Err(ToneError::NotAllocated));
         assert_eq!(tc.activate(0x99, Cycle(0)), Err(ToneError::NotAllocated));
         assert_eq!(tc.arrive(0x10, NodeId(0)), Err(ToneError::NotActive));

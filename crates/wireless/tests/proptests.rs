@@ -1,9 +1,10 @@
 //! Property-based tests for the wireless channels.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use wisync_noc::{NodeId, NodeSet};
 use wisync_sim::Cycle;
+use wisync_testkit::gen;
+use wisync_testkit::{check_with, prop_assert, prop_assert_eq, Config};
 use wisync_wireless::{DataChannel, Resolution, ToneChannel, TxLen, WirelessConfig};
 
 /// Drives a channel until no attempts remain; returns deliveries as
@@ -29,110 +30,136 @@ fn drain(ch: &mut DataChannel<u64>, mut slots: BTreeSet<Cycle>) -> Vec<(u64, Cyc
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every requested (non-cancelled) message is delivered exactly
-    /// once, regardless of the request pattern, and deliveries never
-    /// overlap in time.
-    #[test]
-    fn all_messages_delivered_exactly_once(
-        reqs in proptest::collection::vec((0usize..32, 0u64..500, any::<bool>()), 1..100)
-    ) {
-        let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 32);
-        let mut slots = BTreeSet::new();
-        for (i, &(node, at, bulk)) in reqs.iter().enumerate() {
-            let len = if bulk { TxLen::Bulk } else { TxLen::Normal };
-            let (_, slot) = ch.request(NodeId(node), len, i as u64, Cycle(at));
-            slots.insert(slot);
-        }
-        let done = drain(&mut ch, slots);
-        let mut ids: Vec<u64> = done.iter().map(|&(m, _)| m).collect();
-        ids.sort_unstable();
-        let want: Vec<u64> = (0..reqs.len() as u64).collect();
-        prop_assert_eq!(ids, want);
-        // Transfers are serialized: completion times are distinct and
-        // separated by at least a message length.
-        let mut ends: Vec<Cycle> = done.iter().map(|&(_, c)| c).collect();
-        ends.sort_unstable();
-        for w in ends.windows(2) {
-            prop_assert!(w[1] - w[0] >= 5, "overlapping transfers");
-        }
-        prop_assert_eq!(ch.stats().transfers, reqs.len() as u64);
-        prop_assert_eq!(ch.pending_len(), 0);
-    }
-
-    /// Cancelled messages are never delivered; the rest still all are.
-    #[test]
-    fn cancelled_messages_never_deliver(
-        n in 2usize..40,
-        cancel_mask in any::<u64>()
-    ) {
-        let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 8);
-        let mut slots = BTreeSet::new();
-        let mut tokens = Vec::new();
-        for i in 0..n {
-            let (tok, slot) = ch.request(NodeId(i % 8), TxLen::Normal, i as u64, Cycle(0));
-            tokens.push(tok);
-            slots.insert(slot);
-        }
-        let mut cancelled = BTreeSet::new();
-        for (i, tok) in tokens.iter().enumerate() {
-            if cancel_mask >> (i % 64) & 1 == 1 && ch.cancel(*tok).is_some() {
-                cancelled.insert(i as u64);
+/// Every requested (non-cancelled) message is delivered exactly once,
+/// regardless of the request pattern, and deliveries never overlap in
+/// time.
+#[test]
+fn all_messages_delivered_exactly_once() {
+    check_with(
+        Config::with_cases(64),
+        "all_messages_delivered_exactly_once",
+        gen::vecs(
+            (gen::range(0usize..32), gen::range(0u64..500), gen::bools()),
+            1..100,
+        ),
+        |reqs| {
+            let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 32);
+            let mut slots = BTreeSet::new();
+            for (i, &(node, at, bulk)) in reqs.iter().enumerate() {
+                let len = if bulk { TxLen::Bulk } else { TxLen::Normal };
+                let (_, slot) = ch.request(NodeId(node), len, i as u64, Cycle(at));
+                slots.insert(slot);
             }
-        }
-        let done = drain(&mut ch, slots);
-        for &(m, _) in &done {
-            prop_assert!(!cancelled.contains(&m), "cancelled message {m} delivered");
-        }
-        prop_assert_eq!(done.len() + cancelled.len(), n);
-    }
+            let done = drain(&mut ch, slots);
+            let mut ids: Vec<u64> = done.iter().map(|&(m, _)| m).collect();
+            ids.sort_unstable();
+            let want: Vec<u64> = (0..reqs.len() as u64).collect();
+            prop_assert_eq!(ids, want);
+            // Transfers are serialized: completion times are distinct and
+            // separated by at least a message length.
+            let mut ends: Vec<Cycle> = done.iter().map(|&(_, c)| c).collect();
+            ends.sort_unstable();
+            for w in ends.windows(2) {
+                prop_assert!(w[1] - w[0] >= 5, "overlapping transfers");
+            }
+            prop_assert_eq!(ch.stats().transfers, reqs.len() as u64);
+            prop_assert_eq!(ch.pending_len(), 0);
+            Ok(())
+        },
+    );
+}
 
-    /// Channel busy time never exceeds elapsed time (utilization ≤ 1).
-    #[test]
-    fn utilization_bounded(reqs in proptest::collection::vec((0usize..16, 0u64..200), 1..60)) {
-        let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 16);
-        let mut slots = BTreeSet::new();
-        for (i, &(node, at)) in reqs.iter().enumerate() {
-            let (_, slot) = ch.request(NodeId(node), TxLen::Normal, i as u64, Cycle(at));
-            slots.insert(slot);
-        }
-        let done = drain(&mut ch, slots);
-        let end = done.iter().map(|&(_, c)| c).max().unwrap();
-        prop_assert!(ch.stats().busy_cycles <= end.as_u64());
-        prop_assert!(ch.utilization(end) <= 1.0);
-    }
+/// Cancelled messages are never delivered; the rest still all are.
+#[test]
+fn cancelled_messages_never_deliver() {
+    check_with(
+        Config::with_cases(64),
+        "cancelled_messages_never_deliver",
+        (gen::range(2usize..40), gen::full::<u64>()),
+        |(n, cancel_mask)| {
+            let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 8);
+            let mut slots = BTreeSet::new();
+            let mut tokens = Vec::new();
+            for i in 0..n {
+                let (tok, slot) = ch.request(NodeId(i % 8), TxLen::Normal, i as u64, Cycle(0));
+                tokens.push(tok);
+                slots.insert(slot);
+            }
+            let mut cancelled = BTreeSet::new();
+            for (i, tok) in tokens.iter().enumerate() {
+                if cancel_mask >> (i % 64) & 1 == 1 && ch.cancel(*tok).is_some() {
+                    cancelled.insert(i as u64);
+                }
+            }
+            let done = drain(&mut ch, slots);
+            for &(m, _) in &done {
+                prop_assert!(!cancelled.contains(&m), "cancelled message {m} delivered");
+            }
+            prop_assert_eq!(done.len() + cancelled.len(), n);
+            Ok(())
+        },
+    );
+}
 
-    /// Tone barriers complete for any participant subset and any arrival
-    /// order, and the completion slot is within one round-robin round of
-    /// the last arrival.
-    #[test]
-    fn tone_barrier_any_arrival_order(
-        members in proptest::collection::btree_set(0usize..64, 1..32),
-        order_seed in any::<u64>()
-    ) {
-        let mut tc = ToneChannel::new(8);
-        let set: NodeSet = members.iter().map(|&m| NodeId(m)).collect();
-        tc.allocate(0x40, set).unwrap();
-        tc.activate(0x40, Cycle(0)).unwrap();
-        // Arrive in a seed-scrambled order.
-        let mut order: Vec<usize> = members.iter().copied().collect();
-        let n = order.len();
-        for i in 0..n {
-            let j = (order_seed as usize).wrapping_mul(i + 1) % n;
-            order.swap(i, j);
-        }
-        let mut all = false;
-        for (i, m) in order.iter().enumerate() {
-            prop_assert!(!all, "completed before last arrival");
-            all = tc.arrive(0x40, NodeId(*m)).unwrap();
-            let _ = i;
-        }
-        prop_assert!(all);
-        let done = tc.completion_slot(0x40, Cycle(100)).unwrap();
-        prop_assert!(done > Cycle(100));
-        prop_assert!(done <= Cycle(100 + tc.active_count() as u64));
-        tc.complete(0x40, done).unwrap();
-    }
+/// Channel busy time never exceeds elapsed time (utilization ≤ 1).
+#[test]
+fn utilization_bounded() {
+    check_with(
+        Config::with_cases(64),
+        "utilization_bounded",
+        gen::vecs((gen::range(0usize..16), gen::range(0u64..200)), 1..60),
+        |reqs| {
+            let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 16);
+            let mut slots = BTreeSet::new();
+            for (i, &(node, at)) in reqs.iter().enumerate() {
+                let (_, slot) = ch.request(NodeId(node), TxLen::Normal, i as u64, Cycle(at));
+                slots.insert(slot);
+            }
+            let done = drain(&mut ch, slots);
+            let end = done.iter().map(|&(_, c)| c).max().unwrap();
+            prop_assert!(ch.stats().busy_cycles <= end.as_u64());
+            prop_assert!(ch.utilization(end) <= 1.0);
+            Ok(())
+        },
+    );
+}
+
+/// Tone barriers complete for any participant subset and any arrival
+/// order, and the completion slot is within one round-robin round of the
+/// last arrival.
+#[test]
+fn tone_barrier_any_arrival_order() {
+    check_with(
+        Config::with_cases(64),
+        "tone_barrier_any_arrival_order",
+        (
+            gen::btree_sets(gen::range(0usize..64), 1..32),
+            gen::full::<u64>(),
+        ),
+        |(members, order_seed)| {
+            let mut tc = ToneChannel::new(8);
+            let set: NodeSet = members.iter().map(|&m| NodeId(m)).collect();
+            tc.allocate(0x40, set).unwrap();
+            tc.activate(0x40, Cycle(0)).unwrap();
+            // Arrive in a seed-scrambled order.
+            let mut order: Vec<usize> = members.iter().copied().collect();
+            let n = order.len();
+            for i in 0..n {
+                let j = (order_seed as usize).wrapping_mul(i + 1) % n;
+                order.swap(i, j);
+            }
+            let mut all = false;
+            for (i, m) in order.iter().enumerate() {
+                prop_assert!(!all, "completed before last arrival");
+                all = tc.arrive(0x40, NodeId(*m)).unwrap();
+                let _ = i;
+            }
+            prop_assert!(all);
+            let done = tc.completion_slot(0x40, Cycle(100)).unwrap();
+            prop_assert!(done > Cycle(100));
+            prop_assert!(done <= Cycle(100 + tc.active_count() as u64));
+            tc.complete(0x40, done).unwrap();
+            Ok(())
+        },
+    );
 }

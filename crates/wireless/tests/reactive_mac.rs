@@ -76,7 +76,10 @@ fn reactive_beats_exponential_on_synchronized_bursts() {
     };
     let (exp_finish, exp_collisions) = run(MacPolicy::Exponential);
     let (rea_finish, rea_collisions) = run(MacPolicy::Reactive);
-    assert!(rea_finish <= exp_finish, "reactive {rea_finish} vs exp {exp_finish}");
+    assert!(
+        rea_finish <= exp_finish,
+        "reactive {rea_finish} vs exp {exp_finish}"
+    );
     assert!(rea_collisions < exp_collisions);
     // Reactive is near the serialization lower bound (64 transfers x 5
     // cycles + the collision window).
@@ -110,6 +113,8 @@ fn reactive_machine_end_to_end_trade_off() {
     );
     // Within 2x either way: the policies trade collision cost against
     // wasted reservations.
-    assert!(rea_cycles < 2 * exp_cycles && exp_cycles < 2 * rea_cycles,
-        "reactive {rea_cycles} vs exponential {exp_cycles}");
+    assert!(
+        rea_cycles < 2 * exp_cycles && exp_cycles < 2 * rea_cycles,
+        "reactive {rea_cycles} vs exponential {exp_cycles}"
+    );
 }

@@ -174,7 +174,10 @@ impl AppWorkload {
             let jitter_span = prof.compute * prof.jitter_pct / 100;
             let compute = prof.compute - jitter_span / 2 + rng.gen_range(jitter_span.max(1));
             let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+            b.push(Instr::Li {
+                dst: Reg(11),
+                imm: 0,
+            }); // sense
             b.push(Instr::Li {
                 dst: Reg(12),
                 imm: prof.phases,

@@ -141,7 +141,9 @@ impl CasKernel {
         };
         match self.kind {
             CasKind::Add => self.load_add(m, pid, space, hot_a, &mut addr),
-            CasKind::Lifo => self.load_counter_kernel(m, pid, space, hot_a, hot_b, &mut addr, false),
+            CasKind::Lifo => {
+                self.load_counter_kernel(m, pid, space, hot_a, hot_b, &mut addr, false)
+            }
             CasKind::Fifo => self.load_counter_kernel(m, pid, space, hot_a, hot_b, &mut addr, true),
         }
         CasCheck {
@@ -222,7 +224,10 @@ impl CasKernel {
         for (tid, &pool) in pools.iter().enumerate() {
             let mut b = ProgramBuilder::new();
             // r1 = node pointer, r2 = remaining ops.
-            b.push(Instr::Li { dst: Reg(1), imm: pool });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: pool,
+            });
             b.push(Instr::Li {
                 dst: Reg(2),
                 imm: self.ops_per_thread,
@@ -307,7 +312,10 @@ impl CasKernel {
                 dst: Reg(2),
                 imm: self.ops_per_thread,
             });
-            b.push(Instr::Li { dst: Reg(9), imm: 3 }); // shift for slots
+            b.push(Instr::Li {
+                dst: Reg(9),
+                imm: 3,
+            }); // shift for slots
             let op_top = b.bind_here();
             b.push(Instr::Compute {
                 cycles: self.critical_section,
@@ -338,7 +346,10 @@ impl CasKernel {
                 a: Reg(3),
                 b: Reg(5),
             });
-            b.push(Instr::Li { dst: Reg(6), imm: 6 }); // * 64
+            b.push(Instr::Li {
+                dst: Reg(6),
+                imm: 6,
+            }); // * 64
             b.push(Instr::Shl {
                 dst: Reg(5),
                 a: Reg(5),
@@ -380,7 +391,10 @@ impl CasKernel {
                 a: Reg(3),
                 b: Reg(5),
             });
-            b.push(Instr::Li { dst: Reg(6), imm: 6 });
+            b.push(Instr::Li {
+                dst: Reg(6),
+                imm: 6,
+            });
             b.push(Instr::Shl {
                 dst: Reg(5),
                 a: Reg(5),

@@ -5,8 +5,8 @@
 use wisync_core::{Machine, MachineKind, Pid};
 use wisync_isa::{Instr, ProgramBuilder, Reg};
 use wisync_sync::{
-    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock,
-    ToneBarrierCode, TournamentBarrier,
+    Barrier, BmCentralBarrier, BmLock, CachedLock, CentralBarrier, Lock, McsLock, ToneBarrierCode,
+    TournamentBarrier,
 };
 
 use crate::addr::AddrSpace;
@@ -185,9 +185,7 @@ impl LockHandle {
     pub fn for_tid(&self, _tid: usize) -> Lock {
         match *self {
             LockHandle::Cached(l) => Lock::Cached(l),
-            LockHandle::Mcs { tail_addr, .. } => {
-                Lock::Mcs(McsLock { tail_addr }, MCS_QNODE_REG)
-            }
+            LockHandle::Mcs { tail_addr, .. } => Lock::Mcs(McsLock { tail_addr }, MCS_QNODE_REG),
             LockHandle::Bm(l) => Lock::Bm(l),
         }
     }

@@ -163,7 +163,10 @@ impl Livermore {
 
     /// Emits `dst = base_imm + idx*8` (element address computation).
     fn emit_elem_addr(b: &mut ProgramBuilder, dst: Reg, base_imm: u64, idx: Reg, scale3: Reg) {
-        b.push(Instr::Li { dst: scale3, imm: 3 });
+        b.push(Instr::Li {
+            dst: scale3,
+            imm: 3,
+        });
         b.push(Instr::Shl {
             dst,
             a: idx,
@@ -191,7 +194,10 @@ impl Livermore {
         let stages = self.n.trailing_zeros() as u64;
         for tid in 0..cores {
             let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+            b.push(Instr::Li {
+                dst: Reg(11),
+                imm: 0,
+            }); // sense
             let mut src = buf_a;
             let mut dst_buf = buf_b;
             for s in 0..stages {
@@ -202,7 +208,10 @@ impl Livermore {
                     dst: Reg(1),
                     imm: tid as u64,
                 });
-                b.push(Instr::Li { dst: Reg(2), imm: items });
+                b.push(Instr::Li {
+                    dst: Reg(2),
+                    imm: items,
+                });
                 let loop_top = b.label();
                 let loop_end = b.label();
                 b.bind(loop_top);
@@ -287,19 +296,28 @@ impl Livermore {
         }
         for tid in 0..cores {
             let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+            b.push(Instr::Li {
+                dst: Reg(11),
+                imm: 0,
+            }); // sense
             b.push(Instr::Li {
                 dst: Reg(12),
                 imm: self.reps,
             });
             let rep_top = b.bind_here();
             // q = 0; for k = tid; k < n; k += T: q += x[k]*z[k].
-            b.push(Instr::Li { dst: Reg(4), imm: 0 });
+            b.push(Instr::Li {
+                dst: Reg(4),
+                imm: 0,
+            });
             b.push(Instr::Li {
                 dst: Reg(1),
                 imm: tid as u64,
             });
-            b.push(Instr::Li { dst: Reg(2), imm: self.n });
+            b.push(Instr::Li {
+                dst: Reg(2),
+                imm: self.n,
+            });
             let loop_top = b.label();
             let loop_end = b.label();
             b.bind(loop_top);
@@ -409,10 +427,19 @@ impl Livermore {
         let partials = addr.bytes(t * 64);
         for tid in 0..cores {
             let mut b = ProgramBuilder::new();
-            b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
-            // r12 = i (outer), runs 0..n.
-            b.push(Instr::Li { dst: Reg(12), imm: 0 });
-            b.push(Instr::Li { dst: Reg(13), imm: self.n });
+            b.push(Instr::Li {
+                dst: Reg(11),
+                imm: 0,
+            }); // sense
+                // r12 = i (outer), runs 0..n.
+            b.push(Instr::Li {
+                dst: Reg(12),
+                imm: 0,
+            });
+            b.push(Instr::Li {
+                dst: Reg(13),
+                imm: self.n,
+            });
             let outer_top = b.label();
             let outer_end = b.label();
             b.bind(outer_top);
@@ -426,7 +453,10 @@ impl Livermore {
                 target: outer_end,
             });
             // partial = sum of w[k] for k = tid; k < i; k += T.
-            b.push(Instr::Li { dst: Reg(4), imm: 0 });
+            b.push(Instr::Li {
+                dst: Reg(4),
+                imm: 0,
+            });
             b.push(Instr::Li {
                 dst: Reg(1),
                 imm: tid as u64,
@@ -471,7 +501,10 @@ impl Livermore {
             barrier.for_tid(tid).emit(&mut b, Reg(11));
             if tid == 0 {
                 // w[i] = 1 + sum(partials).
-                b.push(Instr::Li { dst: Reg(5), imm: 1 });
+                b.push(Instr::Li {
+                    dst: Reg(5),
+                    imm: 1,
+                });
                 for other in 0..cores {
                     b.push(Instr::Ld {
                         dst: Reg(6),

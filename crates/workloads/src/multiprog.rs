@@ -85,7 +85,15 @@ impl MultiprogramMix {
         let mut addr = AddrSpace::new();
         for (i, slice) in self.slices.iter().enumerate() {
             let pid = Pid(i as u32 + 1);
-            load_on_cores(m, pid, slice.profile, first_core, slice.cores, &mut addr, self.seed);
+            load_on_cores(
+                m,
+                pid,
+                slice.profile,
+                first_core,
+                slice.cores,
+                &mut addr,
+                self.seed,
+            );
             first_core += slice.cores;
         }
     }
@@ -135,7 +143,10 @@ pub(crate) fn load_on_cores(
         let jitter_span = prof.compute * prof.jitter_pct / 100;
         let compute = prof.compute - jitter_span / 2 + rng.gen_range(jitter_span.max(1));
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // sense
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        }); // sense
         b.push(Instr::Li {
             dst: Reg(12),
             imm: prof.phases,
@@ -189,8 +200,14 @@ mod tests {
     fn mix_runs_on_all_kinds() {
         for kind in MachineKind::all() {
             let mix = MultiprogramMix::new(vec![
-                Slice { profile: small("streamcluster", 4), cores: 8 },
-                Slice { profile: small("fft", 2), cores: 4 },
+                Slice {
+                    profile: small("streamcluster", 4),
+                    cores: 8,
+                },
+                Slice {
+                    profile: small("fft", 2),
+                    cores: 4,
+                },
             ]);
             let mut m = Machine::new(MachineConfig::for_kind(kind, 16));
             let finishes = mix.run(&mut m, 10_000_000_000);
@@ -202,9 +219,18 @@ mod tests {
     #[test]
     fn slices_use_distinct_pids_and_do_not_fault() {
         let mix = MultiprogramMix::new(vec![
-            Slice { profile: small("radiosity", 1), cores: 6 },
-            Slice { profile: small("volrend", 1), cores: 6 },
-            Slice { profile: small("blacksholes", 1), cores: 4 },
+            Slice {
+                profile: small("radiosity", 1),
+                cores: 6,
+            },
+            Slice {
+                profile: small("volrend", 1),
+                cores: 6,
+            },
+            Slice {
+                profile: small("blacksholes", 1),
+                cores: 4,
+            },
         ]);
         assert_eq!(mix.cores_needed(), 16);
         let mut m = Machine::new(MachineConfig::wisync(16));
@@ -227,8 +253,14 @@ mod tests {
         };
         let colocated = {
             let mix = MultiprogramMix::new(vec![
-                Slice { profile: small("streamcluster", 40), cores: 8 },
-                Slice { profile: small("radiosity", 2), cores: 8 },
+                Slice {
+                    profile: small("streamcluster", 40),
+                    cores: 8,
+                },
+                Slice {
+                    profile: small("radiosity", 2),
+                    cores: 8,
+                },
             ]);
             let mut m = Machine::new(MachineConfig::wisync(16));
             mix.run(&mut m, 10_000_000_000)[0]

@@ -77,11 +77,23 @@ impl EurekaSearch {
         for tid in 0..m.config().cores {
             let mut b = ProgramBuilder::new();
             // r1 = current key index, r2 = space, r3 = target.
-            b.push(Instr::Li { dst: Reg(1), imm: tid as u64 });
-            b.push(Instr::Li { dst: Reg(2), imm: self.space });
-            b.push(Instr::Li { dst: Reg(3), imm: self.target_index });
+            b.push(Instr::Li {
+                dst: Reg(1),
+                imm: tid as u64,
+            });
+            b.push(Instr::Li {
+                dst: Reg(2),
+                imm: self.space,
+            });
+            b.push(Instr::Li {
+                dst: Reg(3),
+                imm: self.target_index,
+            });
             // r4 = keys left in the current quantum.
-            b.push(Instr::Li { dst: Reg(4), imm: self.quantum });
+            b.push(Instr::Li {
+                dst: Reg(4),
+                imm: self.quantum,
+            });
             let outer = b.label();
             let check_key = b.label();
             let poll = b.label();
@@ -89,35 +101,74 @@ impl EurekaSearch {
             let found = b.label();
             b.bind(outer);
             // Done with my range? Then just wait for someone's eureka.
-            b.push(Instr::CmpLt { dst: Reg(5), a: Reg(1), b: Reg(2) });
-            b.push(Instr::Beqz { cond: Reg(5), target: poll });
+            b.push(Instr::CmpLt {
+                dst: Reg(5),
+                a: Reg(1),
+                b: Reg(2),
+            });
+            b.push(Instr::Beqz {
+                cond: Reg(5),
+                target: poll,
+            });
             b.bind(check_key);
-            b.push(Instr::Compute { cycles: self.per_key.max(1) });
-            b.push(Instr::CmpEq { dst: Reg(5), a: Reg(1), b: Reg(3) });
-            b.push(Instr::Bnez { cond: Reg(5), target: found });
-            b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: cores });
-            b.push(Instr::Addi { dst: Reg(4), a: Reg(4), imm: u64::MAX });
-            b.push(Instr::Bnez { cond: Reg(4), target: outer });
+            b.push(Instr::Compute {
+                cycles: self.per_key.max(1),
+            });
+            b.push(Instr::CmpEq {
+                dst: Reg(5),
+                a: Reg(1),
+                b: Reg(3),
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(5),
+                target: found,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(1),
+                a: Reg(1),
+                imm: cores,
+            });
+            b.push(Instr::Addi {
+                dst: Reg(4),
+                a: Reg(4),
+                imm: u64::MAX,
+            });
+            b.push(Instr::Bnez {
+                cond: Reg(4),
+                target: outer,
+            });
             // Quantum exhausted: poll the eureka flag, then continue.
-            b.push(Instr::Li { dst: Reg(4), imm: self.quantum });
+            b.push(Instr::Li {
+                dst: Reg(4),
+                imm: self.quantum,
+            });
             b.push(Instr::Ld {
                 dst: Reg(6),
                 base: Reg(0),
                 offset: flag_addr,
                 space: flag_space,
             });
-            b.push(Instr::Bnez { cond: Reg(6), target: stop });
+            b.push(Instr::Bnez {
+                cond: Reg(6),
+                target: stop,
+            });
             b.push(Instr::Jump { target: outer });
             // Found it: record myself and raise the eureka.
             b.bind(found);
-            b.push(Instr::Li { dst: Reg(7), imm: tid as u64 });
+            b.push(Instr::Li {
+                dst: Reg(7),
+                imm: tid as u64,
+            });
             b.push(Instr::St {
                 src: Reg(7),
                 base: Reg(0),
                 offset: found_by,
                 space: Space::Cached,
             });
-            b.push(Instr::Li { dst: Reg(7), imm: 1 });
+            b.push(Instr::Li {
+                dst: Reg(7),
+                imm: 1,
+            });
             b.push(Instr::St {
                 src: Reg(7),
                 base: Reg(0),
@@ -193,7 +244,10 @@ mod tests {
         };
         let early = run(5);
         let late = run(7_995);
-        assert!(early * 5 < late, "eureka cuts work: early {early}, late {late}");
+        assert!(
+            early * 5 < late,
+            "eureka cuts work: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -212,11 +266,7 @@ mod tests {
             s.load(&mut m);
             let r = m.run(2_000_000_000);
             assert_eq!(r.outcome, RunOutcome::Completed);
-            let finishes: Vec<u64> = r
-                .core_finish
-                .iter()
-                .map(|f| f.unwrap().as_u64())
-                .collect();
+            let finishes: Vec<u64> = r.core_finish.iter().map(|f| f.unwrap().as_u64()).collect();
             let first = finishes.iter().min().unwrap();
             let last = finishes.iter().max().unwrap();
             last - first

@@ -68,11 +68,20 @@ impl TightLoop {
                 dst: Reg(1),
                 imm: self.iters,
             });
-            b.push(Instr::Li { dst: Reg(11), imm: 0 });
+            b.push(Instr::Li {
+                dst: Reg(11),
+                imm: 0,
+            });
             let top = b.bind_here();
             // Sum the private array: r4 = sum, r3 = element address.
-            b.push(Instr::Li { dst: Reg(4), imm: 0 });
-            b.push(Instr::Li { dst: Reg(3), imm: base });
+            b.push(Instr::Li {
+                dst: Reg(4),
+                imm: 0,
+            });
+            b.push(Instr::Li {
+                dst: Reg(3),
+                imm: base,
+            });
             b.push(Instr::Li {
                 dst: Reg(5),
                 imm: base + array_bytes,

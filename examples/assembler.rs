@@ -45,7 +45,11 @@ fn main() {
     let r = m.run(100_000);
     assert_eq!(r.outcome, RunOutcome::Completed);
 
-    println!("counter = {} (expected {})", m.bm_value(pid, counter).unwrap(), 10 + 11 + 12 + 13);
+    println!(
+        "counter = {} (expected {})",
+        m.bm_value(pid, counter).unwrap(),
+        10 + 11 + 12 + 13
+    );
     println!();
     println!("wireless timeline:");
     print!("{}", m.trace().expect("tracing enabled").render());

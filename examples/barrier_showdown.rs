@@ -16,7 +16,10 @@ use wisync::workloads::TightLoop;
 fn main() {
     let iters = 20;
     println!("TightLoop: cycles per iteration (lower is better)");
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync"
+    );
     for cores in [16usize, 32, 64, 128] {
         let mut row = format!("{cores:<8}");
         for kind in MachineKind::all() {

@@ -21,9 +21,18 @@ fn main() {
     fft.phases = 3;
 
     let mix = MultiprogramMix::new(vec![
-        Slice { profile: stream, cores: 24 },
-        Slice { profile: ray, cores: 24 },
-        Slice { profile: fft, cores: 16 },
+        Slice {
+            profile: stream,
+            cores: 24,
+        },
+        Slice {
+            profile: ray,
+            cores: 24,
+        },
+        Slice {
+            profile: fft,
+            cores: 16,
+        },
     ]);
 
     let mut m = Machine::new(MachineConfig::wisync(64));
@@ -39,8 +48,12 @@ fn main() {
     }
     let s = m.stats();
     println!();
-    println!("shared Data channel : {} transfers, {} collisions, {:.2}% utilization",
-        s.data.transfers, s.data.collisions, 100.0 * s.data_utilization);
+    println!(
+        "shared Data channel : {} transfers, {} collisions, {:.2}% utilization",
+        s.data.transfers,
+        s.data.collisions,
+        100.0 * s.data_utilization
+    );
     println!("tone barriers       : {}", s.tone_barriers);
     println!("protection faults   : {}", s.faults.len());
     assert!(s.faults.is_empty());

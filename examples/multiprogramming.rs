@@ -33,8 +33,14 @@ fn main() {
     let barrier_a = ToneBarrierCode { flag_vaddr: flag_a };
     for tid in 0..8 {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(11), imm: 0 });
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
         red_a.emit_add(&mut b, Reg(1));
         barrier_a.emit(&mut b, Reg(11));
         b.push(Instr::Halt);
@@ -44,7 +50,10 @@ fn main() {
     let red_b = Reduction { acc_vaddr: acc_b };
     for tid in 8..16 {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(1), imm: 10 });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 10,
+        });
         red_b.emit_add(&mut b, Reg(1));
         b.push(Instr::Halt);
         m.load_program(tid, pid_b, b.build().unwrap());

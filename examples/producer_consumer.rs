@@ -27,7 +27,10 @@ fn run_wisync() -> u64 {
     };
     let producer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: ROUNDS });
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: ROUNDS,
+        });
         let top = b.bind_here();
         for k in 0..4u8 {
             b.push(Instr::Addi {
@@ -37,22 +40,46 @@ fn run_wisync() -> u64 {
             });
         }
         pc.emit_produce(&mut b, Reg(4));
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         b.push(Instr::Halt);
         b.build().unwrap()
     };
     let consumer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: ROUNDS });
-        b.push(Instr::Li { dst: Reg(9), imm: 0 }); // checksum
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: ROUNDS,
+        });
+        b.push(Instr::Li {
+            dst: Reg(9),
+            imm: 0,
+        }); // checksum
         let top = b.bind_here();
         pc.emit_consume(&mut b, Reg(4));
         for k in 0..4u8 {
-            b.push(Instr::Add { dst: Reg(9), a: Reg(9), b: Reg(4 + k) });
+            b.push(Instr::Add {
+                dst: Reg(9),
+                a: Reg(9),
+                b: Reg(4 + k),
+            });
         }
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         b.push(Instr::Halt);
         b.build().unwrap()
     };
@@ -72,7 +99,10 @@ fn run_baseline() -> u64 {
     let flag = 0x2000u64;
     let producer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: ROUNDS });
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: ROUNDS,
+        });
         let top = b.bind_here();
         b.push(Instr::WaitWhile {
             cond: Cond::Ne,
@@ -94,18 +124,42 @@ fn run_baseline() -> u64 {
                 space: Space::Cached,
             });
         }
-        b.push(Instr::Li { dst: Reg(5), imm: 1 });
-        b.push(Instr::St { src: Reg(5), base: Reg(0), offset: flag, space: Space::Cached });
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::Li {
+            dst: Reg(5),
+            imm: 1,
+        });
+        b.push(Instr::St {
+            src: Reg(5),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Cached,
+        });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         b.push(Instr::Halt);
         b.build().unwrap()
     };
     let consumer = {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(2), imm: ROUNDS });
-        b.push(Instr::Li { dst: Reg(9), imm: 0 });
-        b.push(Instr::Li { dst: Reg(10), imm: 1 });
+        b.push(Instr::Li {
+            dst: Reg(2),
+            imm: ROUNDS,
+        });
+        b.push(Instr::Li {
+            dst: Reg(9),
+            imm: 0,
+        });
+        b.push(Instr::Li {
+            dst: Reg(10),
+            imm: 1,
+        });
         let top = b.bind_here();
         b.push(Instr::WaitWhile {
             cond: Cond::Ne,
@@ -121,11 +175,27 @@ fn run_baseline() -> u64 {
                 offset: data + 8 * k as u64,
                 space: Space::Cached,
             });
-            b.push(Instr::Add { dst: Reg(9), a: Reg(9), b: Reg(4) });
+            b.push(Instr::Add {
+                dst: Reg(9),
+                a: Reg(9),
+                b: Reg(4),
+            });
         }
-        b.push(Instr::St { src: Reg(0), base: Reg(0), offset: flag, space: Space::Cached });
-        b.push(Instr::Addi { dst: Reg(2), a: Reg(2), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(2), target: top });
+        b.push(Instr::St {
+            src: Reg(0),
+            base: Reg(0),
+            offset: flag,
+            space: Space::Cached,
+        });
+        b.push(Instr::Addi {
+            dst: Reg(2),
+            a: Reg(2),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(2),
+            target: top,
+        });
         b.push(Instr::Halt);
         b.build().unwrap()
     };

@@ -28,7 +28,10 @@ fn main() {
     // global accumulator, then synchronize in a tone barrier.
     for tid in 0..cores {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(11), imm: 0 }); // barrier sense
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        }); // barrier sense
         b.push(Instr::Compute {
             cycles: 100 + 3 * tid as u64,
         });
@@ -80,9 +83,6 @@ fn main() {
         s.data.latency.mean()
     );
     println!("tone barriers completed : {}", s.tone_barriers);
-    println!(
-        "RMW atomicity failures  : {}",
-        s.bm_rmw_atomicity_failures
-    );
+    println!("RMW atomicity failures  : {}", s.bm_rmw_atomicity_failures);
     println!("kernel instructions     : {}", s.instructions);
 }

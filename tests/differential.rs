@@ -3,10 +3,11 @@
 //! data plus commutative atomics) their final architectural state must be
 //! identical, whatever the timing model does.
 
-use proptest::prelude::*;
 use wisync::core::{Machine, MachineConfig, Pid, RunOutcome};
 use wisync::isa::interp::{ArchSim, RunOutcome as ArchOutcome};
 use wisync::isa::{Instr, Program, ProgramBuilder, Reg, RmwSpec, Space};
+use wisync_testkit::gen::{self, BoxedGen, Gen};
+use wisync_testkit::{check_with, prop_assert_eq, Config, PropResult};
 
 const PID: Pid = Pid(1);
 
@@ -24,13 +25,20 @@ enum Step {
     Compute { cycles: u8 },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..4, 1u8..10).prop_map(|(slot, k)| Step::PrivateAccum { slot, k }),
-        (0u8..3, 1u8..10).prop_map(|(word, k)| Step::SharedAdd { word, k }),
-        (1u8..20).prop_map(|k| Step::Alu { k }),
-        (1u8..50).prop_map(|cycles| Step::Compute { cycles }),
-    ]
+fn step_gen() -> BoxedGen<Step> {
+    gen::one_of(vec![
+        (gen::range(0u8..4), gen::range(1u8..10))
+            .map(|(slot, k)| Step::PrivateAccum { slot, k })
+            .boxed(),
+        (gen::range(0u8..3), gen::range(1u8..10))
+            .map(|(word, k)| Step::SharedAdd { word, k })
+            .boxed(),
+        gen::range(1u8..20).map(|k| Step::Alu { k }).boxed(),
+        gen::range(1u8..50)
+            .map(|cycles| Step::Compute { cycles })
+            .boxed(),
+    ])
+    .boxed()
 }
 
 /// Compiles a thread's steps. `shared` maps word index -> BM vaddr;
@@ -101,63 +109,126 @@ fn compile(steps: &[Step], shared: &[u64; 3], private_base: u64) -> Program {
     b.build().expect("generated program builds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// The differential property itself, shared by the generated-case runner
+/// and the pinned regression cases below.
+fn machine_and_archsim_agree(threads: &[Vec<Step>], arch_seed: u64) -> PropResult {
+    // --- Timed machine -------------------------------------------
+    let mut m = Machine::new(MachineConfig::wisync(16));
+    let shared = [
+        m.bm_alloc(PID, 1).unwrap(),
+        m.bm_alloc(PID, 1).unwrap(),
+        m.bm_alloc(PID, 1).unwrap(),
+    ];
+    let private_base = |tid: usize| 0x10_0000 + tid as u64 * 0x1000;
+    let programs: Vec<Program> = threads
+        .iter()
+        .enumerate()
+        .map(|(tid, steps)| compile(steps, &shared, private_base(tid)))
+        .collect();
+    for (tid, prog) in programs.iter().enumerate() {
+        m.load_program(tid, PID, prog.clone());
+    }
+    let r = m.run(100_000_000);
+    prop_assert_eq!(r.outcome, RunOutcome::Completed);
 
-    #[test]
-    fn machine_and_archsim_agree_on_race_free_programs(
-        threads in proptest::collection::vec(
-            proptest::collection::vec(step_strategy(), 1..25),
-            1..6
-        ),
-        arch_seed in any::<u64>()
-    ) {
-        // --- Timed machine -------------------------------------------
-        let mut m = Machine::new(MachineConfig::wisync(16));
-        let shared = [
-            m.bm_alloc(PID, 1).unwrap(),
-            m.bm_alloc(PID, 1).unwrap(),
-            m.bm_alloc(PID, 1).unwrap(),
-        ];
-        let private_base = |tid: usize| 0x10_0000 + tid as u64 * 0x1000;
-        let programs: Vec<Program> = threads
-            .iter()
-            .enumerate()
-            .map(|(tid, steps)| compile(steps, &shared, private_base(tid)))
-            .collect();
-        for (tid, prog) in programs.iter().enumerate() {
-            m.load_program(tid, PID, prog.clone());
-        }
-        let r = m.run(100_000_000);
-        prop_assert_eq!(r.outcome, RunOutcome::Completed);
+    // --- Architectural interpreter --------------------------------
+    let mut sim = ArchSim::new(programs, arch_seed);
+    prop_assert_eq!(sim.run(10_000_000), ArchOutcome::AllHalted);
 
-        // --- Architectural interpreter --------------------------------
-        let mut sim = ArchSim::new(programs, arch_seed);
-        prop_assert_eq!(sim.run(10_000_000), ArchOutcome::AllHalted);
-
-        // --- Compare final state ---------------------------------------
-        for (w, &vaddr) in shared.iter().enumerate() {
+    // --- Compare final state ---------------------------------------
+    for (w, &vaddr) in shared.iter().enumerate() {
+        prop_assert_eq!(
+            m.bm_value(PID, vaddr).unwrap(),
+            sim.bm(vaddr),
+            "shared word {}",
+            w
+        );
+    }
+    for tid in 0..threads.len() {
+        for slot in 0..4u64 {
+            let addr = private_base(tid) + slot * 64;
             prop_assert_eq!(
-                m.bm_value(PID, vaddr).unwrap(),
-                sim.bm(vaddr),
-                "shared word {}", w
+                m.mem_value(addr),
+                sim.mem(addr),
+                "thread {} slot {}",
+                tid,
+                slot
             );
         }
-        for tid in 0..threads.len() {
-            for slot in 0..4u64 {
-                let addr = private_base(tid) + slot * 64;
-                prop_assert_eq!(
-                    m.mem_value(addr),
-                    sim.mem(addr),
-                    "thread {} slot {}", tid, slot
-                );
-            }
-            // Deterministic registers agree too. (r3 holds fetch&add's
-            // old value and r4 the AFB — both legitimately depend on the
-            // cross-thread interleaving, so they are excluded.)
-            for r in [1u8, 2, 5, 6] {
-                prop_assert_eq!(m.reg(tid, Reg(r)), sim.reg(tid, r), "t{} r{}", tid, r);
-            }
+        // Deterministic registers agree too. (r3 holds fetch&add's old
+        // value and r4 the AFB — both legitimately depend on the
+        // cross-thread interleaving, so they are excluded.)
+        for r in [1u8, 2, 5, 6] {
+            prop_assert_eq!(m.reg(tid, Reg(r)), sim.reg(tid, r), "t{} r{}", tid, r);
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn machine_and_archsim_agree_on_race_free_programs() {
+    check_with(
+        Config::with_cases(32),
+        "machine_and_archsim_agree_on_race_free_programs",
+        (
+            gen::vecs(gen::vecs(step_gen(), 1..25), 1..6),
+            gen::full::<u64>(),
+        ),
+        |(threads, arch_seed)| machine_and_archsim_agree(&threads, arch_seed),
+    );
+}
+
+/// Regression cases pinned from past failures.
+///
+/// The first was found by proptest before the workspace went hermetic
+/// (it lived in `differential.proptest-regressions`): two threads whose
+/// private accumulations bracket a shared fetch&add exposed a
+/// machine/interpreter divergence. Re-encoded here as an explicit case
+/// so the history survives without the proptest file format.
+#[test]
+fn regression_private_accum_brackets_shared_add() {
+    use Step::{PrivateAccum, SharedAdd};
+    let threads = vec![
+        vec![
+            PrivateAccum { slot: 0, k: 1 },
+            PrivateAccum { slot: 1, k: 1 },
+            SharedAdd { word: 0, k: 1 },
+        ],
+        vec![PrivateAccum { slot: 0, k: 1 }, SharedAdd { word: 0, k: 1 }],
+    ];
+    let arch_seed = 2866449597116744930;
+    if let Err(f) = machine_and_archsim_agree(&threads, arch_seed) {
+        panic!("regression case failed: {}", f.message);
+    }
+}
+
+/// The same regression shape at full machine width, plus a degenerate
+/// single-thread case — cheap, deterministic corner pins.
+#[test]
+fn regression_corner_cases() {
+    use Step::{Alu, Compute, PrivateAccum, SharedAdd};
+    let cases: Vec<(Vec<Vec<Step>>, u64)> = vec![
+        // One thread, one step of each kind.
+        (
+            vec![vec![
+                PrivateAccum { slot: 3, k: 9 },
+                SharedAdd { word: 2, k: 9 },
+                Alu { k: 19 },
+                Compute { cycles: 49 },
+            ]],
+            0,
+        ),
+        // Five threads all hammering the same shared word.
+        (
+            (0..5)
+                .map(|_| vec![SharedAdd { word: 1, k: 3 }; 4])
+                .collect(),
+            u64::MAX,
+        ),
+    ];
+    for (threads, arch_seed) in cases {
+        if let Err(f) = machine_and_archsim_agree(&threads, arch_seed) {
+            panic!("corner case {threads:?} failed: {}", f.message);
         }
     }
 }

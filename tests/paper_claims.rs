@@ -22,8 +22,14 @@ fn fig7_ordering_and_magnitude_at_64_cores() {
         wisync < not && not < plus && plus < base,
         "ordering: {wisync} {not} {plus} {base}"
     );
-    assert!(plus >= 8 * wisync, "~1 order vs Baseline+: {plus} vs {wisync}");
-    assert!(base >= 20 * wisync, "large gap vs Baseline: {base} vs {wisync}");
+    assert!(
+        plus >= 8 * wisync,
+        "~1 order vs Baseline+: {plus} vs {wisync}"
+    );
+    assert!(
+        base >= 20 * wisync,
+        "large gap vs Baseline: {base} vs {wisync}"
+    );
     // WiSyncNoT within the paper's 2-6x of WiSync.
     assert!(not >= 2 * wisync && not <= 12 * wisync);
 }
@@ -54,7 +60,10 @@ fn fig8_gains_shrink_with_vector_length() {
     let small = ratio(16);
     let large = ratio(8192);
     assert!(small > 1.5, "visible gain at n=16: {small:.2}");
-    assert!(large < small * 0.7, "gain shrinks: {small:.2} -> {large:.2}");
+    assert!(
+        large < small * 0.7,
+        "gain shrinks: {small:.2} -> {large:.2}"
+    );
     assert!(large < 1.35, "near parity at n=8192: {large:.2}");
 }
 

@@ -24,15 +24,33 @@ fn multiprogrammed_mixed_workloads() {
     let barrier = ToneBarrierCode { flag_vaddr: flag_a };
     for tid in 0..8 {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(11), imm: 0 });
-        b.push(Instr::Li { dst: Reg(9), imm: 3 }); // 3 rounds
+        b.push(Instr::Li {
+            dst: Reg(11),
+            imm: 0,
+        });
+        b.push(Instr::Li {
+            dst: Reg(9),
+            imm: 3,
+        }); // 3 rounds
         let top = b.bind_here();
-        b.push(Instr::Compute { cycles: 50 + tid as u64 });
-        b.push(Instr::Li { dst: Reg(1), imm: 1 });
+        b.push(Instr::Compute {
+            cycles: 50 + tid as u64,
+        });
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 1,
+        });
         red.emit_add(&mut b, Reg(1));
         barrier.emit(&mut b, Reg(11));
-        b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(9), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(9),
+            a: Reg(9),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(9),
+            target: top,
+        });
         b.push(Instr::Halt);
         m.load_program(tid, pid_a, b.build().unwrap());
     }
@@ -42,15 +60,39 @@ fn multiprogrammed_mixed_workloads() {
     let counter = 0x9000u64;
     for tid in 8..16 {
         let mut b = ProgramBuilder::new();
-        b.push(Instr::Li { dst: Reg(9), imm: 5 });
+        b.push(Instr::Li {
+            dst: Reg(9),
+            imm: 5,
+        });
         let top = b.bind_here();
         lock.emit_acquire(&mut b);
-        b.push(Instr::Ld { dst: Reg(1), base: Reg(0), offset: counter, space: Space::Cached });
-        b.push(Instr::Addi { dst: Reg(1), a: Reg(1), imm: 1 });
-        b.push(Instr::St { src: Reg(1), base: Reg(0), offset: counter, space: Space::Cached });
+        b.push(Instr::Ld {
+            dst: Reg(1),
+            base: Reg(0),
+            offset: counter,
+            space: Space::Cached,
+        });
+        b.push(Instr::Addi {
+            dst: Reg(1),
+            a: Reg(1),
+            imm: 1,
+        });
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: counter,
+            space: Space::Cached,
+        });
         lock.emit_release(&mut b);
-        b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
-        b.push(Instr::Bnez { cond: Reg(9), target: top });
+        b.push(Instr::Addi {
+            dst: Reg(9),
+            a: Reg(9),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(9),
+            target: top,
+        });
         b.push(Instr::Halt);
         m.load_program(tid, pid_b, b.build().unwrap());
     }
@@ -83,37 +125,85 @@ fn pipelined_producer_consumer_chain() {
 
     // Stage 0 (core 0): produce 1..=rounds into ch1.
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(9), imm: rounds });
-    b.push(Instr::Li { dst: Reg(3), imm: 0 });
+    b.push(Instr::Li {
+        dst: Reg(9),
+        imm: rounds,
+    });
+    b.push(Instr::Li {
+        dst: Reg(3),
+        imm: 0,
+    });
     let top = b.bind_here();
-    b.push(Instr::Addi { dst: Reg(3), a: Reg(3), imm: 1 });
+    b.push(Instr::Addi {
+        dst: Reg(3),
+        a: Reg(3),
+        imm: 1,
+    });
     ch1.emit_produce(&mut b, Reg(3));
-    b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
-    b.push(Instr::Bnez { cond: Reg(9), target: top });
+    b.push(Instr::Addi {
+        dst: Reg(9),
+        a: Reg(9),
+        imm: u64::MAX,
+    });
+    b.push(Instr::Bnez {
+        cond: Reg(9),
+        target: top,
+    });
     b.push(Instr::Halt);
     m.load_program(0, pid, b.build().unwrap());
 
     // Stage 1 (core 7): consume ch1, double, produce into ch2.
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(9), imm: rounds });
+    b.push(Instr::Li {
+        dst: Reg(9),
+        imm: rounds,
+    });
     let top = b.bind_here();
     ch1.emit_consume(&mut b, Reg(4));
-    b.push(Instr::Add { dst: Reg(4), a: Reg(4), b: Reg(4) });
+    b.push(Instr::Add {
+        dst: Reg(4),
+        a: Reg(4),
+        b: Reg(4),
+    });
     ch2.emit_produce(&mut b, Reg(4));
-    b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
-    b.push(Instr::Bnez { cond: Reg(9), target: top });
+    b.push(Instr::Addi {
+        dst: Reg(9),
+        a: Reg(9),
+        imm: u64::MAX,
+    });
+    b.push(Instr::Bnez {
+        cond: Reg(9),
+        target: top,
+    });
     b.push(Instr::Halt);
     m.load_program(7, pid, b.build().unwrap());
 
     // Stage 2 (core 15): consume ch2 and accumulate.
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(9), imm: rounds });
-    b.push(Instr::Li { dst: Reg(5), imm: 0 });
+    b.push(Instr::Li {
+        dst: Reg(9),
+        imm: rounds,
+    });
+    b.push(Instr::Li {
+        dst: Reg(5),
+        imm: 0,
+    });
     let top = b.bind_here();
     ch2.emit_consume(&mut b, Reg(4));
-    b.push(Instr::Add { dst: Reg(5), a: Reg(5), b: Reg(4) });
-    b.push(Instr::Addi { dst: Reg(9), a: Reg(9), imm: u64::MAX });
-    b.push(Instr::Bnez { cond: Reg(9), target: top });
+    b.push(Instr::Add {
+        dst: Reg(5),
+        a: Reg(5),
+        b: Reg(4),
+    });
+    b.push(Instr::Addi {
+        dst: Reg(9),
+        a: Reg(9),
+        imm: u64::MAX,
+    });
+    b.push(Instr::Bnez {
+        cond: Reg(9),
+        target: top,
+    });
     b.push(Instr::Halt);
     m.load_program(15, pid, b.build().unwrap());
 
@@ -159,7 +249,10 @@ fn tone_table_exhaustion_fallback_end_to_end() {
     let cycles = TightLoop::new(5).run_cycles_per_iter(&mut m, 1_000_000_000);
     assert!(cycles > 0);
     assert_eq!(m.stats().tone_barriers, 0, "no tone barriers available");
-    assert!(m.stats().data.transfers > 0, "barrier ran on the Data channel");
+    assert!(
+        m.stats().data.transfers > 0,
+        "barrier ran on the Data channel"
+    );
 }
 
 /// Context-switch rule of §5.2: Data-channel state survives a thread
@@ -172,15 +265,26 @@ fn migration_sees_consistent_bm() {
     let addr = m.bm_alloc(pid, 1).unwrap();
     // Phase 1: core 2 writes.
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(1), imm: 1234 });
-    b.push(Instr::St { src: Reg(1), base: Reg(0), offset: addr, space: Space::Bm });
+    b.push(Instr::Li {
+        dst: Reg(1),
+        imm: 1234,
+    });
+    b.push(Instr::St {
+        src: Reg(1),
+        base: Reg(0),
+        offset: addr,
+        space: Space::Bm,
+    });
     b.push(Instr::Halt);
     m.load_program(2, pid, b.build().unwrap());
     assert_eq!(m.run(10_000).outcome, RunOutcome::Completed);
     // Phase 2: the "migrated" thread resumes on core 9 and reads its
     // state from the local replica.
     let mut b = ProgramBuilder::new();
-    b.push(Instr::Li { dst: Reg(2), imm: 1234 });
+    b.push(Instr::Li {
+        dst: Reg(2),
+        imm: 1234,
+    });
     b.push(Instr::WaitWhile {
         cond: Cond::Ne,
         base: Reg(0),
@@ -188,7 +292,12 @@ fn migration_sees_consistent_bm() {
         value: Reg(2),
         space: Space::Bm,
     });
-    b.push(Instr::Ld { dst: Reg(3), base: Reg(0), offset: addr, space: Space::Bm });
+    b.push(Instr::Ld {
+        dst: Reg(3),
+        base: Reg(0),
+        offset: addr,
+        space: Space::Bm,
+    });
     b.push(Instr::Halt);
     m.load_program(9, pid, b.build().unwrap());
     assert_eq!(m.run(100_000).outcome, RunOutcome::Completed);
