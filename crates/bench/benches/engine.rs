@@ -3,14 +3,32 @@
 //!
 //! Runs on the in-repo `wisync-testkit` harness; timings land in
 //! `results/bench_engine.json`.
+//!
+//! The `steady_state` pair measures the event queue on the machine's
+//! actual event distribution — a bounded population of in-flight events
+//! whose deltas are the model's dominant 2–110-cycle latencies plus
+//! occasional backoff waits up to 1024 cycles — once on the production
+//! timing wheel and once on the heap-based [`ReferenceEventQueue`], so
+//! the wheel-vs-heap ratio is visible in every report.
 
 use std::hint::black_box;
 
 use wisync_mem::{MemConfig, MemOp, MemSystem};
 use wisync_noc::{Mesh, NodeId};
-use wisync_sim::{Cycle, DetRng, EventQueue};
+use wisync_sim::{Cycle, DetRng, EventQueue, ReferenceEventQueue};
 use wisync_testkit::{BenchConfig, Harness};
 use wisync_wireless::{DataChannel, Resolution, TxLen, WirelessConfig};
+
+/// One event-latency draw from the machine's dominant distribution:
+/// mostly short memory/wireless round-trips, occasionally an
+/// exponential-backoff wait.
+fn latency_draw(rng: &mut DetRng) -> u64 {
+    if rng.gen_range(16) == 0 {
+        1 + rng.gen_range(1024)
+    } else {
+        2 + rng.gen_range(108)
+    }
+}
 
 fn main() {
     let mut h = Harness::new("engine").with_config(BenchConfig {
@@ -34,6 +52,40 @@ fn main() {
         last
     });
 
+    h.bench("engine/event_queue_steady_state_1m", || {
+        let mut q = EventQueue::new();
+        let mut rng = DetRng::new(11);
+        for i in 0..4096u64 {
+            q.push(Cycle(latency_draw(&mut rng)), i);
+        }
+        let mut last = Cycle::ZERO;
+        for i in 0..1_000_000u64 {
+            let (at, e) = q.pop().expect("steady-state queue never empties");
+            debug_assert!(at >= last);
+            last = at;
+            black_box(e);
+            q.push(at + latency_draw(&mut rng), i);
+        }
+        last
+    });
+
+    h.bench("engine/reference_queue_steady_state_1m", || {
+        let mut q = ReferenceEventQueue::new();
+        let mut rng = DetRng::new(11);
+        for i in 0..4096u64 {
+            q.push(Cycle(latency_draw(&mut rng)), i);
+        }
+        let mut last = Cycle::ZERO;
+        for i in 0..1_000_000u64 {
+            let (at, e) = q.pop().expect("steady-state queue never empties");
+            debug_assert!(at >= last);
+            last = at;
+            black_box(e);
+            q.push(at + latency_draw(&mut rng), i);
+        }
+        last
+    });
+
     h.bench("engine/mem_10k_mixed_accesses", || {
         let mut mem = MemSystem::new(MemConfig::default(), Mesh::new(64, 4));
         let mut t = Cycle::ZERO;
@@ -50,36 +102,29 @@ fn main() {
         black_box(t)
     });
 
+    // Drives the channel through the event queue exactly as `Machine`'s
+    // event loop does (duplicate resolves land as harmless `Idle`s).
     h.bench("engine/data_channel_1k_contended_transfers", || {
         let mut ch: DataChannel<u64> = DataChannel::new(WirelessConfig::default(), 64);
-        let mut slots = Vec::new();
+        let mut q: EventQueue<()> = EventQueue::new();
         for i in 0..1_000u64 {
             let (_, s) = ch.request(NodeId((i % 64) as usize), TxLen::Normal, i, Cycle(i / 8));
-            slots.push(s);
+            q.push(s, ());
         }
-        slots.sort_unstable();
-        slots.dedup();
         let mut delivered = 0u64;
-        while let Some(slot) = slots.first().copied() {
-            slots.remove(0);
+        while let Some((slot, ())) = q.pop() {
             match ch.resolve(slot) {
                 Resolution::Idle => {}
                 Resolution::Deferred(next) => {
                     for s in next {
-                        if !slots.contains(&s) {
-                            slots.push(s);
-                        }
+                        q.push(s, ());
                     }
-                    slots.sort_unstable();
                 }
                 Resolution::Started { .. } => delivered += 1,
                 Resolution::Collision { retry_slots } => {
                     for s in retry_slots {
-                        if !slots.contains(&s) {
-                            slots.push(s);
-                        }
+                        q.push(s, ());
                     }
-                    slots.sort_unstable();
                 }
             }
         }

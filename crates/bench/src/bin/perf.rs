@@ -1,0 +1,89 @@
+//! Tracked simulator-throughput baseline.
+//!
+//! ```text
+//! cargo run --release -p wisync-bench --bin perf              # measure, rewrite results/perf_baseline.json
+//! cargo run --release -p wisync-bench --bin perf -- --quick   # single rep per case (CI smoke)
+//! cargo run --release -p wisync-bench --bin perf -- --check   # compare only, never rewrite; exit 1 on >5x regression
+//! ```
+//!
+//! `--check` compares freshly measured wall times against the committed
+//! `results/perf_baseline.json` and fails only on a gross (>5x)
+//! regression, so host noise never breaks CI but a complexity slip in
+//! the engine does.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wisync_bench::perf::{check_against_baseline, perf_report_json, run_perf_suite, CHECK_FACTOR};
+
+struct Options {
+    quick: bool,
+    check: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: std::env::var_os("WISYNC_QUICK").is_some(),
+        check: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--check" => opts.check = true,
+            other => panic!("unknown argument {other:?} (try --quick/--check)"),
+        }
+    }
+    opts
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join("perf_baseline.json")
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let reps = if opts.quick { 1 } else { 3 };
+    let cases = run_perf_suite(reps);
+
+    println!(
+        "{:<32} {:>12} {:>14} {:>14} {:>14}",
+        "case", "wall_ms", "sim_cycles", "events/sec", "Mcycles/sec"
+    );
+    for c in &cases {
+        println!(
+            "{:<32} {:>12.3} {:>14} {:>14.0} {:>14.2}",
+            c.name,
+            c.wall_ns as f64 / 1e6,
+            c.sim_cycles,
+            c.events_per_sec(),
+            c.sim_mcycles_per_sec()
+        );
+    }
+
+    let path = baseline_path();
+    if opts.check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        let failures = check_against_baseline(&cases, &text);
+        if failures.is_empty() {
+            println!("perf check OK (within {CHECK_FACTOR}x of committed baseline)");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("perf check FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+    } else {
+        let doc = perf_report_json(&cases).render();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&path, doc).expect("write baseline");
+        println!("wrote {}", path.display());
+        ExitCode::SUCCESS
+    }
+}

@@ -19,7 +19,7 @@ use wisync_bench::{
     fig10_app, fig11_point, fig11_variants, fig7_core_counts, fig7_row, fig8_lengths, fig8_point,
     fig9_critical_sections, fig9_point, geomean_util, phys,
 };
-use wisync_testkit::{derive_seed, run_sweep, sweep, Json, SweepJob};
+use wisync_testkit::{derive_seed, run_sweep_timed, sweep, Json, SweepJob};
 use wisync_workloads::{AppProfile, CasKind, LivermoreLoop};
 
 struct Options {
@@ -205,11 +205,28 @@ fn main() {
             "full grid"
         }
     );
-    let results = run_sweep(jobs, opts.threads, opts.seed);
+    let timed = run_sweep_timed(jobs, opts.threads, opts.seed);
+
+    // Per-job wall-clock summary, slowest first, on stderr — the JSON
+    // on disk stays byte-identical; this only tells a human where the
+    // sweep's wall time goes (the pool is bounded by its slowest job).
+    let mut timings: Vec<(&str, std::time::Duration)> = timed
+        .iter()
+        .map(|(name, _, elapsed)| (name.as_str(), *elapsed))
+        .collect();
+    timings.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let busy: std::time::Duration = timings.iter().map(|(_, d)| *d).sum();
+    eprintln!(
+        "sweep: job wall-clock, slowest first ({:.3}s total busy):",
+        busy.as_secs_f64()
+    );
+    for (name, elapsed) in &timings {
+        eprintln!("  {:>9.3}s  {name}", elapsed.as_secs_f64());
+    }
 
     // Group rows into one JSON file per figure, preserving job order.
     let mut by_figure: BTreeMap<String, Vec<Json>> = BTreeMap::new();
-    for (index, (name, value)) in results.into_iter().enumerate() {
+    for (index, (name, value, _elapsed)) in timed.into_iter().enumerate() {
         let (figure, row) = name.split_once('/').expect("job names are figure/row");
         let entry = Json::obj([
             ("row", Json::Str(row.to_string())),

@@ -6,6 +6,8 @@
 //! paper's format, and `benches/` runs scaled-down versions under
 //! Criterion so `cargo bench` exercises every experiment.
 
+pub mod perf;
+
 use wisync_core::{Machine, MachineConfig, MachineKind};
 use wisync_workloads::{
     AppProfile, AppWorkload, CasKernel, CasKind, Livermore, LivermoreLoop, TightLoop,

@@ -1,0 +1,267 @@
+//! Engine-throughput measurement: the tracked simulator performance
+//! baseline.
+//!
+//! Where `benches/engine.rs` times individual substrates (queue, memory
+//! system, data channel), this module times the *whole engine* on one
+//! representative workload per class — barrier-bound, CAS-bound, and
+//! application-mix — and reports events/second and simulated
+//! cycles/second alongside raw wall time. The numbers land in
+//! `results/perf_baseline.json` (rendered with the deterministic
+//! `wisync-testkit` JSON writer) so CI can catch gross engine
+//! regressions: the `--check` mode of the `perf` binary fails only when
+//! a case's wall time regresses by more than [`CHECK_FACTOR`] versus
+//! the committed baseline, which is generous enough to absorb host and
+//! scheduler noise but not an accidental O(n log n) → O(n²) slip.
+//!
+//! Simulated-cycle and event counts are deterministic (the same per-rep
+//! invariant the determinism regression test checks); only wall time
+//! varies between runs.
+
+use std::time::Instant;
+
+use wisync_core::{Machine, MachineConfig};
+use wisync_testkit::Json;
+use wisync_workloads::{AppProfile, AppWorkload, CasKernel, CasKind, TightLoop};
+
+use crate::BUDGET;
+
+/// Wall-time regression factor tolerated by `perf --check`.
+pub const CHECK_FACTOR: u64 = 5;
+
+/// Throughput measurement for one workload class.
+#[derive(Clone, Debug)]
+pub struct PerfCase {
+    /// Case name, `<class>/<workload>_<arch>_<cores>c` by convention.
+    pub name: String,
+    /// Fastest wall time over the measured repetitions, ns.
+    pub wall_ns: u64,
+    /// Simulated cycles covered by one repetition (deterministic).
+    pub sim_cycles: u64,
+    /// Engine events dispatched by one repetition (deterministic).
+    pub sim_events: u64,
+    /// Repetitions measured.
+    pub reps: u32,
+}
+
+impl PerfCase {
+    /// Events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim_events as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Simulated megacycles per wall-clock second.
+    pub fn sim_mcycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 * 1e3 / self.wall_ns as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("wall_ns", Json::U64(self.wall_ns)),
+            ("sim_cycles", Json::U64(self.sim_cycles)),
+            ("sim_events", Json::U64(self.sim_events)),
+            ("events_per_sec", Json::F64(self.events_per_sec())),
+            ("sim_mcycles_per_sec", Json::F64(self.sim_mcycles_per_sec())),
+            ("reps", Json::U64(self.reps as u64)),
+        ])
+    }
+}
+
+/// Times `run` (which must build a fresh machine, drive a workload, and
+/// return the finished machine) `reps` times, keeping the fastest wall
+/// time. Panics if the simulated cycle/event counts differ between
+/// repetitions — they are deterministic by construction.
+fn measure(name: &str, reps: u32, run: impl Fn() -> Machine) -> PerfCase {
+    let mut best_ns = u64::MAX;
+    let mut counts: Option<(u64, u64)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let m = run();
+        let ns = start.elapsed().as_nanos() as u64;
+        best_ns = best_ns.min(ns.max(1));
+        let rep = (m.now().as_u64(), m.stats().sim_events);
+        match counts {
+            None => counts = Some(rep),
+            Some(prev) => assert_eq!(
+                prev, rep,
+                "{name}: cycle/event counts must not vary between reps"
+            ),
+        }
+    }
+    let (sim_cycles, sim_events) = counts.expect("at least one rep");
+    PerfCase {
+        name: name.to_string(),
+        wall_ns: best_ns,
+        sim_cycles,
+        sim_events,
+        reps,
+    }
+}
+
+/// Runs the perf suite: one case per workload class, on the
+/// architectures where that class is interesting. `reps` repetitions
+/// per case (CI smoke uses 1, the tracked baseline 3).
+pub fn run_perf_suite(reps: u32) -> Vec<PerfCase> {
+    let mut cases = Vec::new();
+
+    // Barrier-bound: TightLoop is pure synchronization, so it stresses
+    // the event queue and (on Baseline) the memory system hot paths.
+    cases.push(measure("barrier/tightloop_wisync_64c", reps, || {
+        let mut m = Machine::new(MachineConfig::wisync(64));
+        TightLoop::new(50).run_cycles_per_iter(&mut m, BUDGET);
+        m
+    }));
+    cases.push(measure("barrier/tightloop_baseline_64c", reps, || {
+        let mut m = Machine::new(MachineConfig::baseline(64));
+        TightLoop::new(20).run_cycles_per_iter(&mut m, BUDGET);
+        m
+    }));
+
+    // CAS-bound: contended read-modify-write traffic through the BM
+    // (WiSync) and the coherence directory (Baseline).
+    let fifo = CasKernel {
+        kind: CasKind::Fifo,
+        critical_section: 64,
+        ops_per_thread: 64,
+    };
+    cases.push(measure("cas/fifo_wisync_32c", reps, || {
+        let mut m = Machine::new(MachineConfig::wisync(32));
+        fifo.run_throughput(&mut m, BUDGET);
+        m
+    }));
+    cases.push(measure("cas/fifo_baseline_32c", reps, || {
+        let mut m = Machine::new(MachineConfig::baseline(32));
+        fifo.run_throughput(&mut m, BUDGET);
+        m
+    }));
+
+    // Application mix: streamcluster is the fine-grain-barrier outlier,
+    // raytrace the lock-convoy one — together they exercise compute
+    // phases, lock handoffs, and barrier episodes.
+    let streamcluster = AppProfile::by_name("streamcluster").expect("profile exists");
+    cases.push(measure("app/streamcluster_wisync_16c", reps, move || {
+        let mut m = Machine::new(MachineConfig::wisync(16));
+        AppWorkload::new(streamcluster).run_cycles(&mut m, BUDGET);
+        m
+    }));
+    let raytrace = AppProfile::by_name("raytrace").expect("profile exists");
+    cases.push(measure("app/raytrace_baseline_16c", reps, move || {
+        let mut m = Machine::new(MachineConfig::baseline(16));
+        AppWorkload::new(raytrace).run_cycles(&mut m, BUDGET);
+        m
+    }));
+
+    cases
+}
+
+/// Renders a perf suite as the `results/perf_baseline.json` document.
+pub fn perf_report_json(cases: &[PerfCase]) -> Json {
+    Json::obj([
+        ("schema", Json::from("wisync-perf-baseline/v1")),
+        (
+            "cases",
+            Json::Arr(cases.iter().map(PerfCase::to_json).collect()),
+        ),
+    ])
+}
+
+/// Extracts `(name, wall_ns)` pairs from a rendered baseline document.
+///
+/// The document is produced by [`perf_report_json`] via the testkit
+/// renderer (one `"key": value` pair per line), so a line scan is
+/// exact — no general JSON parser needed, keeping the tree hermetic.
+pub fn parse_baseline_wall_ns(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"wall_ns\": ") {
+            if let (Some(n), Ok(ns)) = (name.take(), rest.parse::<u64>()) {
+                out.push((n, ns));
+            }
+        }
+    }
+    out
+}
+
+/// Compares freshly measured cases against a committed baseline
+/// document. Returns an error line per case whose wall time regressed
+/// by more than [`CHECK_FACTOR`]; cases present on only one side are
+/// ignored (the suite may grow between PRs).
+pub fn check_against_baseline(cases: &[PerfCase], baseline_text: &str) -> Vec<String> {
+    let baseline = parse_baseline_wall_ns(baseline_text);
+    let mut failures = Vec::new();
+    for case in cases {
+        if let Some((_, base_ns)) = baseline.iter().find(|(n, _)| *n == case.name) {
+            if case.wall_ns > base_ns.saturating_mul(CHECK_FACTOR) {
+                failures.push(format!(
+                    "{}: {} ns vs baseline {} ns (> {}x regression)",
+                    case.name, case.wall_ns, base_ns, CHECK_FACTOR
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_case(name: &str, wall_ns: u64) -> PerfCase {
+        PerfCase {
+            name: name.to_string(),
+            wall_ns,
+            sim_cycles: 1_000,
+            sim_events: 2_000,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_renderer() {
+        let cases = vec![fake_case("a/b", 123), fake_case("c/d", 456)];
+        let text = perf_report_json(&cases).render();
+        assert_eq!(
+            parse_baseline_wall_ns(&text),
+            vec![("a/b".to_string(), 123), ("c/d".to_string(), 456)]
+        );
+    }
+
+    #[test]
+    fn check_flags_only_gross_regressions() {
+        let baseline = perf_report_json(&[fake_case("a/b", 100), fake_case("c/d", 100)]).render();
+        // 4x slower passes, 6x slower fails, unknown cases are ignored.
+        let now = vec![
+            fake_case("a/b", 400),
+            fake_case("c/d", 600),
+            fake_case("new/case", 1),
+        ];
+        let failures = check_against_baseline(&now, &baseline);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("c/d:"));
+    }
+
+    #[test]
+    fn derived_rates_are_consistent() {
+        let c = fake_case("a/b", 1_000_000_000);
+        assert!((c.events_per_sec() - 2_000.0).abs() < 1e-9);
+        assert!((c.sim_mcycles_per_sec() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_suite_measures_deterministic_counts() {
+        // One cheap real case, two reps: exercises the rep-consistency
+        // assertion inside `measure`.
+        let case = measure("test/tightloop_wisync_4c", 2, || {
+            let mut m = Machine::new(MachineConfig::wisync(4));
+            TightLoop::new(3).run_cycles_per_iter(&mut m, BUDGET);
+            m
+        });
+        assert!(case.sim_cycles > 0);
+        assert!(case.sim_events > 0);
+        assert!(case.wall_ns > 0);
+    }
+}

@@ -10,8 +10,9 @@
 //! 64-bit chunk is tagged with the PID of its owner, and hardware checks
 //! the tag on every access.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use wisync_sim::FxHashMap;
 
 /// A process identifier (the PID tag of §4.2).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -75,10 +76,10 @@ struct Entry {
 
 #[derive(Clone, Debug, Default)]
 struct ProcessTable {
-    /// vpage → ppage.
-    pages: HashMap<u64, usize>,
-    /// Next fresh vpage number to hand out.
-    next_vpage: u64,
+    /// `pages[vpage] = ppage`. Vpages are handed out densely from 0, so
+    /// the table is a plain `Vec` — translation (the hottest BM path) is
+    /// one bounds-checked index.
+    pages: Vec<usize>,
 }
 
 /// The chip's Broadcast Memory (all replicas, stored once).
@@ -105,7 +106,7 @@ struct ProcessTable {
 #[derive(Clone, Debug)]
 pub struct BroadcastMemory {
     entries: Vec<Entry>,
-    tables: HashMap<Pid, ProcessTable>,
+    tables: FxHashMap<Pid, ProcessTable>,
 }
 
 impl BroadcastMemory {
@@ -114,7 +115,7 @@ impl BroadcastMemory {
     pub fn new(entries: usize) -> Self {
         BroadcastMemory {
             entries: vec![Entry::default(); entries],
-            tables: HashMap::new(),
+            tables: FxHashMap::default(),
         }
     }
 
@@ -172,13 +173,11 @@ impl BroadcastMemory {
     /// Ensures `ppage` is mapped into `pid`'s table; returns its vpage.
     fn map_page(&mut self, pid: Pid, ppage: usize) -> u64 {
         let table = self.tables.entry(pid).or_default();
-        if let Some((&vpage, _)) = table.pages.iter().find(|(_, &p)| p == ppage) {
-            return vpage;
+        if let Some(vpage) = table.pages.iter().position(|&p| p == ppage) {
+            return vpage as u64;
         }
-        let vpage = table.next_vpage;
-        table.next_vpage += 1;
-        table.pages.insert(vpage, ppage);
-        vpage
+        table.pages.push(ppage);
+        (table.pages.len() - 1) as u64
     }
 
     /// Frees the chunk at `vaddr`, removing it from every replica.
@@ -213,7 +212,7 @@ impl BroadcastMemory {
         let ppage = self
             .tables
             .get(&pid)
-            .and_then(|t| t.pages.get(&vpage))
+            .and_then(|t| t.pages.get(vpage as usize))
             .copied()
             .ok_or(BmError::UnmappedAddress { pid, vaddr })?;
         let phys = ppage * WORDS_PER_PAGE + offset as usize;

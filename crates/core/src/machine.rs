@@ -8,8 +8,6 @@
 //! completion cycles and hand back wake-ups, and the machine turns those
 //! into events.
 
-use std::collections::HashMap;
-
 use wisync_isa::{Cond, Instr, Program, Reg, RmwSpec, Space};
 use wisync_mem::{MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId, NodeSet};
@@ -170,7 +168,11 @@ impl Core {
 /// happen while it is in flight are recorded and applied at delivery.
 #[derive(Clone, Debug, Default)]
 struct ToneInitPending {
-    /// Cores that arrived before the init message delivered.
+    /// An init message for this barrier is in flight.
+    in_flight: bool,
+    /// Cores that arrived before the init message delivered. Capacity is
+    /// retained across barrier episodes, so steady-state arrivals do not
+    /// allocate.
     early: Vec<usize>,
 }
 
@@ -294,8 +296,13 @@ pub struct Machine {
     tone: ToneChannel,
     cores: Vec<Core>,
     queue: EventQueue<Event>,
-    bm_waiters: HashMap<usize, Vec<usize>>,
-    tone_init: HashMap<usize, ToneInitPending>,
+    /// Sleeping spin-waiters per physical BM index. Dense: BM physical
+    /// indices are bounded by `config.bm_entries`, so a `Vec` replaces
+    /// the former `HashMap` on this hot wake-up path.
+    bm_waiters: Vec<Vec<usize>>,
+    /// Per-physical-BM-index tone-init bookkeeping, dense like
+    /// `bm_waiters`.
+    tone_init: Vec<ToneInitPending>,
     rng: DetRng,
     now: Cycle,
     stats: MachineStats,
@@ -324,8 +331,8 @@ impl Machine {
             tone: ToneChannel::new(config.tone_table_capacity),
             cores: (0..config.cores).map(|_| Core::new()).collect(),
             queue: EventQueue::new(),
-            bm_waiters: HashMap::new(),
-            tone_init: HashMap::new(),
+            bm_waiters: vec![Vec::new(); config.bm_entries],
+            tone_init: vec![ToneInitPending::default(); config.bm_entries],
             rng: DetRng::new(config.seed ^ 0xB0FF_0FF5),
             now: Cycle::ZERO,
             stats: MachineStats::default(),
@@ -481,9 +488,7 @@ impl Machine {
                 match info.space {
                     Space::Cached => self.mem.unregister_waiter(self.node(core), info.loc),
                     Space::Bm => {
-                        if let Some(ws) = self.bm_waiters.get_mut(&(info.loc as usize)) {
-                            ws.retain(|&c| c != core);
-                        }
+                        self.bm_waiters[info.loc as usize].retain(|&c| c != core);
                     }
                 }
             }
@@ -600,6 +605,7 @@ impl Machine {
             }
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            self.stats.sim_events += 1;
             self.dispatch(ev);
         }
         let loaded = self
@@ -1211,8 +1217,10 @@ impl Machine {
             // Barrier not active yet. The first arrival (in this episode)
             // broadcasts the init; arrivals while it is in flight are
             // recorded and applied at delivery (see [`ToneInitPending`]).
-            let first = !self.tone_init.contains_key(&phys);
-            self.tone_init.entry(phys).or_default().early.push(core);
+            let pending = &mut self.tone_init[phys];
+            let first = !pending.in_flight;
+            pending.in_flight = true;
+            pending.early.push(core);
             if first {
                 self.request_tx(
                     core,
@@ -1269,11 +1277,15 @@ impl Machine {
     }
 
     fn wake_bm_waiters(&mut self, phys: usize, at: Cycle) {
-        if let Some(ws) = self.bm_waiters.remove(&phys) {
-            for w in ws {
-                self.queue.push(at, Event::Resume(w));
-            }
+        // Take the list out so the borrow of `self.queue` is free, then
+        // hand the (cleared) allocation back for reuse. Nothing in the
+        // loop re-registers a waiter for `phys`, so no entries are lost.
+        let mut ws = std::mem::take(&mut self.bm_waiters[phys]);
+        for &w in &ws {
+            self.queue.push(at, Event::Resume(w));
         }
+        ws.clear();
+        self.bm_waiters[phys] = ws;
     }
 
     fn deliver(&mut self, msg: WirelessMsg) {
@@ -1351,7 +1363,8 @@ impl Machine {
                     kind: "tone-init",
                 });
                 let key = phys as u64;
-                let pending = self.tone_init.remove(&phys).unwrap_or_default();
+                let mut early = std::mem::take(&mut self.tone_init[phys].early);
+                self.tone_init[phys].in_flight = false;
                 if !self.tone.is_active(key) {
                     self.tone
                         .activate(key, at)
@@ -1359,12 +1372,14 @@ impl Machine {
                     self.record(TraceEvent::ToneActivated { at, phys });
                 }
                 let mut all = false;
-                for e in pending.early {
+                for &e in &early {
                     all = self
                         .tone
                         .arrive(key, NodeId(e))
                         .expect("early arrival is armed");
                 }
+                early.clear();
+                self.tone_init[phys].early = early;
                 if all {
                     let slot = self
                         .tone
@@ -1409,11 +1424,7 @@ impl Machine {
         if waiting {
             match info.space {
                 Space::Cached => self.mem.register_waiter(self.node(core), info.loc),
-                Space::Bm => self
-                    .bm_waiters
-                    .entry(info.loc as usize)
-                    .or_default()
-                    .push(core),
+                Space::Bm => self.bm_waiters[info.loc as usize].push(core),
             }
             self.cores[core].status = CoreStatus::Sleeping;
         } else {

@@ -14,6 +14,10 @@ pub struct MachineStats {
     /// Kernel instructions executed (a `Compute {{ cycles }}` counts as
     /// `cycles` instructions).
     pub instructions: u64,
+    /// Discrete events dispatched by the engine's event loop — the
+    /// denominator of the events/sec throughput metric tracked in
+    /// `results/perf_baseline.json`.
+    pub sim_events: u64,
     /// BM words read locally.
     pub bm_loads: u64,
     /// BM words written (each is one broadcast, or a quarter of a Bulk).

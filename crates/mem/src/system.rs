@@ -1,9 +1,7 @@
 //! The shared memory system: distributed L2 directory + private L1s.
 
-use std::collections::HashMap;
-
 use wisync_noc::{Mesh, NodeId};
-use wisync_sim::{Cycle, Histogram};
+use wisync_sim::{Cycle, FxHashMap, Histogram};
 
 use crate::cache::{L1Cache, LineState};
 use crate::config::MemConfig;
@@ -26,10 +24,6 @@ impl SharerSet {
         self.bits[n / 64] &= !(1 << (n % 64));
     }
 
-    fn contains(&self, n: usize) -> bool {
-        self.bits[n / 64] & (1 << (n % 64)) != 0
-    }
-
     fn clear(&mut self) {
         self.bits = [0; 4];
     }
@@ -38,8 +32,38 @@ impl SharerSet {
         self.bits.iter().all(|&b| b == 0)
     }
 
-    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..256).filter(move |&n| self.contains(n))
+    fn len(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    fn iter(&self) -> SharerIter {
+        SharerIter {
+            bits: self.bits,
+            word: 0,
+        }
+    }
+}
+
+/// Iterates the set bits of a [`SharerSet`] in ascending node order, one
+/// `trailing_zeros` per member instead of a 256-slot probe.
+struct SharerIter {
+    bits: [u64; 4],
+    word: usize,
+}
+
+impl Iterator for SharerIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word < 4 {
+            let w = self.bits[self.word];
+            if w != 0 {
+                self.bits[self.word] = w & (w - 1); // clear lowest set bit
+                return Some(self.word * 64 + w.trailing_zeros() as usize);
+            }
+            self.word += 1;
+        }
+        None
     }
 }
 
@@ -101,12 +125,12 @@ pub struct MemSystem {
     config: MemConfig,
     mesh: Mesh,
     l1: Vec<L1Cache>,
-    dir: HashMap<u64, DirEntry>,
+    dir: FxHashMap<u64, DirEntry>,
     /// Per-line transaction serialization: the directory finishes one
     /// coherence transaction on a line before starting the next.
-    line_busy: HashMap<u64, Cycle>,
-    data: HashMap<u64, u64>,
-    waiters: HashMap<u64, Vec<NodeId>>,
+    line_busy: FxHashMap<u64, Cycle>,
+    data: FxHashMap<u64, u64>,
+    waiters: FxHashMap<u64, Vec<NodeId>>,
     stats: MemStats,
 }
 
@@ -118,10 +142,10 @@ impl MemSystem {
             config,
             mesh,
             l1,
-            dir: HashMap::new(),
-            line_busy: HashMap::new(),
-            data: HashMap::new(),
-            waiters: HashMap::new(),
+            dir: FxHashMap::default(),
+            line_busy: FxHashMap::default(),
+            data: FxHashMap::default(),
+            waiters: FxHashMap::default(),
             stats: MemStats::default(),
         }
     }
@@ -304,12 +328,15 @@ impl MemSystem {
             let cold = self.cold_penalty(line, home);
             let entry = self.dir.entry(line).or_default();
             // Everyone except the requester must drop their copy.
+            // `SharerSet` is `Copy`, so the target set is a register-sized
+            // copy rather than a per-write `Vec` allocation.
             let owner = entry.owner.filter(|&o| o != c);
-            let targets: Vec<usize> = entry.sharers.iter().filter(|&s| s != c).collect();
+            let mut targets = entry.sharers;
+            targets.remove(c);
             let inv_lat = self.invalidation_latency(home, &targets, owner, core);
             self.stats.invalidations += targets.len() as u64;
-            for t in &targets {
-                self.l1[*t].invalidate(line);
+            for t in targets.iter() {
+                self.l1[t].invalidate(line);
             }
             let entry = self.dir.entry(line).or_default();
             entry.sharers.clear();
@@ -344,7 +371,7 @@ impl MemSystem {
     fn invalidation_latency(
         &self,
         home: NodeId,
-        sharer_targets: &[usize],
+        sharer_targets: &SharerSet,
         owner: Option<usize>,
         requester: NodeId,
     ) -> u64 {
@@ -356,7 +383,7 @@ impl MemSystem {
             if self.config.tree_multicast {
                 lat = self.mesh.broadcast_latency(home) + self.mesh.reduction_latency(home);
             } else {
-                for &t in sharer_targets {
+                for t in sharer_targets.iter() {
                     let rt = 2 * self.mesh.latency(home, NodeId(t));
                     lat = lat.max(rt);
                 }

@@ -1,0 +1,139 @@
+//! A deterministic, fast hasher for the simulator's sparse maps.
+//!
+//! `std::collections::HashMap`'s default `RandomState` is seeded per
+//! process, which is both slow (SipHash) and — more importantly for a
+//! replayable simulator — a source of run-to-run variation in iteration
+//! order. No hot-path code may observe map iteration order, but keeping
+//! the hasher deterministic removes the whole class of bugs, and the
+//! multiply-rotate mix below is several times faster than SipHash on the
+//! small integer keys (line addresses, transfer tokens, pids) these maps
+//! use.
+//!
+//! The algorithm is the well-known "Fx" hash used by the Rust compiler
+//! (a Fowler–Noll–Vo-style word-at-a-time multiply with a rotate),
+//! implemented in-repo to keep the workspace hermetic. It is *not*
+//! collision-resistant against adversarial keys; simulator state is
+//! never attacker-controlled.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Word-at-a-time multiply-rotate hasher (rustc's FxHash algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; stateless, so every map built with it
+/// hashes identically across runs and processes.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(x: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(x);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_keys_spread() {
+        // Successive small integers (the common key shape: line indices,
+        // tokens) must not collide or cluster into the same buckets.
+        let hashes: std::collections::BTreeSet<u64> = (0u64..4096).map(hash_u64).collect();
+        assert_eq!(hashes.len(), 4096, "no collisions on 4096 dense keys");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream() {
+        // write() consumes 8-byte little-endian words; a single u64 key
+        // must hash the same whichever path the layout picks.
+        let mut h = FxHasher::default();
+        h.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(h.finish(), hash_u64(0x0102_0304_0506_0708));
+    }
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i * 64, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(500 * 64)), Some(&500));
+        let mut s: FxHashSet<usize> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

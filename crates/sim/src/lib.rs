@@ -6,7 +6,13 @@
 //! - [`Cycle`], a newtype for simulated time (1 cycle = 1 ns at the paper's
 //!   1 GHz clock),
 //! - [`EventQueue`], a deterministic priority queue of timestamped events
-//!   with FIFO tie-breaking for events scheduled at the same cycle,
+//!   with FIFO tie-breaking for events scheduled at the same cycle
+//!   (a bucketed timing wheel; [`ReferenceEventQueue`] is the heap-based
+//!   executable specification it is differentially tested against),
+//! - [`FxHashMap`]/[`FxHashSet`], `HashMap`/`HashSet` aliases using the
+//!   in-repo deterministic [`hash::FxHasher`] — the only hasher hot-path
+//!   code should use, so no run-to-run variation can creep in via
+//!   `RandomState`,
 //! - [`DetRng`], a small deterministic xorshift random-number generator so
 //!   identical configurations replay to identical cycle counts,
 //! - statistics helpers ([`Counter`], [`Histogram`], [`Utilization`],
@@ -25,12 +31,14 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use queue::{EventQueue, ReferenceEventQueue};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, StatSet, Utilization};
 pub use time::Cycle;

@@ -1,17 +1,42 @@
-//! Deterministic timestamped event queue.
+//! Deterministic timestamped event queues.
+//!
+//! Two implementations share one contract: events pop in increasing
+//! cycle order, and events scheduled for the same cycle pop in the order
+//! they were pushed (FIFO tie-break). This determinism is what makes
+//! whole-machine simulations replayable: two runs with the same
+//! configuration produce identical cycle counts.
+//!
+//! * [`EventQueue`] — the production queue: a bucketed timing wheel
+//!   sized for the simulator's dominant near-future latencies (memory
+//!   round-trips, wireless slots, backoff waits — a few to a few hundred
+//!   cycles), with a binary-heap overflow for far events. Push and pop
+//!   are O(1) on the hot path.
+//! * [`ReferenceEventQueue`] — the original `BinaryHeap` queue, kept as
+//!   the executable specification. The differential property test in
+//!   `tests/queue_differential.rs` drives both with arbitrary
+//!   push/pop/clear interleavings and asserts identical pop sequences.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
 
-/// A deterministic priority queue of `(Cycle, E)` events.
+/// Number of near-future wheel slots. One slot per cycle, so the wheel
+/// covers `[cur, cur + WHEEL_SLOTS)`. The model's dominant latencies are
+/// 2–110 cycles (L1/L2/mesh/wireless round-trips) and its longest common
+/// waits are the exponential-backoff draws, capped at `2^10 = 1024`
+/// cycles — so 1024 slots keep virtually every event out of the overflow
+/// heap. Must be a power of two.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// A deterministic priority queue of `(Cycle, E)` events, implemented as
+/// a bucketed timing wheel with a heap overflow for far-future events.
 ///
 /// Events pop in increasing cycle order; events scheduled for the same
-/// cycle pop in the order they were pushed (FIFO tie-break via a
-/// monotonically increasing sequence number). This determinism is what
-/// makes whole-machine simulations replayable: two runs with the same
-/// configuration produce identical cycle counts.
+/// cycle pop in the order they were pushed. See the module docs for the
+/// determinism contract and the reference implementation.
 ///
 /// # Examples
 ///
@@ -27,8 +52,27 @@ use crate::time::Cycle;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// `wheel[c & WHEEL_MASK]` holds the events of cycle `c` for
+    /// `c ∈ [cur, cur + WHEEL_SLOTS)`, in push order (front = oldest).
+    /// Capacity is retained when a slot drains, so steady-state pushes
+    /// never allocate.
+    wheel: Vec<VecDeque<E>>,
+    /// Occupancy bitmap over wheel slots, one bit per slot.
+    occupied: [u64; WHEEL_WORDS],
+    /// Wheel base cycle: no wheel event is earlier than `cur`, and the
+    /// overflow holds only events at `cur + WHEEL_SLOTS` or later. `cur`
+    /// never moves backwards.
+    cur: u64,
+    /// Events pushed for cycles earlier than `cur` (possible through the
+    /// public API, never produced by the machine's event loop).
+    past: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events at `cur + WHEEL_SLOTS` or later.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// FIFO tie-break for the two heaps (wheel slots are FIFO by
+    /// construction: within the live window, appends happen in push
+    /// order — see `promote`).
     next_seq: u64,
+    len: usize,
 }
 
 #[derive(Debug)]
@@ -62,6 +106,196 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            cur: 0,
+            past: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Schedules `event` to fire at cycle `at`.
+    #[inline]
+    pub fn push(&mut self, at: Cycle, event: E) {
+        self.len += 1;
+        let t = at.as_u64();
+        if t.wrapping_sub(self.cur) < WHEEL_SLOTS as u64 {
+            // In the live window (t >= cur holds: a smaller t would make
+            // the wrapping difference huge).
+            let slot = (t & WHEEL_MASK) as usize;
+            self.wheel[slot].push_back(event);
+            self.set_occupied(slot);
+        } else {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let heap = if t < self.cur {
+                &mut self.past
+            } else {
+                &mut self.overflow
+            };
+            heap.push(Reverse(Entry { at, seq, event }));
+        }
+    }
+
+    /// The minimum occupied wheel cycle at or after `cur`, if any.
+    fn wheel_min(&self) -> Option<u64> {
+        let base = (self.cur & WHEEL_MASK) as usize;
+        // Scan `WHEEL_SLOTS` bits starting at `base`, wrapping. Slots
+        // before `base` hold cycles in the window's upper part.
+        let (bw, bb) = (base / 64, base % 64);
+        // First word: bits at or above the base bit.
+        let w = self.occupied[bw] & !((1u64 << bb) - 1);
+        if w != 0 {
+            return Some(self.slot_cycle(bw * 64 + w.trailing_zeros() as usize));
+        }
+        for i in 1..WHEEL_WORDS {
+            let wi = (bw + i) % WHEEL_WORDS;
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some(self.slot_cycle(wi * 64 + w.trailing_zeros() as usize));
+            }
+        }
+        // Wrapped back to the first word: bits below the base bit.
+        let w = self.occupied[bw] & ((1u64 << bb) - 1);
+        if w != 0 {
+            return Some(self.slot_cycle(bw * 64 + w.trailing_zeros() as usize));
+        }
+        None
+    }
+
+    /// The absolute cycle a currently-occupied `slot` corresponds to:
+    /// the unique cycle in `[cur, cur + WHEEL_SLOTS)` with that residue.
+    #[inline]
+    fn slot_cycle(&self, slot: usize) -> u64 {
+        let base = self.cur & !WHEEL_MASK;
+        let c = base + slot as u64;
+        if c >= self.cur {
+            c
+        } else {
+            c + WHEEL_SLOTS as u64
+        }
+    }
+
+    /// Moves overflow events that the advancing window now covers into
+    /// their wheel slots. Called whenever `cur` advances, *before* any
+    /// subsequent push could target the newly covered cycles — this is
+    /// what keeps every wheel slot in push order (promoted events always
+    /// carry smaller sequence numbers than any later push).
+    fn promote(&mut self) {
+        let horizon = self.cur + WHEEL_SLOTS as u64;
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if e.at.as_u64() >= horizon {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked");
+            let slot = (e.at.as_u64() & WHEEL_MASK) as usize;
+            self.wheel[slot].push_back(e.event);
+            self.set_occupied(slot);
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        // Past events (earlier than the wheel window) always win.
+        if let Some(Reverse(e)) = self.past.pop() {
+            self.len -= 1;
+            return Some((e.at, e.event));
+        }
+        if let Some(c) = self.wheel_min() {
+            let slot = (c & WHEEL_MASK) as usize;
+            if c != self.cur {
+                debug_assert!(c > self.cur, "wheel min behind cur");
+                self.cur = c;
+                self.promote();
+            }
+            let event = self.wheel[slot].pop_front().expect("occupied slot");
+            if self.wheel[slot].is_empty() {
+                self.clear_occupied(slot);
+            }
+            self.len -= 1;
+            return Some((Cycle(c), event));
+        }
+        // Wheel empty: jump to the overflow's earliest event.
+        let Reverse(e) = self.overflow.pop()?;
+        self.len -= 1;
+        self.cur = e.at.as_u64();
+        self.promote();
+        Some((e.at, e.event))
+    }
+
+    /// Returns the cycle of the earliest pending event without removing
+    /// it.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        if let Some(Reverse(e)) = self.past.peek() {
+            return Some(e.at);
+        }
+        if let Some(c) = self.wheel_min() {
+            return Some(Cycle(c));
+        }
+        self.overflow.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending events but keeps the sequence counter, so FIFO
+    /// ordering guarantees still hold across the clear.
+    pub fn clear(&mut self) {
+        if self.len != 0 {
+            for slot in &mut self.wheel {
+                slot.clear();
+            }
+            self.occupied = [0; WHEEL_WORDS];
+            self.past.clear();
+            self.overflow.clear();
+            self.len = 0;
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// The original `BinaryHeap`-based event queue, kept as the reference
+/// implementation (executable specification) for [`EventQueue`].
+///
+/// Not used on the simulator's hot path; the differential property test
+/// (`crates/sim/tests/queue_differential.rs`) checks that arbitrary
+/// push/pop/clear interleavings produce identical `(Cycle, E)` pop
+/// sequences from both queues, including same-cycle FIFO order and
+/// ordering across `clear`.
+#[derive(Debug)]
+pub struct ReferenceEventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+impl<E> ReferenceEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReferenceEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -79,7 +313,8 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|Reverse(e)| (e.at, e.event))
     }
 
-    /// Returns the cycle of the earliest pending event without removing it.
+    /// Returns the cycle of the earliest pending event without removing
+    /// it.
     pub fn peek_cycle(&self) -> Option<Cycle> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
@@ -101,9 +336,9 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceEventQueue<E> {
     fn default() -> Self {
-        EventQueue::new()
+        ReferenceEventQueue::new()
     }
 }
 
@@ -155,5 +390,105 @@ mod tests {
         q.push(Cycle(1), 'b');
         assert_eq!(q.pop(), Some((Cycle(1), 'a')));
         assert_eq!(q.pop(), Some((Cycle(1), 'b')));
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1_000_000), 'f');
+        q.push(Cycle(3), 'n');
+        assert_eq!(q.peek_cycle(), Some(Cycle(3)));
+        assert_eq!(q.pop(), Some((Cycle(3), 'n')));
+        assert_eq!(q.pop(), Some((Cycle(1_000_000), 'f')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_promotion_preserves_fifo_with_later_pushes() {
+        let mut q = EventQueue::new();
+        // 'a' starts beyond the horizon, in the overflow heap.
+        let far = Cycle(WHEEL_SLOTS as u64 + 100);
+        q.push(far, 'a');
+        q.push(Cycle(200), 'x');
+        // Popping 'x' advances the window over `far`, promoting 'a'.
+        assert_eq!(q.pop(), Some((Cycle(200), 'x')));
+        // 'b' lands in the same (now in-window) slot after promotion.
+        q.push(far, 'b');
+        assert_eq!(q.pop(), Some((far, 'a')));
+        assert_eq!(q.pop(), Some((far, 'b')));
+    }
+
+    #[test]
+    fn push_in_the_past_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(50), 'a');
+        assert_eq!(q.pop(), Some((Cycle(50), 'a')));
+        // The machine never does this, but the API allows it: an event
+        // earlier than the last pop still comes out in time order.
+        q.push(Cycle(10), 'p');
+        q.push(Cycle(50), 'b');
+        assert_eq!(q.peek_cycle(), Some(Cycle(10)));
+        assert_eq!(q.pop(), Some((Cycle(10), 'p')));
+        assert_eq!(q.pop(), Some((Cycle(50), 'b')));
+    }
+
+    #[test]
+    fn interleaved_push_pop_at_current_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(9), 1u32);
+        q.push(Cycle(9), 2);
+        assert_eq!(q.pop(), Some((Cycle(9), 1)));
+        // Pushed while cycle 9's slot is partially drained.
+        q.push(Cycle(9), 3);
+        assert_eq!(q.pop(), Some((Cycle(9), 2)));
+        assert_eq!(q.pop(), Some((Cycle(9), 3)));
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_windows() {
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        for i in 0..10_000u64 {
+            let at = Cycle(i * 37 % 5000);
+            q.push(at, i);
+            expected.push((at, i));
+        }
+        // Stable sort by cycle: equal cycles stay in push order.
+        expected.sort_by_key(|&(at, _)| at);
+        let mut got = Vec::new();
+        while let Some(x) = q.pop() {
+            got.push(x);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn len_tracks_all_regions() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 0u8); // wheel
+        q.push(Cycle(1_000_000), 1); // overflow
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.push(Cycle(1), 2); // past (cur is now 5)
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reference_queue_same_contract() {
+        let mut q = ReferenceEventQueue::new();
+        q.push(Cycle(3), 'b');
+        q.push(Cycle(3), 'c');
+        q.push(Cycle(1), 'a');
+        assert_eq!(q.peek_cycle(), Some(Cycle(1)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(3), 'b')));
+        assert_eq!(q.pop(), Some((Cycle(3), 'c')));
+        assert!(q.is_empty());
+        q.clear();
+        assert_eq!(q.pop(), None);
     }
 }

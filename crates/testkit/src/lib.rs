@@ -46,4 +46,4 @@ pub mod sweep;
 pub use bench::{BenchConfig, BenchResult, Harness};
 pub use json::Json;
 pub use runner::{check, check_with, Config, Failed, PropResult};
-pub use sweep::{derive_seed, run_sweep, SweepJob};
+pub use sweep::{derive_seed, run_sweep, run_sweep_timed, SweepJob};

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use wisync_sim::DetRng;
 
@@ -49,11 +50,27 @@ pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
 /// Jobs are pulled from a shared queue, so a slow job does not stall
 /// unrelated work. `threads == 0` is clamped to 1.
 pub fn run_sweep(jobs: Vec<SweepJob>, threads: usize, base_seed: u64) -> Vec<(String, Json)> {
+    run_sweep_timed(jobs, threads, base_seed)
+        .into_iter()
+        .map(|(name, value, _)| (name, value))
+        .collect()
+}
+
+/// [`run_sweep`], but each result also carries the job's wall-clock
+/// duration. The timing is diagnostic only — results and their order
+/// stay byte-identical across thread counts and runs; only the
+/// durations vary with the host.
+pub fn run_sweep_timed(
+    jobs: Vec<SweepJob>,
+    threads: usize,
+    base_seed: u64,
+) -> Vec<(String, Json, Duration)> {
     let n = jobs.len();
     let workers = threads.max(1).min(n.max(1));
     let queue: Mutex<VecDeque<(usize, SweepJob)>> =
         Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<(String, Json)>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<(String, Json, Duration)>>> =
+        Mutex::new((0..n).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -61,8 +78,11 @@ pub fn run_sweep(jobs: Vec<SweepJob>, threads: usize, base_seed: u64) -> Vec<(St
                 let next = queue.lock().expect("sweep queue poisoned").pop_front();
                 let Some((index, job)) = next else { break };
                 let rng = DetRng::new(derive_seed(base_seed, index as u64));
+                let start = Instant::now();
                 let value = (job.run)(rng);
-                results.lock().expect("sweep results poisoned")[index] = Some((job.name, value));
+                let elapsed = start.elapsed();
+                results.lock().expect("sweep results poisoned")[index] =
+                    Some((job.name, value, elapsed));
             });
         }
     });
@@ -111,6 +131,14 @@ mod tests {
         let c = run_sweep(jobs(), 8, 7);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn timed_sweep_matches_untimed_results() {
+        let timed = run_sweep_timed(jobs(), 4, 7);
+        let plain = run_sweep(jobs(), 4, 7);
+        let stripped: Vec<(String, Json)> = timed.into_iter().map(|(n, v, _)| (n, v)).collect();
+        assert_eq!(stripped, plain);
     }
 
     #[test]

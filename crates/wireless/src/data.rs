@@ -1,9 +1,9 @@
 //! The wireless Data channel: a single shared 19 Gb/s broadcast medium.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use wisync_noc::NodeId;
-use wisync_sim::{Cycle, DetRng, Histogram};
+use wisync_sim::{Cycle, DetRng, FxHashMap, Histogram};
 
 use crate::config::{MacPolicy, WirelessConfig};
 use crate::mac::MacState;
@@ -121,7 +121,7 @@ pub struct DataChannel<M> {
     /// book non-overlapping TDMA slots that all other nodes respect.
     reserved_until: Cycle,
     pending_by_slot: BTreeMap<Cycle, Vec<TxToken>>,
-    pending: HashMap<TxToken, Pending<M>>,
+    pending: FxHashMap<TxToken, Pending<M>>,
     nodes: usize,
     next_token: u64,
     rng: DetRng,
@@ -135,7 +135,7 @@ impl<M> DataChannel<M> {
             busy_until: Cycle::ZERO,
             reserved_until: Cycle::ZERO,
             pending_by_slot: BTreeMap::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             nodes,
             next_token: 0,
             rng: DetRng::new(config.seed ^ 0x0D17_E4ED),
@@ -238,17 +238,21 @@ impl<M> DataChannel<M> {
     /// resolves liberally.
     pub fn resolve(&mut self, slot: Cycle) -> Resolution<M> {
         // Collect every attempt scheduled at or before `slot` (cancelled
-        // tokens have already been removed from `pending`).
+        // tokens have already been removed from `pending`). Popping the
+        // map's first entry in a loop preserves the ascending-slot,
+        // insertion-ordered traversal without materializing a `Vec` of
+        // keys per resolve.
         let mut due: Vec<TxToken> = Vec::new();
-        let slots: Vec<Cycle> = self
-            .pending_by_slot
-            .range(..=slot)
-            .map(|(&c, _)| c)
-            .collect();
-        for c in slots {
-            if let Some(list) = self.pending_by_slot.remove(&c) {
-                due.extend(list.into_iter().filter(|t| self.pending.contains_key(t)));
+        while let Some(entry) = self.pending_by_slot.first_entry() {
+            if *entry.key() > slot {
+                break;
             }
+            due.extend(
+                entry
+                    .remove()
+                    .into_iter()
+                    .filter(|t| self.pending.contains_key(t)),
+            );
         }
         if due.is_empty() {
             return Resolution::Idle;
