@@ -121,7 +121,7 @@ fn main() {
                     }
                 }
                 Resolution::Started { .. } => delivered += 1,
-                Resolution::Collision { retry_slots } => {
+                Resolution::Collision { retry_slots, .. } => {
                     for s in retry_slots {
                         q.push(s, ());
                     }

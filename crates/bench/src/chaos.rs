@@ -1,0 +1,305 @@
+//! Chaos soak harness: run the paper's synchronization kernels under
+//! deterministic fault schedules and check the resilience contract.
+//!
+//! The contract every run must satisfy (see `ChaosReport::violation`):
+//! the machine either terminates with a **correct final state** or it
+//! **reports a detected fault** — silent divergence is never acceptable.
+//! With an ideal checksum (`checksum_escape == 0`, the default) that is
+//! the whole invariant. When the schedule lets corruptions escape the
+//! checksum, the injector's ground truth (`undetected_corruptions`) is
+//! admitted as a third leg: the machine cannot be blamed for errors the
+//! schedule made physically undetectable.
+
+use wisync_core::{FaultPlan, FaultStats, Machine, MachineConfig, MachineKind, RunOutcome};
+use wisync_sim::Cycle;
+use wisync_workloads::{CasKernel, CasKind, Livermore, TightLoop};
+
+/// Cycle budget for one chaos run. Generous: a hung run ends in
+/// `CycleLimit`, which counts as an incorrect final state and therefore
+/// needs a detected fault to pass.
+pub const CHAOS_BUDGET: u64 = 50_000_000;
+
+/// Bit-error rates the soak matrix sweeps (uniform model).
+pub const SOAK_BERS: [f64; 4] = [1e-6, 1e-5, 1e-4, 1e-3];
+
+/// Audit period used by every soak schedule.
+pub const AUDIT_PERIOD: u64 = 2_000;
+
+/// Kernels the chaos harness knows how to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosKernel {
+    /// Figure 7 barrier stress loop.
+    TightLoop,
+    /// Livermore Loop 2 (tree reduction with barriers between stages).
+    Livermore2,
+    /// Lock-free FIFO counters (CAS kernel).
+    Fifo,
+    /// Lock-free LIFO counter (CAS kernel).
+    Lifo,
+    /// Shared-counter ADD (CAS kernel).
+    Add,
+}
+
+impl std::fmt::Display for ChaosKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosKernel::TightLoop => write!(f, "tightloop"),
+            ChaosKernel::Livermore2 => write!(f, "livermore2"),
+            ChaosKernel::Fifo => write!(f, "fifo"),
+            ChaosKernel::Lifo => write!(f, "lifo"),
+            ChaosKernel::Add => write!(f, "add"),
+        }
+    }
+}
+
+impl ChaosKernel {
+    /// The acceptance-criteria soak matrix: barrier kernels plus one
+    /// queue and one counter CAS kernel.
+    pub fn soak_matrix() -> [ChaosKernel; 4] {
+        [
+            ChaosKernel::TightLoop,
+            ChaosKernel::Livermore2,
+            ChaosKernel::Fifo,
+            ChaosKernel::Add,
+        ]
+    }
+
+    /// True for kernels whose synchronization is barriers rather than
+    /// CAS retry loops.
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, ChaosKernel::TightLoop | ChaosKernel::Livermore2)
+    }
+
+    /// Machine kind that routes this kernel's synchronization traffic
+    /// through the corruptible Data channel: barrier kernels run on
+    /// WiSyncNoT (barriers over Data), CAS kernels on full WiSync
+    /// (BM RMW broadcasts over Data either way).
+    pub fn kind_for_data_faults(&self) -> MachineKind {
+        if self.is_barrier() {
+            MachineKind::WiSyncNoT
+        } else {
+            MachineKind::WiSync
+        }
+    }
+
+    /// Work units for latency/throughput normalization: barrier
+    /// episodes for TightLoop, total successful CAS ops for the CAS
+    /// kernels, 1 for Livermore.
+    fn work_units(&self, cores: u64) -> u64 {
+        match self {
+            ChaosKernel::TightLoop => TIGHT_ITERS,
+            ChaosKernel::Livermore2 => 1,
+            ChaosKernel::Fifo | ChaosKernel::Lifo | ChaosKernel::Add => CAS_OPS * cores,
+        }
+    }
+}
+
+/// Fixed workload sizes — small enough that the full soak matrix stays
+/// in CI budget, large enough that every kernel crosses the wireless
+/// channel hundreds of times.
+const TIGHT_ITERS: u64 = 6;
+const LIVERMORE_N: u64 = 64;
+const CAS_OPS: u64 = 6;
+const CAS_CS: u64 = 16;
+
+/// Outcome of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Kernel that ran.
+    pub kernel: ChaosKernel,
+    /// Machine kind it ran on.
+    pub kind: MachineKind,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Work units completed (see `ChaosKernel::work_units`).
+    pub work_units: u64,
+    /// Successful CAS operations (0 for barrier kernels).
+    pub cas_successes: u64,
+    /// Run completed AND the kernel's correctness oracle passed.
+    pub correct: bool,
+    /// Oracle failure description, if any.
+    pub error: Option<String>,
+    /// Injector + detector counters at the end of the run.
+    pub stats: FaultStats,
+    /// Typed fault records the machine filed.
+    pub records: usize,
+}
+
+impl ChaosReport {
+    /// The soak contract. `None` means the run is acceptable: correct,
+    /// or wrong-but-detected, or wrong only because of corruptions the
+    /// schedule made undetectable (checksum escapes — injector ground
+    /// truth). `Some(why)` is a silent-divergence violation.
+    pub fn violation(&self) -> Option<String> {
+        if self.correct || self.stats.detected() > 0 || self.stats.undetected_corruptions > 0 {
+            return None;
+        }
+        Some(format!(
+            "{} on {}: outcome {:?}, error {:?}, but zero detected faults",
+            self.kernel, self.kind, self.outcome, self.error
+        ))
+    }
+}
+
+/// A kernel's correctness oracle, captured over its checker handle.
+type Oracle = Box<dyn Fn(&Machine) -> Result<(), String>>;
+
+/// Runs `kernel` on a fresh `kind` machine under `plan` and checks the
+/// final state with the kernel's own oracle. Deterministic: the same
+/// (kernel, kind, cores, plan) always produces the same report.
+pub fn run_chaos(
+    kernel: ChaosKernel,
+    kind: MachineKind,
+    cores: usize,
+    plan: FaultPlan,
+) -> ChaosReport {
+    let mut m = Machine::new(MachineConfig::for_kind(kind, cores));
+    m.set_fault_plan(plan);
+    let (report, check): (_, Oracle) = match kernel {
+        ChaosKernel::TightLoop => {
+            let tl = TightLoop::new(TIGHT_ITERS);
+            tl.load(&mut m);
+            (m.run(CHAOS_BUDGET), Box::new(move |m| tl.check(m)))
+        }
+        ChaosKernel::Livermore2 => {
+            let lv = Livermore::loop2(LIVERMORE_N);
+            let chk = lv.load(&mut m);
+            (m.run(CHAOS_BUDGET), Box::new(move |m| chk.check(m)))
+        }
+        ChaosKernel::Fifo | ChaosKernel::Lifo | ChaosKernel::Add => {
+            let k = CasKernel {
+                kind: match kernel {
+                    ChaosKernel::Fifo => CasKind::Fifo,
+                    ChaosKernel::Lifo => CasKind::Lifo,
+                    _ => CasKind::Add,
+                },
+                critical_section: CAS_CS,
+                ops_per_thread: CAS_OPS,
+            };
+            let chk = k.load(&mut m);
+            (m.run(CHAOS_BUDGET), Box::new(move |m| chk.check(m)))
+        }
+    };
+    let oracle = if report.outcome == RunOutcome::Completed {
+        check(&m)
+    } else {
+        Err(format!("run ended in {:?}", report.outcome))
+    };
+    ChaosReport {
+        kernel,
+        kind,
+        outcome: report.outcome,
+        cycles: report.cycles.as_u64(),
+        work_units: kernel.work_units(cores as u64),
+        cas_successes: m.stats().cas_successes,
+        correct: oracle.is_ok(),
+        error: oracle.err(),
+        stats: m.stats().fault_stats.clone(),
+        records: m.stats().faults.len(),
+    }
+}
+
+/// The soak schedule library: named fault plans the chaos bin and the
+/// CI soak sweep draw from. Every plan carries an audit period so
+/// divergence is always eventually found.
+pub fn uniform_schedule(ber: f64, seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_uniform_ber(ber)
+        .with_audit_period(AUDIT_PERIOD)
+        .with_seed(seed)
+}
+
+/// Bursty Gilbert-Elliott channel: mostly clean with dense error
+/// bursts averaging ~10 bits.
+pub fn burst_schedule(seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_gilbert_elliott(5e-4, 0.1, 1e-6, 5e-2)
+        .with_audit_period(AUDIT_PERIOD)
+        .with_seed(seed)
+}
+
+/// One core's transceiver is down for a window early in the run, on
+/// top of a light uniform BER.
+pub fn dropout_schedule(cores: usize, seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_uniform_ber(1e-5)
+        .with_dropout(cores - 1, Cycle(200), Cycle(4_000))
+        .with_audit_period(AUDIT_PERIOD)
+        .with_seed(seed)
+}
+
+/// Tone-channel trouble: late and dropped tone observations. Only
+/// meaningful on full WiSync, where barriers ride the Tone channel.
+pub fn tone_schedule(seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_tone_faults(0.05, 40, 0.02)
+        .with_audit_period(AUDIT_PERIOD)
+        .with_seed(seed)
+}
+
+/// A weak checksum: 20% of corruptions escape detection. Exercises the
+/// audit as the backstop and the injector-ground-truth leg of the
+/// contract.
+pub fn escape_schedule(seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_uniform_ber(1e-3)
+        .with_checksum_escape(0.2)
+        .with_audit_period(AUDIT_PERIOD)
+        .with_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_soak_matrix_is_correct_everywhere() {
+        for kernel in ChaosKernel::soak_matrix() {
+            let r = run_chaos(kernel, kernel.kind_for_data_faults(), 8, FaultPlan::none());
+            assert!(r.correct, "{kernel}: {:?}", r.error);
+            assert_eq!(r.violation(), None);
+            assert_eq!(r.stats.injected(), 0, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn soak_contract_holds_under_heavy_uniform_ber() {
+        for kernel in ChaosKernel::soak_matrix() {
+            let r = run_chaos(
+                kernel,
+                kernel.kind_for_data_faults(),
+                8,
+                uniform_schedule(1e-3, 0xC4A05),
+            );
+            assert_eq!(r.violation(), None, "{kernel}: {:?}", r.error);
+            assert!(r.stats.injected() > 0, "{kernel}: BER 1e-3 must fire");
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let go = || {
+            let r = run_chaos(
+                ChaosKernel::Add,
+                MachineKind::WiSync,
+                8,
+                uniform_schedule(1e-4, 7),
+            );
+            (r.cycles, r.correct, r.stats)
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn tone_schedule_on_full_wisync_holds_the_contract() {
+        let r = run_chaos(
+            ChaosKernel::TightLoop,
+            MachineKind::WiSync,
+            8,
+            tone_schedule(3),
+        );
+        assert_eq!(r.violation(), None, "{:?}", r.error);
+    }
+}

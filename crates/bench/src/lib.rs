@@ -6,6 +6,7 @@
 //! paper's format, and `benches/` runs scaled-down versions under
 //! Criterion so `cargo bench` exercises every experiment.
 
+pub mod chaos;
 pub mod perf;
 
 use wisync_core::{Machine, MachineConfig, MachineKind};

@@ -59,3 +59,8 @@ pub use config::{BmConsistency, MachineConfig, MachineKind};
 pub use machine::{Machine, RunOutcome, RunReport, ScheduleError, ThreadImage, WirelessMsg};
 pub use stats::MachineStats;
 pub use trace::{Trace, TraceEvent};
+// Fault-injection vocabulary, re-exported so workloads and harnesses can
+// build plans without depending on `wisync-fault` directly.
+pub use wisync_fault::{
+    Dropout, ErrorModel, FaultPlan, FaultRecord, FaultState, FaultStats, ToneFaults,
+};

@@ -8,6 +8,7 @@
 //! completion cycles and hand back wake-ups, and the machine turns those
 //! into events.
 
+use wisync_fault::{FaultPlan, FaultRecord, FaultState, RxOutcome, ToneOutcome};
 use wisync_isa::{Cond, Instr, Program, Reg, RmwSpec, Space};
 use wisync_mem::{MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId, NodeSet};
@@ -47,6 +48,20 @@ pub enum WirelessMsg {
     /// First-arrival message of a tone barrier: Data channel message with
     /// the Tone bit set (§4.2.2). The data field is immaterial.
     ToneInit { phys: usize, core: usize },
+    /// Fault recovery: the replica audit re-broadcasts the canonical
+    /// value of a diverged BM word so every replica converges. Sent only
+    /// when a [`FaultPlan`] is installed; carries no program-visible
+    /// write (the canonical BM already holds `value`).
+    Resync { phys: usize, value: u64 },
+}
+
+/// A queued Data-channel transmission: the message plus its delivery
+/// attempt (0 = first broadcast, >0 = fault-recovery retransmit after a
+/// receiver checksum reject).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TxFrame {
+    msg: WirelessMsg,
+    attempt: u32,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,9 +74,14 @@ enum Event {
     /// Resolve the given Data channel's slot at this event's cycle.
     ChannelResolve(usize),
     /// Chip-wide delivery of a wireless message.
-    Deliver(WirelessMsg),
+    Deliver(TxFrame),
     /// A tone barrier observed silence: release it.
     ToneComplete { phys: usize },
+    /// A core's delayed observation of a tone completion (fault
+    /// injection: the detector reported late).
+    ToneObserve { core: usize, phys: usize },
+    /// Periodic BM replica-divergence audit (fault injection).
+    FaultAudit,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -292,7 +312,7 @@ pub struct Machine {
     bm: BroadcastMemory,
     /// One or more Data channels (paper: one; §4.1 discusses more).
     /// Messages are interleaved by physical BM index.
-    data: Vec<DataChannel<WirelessMsg>>,
+    data: Vec<DataChannel<TxFrame>>,
     tone: ToneChannel,
     cores: Vec<Core>,
     queue: EventQueue<Event>,
@@ -307,6 +327,9 @@ pub struct Machine {
     now: Cycle,
     stats: MachineStats,
     trace: Option<Trace>,
+    /// Fault injection state; `None` (the default) costs nothing: no
+    /// hooks run, no randomness is drawn, event order is untouched.
+    fault: Option<Box<FaultState>>,
 }
 
 impl Machine {
@@ -337,8 +360,29 @@ impl Machine {
             now: Cycle::ZERO,
             stats: MachineStats::default(),
             trace: None,
+            fault: None,
             config,
         }
+    }
+
+    /// Installs a fault-injection plan (see [`wisync_fault`]).
+    ///
+    /// An empty plan ([`FaultPlan::is_none`]) uninstalls injection
+    /// entirely, restoring the exact unfaulted execution: the disabled
+    /// path draws no randomness and perturbs no event ordering.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_none() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(plan)))
+        };
+    }
+
+    /// The live fault-injection state, if a plan is installed (ground
+    /// truth for chaos harnesses; counters are also merged into
+    /// [`MachineStats::fault_stats`] when [`Machine::run`] returns).
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.fault.as_deref()
     }
 
     /// Enables event tracing with the given capacity (see
@@ -593,21 +637,58 @@ impl Machine {
                 self.queue.push(self.now, Event::Resume(i));
             }
         }
+        // Start the periodic replica-audit chain, if configured.
+        if let Some(f) = self.fault.as_mut() {
+            if let Some(period) = f.plan().audit_period {
+                if f.audits_queued() == 0 {
+                    f.audit_queued();
+                    self.queue.push(self.now + period, Event::FaultAudit);
+                }
+            }
+        }
         let deadline = Cycle(max_cycles);
         let mut outcome = RunOutcome::Completed;
         while let Some((at, ev)) = self.queue.pop() {
             if at > deadline {
+                if matches!(ev, Event::FaultAudit) {
+                    // The audit heartbeat alone must not turn a finished
+                    // run into CycleLimit; the end-of-run audit below
+                    // still reports any outstanding divergence.
+                    if let Some(f) = self.fault.as_mut() {
+                        f.audit_dequeued();
+                    }
+                    continue;
+                }
                 // Not yet due: put it back so a later run() continues
                 // exactly where this one stopped.
                 self.queue.push(at, ev);
                 outcome = RunOutcome::CycleLimit;
                 break;
             }
+            if matches!(ev, Event::FaultAudit)
+                && !self.cores.iter().any(|c| {
+                    matches!(
+                        c.status,
+                        CoreStatus::Running | CoreStatus::Blocked | CoreStatus::Sleeping
+                    )
+                })
+            {
+                // Every core is done: the trailing audit heartbeat must
+                // not stretch the measured completion time. It still
+                // counts as an audit; final_fault_audit below reports
+                // any outstanding divergence.
+                if let Some(f) = self.fault.as_mut() {
+                    f.audit_dequeued();
+                    f.stats_mut().audits += 1;
+                }
+                continue;
+            }
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.stats.sim_events += 1;
             self.dispatch(ev);
         }
+        self.final_fault_audit();
         let loaded = self
             .cores
             .iter()
@@ -632,6 +713,7 @@ impl Machine {
             data_stats.transfers += s.transfers;
             data_stats.collisions += s.collisions;
             data_stats.busy_cycles += s.busy_cycles;
+            data_stats.backoff_exhaustions += s.backoff_exhaustions;
             data_stats.latency.merge(&s.latency);
         }
         self.stats.absorb_substrates(
@@ -640,6 +722,9 @@ impl Machine {
             self.mem.stats().clone(),
             self.now,
         );
+        if let Some(f) = &self.fault {
+            self.stats.fault_stats = f.stats().clone();
+        }
         RunReport {
             outcome,
             cycles: self.now,
@@ -681,19 +766,31 @@ impl Machine {
                         complete_at,
                         ..
                     } => self.queue.push(complete_at, Event::Deliver(message)),
-                    Resolution::Collision { retry_slots } => {
+                    Resolution::Collision {
+                        retry_slots,
+                        exhausted,
+                    } => {
                         self.record(TraceEvent::Collision {
                             at: now,
                             channel: ch,
                         });
+                        for n in exhausted {
+                            self.record(TraceEvent::BackoffExhausted {
+                                at: now,
+                                channel: ch,
+                                core: n.as_usize(),
+                            });
+                        }
                         for s in retry_slots {
                             self.queue.push(s, Event::ChannelResolve(ch));
                         }
                     }
                 }
             }
-            Event::Deliver(msg) => self.deliver(msg),
+            Event::Deliver(frame) => self.deliver(frame),
             Event::ToneComplete { phys } => self.tone_complete(phys),
+            Event::ToneObserve { core, phys } => self.tone_observe_late(core, phys),
+            Event::FaultAudit => self.fault_audit(),
         }
     }
 
@@ -701,11 +798,21 @@ impl Machine {
 
     fn fault(&mut self, core: usize, reason: String) {
         self.cores[core].status = CoreStatus::Faulted;
-        self.stats.faults.push((core, reason));
+        self.stats.faults.push(FaultRecord::Exec { core, reason });
     }
 
     fn node(&self, core: usize) -> NodeId {
         NodeId(core)
+    }
+
+    /// Reads physical BM word `phys` as `core`'s replica holds it: the
+    /// canonical value, unless fault injection has diverged this replica.
+    fn bm_read(&self, core: usize, phys: usize) -> u64 {
+        let canonical = self.bm.read_phys(phys);
+        match &self.fault {
+            Some(f) => f.read(core, phys, canonical),
+            None => canonical,
+        }
     }
 
     /// Executes instructions for `core` starting at the current time,
@@ -816,7 +923,7 @@ impl Machine {
                                 // the buffered value (§4.2.1).
                                 let v = match self.cores[core].store_buffer {
                                     Some((p, val)) if p == phys => val,
-                                    _ => self.bm.read_phys(phys),
+                                    _ => self.bm_read(core, phys),
                                 };
                                 regs!(dst) = v;
                                 self.stats.bm_loads += 1;
@@ -918,7 +1025,7 @@ impl Machine {
                     match self.bm_translate_run(core, addr, 4) {
                         Ok(phys) => {
                             for k in 0..4usize {
-                                let v = self.bm.read_phys(phys + k);
+                                let v = self.bm_read(core, phys + k);
                                 self.cores[core].regs[dst.0 as usize + k] = v;
                             }
                             self.stats.bm_loads += 4;
@@ -969,7 +1076,7 @@ impl Machine {
                     let addr = regs!(base).wrapping_add(offset);
                     match self.bm_translate(core, addr) {
                         Ok(phys) => {
-                            let v = self.bm.read_phys(phys);
+                            let v = self.bm_read(core, phys);
                             regs!(dst) = v;
                             self.cores[core].pc = pc + 1;
                             self.block_until(core, t + self.config.bm_rt);
@@ -1104,15 +1211,20 @@ impl Machine {
     }
 
     fn request_tx(&mut self, core: usize, len: TxLen, msg: WirelessMsg, at: Cycle) -> TxToken {
-        let phys = match msg {
+        self.request_frame(core, len, TxFrame { msg, attempt: 0 }, at)
+    }
+
+    fn request_frame(&mut self, core: usize, len: TxLen, frame: TxFrame, at: Cycle) -> TxToken {
+        let phys = match frame.msg {
             WirelessMsg::BmWrite { phys, .. }
             | WirelessMsg::BmRmwWrite { phys, .. }
             | WirelessMsg::Bulk { phys, .. }
-            | WirelessMsg::ToneInit { phys, .. } => phys,
+            | WirelessMsg::ToneInit { phys, .. }
+            | WirelessMsg::Resync { phys, .. } => phys,
         };
         let ch = self.channel_of(phys);
         let node = self.node(core);
-        let (token, slot) = self.data[ch].request(node, len, msg, at);
+        let (token, slot) = self.data[ch].request(node, len, frame, at);
         self.queue.push(slot, Event::ChannelResolve(ch));
         token
     }
@@ -1133,7 +1245,7 @@ impl Machine {
             }
         };
         self.stats.note_rmw_attempt(kind);
-        let old = self.bm.read_phys(phys);
+        let old = self.bm_read(core, phys);
         self.cores[core].regs[dst.0 as usize] = old;
         let rk = self.rmw_kind(core, kind);
         let (new, writes) = match rk {
@@ -1288,9 +1400,13 @@ impl Machine {
         self.bm_waiters[phys] = ws;
     }
 
-    fn deliver(&mut self, msg: WirelessMsg) {
+    fn deliver(&mut self, frame: TxFrame) {
+        if frame.attempt > 0 {
+            self.deliver_retransmit(frame);
+            return;
+        }
         let at = self.now;
-        match msg {
+        match frame.msg {
             WirelessMsg::BmWrite { phys, value, core } => {
                 self.record(TraceEvent::Delivered {
                     at,
@@ -1298,6 +1414,7 @@ impl Machine {
                     phys,
                     kind: "store",
                 });
+                let before = self.bm.read_phys(phys);
                 self.bm.write_phys(phys, value);
                 // Guarded: after a preemption this core may already host
                 // another thread with its own in-flight store.
@@ -1310,6 +1427,7 @@ impl Machine {
                     self.cores[core].drain_block = false;
                     self.queue.push(at, Event::Resume(core));
                 }
+                self.fault_rx_pass(core, frame, TxLen::Normal, &[(phys, before, value)], at);
             }
             WirelessMsg::BmRmwWrite { phys, value, core } => {
                 let Some(pending) = self.cores[core].pending_rmw.take() else {
@@ -1331,12 +1449,14 @@ impl Machine {
                     phys,
                     kind: "rmw",
                 });
+                let before = self.bm.read_phys(phys);
                 self.bm.write_phys(phys, value);
                 self.cores[core].rmw_exp = self.cores[core].rmw_exp.saturating_sub(1);
                 self.stats.note_bm_rmw_committed(pending.is_cas);
                 self.break_conflicting_rmws(phys, core, at);
                 self.wake_bm_waiters(phys, at);
                 self.queue.push(at, Event::Resume(core));
+                self.fault_rx_pass(core, frame, TxLen::Normal, &[(phys, before, value)], at);
             }
             WirelessMsg::Bulk { phys, values, core } => {
                 self.record(TraceEvent::Delivered {
@@ -1345,6 +1465,10 @@ impl Machine {
                     phys,
                     kind: "bulk",
                 });
+                let mut words = [(0usize, 0u64, 0u64); 4];
+                for (k, w) in words.iter_mut().enumerate() {
+                    *w = (phys + k, self.bm.read_phys(phys + k), values[k]);
+                }
                 for (k, v) in values.iter().enumerate() {
                     self.bm.write_phys(phys + k, *v);
                     self.break_conflicting_rmws(phys + k, core, at);
@@ -1354,6 +1478,29 @@ impl Machine {
                     self.cores[core].drain_block = false;
                     self.queue.push(at, Event::Resume(core));
                 }
+                self.fault_rx_pass(core, frame, TxLen::Bulk, &words, at);
+            }
+            WirelessMsg::Resync { phys, .. } => {
+                self.record(TraceEvent::Delivered {
+                    at,
+                    core: 0,
+                    phys,
+                    kind: "resync",
+                });
+                // Resync frames are the recovery mechanism itself, so
+                // they are modelled as robust (heavily coded): every
+                // replica of `phys` converges on the canonical value —
+                // except cores whose transceiver is off, which stay
+                // diverged and keep the audit chain alive until their
+                // outage ends.
+                if let Some(f) = self.fault.as_mut() {
+                    for core in 0..self.cores.len() {
+                        if !f.in_dropout(core, at) {
+                            f.converge(core, phys);
+                        }
+                    }
+                }
+                self.wake_bm_waiters(phys, at);
             }
             WirelessMsg::ToneInit { phys, core } => {
                 self.record(TraceEvent::Delivered {
@@ -1391,14 +1538,224 @@ impl Machine {
         }
     }
 
+    /// Receiver-side fault pass for a delivered Data-channel frame: every
+    /// core other than the sender (whose reception is core-local, not
+    /// wireless) draws an outcome — deaf inside a dropout window, a
+    /// checksum reject, or a silently corrupted replica. Any reject makes
+    /// the sender retransmit, up to the plan's budget.
+    fn fault_rx_pass(
+        &mut self,
+        sender: usize,
+        frame: TxFrame,
+        len: TxLen,
+        words: &[(usize, u64, u64)],
+        at: Cycle,
+    ) {
+        let Some(mut f) = self.fault.take() else {
+            return;
+        };
+        let phys0 = words[0].0;
+        let ch = self.channel_of(phys0);
+        let bulk = matches!(len, TxLen::Bulk);
+        let cores = self.cores.len();
+        let mut any_reject = false;
+        for core in 0..cores {
+            if core == sender {
+                continue;
+            }
+            let outcome = f.rx(core, ch, cores, bulk, at);
+            if matches!(outcome, RxOutcome::Reject) {
+                any_reject = true;
+                self.record(TraceEvent::ChecksumReject {
+                    at,
+                    core,
+                    phys: phys0,
+                });
+            }
+            f.apply_rx(core, outcome, words);
+        }
+        if any_reject {
+            let attempt = frame.attempt + 1;
+            if attempt <= f.plan().max_retransmits {
+                f.stats_mut().retransmits += 1;
+                self.record(TraceEvent::Retransmit {
+                    at,
+                    core: sender,
+                    phys: phys0,
+                    attempt,
+                });
+                self.fault = Some(f);
+                self.request_frame(sender, len, TxFrame { attempt, ..frame }, at + 1);
+            } else {
+                f.stats_mut().retransmits_exhausted += 1;
+                self.stats.faults.push(FaultRecord::RetransmitExhausted {
+                    core: sender,
+                    phys: phys0,
+                });
+                self.fault = Some(f);
+            }
+        } else {
+            self.fault = Some(f);
+        }
+        self.arm_audit(at);
+    }
+
+    /// Delivers a fault-recovery retransmit. The canonical BM already
+    /// holds the payload (the first attempt performed the write), so this
+    /// pass only converges replicas that missed earlier attempts; a
+    /// replica that misses the retransmit too keeps its stale value for
+    /// the audit to find. Program-visible state is untouched.
+    fn deliver_retransmit(&mut self, frame: TxFrame) {
+        let at = self.now;
+        let (sender, len, words) = match frame.msg {
+            WirelessMsg::BmWrite { phys, core, .. }
+            | WirelessMsg::BmRmwWrite { phys, core, .. } => {
+                let cur = self.bm.read_phys(phys);
+                (core, TxLen::Normal, vec![(phys, cur, cur)])
+            }
+            WirelessMsg::Bulk { phys, core, .. } => {
+                let words = (0..4)
+                    .map(|k| {
+                        let cur = self.bm.read_phys(phys + k);
+                        (phys + k, cur, cur)
+                    })
+                    .collect();
+                (core, TxLen::Bulk, words)
+            }
+            // Neither is ever retransmitted.
+            WirelessMsg::ToneInit { .. } | WirelessMsg::Resync { .. } => return,
+        };
+        self.fault_rx_pass(sender, frame, len, &words, at);
+        // A replica converged by this retransmit may now satisfy a
+        // sleeping spin-waiter; deaf replicas just re-sleep.
+        for &(phys, _, _) in &words {
+            self.wake_bm_waiters(phys, at);
+        }
+    }
+
+    /// Ensures exactly one periodic replica-audit event is queued while
+    /// divergence exists (heals a chain that died while the machine was
+    /// fault-free).
+    fn arm_audit(&mut self, at: Cycle) {
+        let Some(f) = self.fault.as_mut() else {
+            return;
+        };
+        let Some(period) = f.plan().audit_period else {
+            return;
+        };
+        if f.has_divergence() && f.audits_queued() == 0 {
+            f.audit_queued();
+            self.queue.push(at + period, Event::FaultAudit);
+        }
+    }
+
+    /// Periodic BM replica-divergence audit: scrubs the overlay, records
+    /// and resyncs every diverged word, and reschedules itself while
+    /// there is anything left to watch.
+    fn fault_audit(&mut self) {
+        let at = self.now;
+        let Some(mut f) = self.fault.take() else {
+            return;
+        };
+        f.audit_dequeued();
+        f.stats_mut().audits += 1;
+        let diverged = f.diverged();
+        for &(phys, cores) in &diverged {
+            f.stats_mut().divergences_detected += 1;
+            f.stats_mut().resyncs += 1;
+            self.stats
+                .faults
+                .push(FaultRecord::ReplicaDivergence { phys, cores });
+            self.record(TraceEvent::ReplicaResync { at, phys });
+        }
+        let live = self
+            .cores
+            .iter()
+            .any(|c| matches!(c.status, CoreStatus::Running | CoreStatus::Blocked));
+        let period = f.plan().audit_period;
+        let reschedule = period.is_some() && f.audits_queued() == 0 && (live || f.has_divergence());
+        if reschedule {
+            f.audit_queued();
+            self.queue.push(at + period.unwrap(), Event::FaultAudit);
+        }
+        self.fault = Some(f);
+        for &(phys, _) in &diverged {
+            let value = self.bm.read_phys(phys);
+            self.request_frame(
+                0,
+                TxLen::Normal,
+                TxFrame {
+                    msg: WirelessMsg::Resync { phys, value },
+                    attempt: 0,
+                },
+                at + 1,
+            );
+        }
+    }
+
+    /// End-of-run audit: divergence still outstanding when the machine
+    /// stops is recorded, so a faulty run can never end silently wrong.
+    fn final_fault_audit(&mut self) {
+        let Some(mut f) = self.fault.take() else {
+            return;
+        };
+        if f.has_divergence() {
+            f.stats_mut().audits += 1;
+            for (phys, cores) in f.diverged() {
+                f.stats_mut().divergences_detected += 1;
+                self.stats
+                    .faults
+                    .push(FaultRecord::ReplicaDivergence { phys, cores });
+            }
+        }
+        self.fault = Some(f);
+    }
+
+    /// A core's delayed tone observation fires: its replica of the
+    /// barrier flag converges, and its spin-wait (if sleeping on this
+    /// word) is re-checked.
+    fn tone_observe_late(&mut self, core: usize, phys: usize) {
+        let at = self.now;
+        if let Some(f) = self.fault.as_mut() {
+            f.converge(core, phys);
+        }
+        if self.cores[core].status == CoreStatus::Sleeping {
+            if let Some(info) = self.cores[core].wait {
+                if info.space == Space::Bm && info.loc as usize == phys {
+                    self.bm_waiters[phys].retain(|&c| c != core);
+                    self.queue.push(at, Event::WaitCheck(core));
+                }
+            }
+        }
+    }
+
     fn tone_complete(&mut self, phys: usize) {
         let at = self.now;
         self.tone
             .complete(phys as u64, at)
             .expect("completing an active barrier");
+        let before = self.bm.read_phys(phys);
         self.bm.toggle_phys(phys);
         self.stats.tone_barriers += 1;
         self.record(TraceEvent::ToneCompleted { at, phys });
+        if let Some(mut f) = self.fault.take() {
+            let after = self.bm.read_phys(phys);
+            let words = [(phys, before, after)];
+            for core in 0..self.cores.len() {
+                match f.tone_observe(core, at) {
+                    ToneOutcome::Prompt => f.apply_rx(core, RxOutcome::Clean, &words),
+                    ToneOutcome::Late(d) => {
+                        f.apply_rx(core, RxOutcome::Deaf, &words);
+                        self.queue.push(at + d, Event::ToneObserve { core, phys });
+                    }
+                    // Missed entirely: the replica stays stale until the
+                    // audit resyncs it.
+                    ToneOutcome::Dropped => f.apply_rx(core, RxOutcome::Deaf, &words),
+                }
+            }
+            self.fault = Some(f);
+            self.arm_audit(at);
+        }
         self.wake_bm_waiters(phys, at);
     }
 
@@ -1415,7 +1772,7 @@ impl Machine {
         let info = self.cores[core].wait.expect("wait_check without wait info");
         let current = match info.space {
             Space::Cached => self.mem.peek(info.loc),
-            Space::Bm => self.bm.read_phys(info.loc as usize),
+            Space::Bm => self.bm_read(core, info.loc as usize),
         };
         let waiting = match info.cond {
             Cond::Eq => current == info.value,

@@ -1,5 +1,6 @@
 //! Whole-machine statistics.
 
+use wisync_fault::{FaultRecord, FaultStats};
 use wisync_isa::RmwSpec;
 use wisync_mem::MemStats;
 use wisync_sim::Cycle;
@@ -35,8 +36,12 @@ pub struct MachineStats {
     /// CAS instructions that compared equal *and* committed atomically
     /// (the quantity Figure 9 plots per 1000 cycles).
     pub cas_successes: u64,
-    /// Per-core simulation faults (protection violations etc.).
-    pub faults: Vec<(usize, String)>,
+    /// Simulation and injected faults (protection violations, exhausted
+    /// retransmit budgets, audited replica divergence).
+    pub faults: Vec<FaultRecord>,
+    /// Fault-injection counters (all zero when no [`wisync_fault::FaultPlan`]
+    /// is installed).
+    pub fault_stats: FaultStats,
     /// Wireless Data channel statistics.
     pub data: DataChannelStats,
     /// Fraction of run cycles the Data channel was busy (Table 5).

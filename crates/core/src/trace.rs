@@ -54,6 +54,46 @@ pub enum TraceEvent {
         /// Barrier's physical BM index.
         phys: usize,
     },
+    /// A colliding frame's MAC backoff exponent was already at
+    /// `max_backoff_exp`: escalation gave up and the frame keeps
+    /// retrying at the capped window.
+    BackoffExhausted {
+        /// Collision slot.
+        at: Cycle,
+        /// Which Data channel.
+        channel: usize,
+        /// Core whose frame is stuck at the cap.
+        core: usize,
+    },
+    /// A receiver's checksum caught a corrupted delivery and dropped the
+    /// frame (fault injection).
+    ChecksumReject {
+        /// Delivery cycle.
+        at: Cycle,
+        /// Rejecting receiver core.
+        core: usize,
+        /// Physical BM index of the dropped payload.
+        phys: usize,
+    },
+    /// A sender re-broadcast a NACKed message (fault recovery).
+    Retransmit {
+        /// Cycle the retransmit was requested.
+        at: Cycle,
+        /// Sending core.
+        core: usize,
+        /// Physical BM index of the payload.
+        phys: usize,
+        /// Delivery attempt number (1 = first retransmit).
+        attempt: u32,
+    },
+    /// The replica audit found divergence at a BM word and issued a
+    /// resync broadcast.
+    ReplicaResync {
+        /// Audit cycle.
+        at: Cycle,
+        /// The diverged physical BM index.
+        phys: usize,
+    },
     /// A core's program halted.
     Halted {
         /// Halt cycle.
@@ -72,6 +112,10 @@ impl TraceEvent {
             | TraceEvent::RmwAborted { at, .. }
             | TraceEvent::ToneActivated { at, .. }
             | TraceEvent::ToneCompleted { at, .. }
+            | TraceEvent::BackoffExhausted { at, .. }
+            | TraceEvent::ChecksumReject { at, .. }
+            | TraceEvent::Retransmit { at, .. }
+            | TraceEvent::ReplicaResync { at, .. }
             | TraceEvent::Halted { at, .. } => at,
         }
     }
@@ -97,6 +141,29 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::ToneCompleted { at, phys } => {
                 write!(f, "{at:>8} tone-    barrier bm[{phys}] released")
+            }
+            TraceEvent::BackoffExhausted { at, channel, core } => {
+                write!(
+                    f,
+                    "{at:>8} backoff! core {core} capped on channel {channel}"
+                )
+            }
+            TraceEvent::ChecksumReject { at, core, phys } => {
+                write!(f, "{at:>8} crc-drop core {core} rejected bm[{phys}]")
+            }
+            TraceEvent::Retransmit {
+                at,
+                core,
+                phys,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "{at:>8} retx     core {core} bm[{phys}] attempt {attempt}"
+                )
+            }
+            TraceEvent::ReplicaResync { at, phys } => {
+                write!(f, "{at:>8} resync   bm[{phys}] replica divergence")
             }
             TraceEvent::Halted { at, core } => write!(f, "{at:>8} halt     core {core}"),
         }
@@ -220,8 +287,28 @@ mod tests {
                 at: Cycle(5),
                 phys: 3,
             },
-            TraceEvent::Halted {
+            TraceEvent::BackoffExhausted {
                 at: Cycle(6),
+                channel: 0,
+                core: 4,
+            },
+            TraceEvent::ChecksumReject {
+                at: Cycle(7),
+                core: 5,
+                phys: 2,
+            },
+            TraceEvent::Retransmit {
+                at: Cycle(8),
+                core: 0,
+                phys: 2,
+                attempt: 1,
+            },
+            TraceEvent::ReplicaResync {
+                at: Cycle(9),
+                phys: 2,
+            },
+            TraceEvent::Halted {
+                at: Cycle(10),
                 core: 2,
             },
         ];

@@ -448,7 +448,7 @@ fn protection_violation_faults_the_core() {
     let r = m.run(10_000);
     assert_eq!(r.outcome, RunOutcome::Faulted);
     assert_eq!(m.stats().faults.len(), 1);
-    assert!(m.stats().faults[0].1.contains("PID tag mismatch"));
+    assert!(m.stats().faults[0].to_string().contains("PID tag mismatch"));
 }
 
 #[test]

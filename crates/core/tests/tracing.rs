@@ -142,6 +142,63 @@ fn trace_captures_afb_aborts_under_contention() {
 }
 
 #[test]
+fn trace_captures_backoff_cap_exhaustion() {
+    // Clamp the backoff window so synchronized store bursts drive every
+    // frame's MAC exponent to the cap almost immediately.
+    let mut cfg = MachineConfig::wisync(16);
+    cfg.wireless.max_backoff_exp = 1;
+    let mut m = Machine::new(cfg);
+    let base = m.bm_alloc(PID, 16).unwrap();
+    m.enable_trace(65_536);
+    for c in 0..16 {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: c as u64,
+        });
+        // Every core stores to its own word in the same slot: pure
+        // collision pressure, no data dependence.
+        b.push(Instr::St {
+            src: Reg(1),
+            base: Reg(0),
+            offset: base + 8 * c as u64,
+            space: Space::Bm,
+        });
+        b.push(Instr::Halt);
+        m.load_program(c, PID, b.build().unwrap());
+    }
+    assert_eq!(m.run(1_000_000).outcome, RunOutcome::Completed);
+    let trace = m.trace().unwrap();
+    let exhausted = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::BackoffExhausted { .. }))
+        .count() as u64;
+    assert!(
+        exhausted > 0,
+        "16 synchronized stores with a window cap of 2^1 must exhaust backoff"
+    );
+    if trace.dropped() == 0 {
+        // With nothing dropped, the trace agrees with the counter.
+        assert_eq!(exhausted, m.stats().data.backoff_exhaustions);
+    }
+    // Every exhaustion event accompanies a collision at the same cycle.
+    let collisions: std::collections::HashSet<(u64, usize)> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::Collision { at, channel } => Some((at.as_u64(), channel)),
+            _ => None,
+        })
+        .collect();
+    for e in trace.events() {
+        if let TraceEvent::BackoffExhausted { at, channel, .. } = *e {
+            assert!(collisions.contains(&(at.as_u64(), channel)));
+        }
+    }
+}
+
+#[test]
 fn tracing_does_not_change_timing() {
     let run = |traced: bool| {
         let mut m = Machine::new(MachineConfig::wisync(16));

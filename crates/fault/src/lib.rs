@@ -1,0 +1,60 @@
+//! Deterministic fault injection for the WiSync wireless layers.
+//!
+//! The paper engineers the on-chip channel so broadcasts can be treated
+//! as error-free (§3.2: only collisions are modeled). The wireless-NoC
+//! literature it builds on, however, reports nontrivial bit-error rates
+//! and argues for MAC-level resilience. This crate lets the simulator
+//! express those scenarios without giving up reproducibility:
+//!
+//! - [`FaultPlan`] — a seeded, declarative fault schedule: per-channel
+//!   bit errors ([`ErrorModel::Uniform`] or the two-state
+//!   [`ErrorModel::GilbertElliott`] burst model), per-core transceiver
+//!   [`Dropout`] windows, and dropped/late Tone observations
+//!   ([`ToneFaults`]). `FaultPlan::none()` is the default and injects
+//!   nothing.
+//! - [`FaultState`] — the runtime side: per-link error chains, the
+//!   replica-divergence overlay (which diverged core replica holds which
+//!   stale value), and the [`FaultStats`] counters. All randomness comes
+//!   from a dedicated [`wisync_sim::DetRng`] stream, so fault decisions
+//!   never perturb the machine's own RNG and runs stay byte-reproducible
+//!   per seed.
+//! - [`FaultRecord`] — the typed fault log shared with
+//!   `wisync-core`'s `MachineStats`: execution faults, exhausted
+//!   retransmit budgets, and replica divergences found by the audit.
+//!
+//! The injection hooks themselves live in `wisync-core::Machine`
+//! (delivery, BM reads, tone completion); this crate only decides *what*
+//! goes wrong and keeps the books. When a machine has no plan installed
+//! the hooks are skipped entirely — zero cost, zero extra RNG draws.
+
+pub mod model;
+pub mod plan;
+pub mod record;
+pub mod state;
+
+pub use model::{ErrorModel, GeLink};
+pub use plan::{Dropout, FaultPlan, ToneFaults};
+pub use record::{FaultRecord, FaultStats};
+pub use state::{FaultState, RxOutcome, ToneOutcome};
+
+use wisync_sim::DetRng;
+
+/// Draws a uniform float in `[0, 1)` from `rng`. `DetRng` has no float
+/// API; this uses the top 53 bits of one `next_u64` draw.
+pub(crate) fn unit(rng: &mut DetRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * 2f64.powi(-53)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = DetRng::new(7);
+        for _ in 0..1000 {
+            let u = unit(&mut rng);
+            assert!((0.0..1.0).contains(&u), "unit draw {u} out of range");
+        }
+    }
+}

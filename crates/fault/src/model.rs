@@ -1,0 +1,202 @@
+//! Bit-error models for Data-channel receptions.
+
+use wisync_sim::DetRng;
+
+use crate::unit;
+
+/// The bit-error process on one receiver's link.
+///
+/// Errors are modeled at the receiver: a broadcast reaches every
+/// transceiver over a slightly different path, so each (channel,
+/// receiver) link runs its own error process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ErrorModel {
+    /// Error-free channel — the paper's assumption.
+    None,
+    /// Independent, identically distributed bit errors at rate `ber`.
+    Uniform {
+        /// Per-bit error probability.
+        ber: f64,
+    },
+    /// Two-state Gilbert-Elliott burst model: the link flips between a
+    /// Good and a Bad state with the given per-bit transition
+    /// probabilities, and bits error at the state's rate. Captures the
+    /// bursty interference (e.g. switching noise) reported for on-chip
+    /// wireless links.
+    GilbertElliott {
+        /// Per-bit probability of Good → Bad.
+        p_good_to_bad: f64,
+        /// Per-bit probability of Bad → Good.
+        p_bad_to_good: f64,
+        /// Bit-error rate while Good.
+        ber_good: f64,
+        /// Bit-error rate while Bad.
+        ber_bad: f64,
+    },
+}
+
+impl ErrorModel {
+    /// Whether this model never injects an error.
+    pub fn is_none(&self) -> bool {
+        matches!(self, ErrorModel::None)
+    }
+
+    /// The long-run (stationary) bit-error rate.
+    ///
+    /// For Gilbert-Elliott this is `π_G·ber_good + π_B·ber_bad` with the
+    /// stationary Bad-state probability
+    /// `π_B = p_good_to_bad / (p_good_to_bad + p_bad_to_good)`.
+    pub fn long_run_ber(&self) -> f64 {
+        match *self {
+            ErrorModel::None => 0.0,
+            ErrorModel::Uniform { ber } => ber,
+            ErrorModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ber_good,
+                ber_bad,
+            } => {
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom <= 0.0 {
+                    // Chain never moves: it stays in its Good start state.
+                    return ber_good;
+                }
+                let pi_bad = p_good_to_bad / denom;
+                (1.0 - pi_bad) * ber_good + pi_bad * ber_bad
+            }
+        }
+    }
+}
+
+/// Runtime state of one receiver link's error chain (the Gilbert-Elliott
+/// Good/Bad position; uniform links are stateless).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeLink {
+    /// Whether the chain is currently in the Bad state.
+    pub bad: bool,
+}
+
+impl GeLink {
+    /// Advances the chain by one bit time: samples whether that bit
+    /// errored, then the state transition. Uniform models draw once and
+    /// never transition; `None` draws nothing.
+    pub fn step_bit(&mut self, model: &ErrorModel, rng: &mut DetRng) -> bool {
+        match *model {
+            ErrorModel::None => false,
+            ErrorModel::Uniform { ber } => unit(rng) < ber,
+            ErrorModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ber_good,
+                ber_bad,
+            } => {
+                let errored = unit(rng) < if self.bad { ber_bad } else { ber_good };
+                let p_flip = if self.bad {
+                    p_bad_to_good
+                } else {
+                    p_good_to_bad
+                };
+                if unit(rng) < p_flip {
+                    self.bad = !self.bad;
+                }
+                errored
+            }
+        }
+    }
+
+    /// Whether a `bits`-bit message on this link arrives corrupted.
+    ///
+    /// Gilbert-Elliott advances the chain across every bit of the
+    /// message (bursts span messages). The memoryless uniform model uses
+    /// the closed form `P(any error) = 1 − (1 − ber)^bits` in a single
+    /// draw — equivalent in distribution, and the checksum only cares
+    /// whether *any* bit flipped.
+    pub fn corrupts_message(&mut self, model: &ErrorModel, bits: u32, rng: &mut DetRng) -> bool {
+        match *model {
+            ErrorModel::None => false,
+            ErrorModel::Uniform { ber } => {
+                let p_any = 1.0 - (1.0 - ber).powi(bits as i32);
+                unit(rng) < p_any
+            }
+            ErrorModel::GilbertElliott { .. } => {
+                let mut errored = false;
+                for _ in 0..bits {
+                    errored |= self.step_bit(model, rng);
+                }
+                errored
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_run_ber_matches_stationary_mixture() {
+        let m = ErrorModel::GilbertElliott {
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.3,
+            ber_good: 0.0,
+            ber_bad: 0.4,
+        };
+        // π_B = 0.1 / 0.4 = 0.25, so long-run BER = 0.25 · 0.4 = 0.1.
+        assert!((m.long_run_ber() - 0.1).abs() < 1e-12);
+        assert_eq!(ErrorModel::None.long_run_ber(), 0.0);
+        assert_eq!(ErrorModel::Uniform { ber: 1e-4 }.long_run_ber(), 1e-4);
+    }
+
+    #[test]
+    fn none_model_draws_nothing() {
+        let mut rng = DetRng::new(3);
+        let before = rng.next_u64();
+        let mut rng = DetRng::new(3);
+        let mut link = GeLink::default();
+        assert!(!link.corrupts_message(&ErrorModel::None, 77, &mut rng));
+        assert_eq!(rng.next_u64(), before, "None model must not consume RNG");
+    }
+
+    #[test]
+    fn uniform_message_corruption_rate_tracks_closed_form() {
+        let ber = 1e-3;
+        let bits = 77;
+        let mut rng = DetRng::new(11);
+        let mut link = GeLink::default();
+        let trials = 50_000;
+        let hits = (0..trials)
+            .filter(|_| link.corrupts_message(&ErrorModel::Uniform { ber }, bits, &mut rng))
+            .count();
+        let expected = (1.0 - (1.0 - ber).powi(bits as i32)) * trials as f64;
+        let got = hits as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "uniform corruption count {got} far from expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_visits_both_states() {
+        let m = ErrorModel::GilbertElliott {
+            p_good_to_bad: 0.2,
+            p_bad_to_good: 0.2,
+            ber_good: 0.0,
+            ber_bad: 1.0,
+        };
+        let mut rng = DetRng::new(5);
+        let mut link = GeLink::default();
+        let (mut good, mut bad) = (0u32, 0u32);
+        for _ in 0..1000 {
+            if link.bad {
+                bad += 1
+            } else {
+                good += 1
+            }
+            link.step_bit(&m, &mut rng);
+        }
+        assert!(
+            good > 100 && bad > 100,
+            "chain stuck: good={good} bad={bad}"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Declarative fault schedules.
+
+use wisync_sim::Cycle;
+
+use crate::model::ErrorModel;
+
+/// A per-core transceiver outage: every Data-channel delivery and Tone
+/// observation addressed to `core` during `[from, until)` is silently
+/// missed (the radio is off, so the core cannot even NACK).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dropout {
+    /// The deaf core.
+    pub core: usize,
+    /// First cycle of the outage (inclusive).
+    pub from: Cycle,
+    /// End of the outage (exclusive).
+    pub until: Cycle,
+}
+
+/// Tone-channel observation faults: a core's tone detector can observe a
+/// barrier-completing silence late, or miss it entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ToneFaults {
+    /// Per-core, per-completion probability of a late observation.
+    pub late_prob: f64,
+    /// Maximum lateness in cycles (the actual delay is uniform in
+    /// `1..=max_late`).
+    pub max_late: u64,
+    /// Per-core, per-completion probability of missing the observation
+    /// entirely (recovered only by the replica audit's resync).
+    pub drop_prob: f64,
+}
+
+impl ToneFaults {
+    /// No tone faults.
+    pub fn none() -> ToneFaults {
+        ToneFaults {
+            late_prob: 0.0,
+            max_late: 0,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Whether this schedule never perturbs a tone observation.
+    pub fn is_none(&self) -> bool {
+        self.late_prob <= 0.0 && self.drop_prob <= 0.0
+    }
+}
+
+/// A complete, seeded fault schedule for one machine run.
+///
+/// The default ([`FaultPlan::none`]) injects nothing; a machine with the
+/// default plan behaves — cycle for cycle and RNG draw for RNG draw —
+/// exactly like one with no plan installed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the dedicated fault RNG stream (independent of the
+    /// machine's own seed, so injection never perturbs MAC backoff).
+    pub seed: u64,
+    /// Bit-error process applied per (channel, receiver) link.
+    pub data: ErrorModel,
+    /// Airtime of a normal message in bits (77 per §4.5: type + address
+    /// + word + CRC).
+    pub normal_bits: u32,
+    /// Airtime of a Bulk message in bits (4 data words + header + CRC).
+    pub bulk_bits: u32,
+    /// Probability that a corrupted message *escapes* the per-message
+    /// checksum (0.0 models an ideal CRC: every corruption is detected
+    /// and the frame dropped at the receiver).
+    pub checksum_escape: f64,
+    /// How many times a sender re-broadcasts a message some receiver
+    /// NACKed before giving up and logging
+    /// [`crate::FaultRecord::RetransmitExhausted`].
+    pub max_retransmits: u32,
+    /// Scheduled per-core transceiver outages.
+    pub dropouts: Vec<Dropout>,
+    /// Tone-channel observation faults.
+    pub tone: ToneFaults,
+    /// Period of the background BM replica-divergence audit in cycles;
+    /// `None` disables the periodic scrub (an audit still runs when the
+    /// machine stops, so divergence is never silent).
+    pub audit_period: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0xFA17,
+            data: ErrorModel::None,
+            normal_bits: 77,
+            bulk_bits: 269,
+            checksum_escape: 0.0,
+            max_retransmits: 3,
+            dropouts: Vec::new(),
+            tone: ToneFaults::none(),
+            audit_period: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing is ever injected.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can never inject a fault.
+    pub fn is_none(&self) -> bool {
+        self.data.is_none() && self.dropouts.is_empty() && self.tone.is_none()
+    }
+
+    /// Overrides the fault RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Uniform i.i.d. bit errors at `ber` on every link.
+    pub fn with_uniform_ber(mut self, ber: f64) -> FaultPlan {
+        self.data = if ber > 0.0 {
+            ErrorModel::Uniform { ber }
+        } else {
+            ErrorModel::None
+        };
+        self
+    }
+
+    /// Gilbert-Elliott burst errors on every link.
+    pub fn with_gilbert_elliott(
+        mut self,
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        ber_good: f64,
+        ber_bad: f64,
+    ) -> FaultPlan {
+        self.data = ErrorModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            ber_good,
+            ber_bad,
+        };
+        self
+    }
+
+    /// Adds a transceiver outage for `core` over `[from, until)`.
+    pub fn with_dropout(mut self, core: usize, from: Cycle, until: Cycle) -> FaultPlan {
+        self.dropouts.push(Dropout { core, from, until });
+        self
+    }
+
+    /// Sets the tone observation fault probabilities.
+    pub fn with_tone_faults(mut self, late_prob: f64, max_late: u64, drop_prob: f64) -> FaultPlan {
+        self.tone = ToneFaults {
+            late_prob,
+            max_late,
+            drop_prob,
+        };
+        self
+    }
+
+    /// Sets the checksum escape probability.
+    pub fn with_checksum_escape(mut self, escape: f64) -> FaultPlan {
+        self.checksum_escape = escape;
+        self
+    }
+
+    /// Sets the retransmit budget.
+    pub fn with_max_retransmits(mut self, max: u32) -> FaultPlan {
+        self.max_retransmits = max;
+        self
+    }
+
+    /// Enables the periodic replica audit every `cycles` cycles.
+    pub fn with_audit_period(mut self, cycles: u64) -> FaultPlan {
+        self.audit_period = Some(cycles);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::default().is_none());
+    }
+
+    #[test]
+    fn any_injector_makes_plan_not_none() {
+        assert!(!FaultPlan::none().with_uniform_ber(1e-6).is_none());
+        assert!(!FaultPlan::none()
+            .with_dropout(1, Cycle(10), Cycle(20))
+            .is_none());
+        assert!(!FaultPlan::none().with_tone_faults(0.1, 50, 0.0).is_none());
+        // Zero-BER "uniform" collapses back to None.
+        assert!(FaultPlan::none().with_uniform_ber(0.0).is_none());
+        // Recovery knobs alone inject nothing.
+        assert!(FaultPlan::none()
+            .with_audit_period(1000)
+            .with_max_retransmits(7)
+            .is_none());
+    }
+}

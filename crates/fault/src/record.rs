@@ -1,0 +1,150 @@
+//! The typed fault log and injection/recovery counters.
+
+use std::fmt;
+
+/// One detected, unrecovered fault, as logged in
+/// `MachineStats::faults`. Recovered events (a checksum reject that a
+/// retransmit healed, a dropout the audit resynced) only bump
+/// [`FaultStats`] counters; a `FaultRecord` means the machine gave up or
+/// found lasting damage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultRecord {
+    /// A core's execution faulted (protection violation, illegal tone
+    /// use, …) and the core was halted.
+    Exec {
+        /// The faulting core.
+        core: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A broadcast kept failing its receiver checksums and the sender
+    /// exhausted its retransmit budget; some replicas may disagree.
+    RetransmitExhausted {
+        /// The sending core.
+        core: usize,
+        /// The BM word the message updated.
+        phys: usize,
+    },
+    /// The replica audit found diverged per-core BM replicas.
+    ReplicaDivergence {
+        /// The diverged BM word.
+        phys: usize,
+        /// How many core replicas disagreed with the canonical value.
+        cores: usize,
+    },
+}
+
+impl FaultRecord {
+    /// The core this record is attributed to, if any.
+    pub fn core(&self) -> Option<usize> {
+        match *self {
+            FaultRecord::Exec { core, .. } | FaultRecord::RetransmitExhausted { core, .. } => {
+                Some(core)
+            }
+            FaultRecord::ReplicaDivergence { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultRecord::Exec { core, reason } => write!(f, "core {core}: {reason}"),
+            FaultRecord::RetransmitExhausted { core, phys } => {
+                write!(
+                    f,
+                    "core {core}: retransmit budget exhausted for BM word {phys}"
+                )
+            }
+            FaultRecord::ReplicaDivergence { phys, cores } => {
+                write!(
+                    f,
+                    "replica audit: {cores} diverged replica(s) at BM word {phys}"
+                )
+            }
+        }
+    }
+}
+
+/// Injection and recovery counters, exposed via `MachineStats`.
+///
+/// `detected()` sums the events the *machine itself* can observe —
+/// checksum rejects, known-deaf windows, exhausted retransmit budgets,
+/// audit-found divergence. `injected()` is the omniscient injector's
+/// ground truth, including corruptions that escaped the checksum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages corrupted on at least one receiver link (ground truth).
+    pub injected_corruptions: u64,
+    /// Corrupted receptions caught and dropped by the checksum.
+    pub checksum_rejects: u64,
+    /// Corrupted receptions that escaped the checksum and were applied.
+    pub undetected_corruptions: u64,
+    /// Deliveries missed because the receiver's transceiver was off.
+    pub dropout_misses: u64,
+    /// Tone completions a core observed late.
+    pub tone_late: u64,
+    /// Tone completions a core missed entirely.
+    pub tone_dropped: u64,
+    /// Sender re-broadcasts triggered by receiver checksum rejects.
+    pub retransmits: u64,
+    /// Messages whose retransmit budget ran out.
+    pub retransmits_exhausted: u64,
+    /// Replica audits executed (periodic + end-of-run).
+    pub audits: u64,
+    /// Diverged BM words found by audits.
+    pub divergences_detected: u64,
+    /// Replica-resync broadcasts issued by audits.
+    pub resyncs: u64,
+}
+
+impl FaultStats {
+    /// Fault signals the machine itself detected and reported.
+    pub fn detected(&self) -> u64 {
+        self.checksum_rejects
+            + self.dropout_misses
+            + self.retransmits_exhausted
+            + self.divergences_detected
+    }
+
+    /// Ground-truth injected fault events (known only to the injector).
+    pub fn injected(&self) -> u64 {
+        self.injected_corruptions + self.dropout_misses + self.tone_late + self.tone_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let exec = FaultRecord::Exec {
+            core: 3,
+            reason: "PID tag mismatch".to_string(),
+        };
+        assert!(exec.to_string().contains("PID tag mismatch"));
+        assert!(exec.to_string().contains("core 3"));
+        assert_eq!(exec.core(), Some(3));
+
+        let rexh = FaultRecord::RetransmitExhausted { core: 1, phys: 42 };
+        assert!(rexh.to_string().contains("42"));
+        assert_eq!(rexh.core(), Some(1));
+
+        let div = FaultRecord::ReplicaDivergence { phys: 7, cores: 2 };
+        assert!(div.to_string().contains("7"));
+        assert_eq!(div.core(), None);
+    }
+
+    #[test]
+    fn detected_excludes_escaped_corruptions() {
+        let stats = FaultStats {
+            injected_corruptions: 10,
+            checksum_rejects: 8,
+            undetected_corruptions: 2,
+            ..FaultStats::default()
+        };
+        assert_eq!(stats.detected(), 8);
+        assert_eq!(stats.injected(), 10);
+    }
+}

@@ -1,0 +1,375 @@
+//! Runtime fault state: per-link error chains, the replica-divergence
+//! overlay, and audit bookkeeping.
+
+use wisync_sim::{Cycle, DetRng, FxHashMap};
+
+use crate::model::GeLink;
+use crate::plan::FaultPlan;
+use crate::record::FaultStats;
+use crate::unit;
+
+/// Outcome of one receiver's reception of a Data-channel broadcast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Received and applied to the replica.
+    Clean,
+    /// The transceiver was off (dropout window): silently missed, and
+    /// the receiver cannot NACK.
+    Deaf,
+    /// Corrupted, caught by the checksum, frame dropped; the receiver
+    /// NACKs so the sender may retransmit.
+    Reject,
+    /// Corrupted and the checksum missed it: the replica applies word
+    /// `word` of the payload with `mask` XORed in.
+    Corrupt {
+        /// Payload word index the surviving bit flip landed in.
+        word: usize,
+        /// The applied single-bit flip (never zero).
+        mask: u64,
+    },
+}
+
+/// Outcome of one core's observation of a Tone-channel completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToneOutcome {
+    /// Observed on time.
+    Prompt,
+    /// Observed the given number of cycles late.
+    Late(u64),
+    /// Missed entirely; only a replica-audit resync can recover it.
+    Dropped,
+}
+
+/// Runtime fault-injection state for one machine.
+///
+/// The *overlay* is the heart of the divergence model: the canonical BM
+/// array in `wisync-core` stays the single source of truth, and
+/// `overlay[(core, phys)] = v` records that `core`'s replica of word
+/// `phys` actually holds the stale/corrupt value `v` instead. A missing
+/// entry means the replica agrees with the canonical value.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: DetRng,
+    /// Per-(channel, receiver) error-chain state, indexed
+    /// `channel * cores + core`, grown lazily.
+    links: Vec<GeLink>,
+    overlay: FxHashMap<(usize, usize), u64>,
+    stats: FaultStats,
+    /// Number of `FaultAudit` events currently in the machine's queue —
+    /// keeps exactly one periodic scrub chain alive.
+    audits_queued: u32,
+    kicked_off: bool,
+}
+
+impl FaultState {
+    /// Builds the runtime state for `plan`.
+    pub fn new(plan: FaultPlan) -> FaultState {
+        let rng = DetRng::new(plan.seed ^ 0xFA_17_FA_17_FA_17_FA_17);
+        FaultState {
+            plan,
+            rng,
+            links: Vec::new(),
+            overlay: FxHashMap::default(),
+            stats: FaultStats::default(),
+            audits_queued: 0,
+            kicked_off: false,
+        }
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection/recovery counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Mutable access for the machine-side hooks.
+    pub fn stats_mut(&mut self) -> &mut FaultStats {
+        &mut self.stats
+    }
+
+    /// Whether `core`'s transceiver is inside a scheduled outage at `now`.
+    pub fn in_dropout(&self, core: usize, now: Cycle) -> bool {
+        self.plan
+            .dropouts
+            .iter()
+            .any(|d| d.core == core && d.from <= now && now < d.until)
+    }
+
+    /// Samples how `core` receives a Data-channel broadcast on `channel`
+    /// at `now` (`cores` sizes the link table; `bulk` selects the
+    /// airtime). Draws nothing when no injector is configured.
+    pub fn rx(
+        &mut self,
+        core: usize,
+        channel: usize,
+        cores: usize,
+        bulk: bool,
+        now: Cycle,
+    ) -> RxOutcome {
+        if self.in_dropout(core, now) {
+            self.stats.dropout_misses += 1;
+            return RxOutcome::Deaf;
+        }
+        if self.plan.data.is_none() {
+            return RxOutcome::Clean;
+        }
+        let bits = if bulk {
+            self.plan.bulk_bits
+        } else {
+            self.plan.normal_bits
+        };
+        let idx = channel * cores + core;
+        if self.links.len() <= idx {
+            self.links.resize(idx + 1, GeLink::default());
+        }
+        if !self.links[idx].corrupts_message(&self.plan.data, bits, &mut self.rng) {
+            return RxOutcome::Clean;
+        }
+        self.stats.injected_corruptions += 1;
+        let escaped =
+            self.plan.checksum_escape > 0.0 && unit(&mut self.rng) < self.plan.checksum_escape;
+        if !escaped {
+            self.stats.checksum_rejects += 1;
+            return RxOutcome::Reject;
+        }
+        self.stats.undetected_corruptions += 1;
+        let word = if bulk {
+            self.rng.gen_range(4) as usize
+        } else {
+            0
+        };
+        let mask = 1u64 << self.rng.gen_range(64);
+        RxOutcome::Corrupt { word, mask }
+    }
+
+    /// Samples how `core` observes a Tone-channel completion at `now`.
+    /// Draws nothing when no tone faults (or covering dropout) are
+    /// configured.
+    pub fn tone_observe(&mut self, core: usize, now: Cycle) -> ToneOutcome {
+        if self.in_dropout(core, now) {
+            self.stats.tone_dropped += 1;
+            return ToneOutcome::Dropped;
+        }
+        let tone = self.plan.tone;
+        if tone.is_none() {
+            return ToneOutcome::Prompt;
+        }
+        let u = unit(&mut self.rng);
+        if u < tone.drop_prob {
+            self.stats.tone_dropped += 1;
+            ToneOutcome::Dropped
+        } else if u < tone.drop_prob + tone.late_prob {
+            self.stats.tone_late += 1;
+            ToneOutcome::Late(1 + self.rng.gen_range(tone.max_late.max(1)))
+        } else {
+            ToneOutcome::Prompt
+        }
+    }
+
+    /// Applies one receiver's reception `outcome` to its replica of the
+    /// delivered payload. `words` lists `(phys, canonical_before,
+    /// canonical_after)` per payload word (one entry for normal
+    /// messages, four for Bulk; `before == after` for retransmits and
+    /// resyncs, which rewrite nothing).
+    pub fn apply_rx(&mut self, core: usize, outcome: RxOutcome, words: &[(usize, u64, u64)]) {
+        for (k, &(phys, before, after)) in words.iter().enumerate() {
+            match outcome {
+                RxOutcome::Clean => self.converge(core, phys),
+                RxOutcome::Deaf | RxOutcome::Reject => {
+                    // The replica keeps whatever it held before this
+                    // delivery — its overlay value if already diverged,
+                    // else the pre-delivery canonical value.
+                    let held = self.overlay.get(&(core, phys)).copied().unwrap_or(before);
+                    if held == after {
+                        self.overlay.remove(&(core, phys));
+                    } else {
+                        self.overlay.insert((core, phys), held);
+                    }
+                }
+                RxOutcome::Corrupt { word, mask } => {
+                    if k == word {
+                        // mask != 0, so the replica provably diverges.
+                        self.overlay.insert((core, phys), after ^ mask);
+                    } else {
+                        // The flip landed elsewhere; this word is clean.
+                        self.converge(core, phys);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks `core`'s replica of `phys` as agreeing with the canonical
+    /// value again.
+    pub fn converge(&mut self, core: usize, phys: usize) {
+        self.overlay.remove(&(core, phys));
+    }
+
+    /// The value `core`'s replica of `phys` holds, given the canonical
+    /// value.
+    pub fn read(&self, core: usize, phys: usize, canonical: u64) -> u64 {
+        self.overlay
+            .get(&(core, phys))
+            .copied()
+            .unwrap_or(canonical)
+    }
+
+    /// Whether any replica currently disagrees with the canonical BM.
+    pub fn has_divergence(&self) -> bool {
+        !self.overlay.is_empty()
+    }
+
+    /// Diverged words as `(phys, diverged_core_count)`, sorted by `phys`
+    /// for deterministic audit order.
+    pub fn diverged(&self) -> Vec<(usize, usize)> {
+        let mut by_phys: FxHashMap<usize, usize> = FxHashMap::default();
+        for &(_core, phys) in self.overlay.keys() {
+            *by_phys.entry(phys).or_insert(0) += 1;
+        }
+        let mut out: Vec<(usize, usize)> = by_phys.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// First-run initialization guard: returns `true` exactly once.
+    pub fn kickoff(&mut self) -> bool {
+        !std::mem::replace(&mut self.kicked_off, true)
+    }
+
+    /// Notes that a `FaultAudit` event was pushed on the machine queue.
+    pub fn audit_queued(&mut self) {
+        self.audits_queued += 1;
+    }
+
+    /// Notes that a queued `FaultAudit` event left the queue.
+    pub fn audit_dequeued(&mut self) {
+        self.audits_queued = self.audits_queued.saturating_sub(1);
+    }
+
+    /// How many `FaultAudit` events are still in the machine queue.
+    pub fn audits_queued(&self) -> u32 {
+        self.audits_queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_injector_draws_nothing_and_stays_clean() {
+        let mut f = FaultState::new(FaultPlan::none());
+        for core in 0..8 {
+            assert_eq!(f.rx(core, 0, 8, false, Cycle(100)), RxOutcome::Clean);
+            assert_eq!(f.tone_observe(core, Cycle(100)), ToneOutcome::Prompt);
+        }
+        assert_eq!(f.stats(), &FaultStats::default());
+        // The RNG was never advanced.
+        let mut pristine = DetRng::new(FaultPlan::none().seed ^ 0xFA_17_FA_17_FA_17_FA_17);
+        assert_eq!(f.rng.next_u64(), pristine.next_u64());
+    }
+
+    #[test]
+    fn dropout_window_is_half_open() {
+        let plan = FaultPlan::none().with_dropout(2, Cycle(10), Cycle(20));
+        let f = FaultState::new(plan);
+        assert!(!f.in_dropout(2, Cycle(9)));
+        assert!(f.in_dropout(2, Cycle(10)));
+        assert!(f.in_dropout(2, Cycle(19)));
+        assert!(!f.in_dropout(2, Cycle(20)));
+        assert!(!f.in_dropout(1, Cycle(15)));
+    }
+
+    #[test]
+    fn overlay_tracks_missed_and_corrupt_deliveries() {
+        let mut f = FaultState::new(FaultPlan::none());
+        // Core 1 misses a write that changes word 5 from 0 to 7.
+        f.apply_rx(1, RxOutcome::Reject, &[(5, 0, 7)]);
+        assert_eq!(f.read(1, 5, 7), 0, "stale replica value");
+        assert_eq!(f.read(0, 5, 7), 7, "other cores see canonical");
+        assert!(f.has_divergence());
+        assert_eq!(f.diverged(), vec![(5, 1)]);
+
+        // A later clean delivery of word 5 converges it.
+        f.apply_rx(1, RxOutcome::Clean, &[(5, 7, 9)]);
+        assert!(!f.has_divergence());
+
+        // An escaped corruption flips a bit in the applied value.
+        f.apply_rx(1, RxOutcome::Corrupt { word: 0, mask: 4 }, &[(5, 9, 9)]);
+        assert_eq!(f.read(1, 5, 9), 9 ^ 4);
+    }
+
+    #[test]
+    fn missing_a_retransmit_of_a_converged_word_is_harmless() {
+        let mut f = FaultState::new(FaultPlan::none());
+        // Retransmit delivery: before == after == canonical. A converged
+        // replica that misses it must not be marked diverged.
+        f.apply_rx(3, RxOutcome::Reject, &[(8, 42, 42)]);
+        assert!(!f.has_divergence());
+    }
+
+    #[test]
+    fn bulk_corruption_hits_exactly_one_word() {
+        let mut f = FaultState::new(FaultPlan::none());
+        let words = [(10, 0, 1), (11, 0, 2), (12, 0, 3), (13, 0, 4)];
+        f.apply_rx(0, RxOutcome::Corrupt { word: 2, mask: 1 }, &words);
+        assert_eq!(f.read(0, 10, 1), 1);
+        assert_eq!(f.read(0, 11, 2), 2);
+        assert_eq!(f.read(0, 12, 3), 3 ^ 1);
+        assert_eq!(f.read(0, 13, 4), 4);
+    }
+
+    #[test]
+    fn rx_is_deterministic_per_seed() {
+        let plan = FaultPlan::none().with_uniform_ber(1e-2).with_seed(99);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for core in 0..16 {
+            for msg in 0..200 {
+                let bulk = msg % 3 == 0;
+                assert_eq!(
+                    a.rx(core, 0, 16, bulk, Cycle(msg)),
+                    b.rx(core, 0, 16, bulk, Cycle(msg))
+                );
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(
+            a.stats().injected_corruptions > 0,
+            "BER 1e-2 over 3200 receptions should corrupt something"
+        );
+    }
+
+    #[test]
+    fn checksum_escape_zero_rejects_every_corruption() {
+        let plan = FaultPlan::none().with_uniform_ber(0.05).with_seed(7);
+        let mut f = FaultState::new(plan);
+        for msg in 0..2000 {
+            let out = f.rx(0, 0, 4, false, Cycle(msg));
+            assert!(
+                !matches!(out, RxOutcome::Corrupt { .. }),
+                "ideal checksum must catch every corruption"
+            );
+        }
+        assert!(f.stats().checksum_rejects > 0);
+        assert_eq!(f.stats().undetected_corruptions, 0);
+        assert_eq!(f.stats().injected_corruptions, f.stats().checksum_rejects);
+    }
+
+    #[test]
+    fn gilbert_elliott_links_are_independent_per_receiver() {
+        let plan = FaultPlan::none()
+            .with_gilbert_elliott(0.05, 0.2, 0.0, 0.5)
+            .with_seed(3);
+        let mut f = FaultState::new(plan);
+        let _ = f.rx(0, 0, 4, false, Cycle(0));
+        let _ = f.rx(3, 1, 4, false, Cycle(0));
+        // Link table sized to cover channel 1, core 3 = index 7.
+        assert!(f.links.len() >= 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the fault models, on the `wisync-testkit` runner
+//! (shrinking + `WISYNC_TESTKIT_SEED` replay).
+
+use wisync_fault::{ErrorModel, GeLink};
+use wisync_sim::DetRng;
+use wisync_testkit::{check_with, gen, prop_assert, prop_assert_eq, Config};
+
+/// The Gilbert-Elliott generator's long-run error rate matches the
+/// configured (stationary) BER within statistical tolerance.
+#[test]
+fn gilbert_elliott_long_run_error_rate_matches_configured_ber() {
+    // Integer parameter grids keep generation/shrinking exact; they are
+    // scaled to probabilities inside the property. Ranges are chosen so
+    // the chain mixes well within the simulated bit budget.
+    let params = (
+        gen::range_incl(1u32, 40),   // p_good_to_bad ∈ [0.01, 0.40]
+        gen::range_incl(1u32, 40),   // p_bad_to_good ∈ [0.01, 0.40]
+        gen::range_incl(0u32, 20),   // ber_good ∈ [0, 0.020]
+        gen::range_incl(50u32, 400), // ber_bad ∈ [0.05, 0.40]
+        gen::full::<u64>(),          // chain RNG seed
+    );
+    check_with(
+        Config::with_cases(32),
+        "gilbert_elliott_long_run_ber",
+        params,
+        |(gb, bg, good, bad, seed)| {
+            let p_good_to_bad = gb as f64 / 100.0;
+            let p_bad_to_good = bg as f64 / 100.0;
+            let model = ErrorModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ber_good: good as f64 / 1000.0,
+                ber_bad: bad as f64 / 1000.0,
+            };
+            let analytic = model.long_run_ber();
+            let bits = 200_000u64;
+            let mut rng = DetRng::new(seed);
+            let mut link = GeLink::default();
+            let errors = (0..bits)
+                .filter(|_| link.step_bit(&model, &mut rng))
+                .count();
+            let empirical = errors as f64 / bits as f64;
+            // Burst correlation inflates binomial noise by roughly the
+            // mixing time τ = 1/(p_gb + p_bg); allow ~6 corrected sigmas
+            // plus a small relative + absolute slack.
+            let tau = 1.0 / (p_good_to_bad + p_bad_to_good);
+            let tol = 0.15 * analytic + 6.0 * (analytic * tau / bits as f64).sqrt() + 1e-4;
+            prop_assert!(
+                (empirical - analytic).abs() <= tol,
+                "empirical BER {empirical:.6} vs analytic {analytic:.6} (tol {tol:.6}, \
+                 p_gb={p_good_to_bad} p_bg={p_bad_to_good})"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Two chains with the same model and seed replay the identical error
+/// sequence — the determinism the whole fault subsystem rests on.
+#[test]
+fn gilbert_elliott_replays_identically_per_seed() {
+    let params = (
+        gen::range_incl(1u32, 50),
+        gen::range_incl(1u32, 50),
+        gen::range_incl(0u32, 300),
+        gen::full::<u64>(),
+    );
+    check_with(
+        Config::with_cases(64),
+        "gilbert_elliott_deterministic",
+        params,
+        |(gb, bg, bad, seed)| {
+            let model = ErrorModel::GilbertElliott {
+                p_good_to_bad: gb as f64 / 100.0,
+                p_bad_to_good: bg as f64 / 100.0,
+                ber_good: 1e-3,
+                ber_bad: bad as f64 / 1000.0,
+            };
+            let run = |seed: u64| {
+                let mut rng = DetRng::new(seed);
+                let mut link = GeLink::default();
+                (0..512)
+                    .map(|_| link.step_bit(&model, &mut rng))
+                    .collect::<Vec<bool>>()
+            };
+            prop_assert_eq!(run(seed), run(seed));
+            Ok(())
+        },
+    );
+}
+
+/// The uniform model's per-message corruption probability matches the
+/// closed form `1 − (1 − ber)^bits` it is sampled from.
+#[test]
+fn uniform_message_corruption_matches_closed_form() {
+    let params = (
+        gen::range_incl(1u32, 50),   // ber ∈ [1e-4, 5e-3]
+        gen::range_incl(64u32, 512), // message bits
+        gen::full::<u64>(),
+    );
+    check_with(
+        Config::with_cases(24),
+        "uniform_corruption_rate",
+        params,
+        |(b, bits, seed)| {
+            let ber = b as f64 / 10_000.0;
+            let model = ErrorModel::Uniform { ber };
+            let mut rng = DetRng::new(seed);
+            let mut link = GeLink::default();
+            let trials = 40_000u32;
+            let hits = (0..trials)
+                .filter(|_| link.corrupts_message(&model, bits, &mut rng))
+                .count() as f64;
+            let p = 1.0 - (1.0 - ber).powi(bits as i32);
+            let expect = p * trials as f64;
+            let tol = 6.0 * (expect.max(1.0)).sqrt() + 8.0;
+            prop_assert!(
+                (hits - expect).abs() <= tol,
+                "hits {hits} vs expected {expect:.1} (tol {tol:.1})"
+            );
+            Ok(())
+        },
+    );
+}

@@ -50,6 +50,11 @@ pub enum Resolution<M> {
     Collision {
         /// Distinct retry slots that now need resolving.
         retry_slots: Vec<Cycle>,
+        /// Nodes whose backoff exponent was already at `max_backoff_exp`
+        /// when this collision hit: their window no longer widens, so
+        /// escalation has given up and they keep retrying at the cap.
+        /// Empty under the Reactive policy (it has no exponent).
+        exhausted: Vec<NodeId>,
     },
 }
 
@@ -62,6 +67,9 @@ pub struct DataChannelStats {
     pub collisions: u64,
     /// Cycles the channel was occupied (transfers + collision windows).
     pub busy_cycles: u64,
+    /// Collision events where a frame's backoff exponent was already at
+    /// its cap (per colliding capped frame).
+    pub backoff_exhaustions: u64,
     /// Latency from request to chip-wide delivery, per transfer.
     pub latency: Histogram,
 }
@@ -323,10 +331,18 @@ impl<M> DataChannel<M> {
         self.stats.busy_cycles += self.config.collision_cycles;
         self.busy_until = slot + self.config.collision_cycles;
         let mut retry_slots = Vec::new();
+        let mut exhausted = Vec::new();
         match self.config.mac_policy {
             MacPolicy::Exponential => {
                 for token in due {
                     let p = self.pending.get_mut(&token).expect("pending");
+                    if p.mac.at_cap() {
+                        // The retry window stopped growing at
+                        // max_backoff_exp; surface the give-up so owners
+                        // can trace livelock-prone contention.
+                        exhausted.push(p.node);
+                        self.stats.backoff_exhaustions += 1;
+                    }
                     let wait = p.mac.on_collision();
                     let retry =
                         (slot + self.config.collision_cycles + wait).max_with(self.busy_until);
@@ -356,7 +372,10 @@ impl<M> DataChannel<M> {
                 }
             }
         }
-        Resolution::Collision { retry_slots }
+        Resolution::Collision {
+            retry_slots,
+            exhausted,
+        }
     }
 }
 
@@ -384,7 +403,7 @@ mod tests {
                     complete_at,
                     ..
                 } => out.push((message, node, complete_at)),
-                Resolution::Collision { retry_slots } => slots.extend(retry_slots),
+                Resolution::Collision { retry_slots, .. } => slots.extend(retry_slots),
             }
             guard += 1;
             assert!(guard < 10_000, "drain did not converge");
@@ -451,15 +470,45 @@ mod tests {
         ch.request(NodeId(0), TxLen::Normal, 0, Cycle(0));
         ch.request(NodeId(1), TxLen::Normal, 1, Cycle(0));
         match ch.resolve(Cycle(0)) {
-            Resolution::Collision { retry_slots } => {
+            Resolution::Collision {
+                retry_slots,
+                exhausted,
+            } => {
                 // Channel frees at cycle 2; retries never before that.
                 for s in retry_slots {
                     assert!(s >= Cycle(2));
                 }
+                // First collision: both frames were far below the cap.
+                assert!(exhausted.is_empty());
             }
             other => panic!("expected collision, got {other:?}"),
         }
         assert_eq!(ch.stats().busy_cycles, 2);
+        assert_eq!(ch.stats().backoff_exhaustions, 0);
+    }
+
+    #[test]
+    fn capped_backoff_is_reported_as_exhausted() {
+        let cfg = WirelessConfig {
+            max_backoff_exp: 0,
+            ..Default::default()
+        };
+        let mut ch: DataChannel<u32> = DataChannel::new(cfg, 2);
+        ch.request(NodeId(0), TxLen::Normal, 0, Cycle(0));
+        ch.request(NodeId(1), TxLen::Normal, 1, Cycle(0));
+        match ch.resolve(Cycle(0)) {
+            Resolution::Collision { exhausted, .. } => {
+                let mut who = exhausted;
+                who.sort();
+                assert_eq!(
+                    who,
+                    vec![NodeId(0), NodeId(1)],
+                    "cap 0 means every colliding frame is already capped"
+                );
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+        assert_eq!(ch.stats().backoff_exhaustions, 2);
     }
 
     #[test]

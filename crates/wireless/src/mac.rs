@@ -55,6 +55,13 @@ impl MacState {
         self.exponent
     }
 
+    /// Whether the exponent has reached `max_backoff_exp`: further
+    /// collisions no longer widen the window, so the frame has given up
+    /// escalating and is retrying at the cap.
+    pub fn at_cap(&self) -> bool {
+        self.exponent >= self.max_exponent
+    }
+
     /// Records a collision: increments `i` (up to the cap) and returns
     /// the random wait in `[0, 2^i - 1]` cycles to apply before the next
     /// attempt.
@@ -79,6 +86,7 @@ mod tests {
     #[test]
     fn exponent_tracks_collisions_and_successes() {
         let mut m = MacState::new(7, 4);
+        assert!(!m.at_cap());
         for expect in 1..=4 {
             m.on_collision();
             assert_eq!(m.exponent(), expect);
@@ -86,6 +94,7 @@ mod tests {
         // Capped.
         m.on_collision();
         assert_eq!(m.exponent(), 4);
+        assert!(m.at_cap());
         m.on_success();
         m.on_success();
         assert_eq!(m.exponent(), 2);

@@ -22,7 +22,7 @@ fn drain(ch: &mut DataChannel<u64>, mut slots: BTreeSet<Cycle>) -> Vec<(u64, Cyc
                 complete_at,
                 ..
             } => out.push((message, complete_at)),
-            Resolution::Collision { retry_slots } => slots.extend(retry_slots),
+            Resolution::Collision { retry_slots, .. } => slots.extend(retry_slots),
         }
         guard += 1;
         assert!(guard < 200_000, "drain did not converge");

@@ -20,7 +20,7 @@ fn drain(ch: &mut DataChannel<u64>, mut slots: BTreeSet<Cycle>) -> Vec<(u64, Nod
                 complete_at,
                 ..
             } => out.push((message, node, complete_at)),
-            Resolution::Collision { retry_slots } => slots.extend(retry_slots),
+            Resolution::Collision { retry_slots, .. } => slots.extend(retry_slots),
         }
         guard += 1;
         assert!(guard < 100_000);

@@ -77,12 +77,14 @@ impl CasCheck {
         }
     }
 
-    /// Verifies structural invariants after the run.
+    /// Verifies structural invariants after the run, returning a
+    /// description of the first violation (for harnesses — like the
+    /// chaos soak — that must distinguish corruption from a panic).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a descriptive message on corruption or lost updates.
-    pub fn assert_correct(&self, m: &Machine) {
+    /// A human-readable description of the corruption or lost updates.
+    pub fn check(&self, m: &Machine) -> Result<(), String> {
         match self.kind {
             CasKind::Add => {
                 // Walk the chain from head: must contain threads*ops nodes.
@@ -90,26 +92,57 @@ impl CasCheck {
                 let mut p = self.read_hot(m, self.hot_a);
                 while p != 0 {
                     count += 1;
-                    assert!(count <= self.threads * self.ops, "cycle in ADD chain");
+                    if count > self.threads * self.ops {
+                        return Err("cycle in ADD chain".to_string());
+                    }
                     p = m.mem_value(p);
                 }
-                assert_eq!(count, self.threads * self.ops, "lost ADD insertions");
+                if count != self.threads * self.ops {
+                    return Err(format!(
+                        "lost ADD insertions: chain holds {count}, expected {}",
+                        self.threads * self.ops
+                    ));
+                }
             }
             CasKind::Lifo => {
                 // Equal pushes and pops: top returns to its initial value.
-                assert_eq!(
-                    self.read_hot(m, self.hot_a),
-                    self.threads,
-                    "LIFO top should return to initial size"
-                );
+                let top = self.read_hot(m, self.hot_a);
+                if top != self.threads {
+                    return Err(format!(
+                        "LIFO top should return to initial size {}, got {top}",
+                        self.threads
+                    ));
+                }
             }
             CasKind::Fifo => {
                 // tail - head == initial queue length.
                 let head = self.read_hot(m, self.hot_a);
                 let tail = self.read_hot(m, self.hot_b);
-                assert_eq!(tail - head, self.threads, "FIFO length drifted");
-                assert_eq!(head, self.threads * self.ops, "lost dequeues");
+                if tail.wrapping_sub(head) != self.threads {
+                    return Err(format!(
+                        "FIFO length drifted: tail {tail} - head {head} != {}",
+                        self.threads
+                    ));
+                }
+                if head != self.threads * self.ops {
+                    return Err(format!(
+                        "lost dequeues: head {head}, expected {}",
+                        self.threads * self.ops
+                    ));
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Verifies structural invariants after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on corruption or lost updates.
+    pub fn assert_correct(&self, m: &Machine) {
+        if let Err(e) = self.check(m) {
+            panic!("{} kernel corrupt: {e}", self.kind);
         }
     }
 }

@@ -66,38 +66,58 @@ pub struct LivermoreCheck {
 }
 
 impl LivermoreCheck {
+    /// Verifies the computation's result against a host-side reference,
+    /// returning a description of the first mismatch (for harnesses —
+    /// like the chaos soak — that must distinguish a wrong result from a
+    /// panic).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the mismatch.
+    pub fn check(&self, m: &Machine) -> Result<(), String> {
+        match self.which {
+            LivermoreLoop::Loop2 => {
+                // Tree-summing an array of 1s yields n.
+                let got = m.mem_value(self.result_addr);
+                if got != self.n {
+                    return Err(format!("loop2 root: got {got}, expected {}", self.n));
+                }
+            }
+            LivermoreLoop::Loop3 => {
+                // q = sum(x[k] * z[k]) with x = z = 1: q = n per rep;
+                // thread 0 accumulates across reps.
+                let got = m.mem_value(self.result_addr);
+                if got != self.n * self.reps {
+                    return Err(format!(
+                        "loop3 total: got {got}, expected {}",
+                        self.n * self.reps
+                    ));
+                }
+            }
+            LivermoreLoop::Loop6 => {
+                // w[i] = 1 + sum_{k<i} w[k] (wrapping): w[i] = 2^i mod 2^64.
+                let mut sum = 0u64;
+                for i in 0..self.n {
+                    let expect = 1u64.wrapping_add(sum);
+                    sum = sum.wrapping_add(expect);
+                    let got = m.mem_value(self.result_addr + 8 * i);
+                    if got != expect {
+                        return Err(format!("loop6 w[{i}]: got {got}, expected {expect}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Verifies the computation's result against a host-side reference.
     ///
     /// # Panics
     ///
     /// Panics with a descriptive message if the result is wrong.
     pub fn assert_correct(&self, m: &Machine) {
-        match self.which {
-            LivermoreLoop::Loop2 => {
-                // Tree-summing an array of 1s yields n.
-                assert_eq!(m.mem_value(self.result_addr), self.n, "loop2 root");
-            }
-            LivermoreLoop::Loop3 => {
-                // q = sum(x[k] * z[k]) with x = z = 1: q = n per rep;
-                // thread 0 accumulates across reps.
-                assert_eq!(
-                    m.mem_value(self.result_addr),
-                    self.n * self.reps,
-                    "loop3 total"
-                );
-            }
-            LivermoreLoop::Loop6 => {
-                // w[i] = 1 + sum_{k<i} w[k] (wrapping): w[i] = 2^i mod 2^64.
-                let mut expect = Vec::with_capacity(self.n as usize);
-                let mut sum = 0u64;
-                for i in 0..self.n {
-                    let w = 1u64.wrapping_add(sum);
-                    expect.push(w);
-                    sum = sum.wrapping_add(w);
-                    let got = m.mem_value(self.result_addr + 8 * i);
-                    assert_eq!(got, expect[i as usize], "loop6 w[{i}]");
-                }
-            }
+        if let Err(e) = self.check(m) {
+            panic!("{} result wrong: {e}", self.which);
         }
     }
 }

@@ -127,6 +127,30 @@ impl TightLoop {
         }
     }
 
+    /// Verifies the final state of a completed run: every core's last
+    /// array sum (register 4) equals the array length, and its iteration
+    /// counter (register 1) reached zero.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first wrong core.
+    pub fn check(&self, m: &Machine) -> Result<(), String> {
+        for c in 0..m.config().cores {
+            let sum = m.reg(c, Reg(4));
+            if sum != self.array_len {
+                return Err(format!(
+                    "core {c}: final sum {sum}, expected {}",
+                    self.array_len
+                ));
+            }
+            let left = m.reg(c, Reg(1));
+            if left != 0 {
+                return Err(format!("core {c}: {left} iterations unfinished"));
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the workload and returns cycles per iteration — the Figure 7
     /// metric.
     ///

@@ -86,6 +86,5 @@ fn main() {
     m2.load_program(0, pid_b, bld.build().unwrap());
     let r2 = m2.run(10_000);
     assert_eq!(r2.outcome, RunOutcome::Faulted);
-    let (core, reason) = &m2.stats().faults[0];
-    println!("  -> core {core} faulted: {reason}");
+    println!("  -> fault: {}", m2.stats().faults[0]);
 }
