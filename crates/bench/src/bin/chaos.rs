@@ -36,6 +36,7 @@ struct Options {
     seed: u64,
     threads: usize,
     quick: bool,
+    stats: bool,
 }
 
 fn parse_args() -> Options {
@@ -43,6 +44,7 @@ fn parse_args() -> Options {
         seed: 0xC4A05,
         threads: sweep::default_threads(),
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
+        stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,10 +58,27 @@ fn parse_args() -> Options {
                 opts.threads = v.parse().unwrap_or_else(|_| panic!("bad threads {v:?}"));
             }
             "--quick" => opts.quick = true,
-            other => panic!("unknown argument {other:?} (try --seed/--threads/--quick)"),
+            "--stats" => opts.stats = true,
+            other => panic!("unknown argument {other:?} (try --seed/--threads/--quick/--stats)"),
         }
     }
     opts
+}
+
+/// `--stats`: full machine statistics for one representative soak run
+/// (TightLoop on WiSyncNoT under a uniform-BER schedule), on stderr so
+/// the `results/*.json` pipeline is untouched.
+fn print_representative_stats(seed: u64) {
+    use wisync_core::{Machine, MachineConfig, RunOutcome};
+    use wisync_workloads::TightLoop;
+
+    let mut m = Machine::new(MachineConfig::for_kind(MachineKind::WiSyncNoT, CORES));
+    m.set_fault_plan(uniform_schedule(1e-4, derive_seed(seed, 0)));
+    TightLoop::new(16).load(&mut m);
+    let r = m.run(wisync_bench::BUDGET);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    eprintln!("soak representative run (TightLoop, WiSyncNoT, ber 1e-4) machine statistics:");
+    eprintln!("{}", m.stats());
 }
 
 /// Renders one soak run as a JSON row. The `ok` flag is the contract
@@ -272,6 +291,9 @@ fn row_violates(entry: &Json) -> bool {
 
 fn main() {
     let opts = parse_args();
+    if opts.stats {
+        print_representative_stats(opts.seed);
+    }
     let jobs = build_jobs(opts.quick);
     let total = jobs.len();
     eprintln!(

@@ -14,26 +14,44 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wisync_bench::perf::{check_against_baseline, perf_report_json, run_perf_suite, CHECK_FACTOR};
+use wisync_bench::perf::{
+    check_against_baseline, extend_history, perf_report_json, run_perf_suite, CHECK_FACTOR,
+};
+use wisync_bench::BUDGET;
+use wisync_core::{Machine, MachineConfig};
+use wisync_workloads::TightLoop;
 
 struct Options {
     quick: bool,
     check: bool,
+    stats: bool,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
         check: false,
+        stats: false,
     };
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--check" => opts.check = true,
-            other => panic!("unknown argument {other:?} (try --quick/--check)"),
+            "--stats" => opts.stats = true,
+            other => panic!("unknown argument {other:?} (try --quick/--check/--stats)"),
         }
     }
     opts
+}
+
+/// `--stats`: full machine statistics for the representative barrier
+/// case, so a perf investigation starts from the same counters CI sees.
+fn print_representative_stats(quick: bool) {
+    let mut m = Machine::new(MachineConfig::wisync(64));
+    TightLoop::new(if quick { 5 } else { 50 }).run_cycles_per_iter(&mut m, BUDGET);
+    println!();
+    println!("barrier/tightloop_wisync_64c machine statistics:");
+    println!("{}", m.stats());
 }
 
 fn baseline_path() -> PathBuf {
@@ -62,6 +80,10 @@ fn main() -> ExitCode {
         );
     }
 
+    if opts.stats {
+        print_representative_stats(opts.quick);
+    }
+
     let path = baseline_path();
     if opts.check {
         let text = std::fs::read_to_string(&path)
@@ -78,7 +100,17 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     } else {
-        let doc = perf_report_json(&cases).render();
+        // Carry the throughput history forward from the previous
+        // baseline (if any) before overwriting it.
+        let prior = std::fs::read_to_string(&path).ok();
+        let history = extend_history(prior.as_deref(), &cases);
+        if let Some(h) = history.last() {
+            println!(
+                "suite geomean: {:.0} events/sec ({})",
+                h.geomean_events_per_sec, h.label
+            );
+        }
+        let doc = perf_report_json(&cases, &history).render();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create results dir");
         }

@@ -1,0 +1,119 @@
+//! Human-readable run profile plus the deterministic observability
+//! exports (`results/obs_profile.json` and a Perfetto-loadable Chrome
+//! trace).
+//!
+//! ```text
+//! cargo run -p wisync-bench --bin report                        # print profile, rewrite results/obs_profile.json
+//! cargo run -p wisync-bench --bin report -- --trace out.json    # also export the Chrome trace (open in Perfetto)
+//! cargo run -p wisync-bench --bin report -- --stats             # append the raw MachineStats dump
+//! cargo run --release -p wisync-bench --bin report -- --obs-overhead
+//!                                                               # gate: instrumentation wall-clock overhead < 10%
+//! ```
+//!
+//! The default run is pinned (TightLoop, WiSync, fixed cores/iters, the
+//! machine's default seed) so the emitted documents are byte-identical
+//! across invocations and hosts — CI diffs them to catch any
+//! nondeterminism slipping into the instrumentation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wisync_bench::report::{obs_overhead_ns, overhead_pct, profile_tightloop, OVERHEAD_BUDGET_PCT};
+
+/// Pinned defaults: small enough that the committed trace stays
+/// reviewable, large enough that every attribution bucket and both
+/// wireless channels see traffic.
+const DEFAULT_CORES: usize = 8;
+const DEFAULT_ITERS: u64 = 3;
+
+struct Options {
+    cores: usize,
+    iters: u64,
+    out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    stats: bool,
+    obs_overhead: bool,
+    quick: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        cores: DEFAULT_CORES,
+        iters: DEFAULT_ITERS,
+        out: None,
+        trace: None,
+        stats: false,
+        obs_overhead: false,
+        quick: std::env::var_os("WISYNC_QUICK").is_some(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--cores" => opts.cores = value("--cores").parse().expect("--cores: integer"),
+            "--iters" => opts.iters = value("--iters").parse().expect("--iters: integer"),
+            "--out" => opts.out = Some(PathBuf::from(value("--out"))),
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
+            "--stats" => opts.stats = true,
+            "--obs-overhead" => opts.obs_overhead = true,
+            "--quick" => opts.quick = true,
+            other => panic!(
+                "unknown argument {other:?} \
+                 (try --cores/--iters/--out/--trace/--stats/--obs-overhead/--quick)"
+            ),
+        }
+    }
+    opts
+}
+
+fn default_out() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join("obs_profile.json")
+}
+
+fn write_doc(path: &PathBuf, doc: String) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if opts.obs_overhead {
+        let reps = if opts.quick { 2 } else { 6 };
+        let (off_ns, on_ns) = obs_overhead_ns(reps);
+        let pct = overhead_pct(off_ns, on_ns);
+        println!(
+            "instrumentation overhead: plain {:.3} ms, instrumented {:.3} ms ({pct:+.2}%)",
+            off_ns as f64 / 1e6,
+            on_ns as f64 / 1e6
+        );
+        return if pct < OVERHEAD_BUDGET_PCT {
+            println!("obs overhead OK (budget {OVERHEAD_BUDGET_PCT}%)");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("obs overhead FAILED: {pct:.2}% >= {OVERHEAD_BUDGET_PCT}% budget");
+            ExitCode::FAILURE
+        };
+    }
+
+    let p = profile_tightloop(opts.cores, opts.iters);
+    print!("{}", p.render_text());
+    if opts.stats {
+        println!();
+        println!("{}", p.stats);
+    }
+
+    write_doc(&opts.out.unwrap_or_else(default_out), p.profile.render());
+    if let Some(trace) = &opts.trace {
+        write_doc(trace, p.chrome.render());
+    }
+    ExitCode::SUCCESS
+}

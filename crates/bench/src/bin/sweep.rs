@@ -26,6 +26,7 @@ struct Options {
     seed: u64,
     threads: usize,
     quick: bool,
+    stats: bool,
 }
 
 fn parse_args() -> Options {
@@ -33,6 +34,7 @@ fn parse_args() -> Options {
         seed: 0xC0DE,
         threads: sweep::default_threads(),
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
+        stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,10 +48,25 @@ fn parse_args() -> Options {
                 opts.threads = v.parse().unwrap_or_else(|_| panic!("bad threads {v:?}"));
             }
             "--quick" => opts.quick = true,
-            other => panic!("unknown argument {other:?} (try --seed/--threads/--quick)"),
+            "--stats" => opts.stats = true,
+            other => panic!("unknown argument {other:?} (try --seed/--threads/--quick/--stats)"),
         }
     }
     opts
+}
+
+/// `--stats`: full machine statistics for one representative grid point
+/// (a Figure 7 TightLoop run on WiSync at the grid's core count), on
+/// stderr so the `results/*.json` pipeline is untouched.
+fn print_representative_stats(quick: bool) {
+    use wisync_core::{Machine, MachineConfig};
+    use wisync_workloads::TightLoop;
+
+    let cores = if quick { 16 } else { 64 };
+    let mut m = Machine::new(MachineConfig::wisync(cores));
+    TightLoop::new(if quick { 4 } else { 20 }).run_cycles_per_iter(&mut m, wisync_bench::BUDGET);
+    eprintln!("fig7 representative run (WiSync, {cores} cores) machine statistics:");
+    eprintln!("{}", m.stats());
 }
 
 fn u64s(values: impl IntoIterator<Item = u64>) -> Json {
@@ -193,6 +210,9 @@ fn build_jobs(quick: bool) -> Vec<SweepJob> {
 
 fn main() {
     let opts = parse_args();
+    if opts.stats {
+        print_representative_stats(opts.quick);
+    }
     let jobs = build_jobs(opts.quick);
     let total = jobs.len();
     eprintln!(

@@ -8,6 +8,7 @@
 
 pub mod chaos;
 pub mod perf;
+pub mod report;
 
 use wisync_core::{Machine, MachineConfig, MachineKind};
 use wisync_workloads::{

@@ -154,15 +154,102 @@ pub fn run_perf_suite(reps: u32) -> Vec<PerfCase> {
     cases
 }
 
+/// Geometric mean of `events_per_sec` across a suite — the single
+/// scalar tracked in the baseline's `history` array.
+pub fn geomean_events_per_sec(cases: &[PerfCase]) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = cases.iter().map(|c| c.events_per_sec().ln()).sum();
+    (log_sum / cases.len() as f64).exp()
+}
+
+/// One retained throughput measurement in the baseline's history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// Sequential label (`run-1`, `run-2`, ...).
+    pub label: String,
+    /// Suite geomean throughput at that run.
+    pub geomean_events_per_sec: f64,
+}
+
+/// History entries retained in the baseline document (oldest dropped).
+pub const HISTORY_CAP: usize = 32;
+
+/// Appends a fresh measurement to the history parsed from the previous
+/// baseline document (`None` when there was no file yet), enforcing
+/// [`HISTORY_CAP`].
+pub fn extend_history(prior_text: Option<&str>, cases: &[PerfCase]) -> Vec<HistoryEntry> {
+    let mut history = prior_text.map(parse_history).unwrap_or_default();
+    // Number from the last label, not the length, so numbering keeps
+    // counting after the cap starts dropping old entries.
+    let next = history
+        .last()
+        .and_then(|h| h.label.strip_prefix("run-"))
+        .and_then(|s| s.parse::<u64>().ok())
+        .map_or(history.len() as u64 + 1, |n| n + 1);
+    history.push(HistoryEntry {
+        label: format!("run-{next}"),
+        geomean_events_per_sec: geomean_events_per_sec(cases),
+    });
+    if history.len() > HISTORY_CAP {
+        let excess = history.len() - HISTORY_CAP;
+        history.drain(..excess);
+    }
+    history
+}
+
 /// Renders a perf suite as the `results/perf_baseline.json` document.
-pub fn perf_report_json(cases: &[PerfCase]) -> Json {
+/// `history` carries the per-run geomean throughput trail (see
+/// [`extend_history`]); its keys are distinct from the per-case ones so
+/// [`parse_baseline_wall_ns`] is unaffected by its presence.
+pub fn perf_report_json(cases: &[PerfCase], history: &[HistoryEntry]) -> Json {
     Json::obj([
         ("schema", Json::from("wisync-perf-baseline/v1")),
         (
             "cases",
             Json::Arr(cases.iter().map(PerfCase::to_json).collect()),
         ),
+        (
+            "history",
+            Json::Arr(
+                history
+                    .iter()
+                    .map(|h| {
+                        Json::obj([
+                            ("label", Json::from(h.label.as_str())),
+                            (
+                                "geomean_events_per_sec",
+                                Json::F64(h.geomean_events_per_sec),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
+}
+
+/// Extracts the history entries from a rendered baseline document (same
+/// exact line-scan contract as [`parse_baseline_wall_ns`]). Documents
+/// written before the history existed parse as empty.
+pub fn parse_history(text: &str) -> Vec<HistoryEntry> {
+    let mut out = Vec::new();
+    let mut label: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"label\": \"") {
+            label = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"geomean_events_per_sec\": ") {
+            if let (Some(l), Ok(v)) = (label.take(), rest.parse::<f64>()) {
+                out.push(HistoryEntry {
+                    label: l,
+                    geomean_events_per_sec: v,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Extracts `(name, wall_ns)` pairs from a rendered baseline document.
@@ -223,16 +310,51 @@ mod tests {
     #[test]
     fn baseline_roundtrips_through_renderer() {
         let cases = vec![fake_case("a/b", 123), fake_case("c/d", 456)];
-        let text = perf_report_json(&cases).render();
+        let history = extend_history(None, &cases);
+        let text = perf_report_json(&cases, &history).render();
         assert_eq!(
             parse_baseline_wall_ns(&text),
             vec![("a/b".to_string(), 123), ("c/d".to_string(), 456)]
         );
+        // The history round-trips too, without confusing the name scan.
+        assert_eq!(parse_history(&text), history);
+    }
+
+    #[test]
+    fn history_accumulates_and_caps() {
+        let cases = vec![fake_case("a/b", 100)];
+        let mut text = perf_report_json(&cases, &extend_history(None, &cases)).render();
+        for _ in 0..HISTORY_CAP + 10 {
+            let history = extend_history(Some(&text), &cases);
+            text = perf_report_json(&cases, &history).render();
+        }
+        let history = parse_history(&text);
+        assert_eq!(history.len(), HISTORY_CAP);
+        // Labels keep counting even after the oldest entries drop.
+        assert_eq!(
+            history.last().unwrap().label,
+            format!("run-{}", 11 + HISTORY_CAP)
+        );
+        let g = geomean_events_per_sec(&cases);
+        assert!(history
+            .iter()
+            .all(|h| (h.geomean_events_per_sec - g).abs() < 1e-9));
+    }
+
+    #[test]
+    fn geomean_of_identical_cases_is_their_rate() {
+        let cases = vec![
+            fake_case("a/b", 1_000_000_000),
+            fake_case("c/d", 1_000_000_000),
+        ];
+        assert!((geomean_events_per_sec(&cases) - 2_000.0).abs() < 1e-6);
+        assert_eq!(geomean_events_per_sec(&[]), 0.0);
     }
 
     #[test]
     fn check_flags_only_gross_regressions() {
-        let baseline = perf_report_json(&[fake_case("a/b", 100), fake_case("c/d", 100)]).render();
+        let baseline =
+            perf_report_json(&[fake_case("a/b", 100), fake_case("c/d", 100)], &[]).render();
         // 4x slower passes, 6x slower fails, unknown cases are ignored.
         let now = vec![
             fake_case("a/b", 400),

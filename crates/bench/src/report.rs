@@ -1,0 +1,367 @@
+//! Run profiling: turns one instrumented run into a deterministic
+//! observability report — cycle attribution, contention timeline,
+//! latency histograms, and a Perfetto-loadable Chrome trace.
+//!
+//! Everything in the profile document derives from simulated state
+//! (cycles, counters), never from wall clocks, so `results/obs_profile.json`
+//! is byte-reproducible across hosts and invocations. Wall time appears
+//! only in [`obs_overhead_ns`], which gates the instrumentation-overhead
+//! budget and is never committed.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use wisync_core::{Machine, MachineConfig, MachineStats, RunOutcome};
+use wisync_obs::{
+    histogram_json, validate_chrome, Bucket, ChromeTrace, ObsConfig, ObsState, NUM_BUCKETS,
+};
+use wisync_testkit::Json;
+use wisync_workloads::TightLoop;
+
+/// Chrome rows retained by the profiling sink. Enough for every event of
+/// the pinned report run; overflowing runs keep exact counters and drop
+/// rows (recorded in `dropped_trace_events`).
+pub const CHROME_CAPACITY: usize = 1 << 16;
+
+/// One fully instrumented run: outcome, counters, observability state,
+/// and the two deterministic export documents.
+#[derive(Clone, Debug)]
+pub struct ProfiledRun {
+    /// Workload label (e.g. `"tightloop"`).
+    pub workload: String,
+    /// Machine variant label (e.g. `"WiSync"`).
+    pub machine: String,
+    /// Core count.
+    pub cores: usize,
+    /// Termination cause.
+    pub outcome: RunOutcome,
+    /// Total run cycles.
+    pub cycles: u64,
+    /// End-of-run machine statistics.
+    pub stats: MachineStats,
+    /// Attribution + timeline + histograms, finalized and checked.
+    pub obs: ObsState,
+    /// The deterministic profile document (`wisync-obs-profile/v1`).
+    pub profile: Json,
+    /// The Chrome trace-event document (validated, Perfetto-loadable).
+    pub chrome: Json,
+}
+
+/// Runs `load`'s workload on `m` with observability and Chrome tracing
+/// enabled, checks the attribution invariant, and assembles the export
+/// documents.
+///
+/// # Panics
+///
+/// Panics if the run exceeds `max_cycles`, the attribution buckets do
+/// not tile the run exactly, or the Chrome document fails schema
+/// validation — all are instrumentation bugs, not workload outcomes.
+pub fn profile_run(
+    workload: &str,
+    mut m: Machine,
+    max_cycles: u64,
+    load: impl FnOnce(&mut Machine),
+) -> ProfiledRun {
+    m.enable_observability(ObsConfig::default());
+    m.set_trace_sink(Box::new(ChromeTrace::new(CHROME_CAPACITY)));
+    load(&mut m);
+    let r = m.run(max_cycles);
+    assert_eq!(
+        r.outcome,
+        RunOutcome::Completed,
+        "{workload} did not complete within {max_cycles} cycles"
+    );
+
+    // Attribution runs through the last core's retirement, which can
+    // trail the last *event* (`r.cycles`) by the tail of a final ALU
+    // batch; `attrib.end()` is the tiling bound for the invariant.
+    let obs = m.observability().expect("observability enabled").clone();
+    obs.attrib
+        .check(obs.attrib.end())
+        .expect("attribution buckets tile the run");
+
+    let mut sink = m.take_trace_sink().expect("trace sink installed");
+    let chrome_sink = sink.as_chrome_mut().expect("sink is a ChromeTrace");
+    chrome_sink.push_segments(obs.attrib.segments());
+    let chrome = chrome_sink.to_json();
+    validate_chrome(&chrome).expect("chrome trace validates");
+
+    let stats = m.stats().clone();
+    let cycles = r.cycles.as_u64();
+    let machine = m.config().kind.to_string();
+    let cores = m.config().cores;
+    let profile = profile_json(
+        workload,
+        &machine,
+        cores,
+        &r,
+        &stats,
+        &obs,
+        chrome_sink.len(),
+    );
+    ProfiledRun {
+        workload: workload.to_string(),
+        machine,
+        cores,
+        outcome: r.outcome,
+        cycles,
+        stats,
+        obs,
+        profile,
+        chrome,
+    }
+}
+
+/// Profiles the pinned report workload: TightLoop on a WiSync machine.
+pub fn profile_tightloop(cores: usize, iters: u64) -> ProfiledRun {
+    let m = Machine::new(MachineConfig::wisync(cores));
+    let wl = TightLoop::new(iters);
+    let mut run = profile_run("tightloop", m, crate::BUDGET, |m| wl.load(m));
+    run.workload = format!("tightloop/{iters}");
+    run
+}
+
+fn profile_json(
+    workload: &str,
+    machine: &str,
+    cores: usize,
+    r: &wisync_core::RunReport,
+    stats: &MachineStats,
+    obs: &ObsState,
+    chrome_rows: usize,
+) -> Json {
+    Json::obj([
+        ("schema", Json::Str("wisync-obs-profile/v1".to_string())),
+        ("workload", Json::Str(workload.to_string())),
+        ("machine", Json::Str(machine.to_string())),
+        ("cores", Json::U64(cores as u64)),
+        (
+            "run",
+            Json::obj([
+                ("outcome", Json::Str(format!("{:?}", r.outcome))),
+                ("cycles", Json::U64(r.cycles.as_u64())),
+                ("sim_events", Json::U64(stats.sim_events)),
+                ("instructions", Json::U64(stats.instructions)),
+            ]),
+        ),
+        ("attribution", obs.attribution_json()),
+        ("timeline", obs.timeline.to_json()),
+        (
+            "histograms",
+            Json::obj([
+                ("broadcast_latency", histogram_json(&stats.data.latency)),
+                ("mac_retries", histogram_json(&stats.data.retries)),
+                ("barrier_spread", histogram_json(&obs.barrier_spread)),
+            ]),
+        ),
+        (
+            "counters",
+            Json::obj([
+                ("bm_stores", Json::U64(stats.bm_stores)),
+                ("bm_loads", Json::U64(stats.bm_loads)),
+                ("rmw_attempts", Json::U64(stats.rmw_attempts)),
+                ("rmw_successes", Json::U64(stats.rmw_successes)),
+                ("tone_barriers", Json::U64(stats.tone_barriers)),
+                ("data_transfers", Json::U64(stats.data.transfers)),
+                ("data_collisions", Json::U64(stats.data.collisions)),
+                (
+                    "dropped_trace_events",
+                    Json::U64(stats.dropped_trace_events),
+                ),
+                ("chrome_rows", Json::U64(chrome_rows as u64)),
+            ]),
+        ),
+    ])
+}
+
+impl ProfiledRun {
+    /// Human-readable run profile (the `report` binary's stdout).
+    /// Derived entirely from simulated state, so it is as deterministic
+    /// as the JSON documents.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let w = &mut out;
+        let _ = writeln!(
+            w,
+            "run profile: {} on {} x{}",
+            self.workload, self.machine, self.cores
+        );
+        let _ = writeln!(
+            w,
+            "  {:?} after {} cycles, {} events, {} instructions",
+            self.outcome, self.cycles, self.stats.sim_events, self.stats.instructions
+        );
+        let _ = writeln!(w);
+
+        let _ = writeln!(w, "cycle attribution ({} cores)", self.cores);
+        let totals = self.obs.attrib.totals();
+        let grand: u64 = totals.iter().sum();
+        for (b, &n) in Bucket::ALL.iter().zip(totals.iter()) {
+            let pct = if grand == 0 {
+                0.0
+            } else {
+                n as f64 * 100.0 / grand as f64
+            };
+            let _ = writeln!(w, "  {:<14} {pct:>6.2}%  {n}", b.label());
+        }
+        let _ = writeln!(w);
+
+        let tl = &self.obs.timeline;
+        let epochs = tl.epochs();
+        let nonempty = epochs.iter().filter(|e| **e != Default::default()).count();
+        let _ = writeln!(
+            w,
+            "timeline: {} epochs of {} cycles ({nonempty} active)",
+            epochs.len(),
+            tl.epoch_len()
+        );
+        if let Some((peak_idx, peak)) = epochs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.busy_cycles)
+            .filter(|(_, e)| e.busy_cycles > 0)
+        {
+            let busy: u64 = epochs.iter().map(|e| e.busy_cycles).sum();
+            let mean = busy as f64 / (epochs.len() as f64 * tl.epoch_len() as f64);
+            let _ = writeln!(
+                w,
+                "  channel utilization: mean {mean:.4}, peak {:.4} at epoch {peak_idx}",
+                peak.busy_cycles as f64 / tl.epoch_len() as f64
+            );
+        }
+        let sum = |f: fn(&wisync_obs::Epoch) -> u64| epochs.iter().map(f).sum::<u64>();
+        let _ = writeln!(
+            w,
+            "  transfers {}, collisions {}, retransmits {}, rmw failures {}",
+            sum(|e| e.transfers),
+            sum(|e| e.collisions),
+            sum(|e| e.retransmits),
+            sum(|e| e.rmw_failures)
+        );
+        let _ = writeln!(w);
+
+        let _ = writeln!(w, "histograms (cycles)");
+        let _ = writeln!(w, "  broadcast latency  {}", self.stats.data.latency);
+        let _ = writeln!(w, "  mac retries        {}", self.stats.data.retries);
+        let _ = writeln!(w, "  barrier spread     {}", self.obs.barrier_spread);
+        out
+    }
+}
+
+/// Measures the wall-clock overhead of full instrumentation
+/// (attribution, timeline, and Chrome sink together) on the perf
+/// suite's TightLoop case: best-of-`reps` nanoseconds for the plain run
+/// and the instrumented run. The instrumented run must stay within the
+/// CI-gated budget (see [`OVERHEAD_BUDGET_PCT`]).
+pub fn obs_overhead_ns(reps: u32) -> (u64, u64) {
+    let one = |instrument: bool| {
+        let mut m = Machine::new(MachineConfig::wisync(64));
+        if instrument {
+            m.enable_observability(ObsConfig::default());
+            m.set_trace_sink(Box::new(ChromeTrace::new(CHROME_CAPACITY)));
+        }
+        TightLoop::new(50).load(&mut m);
+        let t0 = Instant::now();
+        let r = m.run(crate::BUDGET);
+        let ns = t0.elapsed().as_nanos() as u64;
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        ns.max(1)
+    };
+    // Warm up caches/frequency, then interleave the two variants so
+    // host-load swings (which dwarf the effect being measured) hit both
+    // distributions equally; best-of keeps the cleanest window of each.
+    one(false);
+    let (mut off, mut on) = (u64::MAX, u64::MAX);
+    for _ in 0..reps.max(1) {
+        off = off.min(one(false));
+        on = on.min(one(true));
+    }
+    (off, on)
+}
+
+/// Maximum tolerated instrumentation overhead, in percent of the
+/// uninstrumented wall time (ISSUE acceptance: < 10%).
+pub const OVERHEAD_BUDGET_PCT: f64 = 10.0;
+
+/// Overhead of `on_ns` over `off_ns` in percent (negative when the
+/// instrumented run was faster — noise on tiny runs).
+pub fn overhead_pct(off_ns: u64, on_ns: u64) -> f64 {
+    (on_ns as f64 - off_ns as f64) * 100.0 / off_ns as f64
+}
+
+/// Asserts the attribution invariant on an already-finished machine:
+/// every core's buckets sum exactly to the run length.
+///
+/// # Panics
+///
+/// Panics with the failing core's tally if the invariant is violated,
+/// or if observability was never enabled.
+pub fn assert_attribution_exact(m: &Machine) {
+    let obs = m
+        .observability()
+        .expect("observability must be enabled to check attribution");
+    let end = obs.attrib.end();
+    assert!(
+        end >= m.now(),
+        "attribution stopped at {end} before the last event at {}",
+        m.now()
+    );
+    obs.attrib
+        .check(end)
+        .unwrap_or_else(|e| panic!("attribution invariant violated on {}: {e}", m.config().kind));
+    // Belt and braces: the public invariant restated from raw totals.
+    let per_run = end.saturating_since(obs.attrib.start());
+    for c in 0..obs.attrib.num_cores() {
+        let buckets: [u64; NUM_BUCKETS] = obs.attrib.core_buckets(c);
+        let total: u64 = buckets.iter().sum();
+        assert_eq!(total, per_run, "core {c} buckets do not tile the run");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_profile() -> ProfiledRun {
+        profile_tightloop(8, 3)
+    }
+
+    #[test]
+    fn tightloop_profile_is_complete_and_valid() {
+        let p = quick_profile();
+        assert_eq!(p.outcome, RunOutcome::Completed);
+        let text = p.profile.render();
+        assert!(text.contains("\"schema\": \"wisync-obs-profile/v1\""));
+        assert!(text.contains("\"barrier_spread\""));
+        // Three tone barriers on WiSync: one per iteration.
+        assert_eq!(p.stats.tone_barriers, 3);
+        assert!(p.obs.barrier_spread.count() >= 3);
+        // The chrome doc validated inside profile_run; spot-check shape.
+        assert!(validate_chrome(&p.chrome).unwrap() > 0);
+    }
+
+    #[test]
+    fn profile_documents_are_byte_reproducible() {
+        let a = quick_profile();
+        let b = quick_profile();
+        assert_eq!(a.profile.render(), b.profile.render());
+        assert_eq!(a.chrome.render(), b.chrome.render());
+        assert_eq!(a.render_text(), b.render_text());
+    }
+
+    #[test]
+    fn render_text_names_every_bucket() {
+        let text = quick_profile().render_text();
+        for b in Bucket::ALL {
+            assert!(text.contains(b.label()), "missing {}", b.label());
+        }
+        assert!(text.contains("timeline:"));
+        assert!(text.contains("broadcast latency"));
+    }
+
+    #[test]
+    fn overhead_pct_math() {
+        assert!((overhead_pct(100, 105) - 5.0).abs() < 1e-9);
+        assert!(overhead_pct(100, 90) < 0.0);
+    }
+}

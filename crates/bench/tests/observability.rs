@@ -1,0 +1,163 @@
+//! Observability contract tests.
+//!
+//! Two guarantees, mirroring the fault-injection contract in reverse:
+//!
+//! 1. **Zero perturbation.** Enabling cycle attribution, the metrics
+//!    timeline, and a streaming trace sink changes *nothing* about the
+//!    simulation — the results document renders byte-identically with
+//!    instrumentation on and off, per workload class and per seed.
+//! 2. **Exact attribution.** With observability on, every core's bucket
+//!    totals tile the run exactly — compute + stalls + waits + idle sum
+//!    to the core's full execution extent, cycle for cycle, across the
+//!    whole workload/architecture matrix (and under random workload
+//!    shapes, via the property test).
+
+use wisync_bench::report::assert_attribution_exact;
+use wisync_bench::BUDGET;
+use wisync_core::{Machine, MachineConfig, MachineKind, ObsConfig, RunOutcome};
+use wisync_obs::ChromeTrace;
+use wisync_testkit::{check_with, gen, Config, Json};
+use wisync_workloads::{CasKernel, CasKind, Livermore, TightLoop};
+
+/// Builds a machine of `kind` with the given master seed, optionally
+/// fully instrumented (attribution + timeline + Chrome sink).
+fn machine(kind: MachineKind, cores: usize, seed: u64, instrumented: bool) -> Machine {
+    let mut cfg = MachineConfig::for_kind(kind, cores);
+    cfg.seed = seed;
+    let mut m = Machine::new(cfg);
+    if instrumented {
+        m.enable_observability(ObsConfig::default());
+        // Generous capacity: a dropped-event counter difference is a
+        // real difference, not one this test should mask.
+        m.set_trace_sink(Box::new(ChromeTrace::new(1 << 20)));
+    }
+    m
+}
+
+/// The "results JSON" for one run: outcome plus every counter a paper
+/// figure reads. Rendered with the deterministic writer, so comparing
+/// strings compares bytes.
+fn results_json(m: &Machine, outcome: RunOutcome) -> String {
+    let s = m.stats();
+    Json::obj([
+        ("outcome", Json::Str(format!("{outcome:?}"))),
+        ("cycles", Json::U64(m.now().as_u64())),
+        ("sim_events", Json::U64(s.sim_events)),
+        ("instructions", Json::U64(s.instructions)),
+        ("bm_stores", Json::U64(s.bm_stores)),
+        ("bm_loads", Json::U64(s.bm_loads)),
+        ("rmw_attempts", Json::U64(s.rmw_attempts)),
+        ("rmw_successes", Json::U64(s.rmw_successes)),
+        ("cas_successes", Json::U64(s.cas_successes)),
+        ("tone_barriers", Json::U64(s.tone_barriers)),
+        ("data_transfers", Json::U64(s.data.transfers)),
+        ("data_collisions", Json::U64(s.data.collisions)),
+        ("data_busy_cycles", Json::U64(s.data.busy_cycles)),
+        ("mem_loads", Json::U64(s.mem.loads)),
+        ("mem_stores", Json::U64(s.mem.stores)),
+        ("l1_hits", Json::U64(s.mem.l1_hits)),
+        ("faults", Json::U64(s.faults.len() as u64)),
+    ])
+    .render()
+}
+
+/// ISSUE satellite: one barrier kernel and one CAS kernel, two seeds
+/// each — the instrumented and plain runs must produce byte-identical
+/// results JSON.
+#[test]
+fn instrumentation_is_invisible_in_results_json() {
+    for seed in [0xA11CE, 0xB0B] {
+        // Barrier kernel on the full WiSync machine.
+        let barrier = |instrumented: bool| {
+            let mut m = machine(MachineKind::WiSync, 8, seed, instrumented);
+            TightLoop::new(4).load(&mut m);
+            let r = m.run(BUDGET);
+            results_json(&m, r.outcome)
+        };
+        assert_eq!(
+            barrier(false),
+            barrier(true),
+            "tracing perturbed TightLoop, seed {seed:#x}"
+        );
+
+        // CAS kernel: contended BM RMWs exercise the MAC/backoff paths.
+        let cas = |instrumented: bool| {
+            let mut m = machine(MachineKind::WiSync, 8, seed, instrumented);
+            let k = CasKernel {
+                kind: CasKind::Fifo,
+                critical_section: 16,
+                ops_per_thread: 8,
+            };
+            k.load(&mut m);
+            let r = m.run(BUDGET);
+            results_json(&m, r.outcome)
+        };
+        assert_eq!(
+            cas(false),
+            cas(true),
+            "tracing perturbed the FIFO kernel, seed {seed:#x}"
+        );
+    }
+}
+
+/// The attribution invariant across the workload/architecture matrix:
+/// every core's buckets tile its execution exactly, on every machine
+/// kind and workload class.
+#[test]
+fn attribution_tiles_exactly_across_matrix() {
+    // TightLoop on all four architectures (barrier paths differ on each).
+    for kind in MachineKind::all() {
+        let mut m = machine(kind, 8, 0xC0DE, true);
+        TightLoop::new(3).load(&mut m);
+        let r = m.run(BUDGET);
+        assert_eq!(r.outcome, RunOutcome::Completed, "{kind:?}");
+        assert_attribution_exact(&m);
+    }
+
+    // Contended CAS on WiSync (BM RMW + backoff) and Baseline (directory).
+    for kind in [MachineKind::WiSync, MachineKind::Baseline] {
+        let mut m = machine(kind, 8, 0xC0DE, true);
+        CasKernel {
+            kind: CasKind::Fifo,
+            critical_section: 16,
+            ops_per_thread: 8,
+        }
+        .load(&mut m);
+        let r = m.run(BUDGET);
+        assert_eq!(r.outcome, RunOutcome::Completed, "{kind:?}");
+        assert_attribution_exact(&m);
+    }
+
+    // A data-parallel Livermore loop (bulk BM traffic) on WiSync.
+    let mut m = machine(MachineKind::WiSync, 8, 0xC0DE, true);
+    let chk = Livermore::loop2(64).load(&mut m);
+    let r = m.run(BUDGET);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    chk.check(&m).expect("livermore result correct");
+    assert_attribution_exact(&m);
+}
+
+/// Property test: the invariant holds for random workload shapes, not
+/// just the hand-picked matrix points.
+#[test]
+fn attribution_invariant_holds_for_random_workloads() {
+    let shapes = (
+        gen::range_incl(0u64, 3),
+        gen::range_incl(1u64, 4),
+        gen::range_incl(1u64, 30),
+    );
+    check_with(
+        Config::with_cases(24),
+        "attribution_random_tightloop",
+        shapes,
+        |(kind_idx, iters, array_len)| {
+            let kind = MachineKind::all()[kind_idx as usize];
+            let mut m = machine(kind, 4, 0x5EED ^ iters, true);
+            TightLoop { iters, array_len }.load(&mut m);
+            let r = m.run(BUDGET);
+            wisync_testkit::prop_assert_eq!(r.outcome, RunOutcome::Completed);
+            assert_attribution_exact(&m);
+            Ok(())
+        },
+    );
+}

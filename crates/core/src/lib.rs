@@ -58,9 +58,11 @@ pub use bm::{BmError, BroadcastMemory, Pid};
 pub use config::{BmConsistency, MachineConfig, MachineKind};
 pub use machine::{Machine, RunOutcome, RunReport, ScheduleError, ThreadImage, WirelessMsg};
 pub use stats::MachineStats;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{ChromeTrace, Trace, TraceEvent, TraceSink};
 // Fault-injection vocabulary, re-exported so workloads and harnesses can
 // build plans without depending on `wisync-fault` directly.
 pub use wisync_fault::{
     Dropout, ErrorModel, FaultPlan, FaultRecord, FaultState, FaultStats, ToneFaults,
 };
+// Observability vocabulary, re-exported on the same grounds.
+pub use wisync_obs::{Attribution, Bucket, ObsConfig, ObsState, Timeline};

@@ -12,13 +12,14 @@ use wisync_fault::{FaultPlan, FaultRecord, FaultState, RxOutcome, ToneOutcome};
 use wisync_isa::{Cond, Instr, Program, Reg, RmwSpec, Space};
 use wisync_mem::{MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId, NodeSet};
+use wisync_obs::{Bucket, ObsConfig, ObsState, Timeline};
 use wisync_sim::{Cycle, DetRng, EventQueue};
 use wisync_wireless::{DataChannel, Resolution, ToneChannel, TxLen, TxToken};
 
 use crate::bm::{BmError, BroadcastMemory, Pid};
 use crate::config::{BmConsistency, MachineConfig};
 use crate::stats::MachineStats;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceEvent, TraceSink};
 
 /// Maximum ALU instructions executed in one event before yielding.
 const MAX_BATCH: u64 = 1024;
@@ -326,7 +327,14 @@ pub struct Machine {
     rng: DetRng,
     now: Cycle,
     stats: MachineStats,
-    trace: Option<Trace>,
+    trace: Option<Box<dyn TraceSink>>,
+    /// Observability state (cycle attribution, metrics timeline,
+    /// synchronization histograms); `None` (the default) costs nothing.
+    /// The machine only ever *writes* this state — it never reads it
+    /// back, draws no randomness for it, and schedules no events from
+    /// it, so enabling observability cannot change any simulation
+    /// outcome (the fault-injection contract in reverse).
+    obs: Option<Box<ObsState>>,
     /// Fault injection state; `None` (the default) costs nothing: no
     /// hooks run, no randomness is drawn, event order is untouched.
     fault: Option<Box<FaultState>>,
@@ -360,6 +368,7 @@ impl Machine {
             now: Cycle::ZERO,
             stats: MachineStats::default(),
             trace: None,
+            obs: None,
             fault: None,
             config,
         }
@@ -385,20 +394,109 @@ impl Machine {
         self.fault.as_deref()
     }
 
-    /// Enables event tracing with the given capacity (see
-    /// [`crate::trace`]). Replaces any existing trace.
+    /// Enables event tracing into the default bounded [`Trace`] sink
+    /// with the given capacity (see [`crate::trace`]). Replaces any
+    /// installed sink.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+        self.trace = Some(Box::new(Trace::new(capacity)));
     }
 
-    /// The recorded trace, if tracing was enabled.
+    /// Installs a custom streaming trace sink (e.g. a
+    /// [`crate::ChromeTrace`] exporter). Replaces any installed sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// The recorded bounded trace, if the installed sink is one.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.trace.as_deref().and_then(TraceSink::as_trace)
+    }
+
+    /// The installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.trace.as_deref()
+    }
+
+    /// Removes and returns the installed trace sink (e.g. to append
+    /// attribution spans to a [`crate::ChromeTrace`] and export it
+    /// after a run). Tracing is off afterwards.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Enables observability: per-core cycle attribution, the interval
+    /// metrics timeline, and synchronization histograms (see
+    /// [`wisync_obs`]). Install before the first [`Machine::run`] so
+    /// attribution covers the whole execution. Like fault injection's
+    /// disabled path, enabling observability never perturbs the
+    /// simulation: identical results with it on or off.
+    pub fn enable_observability(&mut self, config: ObsConfig) {
+        self.obs = Some(Box::new(ObsState::new(self.cores.len(), self.now, config)));
+    }
+
+    /// The observability state, if enabled. Attribution is closed up to
+    /// the current cycle at the end of every [`Machine::run`].
+    pub fn observability(&self) -> Option<&ObsState> {
+        self.obs.as_deref()
     }
 
     fn record(&mut self, e: TraceEvent) {
-        if let Some(t) = self.trace.as_mut() {
-            t.record(e);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record_event(&e);
+        }
+    }
+
+    // --- Observability hooks ----------------------------------------------
+    //
+    // All of these are no-ops when observability is off; when on, they
+    // only append to `self.obs` (never read it, never touch timing).
+
+    /// Closes `[now, t)` as compute (the inline ALU prefix of the
+    /// current batch) and `[t, end)` as `bucket`.
+    #[inline]
+    fn obs_op(&mut self, core: usize, t: Cycle, end: Cycle, bucket: Bucket) {
+        let now = self.now;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.attrib.segment(core, now, t, Bucket::Compute);
+            o.attrib.segment(core, t, end, bucket);
+        }
+    }
+
+    /// Closes `[now, t)` as compute and leaves `bucket` pending from
+    /// `t` — for spans whose end is not yet known (channel waits,
+    /// spin-waits): the gap closes when the core next advances.
+    #[inline]
+    fn obs_stall(&mut self, core: usize, t: Cycle, bucket: Bucket) {
+        let now = self.now;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.attrib.segment(core, now, t, Bucket::Compute);
+            o.attrib.set_pending(core, bucket);
+        }
+    }
+
+    /// Closes the core's open span up to the current cycle with its
+    /// pending bucket.
+    #[inline]
+    fn obs_sync(&mut self, core: usize) {
+        let now = self.now;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.attrib.advance_to(core, now);
+        }
+    }
+
+    /// Sets the core's pending bucket without closing anything.
+    #[inline]
+    fn obs_pending(&mut self, core: usize, bucket: Bucket) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.attrib.set_pending(core, bucket);
+        }
+    }
+
+    /// Bumps the interval metrics timeline.
+    #[inline]
+    fn obs_timeline(&mut self, f: impl FnOnce(&mut Timeline)) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            f(&mut o.timeline);
         }
     }
 
@@ -544,6 +642,8 @@ impl Machine {
     /// resumption — for spin-waits that is exactly the re-check the
     /// paper's rescheduled thread would perform).
     fn park(&mut self, core: usize) {
+        self.obs_sync(core);
+        self.obs_pending(core, Bucket::Idle);
         if let Some(p) = self.cores[core].pending_rmw.take() {
             // §4.2.1: an exception while the wireless transfer is
             // outstanding sets AFB and aborts the transfer.
@@ -688,6 +788,20 @@ impl Machine {
             self.stats.sim_events += 1;
             self.dispatch(ev);
         }
+        // Attribution runs through the last core's retirement, which can
+        // trail the last processed event by the tail of a final ALU batch
+        // (a `Halt` retires mid-batch without scheduling an event).
+        let end = self
+            .cores
+            .iter()
+            .filter_map(|c| c.finish)
+            .fold(self.now, Cycle::max);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.finalize(end);
+        }
+        if let Some(t) = self.trace.as_deref() {
+            self.stats.dropped_trace_events = t.dropped();
+        }
         self.final_fault_audit();
         let loaded = self
             .cores
@@ -715,6 +829,7 @@ impl Machine {
             data_stats.busy_cycles += s.busy_cycles;
             data_stats.backoff_exhaustions += s.backoff_exhaustions;
             data_stats.latency.merge(&s.latency);
+            data_stats.retries.merge(&s.retries);
         }
         self.stats.absorb_substrates(
             data_stats,
@@ -765,11 +880,16 @@ impl Machine {
                         message,
                         complete_at,
                         ..
-                    } => self.queue.push(complete_at, Event::Deliver(message)),
+                    } => {
+                        self.obs_timeline(|tl| tl.transfer(now, complete_at.saturating_since(now)));
+                        self.queue.push(complete_at, Event::Deliver(message));
+                    }
                     Resolution::Collision {
                         retry_slots,
                         exhausted,
                     } => {
+                        let busy = self.config.wireless.collision_cycles;
+                        self.obs_timeline(|tl| tl.collision(now, busy));
                         self.record(TraceEvent::Collision {
                             at: now,
                             channel: ch,
@@ -797,6 +917,9 @@ impl Machine {
     // --- Core execution ---------------------------------------------------
 
     fn fault(&mut self, core: usize, reason: String) {
+        // A faulted core's remaining cycles (including the ALU prefix of
+        // the faulting batch) count as idle.
+        self.obs_pending(core, Bucket::Idle);
         self.cores[core].status = CoreStatus::Faulted;
         self.stats.faults.push(FaultRecord::Exec { core, reason });
     }
@@ -818,6 +941,7 @@ impl Machine {
     /// Executes instructions for `core` starting at the current time,
     /// until a blocking operation or the ALU batch limit.
     fn advance_core(&mut self, core: usize) {
+        self.obs_sync(core);
         let mut t = self.now;
         let mut batched = 0u64;
         loop {
@@ -898,7 +1022,9 @@ impl Machine {
                 Instr::Compute { cycles } => {
                     self.stats.instructions += cycles.saturating_sub(1);
                     self.cores[core].pc = pc + 1;
-                    self.block_until(core, t + cycles.max(1));
+                    let end = t + cycles.max(1);
+                    self.obs_op(core, t, end, Bucket::Compute);
+                    self.block_until(core, end);
                     return;
                 }
                 Instr::Ld {
@@ -914,6 +1040,7 @@ impl Machine {
                             // The value is read when the line arrives.
                             self.cores[core].pending_load = Some((dst, addr));
                             self.cores[core].pc = pc + 1;
+                            self.obs_op(core, t, o.complete_at, Bucket::MemStall);
                             self.block_until(core, o.complete_at);
                         }
                         Space::Bm => match self.bm_translate(core, addr) {
@@ -927,8 +1054,11 @@ impl Machine {
                                 };
                                 regs!(dst) = v;
                                 self.stats.bm_loads += 1;
+                                self.obs_timeline(|tl| tl.bm_load(t, 1));
                                 self.cores[core].pc = pc + 1;
-                                self.block_until(core, t + self.config.bm_rt);
+                                let end = t + self.config.bm_rt;
+                                self.obs_op(core, t, end, Bucket::MemStall);
+                                self.block_until(core, end);
                             }
                             Err(e) => self.fault(core, e.to_string()),
                         },
@@ -952,6 +1082,7 @@ impl Machine {
                                 self.queue.push(*at, Event::Resume(w.as_usize()));
                             }
                             self.cores[core].pc = pc + 1;
+                            self.obs_op(core, t, o.complete_at, Bucket::MemStall);
                             self.block_until(core, o.complete_at);
                         }
                         Space::Bm => match self.bm_translate(core, addr) {
@@ -961,9 +1092,11 @@ impl Machine {
                                     // then re-execute this store.
                                     self.cores[core].drain_block = true;
                                     self.cores[core].status = CoreStatus::Blocked;
+                                    self.obs_stall(core, t, Bucket::ChannelWait);
                                     return;
                                 }
                                 self.stats.bm_stores += 1;
+                                self.obs_timeline(|tl| tl.bm_store(t, 1));
                                 self.request_tx(
                                     core,
                                     TxLen::Normal,
@@ -976,11 +1109,13 @@ impl Machine {
                                         self.cores[core].drain_block = true;
                                         self.cores[core].status = CoreStatus::Blocked;
                                         self.cores[core].store_buffer = Some((phys, value));
+                                        self.obs_stall(core, t, Bucket::ChannelWait);
                                         return;
                                     }
                                     BmConsistency::Tso => {
                                         // Continue past the store.
                                         self.cores[core].store_buffer = Some((phys, value));
+                                        self.obs_op(core, t, t + 1, Bucket::Compute);
                                         self.block_until(core, t + 1);
                                         return;
                                     }
@@ -1012,6 +1147,7 @@ impl Machine {
                                 self.queue.push(*at, Event::Resume(w.as_usize()));
                             }
                             self.cores[core].pc = pc + 1;
+                            self.obs_op(core, t, o.complete_at, Bucket::MemStall);
                             self.block_until(core, o.complete_at);
                         }
                         Space::Bm => {
@@ -1029,9 +1165,12 @@ impl Machine {
                                 self.cores[core].regs[dst.0 as usize + k] = v;
                             }
                             self.stats.bm_loads += 4;
+                            self.obs_timeline(|tl| tl.bm_load(t, 4));
                             self.cores[core].pc = pc + 1;
                             // Four pipelined local reads.
-                            self.block_until(core, t + self.config.bm_rt + 3);
+                            let end = t + self.config.bm_rt + 3;
+                            self.obs_op(core, t, end, Bucket::MemStall);
+                            self.block_until(core, end);
                         }
                         Err(e) => self.fault(core, e.to_string()),
                     }
@@ -1042,6 +1181,7 @@ impl Machine {
                     if self.cores[core].store_buffer.is_some() {
                         self.cores[core].drain_block = true;
                         self.cores[core].status = CoreStatus::Blocked;
+                        self.obs_stall(core, t, Bucket::ChannelWait);
                         return;
                     }
                     match self.bm_translate_run(core, addr, 4) {
@@ -1051,6 +1191,7 @@ impl Machine {
                                 *v = self.cores[core].regs[src.0 as usize + k];
                             }
                             self.stats.bm_stores += 4;
+                            self.obs_timeline(|tl| tl.bm_store(t, 4));
                             self.request_tx(
                                 core,
                                 TxLen::Bulk,
@@ -1062,6 +1203,7 @@ impl Machine {
                             // they block the core under both models.
                             self.cores[core].drain_block = true;
                             self.cores[core].status = CoreStatus::Blocked;
+                            self.obs_stall(core, t, Bucket::ChannelWait);
                         }
                         Err(e) => self.fault(core, e.to_string()),
                     }
@@ -1079,7 +1221,9 @@ impl Machine {
                             let v = self.bm_read(core, phys);
                             regs!(dst) = v;
                             self.cores[core].pc = pc + 1;
-                            self.block_until(core, t + self.config.bm_rt);
+                            let end = t + self.config.bm_rt;
+                            self.obs_op(core, t, end, Bucket::MemStall);
+                            self.block_until(core, end);
                         }
                         Err(e) => self.fault(core, e.to_string()),
                     }
@@ -1106,6 +1250,7 @@ impl Machine {
                                 value: v,
                             });
                             self.cores[core].status = CoreStatus::Blocked;
+                            self.obs_stall(core, t, Bucket::BarrierWait);
                             self.queue.push(o.complete_at, Event::WaitCheck(core));
                         }
                         Space::Bm => match self.bm_translate(core, addr) {
@@ -1117,6 +1262,7 @@ impl Machine {
                                     value: v,
                                 });
                                 self.cores[core].status = CoreStatus::Blocked;
+                                self.obs_stall(core, t, Bucket::BarrierWait);
                                 self.queue
                                     .push(t + self.config.bm_rt, Event::WaitCheck(core));
                             }
@@ -1131,10 +1277,12 @@ impl Machine {
                         // performs (its effects must be globally visible).
                         self.cores[core].drain_block = true;
                         self.cores[core].status = CoreStatus::Blocked;
+                        self.obs_stall(core, t, Bucket::ChannelWait);
                         return;
                     }
                     self.cores[core].status = CoreStatus::Halted;
                     self.cores[core].finish = Some(t);
+                    self.obs_stall(core, t, Bucket::Idle);
                     self.record(TraceEvent::Halted { at: t, core });
                     return;
                 }
@@ -1151,6 +1299,8 @@ impl Machine {
     }
 
     fn yield_core(&mut self, core: usize, at: Cycle) {
+        // The whole exhausted batch was inline ALU work.
+        self.obs_op(core, at, at, Bucket::Compute);
         self.cores[core].status = CoreStatus::Blocked;
         self.queue.push(at, Event::Resume(core));
     }
@@ -1235,6 +1385,7 @@ impl Machine {
             // then re-execute.
             self.cores[core].drain_block = true;
             self.cores[core].status = CoreStatus::Blocked;
+            self.obs_stall(core, t, Bucket::ChannelWait);
             return;
         }
         let phys = match self.bm_translate(core, vaddr) {
@@ -1245,6 +1396,7 @@ impl Machine {
             }
         };
         self.stats.note_rmw_attempt(kind);
+        self.obs_timeline(|tl| tl.rmw_attempt(t));
         let old = self.bm_read(core, phys);
         self.cores[core].regs[dst.0 as usize] = old;
         let rk = self.rmw_kind(core, kind);
@@ -1258,7 +1410,9 @@ impl Machine {
         if !writes {
             // CAS comparison failed: no broadcast, no atomicity window.
             self.cores[core].pc += 1;
-            self.block_until(core, t + self.config.bm_rt);
+            let end = t + self.config.bm_rt;
+            self.obs_op(core, t, end, Bucket::MemStall);
+            self.block_until(core, end);
             return;
         }
         let token = self.request_tx(
@@ -1279,6 +1433,7 @@ impl Machine {
         });
         self.cores[core].pc += 1;
         self.cores[core].status = CoreStatus::Blocked;
+        self.obs_stall(core, t, Bucket::ChannelWait);
     }
 
     fn exec_tone_st(&mut self, core: usize, vaddr: u64, t: Cycle) {
@@ -1343,6 +1498,10 @@ impl Machine {
             }
         }
         // tone_st is fire-and-forget: the core proceeds (to its spin).
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.barrier_arrive(phys, t);
+        }
+        self.obs_op(core, t, t + 1, Bucket::Compute);
         self.cores[core].pc += 1;
         self.block_until(core, t + 1);
     }
@@ -1365,6 +1524,7 @@ impl Machine {
             }
             self.cores[i].afb = true;
             self.stats.bm_rmw_atomicity_failures += 1;
+            self.obs_timeline(|tl| tl.rmw_failure(at));
             self.record(TraceEvent::RmwAborted { at, core: i, phys });
             // Hold the failed instruction for an exponentially-backed-off
             // wait before software sees the AFB (§5.3).
@@ -1375,6 +1535,10 @@ impl Machine {
                 // The write never reaches the network: the RMW completes
                 // without its write (WCB sets, AFB=1).
                 self.cores[i].pending_rmw = None;
+                // The victim's channel wait ends here; it now sits in the
+                // §5.3 backoff window until its resume.
+                self.obs_sync(i);
+                self.obs_pending(i, Bucket::MacBackoff);
                 self.queue.push(at + wait, Event::Resume(i));
             } else {
                 // Already transmitting: drop the write at delivery.
@@ -1440,6 +1604,12 @@ impl Machine {
                     // Atomicity failed mid-flight: the write is dropped.
                     let exp = self.cores[core].rmw_exp.min(10);
                     let wait = self.rng.gen_range(1 << exp);
+                    if self.cores[core].status == CoreStatus::Blocked {
+                        // Still blocked on this RMW (not preempted away):
+                        // it now waits out the §5.3 backoff window.
+                        self.obs_sync(core);
+                        self.obs_pending(core, Bucket::MacBackoff);
+                    }
                     self.queue.push(at + wait, Event::Resume(core));
                     return;
                 }
@@ -1578,6 +1748,7 @@ impl Machine {
             let attempt = frame.attempt + 1;
             if attempt <= f.plan().max_retransmits {
                 f.stats_mut().retransmits += 1;
+                self.obs_timeline(|tl| tl.retransmit(at));
                 self.record(TraceEvent::Retransmit {
                     at,
                     core: sender,
@@ -1737,6 +1908,10 @@ impl Machine {
         let before = self.bm.read_phys(phys);
         self.bm.toggle_phys(phys);
         self.stats.tone_barriers += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.timeline.tone_completion(at);
+            o.barrier_release(phys, at);
+        }
         self.record(TraceEvent::ToneCompleted { at, phys });
         if let Some(mut f) = self.fault.take() {
             let after = self.bm.read_phys(phys);

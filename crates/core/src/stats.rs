@@ -1,5 +1,7 @@
 //! Whole-machine statistics.
 
+use std::fmt;
+
 use wisync_fault::{FaultRecord, FaultStats};
 use wisync_isa::RmwSpec;
 use wisync_mem::MemStats;
@@ -36,6 +38,9 @@ pub struct MachineStats {
     /// CAS instructions that compared equal *and* committed atomically
     /// (the quantity Figure 9 plots per 1000 cycles).
     pub cas_successes: u64,
+    /// Trace events discarded by the bounded trace sink after it filled
+    /// (0 when tracing is off or the sink never overflowed).
+    pub dropped_trace_events: u64,
     /// Simulation and injected faults (protection violations, exhausted
     /// retransmit budgets, audited replica divergence).
     pub faults: Vec<FaultRecord>,
@@ -99,5 +104,53 @@ impl MachineStats {
         } else {
             self.cas_successes as f64 * 1000.0 / cycles.as_u64() as f64
         }
+    }
+}
+
+/// Aligned, human-readable rendering used by the bench / chaos / sweep
+/// binaries when summarizing a run.
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn row(f: &mut fmt::Formatter<'_>, key: &str, value: impl fmt::Display) -> fmt::Result {
+            writeln!(f, "  {key:<26} {value}")
+        }
+        writeln!(f, "machine")?;
+        row(f, "instructions", self.instructions)?;
+        row(f, "sim_events", self.sim_events)?;
+        row(f, "bm_loads", self.bm_loads)?;
+        row(f, "bm_stores", self.bm_stores)?;
+        row(f, "rmw_attempts", self.rmw_attempts)?;
+        row(f, "rmw_successes", self.rmw_successes)?;
+        row(f, "cas_attempts", self.cas_attempts)?;
+        row(f, "cas_successes", self.cas_successes)?;
+        row(f, "rmw_atomicity_failures", self.bm_rmw_atomicity_failures)?;
+        row(f, "tone_barriers", self.tone_barriers)?;
+        row(f, "faults", self.faults.len())?;
+        if self.dropped_trace_events > 0 {
+            row(f, "dropped_trace_events", self.dropped_trace_events)?;
+        }
+        writeln!(f, "data channel")?;
+        row(f, "transfers", self.data.transfers)?;
+        row(f, "collisions", self.data.collisions)?;
+        row(f, "busy_cycles", self.data.busy_cycles)?;
+        row(f, "backoff_exhaustions", self.data.backoff_exhaustions)?;
+        row(
+            f,
+            "utilization",
+            format_args!("{:.4}", self.data_utilization),
+        )?;
+        row(f, "latency", &self.data.latency)?;
+        row(f, "retries", &self.data.retries)?;
+        writeln!(f, "tone channel")?;
+        row(f, "barriers_completed", self.tone.barriers_completed)?;
+        row(f, "active_cycles", self.tone.active_cycles)?;
+        row(f, "peak_active", self.tone.peak_active)?;
+        writeln!(f, "memory")?;
+        row(f, "loads", self.mem.loads)?;
+        row(f, "stores", self.mem.stores)?;
+        row(f, "rmws", self.mem.rmws)?;
+        row(f, "l1_hits", self.mem.l1_hits)?;
+        row(f, "dir_transactions", self.mem.dir_transactions)?;
+        row(f, "latency", &self.mem.latency)
     }
 }

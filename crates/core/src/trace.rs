@@ -1,320 +1,16 @@
 //! Execution tracing: a bounded, queryable timeline of the interesting
-//! machine events (wireless activity, synchronization milestones),
-//! for debugging workloads and understanding where cycles go.
+//! machine events (wireless activity, synchronization milestones), for
+//! debugging workloads and understanding where cycles go.
 //!
-//! Tracing is off by default and costs nothing when disabled. Enable it
-//! with [`crate::Machine::enable_trace`], run, then inspect with
-//! [`crate::Machine::trace`].
+//! The event vocabulary ([`TraceEvent`]), the bounded [`Trace`]
+//! timeline, and the streaming sinks (the [`TraceSink`] trait and the
+//! Perfetto-loadable [`ChromeTrace`] exporter) live in [`wisync_obs`];
+//! this module re-exports them so `wisync_core::{Trace, TraceEvent}`
+//! keeps working.
+//!
+//! Tracing is off by default and costs nothing when disabled. Enable
+//! the bounded sink with [`crate::Machine::enable_trace`], or install
+//! any sink with [`crate::Machine::set_trace_sink`]; run, then inspect
+//! with [`crate::Machine::trace`] / [`crate::Machine::trace_sink`].
 
-use std::fmt;
-
-use wisync_sim::Cycle;
-
-/// One traced machine event.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A wireless message was delivered chip-wide.
-    Delivered {
-        /// Completion cycle.
-        at: Cycle,
-        /// Sending core.
-        core: usize,
-        /// Physical BM index written (first word for Bulk).
-        phys: usize,
-        /// Message kind: "store", "rmw", "bulk", or "tone-init".
-        kind: &'static str,
-    },
-    /// Two or more transmissions collided on a Data channel.
-    Collision {
-        /// Collision slot.
-        at: Cycle,
-        /// Which Data channel (0 unless multi-channel).
-        channel: usize,
-    },
-    /// A BM RMW lost its atomicity (AFB set).
-    RmwAborted {
-        /// Cycle of the conflicting delivery.
-        at: Cycle,
-        /// Core whose RMW failed.
-        core: usize,
-        /// Contended physical BM index.
-        phys: usize,
-    },
-    /// A tone barrier was activated (init message delivered).
-    ToneActivated {
-        /// Activation cycle.
-        at: Cycle,
-        /// Barrier's physical BM index.
-        phys: usize,
-    },
-    /// A tone barrier completed (silence observed, flag toggled).
-    ToneCompleted {
-        /// Completion cycle.
-        at: Cycle,
-        /// Barrier's physical BM index.
-        phys: usize,
-    },
-    /// A colliding frame's MAC backoff exponent was already at
-    /// `max_backoff_exp`: escalation gave up and the frame keeps
-    /// retrying at the capped window.
-    BackoffExhausted {
-        /// Collision slot.
-        at: Cycle,
-        /// Which Data channel.
-        channel: usize,
-        /// Core whose frame is stuck at the cap.
-        core: usize,
-    },
-    /// A receiver's checksum caught a corrupted delivery and dropped the
-    /// frame (fault injection).
-    ChecksumReject {
-        /// Delivery cycle.
-        at: Cycle,
-        /// Rejecting receiver core.
-        core: usize,
-        /// Physical BM index of the dropped payload.
-        phys: usize,
-    },
-    /// A sender re-broadcast a NACKed message (fault recovery).
-    Retransmit {
-        /// Cycle the retransmit was requested.
-        at: Cycle,
-        /// Sending core.
-        core: usize,
-        /// Physical BM index of the payload.
-        phys: usize,
-        /// Delivery attempt number (1 = first retransmit).
-        attempt: u32,
-    },
-    /// The replica audit found divergence at a BM word and issued a
-    /// resync broadcast.
-    ReplicaResync {
-        /// Audit cycle.
-        at: Cycle,
-        /// The diverged physical BM index.
-        phys: usize,
-    },
-    /// A core's program halted.
-    Halted {
-        /// Halt cycle.
-        at: Cycle,
-        /// The core.
-        core: usize,
-    },
-}
-
-impl TraceEvent {
-    /// The cycle this event occurred at.
-    pub fn at(&self) -> Cycle {
-        match *self {
-            TraceEvent::Delivered { at, .. }
-            | TraceEvent::Collision { at, .. }
-            | TraceEvent::RmwAborted { at, .. }
-            | TraceEvent::ToneActivated { at, .. }
-            | TraceEvent::ToneCompleted { at, .. }
-            | TraceEvent::BackoffExhausted { at, .. }
-            | TraceEvent::ChecksumReject { at, .. }
-            | TraceEvent::Retransmit { at, .. }
-            | TraceEvent::ReplicaResync { at, .. }
-            | TraceEvent::Halted { at, .. } => at,
-        }
-    }
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            TraceEvent::Delivered {
-                at,
-                core,
-                phys,
-                kind,
-            } => write!(f, "{at:>8} deliver  {kind:<9} core {core} -> bm[{phys}]"),
-            TraceEvent::Collision { at, channel } => {
-                write!(f, "{at:>8} collide  channel {channel}")
-            }
-            TraceEvent::RmwAborted { at, core, phys } => {
-                write!(f, "{at:>8} afb      core {core} lost bm[{phys}]")
-            }
-            TraceEvent::ToneActivated { at, phys } => {
-                write!(f, "{at:>8} tone+    barrier bm[{phys}] active")
-            }
-            TraceEvent::ToneCompleted { at, phys } => {
-                write!(f, "{at:>8} tone-    barrier bm[{phys}] released")
-            }
-            TraceEvent::BackoffExhausted { at, channel, core } => {
-                write!(
-                    f,
-                    "{at:>8} backoff! core {core} capped on channel {channel}"
-                )
-            }
-            TraceEvent::ChecksumReject { at, core, phys } => {
-                write!(f, "{at:>8} crc-drop core {core} rejected bm[{phys}]")
-            }
-            TraceEvent::Retransmit {
-                at,
-                core,
-                phys,
-                attempt,
-            } => {
-                write!(
-                    f,
-                    "{at:>8} retx     core {core} bm[{phys}] attempt {attempt}"
-                )
-            }
-            TraceEvent::ReplicaResync { at, phys } => {
-                write!(f, "{at:>8} resync   bm[{phys}] replica divergence")
-            }
-            TraceEvent::Halted { at, core } => write!(f, "{at:>8} halt     core {core}"),
-        }
-    }
-}
-
-/// A bounded event timeline.
-///
-/// Events past the capacity are dropped (and counted), so tracing a long
-/// run cannot exhaust memory.
-#[derive(Clone, Debug, Default)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl Trace {
-    /// Creates a trace holding up to `capacity` events.
-    pub fn new(capacity: usize) -> Self {
-        Trace {
-            events: Vec::new(),
-            capacity,
-            dropped: 0,
-        }
-    }
-
-    /// Records an event (drops it if full).
-    pub fn record(&mut self, e: TraceEvent) {
-        if self.events.len() < self.capacity {
-            self.events.push(e);
-        } else {
-            self.dropped += 1;
-        }
-    }
-
-    /// The recorded events, in occurrence order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Number of events dropped after the capacity filled.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Events in a cycle window `[from, to)`.
-    pub fn window(&self, from: Cycle, to: Cycle) -> impl Iterator<Item = &TraceEvent> {
-        self.events
-            .iter()
-            .filter(move |e| e.at() >= from && e.at() < to)
-    }
-
-    /// Renders the timeline as text, one event per line.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for e in &self.events {
-            out.push_str(&e.to_string());
-            out.push('\n');
-        }
-        if self.dropped > 0 {
-            out.push_str(&format!("... and {} more events dropped\n", self.dropped));
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn records_up_to_capacity() {
-        let mut t = Trace::new(2);
-        for i in 0..5 {
-            t.record(TraceEvent::Halted {
-                at: Cycle(i),
-                core: i as usize,
-            });
-        }
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.dropped(), 3);
-        assert!(t.render().contains("3 more events dropped"));
-    }
-
-    #[test]
-    fn window_filters_by_cycle() {
-        let mut t = Trace::new(10);
-        for i in 0..10 {
-            t.record(TraceEvent::Collision {
-                at: Cycle(i * 10),
-                channel: 0,
-            });
-        }
-        assert_eq!(t.window(Cycle(20), Cycle(50)).count(), 3);
-    }
-
-    #[test]
-    fn display_is_nonempty_for_all_variants() {
-        let events = [
-            TraceEvent::Delivered {
-                at: Cycle(1),
-                core: 0,
-                phys: 2,
-                kind: "store",
-            },
-            TraceEvent::Collision {
-                at: Cycle(2),
-                channel: 0,
-            },
-            TraceEvent::RmwAborted {
-                at: Cycle(3),
-                core: 1,
-                phys: 2,
-            },
-            TraceEvent::ToneActivated {
-                at: Cycle(4),
-                phys: 3,
-            },
-            TraceEvent::ToneCompleted {
-                at: Cycle(5),
-                phys: 3,
-            },
-            TraceEvent::BackoffExhausted {
-                at: Cycle(6),
-                channel: 0,
-                core: 4,
-            },
-            TraceEvent::ChecksumReject {
-                at: Cycle(7),
-                core: 5,
-                phys: 2,
-            },
-            TraceEvent::Retransmit {
-                at: Cycle(8),
-                core: 0,
-                phys: 2,
-                attempt: 1,
-            },
-            TraceEvent::ReplicaResync {
-                at: Cycle(9),
-                phys: 2,
-            },
-            TraceEvent::Halted {
-                at: Cycle(10),
-                core: 2,
-            },
-        ];
-        for e in events {
-            assert!(!e.to_string().is_empty());
-            assert!(e.at() >= Cycle(1));
-        }
-    }
-}
+pub use wisync_obs::{ChromeTrace, Trace, TraceEvent, TraceSink};

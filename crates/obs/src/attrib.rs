@@ -1,0 +1,340 @@
+//! Per-core cycle attribution: every cycle of a run tiled into exactly
+//! one bucket.
+//!
+//! The machine reports *closed segments* (`[from, to)` spent in a known
+//! bucket, e.g. a cached load's memory stall) eagerly at the point it
+//! schedules the completion, and *pending buckets* for spans whose end is
+//! not yet known (a core blocked on the wireless channel, a sleeping
+//! spin-waiter). When the core next advances, the gap between its
+//! attribution cursor and the current cycle is closed with the pending
+//! bucket. By construction each core's segments tile `[start, now)` with
+//! no gaps and no overlaps, so the bucket sums equal the run length
+//! exactly — [`Attribution::check`] asserts this invariant.
+
+use wisync_sim::Cycle;
+
+/// Where a core's cycles went. Every cycle of a run lands in exactly one
+/// bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bucket {
+    /// Executing instructions: inline ALU work, `Compute` phases, and
+    /// single-cycle issue slots (TSO store issue, tone arrival).
+    Compute,
+    /// Stalled on the wired memory hierarchy or a local BM read port
+    /// (cached loads/stores/RMWs, BM loads, failed-compare CAS reads).
+    MemStall,
+    /// Blocked while a wireless broadcast it issued is queued,
+    /// contending, or in flight (SC stores, Bulk stores, the wireless
+    /// window of a BM RMW, store-buffer drains).
+    ChannelWait,
+    /// Held in the post-abort backoff window after a BM RMW lost its
+    /// atomicity (AFB set): the §5.3 instruction-retry backoff.
+    MacBackoff,
+    /// Spin-waiting on a synchronization variable (`WaitWhile`), whether
+    /// re-checking or asleep waiting for a wake-up.
+    BarrierWait,
+    /// Not executing: before the program started, after it halted or
+    /// faulted, or parked by a preemption.
+    Idle,
+}
+
+/// Number of attribution buckets.
+pub const NUM_BUCKETS: usize = 6;
+
+impl Bucket {
+    /// All buckets, in reporting order.
+    pub const ALL: [Bucket; NUM_BUCKETS] = [
+        Bucket::Compute,
+        Bucket::MemStall,
+        Bucket::ChannelWait,
+        Bucket::MacBackoff,
+        Bucket::BarrierWait,
+        Bucket::Idle,
+    ];
+
+    /// Stable snake_case label (JSON keys, trace span names).
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Compute => "compute",
+            Bucket::MemStall => "mem_stall",
+            Bucket::ChannelWait => "channel_wait",
+            Bucket::MacBackoff => "mac_backoff",
+            Bucket::BarrierWait => "barrier_wait",
+            Bucket::Idle => "idle",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Bucket::Compute => 0,
+            Bucket::MemStall => 1,
+            Bucket::ChannelWait => 2,
+            Bucket::MacBackoff => 3,
+            Bucket::BarrierWait => 4,
+            Bucket::Idle => 5,
+        }
+    }
+}
+
+/// One closed attribution span: `core` spent `[from, to)` in `bucket`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// The core.
+    pub core: usize,
+    /// First cycle of the span.
+    pub from: Cycle,
+    /// One past the last cycle of the span.
+    pub to: Cycle,
+    /// Where those cycles went.
+    pub bucket: Bucket,
+}
+
+#[derive(Clone, Debug)]
+struct CoreAttrib {
+    /// Everything before this cycle has been attributed.
+    cursor: Cycle,
+    /// Bucket for the open span `[cursor, <next advance>)`.
+    pending: Bucket,
+    /// Closed cycles per bucket.
+    buckets: [u64; NUM_BUCKETS],
+}
+
+/// Per-core cycle attribution for one machine.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    start: Cycle,
+    cores: Vec<CoreAttrib>,
+    /// Closed spans, bounded; overflow is counted, not silent.
+    segments: Vec<Segment>,
+    segment_capacity: usize,
+    dropped_segments: u64,
+}
+
+impl Attribution {
+    /// Creates attribution for `cores` cores, with every cursor at
+    /// `start` and every pending bucket [`Bucket::Idle`] (a core is idle
+    /// until its first resume). At most `segment_capacity` closed spans
+    /// are retained for export; the bucket totals are always exact.
+    pub fn new(cores: usize, start: Cycle, segment_capacity: usize) -> Self {
+        Attribution {
+            start,
+            cores: (0..cores)
+                .map(|_| CoreAttrib {
+                    cursor: start,
+                    pending: Bucket::Idle,
+                    buckets: [0; NUM_BUCKETS],
+                })
+                .collect(),
+            // Full capacity up front: the store is hot (up to two pushes
+            // per instruction event) and bounded, so trading one eager
+            // allocation for zero growth reallocations is the right side.
+            segments: Vec::with_capacity(segment_capacity),
+            segment_capacity,
+            dropped_segments: 0,
+        }
+    }
+
+    #[inline]
+    fn close(&mut self, core: usize, from: Cycle, to: Cycle, bucket: Bucket) {
+        let len = to.saturating_since(from);
+        if len == 0 {
+            return;
+        }
+        self.cores[core].buckets[bucket.index()] += len;
+        if self.segments.len() < self.segment_capacity {
+            self.segments.push(Segment {
+                core,
+                from,
+                to,
+                bucket,
+            });
+        } else {
+            self.dropped_segments += 1;
+        }
+    }
+
+    /// Closes the open span `[cursor, now)` with the pending bucket and
+    /// moves the cursor to `now`. No-op if the cursor is already there.
+    #[inline]
+    pub fn advance_to(&mut self, core: usize, now: Cycle) {
+        let c = &self.cores[core];
+        let (cursor, pending) = (c.cursor, c.pending);
+        if now > cursor {
+            self.close(core, cursor, now, pending);
+            self.cores[core].cursor = now;
+        }
+    }
+
+    /// Records a closed span `[from, to)` in `bucket`. Any gap between
+    /// the cursor and `from` is first closed with the pending bucket;
+    /// the cursor ends at `to`.
+    #[inline]
+    pub fn segment(&mut self, core: usize, from: Cycle, to: Cycle, bucket: Bucket) {
+        self.advance_to(core, from);
+        let cursor = self.cores[core].cursor;
+        debug_assert!(
+            from <= cursor,
+            "segment for core {core} starts at {from} before cursor {cursor}"
+        );
+        if to > cursor {
+            self.close(core, cursor, to, bucket);
+            self.cores[core].cursor = to;
+        }
+    }
+
+    /// Sets the bucket for the span from the cursor to the core's next
+    /// advance (used when the end of the span is not yet known).
+    #[inline]
+    pub fn set_pending(&mut self, core: usize, bucket: Bucket) {
+        self.cores[core].pending = bucket;
+    }
+
+    /// Closes every core's open span up to `now` (end of a run).
+    pub fn close_all(&mut self, now: Cycle) {
+        for core in 0..self.cores.len() {
+            self.advance_to(core, now);
+        }
+    }
+
+    /// The cycle attribution started at.
+    pub fn start(&self) -> Cycle {
+        self.start
+    }
+
+    /// The furthest cycle any core has been attributed to. After
+    /// [`Attribution::close_all`] every core tiles `[start, end)`
+    /// exactly, so this is the run length measure to pass to
+    /// [`Attribution::check`].
+    pub fn end(&self) -> Cycle {
+        self.cores
+            .iter()
+            .map(|c| c.cursor)
+            .max()
+            .unwrap_or(self.start)
+    }
+
+    /// Closed cycles per bucket for one core, indexed as
+    /// [`Bucket::ALL`].
+    pub fn core_buckets(&self, core: usize) -> [u64; NUM_BUCKETS] {
+        self.cores[core].buckets
+    }
+
+    /// Closed cycles per bucket summed over all cores.
+    pub fn totals(&self) -> [u64; NUM_BUCKETS] {
+        let mut out = [0u64; NUM_BUCKETS];
+        for c in &self.cores {
+            for (o, b) in out.iter_mut().zip(c.buckets.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Number of cores tracked.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The retained closed spans, in close order (bounded; see
+    /// [`Attribution::dropped_segments`]).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Spans dropped after the segment store filled.
+    pub fn dropped_segments(&self) -> u64 {
+        self.dropped_segments
+    }
+
+    /// Verifies the tiling invariant after [`Attribution::close_all`]:
+    /// every core's bucket sum equals `now - start` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first core whose buckets do not sum to the run
+    /// length.
+    pub fn check(&self, now: Cycle) -> Result<(), String> {
+        let expect = now.saturating_since(self.start);
+        for (i, c) in self.cores.iter().enumerate() {
+            let sum: u64 = c.buckets.iter().sum();
+            if sum != expect {
+                return Err(format!(
+                    "core {i}: buckets sum to {sum}, run is {expect} cycles \
+                     (cursor {}, start {})",
+                    c.cursor, self.start
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_close_with_pending_bucket() {
+        let mut a = Attribution::new(1, Cycle(0), 1024);
+        a.segment(0, Cycle(0), Cycle(10), Bucket::Compute);
+        a.set_pending(0, Bucket::ChannelWait);
+        a.advance_to(0, Cycle(25));
+        a.close_all(Cycle(30));
+        let b = a.core_buckets(0);
+        assert_eq!(b[Bucket::Compute.index()], 10);
+        assert_eq!(b[Bucket::ChannelWait.index()], 20);
+        a.check(Cycle(30)).unwrap();
+    }
+
+    #[test]
+    fn segment_closes_leading_gap() {
+        let mut a = Attribution::new(1, Cycle(0), 1024);
+        a.set_pending(0, Bucket::BarrierWait);
+        // A closed span starting past the cursor first closes the gap.
+        a.segment(0, Cycle(5), Cycle(9), Bucket::MemStall);
+        let b = a.core_buckets(0);
+        assert_eq!(b[Bucket::BarrierWait.index()], 5);
+        assert_eq!(b[Bucket::MemStall.index()], 4);
+        a.check(Cycle(9)).unwrap();
+    }
+
+    #[test]
+    fn zero_length_spans_are_free() {
+        let mut a = Attribution::new(2, Cycle(7), 1024);
+        a.segment(0, Cycle(7), Cycle(7), Bucket::Compute);
+        a.advance_to(1, Cycle(7));
+        assert!(a.segments().is_empty());
+        a.check(Cycle(7)).unwrap();
+    }
+
+    #[test]
+    fn segment_store_is_bounded() {
+        let mut a = Attribution::new(1, Cycle(0), 2);
+        for i in 0..5u64 {
+            a.segment(0, Cycle(i), Cycle(i + 1), Bucket::Compute);
+        }
+        assert_eq!(a.segments().len(), 2);
+        assert_eq!(a.dropped_segments(), 3);
+        // Totals stay exact even when spans are dropped.
+        assert_eq!(a.totals()[Bucket::Compute.index()], 5);
+        a.check(Cycle(5)).unwrap();
+    }
+
+    #[test]
+    fn check_reports_mismatch() {
+        let mut a = Attribution::new(1, Cycle(0), 16);
+        a.segment(0, Cycle(0), Cycle(3), Bucket::Compute);
+        assert!(a.check(Cycle(10)).is_err());
+        a.close_all(Cycle(10));
+        a.check(Cycle(10)).unwrap();
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Bucket::ALL.iter().map(|b| b.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NUM_BUCKETS);
+    }
+}

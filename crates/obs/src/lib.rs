@@ -1,0 +1,40 @@
+//! Observability for the WiSync simulator: where did the cycles go?
+//!
+//! The paper's evaluation (§6–§7) reasons about time-resolved behavior —
+//! backoff under contention, tone-barrier wait time, Data-channel
+//! utilization over a run — while flat end-of-run counters can hide
+//! exactly the regressions that matter. This crate supplies the four
+//! observability pillars the rest of the workspace threads through the
+//! machine:
+//!
+//! 1. **Cycle attribution** ([`Attribution`], [`Bucket`]): each core's
+//!    run time decomposed into compute / memory-stall / channel-wait /
+//!    MAC-backoff / barrier-wait / idle, exact to the cycle — the bucket
+//!    sums equal the run length by construction.
+//! 2. **Interval metrics** ([`Timeline`]): per-epoch samples of channel
+//!    utilization, collisions, retransmits, BM traffic, and RMW failure
+//!    rate.
+//! 3. **Deterministic histograms** (via `wisync_sim::Histogram`):
+//!    broadcast completion latency and MAC retries live in the wireless
+//!    substrate's stats; [`ObsState::barrier_spread`] adds the tone
+//!    barrier arrival-to-release spread.
+//! 4. **Streaming sinks** ([`TraceSink`]): the bounded [`Trace`] is one
+//!    sink; [`ChromeTrace`] exports Chrome trace-event JSON that
+//!    Perfetto loads directly, instants plus attribution spans.
+//!
+//! Everything here follows the `wisync-fault` contract in reverse: the
+//! machine *writes* observability state but never *reads* it, so
+//! enabling observability cannot change a simulation outcome, and the
+//! disabled path (`None`) costs nothing.
+
+pub mod attrib;
+pub mod event;
+pub mod sink;
+pub mod state;
+pub mod timeline;
+
+pub use attrib::{Attribution, Bucket, Segment, NUM_BUCKETS};
+pub use event::{Trace, TraceEvent};
+pub use sink::{validate_chrome, ChromeTrace, TraceSink, CHANNEL_TID_BASE, TONE_TID};
+pub use state::{histogram_json, ObsConfig, ObsState};
+pub use timeline::{Epoch, Timeline};

@@ -1,0 +1,498 @@
+//! Streaming trace sinks: the [`TraceSink`] trait generalizes the
+//! bounded [`Trace`] timeline, and [`ChromeTrace`] renders events (plus
+//! attribution spans) as Chrome trace-event JSON that Perfetto and
+//! `chrome://tracing` load directly.
+
+use wisync_testkit::Json;
+
+use crate::attrib::Segment;
+use crate::event::{Trace, TraceEvent};
+
+/// Consumes machine events as they happen.
+///
+/// Sinks must be deterministic observers: recording must not influence
+/// the machine (the machine guarantees it draws no randomness and
+/// schedules no events on behalf of a sink).
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Records one event.
+    fn record_event(&mut self, e: &TraceEvent);
+
+    /// Number of events this sink discarded (bounded sinks).
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// The sink as a bounded [`Trace`], if it is one (back-compat for
+    /// `Machine::trace()`).
+    fn as_trace(&self) -> Option<&Trace> {
+        None
+    }
+
+    /// The sink as a [`ChromeTrace`], if it is one.
+    fn as_chrome(&self) -> Option<&ChromeTrace> {
+        None
+    }
+
+    /// Mutable access to the sink as a [`ChromeTrace`], if it is one
+    /// (to [`ChromeTrace::push_segments`] after a run).
+    fn as_chrome_mut(&mut self) -> Option<&mut ChromeTrace> {
+        None
+    }
+}
+
+impl TraceSink for Trace {
+    fn record_event(&mut self, e: &TraceEvent) {
+        self.record(e.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        Trace::dropped(self)
+    }
+
+    fn as_trace(&self) -> Option<&Trace> {
+        Some(self)
+    }
+}
+
+/// Synthetic thread id carrying tone/barrier instants in the exported
+/// trace (cores use their own index).
+pub const TONE_TID: u64 = 900;
+/// Base thread id for per-channel instants: channel `c` renders on
+/// `CHANNEL_TID_BASE + c`.
+pub const CHANNEL_TID_BASE: u64 = 1000;
+
+#[derive(Clone, Debug)]
+struct ChromeRow {
+    name: &'static str,
+    /// "i" (instant), "X" (complete span).
+    ph: &'static str,
+    ts: u64,
+    /// Span duration ("X" rows only).
+    dur: Option<u64>,
+    tid: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+impl ChromeRow {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::from(self.name)),
+            ("ph".to_string(), Json::from(self.ph)),
+            ("ts".to_string(), Json::U64(self.ts)),
+            ("pid".to_string(), Json::U64(0)),
+            ("tid".to_string(), Json::U64(self.tid)),
+        ];
+        if self.ph == "i" {
+            // Instant scope: thread.
+            fields.push(("s".to_string(), Json::from("t")));
+        }
+        if let Some(dur) = self.dur {
+            fields.push(("dur".to_string(), Json::U64(dur)));
+        }
+        if !self.args.is_empty() {
+            fields.push((
+                "args".to_string(),
+                Json::Obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::U64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A bounded sink rendering Chrome trace-event JSON (the format Perfetto
+/// and `chrome://tracing` load). Machine events become instants ("i") on
+/// a track per core/channel; attribution segments, added after the run
+/// via [`ChromeTrace::push_segments`], become complete spans ("X") on
+/// the core tracks. One simulated cycle renders as one microsecond of
+/// trace time (the format's `ts` unit).
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    rows: Vec<ChromeRow>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ChromeTrace {
+    /// Creates an exporter holding up to `capacity` rows (events plus
+    /// segments); overflow is counted.
+    pub fn new(capacity: usize) -> Self {
+        ChromeTrace {
+            rows: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, row: ChromeRow) {
+        if self.rows.len() < self.capacity {
+            self.rows.push(row);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of rows retained so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were retained.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds attribution spans as "X" (complete) rows on the core tracks.
+    /// Call after the run, before [`ChromeTrace::to_json`].
+    pub fn push_segments(&mut self, segments: &[Segment]) {
+        for s in segments {
+            let dur = s.to.saturating_since(s.from);
+            if dur == 0 {
+                continue;
+            }
+            self.push(ChromeRow {
+                name: s.bucket.label(),
+                ph: "X",
+                ts: s.from.as_u64(),
+                dur: Some(dur),
+                tid: s.core as u64,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Renders the full Chrome trace-event document: rows sorted by
+    /// `(pid, tid, ts)` so `ts` is monotone per track, preceded by
+    /// `thread_name` metadata rows for every track. Deterministic (same
+    /// rows, same bytes).
+    pub fn to_json(&self) -> Json {
+        let mut ordered: Vec<&ChromeRow> = self.rows.iter().collect();
+        ordered.sort_by_key(|r| (r.tid, r.ts));
+        let mut tids: Vec<u64> = ordered.iter().map(|r| r.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let mut events: Vec<Json> = tids
+            .iter()
+            .map(|&tid| {
+                let label = if tid == TONE_TID {
+                    "barriers".to_string()
+                } else if tid >= CHANNEL_TID_BASE {
+                    format!("channel {}", tid - CHANNEL_TID_BASE)
+                } else {
+                    format!("core {tid}")
+                };
+                Json::obj([
+                    ("name", Json::from("thread_name")),
+                    ("ph", Json::from("M")),
+                    ("ts", Json::U64(0)),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(tid)),
+                    ("args", Json::obj([("name", Json::Str(label))])),
+                ])
+            })
+            .collect();
+        events.extend(ordered.iter().map(|r| r.to_json()));
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ns")),
+            ("dropped_rows", Json::U64(self.dropped)),
+        ])
+    }
+}
+
+impl TraceSink for ChromeTrace {
+    fn record_event(&mut self, e: &TraceEvent) {
+        let at = e.at().as_u64();
+        let row = match *e {
+            TraceEvent::Delivered {
+                core, phys, kind, ..
+            } => ChromeRow {
+                name: match kind {
+                    "store" => "deliver store",
+                    "rmw" => "deliver rmw",
+                    "bulk" => "deliver bulk",
+                    "tone-init" => "deliver tone-init",
+                    _ => "deliver",
+                },
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: core as u64,
+                args: vec![("phys", phys as u64)],
+            },
+            TraceEvent::Collision { channel, .. } => ChromeRow {
+                name: "collision",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: CHANNEL_TID_BASE + channel as u64,
+                args: Vec::new(),
+            },
+            TraceEvent::RmwAborted { core, phys, .. } => ChromeRow {
+                name: "rmw aborted",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: core as u64,
+                args: vec![("phys", phys as u64)],
+            },
+            TraceEvent::ToneActivated { phys, .. } => ChromeRow {
+                name: "tone activated",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: TONE_TID,
+                args: vec![("phys", phys as u64)],
+            },
+            TraceEvent::ToneCompleted { phys, .. } => ChromeRow {
+                name: "tone completed",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: TONE_TID,
+                args: vec![("phys", phys as u64)],
+            },
+            TraceEvent::BackoffExhausted { channel, core, .. } => ChromeRow {
+                name: "backoff exhausted",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: CHANNEL_TID_BASE + channel as u64,
+                args: vec![("core", core as u64)],
+            },
+            TraceEvent::ChecksumReject { core, phys, .. } => ChromeRow {
+                name: "checksum reject",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: core as u64,
+                args: vec![("phys", phys as u64)],
+            },
+            TraceEvent::Retransmit {
+                core,
+                phys,
+                attempt,
+                ..
+            } => ChromeRow {
+                name: "retransmit",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: core as u64,
+                args: vec![("phys", phys as u64), ("attempt", attempt as u64)],
+            },
+            TraceEvent::ReplicaResync { phys, .. } => ChromeRow {
+                name: "replica resync",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: TONE_TID,
+                args: vec![("phys", phys as u64)],
+            },
+            TraceEvent::Halted { core, .. } => ChromeRow {
+                name: "halt",
+                ph: "i",
+                ts: at,
+                dur: None,
+                tid: core as u64,
+                args: Vec::new(),
+            },
+        };
+        self.push(row);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn as_chrome(&self) -> Option<&ChromeTrace> {
+        Some(self)
+    }
+
+    fn as_chrome_mut(&mut self) -> Option<&mut ChromeTrace> {
+        Some(self)
+    }
+}
+
+/// Validates a rendered Chrome trace document against the minimal
+/// schema: a `traceEvents` array whose every element carries
+/// `name`/`ph`/`ts`/`pid`/`tid`, with `ts` monotone (non-decreasing) per
+/// `(pid, tid)` track in file order. Returns the event count.
+///
+/// # Errors
+///
+/// Describes the first schema violation found.
+pub fn validate_chrome(doc: &Json) -> Result<usize, String> {
+    let Json::Obj(fields) = doc else {
+        return Err("document is not an object".to_string());
+    };
+    let Some((_, Json::Arr(events))) = fields.iter().find(|(k, _)| k == "traceEvents") else {
+        return Err("missing traceEvents array".to_string());
+    };
+    let mut last_ts: Vec<((u64, u64), u64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(f) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("name") {
+            Some(Json::Str(_)) => {}
+            _ => return Err(format!("event {i}: missing string name")),
+        }
+        match get("ph") {
+            Some(Json::Str(_)) => {}
+            _ => return Err(format!("event {i}: missing string ph")),
+        }
+        let ts = match get("ts") {
+            Some(Json::U64(n)) => *n,
+            _ => return Err(format!("event {i}: missing numeric ts")),
+        };
+        let pid = match get("pid") {
+            Some(Json::U64(n)) => *n,
+            _ => return Err(format!("event {i}: missing numeric pid")),
+        };
+        let tid = match get("tid") {
+            Some(Json::U64(n)) => *n,
+            _ => return Err(format!("event {i}: missing numeric tid")),
+        };
+        match last_ts.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+            Some((_, prev)) => {
+                if ts < *prev {
+                    return Err(format!(
+                        "event {i}: ts {ts} goes backwards on track ({pid}, {tid}) after {prev}"
+                    ));
+                }
+                *prev = ts;
+            }
+            None => last_ts.push(((pid, tid), ts)),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::Bucket;
+    use wisync_sim::Cycle;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Delivered {
+                at: Cycle(5),
+                core: 1,
+                phys: 3,
+                kind: "store",
+            },
+            TraceEvent::Collision {
+                at: Cycle(7),
+                channel: 0,
+            },
+            TraceEvent::ToneCompleted {
+                at: Cycle(9),
+                phys: 3,
+            },
+            TraceEvent::Halted {
+                at: Cycle(12),
+                core: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let mut c = ChromeTrace::new(1 << 10);
+        for e in sample_events() {
+            c.record_event(&e);
+        }
+        c.push_segments(&[
+            Segment {
+                core: 1,
+                from: Cycle(0),
+                to: Cycle(5),
+                bucket: Bucket::Compute,
+            },
+            Segment {
+                core: 1,
+                from: Cycle(5),
+                to: Cycle(12),
+                bucket: Bucket::ChannelWait,
+            },
+        ]);
+        let doc = c.to_json();
+        // 4 instants + 2 spans + 3 thread_name rows (core 1, tone, channel 0).
+        assert_eq!(validate_chrome(&doc).unwrap(), 9);
+        let text = doc.render();
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"channel_wait\""));
+        assert!(text.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn chrome_export_is_bounded_and_deterministic() {
+        let build = || {
+            let mut c = ChromeTrace::new(3);
+            for e in sample_events() {
+                c.record_event(&e);
+            }
+            c.to_json().render()
+        };
+        assert_eq!(build(), build());
+        let mut c = ChromeTrace::new(3);
+        for e in sample_events() {
+            c.record_event(&e);
+        }
+        assert_eq!(TraceSink::dropped(&c), 1);
+    }
+
+    #[test]
+    fn validator_rejects_backwards_ts() {
+        let doc = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![
+                Json::obj([
+                    ("name", Json::from("a")),
+                    ("ph", Json::from("i")),
+                    ("ts", Json::U64(10)),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(0)),
+                ]),
+                Json::obj([
+                    ("name", Json::from("b")),
+                    ("ph", Json::from("i")),
+                    ("ts", Json::U64(5)),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(0)),
+                ]),
+            ]),
+        )]);
+        let err = validate_chrome(&doc).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        let doc = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([("name", Json::from("a"))])]),
+        )]);
+        assert!(validate_chrome(&doc).is_err());
+        assert!(validate_chrome(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn bounded_trace_is_a_sink() {
+        let mut t = Trace::new(2);
+        for e in sample_events() {
+            t.record_event(&e);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(TraceSink::dropped(&t), 2);
+        assert!(t.as_trace().is_some());
+        assert!(t.as_chrome().is_none());
+    }
+}

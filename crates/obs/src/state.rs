@@ -1,0 +1,199 @@
+//! The per-machine observability state: attribution + timeline +
+//! synchronization histograms, behind one `Option<Box<ObsState>>` on the
+//! machine so the disabled path costs nothing and perturbs nothing.
+
+use wisync_sim::{Cycle, FxHashMap, Histogram};
+use wisync_testkit::Json;
+
+use crate::attrib::{Attribution, Bucket};
+use crate::timeline::Timeline;
+
+/// Configuration for [`ObsState`].
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Timeline epoch length in cycles.
+    pub epoch_len: u64,
+    /// Maximum attribution segments retained for trace export (bucket
+    /// totals stay exact past the cap).
+    pub segment_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            epoch_len: 1024,
+            segment_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Observability state for one machine: enabled via
+/// `Machine::enable_observability`, inspected after a run.
+///
+/// Determinism contract (the same one `wisync-fault` honors in reverse):
+/// the machine mutates this state but never branches on it — no
+/// randomness is drawn, no event is scheduled, no timing changes,
+/// whether observability is on or off. The enabled/disabled simulation
+/// outcomes are byte-identical.
+#[derive(Clone, Debug)]
+pub struct ObsState {
+    /// Per-core cycle attribution.
+    pub attrib: Attribution,
+    /// Interval metrics timeline.
+    pub timeline: Timeline,
+    /// Barrier arrival-to-release spread: release cycle minus the
+    /// episode's first `tone_st` arrival, per completed tone barrier.
+    pub barrier_spread: Histogram,
+    /// First arrival cycle of the in-progress episode, per barrier phys.
+    arrivals: FxHashMap<usize, Cycle>,
+}
+
+impl ObsState {
+    /// Creates observability state for `cores` cores with attribution
+    /// starting at `start` (install before the first `run` so the whole
+    /// execution is attributed).
+    pub fn new(cores: usize, start: Cycle, config: ObsConfig) -> Self {
+        ObsState {
+            attrib: Attribution::new(cores, start, config.segment_capacity),
+            timeline: Timeline::new(config.epoch_len),
+            barrier_spread: Histogram::new(),
+            arrivals: FxHashMap::default(),
+        }
+    }
+
+    /// Records a core's arrival at tone barrier `phys` (only the
+    /// episode's first arrival is kept).
+    #[inline]
+    pub fn barrier_arrive(&mut self, phys: usize, at: Cycle) {
+        self.arrivals.entry(phys).or_insert(at);
+    }
+
+    /// Records the release of tone barrier `phys`, closing the episode
+    /// and recording its arrival-to-release spread.
+    #[inline]
+    pub fn barrier_release(&mut self, phys: usize, at: Cycle) {
+        if let Some(first) = self.arrivals.remove(&phys) {
+            self.barrier_spread.record(at.saturating_since(first));
+        }
+    }
+
+    /// Closes attribution at the end of a run (idempotent; a later run
+    /// continues from here).
+    pub fn finalize(&mut self, now: Cycle) {
+        self.attrib.close_all(now);
+    }
+
+    /// Serializes the per-core attribution (deterministic).
+    pub fn attribution_json(&self) -> Json {
+        let totals = self.attrib.totals();
+        let bucket_obj = |buckets: [u64; crate::attrib::NUM_BUCKETS]| {
+            Json::Obj(
+                Bucket::ALL
+                    .iter()
+                    .zip(buckets.iter())
+                    .map(|(b, &n)| (b.label().to_string(), Json::U64(n)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("start_cycle", Json::U64(self.attrib.start().as_u64())),
+            ("end_cycle", Json::U64(self.attrib.end().as_u64())),
+            ("totals", bucket_obj(totals)),
+            (
+                "per_core",
+                Json::Arr(
+                    (0..self.attrib.num_cores())
+                        .map(|c| bucket_obj(self.attrib.core_buckets(c)))
+                        .collect(),
+                ),
+            ),
+            (
+                "segments_retained",
+                Json::U64(self.attrib.segments().len() as u64),
+            ),
+            (
+                "segments_dropped",
+                Json::U64(self.attrib.dropped_segments()),
+            ),
+        ])
+    }
+}
+
+/// Serializes a histogram summary plus its non-empty power-of-two
+/// buckets (deterministic).
+pub fn histogram_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("mean", Json::F64(h.mean())),
+        ("min", h.min().map_or(Json::Null, Json::U64)),
+        ("max", h.max().map_or(Json::Null, Json::U64)),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .map(|(lo, hi, n)| {
+                        Json::obj([
+                            ("lo", Json::U64(lo)),
+                            ("hi", Json::U64(hi)),
+                            ("count", Json::U64(n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_spread_tracks_first_arrival() {
+        let mut o = ObsState::new(4, Cycle(0), ObsConfig::default());
+        o.barrier_arrive(7, Cycle(100));
+        o.barrier_arrive(7, Cycle(150)); // later arrivals ignored
+        o.barrier_release(7, Cycle(180));
+        assert_eq!(o.barrier_spread.count(), 1);
+        assert_eq!(o.barrier_spread.max(), Some(80));
+        // Next episode starts fresh.
+        o.barrier_arrive(7, Cycle(200));
+        o.barrier_release(7, Cycle(210));
+        assert_eq!(o.barrier_spread.count(), 2);
+        assert_eq!(o.barrier_spread.min(), Some(10));
+    }
+
+    #[test]
+    fn release_without_arrival_is_ignored() {
+        let mut o = ObsState::new(1, Cycle(0), ObsConfig::default());
+        o.barrier_release(3, Cycle(50));
+        assert_eq!(o.barrier_spread.count(), 0);
+    }
+
+    #[test]
+    fn attribution_json_has_all_buckets() {
+        let mut o = ObsState::new(2, Cycle(0), ObsConfig::default());
+        o.attrib.segment(0, Cycle(0), Cycle(4), Bucket::Compute);
+        o.finalize(Cycle(10));
+        let text = o.attribution_json().render();
+        for b in Bucket::ALL {
+            assert!(text.contains(b.label()), "missing {}", b.label());
+        }
+        assert_eq!(text.matches("\"compute\"").count(), 3); // totals + 2 cores
+    }
+
+    #[test]
+    fn histogram_json_roundtrips_summary() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let text = histogram_json(&h).render();
+        assert!(text.contains("\"count\": 4"));
+        assert!(text.contains("\"max\": 1000"));
+        assert!(text.contains("\"lo\": 512"));
+        let empty = histogram_json(&Histogram::new()).render();
+        assert!(empty.contains("\"min\": null"));
+    }
+}

@@ -1,0 +1,221 @@
+//! The interval metrics timeline: per-epoch samples of channel and BM
+//! activity, so a run's contention profile is visible over time instead
+//! of only as end-of-run totals.
+
+use wisync_sim::Cycle;
+use wisync_testkit::Json;
+
+/// Counters accumulated over one epoch (a fixed-length cycle interval).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Epoch {
+    /// Successful Data-channel transfers started in this epoch.
+    pub transfers: u64,
+    /// Data-channel collision events in this epoch.
+    pub collisions: u64,
+    /// Channel-busy cycles booked by transfers/collisions starting in
+    /// this epoch (a transfer spanning an epoch boundary books all its
+    /// cycles at its start epoch).
+    pub busy_cycles: u64,
+    /// Fault-recovery retransmits requested in this epoch.
+    pub retransmits: u64,
+    /// BM words broadcast by stores (Bulk counts 4).
+    pub bm_stores: u64,
+    /// BM words read locally.
+    pub bm_loads: u64,
+    /// BM RMW instructions attempted.
+    pub rmw_attempts: u64,
+    /// BM RMW atomicity failures (AFB set).
+    pub rmw_failures: u64,
+    /// Tone barriers completed.
+    pub tone_completions: u64,
+}
+
+impl Epoch {
+    fn is_empty(&self) -> bool {
+        *self == Epoch::default()
+    }
+}
+
+/// A run's metrics sampled over fixed-length epochs.
+///
+/// Epochs materialize lazily (bumping an epoch extends the vector up to
+/// it), so a long quiet run costs memory proportional to its length
+/// divided by the epoch, not to its event count.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    epoch_len: u64,
+    epochs: Vec<Epoch>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given epoch length in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        Timeline {
+            epoch_len,
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The configured epoch length in cycles.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// All materialized epochs, in time order (index `i` covers cycles
+    /// `[i * epoch_len, (i + 1) * epoch_len)`).
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    #[inline]
+    fn at(&mut self, at: Cycle) -> &mut Epoch {
+        let idx = (at.as_u64() / self.epoch_len) as usize;
+        if idx >= self.epochs.len() {
+            self.epochs.resize(idx + 1, Epoch::default());
+        }
+        &mut self.epochs[idx]
+    }
+
+    /// Records a transfer starting at `at` that occupies the channel for
+    /// `busy` cycles.
+    #[inline]
+    pub fn transfer(&mut self, at: Cycle, busy: u64) {
+        let e = self.at(at);
+        e.transfers += 1;
+        e.busy_cycles += busy;
+    }
+
+    /// Records a collision at `at` that occupies the channel for `busy`
+    /// cycles.
+    #[inline]
+    pub fn collision(&mut self, at: Cycle, busy: u64) {
+        let e = self.at(at);
+        e.collisions += 1;
+        e.busy_cycles += busy;
+    }
+
+    /// Records a fault-recovery retransmit request.
+    #[inline]
+    pub fn retransmit(&mut self, at: Cycle) {
+        self.at(at).retransmits += 1;
+    }
+
+    /// Records `n` BM words broadcast by a store.
+    #[inline]
+    pub fn bm_store(&mut self, at: Cycle, n: u64) {
+        self.at(at).bm_stores += n;
+    }
+
+    /// Records `n` BM words read locally.
+    #[inline]
+    pub fn bm_load(&mut self, at: Cycle, n: u64) {
+        self.at(at).bm_loads += n;
+    }
+
+    /// Records a BM RMW attempt.
+    #[inline]
+    pub fn rmw_attempt(&mut self, at: Cycle) {
+        self.at(at).rmw_attempts += 1;
+    }
+
+    /// Records a BM RMW atomicity failure.
+    #[inline]
+    pub fn rmw_failure(&mut self, at: Cycle) {
+        self.at(at).rmw_failures += 1;
+    }
+
+    /// Records a tone-barrier completion.
+    #[inline]
+    pub fn tone_completion(&mut self, at: Cycle) {
+        self.at(at).tone_completions += 1;
+    }
+
+    /// Serializes the non-empty epochs (deterministic; see
+    /// `wisync_testkit::Json`). Utilization is busy cycles over the
+    /// epoch length, so it can exceed 1.0 in the start epoch of a long
+    /// Bulk burst — the busy cycles are booked where the transfer
+    /// started.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .epochs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_empty())
+            .map(|(i, e)| {
+                Json::obj([
+                    ("epoch", Json::U64(i as u64)),
+                    ("start_cycle", Json::U64(i as u64 * self.epoch_len)),
+                    (
+                        "utilization",
+                        Json::F64(e.busy_cycles as f64 / self.epoch_len as f64),
+                    ),
+                    ("transfers", Json::U64(e.transfers)),
+                    ("collisions", Json::U64(e.collisions)),
+                    ("busy_cycles", Json::U64(e.busy_cycles)),
+                    ("retransmits", Json::U64(e.retransmits)),
+                    ("bm_stores", Json::U64(e.bm_stores)),
+                    ("bm_loads", Json::U64(e.bm_loads)),
+                    ("rmw_attempts", Json::U64(e.rmw_attempts)),
+                    ("rmw_failures", Json::U64(e.rmw_failures)),
+                    ("tone_completions", Json::U64(e.tone_completions)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("epoch_len", Json::U64(self.epoch_len)),
+            ("total_epochs", Json::U64(self.epochs.len() as u64)),
+            ("samples", Json::Arr(rows)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_materialize_lazily() {
+        let mut t = Timeline::new(100);
+        t.transfer(Cycle(550), 5);
+        assert_eq!(t.epochs().len(), 6);
+        assert_eq!(t.epochs()[5].transfers, 1);
+        assert_eq!(t.epochs()[5].busy_cycles, 5);
+        assert!(t.epochs()[0].is_empty());
+    }
+
+    #[test]
+    fn json_skips_empty_epochs() {
+        let mut t = Timeline::new(100);
+        t.bm_store(Cycle(10), 1);
+        t.collision(Cycle(950), 2);
+        let text = t.to_json().render();
+        assert!(text.contains("\"total_epochs\": 10"));
+        // Only two non-empty samples.
+        assert_eq!(text.matches("\"epoch\": ").count(), 2);
+        assert!(text.contains("\"start_cycle\": 900"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let build = || {
+            let mut t = Timeline::new(1024);
+            for i in 0..50u64 {
+                t.transfer(Cycle(i * 97), 5);
+                t.rmw_attempt(Cycle(i * 131));
+            }
+            t.to_json().render()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epoch_rejected() {
+        Timeline::new(0);
+    }
+}

@@ -157,6 +157,21 @@ impl Histogram {
         self.max
     }
 
+    /// Iterates the non-empty power-of-two buckets as
+    /// `(lo, hi, count)`: `count` samples fell in `[lo, hi]` inclusive.
+    /// Bucket 0 covers values 0 and 1 (zero records as if it were 1).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = (((1u128 << (i + 1)) - 1).min(u64::MAX as u128)) as u64;
+                (lo, hi, n)
+            })
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -362,6 +377,24 @@ mod tests {
         let p99 = h.percentile(0.99).unwrap();
         assert!(p50 <= p99);
         assert!(p99 >= 500);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5, 1000] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // 0 and 1 share bucket [0,1]; 2,3 in [2,3]; 5 in [4,7]; 1000 in [512,1023].
+        assert_eq!(
+            buckets,
+            vec![(0, 1, 2), (2, 3, 2), (4, 7, 1), (512, 1023, 1)]
+        );
+        // Counts conserve.
+        let n: u64 = h.nonzero_buckets().map(|(_, _, n)| n).sum();
+        assert_eq!(n, h.count());
+        assert_eq!(Histogram::new().nonzero_buckets().count(), 0);
     }
 
     #[test]

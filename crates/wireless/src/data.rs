@@ -72,6 +72,10 @@ pub struct DataChannelStats {
     pub backoff_exhaustions: u64,
     /// Latency from request to chip-wide delivery, per transfer.
     pub latency: Histogram,
+    /// Collisions each successfully started frame suffered before its
+    /// transfer (0 = clean first attempt) — the MAC retry-count
+    /// distribution.
+    pub retries: Histogram,
 }
 
 #[derive(Debug)]
@@ -84,6 +88,8 @@ struct Pending<M> {
     slot: Cycle,
     /// Per-frame backoff state (see [`MacState`]).
     mac: MacState,
+    /// Collisions this frame has suffered so far.
+    collisions: u32,
 }
 
 /// The single shared wireless Data channel (§4.1).
@@ -212,6 +218,7 @@ impl<M> DataChannel<M> {
                 requested_at: now,
                 slot,
                 mac,
+                collisions: 0,
             },
         );
         self.pending_by_slot.entry(slot).or_default().push(token);
@@ -319,6 +326,7 @@ impl<M> DataChannel<M> {
             self.stats
                 .latency
                 .record(complete_at.saturating_since(p.requested_at));
+            self.stats.retries.record(p.collisions as u64);
             return Resolution::Started {
                 node: p.node,
                 token,
@@ -336,6 +344,7 @@ impl<M> DataChannel<M> {
             MacPolicy::Exponential => {
                 for token in due {
                     let p = self.pending.get_mut(&token).expect("pending");
+                    p.collisions += 1;
                     if p.mac.at_cap() {
                         // The retry window stopped growing at
                         // max_backoff_exp; surface the give-up so owners
@@ -364,7 +373,9 @@ impl<M> DataChannel<M> {
                         .max_with(self.busy_until)
                         .max_with(self.reserved_until);
                     self.reserved_until = retry + self.duration_of(&token);
-                    self.pending.get_mut(&token).expect("pending").slot = retry;
+                    let p = self.pending.get_mut(&token).expect("pending");
+                    p.slot = retry;
+                    p.collisions += 1;
                     self.pending_by_slot.entry(retry).or_default().push(token);
                     if !retry_slots.contains(&retry) {
                         retry_slots.push(retry);
@@ -509,6 +520,24 @@ mod tests {
             other => panic!("expected collision, got {other:?}"),
         }
         assert_eq!(ch.stats().backoff_exhaustions, 2);
+    }
+
+    #[test]
+    fn retries_histogram_counts_collisions_per_frame() {
+        let mut ch = chan(2);
+        ch.request(NodeId(0), TxLen::Normal, 0, Cycle(0));
+        ch.request(NodeId(1), TxLen::Normal, 1, Cycle(0));
+        let done = drain(&mut ch, vec![Cycle(0)]);
+        assert_eq!(done.len(), 2);
+        let retries = &ch.stats().retries;
+        assert_eq!(retries.count(), 2, "one sample per started frame");
+        assert!(retries.min().unwrap() >= 1, "both frames collided");
+        // A clean frame records zero retries.
+        let mut clean = chan(2);
+        let (_, s) = clean.request(NodeId(0), TxLen::Normal, 7, Cycle(0));
+        drain(&mut clean, vec![s]);
+        assert_eq!(clean.stats().retries.count(), 1);
+        assert_eq!(clean.stats().retries.max(), Some(0));
     }
 
     #[test]
