@@ -17,6 +17,7 @@ use std::process::ExitCode;
 use wisync_bench::perf::{
     check_against_baseline, extend_history, perf_report_json, run_perf_suite, CHECK_FACTOR,
 };
+use wisync_bench::report::{obs_overhead_ns, overhead_pct};
 use wisync_bench::BUDGET;
 use wisync_core::{Machine, MachineConfig};
 use wisync_workloads::TightLoop;
@@ -100,10 +101,23 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     } else {
+        // Measure the instrumented/plain wall-clock ratio alongside
+        // throughput so the overhead trend is tracked in the same
+        // history series (`--check` skips it: it never rewrites). Same
+        // best-of-6 interleave as the `report --obs-overhead` gate so
+        // the two numbers are comparable.
+        let (off_ns, on_ns) = obs_overhead_ns(if opts.quick { 2 } else { 6 });
+        let obs_pct = overhead_pct(off_ns, on_ns);
+        println!(
+            "obs overhead: plain {:.3} ms, instrumented {:.3} ms ({obs_pct:+.2}%)",
+            off_ns as f64 / 1e6,
+            on_ns as f64 / 1e6
+        );
+
         // Carry the throughput history forward from the previous
         // baseline (if any) before overwriting it.
         let prior = std::fs::read_to_string(&path).ok();
-        let history = extend_history(prior.as_deref(), &cases);
+        let history = extend_history(prior.as_deref(), &cases, Some(obs_pct));
         if let Some(h) = history.last() {
             println!(
                 "suite geomean: {:.0} events/sec ({})",

@@ -5,43 +5,65 @@
 //! ```text
 //! cargo run -p wisync-bench --bin report                        # print profile, rewrite results/obs_profile.json
 //! cargo run -p wisync-bench --bin report -- --trace out.json    # also export the Chrome trace (open in Perfetto)
+//! cargo run -p wisync-bench --bin report -- --digest out.digest # row count + fingerprint of the trace
+//! cargo run -p wisync-bench --bin report -- --workload fifo     # profile another workload (see report::profile_named)
 //! cargo run -p wisync-bench --bin report -- --stats             # append the raw MachineStats dump
 //! cargo run --release -p wisync-bench --bin report -- --obs-overhead
-//!                                                               # gate: instrumentation wall-clock overhead < 10%
+//!                                                               # gate: instrumentation wall-clock overhead within budget
 //! ```
 //!
 //! The default run is pinned (TightLoop, WiSync, fixed cores/iters, the
 //! machine's default seed) so the emitted documents are byte-identical
 //! across invocations and hosts — CI diffs them to catch any
-//! nondeterminism slipping into the instrumentation.
+//! nondeterminism slipping into the instrumentation. Runs that deviate
+//! from the pinned defaults (`--workload`/`--cores`/`--iters`) write
+//! their profile to a derived path unless `--out` names one, so the
+//! pinned `results/obs_profile.json` stays byte-reproducible.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wisync_bench::report::{obs_overhead_ns, overhead_pct, profile_tightloop, OVERHEAD_BUDGET_PCT};
+use wisync_bench::report::{
+    obs_overhead_ns, overhead_pct, profile_named, trace_digest, OVERHEAD_BUDGET_PCT,
+};
 
 /// Pinned defaults: small enough that the committed trace stays
 /// reviewable, large enough that every attribution bucket and both
 /// wireless channels see traffic.
+const DEFAULT_WORKLOAD: &str = "tightloop";
 const DEFAULT_CORES: usize = 8;
 const DEFAULT_ITERS: u64 = 3;
 
 struct Options {
+    workload: String,
     cores: usize,
     iters: u64,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    digest: Option<PathBuf>,
     stats: bool,
     obs_overhead: bool,
     quick: bool,
 }
 
+impl Options {
+    /// Whether this invocation is the pinned run whose profile is
+    /// committed as `results/obs_profile.json`.
+    fn is_pinned(&self) -> bool {
+        self.workload == DEFAULT_WORKLOAD
+            && self.cores == DEFAULT_CORES
+            && self.iters == DEFAULT_ITERS
+    }
+}
+
 fn parse_args() -> Options {
     let mut opts = Options {
+        workload: DEFAULT_WORKLOAD.to_string(),
         cores: DEFAULT_CORES,
         iters: DEFAULT_ITERS,
         out: None,
         trace: None,
+        digest: None,
         stats: false,
         obs_overhead: false,
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
@@ -53,26 +75,41 @@ fn parse_args() -> Options {
                 .unwrap_or_else(|| panic!("{flag} needs a value"))
         };
         match arg.as_str() {
+            "--workload" => opts.workload = value("--workload"),
             "--cores" => opts.cores = value("--cores").parse().expect("--cores: integer"),
             "--iters" => opts.iters = value("--iters").parse().expect("--iters: integer"),
             "--out" => opts.out = Some(PathBuf::from(value("--out"))),
             "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
+            "--digest" => opts.digest = Some(PathBuf::from(value("--digest"))),
             "--stats" => opts.stats = true,
             "--obs-overhead" => opts.obs_overhead = true,
             "--quick" => opts.quick = true,
             other => panic!(
-                "unknown argument {other:?} \
-                 (try --cores/--iters/--out/--trace/--stats/--obs-overhead/--quick)"
+                "unknown argument {other:?} (try --workload/--cores/--iters/\
+                 --out/--trace/--digest/--stats/--obs-overhead/--quick)"
             ),
         }
     }
     opts
 }
 
-fn default_out() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results")
-        .join("obs_profile.json")
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn default_out(opts: &Options) -> PathBuf {
+    if opts.is_pinned() {
+        results_dir().join("obs_profile.json")
+    } else {
+        // Non-pinned runs get their own file so the committed pinned
+        // profile is never overwritten with different parameters.
+        results_dir().join(format!(
+            "obs_profile_{}_{}c_{}.json",
+            opts.workload.replace('/', "_"),
+            opts.cores,
+            opts.iters
+        ))
+    }
 }
 
 fn write_doc(path: &PathBuf, doc: String) {
@@ -104,16 +141,22 @@ fn main() -> ExitCode {
         };
     }
 
-    let p = profile_tightloop(opts.cores, opts.iters);
+    let p = profile_named(&opts.workload, opts.cores, opts.iters)
+        .unwrap_or_else(|e| panic!("--workload: {e}"));
     print!("{}", p.render_text());
     if opts.stats {
         println!();
         println!("{}", p.stats);
     }
 
-    write_doc(&opts.out.unwrap_or_else(default_out), p.profile.render());
+    let out = opts.out.clone().unwrap_or_else(|| default_out(&opts));
+    write_doc(&out, p.profile.render());
+    let chrome = p.chrome.render();
     if let Some(trace) = &opts.trace {
-        write_doc(trace, p.chrome.render());
+        write_doc(trace, chrome.clone());
+    }
+    if let Some(digest) = &opts.digest {
+        write_doc(digest, trace_digest(&chrome));
     }
     ExitCode::SUCCESS
 }

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p wisync-bench --bin sweep -- [--seed N] [--threads N] [--quick]
+//! cargo run --release -p wisync-bench --bin sweep -- --profile fig9/FIFO_w64
+//!                        # additionally profile one grid job (writes results/obs_profile_<job>.json)
 //! ```
 //!
 //! Each experiment configuration (a figure row, a table cell) is one job
@@ -27,6 +29,7 @@ struct Options {
     threads: usize,
     quick: bool,
     stats: bool,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -35,6 +38,7 @@ fn parse_args() -> Options {
         threads: sweep::default_threads(),
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
         stats: false,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,7 +53,10 @@ fn parse_args() -> Options {
             }
             "--quick" => opts.quick = true,
             "--stats" => opts.stats = true,
-            other => panic!("unknown argument {other:?} (try --seed/--threads/--quick/--stats)"),
+            "--profile" => opts.profile = Some(args.next().expect("--profile takes a job name")),
+            other => panic!(
+                "unknown argument {other:?} (try --seed/--threads/--quick/--stats/--profile)"
+            ),
         }
     }
     opts
@@ -298,6 +305,17 @@ fn main() {
         ]);
         let path = format!("results/{figure}.json");
         std::fs::write(&path, report.render()).expect("write figure json");
+        println!("wrote {path}");
+    }
+
+    // `--profile <job>`: re-run one grid job with full observability and
+    // drop its per-address/timeline profile next to the figure JSON.
+    if let Some(job) = &opts.profile {
+        let p = wisync_bench::report::profile_grid_job(job, opts.quick)
+            .unwrap_or_else(|e| panic!("--profile: {e}"));
+        eprint!("{}", p.render_text());
+        let path = format!("results/obs_profile_{}.json", job.replace('/', "_"));
+        std::fs::write(&path, p.profile.render()).expect("write profile json");
         println!("wrote {path}");
     }
 }

@@ -171,6 +171,11 @@ pub struct HistoryEntry {
     pub label: String,
     /// Suite geomean throughput at that run.
     pub geomean_events_per_sec: f64,
+    /// Instrumented-over-plain wall-clock overhead measured alongside
+    /// this run, percent (see `report::obs_overhead_ns`). `None` on
+    /// entries recorded before the series existed or by `--check`-only
+    /// invocations.
+    pub obs_overhead_pct: Option<f64>,
 }
 
 /// History entries retained in the baseline document (oldest dropped).
@@ -178,8 +183,14 @@ pub const HISTORY_CAP: usize = 32;
 
 /// Appends a fresh measurement to the history parsed from the previous
 /// baseline document (`None` when there was no file yet), enforcing
-/// [`HISTORY_CAP`].
-pub fn extend_history(prior_text: Option<&str>, cases: &[PerfCase]) -> Vec<HistoryEntry> {
+/// [`HISTORY_CAP`]. `obs_overhead_pct` carries the instrumentation
+/// overhead measured alongside the suite, so the ratio is tracked as a
+/// series instead of only thresholded by the CI gate.
+pub fn extend_history(
+    prior_text: Option<&str>,
+    cases: &[PerfCase],
+    obs_overhead_pct: Option<f64>,
+) -> Vec<HistoryEntry> {
     let mut history = prior_text.map(parse_history).unwrap_or_default();
     // Number from the last label, not the length, so numbering keeps
     // counting after the cap starts dropping old entries.
@@ -191,6 +202,7 @@ pub fn extend_history(prior_text: Option<&str>, cases: &[PerfCase]) -> Vec<Histo
     history.push(HistoryEntry {
         label: format!("run-{next}"),
         geomean_events_per_sec: geomean_events_per_sec(cases),
+        obs_overhead_pct,
     });
     if history.len() > HISTORY_CAP {
         let excess = history.len() - HISTORY_CAP;
@@ -222,6 +234,10 @@ pub fn perf_report_json(cases: &[PerfCase], history: &[HistoryEntry]) -> Json {
                                 "geomean_events_per_sec",
                                 Json::F64(h.geomean_events_per_sec),
                             ),
+                            (
+                                "obs_overhead_pct",
+                                h.obs_overhead_pct.map_or(Json::Null, Json::F64),
+                            ),
                         ])
                     })
                     .collect(),
@@ -245,7 +261,14 @@ pub fn parse_history(text: &str) -> Vec<HistoryEntry> {
                 out.push(HistoryEntry {
                     label: l,
                     geomean_events_per_sec: v,
+                    obs_overhead_pct: None,
                 });
+            }
+        } else if let Some(rest) = line.strip_prefix("\"obs_overhead_pct\": ") {
+            // Attaches to the entry the preceding two lines opened;
+            // `null` (pre-series or check-only entries) stays `None`.
+            if let (Some(last), Ok(v)) = (out.last_mut(), rest.parse::<f64>()) {
+                last.obs_overhead_pct = Some(v);
             }
         }
     }
@@ -310,22 +333,37 @@ mod tests {
     #[test]
     fn baseline_roundtrips_through_renderer() {
         let cases = vec![fake_case("a/b", 123), fake_case("c/d", 456)];
-        let history = extend_history(None, &cases);
+        let history = extend_history(None, &cases, Some(4.25));
         let text = perf_report_json(&cases, &history).render();
         assert_eq!(
             parse_baseline_wall_ns(&text),
             vec![("a/b".to_string(), 123), ("c/d".to_string(), 456)]
         );
-        // The history round-trips too, without confusing the name scan.
+        // The history round-trips too, without confusing the name scan,
+        // and the overhead series comes back attached.
         assert_eq!(parse_history(&text), history);
+        assert_eq!(history[0].obs_overhead_pct, Some(4.25));
+    }
+
+    #[test]
+    fn missing_overhead_renders_null_and_parses_none() {
+        let cases = vec![fake_case("a/b", 100)];
+        let with = extend_history(None, &cases, Some(1.5));
+        let first = perf_report_json(&cases, &with).render();
+        let text = perf_report_json(&cases, &extend_history(Some(&first), &cases, None)).render();
+        let history = parse_history(&text);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].obs_overhead_pct, Some(1.5));
+        assert_eq!(history[1].obs_overhead_pct, None);
+        assert!(text.contains("\"obs_overhead_pct\": null"));
     }
 
     #[test]
     fn history_accumulates_and_caps() {
         let cases = vec![fake_case("a/b", 100)];
-        let mut text = perf_report_json(&cases, &extend_history(None, &cases)).render();
+        let mut text = perf_report_json(&cases, &extend_history(None, &cases, None)).render();
         for _ in 0..HISTORY_CAP + 10 {
-            let history = extend_history(Some(&text), &cases);
+            let history = extend_history(Some(&text), &cases, None);
             text = perf_report_json(&cases, &history).render();
         }
         let history = parse_history(&text);

@@ -1,6 +1,6 @@
 //! Observability contract tests.
 //!
-//! Two guarantees, mirroring the fault-injection contract in reverse:
+//! Four guarantees, mirroring the fault-injection contract in reverse:
 //!
 //! 1. **Zero perturbation.** Enabling cycle attribution, the metrics
 //!    timeline, and a streaming trace sink changes *nothing* about the
@@ -11,12 +11,20 @@
 //!    to the core's full execution extent, cycle for cycle, across the
 //!    whole workload/architecture matrix (and under random workload
 //!    shapes, via the property test).
+//! 3. **Streaming completeness.** Draining spans into the trace sink as
+//!    they close renders the same bytes as an end-of-run drain, and
+//!    keeps the bounded span store from ever dropping a span, however
+//!    long the run.
+//! 4. **Exact address attribution.** The per-BM-address contention
+//!    ledger tiles the Data channel exactly: its busy-cycle total
+//!    equals the channel's busy counter and the timeline's, per
+//!    workload class and per seed.
 
 use wisync_bench::report::assert_attribution_exact;
 use wisync_bench::BUDGET;
 use wisync_core::{Machine, MachineConfig, MachineKind, ObsConfig, RunOutcome};
-use wisync_obs::ChromeTrace;
-use wisync_testkit::{check_with, gen, Config, Json};
+use wisync_obs::{validate_chrome, ChromeTrace};
+use wisync_testkit::{check_with, gen, prop_assert_eq, Config, Json};
 use wisync_workloads::{CasKernel, CasKind, Livermore, TightLoop};
 
 /// Builds a machine of `kind` with the given master seed, optionally
@@ -135,6 +143,152 @@ fn attribution_tiles_exactly_across_matrix() {
     assert_eq!(r.outcome, RunOutcome::Completed);
     chk.check(&m).expect("livermore result correct");
     assert_attribution_exact(&m);
+}
+
+/// Runs a contended FIFO kernel with tracing and renders the full
+/// Chrome document, either streaming spans into the sink as they close
+/// (`stream = true`) or retaining them all and draining at the end.
+fn traced_fifo_render(seed: u64, stream: bool) -> String {
+    let mut cfg = MachineConfig::wisync(8);
+    cfg.seed = seed;
+    let mut m = Machine::new(cfg);
+    m.enable_observability(ObsConfig {
+        stream_segments: stream,
+        // The drained variant must retain every span to be a fair
+        // reference; capacity far above what the run produces.
+        segment_capacity: 1 << 20,
+        ..ObsConfig::default()
+    });
+    m.set_trace_sink(Box::new(ChromeTrace::unbounded()));
+    CasKernel {
+        kind: CasKind::Fifo,
+        critical_section: 16,
+        ops_per_thread: 8,
+    }
+    .load(&mut m);
+    let r = m.run(BUDGET);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+
+    let obs = m.observability().expect("observability enabled").clone();
+    assert_eq!(
+        obs.attrib.dropped_segments(),
+        0,
+        "reference run dropped spans"
+    );
+    let mut sink = m.take_trace_sink().expect("sink installed");
+    let chrome = sink.as_chrome_mut().expect("sink is a ChromeTrace");
+    if !stream {
+        chrome.push_segments(obs.attrib.segments());
+    }
+    chrome.push_counters(&obs.timeline);
+    let doc = chrome.to_json();
+    validate_chrome(&doc).expect("trace validates");
+    doc.render()
+}
+
+/// ISSUE tentpole: streaming spans into the sink as they close renders
+/// the exact same bytes as the old end-of-run drain, per seed.
+#[test]
+fn streamed_trace_is_byte_identical_to_drained() {
+    for seed in [0xA11CE, 0xB0B, 0xC0DE] {
+        assert_eq!(
+            traced_fifo_render(seed, true),
+            traced_fifo_render(seed, false),
+            "streamed and drained traces diverged, seed {seed:#x}"
+        );
+    }
+}
+
+/// ISSUE acceptance: a run whose span count exceeds the configured
+/// `segment_capacity` several times over still exports a complete
+/// trace — streaming drains the store before it can overflow.
+#[test]
+fn streaming_defeats_the_segment_capacity_bound() {
+    const CAPACITY: usize = 64;
+    let mut m = Machine::new(MachineConfig::wisync(8));
+    m.enable_observability(ObsConfig {
+        segment_capacity: CAPACITY,
+        ..ObsConfig::default()
+    });
+    m.set_trace_sink(Box::new(ChromeTrace::unbounded()));
+    TightLoop::new(24).load(&mut m);
+    let r = m.run(BUDGET);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+
+    let obs = m.observability().expect("observability enabled").clone();
+    assert!(
+        obs.attrib.drained_segments() >= 4 * CAPACITY as u64,
+        "run too short to stress the bound: {} spans drained",
+        obs.attrib.drained_segments()
+    );
+    assert_eq!(obs.attrib.dropped_segments(), 0, "streaming dropped spans");
+
+    let mut sink = m.take_trace_sink().expect("sink installed");
+    let chrome = sink.as_chrome_mut().expect("sink is a ChromeTrace");
+    chrome.push_counters(&obs.timeline);
+    let doc = chrome.to_json();
+    let rows = validate_chrome(&doc).expect("trace validates");
+    assert!(
+        rows as u64 >= obs.attrib.drained_segments(),
+        "sink holds fewer rows ({rows}) than spans streamed"
+    );
+}
+
+/// ISSUE satellite: the per-address ledger tiles the Data channel
+/// exactly, for random workload shapes and seeds across all three
+/// workload classes.
+#[test]
+fn address_ledger_tiles_data_channel_for_random_workloads() {
+    let shapes = (
+        gen::range_incl(0u64, 2),
+        gen::range_incl(1u64, 16),
+        gen::range_incl(0u64, 0xFFFF),
+    );
+    check_with(
+        Config::with_cases(24),
+        "addr_busy_matches_channel",
+        shapes,
+        |(class, size, seed)| {
+            let mut cfg = MachineConfig::wisync(8);
+            cfg.seed = seed;
+            let mut m = Machine::new(cfg);
+            m.enable_observability(ObsConfig::default());
+            match class {
+                0 => TightLoop::new(size).load(&mut m),
+                1 => {
+                    CasKernel {
+                        kind: CasKind::Fifo,
+                        critical_section: 16,
+                        ops_per_thread: size,
+                    }
+                    .load(&mut m);
+                }
+                _ => {
+                    Livermore::loop2(size.next_power_of_two().max(2)).load(&mut m);
+                }
+            }
+            let r = m.run(BUDGET);
+            prop_assert_eq!(r.outcome, RunOutcome::Completed);
+
+            let obs = m.observability().expect("observability enabled");
+            let totals = obs.addr.totals();
+            let s = m.stats();
+            // Busy cycles are booked three ways — per address, per
+            // channel, per timeline epoch — and must agree exactly.
+            prop_assert_eq!(totals.busy_cycles, s.data.busy_cycles);
+            let epoch_busy: u64 = obs.timeline.epochs().iter().map(|e| e.busy_cycles).sum();
+            prop_assert_eq!(totals.busy_cycles, epoch_busy);
+            prop_assert_eq!(totals.transfers, s.data.transfers);
+            let epoch_retx: u64 = obs.timeline.epochs().iter().map(|e| e.retransmits).sum();
+            prop_assert_eq!(totals.retransmits, epoch_retx);
+            // The leaderboard is a ranked view of the same ledger: an
+            // untruncated one must sum back to the totals.
+            let lb = obs.addr.leaderboard(usize::MAX);
+            let lb_busy: u64 = lb.iter().map(|(_, st)| st.busy_cycles).sum();
+            prop_assert_eq!(lb_busy, totals.busy_cycles);
+            Ok(())
+        },
+    );
 }
 
 /// Property test: the invariant holds for random workload shapes, not

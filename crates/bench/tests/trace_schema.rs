@@ -1,0 +1,50 @@
+//! The standalone trace validator (`scripts/validate_trace.py`) must
+//! accept every trace the simulator exports — CI runs it on the trace
+//! artifact, so a drift between exporter and validator is a build
+//! break, not a surprise in a Perfetto tab.
+//!
+//! Skips (with a note) when no `python3` is on PATH; the container and
+//! CI images both ship one.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use wisync_bench::report::profile_tightloop;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+#[test]
+fn python_validator_accepts_exported_traces() {
+    let p = profile_tightloop(8, 3);
+    let trace =
+        std::env::temp_dir().join(format!("wisync_trace_schema_{}.json", std::process::id()));
+    std::fs::write(&trace, p.chrome.render()).expect("write temp trace");
+
+    let script = repo_path("scripts/validate_trace.py");
+    let out = match Command::new("python3").arg(&script).arg(&trace).output() {
+        Ok(out) => out,
+        Err(e) => {
+            // Hermetic environments without a Python are allowed; the
+            // Rust-side validator already ran inside profile_tightloop.
+            eprintln!("skipping: python3 not runnable ({e})");
+            let _ = std::fs::remove_file(&trace);
+            return;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let _ = std::fs::remove_file(&trace);
+
+    assert!(
+        out.status.success(),
+        "validator rejected the trace:\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    // The summary proves the validator saw both span and counter rows.
+    assert!(stdout.contains("schema OK"), "unexpected summary: {stdout}");
+    assert!(stdout.contains("X:"), "no span rows counted: {stdout}");
+    assert!(stdout.contains("C:"), "no counter rows counted: {stdout}");
+}

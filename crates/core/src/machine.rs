@@ -56,6 +56,20 @@ pub enum WirelessMsg {
     Resync { phys: usize, value: u64 },
 }
 
+impl WirelessMsg {
+    /// The BM physical index every message variant carries — the
+    /// channel-routing key and the per-address attribution key.
+    fn phys(&self) -> usize {
+        match *self {
+            WirelessMsg::BmWrite { phys, .. }
+            | WirelessMsg::BmRmwWrite { phys, .. }
+            | WirelessMsg::Bulk { phys, .. }
+            | WirelessMsg::ToneInit { phys, .. }
+            | WirelessMsg::Resync { phys, .. } => phys,
+        }
+    }
+}
+
 /// A queued Data-channel transmission: the message plus its delivery
 /// attempt (0 = first broadcast, >0 = fault-recovery retransmit after a
 /// receiver checksum reject).
@@ -451,14 +465,40 @@ impl Machine {
     // All of these are no-ops when observability is off; when on, they
     // only append to `self.obs` (never read it, never touch timing).
 
+    /// Streams the closed attribution spans into the trace sink (no-op
+    /// unless observability, streaming, and a sink are all on). Cold:
+    /// the hooks call this only at the store's drain watermark (or at
+    /// end of run), so its dynamic dispatch amortizes over thousands of
+    /// span closes and the bounded store still never fills on long runs.
+    ///
+    /// Once a bounded sink saturates, streaming is switched off for the
+    /// rest of the run: every further span would be dropped at the sink
+    /// anyway, so the store falls back to bounded retention and the
+    /// instrumented run stops paying for spans nobody keeps.
+    fn obs_flush_segments(&mut self) {
+        if let (Some(o), Some(t)) = (self.obs.as_deref_mut(), self.trace.as_deref_mut()) {
+            if o.stream_segments {
+                if t.wants_segments() {
+                    o.attrib.drain_segments(|segs| t.record_segments(segs));
+                } else {
+                    o.stream_segments = false;
+                }
+            }
+        }
+    }
+
     /// Closes `[now, t)` as compute (the inline ALU prefix of the
     /// current batch) and `[t, end)` as `bucket`.
     #[inline]
     fn obs_op(&mut self, core: usize, t: Cycle, end: Cycle, bucket: Bucket) {
         let now = self.now;
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.attrib.segment(core, now, t, Bucket::Compute);
-            o.attrib.segment(core, t, end, bucket);
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        o.attrib.segment(core, now, t, Bucket::Compute);
+        o.attrib.segment(core, t, end, bucket);
+        if o.stream_segments && o.attrib.wants_drain() {
+            self.obs_flush_segments();
         }
     }
 
@@ -468,9 +508,13 @@ impl Machine {
     #[inline]
     fn obs_stall(&mut self, core: usize, t: Cycle, bucket: Bucket) {
         let now = self.now;
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.attrib.segment(core, now, t, Bucket::Compute);
-            o.attrib.set_pending(core, bucket);
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        o.attrib.segment(core, now, t, Bucket::Compute);
+        o.attrib.set_pending(core, bucket);
+        if o.stream_segments && o.attrib.wants_drain() {
+            self.obs_flush_segments();
         }
     }
 
@@ -479,8 +523,12 @@ impl Machine {
     #[inline]
     fn obs_sync(&mut self, core: usize) {
         let now = self.now;
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.attrib.advance_to(core, now);
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        o.attrib.advance_to(core, now);
+        if o.stream_segments && o.attrib.wants_drain() {
+            self.obs_flush_segments();
         }
     }
 
@@ -799,6 +847,9 @@ impl Machine {
         if let Some(o) = self.obs.as_deref_mut() {
             o.finalize(end);
         }
+        // Stream the spans finalize just closed before reading the
+        // sink's drop count, so a streaming run's count is final.
+        self.obs_flush_segments();
         if let Some(t) = self.trace.as_deref() {
             self.stats.dropped_trace_events = t.dropped();
         }
@@ -881,15 +932,42 @@ impl Machine {
                         complete_at,
                         ..
                     } => {
-                        self.obs_timeline(|tl| tl.transfer(now, complete_at.saturating_since(now)));
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            let busy = complete_at.saturating_since(now);
+                            o.timeline.transfer(now, busy);
+                            o.addr.transfer(message.msg.phys(), busy);
+                        }
                         self.queue.push(complete_at, Event::Deliver(message));
                     }
                     Resolution::Collision {
                         retry_slots,
                         exhausted,
+                        contenders,
                     } => {
                         let busy = self.config.wireless.collision_cycles;
-                        self.obs_timeline(|tl| tl.collision(now, busy));
+                        if self.obs.is_some() {
+                            // The collided frames are still queued for
+                            // their retries, so peek their addresses
+                            // (read-only; timing is untouched).
+                            let physes: Vec<usize> = contenders
+                                .iter()
+                                .filter_map(|t| self.data[ch].peek(*t))
+                                .map(|f| f.msg.phys())
+                                .collect();
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.timeline.collision(now, busy);
+                                for &p in &physes {
+                                    o.addr.collision(p);
+                                }
+                                // The window's busy cycles are booked
+                                // once — to the smallest contending
+                                // address — so per-address busy sums to
+                                // the channel's busy total.
+                                if let Some(&p) = physes.iter().min() {
+                                    o.addr.collision_busy(p, busy);
+                                }
+                            }
+                        }
                         self.record(TraceEvent::Collision {
                             at: now,
                             channel: ch,
@@ -1365,14 +1443,7 @@ impl Machine {
     }
 
     fn request_frame(&mut self, core: usize, len: TxLen, frame: TxFrame, at: Cycle) -> TxToken {
-        let phys = match frame.msg {
-            WirelessMsg::BmWrite { phys, .. }
-            | WirelessMsg::BmRmwWrite { phys, .. }
-            | WirelessMsg::Bulk { phys, .. }
-            | WirelessMsg::ToneInit { phys, .. }
-            | WirelessMsg::Resync { phys, .. } => phys,
-        };
-        let ch = self.channel_of(phys);
+        let ch = self.channel_of(frame.msg.phys());
         let node = self.node(core);
         let (token, slot) = self.data[ch].request(node, len, frame, at);
         self.queue.push(slot, Event::ChannelResolve(ch));
@@ -1748,7 +1819,10 @@ impl Machine {
             let attempt = frame.attempt + 1;
             if attempt <= f.plan().max_retransmits {
                 f.stats_mut().retransmits += 1;
-                self.obs_timeline(|tl| tl.retransmit(at));
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.timeline.retransmit(at);
+                    o.addr.retransmit(phys0);
+                }
                 self.record(TraceEvent::Retransmit {
                     at,
                     core: sender,

@@ -1,0 +1,218 @@
+//! Per-BM-address Data-channel attribution: which broadcast-memory
+//! lines the shared wireless medium's cycles went to.
+//!
+//! The 6-bucket attribution says *what a core was doing*; this table
+//! says *which address the channel was busy for*. Every Data-channel
+//! busy cycle is booked to exactly one BM physical index: a transfer's
+//! occupancy goes to the address its message carries, and a collision
+//! window goes once to the smallest contending address (so the busy
+//! total over addresses equals the channel's busy total — the invariant
+//! the `crates/bench` property test enforces). Collision and retransmit
+//! *counts* are booked per participating address.
+
+use wisync_testkit::Json;
+
+/// Data-channel activity booked to one BM physical address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AddrStats {
+    /// Channel-busy cycles booked here: this address's transfer
+    /// occupancy, plus each collision window it was the smallest
+    /// contending address of.
+    pub busy_cycles: u64,
+    /// Completed transfers carrying this address.
+    pub transfers: u64,
+    /// Collision events this address was contending in (a two-way
+    /// collision counts once for each contender).
+    pub collisions: u64,
+    /// Fault-recovery retransmits of frames carrying this address.
+    pub retransmits: u64,
+}
+
+impl AddrStats {
+    fn is_empty(&self) -> bool {
+        *self == AddrStats::default()
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("busy_cycles", Json::U64(self.busy_cycles)),
+            ("transfers", Json::U64(self.transfers)),
+            ("collisions", Json::U64(self.collisions)),
+            ("retransmits", Json::U64(self.retransmits)),
+        ])
+    }
+}
+
+/// Per-address Data-channel attribution, dense over BM physical indices
+/// and lazily grown (like the timeline's epoch store), so the machine
+/// never tells observability how big the BM is.
+#[derive(Clone, Debug, Default)]
+pub struct AddrContention {
+    stats: Vec<AddrStats>,
+}
+
+impl AddrContention {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AddrContention::default()
+    }
+
+    #[inline]
+    fn at(&mut self, phys: usize) -> &mut AddrStats {
+        if phys >= self.stats.len() {
+            self.stats.resize(phys + 1, AddrStats::default());
+        }
+        &mut self.stats[phys]
+    }
+
+    /// Books a completed transfer of `busy` channel cycles for `phys`.
+    #[inline]
+    pub fn transfer(&mut self, phys: usize, busy: u64) {
+        let s = self.at(phys);
+        s.transfers += 1;
+        s.busy_cycles += busy;
+    }
+
+    /// Counts `phys` as a contender in one collision event.
+    #[inline]
+    pub fn collision(&mut self, phys: usize) {
+        self.at(phys).collisions += 1;
+    }
+
+    /// Books a collision window's `busy` channel cycles to `phys`. The
+    /// caller books each window exactly once (to the smallest contending
+    /// address) so busy cycles still sum to the channel total.
+    #[inline]
+    pub fn collision_busy(&mut self, phys: usize, busy: u64) {
+        self.at(phys).busy_cycles += busy;
+    }
+
+    /// Counts a fault-recovery retransmit of a frame carrying `phys`.
+    #[inline]
+    pub fn retransmit(&mut self, phys: usize) {
+        self.at(phys).retransmits += 1;
+    }
+
+    /// Per-address stats, dense by BM physical index.
+    pub fn stats(&self) -> &[AddrStats] {
+        &self.stats
+    }
+
+    /// Number of addresses with any recorded activity.
+    pub fn active(&self) -> usize {
+        self.stats.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Activity summed over all addresses. After a run, `busy_cycles`
+    /// equals the Data channel's busy total and `transfers` its
+    /// transfer count.
+    pub fn totals(&self) -> AddrStats {
+        let mut t = AddrStats::default();
+        for s in &self.stats {
+            t.busy_cycles += s.busy_cycles;
+            t.transfers += s.transfers;
+            t.collisions += s.collisions;
+            t.retransmits += s.retransmits;
+        }
+        t
+    }
+
+    /// The `n` most contended addresses: by busy cycles, then collision
+    /// count, then transfer count (all descending), then lower physical
+    /// index first. Fully deterministic.
+    pub fn leaderboard(&self, n: usize) -> Vec<(usize, AddrStats)> {
+        let mut rows: Vec<(usize, AddrStats)> = self
+            .stats
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.busy_cycles
+                .cmp(&a.1.busy_cycles)
+                .then(b.1.collisions.cmp(&a.1.collisions))
+                .then(b.1.transfers.cmp(&a.1.transfers))
+                .then(a.0.cmp(&b.0))
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// Serializes the totals and the top-`n` leaderboard
+    /// (deterministic).
+    pub fn to_json(&self, n: usize) -> Json {
+        Json::obj([
+            ("addresses_active", Json::U64(self.active() as u64)),
+            ("totals", self.totals().json()),
+            (
+                "leaderboard",
+                Json::Arr(
+                    self.leaderboard(n)
+                        .into_iter()
+                        .map(|(phys, s)| {
+                            let mut row = vec![("phys".to_string(), Json::U64(phys as u64))];
+                            if let Json::Obj(fields) = s.json() {
+                                row.extend(fields);
+                            }
+                            Json::Obj(row)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_totals_sum_transfers_and_collision_windows() {
+        let mut a = AddrContention::new();
+        a.transfer(3, 40);
+        a.transfer(3, 40);
+        a.transfer(9, 12);
+        a.collision(3);
+        a.collision(9);
+        a.collision_busy(3, 8);
+        a.retransmit(9);
+        let t = a.totals();
+        assert_eq!(t.busy_cycles, 100);
+        assert_eq!(t.transfers, 3);
+        assert_eq!(t.collisions, 2);
+        assert_eq!(t.retransmits, 1);
+        assert_eq!(a.active(), 2);
+        // Untouched indices below the max stay empty but present.
+        assert_eq!(a.stats().len(), 10);
+        assert!(a.stats()[4].is_empty());
+    }
+
+    #[test]
+    fn leaderboard_orders_and_breaks_ties_deterministically() {
+        let mut a = AddrContention::new();
+        a.transfer(5, 100);
+        a.transfer(2, 100); // ties 5 on busy, transfers, collisions
+        a.transfer(7, 100);
+        a.collision(7); // more collisions: ranks above the tie
+        a.transfer(1, 300);
+        let rows = a.leaderboard(3);
+        let physes: Vec<usize> = rows.iter().map(|r| r.0).collect();
+        assert_eq!(physes, [1, 7, 2]); // 300 busy, then collisions, then low phys
+        assert_eq!(a.leaderboard(10).len(), 4);
+    }
+
+    #[test]
+    fn json_has_totals_and_leaderboard() {
+        let mut a = AddrContention::new();
+        a.transfer(4, 17);
+        a.collision(4);
+        let text = a.to_json(8).render();
+        assert!(text.contains("\"addresses_active\": 1"));
+        assert!(text.contains("\"phys\": 4"));
+        assert!(text.contains("\"busy_cycles\": 17"));
+        let empty = AddrContention::new().to_json(8).render();
+        assert!(empty.contains("\"leaderboard\": []"));
+    }
+}

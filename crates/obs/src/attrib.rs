@@ -109,6 +109,7 @@ pub struct Attribution {
     segments: Vec<Segment>,
     segment_capacity: usize,
     dropped_segments: u64,
+    drained_segments: u64,
 }
 
 impl Attribution {
@@ -132,6 +133,7 @@ impl Attribution {
             segments: Vec::with_capacity(segment_capacity),
             segment_capacity,
             dropped_segments: 0,
+            drained_segments: 0,
         }
     }
 
@@ -247,6 +249,37 @@ impl Attribution {
         self.dropped_segments
     }
 
+    /// Whether the store has reached its drain watermark (half of
+    /// `segment_capacity`): a streaming consumer that drains whenever
+    /// this turns true stays comfortably below the capacity bound (a
+    /// single hook closes at most two spans), so nothing is ever
+    /// dropped, while the drain's dynamic dispatch amortizes over
+    /// thousands of closes instead of taxing every one.
+    #[inline]
+    pub fn wants_drain(&self) -> bool {
+        self.segments.len() >= (self.segment_capacity / 2).max(1)
+    }
+
+    /// Hands the retained closed spans to `f` as one slice (in close
+    /// order) and clears the store, keeping its capacity. A streaming
+    /// consumer that drains at the [`Attribution::wants_drain`]
+    /// watermark keeps the store below `segment_capacity`, so nothing
+    /// is ever dropped no matter how long the run is — and pays its
+    /// dispatch cost once per batch, not once per span.
+    #[inline]
+    pub fn drain_segments(&mut self, f: impl FnOnce(&[Segment])) {
+        f(&self.segments);
+        self.drained_segments += self.segments.len() as u64;
+        self.segments.clear();
+    }
+
+    /// Spans handed to a streaming consumer via
+    /// [`Attribution::drain_segments`] (no longer in
+    /// [`Attribution::segments`]).
+    pub fn drained_segments(&self) -> u64 {
+        self.drained_segments
+    }
+
     /// Verifies the tiling invariant after [`Attribution::close_all`]:
     /// every core's bucket sum equals `now - start` exactly.
     ///
@@ -318,6 +351,27 @@ mod tests {
         assert_eq!(a.dropped_segments(), 3);
         // Totals stay exact even when spans are dropped.
         assert_eq!(a.totals()[Bucket::Compute.index()], 5);
+        a.check(Cycle(5)).unwrap();
+    }
+
+    #[test]
+    fn draining_defeats_the_capacity_bound() {
+        let mut a = Attribution::new(1, Cycle(0), 2);
+        let mut seen = Vec::new();
+        for i in 0..5u64 {
+            a.segment(0, Cycle(i), Cycle(i + 1), Bucket::Compute);
+            a.drain_segments(|segs| seen.extend_from_slice(segs));
+        }
+        assert_eq!(seen.len(), 5);
+        assert_eq!(a.drained_segments(), 5);
+        assert_eq!(a.dropped_segments(), 0);
+        assert!(a.segments().is_empty());
+        // The drained spans are exactly the ones a large store retains.
+        let mut b = Attribution::new(1, Cycle(0), 1024);
+        for i in 0..5u64 {
+            b.segment(0, Cycle(i), Cycle(i + 1), Bucket::Compute);
+        }
+        assert_eq!(seen, b.segments());
         a.check(Cycle(5)).unwrap();
     }
 

@@ -20,21 +20,28 @@
 //!    barrier arrival-to-release spread.
 //! 4. **Streaming sinks** ([`TraceSink`]): the bounded [`Trace`] is one
 //!    sink; [`ChromeTrace`] exports Chrome trace-event JSON that
-//!    Perfetto loads directly, instants plus attribution spans.
+//!    Perfetto loads directly — instants, attribution spans (streamed as
+//!    they close, so long runs export completely), and per-epoch
+//!    contention counter tracks.
+//! 5. **Per-address contention** ([`AddrContention`]): Data-channel busy
+//!    cycles, collisions, and retransmits booked per BM line, feeding
+//!    the contended-line leaderboard in the profile report.
 //!
 //! Everything here follows the `wisync-fault` contract in reverse: the
 //! machine *writes* observability state but never *reads* it, so
 //! enabling observability cannot change a simulation outcome, and the
 //! disabled path (`None`) costs nothing.
 
+pub mod addr;
 pub mod attrib;
 pub mod event;
 pub mod sink;
 pub mod state;
 pub mod timeline;
 
+pub use addr::{AddrContention, AddrStats};
 pub use attrib::{Attribution, Bucket, Segment, NUM_BUCKETS};
 pub use event::{Trace, TraceEvent};
-pub use sink::{validate_chrome, ChromeTrace, TraceSink, CHANNEL_TID_BASE, TONE_TID};
+pub use sink::{validate_chrome, ChromeTrace, TraceSink, CHANNEL_TID_BASE, COUNTER_TID, TONE_TID};
 pub use state::{histogram_json, ObsConfig, ObsState};
 pub use timeline::{Epoch, Timeline};

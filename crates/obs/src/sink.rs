@@ -7,6 +7,7 @@ use wisync_testkit::Json;
 
 use crate::attrib::Segment;
 use crate::event::{Trace, TraceEvent};
+use crate::timeline::Timeline;
 
 /// Consumes machine events as they happen.
 ///
@@ -16,6 +17,30 @@ use crate::event::{Trace, TraceEvent};
 pub trait TraceSink: std::fmt::Debug + Send {
     /// Records one event.
     fn record_event(&mut self, e: &TraceEvent);
+
+    /// Records one closed attribution span, streamed by the machine
+    /// (when `ObsConfig::stream_segments` is on). Sinks that do not
+    /// render spans ignore it.
+    fn record_segment(&mut self, _s: &Segment) {}
+
+    /// Records a batch of closed attribution spans — the machine drains
+    /// its bounded span store through this in one call per watermark
+    /// flush, so streaming pays one dynamic dispatch per thousands of
+    /// spans instead of one per span.
+    fn record_segments(&mut self, segments: &[Segment]) {
+        for s in segments {
+            self.record_segment(s);
+        }
+    }
+
+    /// Whether this sink can still retain spans. Once a bounded sink
+    /// saturates, the trace is incomplete no matter what arrives next,
+    /// so the machine stops streaming into it and lets the span store
+    /// fall back to bounded retention — long instrumented runs then pay
+    /// nothing for spans past the cap. Unbounded sinks never refuse.
+    fn wants_segments(&self) -> bool {
+        true
+    }
 
     /// Number of events this sink discarded (bounded sinks).
     fn dropped(&self) -> u64 {
@@ -60,6 +85,8 @@ pub const TONE_TID: u64 = 900;
 /// Base thread id for per-channel instants: channel `c` renders on
 /// `CHANNEL_TID_BASE + c`.
 pub const CHANNEL_TID_BASE: u64 = 1000;
+/// Thread id carrying the timeline counter tracks (`ph:"C"` rows).
+pub const COUNTER_TID: u64 = 2000;
 
 #[derive(Clone, Debug)]
 struct ChromeRow {
@@ -119,13 +146,22 @@ pub struct ChromeTrace {
 
 impl ChromeTrace {
     /// Creates an exporter holding up to `capacity` rows (events plus
-    /// segments); overflow is counted.
+    /// segments); overflow is counted. Bounded sinks reserve their row
+    /// storage up front so streaming never pays reallocation copies
+    /// mid-run.
     pub fn new(capacity: usize) -> Self {
         ChromeTrace {
-            rows: Vec::new(),
+            rows: Vec::with_capacity(capacity.min(1 << 16)),
             capacity,
             dropped: 0,
         }
+    }
+
+    /// Creates an unbounded exporter: every row is retained, nothing is
+    /// ever dropped. Pair with segment streaming for complete traces of
+    /// arbitrarily long runs.
+    pub fn unbounded() -> Self {
+        ChromeTrace::new(usize::MAX)
     }
 
     fn push(&mut self, row: ChromeRow) {
@@ -146,32 +182,78 @@ impl ChromeTrace {
         self.rows.is_empty()
     }
 
+    /// Adds one attribution span as an "X" (complete) row on its core
+    /// track (zero-length spans are skipped).
+    pub fn push_segment(&mut self, s: &Segment) {
+        let dur = s.to.saturating_since(s.from);
+        if dur == 0 {
+            return;
+        }
+        self.push(ChromeRow {
+            name: s.bucket.label(),
+            ph: "X",
+            ts: s.from.as_u64(),
+            dur: Some(dur),
+            tid: s.core as u64,
+            args: Vec::new(),
+        });
+    }
+
     /// Adds attribution spans as "X" (complete) rows on the core tracks.
-    /// Call after the run, before [`ChromeTrace::to_json`].
+    /// Call after the run, before [`ChromeTrace::to_json`] — the
+    /// end-of-run drain path; streamed spans arrive one at a time via
+    /// [`TraceSink::record_segment`] instead.
     pub fn push_segments(&mut self, segments: &[Segment]) {
+        if self.rows.len() >= self.capacity {
+            // Saturated: count the would-be rows without building them,
+            // so long instrumented runs pay almost nothing past the cap.
+            let spans = segments
+                .iter()
+                .filter(|s| s.to.saturating_since(s.from) != 0)
+                .count();
+            self.dropped += spans as u64;
+            return;
+        }
         for s in segments {
-            let dur = s.to.saturating_since(s.from);
-            if dur == 0 {
-                continue;
+            self.push_segment(s);
+        }
+    }
+
+    /// Adds the timeline's contention counters as `ph:"C"` rows on the
+    /// [`COUNTER_TID`] track: one `busy_cycles`, `collisions`, and
+    /// `retransmits` sample per materialized epoch (interior zeros
+    /// included, so the counter tracks return to zero between bursts).
+    /// Call after the run, before [`ChromeTrace::to_json`].
+    pub fn push_counters(&mut self, tl: &Timeline) {
+        for (i, e) in tl.epochs().iter().enumerate() {
+            let ts = i as u64 * tl.epoch_len();
+            for (name, value) in [
+                ("busy_cycles", e.busy_cycles),
+                ("collisions", e.collisions),
+                ("retransmits", e.retransmits),
+            ] {
+                self.push(ChromeRow {
+                    name,
+                    ph: "C",
+                    ts,
+                    dur: None,
+                    tid: COUNTER_TID,
+                    args: vec![("value", value)],
+                });
             }
-            self.push(ChromeRow {
-                name: s.bucket.label(),
-                ph: "X",
-                ts: s.from.as_u64(),
-                dur: Some(dur),
-                tid: s.core as u64,
-                args: Vec::new(),
-            });
         }
     }
 
     /// Renders the full Chrome trace-event document: rows sorted by
-    /// `(pid, tid, ts)` so `ts` is monotone per track, preceded by
+    /// `(pid, tid, ts)` so `ts` is monotone per track (instants before
+    /// spans at equal timestamps — the streamed and drained segment
+    /// paths insert spans at different points, and this tie-break is
+    /// what makes their rendered bytes identical), preceded by
     /// `thread_name` metadata rows for every track. Deterministic (same
     /// rows, same bytes).
     pub fn to_json(&self) -> Json {
         let mut ordered: Vec<&ChromeRow> = self.rows.iter().collect();
-        ordered.sort_by_key(|r| (r.tid, r.ts));
+        ordered.sort_by_key(|r| (r.tid, r.ts, u8::from(r.ph != "i")));
         let mut tids: Vec<u64> = ordered.iter().map(|r| r.tid).collect();
         tids.sort_unstable();
         tids.dedup();
@@ -180,6 +262,8 @@ impl ChromeTrace {
             .map(|&tid| {
                 let label = if tid == TONE_TID {
                     "barriers".to_string()
+                } else if tid == COUNTER_TID {
+                    "timeline".to_string()
                 } else if tid >= CHANNEL_TID_BASE {
                     format!("channel {}", tid - CHANNEL_TID_BASE)
                 } else {
@@ -305,6 +389,18 @@ impl TraceSink for ChromeTrace {
         self.push(row);
     }
 
+    fn record_segment(&mut self, s: &Segment) {
+        self.push_segment(s);
+    }
+
+    fn record_segments(&mut self, segments: &[Segment]) {
+        self.push_segments(segments);
+    }
+
+    fn wants_segments(&self) -> bool {
+        self.rows.len() < self.capacity
+    }
+
     fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -321,7 +417,9 @@ impl TraceSink for ChromeTrace {
 /// Validates a rendered Chrome trace document against the minimal
 /// schema: a `traceEvents` array whose every element carries
 /// `name`/`ph`/`ts`/`pid`/`tid`, with `ts` monotone (non-decreasing) per
-/// `(pid, tid)` track in file order. Returns the event count.
+/// `(pid, tid)` track in file order, every "X" span carrying a numeric
+/// `dur`, and every "C" counter carrying an `args` object of numeric
+/// values. Returns the event count.
 ///
 /// # Errors
 ///
@@ -343,9 +441,24 @@ pub fn validate_chrome(doc: &Json) -> Result<usize, String> {
             Some(Json::Str(_)) => {}
             _ => return Err(format!("event {i}: missing string name")),
         }
-        match get("ph") {
-            Some(Json::Str(_)) => {}
+        let ph = match get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
             _ => return Err(format!("event {i}: missing string ph")),
+        };
+        if ph == "X" && !matches!(get("dur"), Some(Json::U64(_))) {
+            return Err(format!("event {i}: X span without numeric dur"));
+        }
+        if ph == "C" {
+            match get("args") {
+                Some(Json::Obj(args)) if !args.is_empty() => {
+                    for (k, v) in args {
+                        if !matches!(v, Json::U64(_) | Json::F64(_)) {
+                            return Err(format!("event {i}: counter arg {k:?} is not numeric"));
+                        }
+                    }
+                }
+                _ => return Err(format!("event {i}: C counter without args values")),
+            }
         }
         let ts = match get("ts") {
             Some(Json::U64(n)) => *n,
@@ -447,6 +560,66 @@ mod tests {
             c.record_event(&e);
         }
         assert_eq!(TraceSink::dropped(&c), 1);
+    }
+
+    #[test]
+    fn counter_rows_validate_and_label_their_track() {
+        let mut tl = Timeline::new(100);
+        tl.transfer(Cycle(10), 7);
+        tl.collision(Cycle(250), 3);
+        let mut c = ChromeTrace::unbounded();
+        c.push_counters(&tl);
+        let doc = c.to_json();
+        // 3 epochs x 3 counters + 1 thread_name row.
+        assert_eq!(validate_chrome(&doc).unwrap(), 10);
+        let text = doc.render();
+        assert!(text.contains("\"ph\": \"C\""));
+        assert!(text.contains("\"timeline\""));
+        // Interior zero samples are kept so tracks return to zero.
+        assert!(text.contains("\"ts\": 100"));
+    }
+
+    #[test]
+    fn streamed_segments_render_like_drained_ones() {
+        let seg = |from: u64, to: u64| Segment {
+            core: 1,
+            from: Cycle(from),
+            to: Cycle(to),
+            bucket: Bucket::Compute,
+        };
+        // Streamed: spans interleave with instants at recording time.
+        let mut streamed = ChromeTrace::unbounded();
+        let events = sample_events();
+        streamed.record_event(&events[0]); // instant at ts 5
+        streamed.record_segment(&seg(0, 5));
+        streamed.record_segment(&seg(5, 12));
+        streamed.record_event(&events[3]); // instant at ts 12
+
+        // Drained: all instants first, spans pushed after the run.
+        let mut drained = ChromeTrace::unbounded();
+        drained.record_event(&events[0]);
+        drained.record_event(&events[3]);
+        drained.push_segments(&[seg(0, 5), seg(5, 12)]);
+        assert_eq!(streamed.to_json().render(), drained.to_json().render());
+    }
+
+    #[test]
+    fn validator_rejects_span_and_counter_shape_violations() {
+        let base = [
+            ("name", Json::from("a")),
+            ("ph", Json::from("X")),
+            ("ts", Json::U64(1)),
+            ("pid", Json::U64(0)),
+            ("tid", Json::U64(0)),
+        ];
+        let doc = Json::obj([("traceEvents", Json::Arr(vec![Json::obj(base.clone())]))]);
+        let err = validate_chrome(&doc).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+        let mut counter = base.to_vec();
+        counter[1] = ("ph", Json::from("C"));
+        let doc = Json::obj([("traceEvents", Json::Arr(vec![Json::obj(counter)]))]);
+        let err = validate_chrome(&doc).unwrap_err();
+        assert!(err.contains("counter"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use wisync_sim::{Cycle, FxHashMap, Histogram};
 use wisync_testkit::Json;
 
+use crate::addr::AddrContention;
 use crate::attrib::{Attribution, Bucket};
 use crate::timeline::Timeline;
 
@@ -13,9 +14,16 @@ use crate::timeline::Timeline;
 pub struct ObsConfig {
     /// Timeline epoch length in cycles.
     pub epoch_len: u64,
-    /// Maximum attribution segments retained for trace export (bucket
-    /// totals stay exact past the cap).
+    /// Maximum attribution segments retained between drains (bucket
+    /// totals stay exact past the cap). With `stream_segments` on and a
+    /// trace sink installed the store is drained as spans close, so
+    /// this bounds memory, not trace completeness.
     pub segment_capacity: usize,
+    /// Stream closed attribution spans into the machine's trace sink as
+    /// they close, instead of leaving them in the bounded store for an
+    /// end-of-run drain. On by default; the exported bytes are
+    /// identical either way on bounded runs (test-proven).
+    pub stream_segments: bool,
 }
 
 impl Default for ObsConfig {
@@ -23,6 +31,7 @@ impl Default for ObsConfig {
         ObsConfig {
             epoch_len: 1024,
             segment_capacity: 1 << 16,
+            stream_segments: true,
         }
     }
 }
@@ -41,9 +50,14 @@ pub struct ObsState {
     pub attrib: Attribution,
     /// Interval metrics timeline.
     pub timeline: Timeline,
+    /// Per-BM-address Data-channel contention attribution.
+    pub addr: AddrContention,
     /// Barrier arrival-to-release spread: release cycle minus the
     /// episode's first `tone_st` arrival, per completed tone barrier.
     pub barrier_spread: Histogram,
+    /// Whether the machine streams closed spans into its trace sink
+    /// (see [`ObsConfig::stream_segments`]).
+    pub stream_segments: bool,
     /// First arrival cycle of the in-progress episode, per barrier phys.
     arrivals: FxHashMap<usize, Cycle>,
 }
@@ -56,7 +70,9 @@ impl ObsState {
         ObsState {
             attrib: Attribution::new(cores, start, config.segment_capacity),
             timeline: Timeline::new(config.epoch_len),
+            addr: AddrContention::new(),
             barrier_spread: Histogram::new(),
+            stream_segments: config.stream_segments,
             arrivals: FxHashMap::default(),
         }
     }
@@ -110,6 +126,10 @@ impl ObsState {
             (
                 "segments_retained",
                 Json::U64(self.attrib.segments().len() as u64),
+            ),
+            (
+                "segments_streamed",
+                Json::U64(self.attrib.drained_segments()),
             ),
             (
                 "segments_dropped",

@@ -55,6 +55,11 @@ pub enum Resolution<M> {
         /// escalation has given up and they keep retrying at the cap.
         /// Empty under the Reactive policy (it has no exponent).
         exhausted: Vec<NodeId>,
+        /// The colliding transmissions, in request order. They are all
+        /// still queued, so [`DataChannel::peek`] reads their messages —
+        /// observability uses this to attribute the collision per BM
+        /// address.
+        contenders: Vec<TxToken>,
     },
 }
 
@@ -338,6 +343,7 @@ impl<M> DataChannel<M> {
         self.stats.collisions += 1;
         self.stats.busy_cycles += self.config.collision_cycles;
         self.busy_until = slot + self.config.collision_cycles;
+        let contenders = due.clone();
         let mut retry_slots = Vec::new();
         let mut exhausted = Vec::new();
         match self.config.mac_policy {
@@ -386,7 +392,16 @@ impl<M> DataChannel<M> {
         Resolution::Collision {
             retry_slots,
             exhausted,
+            contenders,
         }
+    }
+
+    /// The message of a transmission that is still queued (started,
+    /// delivered, or cancelled tokens return `None`). Read-only:
+    /// observability peeks collided frames' addresses without touching
+    /// channel state.
+    pub fn peek(&self, token: TxToken) -> Option<&M> {
+        self.pending.get(&token).map(|p| &p.message)
     }
 }
 
@@ -484,6 +499,7 @@ mod tests {
             Resolution::Collision {
                 retry_slots,
                 exhausted,
+                contenders,
             } => {
                 // Channel frees at cycle 2; retries never before that.
                 for s in retry_slots {
@@ -491,6 +507,14 @@ mod tests {
                 }
                 // First collision: both frames were far below the cap.
                 assert!(exhausted.is_empty());
+                // Both frames are reported and still peekable (they
+                // stay queued for their retries), in request order.
+                let msgs: Vec<u32> = contenders
+                    .iter()
+                    .filter_map(|t| ch.peek(*t))
+                    .copied()
+                    .collect();
+                assert_eq!(msgs, vec![0, 1]);
             }
             other => panic!("expected collision, got {other:?}"),
         }

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by wisync-obs.
+
+Checks the subset of the trace-event format the simulator emits:
+
+  * top level is an object with a non-empty ``traceEvents`` array
+  * every row carries ``name``/``ph``/``ts``/``pid``/``tid``
+  * ``ts`` is monotonically non-decreasing per (pid, tid) track
+  * ``"X"`` (complete span) rows carry an integer ``dur >= 0``
+  * ``"C"`` (counter) rows carry a non-empty ``args`` dict whose values
+    are all numeric
+  * ``ph`` is one of the phases the exporter produces (i/X/M/C)
+
+Usage: scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+
+Exits non-zero on the first malformed file; on success prints one
+summary line per file with per-phase row counts.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"i", "X", "M", "C"}
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate(path):
+    """Returns a summary string, or raises ValueError on a bad trace."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("top level is not an object with traceEvents")
+    rows = doc["traceEvents"]
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("traceEvents is not a non-empty array")
+
+    tracks = {}
+    by_phase = {}
+    for i, row in enumerate(rows):
+        where = f"row {i}"
+        if not isinstance(row, dict):
+            raise ValueError(f"{where}: not an object")
+        for key in REQUIRED_KEYS:
+            if key not in row:
+                raise ValueError(f"{where}: missing {key!r}: {row}")
+        ph = row["ph"]
+        if ph not in KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        by_phase[ph] = by_phase.get(ph, 0) + 1
+
+        ts = row["ts"]
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            raise ValueError(f"{where}: ts is not numeric: {ts!r}")
+        track = (row["pid"], row["tid"])
+        prev = tracks.get(track)
+        if prev is not None and ts < prev:
+            raise ValueError(f"{where}: ts not monotone on track {track}: {ts} < {prev}")
+        tracks[track] = ts
+
+        if ph == "X":
+            dur = row.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+                raise ValueError(f"{where}: span needs integer dur >= 0, got {dur!r}")
+        if ph == "C":
+            args = row.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"{where}: counter needs a non-empty args dict: {args!r}")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    raise ValueError(f"{where}: counter arg {k!r} is not numeric: {v!r}")
+
+    counts = " ".join(f"{ph}:{n}" for ph, n in sorted(by_phase.items()))
+    return f"{path}: {len(rows)} rows on {len(tracks)} tracks ({counts}): schema OK"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: scripts/validate_trace.py TRACE.json [TRACE2.json ...]", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            print(validate(path))
+        except (ValueError, OSError, json.JSONDecodeError) as e:
+            print(f"{path}: INVALID: {e}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
