@@ -1,22 +1,23 @@
 //! Tracked simulator-throughput baseline.
 //!
 //! ```text
-//! cargo run --release -p wisync-bench --bin perf              # measure, rewrite results/perf_baseline.json
-//! cargo run --release -p wisync-bench --bin perf -- --quick   # single rep per case (CI smoke)
-//! cargo run --release -p wisync-bench --bin perf -- --check   # compare only, never rewrite; exit 1 on >5x regression
+//! cargo run --release -p wisync-bench --bin perf                 # measure, rewrite results/perf_baseline.json
+//! cargo run --release -p wisync-bench --bin perf -- --quick      # single rep per case (CI smoke)
+//! cargo run --release -p wisync-bench --bin perf -- --check      # trend gate vs committed history; never rewrites results/
+//! cargo run --release -p wisync-bench --bin perf -- --out DIR    # write perf_baseline.json under DIR instead of results/
 //! ```
 //!
-//! `--check` compares freshly measured wall times against the committed
-//! `results/perf_baseline.json` and fails only on a gross (>5x)
-//! regression, so host noise never breaks CI but a complexity slip in
-//! the engine does.
+//! `--check` measures the suite, compares its geomean `events_per_sec`
+//! against the geomean of the committed baseline's `history` series,
+//! and exits 1 on a drop of more than `TREND_DROP_PCT` percent. It
+//! never rewrites the committed baseline; combined with `--out` it
+//! still writes the fresh report there, so CI can upload the
+//! measurement as an artifact while gating against the committed trend.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wisync_bench::perf::{
-    check_against_baseline, extend_history, perf_report_json, run_perf_suite, CHECK_FACTOR,
-};
+use wisync_bench::perf::{check_against_history, extend_history, perf_report_json, run_perf_suite};
 use wisync_bench::report::{obs_overhead_ns, overhead_pct};
 use wisync_bench::BUDGET;
 use wisync_core::{Machine, MachineConfig};
@@ -26,6 +27,7 @@ struct Options {
     quick: bool,
     check: bool,
     stats: bool,
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -33,13 +35,21 @@ fn parse_args() -> Options {
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
         check: false,
         stats: false,
+        out: None,
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--check" => opts.check = true,
             "--stats" => opts.stats = true,
-            other => panic!("unknown argument {other:?} (try --quick/--check/--stats)"),
+            "--out" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out needs a directory"));
+                opts.out = Some(PathBuf::from(dir));
+            }
+            other => panic!("unknown argument {other:?} (try --quick/--check/--stats/--out DIR)"),
         }
     }
     opts
@@ -55,10 +65,19 @@ fn print_representative_stats(quick: bool) {
     println!("{}", m.stats());
 }
 
-fn baseline_path() -> PathBuf {
+/// The committed baseline the trend gate reads and full runs rewrite.
+fn committed_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../results")
         .join("perf_baseline.json")
+}
+
+fn write_report(path: &PathBuf, doc: &str) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(path, doc).expect("write baseline");
+    println!("wrote {}", path.display());
 }
 
 fn main() -> ExitCode {
@@ -85,20 +104,26 @@ fn main() -> ExitCode {
         print_representative_stats(opts.quick);
     }
 
-    let path = baseline_path();
+    let committed = committed_path();
     if opts.check {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
-        let failures = check_against_baseline(&cases, &text);
-        if failures.is_empty() {
-            println!("perf check OK (within {CHECK_FACTOR}x of committed baseline)");
-            ExitCode::SUCCESS
-        } else {
-            eprintln!("perf check FAILED:");
-            for f in &failures {
-                eprintln!("  {f}");
+        // Gate against the committed trend. The fresh measurement is
+        // still written when --out names a directory (CI uploads it as
+        // an artifact), but the committed baseline is never touched.
+        if let Some(dir) = &opts.out {
+            let doc = perf_report_json(&cases, &[]).render();
+            write_report(&dir.join("perf_baseline.json"), &doc);
+        }
+        let text = std::fs::read_to_string(&committed)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", committed.display()));
+        match check_against_history(&cases, &text) {
+            Ok(line) => {
+                println!("perf check OK: {line}");
+                ExitCode::SUCCESS
             }
-            ExitCode::FAILURE
+            Err(line) => {
+                eprintln!("perf check FAILED: {line}");
+                ExitCode::FAILURE
+            }
         }
     } else {
         // Measure the instrumented/plain wall-clock ratio alongside
@@ -115,8 +140,8 @@ fn main() -> ExitCode {
         );
 
         // Carry the throughput history forward from the previous
-        // baseline (if any) before overwriting it.
-        let prior = std::fs::read_to_string(&path).ok();
+        // committed baseline (if any) before writing.
+        let prior = std::fs::read_to_string(&committed).ok();
         let history = extend_history(prior.as_deref(), &cases, Some(obs_pct));
         if let Some(h) = history.last() {
             println!(
@@ -125,11 +150,11 @@ fn main() -> ExitCode {
             );
         }
         let doc = perf_report_json(&cases, &history).render();
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).expect("create results dir");
-        }
-        std::fs::write(&path, doc).expect("write baseline");
-        println!("wrote {}", path.display());
+        let path = match &opts.out {
+            Some(dir) => dir.join("perf_baseline.json"),
+            None => committed,
+        };
+        write_report(&path, &doc);
         ExitCode::SUCCESS
     }
 }

@@ -2,10 +2,13 @@
 //! concurrently and writes deterministic JSON into `results/`.
 //!
 //! ```text
-//! cargo run --release -p wisync-bench --bin sweep -- [--seed N] [--threads N] [--quick]
+//! cargo run --release -p wisync-bench --bin sweep -- [--seed N] [--threads N] [--quick] [--out DIR]
 //! cargo run --release -p wisync-bench --bin sweep -- --profile fig9/FIFO_w64
 //!                        # additionally profile one grid job (writes results/obs_profile_<job>.json)
 //! ```
+//!
+//! `--out DIR` redirects every written file from `results/` to `DIR`,
+//! so CI can regenerate and diff without mutating the committed tree.
 //!
 //! Each experiment configuration (a figure row, a table cell) is one job
 //! on a `wisync-testkit` sweep pool. Jobs receive seeds derived from the
@@ -30,6 +33,10 @@ struct Options {
     quick: bool,
     stats: bool,
     profile: Option<String>,
+    /// Output directory for the rendered JSON (default `results/`), so
+    /// CI smoke runs can regenerate-and-compare without mutating the
+    /// committed tree.
+    out: String,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +46,7 @@ fn parse_args() -> Options {
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
         stats: false,
         profile: None,
+        out: "results".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,8 +62,9 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--stats" => opts.stats = true,
             "--profile" => opts.profile = Some(args.next().expect("--profile takes a job name")),
+            "--out" => opts.out = args.next().expect("--out takes a directory"),
             other => panic!(
-                "unknown argument {other:?} (try --seed/--threads/--quick/--stats/--profile)"
+                "unknown argument {other:?} (try --seed/--threads/--quick/--stats/--profile/--out)"
             ),
         }
     }
@@ -295,7 +304,7 @@ fn main() {
         by_figure.insert("table5".to_string(), rows);
     }
 
-    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
     for (figure, rows) in by_figure {
         let report = Json::obj([
             ("figure", Json::Str(figure.clone())),
@@ -303,7 +312,7 @@ fn main() {
             ("quick", Json::Bool(opts.quick)),
             ("rows", Json::Arr(rows)),
         ]);
-        let path = format!("results/{figure}.json");
+        let path = format!("{}/{figure}.json", opts.out);
         std::fs::write(&path, report.render()).expect("write figure json");
         println!("wrote {path}");
     }
@@ -314,7 +323,7 @@ fn main() {
         let p = wisync_bench::report::profile_grid_job(job, opts.quick)
             .unwrap_or_else(|e| panic!("--profile: {e}"));
         eprint!("{}", p.render_text());
-        let path = format!("results/obs_profile_{}.json", job.replace('/', "_"));
+        let path = format!("{}/obs_profile_{}.json", opts.out, job.replace('/', "_"));
         std::fs::write(&path, p.profile.render()).expect("write profile json");
         println!("wrote {path}");
     }

@@ -7,11 +7,13 @@
 //! application-mix — and reports events/second and simulated
 //! cycles/second alongside raw wall time. The numbers land in
 //! `results/perf_baseline.json` (rendered with the deterministic
-//! `wisync-testkit` JSON writer) so CI can catch gross engine
-//! regressions: the `--check` mode of the `perf` binary fails only when
-//! a case's wall time regresses by more than [`CHECK_FACTOR`] versus
-//! the committed baseline, which is generous enough to absorb host and
-//! scheduler noise but not an accidental O(n log n) → O(n²) slip.
+//! `wisync-testkit` JSON writer) so CI can catch engine regressions:
+//! the `--check` mode of the `perf` binary compares the fresh suite's
+//! geomean `events_per_sec` against the geomean of the committed
+//! baseline's `history` series and fails on a drop of more than
+//! [`TREND_DROP_PCT`] percent — trend-aware (the floor rises as the
+//! engine gets faster and the history re-centers) where the old
+//! fixed-factor wall-time gate was not.
 //!
 //! Simulated-cycle and event counts are deterministic (the same per-rep
 //! invariant the determinism regression test checks); only wall time
@@ -21,12 +23,15 @@ use std::time::Instant;
 
 use wisync_core::{Machine, MachineConfig};
 use wisync_testkit::Json;
-use wisync_workloads::{AppProfile, AppWorkload, CasKernel, CasKind, TightLoop};
+use wisync_workloads::{AppProfile, AppWorkload, CasKernel, CasKind, Livermore, TightLoop};
 
 use crate::BUDGET;
 
-/// Wall-time regression factor tolerated by `perf --check`.
-pub const CHECK_FACTOR: u64 = 5;
+/// Maximum tolerated drop of a fresh suite geomean below the committed
+/// history geomean, percent. `perf --check` fails beyond this: wide
+/// enough to absorb host and scheduler noise on a shared runner, narrow
+/// enough to catch a real engine regression before it compounds.
+pub const TREND_DROP_PCT: f64 = 30.0;
 
 /// Throughput measurement for one workload class.
 #[derive(Clone, Debug)]
@@ -132,6 +137,23 @@ pub fn run_perf_suite(reps: u32) -> Vec<PerfCase> {
     cases.push(measure("cas/fifo_baseline_32c", reps, || {
         let mut m = Machine::new(MachineConfig::baseline(32));
         fifo.run_throughput(&mut m, BUDGET);
+        m
+    }));
+
+    // Compute-heavy: Livermore loop 3 (inner product) spends most of
+    // its simulated time in straight-line ALU/load runs between
+    // reductions — the profile the decode-once micro-op interpreter
+    // accelerates most, tracked on both architectures.
+    cases.push(measure("compute/livermore3_wisync_16c", reps, || {
+        let mut m = Machine::new(MachineConfig::wisync(16));
+        Livermore::loop3(4096, 8).load(&mut m);
+        m.run(BUDGET);
+        m
+    }));
+    cases.push(measure("compute/livermore3_baseline_16c", reps, || {
+        let mut m = Machine::new(MachineConfig::baseline(16));
+        Livermore::loop3(4096, 8).load(&mut m);
+        m.run(BUDGET);
         m
     }));
 
@@ -296,24 +318,37 @@ pub fn parse_baseline_wall_ns(text: &str) -> Vec<(String, u64)> {
     out
 }
 
-/// Compares freshly measured cases against a committed baseline
-/// document. Returns an error line per case whose wall time regressed
-/// by more than [`CHECK_FACTOR`]; cases present on only one side are
-/// ignored (the suite may grow between PRs).
-pub fn check_against_baseline(cases: &[PerfCase], baseline_text: &str) -> Vec<String> {
-    let baseline = parse_baseline_wall_ns(baseline_text);
-    let mut failures = Vec::new();
-    for case in cases {
-        if let Some((_, base_ns)) = baseline.iter().find(|(n, _)| *n == case.name) {
-            if case.wall_ns > base_ns.saturating_mul(CHECK_FACTOR) {
-                failures.push(format!(
-                    "{}: {} ns vs baseline {} ns (> {}x regression)",
-                    case.name, case.wall_ns, base_ns, CHECK_FACTOR
-                ));
-            }
-        }
+/// Trend-aware regression gate: compares the fresh suite's geomean
+/// `events_per_sec` against the geomean of the committed baseline's
+/// history series. Returns a one-line verdict on success; an error line
+/// when the fresh geomean drops more than [`TREND_DROP_PCT`] percent
+/// below the history geomean (or the baseline has no history to gate
+/// against).
+///
+/// Gating on the whole-suite geomean rather than per-case wall times
+/// makes the check robust to the suite growing between PRs and to
+/// single-case noise, while still catching an engine-wide slip.
+pub fn check_against_history(cases: &[PerfCase], baseline_text: &str) -> Result<String, String> {
+    let history = parse_history(baseline_text);
+    if history.is_empty() {
+        return Err(
+            "committed baseline has no history; run `perf` (no --check) to record one".to_string(),
+        );
     }
-    failures
+    let log_sum: f64 = history.iter().map(|h| h.geomean_events_per_sec.ln()).sum();
+    let hist_geo = (log_sum / history.len() as f64).exp();
+    let fresh = geomean_events_per_sec(cases);
+    let floor = hist_geo * (1.0 - TREND_DROP_PCT / 100.0);
+    let line = format!(
+        "suite geomean {fresh:.0} events/s vs history geomean {hist_geo:.0} over {} runs \
+         (floor {floor:.0}, {TREND_DROP_PCT}% drop tolerated)",
+        history.len()
+    );
+    if fresh < floor {
+        Err(line)
+    } else {
+        Ok(line)
+    }
 }
 
 #[cfg(test)]
@@ -390,18 +425,30 @@ mod tests {
     }
 
     #[test]
-    fn check_flags_only_gross_regressions() {
-        let baseline =
-            perf_report_json(&[fake_case("a/b", 100), fake_case("c/d", 100)], &[]).render();
-        // 4x slower passes, 6x slower fails, unknown cases are ignored.
-        let now = vec![
-            fake_case("a/b", 400),
-            fake_case("c/d", 600),
-            fake_case("new/case", 1),
+    fn trend_check_tolerates_noise_but_flags_real_drops() {
+        // History: one run at 2_000 events/s geomean (the fake cases).
+        let cases = vec![fake_case("a/b", 1_000_000_000)];
+        let history = extend_history(None, &cases, None);
+        let baseline = perf_report_json(&cases, &history).render();
+        // Same speed: passes. 25% slower: within tolerance. 50% slower:
+        // fails. A grown suite still gates on its own geomean.
+        assert!(check_against_history(&cases, &baseline).is_ok());
+        let slower_25 = vec![fake_case("a/b", 1_333_000_000)];
+        assert!(check_against_history(&slower_25, &baseline).is_ok());
+        let slower_50 = vec![fake_case("a/b", 2_000_000_000)];
+        assert!(check_against_history(&slower_50, &baseline).is_err());
+        let grown = vec![
+            fake_case("a/b", 1_000_000_000),
+            fake_case("new/case", 1_000_000_000),
         ];
-        let failures = check_against_baseline(&now, &baseline);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].starts_with("c/d:"));
+        assert!(check_against_history(&grown, &baseline).is_ok());
+    }
+
+    #[test]
+    fn trend_check_requires_history() {
+        let cases = vec![fake_case("a/b", 100)];
+        let no_history = perf_report_json(&cases, &[]).render();
+        assert!(check_against_history(&cases, &no_history).is_err());
     }
 
     #[test]

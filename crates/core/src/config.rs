@@ -25,6 +25,50 @@ pub enum BmConsistency {
     Tso,
 }
 
+/// Which core-stepping interpreter [`crate::Machine`] uses.
+///
+/// Both modes produce byte-identical machine state, stats, and obs
+/// attributions — the differential tests in `wisync-core` and
+/// `wisync-bench` enforce this. The micro-op path is the default; the
+/// reference path is the executable specification, kept for
+/// differential testing and debugging.
+///
+/// The `WISYNC_EXEC` environment variable (`uop` or `reference`/`ref`)
+/// selects the default for configurations built through the named
+/// constructors, so whole binaries (sweeps, perf runs) can be A/B'd
+/// without code changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Decode programs to micro-ops at load; execute straight-line runs
+    /// in a tight loop and yield to the event wheel only at boundaries.
+    #[default]
+    Uop,
+    /// The original per-`Instr` interpreter.
+    Reference,
+}
+
+impl ExecMode {
+    /// The mode selected by the `WISYNC_EXEC` environment variable, or
+    /// [`ExecMode::Uop`] when unset or unrecognized.
+    pub fn from_env() -> Self {
+        match std::env::var("WISYNC_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") || v.eq_ignore_ascii_case("ref") => {
+                ExecMode::Reference
+            }
+            _ => ExecMode::Uop,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Uop => f.write_str("uop"),
+            ExecMode::Reference => f.write_str("reference"),
+        }
+    }
+}
+
 /// Which of the paper's four architectures to build (Table 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MachineKind {
@@ -115,6 +159,8 @@ pub struct MachineConfig {
     pub bm_consistency: BmConsistency,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
+    /// Core-stepping interpreter (timing-neutral; see [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 impl MachineConfig {
@@ -135,6 +181,7 @@ impl MachineConfig {
             tone_table_capacity: 16,
             bm_consistency: BmConsistency::Sc,
             seed: 0xA5ED,
+            exec: ExecMode::from_env(),
         }
     }
 
@@ -199,6 +246,12 @@ impl MachineConfig {
         self.seed = seed;
         self
     }
+
+    /// Overrides the core-stepping interpreter (see [`ExecMode`]).
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +297,25 @@ mod tests {
             MachineConfig::wisync(16).with_tso().bm_consistency,
             BmConsistency::Tso
         );
+    }
+
+    #[test]
+    fn exec_mode_selection() {
+        // The environment default is Uop in a clean test environment;
+        // the builder overrides it explicitly either way.
+        assert_eq!(
+            MachineConfig::wisync(16)
+                .with_exec(ExecMode::Reference)
+                .exec,
+            ExecMode::Reference
+        );
+        assert_eq!(
+            MachineConfig::wisync(16).with_exec(ExecMode::Uop).exec,
+            ExecMode::Uop
+        );
+        assert_eq!(ExecMode::Uop.to_string(), "uop");
+        assert_eq!(ExecMode::Reference.to_string(), "reference");
+        assert_eq!(ExecMode::default(), ExecMode::Uop);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod stats;
 pub mod trace;
 
 pub use bm::{BmError, BroadcastMemory, Pid};
-pub use config::{BmConsistency, MachineConfig, MachineKind};
+pub use config::{BmConsistency, ExecMode, MachineConfig, MachineKind};
 pub use machine::{Machine, RunOutcome, RunReport, ScheduleError, ThreadImage, WirelessMsg};
 pub use stats::MachineStats;
 pub use trace::{ChromeTrace, Trace, TraceEvent, TraceSink};

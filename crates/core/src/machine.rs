@@ -9,7 +9,8 @@
 //! into events.
 
 use wisync_fault::{FaultPlan, FaultRecord, FaultState, RxOutcome, ToneOutcome};
-use wisync_isa::{Cond, Instr, Program, Reg, RmwSpec, Space};
+use wisync_isa::uop::Uop;
+use wisync_isa::{Cond, DecodedProgram, Instr, Program, Reg, RmwSpec, Space};
 use wisync_mem::{MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId, NodeSet};
 use wisync_obs::{Bucket, ObsConfig, ObsState, Timeline};
@@ -17,11 +18,14 @@ use wisync_sim::{Cycle, DetRng, EventQueue};
 use wisync_wireless::{DataChannel, Resolution, ToneChannel, TxLen, TxToken};
 
 use crate::bm::{BmError, BroadcastMemory, Pid};
-use crate::config::{BmConsistency, MachineConfig};
+use crate::config::{BmConsistency, ExecMode, MachineConfig};
 use crate::stats::MachineStats;
 use crate::trace::{Trace, TraceEvent, TraceSink};
 
-/// Maximum ALU instructions executed in one event before yielding.
+/// Maximum inline (ALU/branch) instructions retired in one event before
+/// yielding back to the wheel — the safety valve that keeps a pure-ALU
+/// loop from starving the event loop. Both interpreters enforce it with
+/// identical accounting, so the event schedule is mode-independent.
 const MAX_BATCH: u64 = 1024;
 
 /// Messages carried on the wireless Data channel.
@@ -79,7 +83,7 @@ struct TxFrame {
     attempt: u32,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum Event {
     /// Core continues execution at its current pc.
     Resume(usize),
@@ -88,8 +92,12 @@ enum Event {
     WaitCheck(usize),
     /// Resolve the given Data channel's slot at this event's cycle.
     ChannelResolve(usize),
-    /// Chip-wide delivery of a wireless message.
-    Deliver(TxFrame),
+    /// Chip-wide delivery of a wireless message. Boxed to keep `Event`
+    /// small: the queue moves events by value on every push/pop, and
+    /// `Resume` — the overwhelmingly common event — should not pay for
+    /// the full frame's width. One allocation per wireless transfer is
+    /// noise next to the transfer's ~100-cycle simulation.
+    Deliver(Box<TxFrame>),
     /// A tone barrier observed silence: release it.
     ToneComplete { phys: usize },
     /// A core's delayed observation of a tone completion (fault
@@ -141,6 +149,9 @@ struct WaitInfo {
 struct Core {
     pid: Pid,
     program: Option<Program>,
+    /// The program lowered to micro-ops at load time (same indices as
+    /// `program`; see `wisync_isa::uop`). Present whenever `program` is.
+    decoded: Option<DecodedProgram>,
     pc: usize,
     regs: [u64; wisync_isa::instr::NUM_REGS],
     status: CoreStatus,
@@ -177,6 +188,7 @@ impl Core {
         Core {
             pid: Pid(0),
             program: None,
+            decoded: None,
             pc: 0,
             regs: [0; wisync_isa::instr::NUM_REGS],
             status: CoreStatus::Idle,
@@ -375,7 +387,10 @@ impl Machine {
             data,
             tone: ToneChannel::new(config.tone_table_capacity),
             cores: (0..config.cores).map(|_| Core::new()).collect(),
-            queue: EventQueue::new(),
+            // Lockstep phases park one Resume per core on a single
+            // cycle, so size each wheel slot for a full core set up
+            // front rather than growing every slot mid-run.
+            queue: EventQueue::with_slot_capacity(config.cores.next_power_of_two()),
             bm_waiters: vec![Vec::new(); config.bm_entries],
             tone_init: vec![ToneInitPending::default(); config.bm_entries],
             rng: DetRng::new(config.seed ^ 0xB0FF_0FF5),
@@ -643,9 +658,11 @@ impl Machine {
     ///
     /// Panics if the core index is out of range.
     pub fn load_program(&mut self, core: usize, pid: Pid, program: Program) {
+        let decoded = DecodedProgram::decode(&program);
         let c = &mut self.cores[core];
         c.pid = pid;
         c.program = Some(program);
+        c.decoded = Some(decoded);
         c.pc = 0;
         c.status = CoreStatus::Running;
         c.finish = None;
@@ -733,6 +750,7 @@ impl Machine {
             afb: c.afb,
             origin_core: core,
         };
+        c.decoded = None;
         c.status = CoreStatus::Idle;
         c.afb = false;
         c.wait = None;
@@ -764,9 +782,11 @@ impl Machine {
                 target,
             });
         }
+        let decoded = DecodedProgram::decode(&image.program);
         let c = &mut self.cores[target];
         c.pid = image.pid;
         c.program = Some(image.program);
+        c.decoded = Some(decoded);
         c.pc = image.pc;
         c.regs = image.regs;
         c.afb = image.afb;
@@ -937,7 +957,8 @@ impl Machine {
                             o.timeline.transfer(now, busy);
                             o.addr.transfer(message.msg.phys(), busy);
                         }
-                        self.queue.push(complete_at, Event::Deliver(message));
+                        self.queue
+                            .push(complete_at, Event::Deliver(Box::new(message)));
                     }
                     Resolution::Collision {
                         retry_slots,
@@ -985,7 +1006,7 @@ impl Machine {
                     }
                 }
             }
-            Event::Deliver(frame) => self.deliver(frame),
+            Event::Deliver(frame) => self.deliver(*frame),
             Event::ToneComplete { phys } => self.tone_complete(phys),
             Event::ToneObserve { core, phys } => self.tone_observe_late(core, phys),
             Event::FaultAudit => self.fault_audit(),
@@ -1017,8 +1038,196 @@ impl Machine {
     }
 
     /// Executes instructions for `core` starting at the current time,
-    /// until a blocking operation or the ALU batch limit.
+    /// until a run boundary or the inline batch limit, via the
+    /// configured interpreter. Both modes retire the same instructions
+    /// at the same cycles and schedule identical events —
+    /// [`ExecMode::Uop`] just does it without per-instruction decode.
     fn advance_core(&mut self, core: usize) {
+        match self.config.exec {
+            ExecMode::Uop => self.advance_core_uop(core),
+            ExecMode::Reference => self.advance_core_ref(core),
+        }
+    }
+
+    /// Micro-op fast path: walks the core's pre-decoded program in a
+    /// tight loop that touches only the register file and the program
+    /// counter, then settles time and stats in bulk at the run boundary
+    /// (or at the batch cap). During the inline prefix of a run no other
+    /// machine state can change — boundaries are where events, stores,
+    /// and deliveries act — so AFB/WCB are captured once at entry.
+    fn advance_core_uop(&mut self, core: usize) {
+        self.obs_sync(core);
+        // Move (not clone) the decoded program out so the borrow checker
+        // lets the loop hold `&[Uop]` alongside `&mut` register state.
+        let decoded = self.cores[core]
+            .decoded
+            .take()
+            .expect("running core has a decoded program");
+        let uops = decoded.uops();
+        let c = &mut self.cores[core];
+        let afb = c.afb as u64;
+        let wcb = c.store_buffer.is_none() as u64;
+        let regs = &mut c.regs;
+        let mut pc = c.pc;
+        let mut n = 0u64;
+        /// How the inline loop ended: at the batch cap, at a specialized
+        /// cached load/store (handled lean, without refetching the
+        /// original [`Instr`]), or at a generic boundary.
+        enum End {
+            Cap,
+            Ld { dst: u8, base: u8, offset: u32 },
+            St { src: u8, base: u8, offset: u32 },
+            Boundary,
+        }
+        // Register indices are validated `< 32` at program build; the
+        // `& 31` lets the optimizer drop the bounds checks.
+        let end = loop {
+            match uops[pc] {
+                Uop::Add { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        regs[(a & 31) as usize].wrapping_add(regs[(b & 31) as usize]);
+                    pc += 1;
+                }
+                Uop::Sub { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        regs[(a & 31) as usize].wrapping_sub(regs[(b & 31) as usize]);
+                    pc += 1;
+                }
+                Uop::Mul { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        regs[(a & 31) as usize].wrapping_mul(regs[(b & 31) as usize]);
+                    pc += 1;
+                }
+                Uop::And { dst, a, b } => {
+                    regs[(dst & 31) as usize] = regs[(a & 31) as usize] & regs[(b & 31) as usize];
+                    pc += 1;
+                }
+                Uop::Or { dst, a, b } => {
+                    regs[(dst & 31) as usize] = regs[(a & 31) as usize] | regs[(b & 31) as usize];
+                    pc += 1;
+                }
+                Uop::Xor { dst, a, b } => {
+                    regs[(dst & 31) as usize] = regs[(a & 31) as usize] ^ regs[(b & 31) as usize];
+                    pc += 1;
+                }
+                Uop::Shl { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        regs[(a & 31) as usize] << (regs[(b & 31) as usize] & 63);
+                    pc += 1;
+                }
+                Uop::Shr { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        regs[(a & 31) as usize] >> (regs[(b & 31) as usize] & 63);
+                    pc += 1;
+                }
+                Uop::CmpEq { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        (regs[(a & 31) as usize] == regs[(b & 31) as usize]) as u64;
+                    pc += 1;
+                }
+                Uop::CmpLt { dst, a, b } => {
+                    regs[(dst & 31) as usize] =
+                        (regs[(a & 31) as usize] < regs[(b & 31) as usize]) as u64;
+                    pc += 1;
+                }
+                Uop::Li { dst, imm } => {
+                    regs[(dst & 31) as usize] = imm;
+                    pc += 1;
+                }
+                Uop::Addi { dst, a, imm } => {
+                    regs[(dst & 31) as usize] = regs[(a & 31) as usize].wrapping_add(imm);
+                    pc += 1;
+                }
+                Uop::Mov { dst, src } => {
+                    regs[(dst & 31) as usize] = regs[(src & 31) as usize];
+                    pc += 1;
+                }
+                Uop::Jump { target } => pc = target as usize,
+                Uop::Beqz { cond, target } => {
+                    pc = if regs[(cond & 31) as usize] == 0 {
+                        target as usize
+                    } else {
+                        pc + 1
+                    };
+                }
+                Uop::Bnez { cond, target } => {
+                    pc = if regs[(cond & 31) as usize] != 0 {
+                        target as usize
+                    } else {
+                        pc + 1
+                    };
+                }
+                Uop::ReadAfb { dst } => {
+                    regs[(dst & 31) as usize] = afb;
+                    pc += 1;
+                }
+                Uop::ReadWcb { dst } => {
+                    regs[(dst & 31) as usize] = wcb;
+                    pc += 1;
+                }
+                Uop::LdCached { dst, base, offset } => break End::Ld { dst, base, offset },
+                Uop::StCached { src, base, offset } => break End::St { src, base, offset },
+                Uop::Boundary(_) => break End::Boundary,
+            }
+            n += 1;
+            if n >= MAX_BATCH {
+                break End::Cap;
+            }
+        };
+        c.pc = pc;
+        self.cores[core].decoded = Some(decoded);
+        self.stats.instructions += n;
+        let t = self.now + n;
+        match end {
+            End::Cap => self.yield_core(core, t),
+            // Specialized cached load/store: the dominant boundary in
+            // compute-heavy profiles, executed here without refetching
+            // and re-matching the original `Instr`. Must mirror the
+            // `Space::Cached` arms of `exec_boundary` exactly.
+            End::Ld { dst, base, offset } => {
+                self.stats.instructions += 1;
+                let addr = self.cores[core].regs[(base & 31) as usize].wrapping_add(offset as u64);
+                let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
+                // The value is read when the line arrives.
+                self.cores[core].pending_load = Some((Reg(dst), addr));
+                self.cores[core].pc = pc + 1;
+                self.obs_op(core, t, o.complete_at, Bucket::MemStall);
+                self.block_until(core, o.complete_at);
+            }
+            End::St { src, base, offset } => {
+                self.stats.instructions += 1;
+                let c = &self.cores[core];
+                let addr = c.regs[(base & 31) as usize].wrapping_add(offset as u64);
+                let value = c.regs[(src & 31) as usize];
+                let o = self
+                    .mem
+                    .access(self.node(core), addr, MemOp::Store(value), t);
+                for (w, at) in &o.woken {
+                    self.queue.push(*at, Event::Resume(w.as_usize()));
+                }
+                self.cores[core].pc = pc + 1;
+                self.obs_op(core, t, o.complete_at, Bucket::MemStall);
+                self.block_until(core, o.complete_at);
+            }
+            End::Boundary => {
+                // Any other boundary instruction executes through the
+                // event-driven path, refetched from the original
+                // instruction stream.
+                self.stats.instructions += 1;
+                let instr = self.cores[core]
+                    .program
+                    .as_ref()
+                    .expect("running core has a program")
+                    .fetch(pc);
+                self.exec_boundary(core, instr, pc, t);
+            }
+        }
+    }
+
+    /// Reference interpreter: per-`Instr` decode and dispatch, kept as
+    /// the executable specification the micro-op path is differentially
+    /// tested against.
+    fn advance_core_ref(&mut self, core: usize) {
         self.obs_sync(core);
         let mut t = self.now;
         let mut batched = 0u64;
@@ -1096,272 +1305,9 @@ impl Machine {
                     continue;
                 }
 
-                // --- Blocking operations ----------------------------------
-                Instr::Compute { cycles } => {
-                    self.stats.instructions += cycles.saturating_sub(1);
-                    self.cores[core].pc = pc + 1;
-                    let end = t + cycles.max(1);
-                    self.obs_op(core, t, end, Bucket::Compute);
-                    self.block_until(core, end);
-                    return;
-                }
-                Instr::Ld {
-                    dst,
-                    base,
-                    offset,
-                    space,
-                } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    match space {
-                        Space::Cached => {
-                            let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
-                            // The value is read when the line arrives.
-                            self.cores[core].pending_load = Some((dst, addr));
-                            self.cores[core].pc = pc + 1;
-                            self.obs_op(core, t, o.complete_at, Bucket::MemStall);
-                            self.block_until(core, o.complete_at);
-                        }
-                        Space::Bm => match self.bm_translate(core, addr) {
-                            Ok(phys) => {
-                                // TSO store forwarding: a load to the
-                                // address of the in-flight store reads
-                                // the buffered value (§4.2.1).
-                                let v = match self.cores[core].store_buffer {
-                                    Some((p, val)) if p == phys => val,
-                                    _ => self.bm_read(core, phys),
-                                };
-                                regs!(dst) = v;
-                                self.stats.bm_loads += 1;
-                                self.obs_timeline(|tl| tl.bm_load(t, 1));
-                                self.cores[core].pc = pc + 1;
-                                let end = t + self.config.bm_rt;
-                                self.obs_op(core, t, end, Bucket::MemStall);
-                                self.block_until(core, end);
-                            }
-                            Err(e) => self.fault(core, e.to_string()),
-                        },
-                    }
-                    return;
-                }
-                Instr::St {
-                    src,
-                    base,
-                    offset,
-                    space,
-                } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    let value = regs!(src);
-                    match space {
-                        Space::Cached => {
-                            let o = self
-                                .mem
-                                .access(self.node(core), addr, MemOp::Store(value), t);
-                            for (w, at) in &o.woken {
-                                self.queue.push(*at, Event::Resume(w.as_usize()));
-                            }
-                            self.cores[core].pc = pc + 1;
-                            self.obs_op(core, t, o.complete_at, Bucket::MemStall);
-                            self.block_until(core, o.complete_at);
-                        }
-                        Space::Bm => match self.bm_translate(core, addr) {
-                            Ok(phys) => {
-                                if self.cores[core].store_buffer.is_some() {
-                                    // Depth-1 store buffer: drain first,
-                                    // then re-execute this store.
-                                    self.cores[core].drain_block = true;
-                                    self.cores[core].status = CoreStatus::Blocked;
-                                    self.obs_stall(core, t, Bucket::ChannelWait);
-                                    return;
-                                }
-                                self.stats.bm_stores += 1;
-                                self.obs_timeline(|tl| tl.bm_store(t, 1));
-                                self.request_tx(
-                                    core,
-                                    TxLen::Normal,
-                                    WirelessMsg::BmWrite { phys, value, core },
-                                    t + 1,
-                                );
-                                self.cores[core].pc = pc + 1;
-                                match self.config.bm_consistency {
-                                    BmConsistency::Sc => {
-                                        self.cores[core].drain_block = true;
-                                        self.cores[core].status = CoreStatus::Blocked;
-                                        self.cores[core].store_buffer = Some((phys, value));
-                                        self.obs_stall(core, t, Bucket::ChannelWait);
-                                        return;
-                                    }
-                                    BmConsistency::Tso => {
-                                        // Continue past the store.
-                                        self.cores[core].store_buffer = Some((phys, value));
-                                        self.obs_op(core, t, t + 1, Bucket::Compute);
-                                        self.block_until(core, t + 1);
-                                        return;
-                                    }
-                                }
-                            }
-                            Err(e) => self.fault(core, e.to_string()),
-                        },
-                    }
-                    return;
-                }
-                Instr::Rmw {
-                    kind,
-                    dst,
-                    base,
-                    offset,
-                    space,
-                } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    match space {
-                        Space::Cached => {
-                            let rk = self.rmw_kind(core, kind);
-                            self.stats.note_rmw_attempt(kind);
-                            let o = self.mem.access(self.node(core), addr, MemOp::Rmw(rk), t);
-                            if o.rmw_success {
-                                self.stats.note_rmw_success(kind);
-                            }
-                            regs!(dst) = o.value;
-                            for (w, at) in &o.woken {
-                                self.queue.push(*at, Event::Resume(w.as_usize()));
-                            }
-                            self.cores[core].pc = pc + 1;
-                            self.obs_op(core, t, o.complete_at, Bucket::MemStall);
-                            self.block_until(core, o.complete_at);
-                        }
-                        Space::Bm => {
-                            self.exec_bm_rmw(core, kind, dst, addr, t);
-                        }
-                    }
-                    return;
-                }
-                Instr::BulkLd { dst, base, offset } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    match self.bm_translate_run(core, addr, 4) {
-                        Ok(phys) => {
-                            for k in 0..4usize {
-                                let v = self.bm_read(core, phys + k);
-                                self.cores[core].regs[dst.0 as usize + k] = v;
-                            }
-                            self.stats.bm_loads += 4;
-                            self.obs_timeline(|tl| tl.bm_load(t, 4));
-                            self.cores[core].pc = pc + 1;
-                            // Four pipelined local reads.
-                            let end = t + self.config.bm_rt + 3;
-                            self.obs_op(core, t, end, Bucket::MemStall);
-                            self.block_until(core, end);
-                        }
-                        Err(e) => self.fault(core, e.to_string()),
-                    }
-                    return;
-                }
-                Instr::BulkSt { src, base, offset } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    if self.cores[core].store_buffer.is_some() {
-                        self.cores[core].drain_block = true;
-                        self.cores[core].status = CoreStatus::Blocked;
-                        self.obs_stall(core, t, Bucket::ChannelWait);
-                        return;
-                    }
-                    match self.bm_translate_run(core, addr, 4) {
-                        Ok(phys) => {
-                            let mut values = [0u64; 4];
-                            for (k, v) in values.iter_mut().enumerate() {
-                                *v = self.cores[core].regs[src.0 as usize + k];
-                            }
-                            self.stats.bm_stores += 4;
-                            self.obs_timeline(|tl| tl.bm_store(t, 4));
-                            self.request_tx(
-                                core,
-                                TxLen::Bulk,
-                                WirelessMsg::Bulk { phys, values, core },
-                                t + 1,
-                            );
-                            self.cores[core].pc = pc + 1;
-                            // Bulk transfers are uninterruptible (§4.3.4):
-                            // they block the core under both models.
-                            self.cores[core].drain_block = true;
-                            self.cores[core].status = CoreStatus::Blocked;
-                            self.obs_stall(core, t, Bucket::ChannelWait);
-                        }
-                        Err(e) => self.fault(core, e.to_string()),
-                    }
-                    return;
-                }
-                Instr::ToneSt { base, offset } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    self.exec_tone_st(core, addr, t);
-                    return;
-                }
-                Instr::ToneLd { dst, base, offset } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    match self.bm_translate(core, addr) {
-                        Ok(phys) => {
-                            let v = self.bm_read(core, phys);
-                            regs!(dst) = v;
-                            self.cores[core].pc = pc + 1;
-                            let end = t + self.config.bm_rt;
-                            self.obs_op(core, t, end, Bucket::MemStall);
-                            self.block_until(core, end);
-                        }
-                        Err(e) => self.fault(core, e.to_string()),
-                    }
-                    return;
-                }
-                Instr::WaitWhile {
-                    cond,
-                    base,
-                    offset,
-                    value,
-                    space,
-                } => {
-                    let addr = regs!(base).wrapping_add(offset);
-                    let v = regs!(value);
-                    match space {
-                        Space::Cached => {
-                            // Timed (possibly contended) load; the value is
-                            // re-checked at completion.
-                            let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
-                            self.cores[core].wait = Some(WaitInfo {
-                                cond,
-                                space,
-                                loc: addr,
-                                value: v,
-                            });
-                            self.cores[core].status = CoreStatus::Blocked;
-                            self.obs_stall(core, t, Bucket::BarrierWait);
-                            self.queue.push(o.complete_at, Event::WaitCheck(core));
-                        }
-                        Space::Bm => match self.bm_translate(core, addr) {
-                            Ok(phys) => {
-                                self.cores[core].wait = Some(WaitInfo {
-                                    cond,
-                                    space,
-                                    loc: phys as u64,
-                                    value: v,
-                                });
-                                self.cores[core].status = CoreStatus::Blocked;
-                                self.obs_stall(core, t, Bucket::BarrierWait);
-                                self.queue
-                                    .push(t + self.config.bm_rt, Event::WaitCheck(core));
-                            }
-                            Err(e) => self.fault(core, e.to_string()),
-                        },
-                    }
-                    return;
-                }
-                Instr::Halt => {
-                    if self.cores[core].store_buffer.is_some() {
-                        // Retire only after the outstanding BM store
-                        // performs (its effects must be globally visible).
-                        self.cores[core].drain_block = true;
-                        self.cores[core].status = CoreStatus::Blocked;
-                        self.obs_stall(core, t, Bucket::ChannelWait);
-                        return;
-                    }
-                    self.cores[core].status = CoreStatus::Halted;
-                    self.cores[core].finish = Some(t);
-                    self.obs_stall(core, t, Bucket::Idle);
-                    self.record(TraceEvent::Halted { at: t, core });
+                // --- Run boundaries: event-driven path --------------------
+                other => {
+                    self.exec_boundary(core, other, pc, t);
                     return;
                 }
             }
@@ -1373,6 +1319,277 @@ impl Machine {
                 self.yield_core(core, t);
                 return;
             }
+        }
+    }
+
+    /// Executes the run-boundary instruction `instr` — the one at `pc`,
+    /// reached at time `t` after the run's inline prefix — through the
+    /// event-driven path. Shared by both interpreters. The caller has
+    /// already counted the instruction itself in `stats.instructions`;
+    /// only `Compute`'s bulk-cycle surcharge is added here.
+    fn exec_boundary(&mut self, core: usize, instr: Instr, pc: usize, t: Cycle) {
+        macro_rules! regs {
+            ($r:expr) => {
+                self.cores[core].regs[$r.0 as usize]
+            };
+        }
+        match instr {
+            Instr::Compute { cycles } => {
+                self.stats.instructions += cycles.saturating_sub(1);
+                self.cores[core].pc = pc + 1;
+                let end = t + cycles.max(1);
+                self.obs_op(core, t, end, Bucket::Compute);
+                self.block_until(core, end);
+            }
+            Instr::Ld {
+                dst,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = regs!(base).wrapping_add(offset);
+                match space {
+                    Space::Cached => {
+                        let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
+                        // The value is read when the line arrives.
+                        self.cores[core].pending_load = Some((dst, addr));
+                        self.cores[core].pc = pc + 1;
+                        self.obs_op(core, t, o.complete_at, Bucket::MemStall);
+                        self.block_until(core, o.complete_at);
+                    }
+                    Space::Bm => match self.bm_translate(core, addr) {
+                        Ok(phys) => {
+                            // TSO store forwarding: a load to the
+                            // address of the in-flight store reads
+                            // the buffered value (§4.2.1).
+                            let v = match self.cores[core].store_buffer {
+                                Some((p, val)) if p == phys => val,
+                                _ => self.bm_read(core, phys),
+                            };
+                            regs!(dst) = v;
+                            self.stats.bm_loads += 1;
+                            self.obs_timeline(|tl| tl.bm_load(t, 1));
+                            self.cores[core].pc = pc + 1;
+                            let end = t + self.config.bm_rt;
+                            self.obs_op(core, t, end, Bucket::MemStall);
+                            self.block_until(core, end);
+                        }
+                        Err(e) => self.fault(core, e.to_string()),
+                    },
+                }
+            }
+            Instr::St {
+                src,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = regs!(base).wrapping_add(offset);
+                let value = regs!(src);
+                match space {
+                    Space::Cached => {
+                        let o = self
+                            .mem
+                            .access(self.node(core), addr, MemOp::Store(value), t);
+                        for (w, at) in &o.woken {
+                            self.queue.push(*at, Event::Resume(w.as_usize()));
+                        }
+                        self.cores[core].pc = pc + 1;
+                        self.obs_op(core, t, o.complete_at, Bucket::MemStall);
+                        self.block_until(core, o.complete_at);
+                    }
+                    Space::Bm => match self.bm_translate(core, addr) {
+                        Ok(phys) => {
+                            if self.cores[core].store_buffer.is_some() {
+                                // Depth-1 store buffer: drain first,
+                                // then re-execute this store.
+                                self.cores[core].drain_block = true;
+                                self.cores[core].status = CoreStatus::Blocked;
+                                self.obs_stall(core, t, Bucket::ChannelWait);
+                                return;
+                            }
+                            self.stats.bm_stores += 1;
+                            self.obs_timeline(|tl| tl.bm_store(t, 1));
+                            self.request_tx(
+                                core,
+                                TxLen::Normal,
+                                WirelessMsg::BmWrite { phys, value, core },
+                                t + 1,
+                            );
+                            self.cores[core].pc = pc + 1;
+                            match self.config.bm_consistency {
+                                BmConsistency::Sc => {
+                                    self.cores[core].drain_block = true;
+                                    self.cores[core].status = CoreStatus::Blocked;
+                                    self.cores[core].store_buffer = Some((phys, value));
+                                    self.obs_stall(core, t, Bucket::ChannelWait);
+                                }
+                                BmConsistency::Tso => {
+                                    // Continue past the store.
+                                    self.cores[core].store_buffer = Some((phys, value));
+                                    self.obs_op(core, t, t + 1, Bucket::Compute);
+                                    self.block_until(core, t + 1);
+                                }
+                            }
+                        }
+                        Err(e) => self.fault(core, e.to_string()),
+                    },
+                }
+            }
+            Instr::Rmw {
+                kind,
+                dst,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = regs!(base).wrapping_add(offset);
+                match space {
+                    Space::Cached => {
+                        let rk = self.rmw_kind(core, kind);
+                        self.stats.note_rmw_attempt(kind);
+                        let o = self.mem.access(self.node(core), addr, MemOp::Rmw(rk), t);
+                        if o.rmw_success {
+                            self.stats.note_rmw_success(kind);
+                        }
+                        regs!(dst) = o.value;
+                        for (w, at) in &o.woken {
+                            self.queue.push(*at, Event::Resume(w.as_usize()));
+                        }
+                        self.cores[core].pc = pc + 1;
+                        self.obs_op(core, t, o.complete_at, Bucket::MemStall);
+                        self.block_until(core, o.complete_at);
+                    }
+                    Space::Bm => {
+                        self.exec_bm_rmw(core, kind, dst, addr, t);
+                    }
+                }
+            }
+            Instr::BulkLd { dst, base, offset } => {
+                let addr = regs!(base).wrapping_add(offset);
+                match self.bm_translate_run(core, addr, 4) {
+                    Ok(phys) => {
+                        for k in 0..4usize {
+                            let v = self.bm_read(core, phys + k);
+                            self.cores[core].regs[dst.0 as usize + k] = v;
+                        }
+                        self.stats.bm_loads += 4;
+                        self.obs_timeline(|tl| tl.bm_load(t, 4));
+                        self.cores[core].pc = pc + 1;
+                        // Four pipelined local reads.
+                        let end = t + self.config.bm_rt + 3;
+                        self.obs_op(core, t, end, Bucket::MemStall);
+                        self.block_until(core, end);
+                    }
+                    Err(e) => self.fault(core, e.to_string()),
+                }
+            }
+            Instr::BulkSt { src, base, offset } => {
+                let addr = regs!(base).wrapping_add(offset);
+                if self.cores[core].store_buffer.is_some() {
+                    self.cores[core].drain_block = true;
+                    self.cores[core].status = CoreStatus::Blocked;
+                    self.obs_stall(core, t, Bucket::ChannelWait);
+                    return;
+                }
+                match self.bm_translate_run(core, addr, 4) {
+                    Ok(phys) => {
+                        let mut values = [0u64; 4];
+                        for (k, v) in values.iter_mut().enumerate() {
+                            *v = self.cores[core].regs[src.0 as usize + k];
+                        }
+                        self.stats.bm_stores += 4;
+                        self.obs_timeline(|tl| tl.bm_store(t, 4));
+                        self.request_tx(
+                            core,
+                            TxLen::Bulk,
+                            WirelessMsg::Bulk { phys, values, core },
+                            t + 1,
+                        );
+                        self.cores[core].pc = pc + 1;
+                        // Bulk transfers are uninterruptible (§4.3.4):
+                        // they block the core under both models.
+                        self.cores[core].drain_block = true;
+                        self.cores[core].status = CoreStatus::Blocked;
+                        self.obs_stall(core, t, Bucket::ChannelWait);
+                    }
+                    Err(e) => self.fault(core, e.to_string()),
+                }
+            }
+            Instr::ToneSt { base, offset } => {
+                let addr = regs!(base).wrapping_add(offset);
+                self.exec_tone_st(core, addr, t);
+            }
+            Instr::ToneLd { dst, base, offset } => {
+                let addr = regs!(base).wrapping_add(offset);
+                match self.bm_translate(core, addr) {
+                    Ok(phys) => {
+                        let v = self.bm_read(core, phys);
+                        regs!(dst) = v;
+                        self.cores[core].pc = pc + 1;
+                        let end = t + self.config.bm_rt;
+                        self.obs_op(core, t, end, Bucket::MemStall);
+                        self.block_until(core, end);
+                    }
+                    Err(e) => self.fault(core, e.to_string()),
+                }
+            }
+            Instr::WaitWhile {
+                cond,
+                base,
+                offset,
+                value,
+                space,
+            } => {
+                let addr = regs!(base).wrapping_add(offset);
+                let v = regs!(value);
+                match space {
+                    Space::Cached => {
+                        // Timed (possibly contended) load; the value is
+                        // re-checked at completion.
+                        let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
+                        self.cores[core].wait = Some(WaitInfo {
+                            cond,
+                            space,
+                            loc: addr,
+                            value: v,
+                        });
+                        self.cores[core].status = CoreStatus::Blocked;
+                        self.obs_stall(core, t, Bucket::BarrierWait);
+                        self.queue.push(o.complete_at, Event::WaitCheck(core));
+                    }
+                    Space::Bm => match self.bm_translate(core, addr) {
+                        Ok(phys) => {
+                            self.cores[core].wait = Some(WaitInfo {
+                                cond,
+                                space,
+                                loc: phys as u64,
+                                value: v,
+                            });
+                            self.cores[core].status = CoreStatus::Blocked;
+                            self.obs_stall(core, t, Bucket::BarrierWait);
+                            self.queue
+                                .push(t + self.config.bm_rt, Event::WaitCheck(core));
+                        }
+                        Err(e) => self.fault(core, e.to_string()),
+                    },
+                }
+            }
+            Instr::Halt => {
+                if self.cores[core].store_buffer.is_some() {
+                    // Retire only after the outstanding BM store
+                    // performs (its effects must be globally visible).
+                    self.cores[core].drain_block = true;
+                    self.cores[core].status = CoreStatus::Blocked;
+                    self.obs_stall(core, t, Bucket::ChannelWait);
+                    return;
+                }
+                self.cores[core].status = CoreStatus::Halted;
+                self.cores[core].finish = Some(t);
+                self.obs_stall(core, t, Bucket::Idle);
+                self.record(TraceEvent::Halted { at: t, core });
+            }
+            _ => unreachable!("inline instruction {instr:?} is not a run boundary"),
         }
     }
 

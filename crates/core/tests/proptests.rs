@@ -188,3 +188,150 @@ fn machine_broadcast_total_order() {
         },
     );
 }
+
+/// ISSUE 6 satellite: random programs execute identically on the
+/// decode-once micro-op interpreter and the per-instruction reference
+/// interpreter — registers, cached memory, BM state, and cycle counts
+/// all agree. Programs are structurally bounded (one counted loop,
+/// forward-only branches in the body), so every case halts.
+#[test]
+fn uop_interpreter_matches_reference() {
+    use wisync_core::ExecMode;
+
+    // One generated body operation: (opcode, dst, a, b, imm).
+    let body_op = (
+        gen::range(0u8..18),
+        gen::range(0u8..4),
+        gen::range(0u8..8),
+        gen::range(0u8..8),
+        gen::full::<u8>(),
+    );
+    check_with(
+        Config::with_cases(48),
+        "uop_interpreter_matches_reference",
+        (gen::vecs(body_op, 0..32), gen::range(1u64..6)),
+        |(ops, loop_count)| {
+            const CACHED_BASE: u64 = 0x1000;
+            const BM_WORDS: u64 = 4;
+            let cores = 4;
+
+            let run = |exec: ExecMode| {
+                let mut m = Machine::new(MachineConfig::wisync(cores).with_exec(exec));
+                let bm_vaddr = m.bm_alloc(Pid(1), BM_WORDS as usize).unwrap();
+                let mut b = ProgramBuilder::new();
+                // r7 = loop counter, r6 = cached base, r5 = BM base;
+                // generated dst registers stay in r1..r4.
+                b.push(Instr::Li {
+                    dst: Reg(7),
+                    imm: loop_count,
+                });
+                b.push(Instr::Li {
+                    dst: Reg(6),
+                    imm: CACHED_BASE,
+                });
+                b.push(Instr::Li {
+                    dst: Reg(5),
+                    imm: bm_vaddr,
+                });
+                let top = b.bind_here();
+                for &(op, dst, a, bb, imm) in &ops {
+                    let dst = Reg(dst + 1);
+                    let a = Reg(a);
+                    let bb = Reg(bb);
+                    let imm64 = imm as u64;
+                    match op {
+                        0 => b.push(Instr::Add { dst, a, b: bb }),
+                        1 => b.push(Instr::Sub { dst, a, b: bb }),
+                        2 => b.push(Instr::Mul { dst, a, b: bb }),
+                        3 => b.push(Instr::And { dst, a, b: bb }),
+                        4 => b.push(Instr::Or { dst, a, b: bb }),
+                        5 => b.push(Instr::Xor { dst, a, b: bb }),
+                        6 => b.push(Instr::Shl { dst, a, b: bb }),
+                        7 => b.push(Instr::Shr { dst, a, b: bb }),
+                        8 => b.push(Instr::CmpEq { dst, a, b: bb }),
+                        9 => b.push(Instr::CmpLt { dst, a, b: bb }),
+                        10 => b.push(Instr::Addi { dst, a, imm: imm64 }),
+                        11 => b.push(Instr::Li { dst, imm: imm64 }),
+                        12 => b.push(Instr::Mov { dst, src: a }),
+                        13 => b.push(Instr::Ld {
+                            dst,
+                            base: Reg(6),
+                            offset: (imm64 % 32) * 8,
+                            space: Space::Cached,
+                        }),
+                        14 => b.push(Instr::St {
+                            src: a,
+                            base: Reg(6),
+                            offset: (imm64 % 32) * 8,
+                            space: Space::Cached,
+                        }),
+                        15 => b.push(Instr::Ld {
+                            dst,
+                            base: Reg(5),
+                            offset: (imm64 % BM_WORDS) * 8,
+                            space: Space::Bm,
+                        }),
+                        16 => b.push(Instr::St {
+                            src: a,
+                            base: Reg(5),
+                            offset: (imm64 % BM_WORDS) * 8,
+                            space: Space::Bm,
+                        }),
+                        // Forward branch over one generated instruction.
+                        _ => {
+                            let skip = b.label();
+                            b.push(Instr::Beqz {
+                                cond: a,
+                                target: skip,
+                            });
+                            let pc = b.push(Instr::Addi { dst, a, imm: imm64 });
+                            b.bind(skip);
+                            pc
+                        }
+                    };
+                }
+                b.push(Instr::Addi {
+                    dst: Reg(7),
+                    a: Reg(7),
+                    imm: u64::MAX,
+                });
+                b.push(Instr::Bnez {
+                    cond: Reg(7),
+                    target: top,
+                });
+                b.push(Instr::Halt);
+                let program = b.build().unwrap();
+                for c in 0..cores {
+                    m.load_program(c, Pid(1), program.clone());
+                }
+                let report = m.run(10_000_000);
+                let regs: Vec<u64> = (0..cores)
+                    .flat_map(|c| (0u8..8).map(move |r| (c, r)))
+                    .map(|(c, r)| m.reg(c, Reg(r)))
+                    .collect();
+                let cached: Vec<u64> = (0..32).map(|k| m.mem_value(CACHED_BASE + k * 8)).collect();
+                let bm: Vec<u64> = (0..BM_WORDS)
+                    .map(|k| m.bm_value(Pid(1), bm_vaddr + k * 8).unwrap())
+                    .collect();
+                (
+                    format!("{:?}", report.outcome),
+                    m.now().as_u64(),
+                    format!("{:?}", m.stats()),
+                    regs,
+                    cached,
+                    bm,
+                )
+            };
+
+            let reference = run(ExecMode::Reference);
+            let uop = run(ExecMode::Uop);
+            prop_assert_eq!(&reference.0, &uop.0);
+            prop_assert_eq!(reference.1, uop.1);
+            prop_assert_eq!(&reference.2, &uop.2);
+            prop_assert_eq!(&reference.3, &uop.3);
+            prop_assert_eq!(&reference.4, &uop.4);
+            prop_assert_eq!(&reference.5, &uop.5);
+            Ok(())
+        },
+    );
+}

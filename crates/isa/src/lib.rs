@@ -40,7 +40,9 @@ pub mod asm;
 pub mod instr;
 pub mod interp;
 pub mod program;
+pub mod uop;
 
 pub use asm::{assemble, disassemble, AsmError};
 pub use instr::{Cond, Instr, Label, Reg, RmwSpec, Space};
 pub use program::{Program, ProgramBuilder, ProgramError};
+pub use uop::DecodedProgram;

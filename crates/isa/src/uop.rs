@@ -1,0 +1,687 @@
+//! Decode-once micro-op IR for the timed machine's fast interpreter.
+//!
+//! `wisync-core` historically re-decoded every [`Instr`] on every
+//! execution through a 30-arm `match` over the full instruction enum.
+//! That is correct but slow: the hot profiles spend most of their
+//! wall-clock retiring straight-line ALU runs between synchronization
+//! points, and each retired instruction paid full decode + dispatch.
+//!
+//! [`DecodedProgram::decode`] lowers a validated [`Program`] once, at
+//! load time, into a dense array of [`Uop`]s — one micro-op per
+//! instruction, so micro-op index *is* the program counter and
+//! preemption/branch semantics carry over unchanged. Register operands
+//! are resolved to raw `u8` indices, branch targets to `u32` instruction
+//! indices, and every instruction that cannot retire inline (memory,
+//! BM, tone, waits, `Compute`, `Halt`) is lowered to a pre-classified
+//! [`Uop::Boundary`] terminator. The executor runs the inline prefix of
+//! a run in a tight loop that never consults the original program and
+//! refetches the [`Instr`] only at the boundary.
+//!
+//! The contract (DESIGN.md §10): decoding is total on validated
+//! programs, the lowering is semantics-preserving per instruction, and
+//! a boundary micro-op carries enough classification for a scheduler to
+//! know *why* the run ended without touching the instruction stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use wisync_isa::{DecodedProgram, Instr, ProgramBuilder, Reg};
+//! use wisync_isa::uop::{BoundaryClass, Uop};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.push(Instr::Li { dst: Reg(1), imm: 3 });
+//! b.push(Instr::Halt);
+//! let p = b.build()?;
+//! let d = DecodedProgram::decode(&p);
+//! assert_eq!(d.uops().len(), 2);
+//! assert_eq!(d.uops()[0], Uop::Li { dst: 1, imm: 3 });
+//! assert_eq!(d.uops()[1], Uop::Boundary(BoundaryClass::Halt));
+//! # Ok::<(), wisync_isa::ProgramError>(())
+//! ```
+
+use std::sync::Arc;
+
+use crate::instr::{Instr, Space};
+use crate::program::Program;
+
+/// Why a run of inline micro-ops ends at this instruction.
+///
+/// Decode classifies every non-inline instruction so the executor (and
+/// future schedulers) can see the shape of a program's boundaries
+/// without re-decoding [`Instr`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum BoundaryClass {
+    /// `Instr::Compute`: bulk local work charged as a single block.
+    Compute,
+    /// Load/store/RMW against the coherent cached hierarchy.
+    CachedMem,
+    /// Broadcast-memory access (BM load/store/RMW and the bulk pair).
+    BmAccess,
+    /// Tone-channel operation (`ToneSt`/`ToneLd`).
+    Tone,
+    /// Spin-wait (`WaitWhile`, either space).
+    Wait,
+    /// Thread termination.
+    Halt,
+}
+
+/// One decoded micro-op.
+///
+/// Inline micro-ops retire in one cycle inside the executor's tight
+/// loop; [`Uop::Boundary`] ends the run and hands control back to the
+/// event-driven machine, which refetches the original [`Instr`] for its
+/// full operands. Register fields are raw indices (validated `< 32` by
+/// [`Program`] construction), branch targets are resolved instruction
+/// indices. Every ALU operation is its own top-level variant so the
+/// executor dispatches each micro-op with a single indirect jump — an
+/// operation-selector sub-enum costs a second dispatch per retired
+/// instruction, which measurably slows ALU-dense runs. The whole
+/// micro-op stays within 16 bytes so a run walks a dense,
+/// cache-friendly array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Uop {
+    /// `regs[dst] = regs[a] + regs[b]` (wrapping).
+    Add {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] - regs[b]` (wrapping).
+    Sub {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] * regs[b]` (wrapping).
+    Mul {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] & regs[b]`.
+    And {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] | regs[b]`.
+    Or {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] ^ regs[b]`.
+    Xor {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] << (regs[b] & 63)`.
+    Shl {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = regs[a] >> (regs[b] & 63)`.
+    Shr {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = (regs[a] == regs[b]) as u64`.
+    CmpEq {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = (regs[a] < regs[b]) as u64` (unsigned).
+    CmpLt {
+        /// Destination register index.
+        dst: u8,
+        /// First source register index.
+        a: u8,
+        /// Second source register index.
+        b: u8,
+    },
+    /// `regs[dst] = imm`.
+    Li {
+        /// Destination register index.
+        dst: u8,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `regs[dst] = regs[a] + imm` (wrapping).
+    Addi {
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        a: u8,
+        /// Immediate addend.
+        imm: u64,
+    },
+    /// `regs[dst] = regs[src]`.
+    Mov {
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        src: u8,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jump {
+        /// Resolved target instruction index.
+        target: u32,
+    },
+    /// Branch to `target` if `regs[cond] == 0`.
+    Beqz {
+        /// Condition register index.
+        cond: u8,
+        /// Resolved target instruction index.
+        target: u32,
+    },
+    /// Branch to `target` if `regs[cond] != 0`.
+    Bnez {
+        /// Condition register index.
+        cond: u8,
+        /// Resolved target instruction index.
+        target: u32,
+    },
+    /// `regs[dst] = AFB`.
+    ReadAfb {
+        /// Destination register index.
+        dst: u8,
+    },
+    /// `regs[dst] = WCB`.
+    ReadWcb {
+        /// Destination register index.
+        dst: u8,
+    },
+    /// Run terminator, cached-load fast form: `Instr::Ld` with
+    /// `Space::Cached` and an offset that fits in 32 bits. Carries its
+    /// operands so the executor can issue the access directly instead of
+    /// refetching the instruction — cached loads dominate the boundary
+    /// mix of the compute-heavy profiles. Wider offsets lower to the
+    /// generic [`Uop::Boundary`].
+    LdCached {
+        /// Destination register index.
+        dst: u8,
+        /// Base address register index.
+        base: u8,
+        /// Byte offset added to the base register.
+        offset: u32,
+    },
+    /// Run terminator, cached-store fast form: `Instr::St` with
+    /// `Space::Cached` and an offset that fits in 32 bits. See
+    /// [`Uop::LdCached`].
+    StCached {
+        /// Source register index.
+        src: u8,
+        /// Base address register index.
+        base: u8,
+        /// Byte offset added to the base register.
+        offset: u32,
+    },
+    /// Run terminator: the instruction at this index must execute
+    /// through the event-driven path.
+    Boundary(BoundaryClass),
+}
+
+// The tight loop walks `&[Uop]` sequentially; keep the element within
+// one 16-byte slot so four micro-ops share a cache line.
+const _: () = assert!(std::mem::size_of::<Uop>() <= 16);
+
+/// A [`Program`] lowered to micro-ops, one per instruction.
+///
+/// Cheap to clone (the micro-op array is shared), so a decoded program
+/// can be distributed across cores running identical kernels.
+#[derive(Clone, Debug)]
+pub struct DecodedProgram {
+    uops: Arc<[Uop]>,
+}
+
+impl DecodedProgram {
+    /// Lowers `program` to micro-ops. Total on validated programs: every
+    /// instruction maps to exactly one micro-op at the same index.
+    pub fn decode(program: &Program) -> Self {
+        let uops: Vec<Uop> = program.instrs().iter().map(decode_instr).collect();
+        DecodedProgram { uops: uops.into() }
+    }
+
+    /// The micro-op array; index `i` corresponds to instruction `i`.
+    #[inline]
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Number of micro-ops (equals the program's instruction count).
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the program decoded to zero micro-ops (validated
+    /// programs are non-empty, so this is false for them).
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Number of boundary micro-ops with the given class (the
+    /// specialized cached-memory forms count as
+    /// [`BoundaryClass::CachedMem`]).
+    pub fn count_class(&self, class: BoundaryClass) -> usize {
+        self.uops
+            .iter()
+            .filter(|u| match u {
+                Uop::Boundary(c) => *c == class,
+                Uop::LdCached { .. } | Uop::StCached { .. } => class == BoundaryClass::CachedMem,
+                _ => false,
+            })
+            .count()
+    }
+}
+
+fn decode_instr(i: &Instr) -> Uop {
+    match *i {
+        Instr::Li { dst, imm } => Uop::Li { dst: dst.0, imm },
+        Instr::Mov { dst, src } => Uop::Mov {
+            dst: dst.0,
+            src: src.0,
+        },
+        Instr::Add { dst, a, b } => Uop::Add {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Addi { dst, a, imm } => Uop::Addi {
+            dst: dst.0,
+            a: a.0,
+            imm,
+        },
+        Instr::Sub { dst, a, b } => Uop::Sub {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Mul { dst, a, b } => Uop::Mul {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::And { dst, a, b } => Uop::And {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Or { dst, a, b } => Uop::Or {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Xor { dst, a, b } => Uop::Xor {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Shl { dst, a, b } => Uop::Shl {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Shr { dst, a, b } => Uop::Shr {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::CmpEq { dst, a, b } => Uop::CmpEq {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::CmpLt { dst, a, b } => Uop::CmpLt {
+            dst: dst.0,
+            a: a.0,
+            b: b.0,
+        },
+        Instr::Jump { target } => Uop::Jump { target: target.0 },
+        Instr::Beqz { cond, target } => Uop::Beqz {
+            cond: cond.0,
+            target: target.0,
+        },
+        Instr::Bnez { cond, target } => Uop::Bnez {
+            cond: cond.0,
+            target: target.0,
+        },
+        Instr::ReadAfb { dst } => Uop::ReadAfb { dst: dst.0 },
+        Instr::ReadWcb { dst } => Uop::ReadWcb { dst: dst.0 },
+        Instr::Compute { .. } => Uop::Boundary(BoundaryClass::Compute),
+        Instr::Ld {
+            dst,
+            base,
+            offset,
+            space: Space::Cached,
+        } if u32::try_from(offset).is_ok() => Uop::LdCached {
+            dst: dst.0,
+            base: base.0,
+            offset: offset as u32,
+        },
+        Instr::St {
+            src,
+            base,
+            offset,
+            space: Space::Cached,
+        } if u32::try_from(offset).is_ok() => Uop::StCached {
+            src: src.0,
+            base: base.0,
+            offset: offset as u32,
+        },
+        Instr::Ld { space, .. } | Instr::St { space, .. } | Instr::Rmw { space, .. } => {
+            Uop::Boundary(match space {
+                Space::Cached => BoundaryClass::CachedMem,
+                Space::Bm => BoundaryClass::BmAccess,
+            })
+        }
+        Instr::BulkLd { .. } | Instr::BulkSt { .. } => Uop::Boundary(BoundaryClass::BmAccess),
+        Instr::ToneSt { .. } | Instr::ToneLd { .. } => Uop::Boundary(BoundaryClass::Tone),
+        Instr::WaitWhile { .. } => Uop::Boundary(BoundaryClass::Wait),
+        Instr::Halt => Uop::Boundary(BoundaryClass::Halt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, ProgramBuilder, Reg, RmwSpec};
+
+    fn decode_one(i: Instr) -> Uop {
+        decode_instr(&i)
+    }
+
+    #[test]
+    fn uop_is_dense() {
+        assert!(std::mem::size_of::<Uop>() <= 16);
+    }
+
+    #[test]
+    fn alu_lowering_matches_instr_semantics() {
+        let r = |i: u8| Reg(i);
+        let cases: [(Instr, Uop); 10] = [
+            (
+                Instr::Add {
+                    dst: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                Uop::Add { dst: 1, a: 2, b: 3 },
+            ),
+            (
+                Instr::Sub {
+                    dst: r(4),
+                    a: r(5),
+                    b: r(6),
+                },
+                Uop::Sub { dst: 4, a: 5, b: 6 },
+            ),
+            (
+                Instr::Mul {
+                    dst: r(7),
+                    a: r(8),
+                    b: r(9),
+                },
+                Uop::Mul { dst: 7, a: 8, b: 9 },
+            ),
+            (
+                Instr::And {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::And { dst: 1, a: 1, b: 2 },
+            ),
+            (
+                Instr::Or {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::Or { dst: 1, a: 1, b: 2 },
+            ),
+            (
+                Instr::Xor {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::Xor { dst: 1, a: 1, b: 2 },
+            ),
+            (
+                Instr::Shl {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::Shl { dst: 1, a: 1, b: 2 },
+            ),
+            (
+                Instr::Shr {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::Shr { dst: 1, a: 1, b: 2 },
+            ),
+            (
+                Instr::CmpEq {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::CmpEq { dst: 1, a: 1, b: 2 },
+            ),
+            (
+                Instr::CmpLt {
+                    dst: r(1),
+                    a: r(1),
+                    b: r(2),
+                },
+                Uop::CmpLt { dst: 1, a: 1, b: 2 },
+            ),
+        ];
+        for (instr, want) in cases {
+            assert_eq!(decode_one(instr), want, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_classification() {
+        use crate::Space::{Bm, Cached};
+        // Cached loads/stores with in-range offsets get specialized uops.
+        assert_eq!(
+            decode_one(Instr::Ld {
+                dst: Reg(1),
+                base: Reg(2),
+                offset: 24,
+                space: Cached,
+            }),
+            Uop::LdCached {
+                dst: 1,
+                base: 2,
+                offset: 24
+            }
+        );
+        assert_eq!(
+            decode_one(Instr::St {
+                src: Reg(3),
+                base: Reg(4),
+                offset: u32::MAX as u64,
+                space: Cached,
+            }),
+            Uop::StCached {
+                src: 3,
+                base: 4,
+                offset: u32::MAX
+            }
+        );
+        // Offsets wider than u32 fall back to the generic boundary form.
+        let wide = [
+            Instr::Ld {
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 1 << 40,
+                space: Cached,
+            },
+            Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: 1 << 40,
+                space: Cached,
+            },
+            Instr::Rmw {
+                kind: RmwSpec::FetchInc,
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 0,
+                space: Cached,
+            },
+        ];
+        for i in wide {
+            assert_eq!(decode_one(i), Uop::Boundary(BoundaryClass::CachedMem));
+        }
+        let bm = [
+            Instr::Ld {
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 0,
+                space: Bm,
+            },
+            Instr::St {
+                src: Reg(1),
+                base: Reg(0),
+                offset: 0,
+                space: Bm,
+            },
+            Instr::Rmw {
+                kind: RmwSpec::TestSet,
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 0,
+                space: Bm,
+            },
+            Instr::BulkLd {
+                dst: Reg(4),
+                base: Reg(0),
+                offset: 0,
+            },
+            Instr::BulkSt {
+                src: Reg(4),
+                base: Reg(0),
+                offset: 0,
+            },
+        ];
+        for i in bm {
+            assert_eq!(decode_one(i), Uop::Boundary(BoundaryClass::BmAccess));
+        }
+        assert_eq!(
+            decode_one(Instr::ToneSt {
+                base: Reg(0),
+                offset: 0
+            }),
+            Uop::Boundary(BoundaryClass::Tone)
+        );
+        assert_eq!(
+            decode_one(Instr::ToneLd {
+                dst: Reg(1),
+                base: Reg(0),
+                offset: 0
+            }),
+            Uop::Boundary(BoundaryClass::Tone)
+        );
+        assert_eq!(
+            decode_one(Instr::WaitWhile {
+                cond: Cond::Eq,
+                base: Reg(0),
+                offset: 0,
+                value: Reg(1),
+                space: Bm,
+            }),
+            Uop::Boundary(BoundaryClass::Wait)
+        );
+        assert_eq!(
+            decode_one(Instr::Compute { cycles: 10 }),
+            Uop::Boundary(BoundaryClass::Compute)
+        );
+        assert_eq!(decode_one(Instr::Halt), Uop::Boundary(BoundaryClass::Halt));
+    }
+
+    #[test]
+    fn decode_preserves_indices_and_targets() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li {
+            dst: Reg(1),
+            imm: 2,
+        });
+        let top = b.bind_here();
+        b.push(Instr::Addi {
+            dst: Reg(1),
+            a: Reg(1),
+            imm: u64::MAX,
+        });
+        b.push(Instr::Bnez {
+            cond: Reg(1),
+            target: top,
+        });
+        b.push(Instr::Halt);
+        let p = b.build().expect("valid");
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.uops()[0], Uop::Li { dst: 1, imm: 2 });
+        assert_eq!(
+            d.uops()[1],
+            Uop::Addi {
+                dst: 1,
+                a: 1,
+                imm: u64::MAX
+            }
+        );
+        // The Bnez target resolved to instruction index 1.
+        assert_eq!(d.uops()[2], Uop::Bnez { cond: 1, target: 1 });
+        assert_eq!(d.uops()[3], Uop::Boundary(BoundaryClass::Halt));
+        assert_eq!(d.count_class(BoundaryClass::Halt), 1);
+        assert_eq!(d.count_class(BoundaryClass::Tone), 0);
+    }
+
+    #[test]
+    fn clone_shares_the_array() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Halt);
+        let d = DecodedProgram::decode(&b.build().expect("valid"));
+        let d2 = d.clone();
+        assert_eq!(d.uops().as_ptr(), d2.uops().as_ptr());
+    }
+}

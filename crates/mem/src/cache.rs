@@ -7,15 +7,15 @@ use crate::config::MemConfig;
 pub enum LineState {
     /// Invalid (not present).
     #[default]
-    Invalid,
+    Invalid = 0,
     /// Shared, clean, other copies may exist.
-    Shared,
+    Shared = 1,
     /// Exclusive, clean, only copy; silently upgradable to Modified.
-    Exclusive,
+    Exclusive = 2,
     /// Owned: dirty but shared; this cache supplies data on reads.
-    Owned,
+    Owned = 3,
     /// Modified: dirty, only copy.
-    Modified,
+    Modified = 4,
 }
 
 impl LineState {
@@ -28,14 +28,58 @@ impl LineState {
     pub fn writable(self) -> bool {
         matches!(self, LineState::Exclusive | LineState::Modified)
     }
+
+    /// Decodes the 3-bit state field of a packed way tag.
+    #[inline]
+    fn from_bits(bits: u64) -> LineState {
+        match bits {
+            1 => LineState::Shared,
+            2 => LineState::Exclusive,
+            3 => LineState::Owned,
+            4 => LineState::Modified,
+            _ => LineState::Invalid,
+        }
+    }
 }
 
+/// Sentinel `tag_state` for an empty way. Never a real entry: the state
+/// field `7` is not a valid [`LineState`] encoding.
+const EMPTY: u64 = u64::MAX;
+
+/// One way slot: the line tag and MOESI state packed into one word
+/// (`line << 3 | state`), plus the LRU stamp beside it — so a lookup
+/// that tags, checks state, and refreshes LRU touches one cache line
+/// per set instead of three parallel arrays.
+///
+/// The packing is lossless: lines are `addr / 64`, so they fit in 58
+/// bits with 6 to spare.
 #[derive(Clone, Copy, Debug)]
 struct Way {
-    line: u64,
-    state: LineState,
-    /// Last-use stamp for LRU.
+    tag_state: u64,
     lru: u64,
+}
+
+impl Way {
+    #[inline]
+    fn pack(line: u64, state: LineState) -> u64 {
+        debug_assert!(line < (1 << 61), "line tag overflows packed format");
+        (line << 3) | state as u64
+    }
+
+    #[inline]
+    fn holds(&self, line: u64) -> bool {
+        self.tag_state != EMPTY && (self.tag_state >> 3) == line
+    }
+
+    #[inline]
+    fn state(&self) -> LineState {
+        LineState::from_bits(self.tag_state & 7)
+    }
+
+    #[inline]
+    fn line(&self) -> u64 {
+        self.tag_state >> 3
+    }
 }
 
 /// A set-associative, LRU, write-back private L1 cache.
@@ -43,6 +87,10 @@ struct Way {
 /// Tracks only line presence and MOESI state — data lives in the shared
 /// backing store of [`crate::MemSystem`] — so the structure is cheap even
 /// for 256 cores.
+///
+/// Storage is a flat array of packed [`Way`] slots, `assoc` consecutive
+/// per set: the lookup scan (every timed access starts with one) stays
+/// within one or two cache lines, with no per-set `Vec` indirection.
 ///
 /// # Examples
 ///
@@ -56,44 +104,72 @@ struct Way {
 /// ```
 #[derive(Clone, Debug)]
 pub struct L1Cache {
-    sets: Vec<Vec<Way>>,
+    /// Way slots, `assoc` consecutive per set; `tag_state == EMPTY` = free.
+    ways: Vec<Way>,
+    n_sets: usize,
     assoc: usize,
     tick: u64,
+    /// `n_sets - 1` when the set count is a power of two (every
+    /// realistic geometry), so `set_index` masks instead of dividing on
+    /// the access hot path.
+    set_mask: Option<u64>,
 }
 
 impl L1Cache {
     /// Creates an empty cache with the geometry from `config`.
     pub fn new(config: &MemConfig) -> Self {
         let n_sets = config.l1_sets();
+        let slots = n_sets * config.l1_assoc;
         L1Cache {
-            sets: vec![Vec::with_capacity(config.l1_assoc); n_sets],
+            ways: vec![
+                Way {
+                    tag_state: EMPTY,
+                    lru: 0,
+                };
+                slots
+            ],
+            n_sets,
             assoc: config.l1_assoc,
             tick: 0,
+            set_mask: n_sets.is_power_of_two().then(|| n_sets as u64 - 1),
         }
     }
 
-    fn set_index(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+    /// The slot range holding `line`'s set.
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let idx = match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.n_sets as u64) as usize,
+        };
+        let base = idx * self.assoc;
+        base..base + self.assoc
+    }
+
+    /// The slot holding `line`, if resident.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let range = self.set_range(line);
+        self.ways[range.clone()]
+            .iter()
+            .position(|w| w.holds(line))
+            .map(|i| range.start + i)
     }
 
     /// Current state of `line` (does not touch LRU).
     pub fn state(&self, line: u64) -> LineState {
-        let set = &self.sets[self.set_index(line)];
-        set.iter()
-            .find(|w| w.line == line)
-            .map_or(LineState::Invalid, |w| w.state)
+        self.find(line)
+            .map_or(LineState::Invalid, |slot| self.ways[slot].state())
     }
 
     /// Looks up `line`, refreshing its LRU position. Returns its state.
+    #[inline]
     pub fn touch(&mut self, line: u64) -> LineState {
         self.tick += 1;
-        let tick = self.tick;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        match set.iter_mut().find(|w| w.line == line) {
-            Some(w) => {
-                w.lru = tick;
-                w.state
+        match self.find(line) {
+            Some(slot) => {
+                self.ways[slot].lru = self.tick;
+                self.ways[slot].state()
             }
             None => LineState::Invalid,
         }
@@ -106,57 +182,70 @@ impl L1Cache {
     /// Inserting `LineState::Invalid` removes the line instead.
     pub fn insert(&mut self, line: u64, state: LineState) -> Option<(u64, LineState)> {
         self.tick += 1;
-        let tick = self.tick;
-        let assoc = self.assoc;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|w| w.line == line) {
+        if let Some(slot) = self.find(line) {
             if state == LineState::Invalid {
-                set.swap_remove(pos);
+                self.evict_slot(slot);
             } else {
-                set[pos].state = state;
-                set[pos].lru = tick;
+                self.ways[slot].tag_state = Way::pack(line, state);
+                self.ways[slot].lru = self.tick;
             }
             return None;
         }
         if state == LineState::Invalid {
             return None;
         }
-        let evicted = if set.len() >= assoc {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.lru)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let w = set.swap_remove(victim);
-            Some((w.line, w.state))
-        } else {
-            None
+        let range = self.set_range(line);
+        // Prefer a free way; otherwise evict the LRU way. Free ways have
+        // lru stamp 0 (reset on eviction), so the min-by-lru scan finds
+        // them first — but an explicit free check keeps the "no eviction
+        // below capacity" contract independent of stamp bookkeeping.
+        let slot = match self.ways[range.clone()]
+            .iter()
+            .position(|w| w.tag_state == EMPTY)
+        {
+            Some(i) => range.start + i,
+            None => {
+                let mut victim = range.start;
+                for s in range {
+                    if self.ways[s].lru < self.ways[victim].lru {
+                        victim = s;
+                    }
+                }
+                victim
+            }
         };
-        set.push(Way {
-            line,
-            state,
-            lru: tick,
-        });
+        let evicted = if self.ways[slot].tag_state == EMPTY {
+            None
+        } else {
+            Some((self.ways[slot].line(), self.ways[slot].state()))
+        };
+        self.ways[slot].tag_state = Way::pack(line, state);
+        self.ways[slot].lru = self.tick;
         evicted
     }
 
     /// Invalidates `line` if present; returns its prior state.
     pub fn invalidate(&mut self, line: u64) -> LineState {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|w| w.line == line) {
-            let w = set.swap_remove(pos);
-            w.state
-        } else {
-            LineState::Invalid
+        match self.find(line) {
+            Some(slot) => {
+                let state = self.ways[slot].state();
+                self.evict_slot(slot);
+                state
+            }
+            None => LineState::Invalid,
         }
+    }
+
+    fn evict_slot(&mut self, slot: usize) {
+        self.ways[slot] = Way {
+            tag_state: EMPTY,
+            lru: 0,
+        };
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ways.iter().filter(|w| w.tag_state != EMPTY).count()
     }
 
     /// Whether the cache holds no lines.
@@ -242,6 +331,26 @@ mod tests {
         assert!(LineState::Modified.writable());
         assert!(LineState::Owned.readable());
         assert!(!LineState::Owned.writable());
+    }
+
+    #[test]
+    fn packed_state_roundtrips() {
+        for state in [
+            LineState::Shared,
+            LineState::Exclusive,
+            LineState::Owned,
+            LineState::Modified,
+        ] {
+            let packed = Way::pack(0x3FF_FFFF_FFFF, state);
+            let w = Way {
+                tag_state: packed,
+                lru: 0,
+            };
+            assert_eq!(w.state(), state);
+            assert_eq!(w.line(), 0x3FF_FFFF_FFFF);
+            assert!(w.holds(0x3FF_FFFF_FFFF));
+            assert!(!w.holds(0x3FF_FFFF_FFFE));
+        }
     }
 
     #[test]

@@ -76,6 +76,62 @@ struct DirEntry {
     sharers: SharerSet,
 }
 
+/// Words per backing-store page (32 KB of simulated memory).
+const PAGE_WORDS: usize = 1 << 12;
+/// Word indices below this are direct-mapped through the page table;
+/// beyond it (2 GB of simulated address space) a hash map takes over.
+const DIRECT_WORDS: u64 = (1 << 16) * PAGE_WORDS as u64;
+
+/// Sparse backing store for simulated memory, word-addressed.
+///
+/// Every timed access reads the store at issue, and every in-flight
+/// load reads it again at completion — whole-machine profiles put the
+/// former hash-map's probes at the top of the wall-clock budget. The
+/// workload allocator (`AddrSpace`) hands out dense line-aligned
+/// regions from a fixed base, so a two-level page table turns both hot
+/// reads into two array walks; a hash-map fallback keeps pathological
+/// far addresses correct. Unwritten words read as zero in both tiers.
+#[derive(Clone, Debug, Default)]
+struct WordStore {
+    /// `pages[w / PAGE_WORDS][w % PAGE_WORDS]` holds word `w`; grown
+    /// lazily to the highest written page.
+    pages: Vec<Option<Box<[u64; PAGE_WORDS]>>>,
+    /// Words at `DIRECT_WORDS` and beyond.
+    far: FxHashMap<u64, u64>,
+}
+
+impl WordStore {
+    #[inline]
+    fn get(&self, word: u64) -> u64 {
+        if word < DIRECT_WORDS {
+            match self.pages.get(word as usize / PAGE_WORDS) {
+                Some(Some(p)) => p[word as usize % PAGE_WORDS],
+                _ => 0,
+            }
+        } else {
+            self.far.get(&word).copied().unwrap_or(0)
+        }
+    }
+
+    fn set(&mut self, word: u64, value: u64) {
+        if word < DIRECT_WORDS {
+            let page = word as usize / PAGE_WORDS;
+            if page >= self.pages.len() {
+                self.pages.resize_with(page + 1, || None);
+            }
+            let p = self.pages[page].get_or_insert_with(|| {
+                vec![0u64; PAGE_WORDS]
+                    .into_boxed_slice()
+                    .try_into()
+                    .expect("exact page size")
+            });
+            p[word as usize % PAGE_WORDS] = value;
+        } else {
+            self.far.insert(word, value);
+        }
+    }
+}
+
 /// Counters and latency summaries for the wired memory system.
 #[derive(Clone, Debug, Default)]
 pub struct MemStats {
@@ -129,7 +185,7 @@ pub struct MemSystem {
     /// Per-line transaction serialization: the directory finishes one
     /// coherence transaction on a line before starting the next.
     line_busy: FxHashMap<u64, Cycle>,
-    data: FxHashMap<u64, u64>,
+    data: WordStore,
     waiters: FxHashMap<u64, Vec<NodeId>>,
     stats: MemStats,
 }
@@ -144,7 +200,7 @@ impl MemSystem {
             l1,
             dir: FxHashMap::default(),
             line_busy: FxHashMap::default(),
-            data: FxHashMap::default(),
+            data: WordStore::default(),
             waiters: FxHashMap::default(),
             stats: MemStats::default(),
         }
@@ -162,14 +218,15 @@ impl MemSystem {
 
     /// Reads the current value of the word at `addr` without modeling any
     /// timing (used for spin-condition checks and test assertions).
+    #[inline]
     pub fn peek(&self, addr: u64) -> u64 {
-        self.data.get(&(addr / 8)).copied().unwrap_or(0)
+        self.data.get(addr / 8)
     }
 
     /// Writes the word at `addr` without timing or coherence effects.
     /// Intended for pre-run initialization of workload data.
     pub fn poke(&mut self, addr: u64, value: u64) {
-        self.data.insert(addr / 8, value);
+        self.data.set(addr / 8, value);
     }
 
     /// Registers `core` as spin-waiting on the line containing `addr`.
@@ -206,16 +263,23 @@ impl MemSystem {
             "core {core} out of range"
         );
         let line = line_of(addr);
+        // One dispatch on `op`: the counter bump rides the same match as
+        // the handler call (a second post-hoc match re-decodes the op on
+        // every access, which profiles as real time at simulator rates).
         let outcome = match op {
-            MemOp::Load => self.do_load(core, addr, line, now),
-            MemOp::Store(v) => self.do_write(core, addr, line, now, Some(v), None),
-            MemOp::Rmw(kind) => self.do_write(core, addr, line, now, None, Some(kind)),
+            MemOp::Load => {
+                self.stats.loads += 1;
+                self.do_load(core, addr, line, now)
+            }
+            MemOp::Store(v) => {
+                self.stats.stores += 1;
+                self.do_write(core, addr, line, now, Some(v), None)
+            }
+            MemOp::Rmw(kind) => {
+                self.stats.rmws += 1;
+                self.do_write(core, addr, line, now, None, Some(kind))
+            }
         };
-        match op {
-            MemOp::Load => self.stats.loads += 1,
-            MemOp::Store(_) => self.stats.stores += 1,
-            MemOp::Rmw(_) => self.stats.rmws += 1,
-        }
         self.stats
             .latency
             .record(outcome.complete_at.saturating_since(now));
@@ -349,7 +413,7 @@ impl MemSystem {
         }
 
         if writes {
-            self.data.insert(addr / 8, new_value);
+            self.data.set(addr / 8, new_value);
         }
         let woken = if writes {
             self.take_waiters(line, complete_at, core)

@@ -59,6 +59,10 @@ pub struct EventQueue<E> {
     wheel: Vec<VecDeque<E>>,
     /// Occupancy bitmap over wheel slots, one bit per slot.
     occupied: [u64; WHEEL_WORDS],
+    /// Second-level bitmap: bit `i` set iff `occupied[i] != 0`. Lets
+    /// `wheel_min` jump straight to the next occupied word instead of
+    /// scanning all of `occupied` when the wheel is sparse.
+    summary: u64,
     /// Wheel base cycle: no wheel event is earlier than `cur`, and the
     /// overflow holds only events at `cur + WHEEL_SLOTS` or later. `cur`
     /// never moves backwards.
@@ -105,9 +109,26 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_slot_capacity(0)
+    }
+
+    /// Creates an empty queue whose wheel slots each start with room for
+    /// `cap` events.
+    ///
+    /// Slot deques retain their capacity once grown, but the wheel wraps
+    /// through all of its slots as time advances, so with lazy capacity
+    /// every slot pays its own geometric-growth reallocations early in a
+    /// run. A caller that knows the steady-state occupancy (the machine:
+    /// roughly one event per core, as lockstep phases land whole core
+    /// sets on one cycle) can pre-size the slots and keep reallocation
+    /// off the hot path entirely.
+    pub fn with_slot_capacity(cap: usize) -> Self {
         EventQueue {
-            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            wheel: (0..WHEEL_SLOTS)
+                .map(|_| VecDeque::with_capacity(cap))
+                .collect(),
             occupied: [0; WHEEL_WORDS],
+            summary: 0,
             cur: 0,
             past: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
@@ -119,11 +140,16 @@ impl<E> EventQueue<E> {
     #[inline]
     fn set_occupied(&mut self, slot: usize) {
         self.occupied[slot / 64] |= 1 << (slot % 64);
+        self.summary |= 1 << (slot / 64);
     }
 
     #[inline]
     fn clear_occupied(&mut self, slot: usize) {
-        self.occupied[slot / 64] &= !(1 << (slot % 64));
+        let word = slot / 64;
+        self.occupied[word] &= !(1 << (slot % 64));
+        if self.occupied[word] == 0 {
+            self.summary &= !(1 << word);
+        }
     }
 
     /// Schedules `event` to fire at cycle `at`.
@@ -160,12 +186,18 @@ impl<E> EventQueue<E> {
         if w != 0 {
             return Some(self.slot_cycle(bw * 64 + w.trailing_zeros() as usize));
         }
-        for i in 1..WHEEL_WORDS {
-            let wi = (bw + i) % WHEEL_WORDS;
+        // Other occupied words, preferring those after `bw` (earlier in
+        // the wrapped scan order), located through the summary bitmap.
+        let others = self.summary & !(1 << bw);
+        if others != 0 {
+            let after = others & (!0u64 << (bw + 1));
+            let wi = if after != 0 {
+                after.trailing_zeros() as usize
+            } else {
+                others.trailing_zeros() as usize
+            };
             let w = self.occupied[wi];
-            if w != 0 {
-                return Some(self.slot_cycle(wi * 64 + w.trailing_zeros() as usize));
-            }
+            return Some(self.slot_cycle(wi * 64 + w.trailing_zeros() as usize));
         }
         // Wrapped back to the first word: bits below the base bit.
         let w = self.occupied[bw] & ((1u64 << bb) - 1);
@@ -265,6 +297,7 @@ impl<E> EventQueue<E> {
                 slot.clear();
             }
             self.occupied = [0; WHEEL_WORDS];
+            self.summary = 0;
             self.past.clear();
             self.overflow.clear();
             self.len = 0;

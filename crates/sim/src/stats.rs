@@ -73,8 +73,12 @@ impl fmt::Display for Counter {
 pub struct Histogram {
     count: u64,
     sum: u64,
-    min: Option<u64>,
-    max: Option<u64>,
+    /// Smallest sample; `u64::MAX` sentinel while empty (never observable:
+    /// the accessor gates on `count`, and recording `u64::MAX` itself
+    /// still yields the right answer).
+    min: u64,
+    /// Largest sample; `0` sentinel while empty.
+    max: u64,
     /// Power-of-two bucket counts: bucket i holds values in [2^i, 2^(i+1)).
     buckets: [u64; 64],
 }
@@ -84,8 +88,8 @@ impl Default for Histogram {
         Histogram {
             count: 0,
             sum: 0,
-            min: None,
-            max: None,
+            min: u64::MAX,
+            max: 0,
             buckets: [0; 64],
         }
     }
@@ -98,11 +102,16 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// Hot on the simulator's per-access path: the sentinel min/max
+    /// representation keeps this a short branch-free sequence of
+    /// conditional moves plus one bucket increment.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.count += 1;
         self.sum += value;
-        self.min = Some(self.min.map_or(value, |m| m.min(value)));
-        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
         let bucket = 64 - (value | 1).leading_zeros() as usize - 1;
         self.buckets[bucket] += 1;
     }
@@ -128,12 +137,12 @@ impl Histogram {
 
     /// Smallest recorded sample.
     pub fn min(&self) -> Option<u64> {
-        self.min
+        (self.count > 0).then_some(self.min)
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> Option<u64> {
-        self.max
+        (self.count > 0).then_some(self.max)
     }
 
     /// Approximate p-th percentile (`p` in `[0.0, 1.0]`) from the
@@ -154,7 +163,7 @@ impl Histogram {
                 return Some((2u64 << i).saturating_sub(1));
             }
         }
-        self.max
+        self.max()
     }
 
     /// Iterates the non-empty power-of-two buckets as
@@ -176,14 +185,9 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
         self.sum += other.sum;
-        self.min = match (self.min, other.min) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        self.max = match (self.max, other.max) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        };
+        // Sentinels are identities of min/max, so empty sides need no case.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
@@ -197,8 +201,8 @@ impl fmt::Display for Histogram {
             "n={} mean={:.1} min={:?} max={:?}",
             self.count,
             self.mean(),
-            self.min,
-            self.max
+            self.min(),
+            self.max()
         )
     }
 }
