@@ -291,6 +291,60 @@ fn address_ledger_tiles_data_channel_for_random_workloads() {
     );
 }
 
+/// Sharding satellite: observability under the sharded executor keeps
+/// the exact-tiling attribution invariant, and the results JSON and the
+/// rendered Chrome trace are byte-identical to the serial engine's for
+/// every shard count (including with forced worker threads).
+#[test]
+fn sharded_runs_keep_observability_exact_and_identical() {
+    // One barrier workload and one compute-heavy workload whose long
+    // inline runs actually form same-cycle Resume batches.
+    for workload in [0, 1] {
+        let run = |shards: usize| {
+            let mut cfg = wisync_core::MachineConfig::wisync(8)
+                .with_shards(shards)
+                .with_shard_threads(Some(if shards > 1 { 2 } else { 0 }));
+            cfg.seed = 0xC0DE;
+            let mut m = Machine::new(cfg);
+            m.enable_observability(ObsConfig::default());
+            m.set_trace_sink(Box::new(ChromeTrace::new(1 << 20)));
+            match workload {
+                0 => TightLoop::new(4).load(&mut m),
+                _ => wisync_workloads::AluPhases {
+                    phases: 2,
+                    work: 512,
+                }
+                .load(&mut m),
+            }
+            let r = m.run(BUDGET);
+            assert_eq!(r.outcome, RunOutcome::Completed);
+            assert_attribution_exact(&m);
+            let results = results_json(&m, r.outcome);
+            let obs = m.observability().expect("observability enabled").clone();
+            assert_eq!(obs.attrib.dropped_segments(), 0, "run dropped spans");
+            let mut sink = m.take_trace_sink().expect("sink installed");
+            let chrome = sink.as_chrome_mut().expect("sink is a ChromeTrace");
+            chrome.push_segments(obs.attrib.segments());
+            chrome.push_counters(&obs.timeline);
+            let doc = chrome.to_json();
+            validate_chrome(&doc).expect("trace validates");
+            (results, doc.render())
+        };
+        let serial = run(1);
+        for k in [2, 4, 8] {
+            let sharded = run(k);
+            assert_eq!(
+                serial.0, sharded.0,
+                "results JSON diverged at shards={k}, workload {workload}"
+            );
+            assert_eq!(
+                serial.1, sharded.1,
+                "Chrome trace diverged at shards={k}, workload {workload}"
+            );
+        }
+    }
+}
+
 /// Property test: the invariant holds for random workload shapes, not
 /// just the hand-picked matrix points.
 #[test]

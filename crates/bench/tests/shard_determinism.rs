@@ -1,0 +1,338 @@
+//! Shard-count independence tests for the parallel-in-run executor.
+//!
+//! The sharded executor's contract is determinism *by construction*:
+//! every `RunReport`, statistics counter, and rendered sweep JSON must
+//! be byte-identical for any `shards` setting (and any worker-thread
+//! count), because speculative pre-runs touch only core-local state and
+//! commits replay in the serial event-pop order. These tests pin that
+//! contract with a workload × seed × shard matrix, a forced-thread
+//! variant that exercises real worker threads even on a single-CPU
+//! host, a sweep-JSON byte-identity check, and a shrinking
+//! random-program property test.
+
+use wisync_bench::BUDGET;
+use wisync_core::{Machine, MachineConfig, Pid, RunOutcome};
+use wisync_isa::{Instr, ProgramBuilder, Reg, Space};
+use wisync_testkit::gen;
+use wisync_testkit::run_sweep;
+use wisync_testkit::{check_with, prop_assert_eq, Config, Json, SweepJob};
+use wisync_workloads::{CasKernel, CasKind, Livermore, TightLoop};
+
+/// Shard counts exercised by the matrix (1 is the serial baseline).
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Seeds exercised per workload.
+const SEEDS: [u64; 4] = [0xA5ED, 1, 2, 3];
+
+/// Complete fingerprint of one run: workload metric, final cycle, and
+/// the full `Debug` rendering of `MachineStats` (covers every substrate
+/// counter including `sim_events`).
+type Fingerprint = (u64, u64, String);
+
+/// Runs `work` on a machine built from `config` and fingerprints it.
+fn fingerprint(config: MachineConfig, work: &dyn Fn(&mut Machine) -> u64) -> Fingerprint {
+    let mut m = Machine::new(config);
+    let metric = work(&mut m);
+    (metric, m.now().as_u64(), format!("{:?}", m.stats()))
+}
+
+/// A boxed workload driver: runs on a fresh machine, returns a metric.
+type Workload = Box<dyn Fn(&mut Machine) -> u64>;
+
+/// The workload matrix from the issue: TightLoop, CAS (fetch&add),
+/// Livermore Loop 2, and the FIFO queue kernel.
+fn matrix() -> Vec<(&'static str, usize, Workload)> {
+    vec![
+        (
+            "tight_loop",
+            64,
+            Box::new(|m: &mut Machine| TightLoop::new(2).run_cycles_per_iter(m, BUDGET)),
+        ),
+        (
+            "cas_add",
+            32,
+            Box::new(|m: &mut Machine| {
+                CasKernel {
+                    kind: CasKind::Add,
+                    critical_section: 32,
+                    ops_per_thread: 8,
+                }
+                .run_throughput(m, BUDGET)
+                .1
+            }),
+        ),
+        (
+            "livermore2",
+            16,
+            Box::new(|m: &mut Machine| Livermore::loop2(64).run_cycles(m, BUDGET)),
+        ),
+        (
+            "fifo",
+            32,
+            Box::new(|m: &mut Machine| {
+                CasKernel {
+                    kind: CasKind::Fifo,
+                    critical_section: 32,
+                    ops_per_thread: 8,
+                }
+                .run_throughput(m, BUDGET)
+                .1
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn fingerprints_identical_across_shard_counts() {
+    for (name, cores, work) in matrix() {
+        for &seed in &SEEDS {
+            let base = MachineConfig::wisync(cores).with_seed(seed);
+            let serial = fingerprint(base.with_shards(1), work.as_ref());
+            assert!(serial.1 > 0, "{name} seed {seed:#x} advanced no cycles");
+            for &k in &SHARDS[1..] {
+                let sharded = fingerprint(base.with_shards(k), work.as_ref());
+                assert_eq!(
+                    serial, sharded,
+                    "{name} seed {seed:#x} diverged at shards={k}"
+                );
+            }
+        }
+    }
+}
+
+/// Worker threads are capped at `available_parallelism - 1`, which is 0
+/// on a single-CPU host — so the matrix above may never leave the
+/// inline path. Forcing two workers exercises the real pool (parallel
+/// speculation, work stealing, the batch barrier) regardless of host.
+#[test]
+fn fingerprints_identical_with_forced_worker_threads() {
+    for (name, cores, work) in matrix() {
+        let base = MachineConfig::wisync(cores).with_seed(SEEDS[0]);
+        let serial = fingerprint(base.with_shards(1), work.as_ref());
+        let threaded = fingerprint(
+            base.with_shards(4).with_shard_threads(Some(2)),
+            work.as_ref(),
+        );
+        assert_eq!(serial, threaded, "{name} diverged with 2 worker threads");
+    }
+}
+
+/// Sweep JSON rendered from sharded machines is byte-identical to the
+/// serial rendering — the artifact-level form of the same contract.
+fn shard_sweep(shards: usize) -> String {
+    let jobs: Vec<SweepJob> = (2..6)
+        .map(|cores_log2| {
+            let cores = 1usize << cores_log2;
+            SweepJob::new(format!("shard/{cores}cores"), move |_rng| {
+                let config = MachineConfig::wisync(cores)
+                    .with_shards(shards)
+                    .with_shard_threads(Some(if shards > 1 { 2 } else { 0 }));
+                let mut m = Machine::new(config);
+                let per_iter = TightLoop::new(2).run_cycles_per_iter(&mut m, BUDGET);
+                Json::obj([
+                    ("cycles_per_iter", Json::U64(per_iter)),
+                    ("sim_events", Json::U64(m.stats().sim_events)),
+                ])
+            })
+        })
+        .collect();
+    let rows: Vec<Json> = run_sweep(jobs, 2, 42)
+        .into_iter()
+        .map(|(name, value)| Json::obj([("row", Json::Str(name)), ("data", value)]))
+        .collect();
+    Json::Arr(rows).render()
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_shard_counts() {
+    let serial = shard_sweep(1);
+    for k in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            shard_sweep(k),
+            "shards={k} changed rendered sweep JSON"
+        );
+    }
+}
+
+/// Random programs (cached + BM traffic, branches, a counted loop) run
+/// identically on the serial and sharded executors: outcome, clock,
+/// stats, registers, cached memory, and BM words all agree. Shrinks to
+/// a minimal diverging program on failure.
+#[test]
+fn random_programs_match_serial_execution() {
+    // One generated body operation: (opcode, dst, a, b, imm).
+    let body_op = (
+        gen::range(0u8..18),
+        gen::range(0u8..4),
+        gen::range(0u8..8),
+        gen::range(0u8..8),
+        gen::full::<u8>(),
+    );
+    check_with(
+        Config::with_cases(32),
+        "shard_random_programs_match_serial",
+        (gen::vecs(body_op, 0..24), gen::range(1u64..6)),
+        |(ops, loop_count)| {
+            const CACHED_BASE: u64 = 0x1000;
+            const BM_WORDS: u64 = 4;
+            let cores = 8;
+
+            let run = |shards: usize, threads: Option<usize>| {
+                let config = MachineConfig::wisync(cores)
+                    .with_shards(shards)
+                    .with_shard_threads(threads);
+                let mut m = Machine::new(config);
+                let bm_vaddr = m.bm_alloc(Pid(1), BM_WORDS as usize).unwrap();
+                let mut b = ProgramBuilder::new();
+                // r7 = loop counter, r6 = cached base, r5 = BM base;
+                // generated dst registers stay in r1..r4.
+                b.push(Instr::Li {
+                    dst: Reg(7),
+                    imm: loop_count,
+                });
+                b.push(Instr::Li {
+                    dst: Reg(6),
+                    imm: CACHED_BASE,
+                });
+                b.push(Instr::Li {
+                    dst: Reg(5),
+                    imm: bm_vaddr,
+                });
+                let top = b.bind_here();
+                for &(op, dst, a, bb, imm) in &ops {
+                    let dst = Reg(dst + 1);
+                    let a = Reg(a);
+                    let bb = Reg(bb);
+                    let imm64 = imm as u64;
+                    match op {
+                        0 => b.push(Instr::Add { dst, a, b: bb }),
+                        1 => b.push(Instr::Sub { dst, a, b: bb }),
+                        2 => b.push(Instr::Mul { dst, a, b: bb }),
+                        3 => b.push(Instr::And { dst, a, b: bb }),
+                        4 => b.push(Instr::Or { dst, a, b: bb }),
+                        5 => b.push(Instr::Xor { dst, a, b: bb }),
+                        6 => b.push(Instr::Shl { dst, a, b: bb }),
+                        7 => b.push(Instr::Shr { dst, a, b: bb }),
+                        8 => b.push(Instr::CmpEq { dst, a, b: bb }),
+                        9 => b.push(Instr::CmpLt { dst, a, b: bb }),
+                        10 => b.push(Instr::Addi { dst, a, imm: imm64 }),
+                        11 => b.push(Instr::Li { dst, imm: imm64 }),
+                        12 => b.push(Instr::Mov { dst, src: a }),
+                        13 => b.push(Instr::Ld {
+                            dst,
+                            base: Reg(6),
+                            offset: (imm64 % 32) * 8,
+                            space: Space::Cached,
+                        }),
+                        14 => b.push(Instr::St {
+                            src: a,
+                            base: Reg(6),
+                            offset: (imm64 % 32) * 8,
+                            space: Space::Cached,
+                        }),
+                        15 => b.push(Instr::Ld {
+                            dst,
+                            base: Reg(5),
+                            offset: (imm64 % BM_WORDS) * 8,
+                            space: Space::Bm,
+                        }),
+                        16 => b.push(Instr::St {
+                            src: a,
+                            base: Reg(5),
+                            offset: (imm64 % BM_WORDS) * 8,
+                            space: Space::Bm,
+                        }),
+                        // Forward branch over one generated instruction.
+                        _ => {
+                            let skip = b.label();
+                            b.push(Instr::Beqz {
+                                cond: a,
+                                target: skip,
+                            });
+                            let pc = b.push(Instr::Addi { dst, a, imm: imm64 });
+                            b.bind(skip);
+                            pc
+                        }
+                    };
+                }
+                b.push(Instr::Addi {
+                    dst: Reg(7),
+                    a: Reg(7),
+                    imm: u64::MAX,
+                });
+                b.push(Instr::Bnez {
+                    cond: Reg(7),
+                    target: top,
+                });
+                b.push(Instr::Halt);
+                let program = b.build().unwrap();
+                for c in 0..cores {
+                    m.load_program(c, Pid(1), program.clone());
+                }
+                let report = m.run(10_000_000);
+                let regs: Vec<u64> = (0..cores)
+                    .flat_map(|c| (0u8..8).map(move |r| (c, r)))
+                    .map(|(c, r)| m.reg(c, Reg(r)))
+                    .collect();
+                let cached: Vec<u64> = (0..32).map(|k| m.mem_value(CACHED_BASE + k * 8)).collect();
+                let bm: Vec<u64> = (0..BM_WORDS)
+                    .map(|k| m.bm_value(Pid(1), bm_vaddr + k * 8).unwrap())
+                    .collect();
+                (
+                    format!("{:?}", report.outcome),
+                    m.now().as_u64(),
+                    format!("{:?}", m.stats()),
+                    regs,
+                    cached,
+                    bm,
+                )
+            };
+
+            let serial = run(1, None);
+            let sharded = run(4, Some(2));
+            prop_assert_eq!(&serial.0, &sharded.0);
+            prop_assert_eq!(serial.1, sharded.1);
+            prop_assert_eq!(&serial.2, &sharded.2);
+            prop_assert_eq!(&serial.3, &sharded.3);
+            prop_assert_eq!(&serial.4, &sharded.4);
+            prop_assert_eq!(&serial.5, &sharded.5);
+            Ok(())
+        },
+    );
+}
+
+/// Sanity: a sharded run still completes the paper's correctness
+/// oracles (Livermore checks its numeric results internally).
+#[test]
+fn sharded_livermore_is_still_correct() {
+    let mut m = Machine::new(
+        MachineConfig::wisync(16)
+            .with_shards(8)
+            .with_shard_threads(Some(2)),
+    );
+    let cycles = Livermore::loop2(64).run_cycles(&mut m, BUDGET);
+    assert!(cycles > 0);
+}
+
+/// The `RunOutcome` of a sharded run matches serial even when a budget
+/// truncates the run mid-flight (batch boundaries must not change where
+/// the budget lands).
+#[test]
+fn truncated_runs_agree_on_outcome_and_clock() {
+    let run = |shards: usize| {
+        let mut m = Machine::new(
+            MachineConfig::wisync(32)
+                .with_shards(shards)
+                .with_shard_threads(Some(if shards > 1 { 2 } else { 0 })),
+        );
+        TightLoop::new(64).load(&mut m);
+        let r = m.run(500);
+        (r.outcome, m.now().as_u64(), format!("{:?}", m.stats()))
+    };
+    let serial = run(1);
+    assert_eq!(serial.0, RunOutcome::CycleLimit);
+    for k in [2, 4, 8] {
+        assert_eq!(serial, run(k), "truncated run diverged at shards={k}");
+    }
+}

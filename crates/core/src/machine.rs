@@ -14,7 +14,7 @@ use wisync_isa::{Cond, DecodedProgram, Instr, Program, Reg, RmwSpec, Space};
 use wisync_mem::{MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId, NodeSet};
 use wisync_obs::{Bucket, ObsConfig, ObsState, Timeline};
-use wisync_sim::{Cycle, DetRng, EventQueue};
+use wisync_sim::{Cycle, DetRng, EventQueue, ShardPool};
 use wisync_wireless::{DataChannel, Resolution, ToneChannel, TxLen, TxToken};
 
 use crate::bm::{BmError, BroadcastMemory, Pid};
@@ -27,6 +27,14 @@ use crate::trace::{Trace, TraceEvent, TraceSink};
 /// loop from starving the event loop. Both interpreters enforce it with
 /// identical accounting, so the event schedule is mode-independent.
 const MAX_BATCH: u64 = 1024;
+
+/// Minimum estimated inline micro-ops in a same-cycle Resume batch
+/// before the sharded executor hands the pre-run phase to the worker
+/// pool. Below this, the hand-off costs more than the inline work; the
+/// estimate (speculated entries × the EWMA of recent run lengths) is a
+/// pure function of simulated state, so the placement decision — like
+/// everything else in the sharded path — never depends on the host.
+const PAR_MIN_UOPS: u64 = 4096;
 
 /// Messages carried on the wireless Data channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,6 +213,209 @@ impl Core {
     }
 }
 
+/// How a pre-executed inline micro-op run ended: at the batch cap, at a
+/// specialized cached load/store (handled lean, without refetching the
+/// original [`Instr`]), or at a generic boundary.
+#[derive(Clone, Copy, Debug)]
+enum RunEnd {
+    Cap,
+    Ld { dst: u8, base: u8, offset: u32 },
+    St { src: u8, base: u8, offset: u32 },
+    Boundary,
+}
+
+/// Result of pre-running one core's inline micro-op prefix: the retired
+/// inline count and how the run ended. Register and pc effects apply
+/// directly to the core; time, stats, obs, and the boundary instruction
+/// are settled later by `Machine::commit_uop_run`.
+#[derive(Clone, Copy, Debug)]
+struct UopRun {
+    n: u64,
+    end: RunEnd,
+}
+
+/// Walks `c`'s pre-decoded program from its pc in a tight loop that
+/// touches only the core's own registers and program counter, stopping
+/// at the first run boundary or at the batch cap.
+///
+/// This is the *pure* half of the micro-op interpreter: it reads and
+/// writes nothing but `c`, so the sharded executor may run it for many
+/// cores concurrently on disjoint `&mut Core` borrows. AFB/WCB are
+/// captured once at entry — during the inline prefix of a run no other
+/// machine state can change (boundaries are where events, stores, and
+/// deliveries act), and within a same-cycle Resume batch no commit
+/// mutates another core's fields, so the captured values equal what a
+/// serial interleaving would read.
+fn uop_inline_run(c: &mut Core) -> UopRun {
+    let Core {
+        decoded,
+        regs,
+        pc: core_pc,
+        afb,
+        store_buffer,
+        ..
+    } = c;
+    let uops = decoded
+        .as_ref()
+        .expect("running core has a decoded program")
+        .uops();
+    let afb = *afb as u64;
+    let wcb = store_buffer.is_none() as u64;
+    let mut pc = *core_pc;
+    let mut n = 0u64;
+    // Register indices are validated `< 32` at program build; the
+    // `& 31` lets the optimizer drop the bounds checks.
+    let end = loop {
+        match uops[pc] {
+            Uop::Add { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    regs[(a & 31) as usize].wrapping_add(regs[(b & 31) as usize]);
+                pc += 1;
+            }
+            Uop::Sub { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    regs[(a & 31) as usize].wrapping_sub(regs[(b & 31) as usize]);
+                pc += 1;
+            }
+            Uop::Mul { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    regs[(a & 31) as usize].wrapping_mul(regs[(b & 31) as usize]);
+                pc += 1;
+            }
+            Uop::And { dst, a, b } => {
+                regs[(dst & 31) as usize] = regs[(a & 31) as usize] & regs[(b & 31) as usize];
+                pc += 1;
+            }
+            Uop::Or { dst, a, b } => {
+                regs[(dst & 31) as usize] = regs[(a & 31) as usize] | regs[(b & 31) as usize];
+                pc += 1;
+            }
+            Uop::Xor { dst, a, b } => {
+                regs[(dst & 31) as usize] = regs[(a & 31) as usize] ^ regs[(b & 31) as usize];
+                pc += 1;
+            }
+            Uop::Shl { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    regs[(a & 31) as usize] << (regs[(b & 31) as usize] & 63);
+                pc += 1;
+            }
+            Uop::Shr { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    regs[(a & 31) as usize] >> (regs[(b & 31) as usize] & 63);
+                pc += 1;
+            }
+            Uop::CmpEq { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    (regs[(a & 31) as usize] == regs[(b & 31) as usize]) as u64;
+                pc += 1;
+            }
+            Uop::CmpLt { dst, a, b } => {
+                regs[(dst & 31) as usize] =
+                    (regs[(a & 31) as usize] < regs[(b & 31) as usize]) as u64;
+                pc += 1;
+            }
+            Uop::Li { dst, imm } => {
+                regs[(dst & 31) as usize] = imm;
+                pc += 1;
+            }
+            Uop::Addi { dst, a, imm } => {
+                regs[(dst & 31) as usize] = regs[(a & 31) as usize].wrapping_add(imm);
+                pc += 1;
+            }
+            Uop::Mov { dst, src } => {
+                regs[(dst & 31) as usize] = regs[(src & 31) as usize];
+                pc += 1;
+            }
+            Uop::Jump { target } => pc = target as usize,
+            Uop::Beqz { cond, target } => {
+                pc = if regs[(cond & 31) as usize] == 0 {
+                    target as usize
+                } else {
+                    pc + 1
+                };
+            }
+            Uop::Bnez { cond, target } => {
+                pc = if regs[(cond & 31) as usize] != 0 {
+                    target as usize
+                } else {
+                    pc + 1
+                };
+            }
+            Uop::ReadAfb { dst } => {
+                regs[(dst & 31) as usize] = afb;
+                pc += 1;
+            }
+            Uop::ReadWcb { dst } => {
+                regs[(dst & 31) as usize] = wcb;
+                pc += 1;
+            }
+            Uop::LdCached { dst, base, offset } => break RunEnd::Ld { dst, base, offset },
+            Uop::StCached { src, base, offset } => break RunEnd::St { src, base, offset },
+            Uop::Boundary(_) => break RunEnd::Boundary,
+        }
+        n += 1;
+        if n >= MAX_BATCH {
+            break RunEnd::Cap;
+        }
+    };
+    *core_pc = pc;
+    UopRun { n, end }
+}
+
+/// State of the sharded (parallel-in-run) executor; present only when
+/// `MachineConfig::shards > 1` under the micro-op interpreter.
+///
+/// The executor batches the contiguous run of same-cycle `Resume`
+/// events at the head of the wheel, pre-runs the *speculable* entries'
+/// pure inline prefixes ([`uop_inline_run`]) on the worker pool, then
+/// commits every entry serially in original FIFO pop order — so channel
+/// arbitration, directory access, event pushes, stats, and obs all
+/// happen in exactly the serial engine's order, and results are
+/// bit-identical for every shard and worker count by construction.
+#[derive(Debug)]
+struct ShardExec {
+    pool: ShardPool,
+    /// Batch under construction: `(core, speculable)` in pop order.
+    batch: Vec<(usize, bool)>,
+    /// Pre-run results, parallel to `batch` (`None` for deferred
+    /// entries, which get a full `dispatch` at their commit slot).
+    runs: Vec<Option<UopRun>>,
+    /// Per-core membership flag: a core already in the batch is
+    /// deferred on its second same-cycle Resume (its first commit may
+    /// change any of its state).
+    in_batch: Vec<bool>,
+    /// EWMA of inline run lengths in 1/16ths of a micro-op, updated
+    /// from every committed batch (regardless of where it ran), used
+    /// with [`PAR_MIN_UOPS`] to decide pool vs. inline placement.
+    ewma_x16: u64,
+}
+
+/// Lifetime-erased pointers into the batch arrays for the pool
+/// broadcast. Tasks touch disjoint elements: task `i` writes `runs[i]`
+/// and the `Core` of batch entry `i`, and speculable entries name
+/// distinct cores (duplicates are deferred).
+struct BatchPtrs {
+    cores: *mut Core,
+    runs: *mut Option<UopRun>,
+}
+
+// SAFETY: see the disjointness argument on [`BatchPtrs`]; the pointers
+// outlive the broadcast because it is a barrier.
+unsafe impl Sync for BatchPtrs {}
+
+impl BatchPtrs {
+    /// Pre-runs batch entry `i` (core `core`) and records its result.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee no other live access to `cores[core]` or
+    /// `runs[i]` — the sharded executor does, by deferring duplicate
+    /// cores and giving each task its own `runs` slot.
+    unsafe fn run_spec(&self, core: usize, i: usize) {
+        *self.runs.add(i) = Some(uop_inline_run(&mut *self.cores.add(core)));
+    }
+}
+
 /// Arrivals recorded while a barrier's init message is still in flight.
 ///
 /// §4.2.2 speaks of "the first core" sending the init; simultaneous
@@ -364,6 +575,10 @@ pub struct Machine {
     /// Fault injection state; `None` (the default) costs nothing: no
     /// hooks run, no randomness is drawn, event order is untouched.
     fault: Option<Box<FaultState>>,
+    /// Sharded parallel-in-run executor; `None` (shards == 1, or the
+    /// reference interpreter) leaves the serial path untouched. Results
+    /// are bit-identical either way — see [`ShardExec`].
+    shard: Option<Box<ShardExec>>,
 }
 
 impl Machine {
@@ -399,6 +614,30 @@ impl Machine {
             trace: None,
             obs: None,
             fault: None,
+            // Sharding exists only for the micro-op interpreter (the
+            // reference path is the serial executable specification);
+            // `shards == 1` or Reference mode stays fully serial.
+            shard: (config.shards > 1 && config.exec == ExecMode::Uop).then(|| {
+                // K shards = at most K threads stepping cores: the
+                // publisher plus up to K-1 workers. The pool size comes
+                // from the host's parallelism (0 extra workers on a
+                // single-CPU host = inline, zero hand-off cost) unless
+                // explicitly overridden; placement never affects
+                // results.
+                let workers = config
+                    .shard_threads
+                    .unwrap_or_else(|| {
+                        std::thread::available_parallelism().map_or(0, |p| p.get() - 1)
+                    })
+                    .min(config.shards - 1);
+                Box::new(ShardExec {
+                    pool: ShardPool::new(workers),
+                    batch: Vec::with_capacity(config.cores),
+                    runs: Vec::with_capacity(config.cores),
+                    in_batch: vec![false; config.cores],
+                    ewma_x16: 0,
+                })
+            }),
             config,
         }
     }
@@ -854,6 +1093,12 @@ impl Machine {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.stats.sim_events += 1;
+            if self.shard.is_some() {
+                if let Event::Resume(core) = ev {
+                    self.run_resume_batch(core);
+                    continue;
+                }
+            }
             self.dispatch(ev);
         }
         // Attribution runs through the last core's retirement, which can
@@ -1057,134 +1302,25 @@ impl Machine {
     /// and deliveries act — so AFB/WCB are captured once at entry.
     fn advance_core_uop(&mut self, core: usize) {
         self.obs_sync(core);
-        // Move (not clone) the decoded program out so the borrow checker
-        // lets the loop hold `&[Uop]` alongside `&mut` register state.
-        let decoded = self.cores[core]
-            .decoded
-            .take()
-            .expect("running core has a decoded program");
-        let uops = decoded.uops();
-        let c = &mut self.cores[core];
-        let afb = c.afb as u64;
-        let wcb = c.store_buffer.is_none() as u64;
-        let regs = &mut c.regs;
-        let mut pc = c.pc;
-        let mut n = 0u64;
-        /// How the inline loop ended: at the batch cap, at a specialized
-        /// cached load/store (handled lean, without refetching the
-        /// original [`Instr`]), or at a generic boundary.
-        enum End {
-            Cap,
-            Ld { dst: u8, base: u8, offset: u32 },
-            St { src: u8, base: u8, offset: u32 },
-            Boundary,
-        }
-        // Register indices are validated `< 32` at program build; the
-        // `& 31` lets the optimizer drop the bounds checks.
-        let end = loop {
-            match uops[pc] {
-                Uop::Add { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        regs[(a & 31) as usize].wrapping_add(regs[(b & 31) as usize]);
-                    pc += 1;
-                }
-                Uop::Sub { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        regs[(a & 31) as usize].wrapping_sub(regs[(b & 31) as usize]);
-                    pc += 1;
-                }
-                Uop::Mul { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        regs[(a & 31) as usize].wrapping_mul(regs[(b & 31) as usize]);
-                    pc += 1;
-                }
-                Uop::And { dst, a, b } => {
-                    regs[(dst & 31) as usize] = regs[(a & 31) as usize] & regs[(b & 31) as usize];
-                    pc += 1;
-                }
-                Uop::Or { dst, a, b } => {
-                    regs[(dst & 31) as usize] = regs[(a & 31) as usize] | regs[(b & 31) as usize];
-                    pc += 1;
-                }
-                Uop::Xor { dst, a, b } => {
-                    regs[(dst & 31) as usize] = regs[(a & 31) as usize] ^ regs[(b & 31) as usize];
-                    pc += 1;
-                }
-                Uop::Shl { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        regs[(a & 31) as usize] << (regs[(b & 31) as usize] & 63);
-                    pc += 1;
-                }
-                Uop::Shr { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        regs[(a & 31) as usize] >> (regs[(b & 31) as usize] & 63);
-                    pc += 1;
-                }
-                Uop::CmpEq { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        (regs[(a & 31) as usize] == regs[(b & 31) as usize]) as u64;
-                    pc += 1;
-                }
-                Uop::CmpLt { dst, a, b } => {
-                    regs[(dst & 31) as usize] =
-                        (regs[(a & 31) as usize] < regs[(b & 31) as usize]) as u64;
-                    pc += 1;
-                }
-                Uop::Li { dst, imm } => {
-                    regs[(dst & 31) as usize] = imm;
-                    pc += 1;
-                }
-                Uop::Addi { dst, a, imm } => {
-                    regs[(dst & 31) as usize] = regs[(a & 31) as usize].wrapping_add(imm);
-                    pc += 1;
-                }
-                Uop::Mov { dst, src } => {
-                    regs[(dst & 31) as usize] = regs[(src & 31) as usize];
-                    pc += 1;
-                }
-                Uop::Jump { target } => pc = target as usize,
-                Uop::Beqz { cond, target } => {
-                    pc = if regs[(cond & 31) as usize] == 0 {
-                        target as usize
-                    } else {
-                        pc + 1
-                    };
-                }
-                Uop::Bnez { cond, target } => {
-                    pc = if regs[(cond & 31) as usize] != 0 {
-                        target as usize
-                    } else {
-                        pc + 1
-                    };
-                }
-                Uop::ReadAfb { dst } => {
-                    regs[(dst & 31) as usize] = afb;
-                    pc += 1;
-                }
-                Uop::ReadWcb { dst } => {
-                    regs[(dst & 31) as usize] = wcb;
-                    pc += 1;
-                }
-                Uop::LdCached { dst, base, offset } => break End::Ld { dst, base, offset },
-                Uop::StCached { src, base, offset } => break End::St { src, base, offset },
-                Uop::Boundary(_) => break End::Boundary,
-            }
-            n += 1;
-            if n >= MAX_BATCH {
-                break End::Cap;
-            }
-        };
-        c.pc = pc;
-        self.cores[core].decoded = Some(decoded);
-        self.stats.instructions += n;
-        let t = self.now + n;
-        match end {
-            End::Cap => self.yield_core(core, t),
+        let run = uop_inline_run(&mut self.cores[core]);
+        self.commit_uop_run(core, run);
+    }
+
+    /// Settles time, stats, obs, and the run-ending boundary of a
+    /// pre-executed inline prefix (see [`uop_inline_run`]). Everything
+    /// here mutates shared machine state, so the sharded executor calls
+    /// it serially, in original event pop order.
+    fn commit_uop_run(&mut self, core: usize, run: UopRun) {
+        self.stats.instructions += run.n;
+        let t = self.now + run.n;
+        let pc = self.cores[core].pc;
+        match run.end {
+            RunEnd::Cap => self.yield_core(core, t),
             // Specialized cached load/store: the dominant boundary in
             // compute-heavy profiles, executed here without refetching
             // and re-matching the original `Instr`. Must mirror the
             // `Space::Cached` arms of `exec_boundary` exactly.
-            End::Ld { dst, base, offset } => {
+            RunEnd::Ld { dst, base, offset } => {
                 self.stats.instructions += 1;
                 let addr = self.cores[core].regs[(base & 31) as usize].wrapping_add(offset as u64);
                 let o = self.mem.access(self.node(core), addr, MemOp::Load, t);
@@ -1194,7 +1330,7 @@ impl Machine {
                 self.obs_op(core, t, o.complete_at, Bucket::MemStall);
                 self.block_until(core, o.complete_at);
             }
-            End::St { src, base, offset } => {
+            RunEnd::St { src, base, offset } => {
                 self.stats.instructions += 1;
                 let c = &self.cores[core];
                 let addr = c.regs[(base & 31) as usize].wrapping_add(offset as u64);
@@ -1209,7 +1345,7 @@ impl Machine {
                 self.obs_op(core, t, o.complete_at, Bucket::MemStall);
                 self.block_until(core, o.complete_at);
             }
-            End::Boundary => {
+            RunEnd::Boundary => {
                 // Any other boundary instruction executes through the
                 // event-driven path, refetched from the original
                 // instruction stream.
@@ -1222,6 +1358,121 @@ impl Machine {
                 self.exec_boundary(core, instr, pc, t);
             }
         }
+    }
+
+    /// Whether a same-cycle `Resume` for `core` may have its inline
+    /// prefix pre-run in parallel. Anything else is deferred to a full
+    /// [`Machine::dispatch`] at its commit slot: a pending load's value
+    /// depends on same-cycle earlier store commits, a pending
+    /// preemption parks instead of running, and terminal statuses
+    /// ignore the event entirely.
+    fn speculable(&self, core: usize) -> bool {
+        let c = &self.cores[core];
+        matches!(
+            c.status,
+            CoreStatus::Running | CoreStatus::Blocked | CoreStatus::Sleeping
+        ) && c.pending_load.is_none()
+            && !c.preempt_pending
+            && c.decoded.is_some()
+            && c.program.is_some()
+    }
+
+    /// Sharded-executor entry: handles the contiguous run of `Resume`
+    /// events at the head of the wheel for the current cycle as one
+    /// batch. `first` was already popped (and counted) by the run loop.
+    ///
+    /// Determinism argument, in full:
+    /// 1. Only the contiguous same-cycle `Resume` prefix is batched —
+    ///    any other event type ends collection, so cross-core effects
+    ///    (deliveries, channel resolution, tone completions) happen
+    ///    strictly before or after the batch, exactly as serially.
+    /// 2. The pre-run phase runs [`uop_inline_run`] on disjoint
+    ///    `&mut Core`s; it reads and writes nothing shared. Placement
+    ///    (pool vs. inline) therefore cannot be observed.
+    /// 3. Commits replay in original FIFO pop order, serially, on the
+    ///    caller's thread. A commit mutates only its own core, the
+    ///    shared substrates, and the queue — and no Resume-boundary
+    ///    path writes another core's fields (RMW breaking and waiter
+    ///    wake-ups live on delivery paths, which are never batched) —
+    ///    so entry *i*'s commit sees exactly the state a serial engine
+    ///    would have after entries `0..i`.
+    /// 4. Same-cycle pushes made by a commit land at the slot's tail,
+    ///    after the already-popped batch — the position they would
+    ///    occupy serially, since earlier batch entries popped first.
+    fn run_resume_batch(&mut self, first: usize) {
+        let at = self.now;
+        let mut sx = self.shard.take().expect("sharded executor present");
+        sx.batch.clear();
+        sx.runs.clear();
+        sx.batch.push((first, self.speculable(first)));
+        sx.in_batch[first] = true;
+        while let Some((c, Event::Resume(_))) = self.queue.peek() {
+            if c != at {
+                break;
+            }
+            let Some(Event::Resume(core)) = self.queue.pop_at(at) else {
+                unreachable!("peeked a same-cycle Resume");
+            };
+            let spec = !sx.in_batch[core] && self.speculable(core);
+            sx.batch.push((core, spec));
+            sx.in_batch[core] = true;
+        }
+        sx.runs.resize(sx.batch.len(), None);
+
+        // Pre-run phase: pure, core-local, parallel-safe. The directory
+        // is sealed for the duration (serialized at the boundary).
+        let spec_count = sx.batch.iter().filter(|&&(_, s)| s).count() as u64;
+        let use_pool = sx.pool.workers() > 0
+            && spec_count >= 2
+            && spec_count * (sx.ewma_x16 >> 4) >= PAR_MIN_UOPS;
+        self.mem.set_parallel_phase(true);
+        if use_pool {
+            let ptrs = BatchPtrs {
+                cores: self.cores.as_mut_ptr(),
+                runs: sx.runs.as_mut_ptr(),
+            };
+            let batch = &sx.batch;
+            sx.pool.broadcast(batch.len(), &|i| {
+                let (core, spec) = batch[i];
+                if !spec {
+                    return;
+                }
+                // SAFETY: speculable entries name distinct cores and
+                // each task owns its own `runs` slot (see `BatchPtrs`).
+                unsafe { ptrs.run_spec(core, i) }
+            });
+        } else {
+            for (i, &(core, spec)) in sx.batch.iter().enumerate() {
+                if spec {
+                    sx.runs[i] = Some(uop_inline_run(&mut self.cores[core]));
+                }
+            }
+        }
+        self.mem.set_parallel_phase(false);
+
+        // Commit phase: serial, in pop order. The run loop counted the
+        // first event; the extra batch entries are counted here.
+        let mut ewma = sx.ewma_x16;
+        for (i, &(core, _)) in sx.batch.iter().enumerate() {
+            sx.in_batch[core] = false;
+            if i > 0 {
+                self.stats.sim_events += 1;
+            }
+            match sx.runs[i] {
+                Some(run) => {
+                    // The dispatch preamble a speculable entry skipped:
+                    // no pending load, no pending preemption, so only
+                    // the status transition remains.
+                    self.cores[core].status = CoreStatus::Running;
+                    self.obs_sync(core);
+                    self.commit_uop_run(core, run);
+                    ewma = ewma - (ewma >> 3) + (run.n << 1);
+                }
+                None => self.dispatch(Event::Resume(core)),
+            }
+        }
+        sx.ewma_x16 = ewma;
+        self.shard = Some(sx);
     }
 
     /// Reference interpreter: per-`Instr` decode and dispatch, kept as
@@ -1663,6 +1914,16 @@ impl Machine {
         let ch = self.channel_of(frame.msg.phys());
         let node = self.node(core);
         let (token, slot) = self.data[ch].request(node, len, frame, at);
+        // The conservative-lookahead invariant the sharded executor
+        // leans on (`WirelessConfig::min_lookahead_cycles`): every
+        // channel request made while committing the current cycle's
+        // batch resolves strictly in the future, so arbitration is
+        // never due inside the batch being committed.
+        debug_assert!(
+            slot > self.now,
+            "channel arbitration scheduled at {slot:?} within the current cycle {:?}",
+            self.now
+        );
         self.queue.push(slot, Event::ChannelResolve(ch));
         token
     }

@@ -88,7 +88,7 @@ impl Way {
 /// backing store of [`crate::MemSystem`] — so the structure is cheap even
 /// for 256 cores.
 ///
-/// Storage is a flat array of packed [`Way`] slots, `assoc` consecutive
+/// Storage is a flat array of packed `Way` slots, `assoc` consecutive
 /// per set: the lookup scan (every timed access starts with one) stays
 /// within one or two cache lines, with no per-set `Vec` indirection.
 ///

@@ -34,11 +34,13 @@
 pub mod hash;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventQueue, ReferenceEventQueue};
 pub use rng::DetRng;
+pub use shard::ShardPool;
 pub use stats::{Counter, Histogram, StatSet, Utilization};
 pub use time::Cycle;

@@ -1,0 +1,382 @@
+//! A persistent worker pool for sharded parallel-in-run execution.
+//!
+//! [`ShardPool`] fans one closure out over `tasks` indices, blocking
+//! until every index has run ([`ShardPool::broadcast`] is a barrier).
+//! It exists for one caller: the machine's shard executor, which runs
+//! the *pure, core-local* phase of a same-cycle event batch on worker
+//! threads and keeps every shared-state mutation (channel arbitration,
+//! directory access, event pushes) on the calling thread. Because the
+//! pool only decides *where* the side-effect-free phase runs — never
+//! the order of anything observable — simulation results are identical
+//! for any worker count, including zero.
+//!
+//! Design notes, in the order they matter:
+//!
+//! - **Workers are persistent.** A batch hand-off must cost nanoseconds,
+//!   not a thread spawn. Workers are parked on a condvar between
+//!   batches and spin briefly before parking, so back-to-back batches
+//!   (the lockstep-compute steady state) skip the syscall entirely.
+//! - **Zero workers means inline.** With `workers == 0` the calling
+//!   thread runs every index itself — same code path, same results.
+//!   The machine picks the worker count from the host's available
+//!   parallelism, so a single-CPU host pays no hand-off tax at all.
+//! - **Work stealing is epoch-tagged.** Task indices are claimed from a
+//!   shared counter whose upper bits carry the batch epoch; a straggler
+//!   waking from a previous batch can never claim (or double-count)
+//!   work from the current one.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use wisync_sim::ShardPool;
+//!
+//! let mut pool = ShardPool::new(2);
+//! let sum = AtomicU64::new(0);
+//! pool.broadcast(8, &|i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 28);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Spin iterations a worker burns waiting for the next batch before
+/// parking on the condvar. Small: enough to catch back-to-back batches,
+/// little enough that an idle pool costs microseconds, not timeslices.
+const WORKER_SPIN: u32 = 4096;
+
+/// The published work of one batch: a lifetime-erased pointer to the
+/// caller's closure plus the number of task indices. Valid only while
+/// `broadcast` is blocked, which is exactly when workers read it.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    tasks: usize,
+}
+
+// SAFETY: the pointee is `Sync` (the closure type requires it) and the
+// pool's barrier semantics keep it alive for every dereference.
+unsafe impl Send for Job {}
+
+struct Gate {
+    /// Bumped once per batch; `job` is only read after observing a new
+    /// epoch under the mutex.
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    gate: Mutex<Gate>,
+    cv: Condvar,
+    /// Mirror of `Gate::epoch` for lock-free spinning.
+    epoch: AtomicU64,
+    /// Task-claim counter: `(epoch & 0xffff_ffff) << 32 | next_index`.
+    /// Claims are CAS'd so a straggler from an old epoch can neither
+    /// take nor skip a task of the current one.
+    claim: AtomicU64,
+    /// Tasks completed in the current epoch; `broadcast` returns when
+    /// this reaches the batch's task count.
+    done: AtomicUsize,
+    /// Workers currently parked on the condvar (notify only when > 0).
+    parked: AtomicUsize,
+    /// A task panicked; `broadcast` re-raises after the barrier.
+    panicked: AtomicBool,
+}
+
+#[inline]
+fn pack(epoch: u64, index: usize) -> u64 {
+    (epoch & 0xffff_ffff) << 32 | index as u64 & 0xffff_ffff
+}
+
+#[inline]
+fn unpack(claim: u64) -> (u64, usize) {
+    (claim >> 32, (claim & 0xffff_ffff) as usize)
+}
+
+impl Shared {
+    /// Claims task indices of epoch `epoch` and runs `f` on each until
+    /// the batch is drained.
+    fn work(&self, epoch: u64, job: Job) {
+        let f = unsafe { &*job.f };
+        let tag = epoch & 0xffff_ffff;
+        loop {
+            let cur = self.claim.load(Ordering::Acquire);
+            let (e, i) = unpack(cur);
+            if e != tag || i >= job.tasks {
+                return;
+            }
+            if self
+                .claim
+                .compare_exchange_weak(cur, pack(tag, i + 1), Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            self.done.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Worker thread body: wait for a new epoch (spin, then park), run
+    /// its share of the batch, repeat until shutdown.
+    fn worker(&self) {
+        let mut seen = 0u64;
+        loop {
+            let mut spins = 0u32;
+            let job = loop {
+                if self.epoch.load(Ordering::Acquire) != seen {
+                    // Take the lock to read the job; the mutex orders
+                    // the publisher's writes before this read.
+                    let gate = self.gate.lock().expect("shard pool poisoned");
+                    if gate.shutdown {
+                        return;
+                    }
+                    seen = gate.epoch;
+                    break gate.job;
+                }
+                spins += 1;
+                if spins < WORKER_SPIN {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let mut gate = self.gate.lock().expect("shard pool poisoned");
+                while !gate.shutdown && gate.epoch == seen {
+                    self.parked.fetch_add(1, Ordering::SeqCst);
+                    gate = self.cv.wait(gate).expect("shard pool poisoned");
+                    self.parked.fetch_sub(1, Ordering::SeqCst);
+                }
+                if gate.shutdown {
+                    return;
+                }
+                seen = gate.epoch;
+                break gate.job;
+            };
+            if let Some(job) = job {
+                self.work(seen, job);
+            }
+        }
+    }
+}
+
+/// A fixed set of persistent worker threads that run indexed tasks; see
+/// the module docs.
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// Creates a pool with exactly `workers` threads. Zero is valid and
+    /// means `broadcast` runs everything on the calling thread.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            gate: Mutex::new(Gate {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            claim: AtomicU64::new(pack(0, u32::MAX as usize)),
+            done: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wisync-shard-{i}"))
+                    .spawn(move || shared.worker())
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            shared,
+            handles,
+            epoch: 0,
+        }
+    }
+
+    /// Number of worker threads (the calling thread participates too).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(i)` for every `i < tasks`, on the workers and the calling
+    /// thread, returning when all of them have finished (a barrier).
+    /// Tasks must be independent; the order and placement of calls is
+    /// unspecified, so any observable effect must not depend on them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked (after the whole batch has drained,
+    /// so no task is left running on a worker).
+    pub fn broadcast(&mut self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        self.epoch += 1;
+        // SAFETY: erase the borrow's lifetime to store it in `Job`.
+        // Workers only dereference it while this call is blocked on the
+        // batch barrier below, during which `f` is alive.
+        let f: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Job { f, tasks };
+        {
+            let mut gate = self.gate();
+            gate.epoch = self.epoch;
+            gate.job = Some(job);
+            self.shared.done.store(0, Ordering::Relaxed);
+            self.shared
+                .claim
+                .store(pack(self.epoch, 0), Ordering::Release);
+            self.shared.epoch.store(self.epoch, Ordering::Release);
+            if self.shared.parked.load(Ordering::SeqCst) > 0 {
+                self.shared.cv.notify_all();
+            }
+        }
+        // Publisher works too, then spins out the stragglers.
+        self.shared.work(self.epoch, job);
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) < tasks {
+            spins += 1;
+            if spins < WORKER_SPIN {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+            panic!("a shard pool task panicked");
+        }
+    }
+
+    fn gate(&self) -> std::sync::MutexGuard<'_, Gate> {
+        self.shared.gate.lock().expect("shard pool poisoned")
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Wake spinners via the epoch mirror and sleepers via the
+        // condvar; both re-check `shutdown` under the lock.
+        self.epoch += 1;
+        {
+            let mut gate = self.gate();
+            gate.shutdown = true;
+            gate.epoch = self.epoch;
+            self.shared.epoch.store(self.epoch, Ordering::Release);
+            gate.job = None;
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    #[test]
+    fn inline_pool_runs_every_task() {
+        let mut pool = ShardPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        let hits = Mutex::new(Vec::new());
+        pool.broadcast(5, &|i| hits.lock().unwrap().push(i));
+        assert_eq!(*hits.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn threaded_pool_runs_each_task_exactly_once() {
+        let mut pool = ShardPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        for round in 0..50 {
+            let seen = Mutex::new(BTreeSet::new());
+            let n = 1 + (round % 17);
+            pool.broadcast(n, &|i| {
+                assert!(seen.lock().unwrap().insert(i), "task {i} ran twice");
+            });
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen.len(), n, "round {round}");
+        }
+    }
+
+    #[test]
+    fn broadcast_is_a_barrier() {
+        let mut pool = ShardPool::new(2);
+        let sum = AtomicU64::new(0);
+        pool.broadcast(100, &|i| {
+            // Simulate uneven task cost.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        // All contributions visible once broadcast returns.
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let mut pool = ShardPool::new(2);
+        pool.broadcast(0, &|_| panic!("no tasks to run"));
+    }
+
+    #[test]
+    fn task_panic_propagates_after_the_batch_drains() {
+        let mut pool = ShardPool::new(2);
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(16, &|i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 3 {
+                    panic!("task 3 fails");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Every task still ran (the barrier completed before re-raise).
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+        // The pool is reusable after a panic.
+        pool.broadcast(4, &|_| {});
+    }
+
+    #[test]
+    fn pool_survives_many_batches_without_leaking_claims() {
+        let mut pool = ShardPool::new(2);
+        let total = AtomicU64::new(0);
+        for _ in 0..500 {
+            pool.broadcast(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4000);
+    }
+}

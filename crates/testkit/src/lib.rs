@@ -13,7 +13,7 @@
 //!   reproduction seed is printed so
 //!   `WISYNC_TESTKIT_SEED=<seed> cargo test <name>` replays the identical
 //!   failure.
-//! * [`bench`] — a criterion-lite harness: warmup, timed iterations,
+//! * [`mod@bench`] — a criterion-lite harness: warmup, timed iterations,
 //!   median/p95 via [`wisync_sim::Histogram`], JSON reports under
 //!   `results/`.
 //! * [`sweep`] — a `std::thread` pool that runs experiment configurations

@@ -1,6 +1,8 @@
 //! Workloads for the WiSync evaluation (Table 3).
 //!
 //! - [`TightLoop`] — the barrier microbenchmark of §6 / Figure 7,
+//! - [`AluPhases`] — a compute-heavy phased loop used to measure the
+//!   sharded executor's scaling (`WISYNC_SHARDS`),
 //! - [`Livermore`] — parallelized Livermore loops 2, 3, and 6 (Figure 8),
 //! - [`CasKernel`] — the FIFO/LIFO/ADD lock-free CAS kernels (Figure 9),
 //! - [`apps`] — synthetic synchronization profiles standing in for the
@@ -14,6 +16,7 @@
 //! implementations from `wisync-sync` (Table 2).
 
 pub mod addr;
+pub mod alu;
 pub mod apps;
 pub mod cas_kernels;
 pub mod kit;
@@ -23,6 +26,7 @@ pub mod search;
 pub mod tight_loop;
 
 pub use addr::AddrSpace;
+pub use alu::AluPhases;
 pub use apps::{AppProfile, AppWorkload, Suite};
 pub use cas_kernels::{CasKernel, CasKind};
 pub use kit::{BarrierHandle, LockHandle};
