@@ -25,6 +25,7 @@ use wisync_bench::perf::{
 use wisync_bench::report::{obs_overhead_ns, overhead_pct};
 use wisync_bench::BUDGET;
 use wisync_core::{Machine, MachineConfig};
+use wisync_testkit::write_doc;
 use wisync_workloads::TightLoop;
 
 struct Options {
@@ -81,14 +82,6 @@ fn committed_path() -> PathBuf {
         .join("perf_baseline.json")
 }
 
-fn write_report(path: &PathBuf, doc: &str) {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
-    }
-    std::fs::write(path, doc).expect("write baseline");
-    println!("wrote {}", path.display());
-}
-
 /// `--scaling`: measure the shard-scaling sweep and write the report.
 /// The JSON stamps host parallelism, so a ~1.0x speedup on a one-CPU
 /// runner reads as what it is rather than a broken executor.
@@ -118,7 +111,7 @@ fn run_scaling(opts: &Options) -> ExitCode {
             .join("../../results")
             .join("shard_scaling.json"),
     };
-    write_report(&path, &doc);
+    write_doc(&path, &doc);
     ExitCode::SUCCESS
 }
 
@@ -156,7 +149,7 @@ fn main() -> ExitCode {
         // an artifact), but the committed baseline is never touched.
         if let Some(dir) = &opts.out {
             let doc = perf_report_json(&cases, &[]).render();
-            write_report(&dir.join("perf_baseline.json"), &doc);
+            write_doc(dir.join("perf_baseline.json"), &doc);
         }
         let text = std::fs::read_to_string(&committed)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", committed.display()));
@@ -199,7 +192,7 @@ fn main() -> ExitCode {
             Some(dir) => dir.join("perf_baseline.json"),
             None => committed,
         };
-        write_report(&path, &doc);
+        write_doc(&path, &doc);
         ExitCode::SUCCESS
     }
 }

@@ -26,6 +26,8 @@ use std::process::ExitCode;
 use wisync_bench::report::{
     obs_overhead_ns, overhead_pct, profile_named, trace_digest, OVERHEAD_BUDGET_PCT,
 };
+use wisync_bench::serve_metrics::service_summary;
+use wisync_testkit::{write_doc, Json};
 
 /// Pinned defaults: small enough that the committed trace stays
 /// reviewable, large enough that every attribution bucket and both
@@ -44,6 +46,7 @@ struct Options {
     stats: bool,
     obs_overhead: bool,
     quick: bool,
+    service: Option<PathBuf>,
 }
 
 impl Options {
@@ -67,6 +70,7 @@ fn parse_args() -> Options {
         stats: false,
         obs_overhead: false,
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
+        service: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,9 +88,10 @@ fn parse_args() -> Options {
             "--stats" => opts.stats = true,
             "--obs-overhead" => opts.obs_overhead = true,
             "--quick" => opts.quick = true,
+            "--service" => opts.service = Some(PathBuf::from(value("--service"))),
             other => panic!(
                 "unknown argument {other:?} (try --workload/--cores/--iters/\
-                 --out/--trace/--digest/--stats/--obs-overhead/--quick)"
+                 --out/--trace/--digest/--stats/--obs-overhead/--quick/--service)"
             ),
         }
     }
@@ -112,16 +117,26 @@ fn default_out(opts: &Options) -> PathBuf {
     }
 }
 
-fn write_doc(path: &PathBuf, doc: String) {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
-    }
-    std::fs::write(path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("wrote {}", path.display());
-}
-
 fn main() -> ExitCode {
     let opts = parse_args();
+
+    // `--service <metrics.json>`: print the wisync-serve utilization
+    // summary (cache hits, jobs simulated, request wall time) and exit.
+    if let Some(path) = &opts.service {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        match service_summary(&doc) {
+            Ok(summary) => {
+                print!("{summary}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("--service: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if opts.obs_overhead {
         let reps = if opts.quick { 2 } else { 6 };
@@ -150,13 +165,13 @@ fn main() -> ExitCode {
     }
 
     let out = opts.out.clone().unwrap_or_else(|| default_out(&opts));
-    write_doc(&out, p.profile.render());
+    write_doc(&out, &p.profile.render());
     let chrome = p.chrome.render();
     if let Some(trace) = &opts.trace {
-        write_doc(trace, chrome.clone());
+        write_doc(trace, &chrome);
     }
     if let Some(digest) = &opts.digest {
-        write_doc(digest, trace_digest(&chrome));
+        write_doc(digest, &trace_digest(&chrome));
     }
     ExitCode::SUCCESS
 }

@@ -10,22 +10,18 @@
 //! `--out DIR` redirects every written file from `results/` to `DIR`,
 //! so CI can regenerate and diff without mutating the committed tree.
 //!
-//! Each experiment configuration (a figure row, a table cell) is one job
-//! on a `wisync-testkit` sweep pool. Jobs receive seeds derived from the
-//! base seed and their job index, results come back in job order, and
+//! The grid itself lives in `wisync_bench::grid` (shared with the
+//! `serve` binary, which re-runs slices of it on demand). Each
+//! experiment configuration (a figure row, a table cell) is one job on
+//! a `wisync-testkit` sweep pool. Jobs receive seeds derived from the
+//! base seed and their grid index, results come back in job order, and
 //! floats render deterministically — so two runs with the same `--seed`
 //! produce byte-identical `results/*.json`, regardless of thread count
 //! or OS scheduling. `WISYNC_QUICK=1` (or `--quick`) shrinks the grid
 //! for CI smoke runs.
 
-use std::collections::BTreeMap;
-
-use wisync_bench::{
-    fig10_app, fig11_point, fig11_variants, fig7_core_counts, fig7_row, fig8_lengths, fig8_point,
-    fig9_critical_sections, fig9_point, geomean_util, phys,
-};
-use wisync_testkit::{derive_seed, run_sweep_timed, sweep, Json, SweepJob};
-use wisync_workloads::{AppProfile, CasKind, LivermoreLoop};
+use wisync_bench::grid;
+use wisync_testkit::{run_sweep_timed, sweep, write_doc};
 
 struct Options {
     seed: u64,
@@ -85,151 +81,12 @@ fn print_representative_stats(quick: bool) {
     eprintln!("{}", m.stats());
 }
 
-fn u64s(values: impl IntoIterator<Item = u64>) -> Json {
-    Json::Arr(values.into_iter().map(Json::U64).collect())
-}
-
-fn f64s(values: impl IntoIterator<Item = f64>) -> Json {
-    Json::Arr(values.into_iter().map(Json::F64).collect())
-}
-
-/// Builds the full job grid. Job names are `<figure>/<row>`; the figure
-/// prefix decides which `results/<figure>.json` the row lands in.
-fn build_jobs(quick: bool) -> Vec<SweepJob> {
-    let mut jobs: Vec<SweepJob> = Vec::new();
-    let cores = if quick { 16 } else { 64 };
-
-    // Table 4 is an analytic model: one cheap job.
-    jobs.push(SweepJob::new("table4/overheads", |_rng| {
-        Json::Arr(
-            phys::table4()
-                .into_iter()
-                .map(|row| {
-                    Json::obj([
-                        ("core", Json::Str(row.core.name.to_string())),
-                        ("area_mm2", Json::F64(row.core.area_mm2)),
-                        ("tdp_w", Json::F64(row.core.tdp_w)),
-                        ("t2a_area_pct", Json::F64(row.area_pct)),
-                        ("t2a_power_pct", Json::F64(row.power_pct)),
-                    ])
-                })
-                .collect(),
-        )
-    }));
-
-    // Figure 7: one job per core count.
-    let fig7_cores: Vec<usize> = fig7_core_counts()
-        .into_iter()
-        .filter(|&c| !quick || c <= 32)
-        .collect();
-    for c in fig7_cores {
-        jobs.push(SweepJob::new(format!("fig7/{c}cores"), move |_rng| {
-            Json::obj([
-                ("cores", Json::U64(c as u64)),
-                (
-                    "cycles_per_iter",
-                    u64s(fig7_row(c, if quick { 4 } else { 20 })),
-                ),
-            ])
-        }));
-    }
-
-    // Figure 8: one job per (loop, vector length).
-    for which in [
-        LivermoreLoop::Loop2,
-        LivermoreLoop::Loop3,
-        LivermoreLoop::Loop6,
-    ] {
-        let lengths: Vec<u64> = fig8_lengths(which)
-            .into_iter()
-            .filter(|&n| !quick || n <= 256)
-            .collect();
-        for n in lengths {
-            jobs.push(SweepJob::new(format!("fig8/{which:?}_n{n}"), move |_rng| {
-                Json::obj([
-                    ("loop", Json::Str(format!("{which:?}"))),
-                    ("n", Json::U64(n)),
-                    ("cycles", u64s(fig8_point(which, n, cores))),
-                ])
-            }));
-        }
-    }
-
-    // Figure 9: one job per (kind, critical-section size).
-    for kind in [CasKind::Fifo, CasKind::Lifo, CasKind::Add] {
-        let sections: Vec<u64> = fig9_critical_sections()
-            .into_iter()
-            .filter(|&w| !quick || w <= 1024)
-            .collect();
-        for w in sections {
-            jobs.push(SweepJob::new(format!("fig9/{kind}_w{w}"), move |_rng| {
-                let [baseline, wisync] = fig9_point(kind, w, cores);
-                Json::obj([
-                    ("kind", Json::Str(kind.to_string())),
-                    ("critical_section", Json::U64(w)),
-                    ("cas_per_kcycle", f64s([baseline, wisync])),
-                ])
-            }));
-        }
-    }
-
-    // Figure 10 / Table 5: one job per application; Table 5's utilization
-    // columns fall out of the same runs.
-    let apps: Vec<AppProfile> = if quick {
-        ["streamcluster", "raytrace", "ocean-c", "water-ns", "dedup"]
-            .iter()
-            .map(|n| AppProfile::by_name(n).expect("known app"))
-            .collect()
-    } else {
-        AppProfile::all()
-    };
-    for profile in apps {
-        jobs.push(SweepJob::new(
-            format!("fig10/{}", profile.name),
-            move |_rng| {
-                let r = fig10_app(profile, cores);
-                Json::obj([
-                    ("app", Json::Str(r.name.to_string())),
-                    ("cycles", u64s(r.cycles)),
-                    ("speedup", f64s((0..4).map(|i| r.speedup(i)))),
-                    ("data_utilization", f64s(r.util)),
-                ])
-            },
-        ));
-    }
-
-    // Figure 11: one job per Table 6 variant.
-    for (name, variant) in fig11_variants() {
-        if quick && name != "Default" && name != "SlowNet" {
-            continue;
-        }
-        let quick_apps = quick;
-        jobs.push(SweepJob::new(format!("fig11/{name}"), move |_rng| {
-            let apps: Vec<AppProfile> = if quick_apps {
-                ["streamcluster", "raytrace", "ocean-c"]
-                    .iter()
-                    .map(|n| AppProfile::by_name(n).expect("known app"))
-                    .collect()
-            } else {
-                AppProfile::all()
-            };
-            let [plus, not, wisync] = fig11_point(variant, cores, &apps);
-            Json::obj([
-                ("variant", Json::Str(name.to_string())),
-                ("geomean_speedup", f64s([plus, not, wisync])),
-            ])
-        }));
-    }
-
-    jobs
-}
-
 fn main() {
     let opts = parse_args();
     if opts.stats {
         print_representative_stats(opts.quick);
     }
-    let jobs = build_jobs(opts.quick);
+    let jobs = grid::build_jobs(opts.quick);
     let total = jobs.len();
     eprintln!(
         "sweep: {total} jobs on {} threads, seed {} ({})",
@@ -261,60 +118,24 @@ fn main() {
     }
 
     // Group rows into one JSON file per figure, preserving job order.
-    let mut by_figure: BTreeMap<String, Vec<Json>> = BTreeMap::new();
-    for (index, (name, value, _elapsed)) in timed.into_iter().enumerate() {
-        let (figure, row) = name.split_once('/').expect("job names are figure/row");
-        let entry = Json::obj([
-            ("row", Json::Str(row.to_string())),
-            (
-                "seed",
-                Json::Str(format!("0x{:016x}", derive_seed(opts.seed, index as u64))),
-            ),
-            ("data", value),
-        ]);
-        by_figure.entry(figure.to_string()).or_default().push(entry);
-    }
+    let mut by_figure = grid::group_rows(
+        timed
+            .into_iter()
+            .enumerate()
+            .map(|(index, (name, value, _elapsed))| (index as u64, name, value)),
+        opts.seed,
+    );
 
     // Table 5 (per-app Data-channel utilization + geomean) is a
     // projection of the fig10 runs: derive it from the job outputs
     // instead of re-running every application.
     if let Some(fig10_rows) = by_figure.get("fig10") {
-        let mut rows = Vec::new();
-        let mut utils: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
-        for entry in fig10_rows {
-            let (app, util) = extract_app_util(entry);
-            rows.push(Json::obj([
-                ("app", Json::Str(app)),
-                ("data_utilization_pct", f64s(util.iter().map(|u| u * 100.0))),
-            ]));
-            for (acc, u) in utils.iter_mut().zip(util) {
-                acc.push(u);
-            }
-        }
-        if !utils[0].is_empty() {
-            let gm: Vec<f64> = utils
-                .iter()
-                .map(|col| geomean_util(col.iter().copied()) * 100.0)
-                .collect();
-            rows.push(Json::obj([
-                ("app", Json::Str("GM".to_string())),
-                ("data_utilization_pct", f64s(gm)),
-            ]));
-        }
-        by_figure.insert("table5".to_string(), rows);
+        by_figure.insert("table5".to_string(), grid::derive_table5(fig10_rows));
     }
 
-    std::fs::create_dir_all(&opts.out).expect("create output dir");
     for (figure, rows) in by_figure {
-        let report = Json::obj([
-            ("figure", Json::Str(figure.clone())),
-            ("base_seed", Json::U64(opts.seed)),
-            ("quick", Json::Bool(opts.quick)),
-            ("rows", Json::Arr(rows)),
-        ]);
-        let path = format!("{}/{figure}.json", opts.out);
-        std::fs::write(&path, report.render()).expect("write figure json");
-        println!("wrote {path}");
+        let report = grid::figure_report(&figure, opts.seed, opts.quick, rows);
+        write_doc(format!("{}/{figure}.json", opts.out), &report.render());
     }
 
     // `--profile <job>`: re-run one grid job with full observability and
@@ -324,34 +145,6 @@ fn main() {
             .unwrap_or_else(|e| panic!("--profile: {e}"));
         eprint!("{}", p.render_text());
         let path = format!("{}/obs_profile_{}.json", opts.out, job.replace('/', "_"));
-        std::fs::write(&path, p.profile.render()).expect("write profile json");
-        println!("wrote {path}");
+        write_doc(path, &p.profile.render());
     }
-}
-
-/// Pulls (app name, utilization pair) back out of a fig10 sweep row.
-fn extract_app_util(entry: &Json) -> (String, [f64; 2]) {
-    let Json::Obj(fields) = entry else {
-        panic!("fig10 row is not an object")
-    };
-    let Some(Json::Obj(data)) = fields.iter().find(|(k, _)| k == "data").map(|(_, v)| v) else {
-        panic!("fig10 row has no data object")
-    };
-    let mut app = String::new();
-    let mut util = [0.0f64; 2];
-    for (k, v) in data {
-        match (k.as_str(), v) {
-            ("app", Json::Str(s)) => app = s.clone(),
-            ("data_utilization", Json::Arr(a)) => {
-                for (slot, x) in util.iter_mut().zip(a) {
-                    let Json::F64(f) = x else {
-                        panic!("utilization entry is not a float")
-                    };
-                    *slot = *f;
-                }
-            }
-            _ => {}
-        }
-    }
-    (app, util)
 }

@@ -1,0 +1,322 @@
+//! The paper's full experiment grid as reusable sweep jobs.
+//!
+//! Extracted from the `sweep` binary so `wisync-serve` can run any
+//! slice of the grid on demand with *identical* results: a job's RNG
+//! seed is derived from its global index in the full grid (see
+//! [`wisync_testkit::run_sweep_indexed`]), so serving `fig7` alone
+//! reproduces the exact rows a full sweep writes to
+//! `results/fig7.json`, byte for byte.
+
+use std::collections::BTreeMap;
+
+use wisync_testkit::{derive_seed, Json, SweepJob};
+use wisync_workloads::{AppProfile, CasKind, LivermoreLoop};
+
+use crate::{
+    fig10_app, fig11_point, fig11_variants, fig7_core_counts, fig7_row, fig8_lengths, fig8_point,
+    fig9_critical_sections, fig9_point, geomean_util, phys,
+};
+
+fn u64s(values: impl IntoIterator<Item = u64>) -> Json {
+    Json::Arr(values.into_iter().map(Json::U64).collect())
+}
+
+fn f64s(values: impl IntoIterator<Item = f64>) -> Json {
+    Json::Arr(values.into_iter().map(Json::F64).collect())
+}
+
+/// Builds the full job grid. Job names are `<figure>/<row>`; the figure
+/// prefix decides which `results/<figure>.json` the row lands in. Job
+/// order is the seed-derivation order and must stay stable: appending
+/// new jobs is fine, reordering existing ones changes every committed
+/// seed after the reorder point.
+pub fn build_jobs(quick: bool) -> Vec<SweepJob> {
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    let cores = if quick { 16 } else { 64 };
+
+    // Table 4 is an analytic model: one cheap job.
+    jobs.push(SweepJob::new("table4/overheads", |_rng| {
+        Json::Arr(
+            phys::table4()
+                .into_iter()
+                .map(|row| {
+                    Json::obj([
+                        ("core", Json::Str(row.core.name.to_string())),
+                        ("area_mm2", Json::F64(row.core.area_mm2)),
+                        ("tdp_w", Json::F64(row.core.tdp_w)),
+                        ("t2a_area_pct", Json::F64(row.area_pct)),
+                        ("t2a_power_pct", Json::F64(row.power_pct)),
+                    ])
+                })
+                .collect(),
+        )
+    }));
+
+    // Figure 7: one job per core count.
+    let fig7_cores: Vec<usize> = fig7_core_counts()
+        .into_iter()
+        .filter(|&c| !quick || c <= 32)
+        .collect();
+    for c in fig7_cores {
+        jobs.push(SweepJob::new(format!("fig7/{c}cores"), move |_rng| {
+            Json::obj([
+                ("cores", Json::U64(c as u64)),
+                (
+                    "cycles_per_iter",
+                    u64s(fig7_row(c, if quick { 4 } else { 20 })),
+                ),
+            ])
+        }));
+    }
+
+    // Figure 8: one job per (loop, vector length).
+    for which in [
+        LivermoreLoop::Loop2,
+        LivermoreLoop::Loop3,
+        LivermoreLoop::Loop6,
+    ] {
+        let lengths: Vec<u64> = fig8_lengths(which)
+            .into_iter()
+            .filter(|&n| !quick || n <= 256)
+            .collect();
+        for n in lengths {
+            jobs.push(SweepJob::new(format!("fig8/{which:?}_n{n}"), move |_rng| {
+                Json::obj([
+                    ("loop", Json::Str(format!("{which:?}"))),
+                    ("n", Json::U64(n)),
+                    ("cycles", u64s(fig8_point(which, n, cores))),
+                ])
+            }));
+        }
+    }
+
+    // Figure 9: one job per (kind, critical-section size).
+    for kind in [CasKind::Fifo, CasKind::Lifo, CasKind::Add] {
+        let sections: Vec<u64> = fig9_critical_sections()
+            .into_iter()
+            .filter(|&w| !quick || w <= 1024)
+            .collect();
+        for w in sections {
+            jobs.push(SweepJob::new(format!("fig9/{kind}_w{w}"), move |_rng| {
+                let [baseline, wisync] = fig9_point(kind, w, cores);
+                Json::obj([
+                    ("kind", Json::Str(kind.to_string())),
+                    ("critical_section", Json::U64(w)),
+                    ("cas_per_kcycle", f64s([baseline, wisync])),
+                ])
+            }));
+        }
+    }
+
+    // Figure 10 / Table 5: one job per application; Table 5's utilization
+    // columns fall out of the same runs.
+    let apps: Vec<AppProfile> = if quick {
+        ["streamcluster", "raytrace", "ocean-c", "water-ns", "dedup"]
+            .iter()
+            .map(|n| AppProfile::by_name(n).expect("known app"))
+            .collect()
+    } else {
+        AppProfile::all()
+    };
+    for profile in apps {
+        jobs.push(SweepJob::new(
+            format!("fig10/{}", profile.name),
+            move |_rng| {
+                let r = fig10_app(profile, cores);
+                Json::obj([
+                    ("app", Json::Str(r.name.to_string())),
+                    ("cycles", u64s(r.cycles)),
+                    ("speedup", f64s((0..4).map(|i| r.speedup(i)))),
+                    ("data_utilization", f64s(r.util)),
+                ])
+            },
+        ));
+    }
+
+    // Figure 11: one job per Table 6 variant.
+    for (name, variant) in fig11_variants() {
+        if quick && name != "Default" && name != "SlowNet" {
+            continue;
+        }
+        let quick_apps = quick;
+        jobs.push(SweepJob::new(format!("fig11/{name}"), move |_rng| {
+            let apps: Vec<AppProfile> = if quick_apps {
+                ["streamcluster", "raytrace", "ocean-c"]
+                    .iter()
+                    .map(|n| AppProfile::by_name(n).expect("known app"))
+                    .collect()
+            } else {
+                AppProfile::all()
+            };
+            let [plus, not, wisync] = fig11_point(variant, cores, &apps);
+            Json::obj([
+                ("variant", Json::Str(name.to_string())),
+                ("geomean_speedup", f64s([plus, not, wisync])),
+            ])
+        }));
+    }
+
+    jobs
+}
+
+/// Every figure/table name the grid can produce, including the derived
+/// `table5` (deterministic order).
+pub fn figure_names(quick: bool) -> Vec<String> {
+    let mut names: Vec<String> = build_jobs(quick)
+        .iter()
+        .map(|j| {
+            j.name
+                .split_once('/')
+                .expect("job names are figure/row")
+                .0
+                .to_string()
+        })
+        .collect();
+    names.push("table5".to_string());
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The jobs of one figure, each with its *global* index in the full
+/// grid — the index its seed is derived from. `table5` maps to the
+/// `fig10` jobs it is derived from. Returns an empty vector for unknown
+/// figures.
+pub fn figure_jobs(quick: bool, figure: &str) -> Vec<(u64, SweepJob)> {
+    let source = if figure == "table5" { "fig10" } else { figure };
+    build_jobs(quick)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, job)| {
+            job.name
+                .split_once('/')
+                .is_some_and(|(fig, _)| fig == source)
+        })
+        .map(|(i, job)| (i as u64, job))
+        .collect()
+}
+
+/// Turns indexed job results into per-figure row lists: each row is
+/// `{row, seed, data}` with the seed stamped from the job's global
+/// index, exactly as the full sweep writes it.
+pub fn group_rows(
+    results: impl IntoIterator<Item = (u64, String, Json)>,
+    base_seed: u64,
+) -> BTreeMap<String, Vec<Json>> {
+    let mut by_figure: BTreeMap<String, Vec<Json>> = BTreeMap::new();
+    for (index, name, value) in results {
+        let (figure, row) = name.split_once('/').expect("job names are figure/row");
+        let entry = Json::obj([
+            ("row", Json::Str(row.to_string())),
+            (
+                "seed",
+                Json::Str(format!("0x{:016x}", derive_seed(base_seed, index))),
+            ),
+            ("data", value),
+        ]);
+        by_figure.entry(figure.to_string()).or_default().push(entry);
+    }
+    by_figure
+}
+
+/// Derives the Table 5 rows (per-app Data-channel utilization +
+/// geomean) from already-computed `fig10` rows, as a projection instead
+/// of a re-run.
+pub fn derive_table5(fig10_rows: &[Json]) -> Vec<Json> {
+    let mut rows = Vec::new();
+    let mut utils: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for entry in fig10_rows {
+        let (app, util) = extract_app_util(entry);
+        rows.push(Json::obj([
+            ("app", Json::Str(app)),
+            ("data_utilization_pct", f64s(util.iter().map(|u| u * 100.0))),
+        ]));
+        for (acc, u) in utils.iter_mut().zip(util) {
+            acc.push(u);
+        }
+    }
+    if !utils[0].is_empty() {
+        let gm: Vec<f64> = utils
+            .iter()
+            .map(|col| geomean_util(col.iter().copied()) * 100.0)
+            .collect();
+        rows.push(Json::obj([
+            ("app", Json::Str("GM".to_string())),
+            ("data_utilization_pct", f64s(gm)),
+        ]));
+    }
+    rows
+}
+
+/// The document written to `results/<figure>.json`: figure name, base
+/// seed, grid size, and the rows.
+pub fn figure_report(figure: &str, base_seed: u64, quick: bool, rows: Vec<Json>) -> Json {
+    Json::obj([
+        ("figure", Json::Str(figure.to_string())),
+        ("base_seed", Json::U64(base_seed)),
+        ("quick", Json::Bool(quick)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// Pulls (app name, utilization pair) back out of a fig10 sweep row.
+fn extract_app_util(entry: &Json) -> (String, [f64; 2]) {
+    let Some(Json::Obj(data)) = entry.get("data") else {
+        panic!("fig10 row has no data object")
+    };
+    let mut app = String::new();
+    let mut util = [0.0f64; 2];
+    for (k, v) in data {
+        match (k.as_str(), v) {
+            ("app", Json::Str(s)) => app = s.clone(),
+            ("data_utilization", Json::Arr(a)) => {
+                for (slot, x) in util.iter_mut().zip(a) {
+                    let Json::F64(f) = x else {
+                        panic!("utilization entry is not a float")
+                    };
+                    *slot = *f;
+                }
+            }
+            _ => {}
+        }
+    }
+    (app, util)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_jobs_keep_global_indices() {
+        let all = build_jobs(true);
+        let fig9 = figure_jobs(true, "fig9");
+        assert!(!fig9.is_empty());
+        for (index, job) in &fig9 {
+            assert_eq!(all[*index as usize].name, job.name);
+            assert!(job.name.starts_with("fig9/"));
+        }
+        // table5 is served from the fig10 jobs.
+        let t5 = figure_jobs(true, "table5");
+        assert!(t5.iter().all(|(_, j)| j.name.starts_with("fig10/")));
+        assert!(figure_jobs(true, "fig99").is_empty());
+    }
+
+    #[test]
+    fn figure_names_cover_grid_and_table5() {
+        let names = figure_names(true);
+        for expected in ["fig7", "fig8", "fig9", "fig10", "fig11", "table4", "table5"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn group_rows_stamps_global_seed() {
+        let rows = group_rows([(7u64, "figX/row".to_string(), Json::U64(1))], 0xC0DE);
+        let entry = &rows["figX"][0];
+        assert_eq!(
+            entry.get("seed"),
+            Some(&Json::Str(format!("0x{:016x}", derive_seed(0xC0DE, 7))))
+        );
+    }
+}

@@ -7,8 +7,10 @@
 //! Criterion so `cargo bench` exercises every experiment.
 
 pub mod chaos;
+pub mod grid;
 pub mod perf;
 pub mod report;
+pub mod serve_metrics;
 
 use wisync_core::{Machine, MachineConfig, MachineKind};
 use wisync_workloads::{

@@ -1,0 +1,151 @@
+//! Service-utilization metrics for `wisync-serve`.
+//!
+//! The job service counts what it did (jobs simulated, cache hits,
+//! bytes held in the result cache, per-request wall time) into a
+//! [`ServiceMetrics`] and persists it as an obs-profile-style JSON
+//! document next to the cache. The `report` binary reads that document
+//! back (`--service <path>`) and prints the utilization summary, so
+//! service health lands in the same place as every other profile.
+//!
+//! Wall times are host measurements: the JSON is *not* byte-reproducible
+//! across runs (unlike the figure reports), which is why it lives under
+//! `results/cache/` with the other uncommitted service state.
+
+use wisync_obs::histogram_json;
+use wisync_sim::Histogram;
+use wisync_testkit::Json;
+
+/// What the job service has done since its cache directory was created.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Grid jobs actually simulated (cache misses re-run the slice).
+    pub jobs_run: u64,
+    /// Requests answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Requests that missed and had to simulate.
+    pub cache_misses: u64,
+    /// Bytes currently stored in the result cache.
+    pub cache_bytes: u64,
+    /// Wall time per request, in microseconds (hits and misses both).
+    pub request_wall_us: Histogram,
+}
+
+impl ServiceMetrics {
+    /// Records a request served from the cache.
+    pub fn record_hit(&mut self, wall_us: u64) {
+        self.cache_hits += 1;
+        self.request_wall_us.record(wall_us);
+    }
+
+    /// Records a request that simulated `jobs` grid jobs.
+    pub fn record_miss(&mut self, jobs: u64, wall_us: u64) {
+        self.cache_misses += 1;
+        self.jobs_run += jobs;
+        self.request_wall_us.record(wall_us);
+    }
+
+    /// Fraction of requests served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes the metrics in the obs-profile document style.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("jobs_run", Json::U64(self.jobs_run)),
+            ("cache_hits", Json::U64(self.cache_hits)),
+            ("cache_misses", Json::U64(self.cache_misses)),
+            ("cache_bytes", Json::U64(self.cache_bytes)),
+            ("hit_rate", Json::F64(self.hit_rate())),
+            ("request_wall_us", histogram_json(&self.request_wall_us)),
+        ])
+    }
+}
+
+/// Renders the service utilization summary from a metrics document (the
+/// parsed form of what [`ServiceMetrics::to_json`] wrote).
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field.
+pub fn service_summary(doc: &Json) -> Result<String, String> {
+    let int = |key: &str| match doc.get(key) {
+        Some(Json::U64(n)) => Ok(*n),
+        _ => Err(format!("service metrics: missing integer field {key:?}")),
+    };
+    let jobs_run = int("jobs_run")?;
+    let hits = int("cache_hits")?;
+    let misses = int("cache_misses")?;
+    let bytes = int("cache_bytes")?;
+    let requests = hits + misses;
+    let hit_pct = if requests == 0 {
+        0.0
+    } else {
+        hits as f64 * 100.0 / requests as f64
+    };
+    let mut out = String::new();
+    out.push_str("service utilization\n");
+    out.push_str(&format!(
+        "  requests: {requests} ({hits} cache hits, {misses} misses, {hit_pct:.1}% hit rate)\n"
+    ));
+    out.push_str(&format!("  grid jobs simulated: {jobs_run}\n"));
+    out.push_str(&format!("  result cache: {bytes} bytes\n"));
+    if let Some(wall) = doc.get("request_wall_us") {
+        let stat = |key: &str| match wall.get(key) {
+            Some(Json::U64(n)) => Some(*n as f64),
+            Some(Json::F64(f)) => Some(*f),
+            _ => None,
+        };
+        if let (Some(count), Some(mean), Some(max)) = (stat("count"), stat("mean"), stat("max")) {
+            if count > 0.0 {
+                out.push_str(&format!(
+                    "  request wall time: mean {:.1} ms, max {:.1} ms\n",
+                    mean / 1e3,
+                    max / 1e3
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_roundtrip_through_summary() {
+        let mut m = ServiceMetrics::default();
+        m.record_miss(12, 45_000);
+        m.record_hit(300);
+        m.record_hit(250);
+        m.cache_bytes = 4_096;
+        assert!((m.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+        let doc = Json::parse(&m.to_json().render()).unwrap();
+        let text = service_summary(&doc).unwrap();
+        assert!(text.contains("requests: 3 (2 cache hits, 1 misses, 66.7% hit rate)"));
+        assert!(text.contains("grid jobs simulated: 12"));
+        assert!(text.contains("result cache: 4096 bytes"));
+        assert!(text.contains("request wall time:"));
+    }
+
+    #[test]
+    fn summary_rejects_malformed_documents() {
+        assert!(service_summary(&Json::U64(1)).is_err());
+        assert!(service_summary(&Json::obj([("jobs_run", Json::Str("x".into()))])).is_err());
+    }
+
+    #[test]
+    fn idle_metrics_summarize_cleanly() {
+        let doc = Json::parse(&ServiceMetrics::default().to_json().render()).unwrap();
+        let text = service_summary(&doc).unwrap();
+        assert!(text.contains("requests: 0 (0 cache hits, 0 misses, 0.0% hit rate)"));
+        assert!(!text.contains("request wall time:"));
+    }
+}

@@ -256,6 +256,46 @@ impl BroadcastMemory {
     pub fn owner_phys(&self, phys: usize) -> Option<Pid> {
         self.entries[phys].owner
     }
+
+    /// Serializes every entry and page table. Tables are written in PID
+    /// order so identical states produce identical bytes; each table's
+    /// page list keeps its order (vpages index into it).
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.seq(self.entries.len());
+        for e in &self.entries {
+            w.option(e.owner, |w, pid| w.u32(pid.0));
+            w.u64(e.value);
+        }
+        let mut tables: Vec<_> = self.tables.iter().collect();
+        tables.sort_unstable_by_key(|(pid, _)| **pid);
+        w.seq(tables.len());
+        for (pid, table) in tables {
+            w.u32(pid.0);
+            w.seq(table.pages.len());
+            for &ppage in &table.pages {
+                w.usize(ppage);
+            }
+        }
+    }
+
+    /// Rebuilds a BM from [`BroadcastMemory::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        let n = r.seq()?;
+        let mut bm = BroadcastMemory::new(n);
+        for e in bm.entries.iter_mut() {
+            e.owner = r.option(|r| Ok(Pid(r.u32()?)))?;
+            e.value = r.u64()?;
+        }
+        for _ in 0..r.seq()? {
+            let pid = Pid(r.u32()?);
+            let mut pages = Vec::new();
+            for _ in 0..r.seq()? {
+                pages.push(r.usize()?);
+            }
+            bm.tables.insert(pid, ProcessTable { pages });
+        }
+        Ok(bm)
+    }
 }
 
 #[cfg(test)]

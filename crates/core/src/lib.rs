@@ -56,7 +56,10 @@ pub mod trace;
 
 pub use bm::{BmError, BroadcastMemory, Pid};
 pub use config::{BmConsistency, ExecMode, MachineConfig, MachineKind};
-pub use machine::{Machine, RunOutcome, RunReport, ScheduleError, ThreadImage, WirelessMsg};
+pub use machine::{
+    Machine, RunOutcome, RunReport, ScheduleError, ThreadImage, WirelessMsg, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use stats::MachineStats;
 pub use trace::{ChromeTrace, Trace, TraceEvent, TraceSink};
 // Fault-injection vocabulary, re-exported so workloads and harnesses can
@@ -66,3 +69,6 @@ pub use wisync_fault::{
 };
 // Observability vocabulary, re-exported on the same grounds.
 pub use wisync_obs::{Attribution, Bucket, ObsConfig, ObsState, Timeline};
+// Snapshot error vocabulary, so `Machine::restore` callers don't need a
+// direct `wisync-sim` dependency.
+pub use wisync_sim::SnapError;

@@ -2519,3 +2519,961 @@ impl Machine {
         }
     }
 }
+
+// --- Machine snapshot/restore ----------------------------------------------
+//
+// Serializes the *entire* simulation state — cores, BM, caches, directory,
+// wireless channels, event queue, RNGs, obs/fault state — at a cycle
+// boundary (between `run` calls), so a restored machine continues
+// byte-identically to one that was never interrupted. The format is a
+// sealed `wisync_sim::snap` container: magic + version + payload digest,
+// so corrupted or version-skewed snapshots are rejected, never silently
+// loaded. Two pieces of machine state are deliberately NOT captured:
+// the trace sink (a host-side observer; reinstall one after restoring)
+// and the shard executor (host placement state, rebuilt from the
+// restored config — sharding is result-neutral by construction).
+
+use wisync_sim::{SnapError, SnapReader, SnapWriter};
+
+use crate::config::MachineKind;
+
+/// Magic bytes of a sealed machine snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"WISYNCSN";
+
+/// Machine snapshot format version. Bump on any layout change; old
+/// versions are rejected with [`SnapError::UnsupportedVersion`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+fn write_space(w: &mut SnapWriter, s: Space) {
+    w.u8(match s {
+        Space::Cached => 0,
+        Space::Bm => 1,
+    });
+}
+
+fn read_space(r: &mut SnapReader<'_>) -> Result<Space, SnapError> {
+    match r.u8()? {
+        0 => Ok(Space::Cached),
+        1 => Ok(Space::Bm),
+        _ => Err(SnapError::Invalid("space tag")),
+    }
+}
+
+fn write_rmw_spec(w: &mut SnapWriter, k: RmwSpec) {
+    match k {
+        RmwSpec::Cas { expected, new } => {
+            w.u8(0);
+            w.u8(expected.0);
+            w.u8(new.0);
+        }
+        RmwSpec::Swap { src } => {
+            w.u8(1);
+            w.u8(src.0);
+        }
+        RmwSpec::FetchAdd { src } => {
+            w.u8(2);
+            w.u8(src.0);
+        }
+        RmwSpec::FetchInc => w.u8(3),
+        RmwSpec::TestSet => w.u8(4),
+    }
+}
+
+fn read_rmw_spec(r: &mut SnapReader<'_>) -> Result<RmwSpec, SnapError> {
+    Ok(match r.u8()? {
+        0 => RmwSpec::Cas {
+            expected: Reg(r.u8()?),
+            new: Reg(r.u8()?),
+        },
+        1 => RmwSpec::Swap { src: Reg(r.u8()?) },
+        2 => RmwSpec::FetchAdd { src: Reg(r.u8()?) },
+        3 => RmwSpec::FetchInc,
+        4 => RmwSpec::TestSet,
+        _ => return Err(SnapError::Invalid("rmw spec tag")),
+    })
+}
+
+/// Serializes one instruction. Branch targets are already resolved to
+/// pcs in a built [`Program`], so labels round-trip as raw indices and
+/// [`Program::from_resolved`] re-validates them on restore.
+fn write_instr(w: &mut SnapWriter, i: &Instr) {
+    use wisync_isa::Instr as I;
+    let r3 = |w: &mut SnapWriter, tag: u8, d: Reg, a: Reg, b: Reg| {
+        w.u8(tag);
+        w.u8(d.0);
+        w.u8(a.0);
+        w.u8(b.0);
+    };
+    match *i {
+        I::Li { dst, imm } => {
+            w.u8(0);
+            w.u8(dst.0);
+            w.u64(imm);
+        }
+        I::Mov { dst, src } => {
+            w.u8(1);
+            w.u8(dst.0);
+            w.u8(src.0);
+        }
+        I::Add { dst, a, b } => r3(w, 2, dst, a, b),
+        I::Addi { dst, a, imm } => {
+            w.u8(3);
+            w.u8(dst.0);
+            w.u8(a.0);
+            w.u64(imm);
+        }
+        I::Sub { dst, a, b } => r3(w, 4, dst, a, b),
+        I::Mul { dst, a, b } => r3(w, 5, dst, a, b),
+        I::And { dst, a, b } => r3(w, 6, dst, a, b),
+        I::Or { dst, a, b } => r3(w, 7, dst, a, b),
+        I::Xor { dst, a, b } => r3(w, 8, dst, a, b),
+        I::Shl { dst, a, b } => r3(w, 9, dst, a, b),
+        I::Shr { dst, a, b } => r3(w, 10, dst, a, b),
+        I::CmpEq { dst, a, b } => r3(w, 11, dst, a, b),
+        I::CmpLt { dst, a, b } => r3(w, 12, dst, a, b),
+        I::Jump { target } => {
+            w.u8(13);
+            w.u32(target.0);
+        }
+        I::Beqz { cond, target } => {
+            w.u8(14);
+            w.u8(cond.0);
+            w.u32(target.0);
+        }
+        I::Bnez { cond, target } => {
+            w.u8(15);
+            w.u8(cond.0);
+            w.u32(target.0);
+        }
+        I::Compute { cycles } => {
+            w.u8(16);
+            w.u64(cycles);
+        }
+        I::Ld {
+            dst,
+            base,
+            offset,
+            space,
+        } => {
+            w.u8(17);
+            w.u8(dst.0);
+            w.u8(base.0);
+            w.u64(offset);
+            write_space(w, space);
+        }
+        I::St {
+            src,
+            base,
+            offset,
+            space,
+        } => {
+            w.u8(18);
+            w.u8(src.0);
+            w.u8(base.0);
+            w.u64(offset);
+            write_space(w, space);
+        }
+        I::Rmw {
+            kind,
+            dst,
+            base,
+            offset,
+            space,
+        } => {
+            w.u8(19);
+            write_rmw_spec(w, kind);
+            w.u8(dst.0);
+            w.u8(base.0);
+            w.u64(offset);
+            write_space(w, space);
+        }
+        I::BulkLd { dst, base, offset } => {
+            w.u8(20);
+            w.u8(dst.0);
+            w.u8(base.0);
+            w.u64(offset);
+        }
+        I::BulkSt { src, base, offset } => {
+            w.u8(21);
+            w.u8(src.0);
+            w.u8(base.0);
+            w.u64(offset);
+        }
+        I::ReadAfb { dst } => {
+            w.u8(22);
+            w.u8(dst.0);
+        }
+        I::ReadWcb { dst } => {
+            w.u8(23);
+            w.u8(dst.0);
+        }
+        I::ToneSt { base, offset } => {
+            w.u8(24);
+            w.u8(base.0);
+            w.u64(offset);
+        }
+        I::ToneLd { dst, base, offset } => {
+            w.u8(25);
+            w.u8(dst.0);
+            w.u8(base.0);
+            w.u64(offset);
+        }
+        I::WaitWhile {
+            cond,
+            base,
+            offset,
+            value,
+            space,
+        } => {
+            w.u8(26);
+            w.u8(match cond {
+                Cond::Eq => 0,
+                Cond::Ne => 1,
+            });
+            w.u8(base.0);
+            w.u64(offset);
+            w.u8(value.0);
+            write_space(w, space);
+        }
+        I::Halt => w.u8(27),
+    }
+}
+
+fn read_instr(r: &mut SnapReader<'_>) -> Result<Instr, SnapError> {
+    use wisync_isa::{Instr as I, Label};
+    let reg = |r: &mut SnapReader<'_>| -> Result<Reg, SnapError> { Ok(Reg(r.u8()?)) };
+    Ok(match r.u8()? {
+        0 => I::Li {
+            dst: reg(r)?,
+            imm: r.u64()?,
+        },
+        1 => I::Mov {
+            dst: reg(r)?,
+            src: reg(r)?,
+        },
+        2 => I::Add {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        3 => I::Addi {
+            dst: reg(r)?,
+            a: reg(r)?,
+            imm: r.u64()?,
+        },
+        4 => I::Sub {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        5 => I::Mul {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        6 => I::And {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        7 => I::Or {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        8 => I::Xor {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        9 => I::Shl {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        10 => I::Shr {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        11 => I::CmpEq {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        12 => I::CmpLt {
+            dst: reg(r)?,
+            a: reg(r)?,
+            b: reg(r)?,
+        },
+        13 => I::Jump {
+            target: Label(r.u32()?),
+        },
+        14 => I::Beqz {
+            cond: reg(r)?,
+            target: Label(r.u32()?),
+        },
+        15 => I::Bnez {
+            cond: reg(r)?,
+            target: Label(r.u32()?),
+        },
+        16 => I::Compute { cycles: r.u64()? },
+        17 => I::Ld {
+            dst: reg(r)?,
+            base: reg(r)?,
+            offset: r.u64()?,
+            space: read_space(r)?,
+        },
+        18 => I::St {
+            src: reg(r)?,
+            base: reg(r)?,
+            offset: r.u64()?,
+            space: read_space(r)?,
+        },
+        19 => I::Rmw {
+            kind: read_rmw_spec(r)?,
+            dst: reg(r)?,
+            base: reg(r)?,
+            offset: r.u64()?,
+            space: read_space(r)?,
+        },
+        20 => I::BulkLd {
+            dst: reg(r)?,
+            base: reg(r)?,
+            offset: r.u64()?,
+        },
+        21 => I::BulkSt {
+            src: reg(r)?,
+            base: reg(r)?,
+            offset: r.u64()?,
+        },
+        22 => I::ReadAfb { dst: reg(r)? },
+        23 => I::ReadWcb { dst: reg(r)? },
+        24 => I::ToneSt {
+            base: reg(r)?,
+            offset: r.u64()?,
+        },
+        25 => I::ToneLd {
+            dst: reg(r)?,
+            base: reg(r)?,
+            offset: r.u64()?,
+        },
+        26 => I::WaitWhile {
+            cond: match r.u8()? {
+                0 => Cond::Eq,
+                1 => Cond::Ne,
+                _ => return Err(SnapError::Invalid("cond tag")),
+            },
+            base: reg(r)?,
+            offset: r.u64()?,
+            value: reg(r)?,
+            space: read_space(r)?,
+        },
+        27 => I::Halt,
+        _ => return Err(SnapError::Invalid("instruction tag")),
+    })
+}
+
+fn write_msg(w: &mut SnapWriter, m: &WirelessMsg) {
+    match *m {
+        WirelessMsg::BmWrite { phys, value, core } => {
+            w.u8(0);
+            w.usize(phys);
+            w.u64(value);
+            w.usize(core);
+        }
+        WirelessMsg::BmRmwWrite { phys, value, core } => {
+            w.u8(1);
+            w.usize(phys);
+            w.u64(value);
+            w.usize(core);
+        }
+        WirelessMsg::Bulk { phys, values, core } => {
+            w.u8(2);
+            w.usize(phys);
+            for v in values {
+                w.u64(v);
+            }
+            w.usize(core);
+        }
+        WirelessMsg::ToneInit { phys, core } => {
+            w.u8(3);
+            w.usize(phys);
+            w.usize(core);
+        }
+        WirelessMsg::Resync { phys, value } => {
+            w.u8(4);
+            w.usize(phys);
+            w.u64(value);
+        }
+    }
+}
+
+fn read_msg(r: &mut SnapReader<'_>) -> Result<WirelessMsg, SnapError> {
+    Ok(match r.u8()? {
+        0 => WirelessMsg::BmWrite {
+            phys: r.usize()?,
+            value: r.u64()?,
+            core: r.usize()?,
+        },
+        1 => WirelessMsg::BmRmwWrite {
+            phys: r.usize()?,
+            value: r.u64()?,
+            core: r.usize()?,
+        },
+        2 => {
+            let phys = r.usize()?;
+            let mut values = [0u64; 4];
+            for v in &mut values {
+                *v = r.u64()?;
+            }
+            WirelessMsg::Bulk {
+                phys,
+                values,
+                core: r.usize()?,
+            }
+        }
+        3 => WirelessMsg::ToneInit {
+            phys: r.usize()?,
+            core: r.usize()?,
+        },
+        4 => WirelessMsg::Resync {
+            phys: r.usize()?,
+            value: r.u64()?,
+        },
+        _ => return Err(SnapError::Invalid("wireless message tag")),
+    })
+}
+
+fn write_frame(w: &mut SnapWriter, f: &TxFrame) {
+    write_msg(w, &f.msg);
+    w.u32(f.attempt);
+}
+
+fn read_frame(r: &mut SnapReader<'_>) -> Result<TxFrame, SnapError> {
+    Ok(TxFrame {
+        msg: read_msg(r)?,
+        attempt: r.u32()?,
+    })
+}
+
+fn write_event(w: &mut SnapWriter, e: &Event) {
+    match e {
+        Event::Resume(core) => {
+            w.u8(0);
+            w.usize(*core);
+        }
+        Event::WaitCheck(core) => {
+            w.u8(1);
+            w.usize(*core);
+        }
+        Event::ChannelResolve(ch) => {
+            w.u8(2);
+            w.usize(*ch);
+        }
+        Event::Deliver(frame) => {
+            w.u8(3);
+            write_frame(w, frame);
+        }
+        Event::ToneComplete { phys } => {
+            w.u8(4);
+            w.usize(*phys);
+        }
+        Event::ToneObserve { core, phys } => {
+            w.u8(5);
+            w.usize(*core);
+            w.usize(*phys);
+        }
+        Event::FaultAudit => w.u8(6),
+    }
+}
+
+fn read_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
+    Ok(match r.u8()? {
+        0 => Event::Resume(r.usize()?),
+        1 => Event::WaitCheck(r.usize()?),
+        2 => Event::ChannelResolve(r.usize()?),
+        3 => Event::Deliver(Box::new(read_frame(r)?)),
+        4 => Event::ToneComplete { phys: r.usize()? },
+        5 => Event::ToneObserve {
+            core: r.usize()?,
+            phys: r.usize()?,
+        },
+        6 => Event::FaultAudit,
+        _ => return Err(SnapError::Invalid("event tag")),
+    })
+}
+
+fn write_core(w: &mut SnapWriter, c: &Core) {
+    w.u32(c.pid.0);
+    w.option(c.program.as_ref(), |w, p| {
+        w.seq(p.len());
+        for i in p.instrs() {
+            write_instr(w, i);
+        }
+    });
+    w.usize(c.pc);
+    for &v in &c.regs {
+        w.u64(v);
+    }
+    w.u8(match c.status {
+        CoreStatus::Idle => 0,
+        CoreStatus::Running => 1,
+        CoreStatus::Blocked => 2,
+        CoreStatus::Sleeping => 3,
+        CoreStatus::Halted => 4,
+        CoreStatus::Preempted => 5,
+        CoreStatus::Faulted => 6,
+    });
+    w.bool(c.afb);
+    w.bool(c.preempt_pending);
+    w.option(c.store_buffer, |w, (phys, value)| {
+        w.usize(phys);
+        w.u64(value);
+    });
+    w.bool(c.drain_block);
+    w.option(c.pending_rmw, |w, p| {
+        w.usize(p.phys);
+        w.u64(p.token.as_u64());
+        w.bool(p.is_cas);
+        w.bool(p.aborted);
+    });
+    w.option(c.pending_load, |w, (dst, addr)| {
+        w.u8(dst.0);
+        w.u64(addr);
+    });
+    w.u32(c.rmw_exp);
+    w.option(c.wait, |w, info| {
+        w.u8(match info.cond {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+        });
+        write_space(w, info.space);
+        w.u64(info.loc);
+        w.u64(info.value);
+    });
+    w.option(c.finish, |w, f| w.u64(f.as_u64()));
+}
+
+fn read_core(r: &mut SnapReader<'_>) -> Result<Core, SnapError> {
+    let mut c = Core::new();
+    c.pid = Pid(r.u32()?);
+    c.program = r.option(|r| {
+        let n = r.seq()?;
+        let mut instrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            instrs.push(read_instr(r)?);
+        }
+        Program::from_resolved(instrs).map_err(|_| SnapError::Invalid("invalid program"))
+    })?;
+    // The micro-op lowering is a pure function of the program — derived,
+    // not stored.
+    c.decoded = c.program.as_ref().map(DecodedProgram::decode);
+    c.pc = r.usize()?;
+    for v in &mut c.regs {
+        *v = r.u64()?;
+    }
+    c.status = match r.u8()? {
+        0 => CoreStatus::Idle,
+        1 => CoreStatus::Running,
+        2 => CoreStatus::Blocked,
+        3 => CoreStatus::Sleeping,
+        4 => CoreStatus::Halted,
+        5 => CoreStatus::Preempted,
+        6 => CoreStatus::Faulted,
+        _ => return Err(SnapError::Invalid("core status tag")),
+    };
+    c.afb = r.bool()?;
+    c.preempt_pending = r.bool()?;
+    c.store_buffer = r.option(|r| Ok((r.usize()?, r.u64()?)))?;
+    c.drain_block = r.bool()?;
+    c.pending_rmw = r.option(|r| {
+        Ok(PendingRmw {
+            phys: r.usize()?,
+            token: TxToken::from_u64(r.u64()?),
+            is_cas: r.bool()?,
+            aborted: r.bool()?,
+        })
+    })?;
+    c.pending_load = r.option(|r| Ok((Reg(r.u8()?), r.u64()?)))?;
+    c.rmw_exp = r.u32()?;
+    c.wait = r.option(|r| {
+        Ok(WaitInfo {
+            cond: match r.u8()? {
+                0 => Cond::Eq,
+                1 => Cond::Ne,
+                _ => return Err(SnapError::Invalid("cond tag")),
+            },
+            space: read_space(r)?,
+            loc: r.u64()?,
+            value: r.u64()?,
+        })
+    })?;
+    c.finish = r.option(|r| Ok(Cycle(r.u64()?)))?;
+    Ok(c)
+}
+
+fn write_config(w: &mut SnapWriter, c: &MachineConfig) {
+    w.u8(match c.kind {
+        MachineKind::Baseline => 0,
+        MachineKind::BaselinePlus => 1,
+        MachineKind::WiSyncNoT => 2,
+        MachineKind::WiSync => 3,
+    });
+    w.usize(c.cores);
+    w.u64(c.hop_latency);
+    w.usize(c.mem.l1_bytes);
+    w.usize(c.mem.l1_assoc);
+    w.u64(c.mem.l1_rt);
+    w.u64(c.mem.l2_rt);
+    w.u64(c.mem.mem_rt);
+    w.bool(c.mem.tree_multicast);
+    w.u64(c.wireless.tx_cycles);
+    w.u64(c.wireless.bulk_cycles);
+    w.u64(c.wireless.collision_cycles);
+    w.u32(c.wireless.max_backoff_exp);
+    w.u64(c.wireless.seed);
+    w.u8(match c.wireless.mac_policy {
+        wisync_wireless::MacPolicy::Exponential => 0,
+        wisync_wireless::MacPolicy::Reactive => 1,
+    });
+    w.usize(c.wireless.data_channels);
+    w.u64(c.bm_rt);
+    w.usize(c.bm_entries);
+    w.usize(c.tone_table_capacity);
+    w.u8(match c.bm_consistency {
+        BmConsistency::Sc => 0,
+        BmConsistency::Tso => 1,
+    });
+    w.u64(c.seed);
+    w.u8(match c.exec {
+        ExecMode::Uop => 0,
+        ExecMode::Reference => 1,
+    });
+    w.usize(c.shards);
+    w.option(c.shard_threads, |w, t| w.usize(t));
+}
+
+fn read_config(r: &mut SnapReader<'_>) -> Result<MachineConfig, SnapError> {
+    let kind = match r.u8()? {
+        0 => MachineKind::Baseline,
+        1 => MachineKind::BaselinePlus,
+        2 => MachineKind::WiSyncNoT,
+        3 => MachineKind::WiSync,
+        _ => return Err(SnapError::Invalid("machine kind tag")),
+    };
+    let cores = r.usize()?;
+    let hop_latency = r.u64()?;
+    let mem = wisync_mem::MemConfig {
+        l1_bytes: r.usize()?,
+        l1_assoc: r.usize()?,
+        l1_rt: r.u64()?,
+        l2_rt: r.u64()?,
+        mem_rt: r.u64()?,
+        tree_multicast: r.bool()?,
+    };
+    let wireless = wisync_wireless::WirelessConfig {
+        tx_cycles: r.u64()?,
+        bulk_cycles: r.u64()?,
+        collision_cycles: r.u64()?,
+        max_backoff_exp: r.u32()?,
+        seed: r.u64()?,
+        mac_policy: match r.u8()? {
+            0 => wisync_wireless::MacPolicy::Exponential,
+            1 => wisync_wireless::MacPolicy::Reactive,
+            _ => return Err(SnapError::Invalid("mac policy tag")),
+        },
+        data_channels: r.usize()?,
+    };
+    Ok(MachineConfig {
+        kind,
+        cores,
+        hop_latency,
+        mem,
+        wireless,
+        bm_rt: r.u64()?,
+        bm_entries: r.usize()?,
+        tone_table_capacity: r.usize()?,
+        bm_consistency: match r.u8()? {
+            0 => BmConsistency::Sc,
+            1 => BmConsistency::Tso,
+            _ => return Err(SnapError::Invalid("bm consistency tag")),
+        },
+        seed: r.u64()?,
+        exec: match r.u8()? {
+            0 => ExecMode::Uop,
+            1 => ExecMode::Reference,
+            _ => return Err(SnapError::Invalid("exec mode tag")),
+        },
+        shards: r.usize()?,
+        shard_threads: r.option(|r| r.usize())?,
+    })
+}
+
+fn write_stats(w: &mut SnapWriter, s: &MachineStats) {
+    w.u64(s.instructions);
+    w.u64(s.sim_events);
+    w.u64(s.bm_loads);
+    w.u64(s.bm_stores);
+    w.u64(s.bm_rmw_atomicity_failures);
+    w.u64(s.tone_barriers);
+    w.u64(s.rmw_attempts);
+    w.u64(s.rmw_successes);
+    w.u64(s.cas_attempts);
+    w.u64(s.cas_successes);
+    w.u64(s.dropped_trace_events);
+    w.seq(s.faults.len());
+    for f in &s.faults {
+        match f {
+            FaultRecord::Exec { core, reason } => {
+                w.u8(0);
+                w.usize(*core);
+                w.str(reason);
+            }
+            FaultRecord::RetransmitExhausted { core, phys } => {
+                w.u8(1);
+                w.usize(*core);
+                w.usize(*phys);
+            }
+            FaultRecord::ReplicaDivergence { phys, cores } => {
+                w.u8(2);
+                w.usize(*phys);
+                w.usize(*cores);
+            }
+        }
+    }
+    for v in [
+        s.fault_stats.injected_corruptions,
+        s.fault_stats.checksum_rejects,
+        s.fault_stats.undetected_corruptions,
+        s.fault_stats.dropout_misses,
+        s.fault_stats.tone_late,
+        s.fault_stats.tone_dropped,
+        s.fault_stats.retransmits,
+        s.fault_stats.retransmits_exhausted,
+        s.fault_stats.audits,
+        s.fault_stats.divergences_detected,
+        s.fault_stats.resyncs,
+    ] {
+        w.u64(v);
+    }
+    w.u64(s.data.transfers);
+    w.u64(s.data.collisions);
+    w.u64(s.data.busy_cycles);
+    w.u64(s.data.backoff_exhaustions);
+    s.data.latency.write_snap(w);
+    s.data.retries.write_snap(w);
+    w.f64(s.data_utilization);
+    w.u64(s.tone.barriers_completed);
+    w.u64(s.tone.active_cycles);
+    w.usize(s.tone.peak_active);
+    w.u64(s.mem.loads);
+    w.u64(s.mem.stores);
+    w.u64(s.mem.rmws);
+    w.u64(s.mem.l1_hits);
+    w.u64(s.mem.dir_transactions);
+    w.u64(s.mem.cold_misses);
+    w.u64(s.mem.invalidations);
+    s.mem.latency.write_snap(w);
+}
+
+fn read_stats(r: &mut SnapReader<'_>) -> Result<MachineStats, SnapError> {
+    let mut s = MachineStats {
+        instructions: r.u64()?,
+        sim_events: r.u64()?,
+        bm_loads: r.u64()?,
+        bm_stores: r.u64()?,
+        bm_rmw_atomicity_failures: r.u64()?,
+        tone_barriers: r.u64()?,
+        rmw_attempts: r.u64()?,
+        rmw_successes: r.u64()?,
+        cas_attempts: r.u64()?,
+        cas_successes: r.u64()?,
+        dropped_trace_events: r.u64()?,
+        ..MachineStats::default()
+    };
+    for _ in 0..r.seq()? {
+        s.faults.push(match r.u8()? {
+            0 => FaultRecord::Exec {
+                core: r.usize()?,
+                reason: r.str()?,
+            },
+            1 => FaultRecord::RetransmitExhausted {
+                core: r.usize()?,
+                phys: r.usize()?,
+            },
+            2 => FaultRecord::ReplicaDivergence {
+                phys: r.usize()?,
+                cores: r.usize()?,
+            },
+            _ => return Err(SnapError::Invalid("fault record tag")),
+        });
+    }
+    s.fault_stats.injected_corruptions = r.u64()?;
+    s.fault_stats.checksum_rejects = r.u64()?;
+    s.fault_stats.undetected_corruptions = r.u64()?;
+    s.fault_stats.dropout_misses = r.u64()?;
+    s.fault_stats.tone_late = r.u64()?;
+    s.fault_stats.tone_dropped = r.u64()?;
+    s.fault_stats.retransmits = r.u64()?;
+    s.fault_stats.retransmits_exhausted = r.u64()?;
+    s.fault_stats.audits = r.u64()?;
+    s.fault_stats.divergences_detected = r.u64()?;
+    s.fault_stats.resyncs = r.u64()?;
+    s.data.transfers = r.u64()?;
+    s.data.collisions = r.u64()?;
+    s.data.busy_cycles = r.u64()?;
+    s.data.backoff_exhaustions = r.u64()?;
+    s.data.latency = wisync_sim::Histogram::read_snap(r)?;
+    s.data.retries = wisync_sim::Histogram::read_snap(r)?;
+    s.data_utilization = r.f64()?;
+    s.tone.barriers_completed = r.u64()?;
+    s.tone.active_cycles = r.u64()?;
+    s.tone.peak_active = r.usize()?;
+    s.mem.loads = r.u64()?;
+    s.mem.stores = r.u64()?;
+    s.mem.rmws = r.u64()?;
+    s.mem.l1_hits = r.u64()?;
+    s.mem.dir_transactions = r.u64()?;
+    s.mem.cold_misses = r.u64()?;
+    s.mem.invalidations = r.u64()?;
+    s.mem.latency = wisync_sim::Histogram::read_snap(r)?;
+    Ok(s)
+}
+
+impl Machine {
+    /// Serializes the full machine state into a sealed, digest-stamped
+    /// snapshot. Call between [`Machine::run`] invocations (at a cycle
+    /// boundary); the returned bytes restore via [`Machine::restore`] to
+    /// a machine that continues byte-identically to this one.
+    ///
+    /// Identical machine states produce identical bytes (hash-map state
+    /// is written in sorted key order throughout), so the snapshot also
+    /// serves as a state fingerprint. The trace sink and the shard
+    /// worker pool are host-side state and are not captured: reinstall
+    /// a sink after restoring if tracing is wanted (the shard pool is
+    /// rebuilt automatically from the restored config).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        write_config(&mut w, &self.config);
+        w.u64(self.now.as_u64());
+        w.u64(self.rng.state());
+        write_stats(&mut w, &self.stats);
+        w.seq(self.cores.len());
+        for c in &self.cores {
+            write_core(&mut w, c);
+        }
+        self.bm.write_snap(&mut w);
+        w.seq(self.data.len());
+        for ch in &self.data {
+            ch.write_snap(&mut w, write_frame);
+        }
+        self.tone.write_snap(&mut w);
+        self.mem.write_snap(&mut w);
+        w.seq(self.bm_waiters.len());
+        for ws in &self.bm_waiters {
+            // Wake order is semantic: waiters resume in registration
+            // order, so the list serializes as-is.
+            w.seq(ws.len());
+            for &c in ws {
+                w.usize(c);
+            }
+        }
+        w.seq(self.tone_init.len());
+        for ti in &self.tone_init {
+            w.bool(ti.in_flight);
+            w.seq(ti.early.len());
+            for &c in &ti.early {
+                w.usize(c);
+            }
+        }
+        w.option(self.obs.as_deref(), |w, o| o.write_snap(w));
+        w.option(self.fault.as_deref(), |w, f| f.write_snap(w));
+        let events = self.queue.iter_ordered();
+        w.seq(events.len());
+        for (at, ev) in events {
+            w.u64(at.as_u64());
+            write_event(&mut w, ev);
+        }
+        wisync_sim::snap::seal(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, w.finish())
+    }
+
+    /// Rebuilds a machine from [`Machine::snapshot`] bytes.
+    ///
+    /// The restored machine's next [`Machine::run`] produces exactly the
+    /// results the snapshotted machine's would have — same stats, same
+    /// clock, same BM and memory state, same obs profile (test-proven
+    /// across workloads, exec modes, and shard counts).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadMagic`] for non-snapshot bytes,
+    /// [`SnapError::UnsupportedVersion`] for snapshots from a different
+    /// format version, [`SnapError::DigestMismatch`] for corrupted
+    /// payloads, and [`SnapError::Truncated`] / [`SnapError::Invalid`]
+    /// for structurally broken ones. A snapshot is never partially
+    /// loaded: any error leaves no machine behind.
+    pub fn restore(bytes: &[u8]) -> Result<Machine, SnapError> {
+        let payload = wisync_sim::snap::unseal(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, bytes)?;
+        let mut r = SnapReader::new(payload);
+        let config = read_config(&mut r)?;
+        let mut m = Machine::new(config);
+        m.now = Cycle(r.u64()?);
+        m.rng = DetRng::from_state(r.u64()?);
+        m.stats = read_stats(&mut r)?;
+        if r.seq()? != config.cores {
+            return Err(SnapError::Invalid("core count mismatch"));
+        }
+        for i in 0..config.cores {
+            m.cores[i] = read_core(&mut r)?;
+        }
+        m.bm = BroadcastMemory::read_snap(&mut r)?;
+        if r.seq()? != m.data.len() {
+            return Err(SnapError::Invalid("data channel count mismatch"));
+        }
+        let mut wireless = config.wireless;
+        wireless.seed ^= config.seed;
+        for ch in 0..m.data.len() {
+            // Mirror the per-channel seed derivation of `Machine::new`;
+            // the serialized RNG state overwrites the seed-derived one,
+            // so this only matters for geometry defaults.
+            let mut wc = wireless;
+            wc.seed ^= (ch as u64 + 1) << 32;
+            m.data[ch] = DataChannel::read_snap(wc, config.cores, &mut r, read_frame)?;
+        }
+        m.tone = ToneChannel::read_snap(&mut r)?;
+        m.mem = MemSystem::read_snap(
+            config.mem,
+            Mesh::new(config.cores, config.hop_latency),
+            &mut r,
+        )?;
+        if r.seq()? != m.bm_waiters.len() {
+            return Err(SnapError::Invalid("bm waiter table size mismatch"));
+        }
+        for i in 0..config.bm_entries {
+            for _ in 0..r.seq()? {
+                m.bm_waiters[i].push(r.usize()?);
+            }
+        }
+        if r.seq()? != m.tone_init.len() {
+            return Err(SnapError::Invalid("tone init table size mismatch"));
+        }
+        for i in 0..config.bm_entries {
+            m.tone_init[i].in_flight = r.bool()?;
+            for _ in 0..r.seq()? {
+                m.tone_init[i].early.push(r.usize()?);
+            }
+        }
+        m.obs = r.option(ObsState::read_snap)?.map(Box::new);
+        m.fault = r.option(FaultState::read_snap)?.map(Box::new);
+        for _ in 0..r.seq()? {
+            let at = Cycle(r.u64()?);
+            let ev = read_event(&mut r)?;
+            m.queue.push(at, ev);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Invalid("trailing snapshot bytes"));
+        }
+        Ok(m)
+    }
+}

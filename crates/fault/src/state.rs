@@ -3,7 +3,7 @@
 
 use wisync_sim::{Cycle, DetRng, FxHashMap};
 
-use crate::model::GeLink;
+use crate::model::{ErrorModel, GeLink};
 use crate::plan::FaultPlan;
 use crate::record::FaultStats;
 use crate::unit;
@@ -254,6 +254,151 @@ impl FaultState {
     /// How many `FaultAudit` events are still in the machine queue.
     pub fn audits_queued(&self) -> u32 {
         self.audits_queued
+    }
+
+    /// Serializes the plan and all runtime state: link error chains, the
+    /// divergence overlay (sorted, for canonical bytes), counters, and
+    /// the raw fault-RNG state so a restored machine draws the same
+    /// injection sequence an uninterrupted one would.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.u64(self.plan.seed);
+        match self.plan.data {
+            ErrorModel::None => w.u8(0),
+            ErrorModel::Uniform { ber } => {
+                w.u8(1);
+                w.f64(ber);
+            }
+            ErrorModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ber_good,
+                ber_bad,
+            } => {
+                w.u8(2);
+                w.f64(p_good_to_bad);
+                w.f64(p_bad_to_good);
+                w.f64(ber_good);
+                w.f64(ber_bad);
+            }
+        }
+        w.u32(self.plan.normal_bits);
+        w.u32(self.plan.bulk_bits);
+        w.f64(self.plan.checksum_escape);
+        w.u32(self.plan.max_retransmits);
+        w.seq(self.plan.dropouts.len());
+        for d in &self.plan.dropouts {
+            w.usize(d.core);
+            w.u64(d.from.as_u64());
+            w.u64(d.until.as_u64());
+        }
+        w.f64(self.plan.tone.late_prob);
+        w.u64(self.plan.tone.max_late);
+        w.f64(self.plan.tone.drop_prob);
+        w.option(self.plan.audit_period, |w, p| w.u64(p));
+
+        w.u64(self.rng.state());
+        w.seq(self.links.len());
+        for link in &self.links {
+            w.bool(link.bad);
+        }
+        let mut overlay: Vec<_> = self.overlay.iter().collect();
+        overlay.sort_unstable_by_key(|(k, _)| **k);
+        w.seq(overlay.len());
+        for (&(core, phys), &value) in overlay {
+            w.usize(core);
+            w.usize(phys);
+            w.u64(value);
+        }
+        for c in [
+            self.stats.injected_corruptions,
+            self.stats.checksum_rejects,
+            self.stats.undetected_corruptions,
+            self.stats.dropout_misses,
+            self.stats.tone_late,
+            self.stats.tone_dropped,
+            self.stats.retransmits,
+            self.stats.retransmits_exhausted,
+            self.stats.audits,
+            self.stats.divergences_detected,
+            self.stats.resyncs,
+        ] {
+            w.u64(c);
+        }
+        w.u32(self.audits_queued);
+        w.bool(self.kicked_off);
+    }
+
+    /// Rebuilds a fault state from [`FaultState::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        use wisync_sim::SnapError;
+
+        let seed = r.u64()?;
+        let data = match r.u8()? {
+            0 => ErrorModel::None,
+            1 => ErrorModel::Uniform { ber: r.f64()? },
+            2 => ErrorModel::GilbertElliott {
+                p_good_to_bad: r.f64()?,
+                p_bad_to_good: r.f64()?,
+                ber_good: r.f64()?,
+                ber_bad: r.f64()?,
+            },
+            _ => return Err(SnapError::Invalid("error model tag")),
+        };
+        let normal_bits = r.u32()?;
+        let bulk_bits = r.u32()?;
+        let checksum_escape = r.f64()?;
+        let max_retransmits = r.u32()?;
+        let mut dropouts = Vec::new();
+        for _ in 0..r.seq()? {
+            dropouts.push(crate::plan::Dropout {
+                core: r.usize()?,
+                from: Cycle(r.u64()?),
+                until: Cycle(r.u64()?),
+            });
+        }
+        let tone = crate::plan::ToneFaults {
+            late_prob: r.f64()?,
+            max_late: r.u64()?,
+            drop_prob: r.f64()?,
+        };
+        let audit_period = r.option(|r| r.u64())?;
+        let plan = FaultPlan {
+            seed,
+            data,
+            normal_bits,
+            bulk_bits,
+            checksum_escape,
+            max_retransmits,
+            dropouts,
+            tone,
+            audit_period,
+        };
+
+        let mut state = FaultState::new(plan);
+        state.rng = DetRng::from_state(r.u64()?);
+        for _ in 0..r.seq()? {
+            state.links.push(GeLink { bad: r.bool()? });
+        }
+        for _ in 0..r.seq()? {
+            let core = r.usize()?;
+            let phys = r.usize()?;
+            let value = r.u64()?;
+            state.overlay.insert((core, phys), value);
+        }
+        state.stats.injected_corruptions = r.u64()?;
+        state.stats.checksum_rejects = r.u64()?;
+        state.stats.undetected_corruptions = r.u64()?;
+        state.stats.dropout_misses = r.u64()?;
+        state.stats.tone_late = r.u64()?;
+        state.stats.tone_dropped = r.u64()?;
+        state.stats.retransmits = r.u64()?;
+        state.stats.retransmits_exhausted = r.u64()?;
+        state.stats.audits = r.u64()?;
+        state.stats.divergences_detected = r.u64()?;
+        state.stats.resyncs = r.u64()?;
+        state.audits_queued = r.u32()?;
+        state.kicked_off = r.bool()?;
+        Ok(state)
     }
 }
 

@@ -70,6 +70,40 @@ impl Program {
     pub fn fetch(&self, pc: usize) -> Instr {
         self.instrs[pc]
     }
+
+    /// Builds a program from instructions whose branch targets are
+    /// *already resolved* to instruction indices — the form
+    /// [`Program::instrs`] exposes, and what a machine snapshot stores.
+    /// Unlike [`ProgramBuilder::build`] no label resolution happens;
+    /// passing label ids here would silently re-interpret them as pcs,
+    /// so only feed this instructions that came from a built program.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`ProgramBuilder::build`], with every
+    /// out-of-range target reported as [`ProgramError::UnboundLabel`].
+    pub fn from_resolved(instrs: Vec<Instr>) -> Result<Program, ProgramError> {
+        if instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(target) = i.target() {
+                if target.0 as usize >= instrs.len() {
+                    return Err(ProgramError::UnboundLabel(target));
+                }
+            }
+            if let Some(max) = i.max_reg() {
+                if max as usize >= NUM_REGS {
+                    return Err(ProgramError::BadRegister { pc, reg: max });
+                }
+            }
+        }
+        match instrs.last() {
+            Some(Instr::Halt) | Some(Instr::Jump { .. }) => {}
+            _ => return Err(ProgramError::MissingHalt),
+        }
+        Ok(Program { instrs })
+    }
 }
 
 /// Incremental assembler for kernel programs.
@@ -206,6 +240,46 @@ mod tests {
         let p = b.build().unwrap();
         assert_eq!(p.fetch(0).target(), Some(Label(2)));
         assert_eq!(p.fetch(1).target(), Some(Label(0)));
+    }
+
+    #[test]
+    fn from_resolved_roundtrips_built_program() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_here();
+        b.push(Instr::Compute { cycles: 3 });
+        b.push(Instr::Bnez {
+            cond: Reg(1),
+            target: top,
+        });
+        b.push(Instr::Halt);
+        let p = b.build().unwrap();
+        let q = Program::from_resolved(p.instrs().to_vec()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_resolved_validates() {
+        assert_eq!(Program::from_resolved(Vec::new()), Err(ProgramError::Empty));
+        assert_eq!(
+            Program::from_resolved(vec![Instr::Compute { cycles: 1 }]),
+            Err(ProgramError::MissingHalt)
+        );
+        // A target past the end is rejected, not re-resolved.
+        assert_eq!(
+            Program::from_resolved(vec![Instr::Jump { target: Label(9) }, Instr::Halt]),
+            Err(ProgramError::UnboundLabel(Label(9)))
+        );
+        assert_eq!(
+            Program::from_resolved(vec![
+                Instr::BulkLd {
+                    dst: Reg(30),
+                    base: Reg(0),
+                    offset: 0,
+                },
+                Instr::Halt
+            ]),
+            Err(ProgramError::BadRegister { pc: 0, reg: 33 })
+        );
     }
 
     #[test]

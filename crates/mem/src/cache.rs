@@ -243,6 +243,36 @@ impl L1Cache {
         };
     }
 
+    /// Serializes the resident-line state: the LRU tick and every packed
+    /// way slot. Geometry is not stored — it is re-derived from the
+    /// config on restore, and a slot-count mismatch is rejected.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.u64(self.tick);
+        w.seq(self.ways.len());
+        for way in &self.ways {
+            w.u64(way.tag_state);
+            w.u64(way.lru);
+        }
+    }
+
+    /// Rebuilds a cache from [`L1Cache::write_snap`] bytes, using
+    /// `config` for the geometry.
+    pub fn read_snap(
+        config: &MemConfig,
+        r: &mut wisync_sim::SnapReader<'_>,
+    ) -> Result<Self, wisync_sim::SnapError> {
+        let mut cache = L1Cache::new(config);
+        cache.tick = r.u64()?;
+        if r.seq()? != cache.ways.len() {
+            return Err(wisync_sim::SnapError::Invalid("L1 way count mismatch"));
+        }
+        for way in &mut cache.ways {
+            way.tag_state = r.u64()?;
+            way.lru = r.u64()?;
+        }
+        Ok(cache)
+    }
+
     /// Number of resident lines.
     pub fn len(&self) -> usize {
         self.ways.iter().filter(|w| w.tag_state != EMPTY).count()

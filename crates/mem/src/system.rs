@@ -529,6 +529,161 @@ impl MemSystem {
     pub fn l1_state(&self, core: NodeId, line: u64) -> LineState {
         self.l1[core.as_usize()].state(line)
     }
+
+    /// Serializes the full memory-system state: every L1, the directory,
+    /// line serialization times, backing-store contents, spin-waiter
+    /// lists, and statistics. Hash maps are written in sorted key order
+    /// so identical states produce identical bytes regardless of
+    /// insertion history. The config and mesh are *not* stored — the
+    /// restorer rebuilds them from the machine configuration.
+    ///
+    /// Must be called outside a parallel phase (snapshots are taken at
+    /// run-boundary cycles, where that always holds).
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        debug_assert!(!self.parallel_phase, "snapshot during a parallel phase");
+        w.seq(self.l1.len());
+        for l1 in &self.l1 {
+            l1.write_snap(w);
+        }
+
+        let mut dir: Vec<_> = self.dir.iter().collect();
+        dir.sort_unstable_by_key(|(line, _)| **line);
+        w.seq(dir.len());
+        for (line, e) in dir {
+            w.u64(*line);
+            w.option(e.owner, |w, o| w.usize(o));
+            for word in e.sharers.bits {
+                w.u64(word);
+            }
+        }
+
+        let mut busy: Vec<_> = self.line_busy.iter().collect();
+        busy.sort_unstable_by_key(|(line, _)| **line);
+        w.seq(busy.len());
+        for (line, at) in busy {
+            w.u64(*line);
+            w.u64(at.as_u64());
+        }
+
+        let touched: Vec<_> = self
+            .data
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_deref().map(|p| (i, p)))
+            .collect();
+        w.seq(touched.len());
+        for (index, page) in touched {
+            w.usize(index);
+            for &word in page.iter() {
+                w.u64(word);
+            }
+        }
+        let mut far: Vec<_> = self.data.far.iter().collect();
+        far.sort_unstable_by_key(|(word, _)| **word);
+        w.seq(far.len());
+        for (word, value) in far {
+            w.u64(*word);
+            w.u64(*value);
+        }
+
+        let mut waiters: Vec<_> = self.waiters.iter().collect();
+        waiters.sort_unstable_by_key(|(line, _)| **line);
+        w.seq(waiters.len());
+        for (line, list) in waiters {
+            w.u64(*line);
+            // Registration order is preserved: it decides wake order.
+            w.seq(list.len());
+            for n in list {
+                w.usize(n.as_usize());
+            }
+        }
+
+        w.u64(self.stats.loads);
+        w.u64(self.stats.stores);
+        w.u64(self.stats.rmws);
+        w.u64(self.stats.l1_hits);
+        w.u64(self.stats.dir_transactions);
+        w.u64(self.stats.cold_misses);
+        w.u64(self.stats.invalidations);
+        self.stats.latency.write_snap(w);
+    }
+
+    /// Rebuilds a memory system from [`MemSystem::write_snap`] bytes.
+    /// `config` and `mesh` must match the snapshotted machine's
+    /// configuration; an L1 count mismatch is rejected.
+    pub fn read_snap(
+        config: MemConfig,
+        mesh: Mesh,
+        r: &mut wisync_sim::SnapReader<'_>,
+    ) -> Result<Self, wisync_sim::SnapError> {
+        use wisync_sim::SnapError;
+
+        let mut sys = MemSystem::new(config, mesh);
+        if r.seq()? != sys.l1.len() {
+            return Err(SnapError::Invalid("L1 cache count mismatch"));
+        }
+        for slot in sys.l1.iter_mut() {
+            *slot = L1Cache::read_snap(&sys.config, r)?;
+        }
+
+        for _ in 0..r.seq()? {
+            let line = r.u64()?;
+            let owner = r.option(|r| r.usize())?;
+            let mut bits = [0u64; 4];
+            for word in &mut bits {
+                *word = r.u64()?;
+            }
+            sys.dir.insert(
+                line,
+                DirEntry {
+                    owner,
+                    sharers: SharerSet { bits },
+                },
+            );
+        }
+
+        for _ in 0..r.seq()? {
+            let line = r.u64()?;
+            sys.line_busy.insert(line, Cycle(r.u64()?));
+        }
+
+        for _ in 0..r.seq()? {
+            let index = r.usize()?;
+            let mut page = vec![0u64; PAGE_WORDS].into_boxed_slice();
+            for word in page.iter_mut() {
+                *word = r.u64()?;
+            }
+            if index >= sys.data.pages.len() {
+                sys.data.pages.resize_with(index + 1, || None);
+            }
+            sys.data.pages[index] = Some(page.try_into().expect("exact page size"));
+        }
+        for _ in 0..r.seq()? {
+            let word = r.u64()?;
+            let value = r.u64()?;
+            sys.data.far.insert(word, value);
+        }
+
+        for _ in 0..r.seq()? {
+            let line = r.u64()?;
+            let mut list = Vec::new();
+            for _ in 0..r.seq()? {
+                list.push(NodeId(r.usize()?));
+            }
+            sys.waiters.insert(line, list);
+        }
+
+        sys.stats.loads = r.u64()?;
+        sys.stats.stores = r.u64()?;
+        sys.stats.rmws = r.u64()?;
+        sys.stats.l1_hits = r.u64()?;
+        sys.stats.dir_transactions = r.u64()?;
+        sys.stats.cold_misses = r.u64()?;
+        sys.stats.invalidations = r.u64()?;
+        sys.stats.latency = Histogram::read_snap(r)?;
+        Ok(sys)
+    }
 }
 
 #[cfg(test)]
@@ -780,6 +935,56 @@ mod tests {
         // stale-owner forward to ourselves).
         let r = m.access(NodeId(0), 0, MemOp::Load, t);
         assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state_and_behavior() {
+        let mut m = sys(16);
+        let mut t = Cycle(0);
+        for i in 0..60u64 {
+            let core = NodeId((i % 16) as usize);
+            let op = match i % 3 {
+                0 => MemOp::Store(i),
+                1 => MemOp::Load,
+                _ => MemOp::Rmw(RmwKind::FetchAdd(1)),
+            };
+            t = m.access(core, (i % 5) * 64, op, t).complete_at;
+        }
+        m.poke((DIRECT_WORDS + 3) * 8, 0xFA4); // exercise the far map
+        m.register_waiter(NodeId(7), 0x40);
+        m.register_waiter(NodeId(3), 0x40);
+
+        let mut w = wisync_sim::SnapWriter::new();
+        m.write_snap(&mut w);
+        let bytes = w.finish();
+        let mut r = wisync_sim::SnapReader::new(&bytes);
+        let mut restored =
+            MemSystem::read_snap(MemConfig::default(), Mesh::new(16, 4), &mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "payload fully consumed");
+
+        // Re-snapshotting yields identical bytes (canonical encoding).
+        let mut w2 = wisync_sim::SnapWriter::new();
+        restored.write_snap(&mut w2);
+        assert_eq!(bytes, w2.finish());
+
+        // And identical behavior: same access, same timing, same wakes.
+        let a = m.access(NodeId(2), 0x40, MemOp::Store(99), t);
+        let b = restored.access(NodeId(2), 0x40, MemOp::Store(99), t);
+        assert_eq!(a.complete_at, b.complete_at);
+        assert_eq!(a.woken, b.woken);
+        assert_eq!(m.peek(0x40), restored.peek(0x40));
+        assert_eq!(restored.peek((DIRECT_WORDS + 3) * 8), 0xFA4);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut m = sys(4);
+        m.access(NodeId(0), 0x100, MemOp::Store(1), Cycle(0));
+        let mut w = wisync_sim::SnapWriter::new();
+        m.write_snap(&mut w);
+        let bytes = w.finish();
+        let mut r = wisync_sim::SnapReader::new(&bytes[..bytes.len() / 2]);
+        assert!(MemSystem::read_snap(MemConfig::default(), Mesh::new(4, 4), &mut r).is_err());
     }
 
     #[test]

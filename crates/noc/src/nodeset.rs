@@ -95,6 +95,17 @@ impl NodeSet {
         (0..256).map(NodeId).filter(move |&n| self.contains(n))
     }
 
+    /// The raw bit words, least-significant node first. Exposed for
+    /// snapshot serialization; prefer [`NodeSet::iter`] for inspection.
+    pub fn to_words(&self) -> [u64; 4] {
+        self.bits
+    }
+
+    /// Rebuilds a set from [`NodeSet::to_words`] output.
+    pub fn from_words(bits: [u64; 4]) -> Self {
+        NodeSet { bits }
+    }
+
     /// Whether every member of `self` is also in `other`.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         self.bits

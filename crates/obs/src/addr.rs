@@ -98,6 +98,31 @@ impl AddrContention {
         &self.stats
     }
 
+    /// Serializes the dense per-address table.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.seq(self.stats.len());
+        for s in &self.stats {
+            w.u64(s.busy_cycles);
+            w.u64(s.transfers);
+            w.u64(s.collisions);
+            w.u64(s.retransmits);
+        }
+    }
+
+    /// Rebuilds the table from [`AddrContention::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        let mut t = AddrContention::new();
+        for _ in 0..r.seq()? {
+            t.stats.push(AddrStats {
+                busy_cycles: r.u64()?,
+                transfers: r.u64()?,
+                collisions: r.u64()?,
+                retransmits: r.u64()?,
+            });
+        }
+        Ok(t)
+    }
+
     /// Number of addresses with any recorded activity.
     pub fn active(&self) -> usize {
         self.stats.iter().filter(|s| !s.is_empty()).count()

@@ -280,6 +280,83 @@ impl Attribution {
         self.drained_segments
     }
 
+    /// Serializes the full attribution state, including open-span
+    /// cursors and pending buckets, so a restored machine closes the
+    /// same spans an uninterrupted one would.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.u64(self.start.as_u64());
+        w.seq(self.cores.len());
+        for c in &self.cores {
+            w.u64(c.cursor.as_u64());
+            w.u8(c.pending.index() as u8);
+            for &b in &c.buckets {
+                w.u64(b);
+            }
+        }
+        w.seq(self.segments.len());
+        for s in &self.segments {
+            w.usize(s.core);
+            w.u64(s.from.as_u64());
+            w.u64(s.to.as_u64());
+            w.u8(s.bucket.index() as u8);
+        }
+        w.usize(self.segment_capacity);
+        w.u64(self.dropped_segments);
+        w.u64(self.drained_segments);
+    }
+
+    /// Rebuilds attribution from [`Attribution::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        use wisync_sim::SnapError;
+
+        fn bucket(idx: u8) -> Result<Bucket, SnapError> {
+            Bucket::ALL
+                .get(idx as usize)
+                .copied()
+                .ok_or(SnapError::Invalid("bucket tag"))
+        }
+
+        let start = Cycle(r.u64()?);
+        let n_cores = r.seq()?;
+        let mut cores = Vec::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            let cursor = Cycle(r.u64()?);
+            let pending = bucket(r.u8()?)?;
+            let mut buckets = [0u64; NUM_BUCKETS];
+            for b in &mut buckets {
+                *b = r.u64()?;
+            }
+            cores.push(CoreAttrib {
+                cursor,
+                pending,
+                buckets,
+            });
+        }
+        let n_segments = r.seq()?;
+        let mut segments = Vec::with_capacity(n_segments);
+        for _ in 0..n_segments {
+            segments.push(Segment {
+                core: r.usize()?,
+                from: Cycle(r.u64()?),
+                to: Cycle(r.u64()?),
+                bucket: bucket(r.u8()?)?,
+            });
+        }
+        let segment_capacity = r.usize()?;
+        if n_segments > segment_capacity {
+            return Err(SnapError::Invalid("segment store over capacity"));
+        }
+        segments.reserve_exact(segment_capacity - segments.len());
+        Ok(Attribution {
+            start,
+            cores,
+            segments,
+            segment_capacity,
+            dropped_segments: r.u64()?,
+            drained_segments: r.u64()?,
+        })
+    }
+
     /// Verifies the tiling invariant after [`Attribution::close_all`]:
     /// every core's bucket sum equals `now - start` exactly.
     ///

@@ -99,6 +99,46 @@ impl ObsState {
         self.attrib.close_all(now);
     }
 
+    /// Serializes the full observability state. In-progress barrier
+    /// episodes (the `arrivals` map) are written in sorted order so
+    /// identical states produce identical bytes.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        self.attrib.write_snap(w);
+        self.timeline.write_snap(w);
+        self.addr.write_snap(w);
+        self.barrier_spread.write_snap(w);
+        w.bool(self.stream_segments);
+        let mut arrivals: Vec<_> = self.arrivals.iter().collect();
+        arrivals.sort_unstable_by_key(|(phys, _)| **phys);
+        w.seq(arrivals.len());
+        for (&phys, &at) in arrivals {
+            w.usize(phys);
+            w.u64(at.as_u64());
+        }
+    }
+
+    /// Rebuilds observability state from [`ObsState::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        let attrib = Attribution::read_snap(r)?;
+        let timeline = Timeline::read_snap(r)?;
+        let addr = AddrContention::read_snap(r)?;
+        let barrier_spread = Histogram::read_snap(r)?;
+        let stream_segments = r.bool()?;
+        let mut arrivals = FxHashMap::default();
+        for _ in 0..r.seq()? {
+            let phys = r.usize()?;
+            arrivals.insert(phys, Cycle(r.u64()?));
+        }
+        Ok(ObsState {
+            attrib,
+            timeline,
+            addr,
+            barrier_spread,
+            stream_segments,
+            arrivals,
+        })
+    }
+
     /// Serializes the per-core attribution (deterministic).
     pub fn attribution_json(&self) -> Json {
         let totals = self.attrib.totals();

@@ -135,6 +135,47 @@ impl Timeline {
         self.at(at).tone_completions += 1;
     }
 
+    /// Serializes every materialized epoch (empty ones included, so the
+    /// lazily-grown vector restores to the same length).
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.u64(self.epoch_len);
+        w.seq(self.epochs.len());
+        for e in &self.epochs {
+            w.u64(e.transfers);
+            w.u64(e.collisions);
+            w.u64(e.busy_cycles);
+            w.u64(e.retransmits);
+            w.u64(e.bm_stores);
+            w.u64(e.bm_loads);
+            w.u64(e.rmw_attempts);
+            w.u64(e.rmw_failures);
+            w.u64(e.tone_completions);
+        }
+    }
+
+    /// Rebuilds a timeline from [`Timeline::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        let epoch_len = r.u64()?;
+        if epoch_len == 0 {
+            return Err(wisync_sim::SnapError::Invalid("zero epoch length"));
+        }
+        let mut t = Timeline::new(epoch_len);
+        for _ in 0..r.seq()? {
+            t.epochs.push(Epoch {
+                transfers: r.u64()?,
+                collisions: r.u64()?,
+                busy_cycles: r.u64()?,
+                retransmits: r.u64()?,
+                bm_stores: r.u64()?,
+                bm_loads: r.u64()?,
+                rmw_attempts: r.u64()?,
+                rmw_failures: r.u64()?,
+                tone_completions: r.u64()?,
+            });
+        }
+        Ok(t)
+    }
+
     /// Serializes the non-empty epochs (deterministic; see
     /// `wisync_testkit::Json`). Utilization is busy cycles over the
     /// epoch length, so it can exceed 1.0 in the start epoch of a long

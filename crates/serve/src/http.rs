@@ -1,0 +1,268 @@
+//! A deliberately small HTTP/1.1 shell over [`JobService`].
+//!
+//! One accept loop, one request per connection (`Connection: close`),
+//! no external dependencies — the workspace is hermetic, and the
+//! service's concurrency lives in the sweep pool, not in the listener.
+//!
+//! Routes:
+//!
+//! | request          | response                                        |
+//! |------------------|-------------------------------------------------|
+//! | `POST /jobs`     | figure-report bytes; `X-Wisync-Cache: hit|miss`,|
+//! |                  | `X-Wisync-Key: <32-hex content address>`        |
+//! | `GET /metrics`   | cumulative [`ServiceMetrics`] document          |
+//! | `GET /figures`   | the figures the grid can produce                |
+//!
+//! [`ServiceMetrics`]: wisync_bench::serve_metrics::ServiceMetrics
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use wisync_bench::grid;
+use wisync_testkit::Json;
+
+use crate::service::{JobService, ServeError};
+
+/// Upper bound on accepted request bodies; a job spec is tens of bytes.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, path, and body.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request off the stream.
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".to_string());
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("content-length: {e}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a response with the given extra headers and closes.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    // The client may already be gone; nothing useful to do about it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(error: &str) -> String {
+    Json::obj([("error", Json::Str(error.to_string()))]).render()
+}
+
+/// Handles one connection against the service.
+pub fn handle_connection(service: &mut JobService, stream: &mut TcpStream) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            write_response(stream, 400, "Bad Request", &[], &error_body(&e));
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => match service.submit(&request.body) {
+            Ok(response) => {
+                let cache = if response.cache_hit { "hit" } else { "miss" };
+                write_response(
+                    stream,
+                    200,
+                    "OK",
+                    &[
+                        ("X-Wisync-Cache", cache),
+                        ("X-Wisync-Key", &response.key),
+                        ("X-Wisync-Jobs-Run", &response.jobs_run.to_string()),
+                    ],
+                    &response.body,
+                );
+            }
+            Err(e @ ServeError::BadSpec(_)) => {
+                write_response(stream, 400, "Bad Request", &[], &error_body(&e.to_string()));
+            }
+            Err(e @ ServeError::UnknownFigure(_)) => {
+                write_response(stream, 404, "Not Found", &[], &error_body(&e.to_string()));
+            }
+            Err(e @ ServeError::Io(_)) => {
+                write_response(
+                    stream,
+                    500,
+                    "Internal Server Error",
+                    &[],
+                    &error_body(&e.to_string()),
+                );
+            }
+        },
+        ("GET", "/metrics") => {
+            write_response(
+                stream,
+                200,
+                "OK",
+                &[],
+                &service.metrics().to_json().render(),
+            );
+        }
+        ("GET", "/figures") => {
+            let names = grid::figure_names(false);
+            let body = Json::obj([(
+                "figures",
+                Json::Arr(names.into_iter().map(Json::Str).collect()),
+            )])
+            .render();
+            write_response(stream, 200, "OK", &[], &body);
+        }
+        _ => {
+            write_response(
+                stream,
+                404,
+                "Not Found",
+                &[],
+                &error_body("no such route (try POST /jobs, GET /metrics, GET /figures)"),
+            );
+        }
+    }
+}
+
+/// Runs the accept loop. `max_requests` bounds how many connections are
+/// served before returning (`None` = forever) — the CI smoke job uses a
+/// bound so the server exits on its own.
+pub fn run_server(listener: TcpListener, service: &mut JobService, max_requests: Option<u64>) {
+    let mut served = 0u64;
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        handle_connection(service, &mut stream);
+        served += 1;
+        if max_requests.is_some_and(|max| served >= max) {
+            return;
+        }
+    }
+}
+
+/// A client-side response: status, headers (lowercased names), body.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// Response body.
+    pub body: String,
+}
+
+/// Sends one request to a running server and reads the full response
+/// (the server closes after answering).
+///
+/// # Errors
+///
+/// Describes the connection or protocol failure.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\n\
+         Host: {addr}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response has no header/body separator".to_string())?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| "empty response".to_string())?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// Submits a job spec to a running server.
+///
+/// # Errors
+///
+/// Propagates [`http_request`] failures.
+pub fn submit_http(addr: &str, spec: &str) -> Result<HttpResponse, String> {
+    http_request(addr, "POST", "/jobs", spec)
+}

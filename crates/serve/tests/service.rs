@@ -1,0 +1,202 @@
+//! End-to-end tests for the job service and its HTTP shell.
+//!
+//! The cheap `table4` figure (one analytic job, no simulation) keeps
+//! these fast while still exercising the full submit path: spec
+//! parsing, content addressing, grid scheduling, caching, metrics, and
+//! byte-identity against the committed `results/table4.json`.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wisync_serve::http::run_server;
+use wisync_serve::{submit_http, ExecKnobs, JobService, ServeError};
+
+/// A fresh per-test cache directory under the target dir (no tempfile
+/// dependency; the workspace is hermetic).
+fn cache_dir(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("serve-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pinned knobs so tests are independent of the ambient environment.
+fn pinned_knobs() -> ExecKnobs {
+    ExecKnobs {
+        exec: "default".to_string(),
+        shards: "default".to_string(),
+        shard_threads: "default".to_string(),
+        obs: false,
+        fault: false,
+    }
+}
+
+fn service(test: &str) -> JobService {
+    JobService::new(cache_dir(test), 2)
+        .unwrap()
+        .with_knobs(pinned_knobs())
+}
+
+fn committed(figure: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(format!("{figure}.json"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn serving_a_slice_reproduces_committed_sweep_bytes() {
+    let mut service = service("committed");
+    let response = service.submit(r#"{"figure": "table4"}"#).unwrap();
+    assert!(!response.cache_hit);
+    assert_eq!(response.jobs_run, 1);
+    // The defaults (seed 0xC0DE, full grid) are the committed-results
+    // configuration, so a single-figure submission must reproduce the
+    // full sweep's output byte for byte.
+    assert_eq!(response.body, committed("table4"));
+}
+
+#[test]
+fn resubmission_is_a_cache_hit_with_no_simulation() {
+    let mut service = service("cache-hit");
+    let spec = r#"{"figure": "table4", "seed": 49374, "quick": false}"#;
+    let first = service.submit(spec).unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(service.metrics().cache_misses, 1);
+    assert_eq!(service.metrics().jobs_run, 1);
+
+    // Different spelling, same canonical spec: must hit.
+    let second = service
+        .submit(r#"{  "seed": 49374, "figure":"table4"  }"#)
+        .unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(second.jobs_run, 0);
+    assert_eq!(second.key, first.key);
+    assert_eq!(second.body, first.body);
+    // No new simulation work was recorded.
+    assert_eq!(service.metrics().jobs_run, 1);
+    assert_eq!(service.metrics().cache_hits, 1);
+    assert!(service.metrics().cache_bytes > 0);
+    // Metrics were persisted where `report --service` reads them.
+    assert!(service.metrics_path().is_file());
+}
+
+#[test]
+fn knob_differing_submissions_get_distinct_keys() {
+    let dir = cache_dir("knobs");
+    let spec = r#"{"figure": "table4"}"#;
+    let mut base = JobService::new(&dir, 1).unwrap().with_knobs(pinned_knobs());
+    let first = base.submit(spec).unwrap();
+
+    // Same directory, different exec/shard knobs: every knob change
+    // must produce a fresh key (a miss), never a false cache hit.
+    for mutate in [
+        |k: &mut ExecKnobs| k.exec = "reference".to_string(),
+        |k: &mut ExecKnobs| k.shards = "4".to_string(),
+        |k: &mut ExecKnobs| k.shard_threads = "2".to_string(),
+        |k: &mut ExecKnobs| k.obs = true,
+        |k: &mut ExecKnobs| k.fault = true,
+    ] {
+        let mut knobs = pinned_knobs();
+        mutate(&mut knobs);
+        let mut service = JobService::new(&dir, 1).unwrap().with_knobs(knobs);
+        let response = service.submit(spec).unwrap();
+        assert!(!response.cache_hit);
+        assert_ne!(response.key, first.key);
+    }
+
+    // Identical knobs in a fresh service instance: same key, cache hit.
+    let mut again = JobService::new(&dir, 1).unwrap().with_knobs(pinned_knobs());
+    let replay = again.submit(spec).unwrap();
+    assert!(replay.cache_hit);
+    assert_eq!(replay.key, first.key);
+}
+
+#[test]
+fn counters_carry_over_across_service_restarts() {
+    let dir = cache_dir("restart");
+    let mut first = JobService::new(&dir, 1).unwrap().with_knobs(pinned_knobs());
+    first.submit(r#"{"figure": "table4"}"#).unwrap();
+    let jobs_before = first.metrics().jobs_run;
+    drop(first);
+
+    let mut second = JobService::new(&dir, 1).unwrap().with_knobs(pinned_knobs());
+    assert_eq!(second.metrics().jobs_run, jobs_before);
+    second.submit(r#"{"figure": "table4"}"#).unwrap();
+    assert_eq!(second.metrics().cache_hits, 1);
+    assert_eq!(second.metrics().jobs_run, jobs_before);
+}
+
+#[test]
+fn bad_specs_and_unknown_figures_are_rejected() {
+    let mut service = service("errors");
+    assert!(matches!(
+        service.submit("not json"),
+        Err(ServeError::BadSpec(_))
+    ));
+    assert!(matches!(
+        service.submit(r#"{"figure": "table4", "frobnicate": 1}"#),
+        Err(ServeError::BadSpec(_))
+    ));
+    assert!(matches!(
+        service.submit(r#"{"figure": "fig99"}"#),
+        Err(ServeError::UnknownFigure(_))
+    ));
+    // Failed submissions never touch the cache or counters.
+    assert_eq!(
+        service.metrics().cache_hits + service.metrics().cache_misses,
+        0
+    );
+}
+
+#[test]
+fn progress_callback_streams_per_job_lines() {
+    let lines = Arc::new(AtomicU64::new(0));
+    let counted = Arc::clone(&lines);
+    let mut service = JobService::new(cache_dir("progress"), 2)
+        .unwrap()
+        .with_knobs(pinned_knobs())
+        .with_progress(Arc::new(move |_line| {
+            counted.fetch_add(1, Ordering::Relaxed);
+        }));
+    service.submit(r#"{"figure": "table4"}"#).unwrap();
+    // One header line plus one line per grid job.
+    assert_eq!(lines.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn http_round_trip_serves_and_caches() {
+    let dir = cache_dir("http");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let mut service = JobService::new(&dir, 2).unwrap().with_knobs(pinned_knobs());
+        run_server(listener, &mut service, Some(4));
+    });
+
+    let figures = wisync_serve::http_request(&addr, "GET", "/figures", "").unwrap();
+    assert_eq!(figures.status, 200);
+    assert!(figures.body.contains("\"fig7\""));
+
+    let miss = submit_http(&addr, r#"{"figure": "table4"}"#).unwrap();
+    assert_eq!(miss.status, 200);
+    assert_eq!(miss.headers.get("x-wisync-cache").unwrap(), "miss");
+    assert_eq!(miss.body, committed("table4"));
+
+    let hit = submit_http(&addr, r#"{"figure": "table4"}"#).unwrap();
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.headers.get("x-wisync-cache").unwrap(), "hit");
+    assert_eq!(hit.headers.get("x-wisync-jobs-run").unwrap(), "0");
+    assert_eq!(hit.body, miss.body);
+    assert_eq!(
+        hit.headers.get("x-wisync-key"),
+        miss.headers.get("x-wisync-key")
+    );
+
+    let bad = submit_http(&addr, "{oops").unwrap();
+    assert_eq!(bad.status, 400);
+
+    server.join().unwrap();
+}

@@ -35,6 +35,7 @@ pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod shard;
+pub mod snap;
 pub mod stats;
 pub mod time;
 
@@ -42,5 +43,6 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventQueue, ReferenceEventQueue};
 pub use rng::DetRng;
 pub use shard::ShardPool;
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use stats::{Counter, Histogram, StatSet, Utilization};
 pub use time::Cycle;

@@ -330,6 +330,43 @@ impl<E> EventQueue<E> {
         self.len == 0
     }
 
+    /// All pending events in exact pop order, without consuming them —
+    /// the traversal a snapshot needs: re-`push`ing the returned
+    /// sequence, in order, into a fresh queue reproduces this queue's
+    /// pop order precisely.
+    ///
+    /// Correctness leans on the structure's time partition: every `past`
+    /// entry is earlier than `cur`, every wheel entry lies in
+    /// `[cur, cur + WHEEL_SLOTS)`, and every `overflow` entry at or past
+    /// the horizon — so the three regions concatenate. Within `past` and
+    /// `overflow` the `(at, seq)` entry order is the heap's pop order;
+    /// within the wheel, slots drain in `slot_cycle` order and each slot
+    /// front-to-back (push order).
+    pub fn iter_ordered(&self) -> Vec<(Cycle, &E)> {
+        let mut out: Vec<(Cycle, &E)> = Vec::with_capacity(self.len);
+        fn heap_entries<'q, E>(
+            heap: &'q BinaryHeap<Reverse<Entry<E>>>,
+            out: &mut Vec<(Cycle, &'q E)>,
+        ) {
+            let mut sorted: Vec<&Entry<E>> = heap.iter().map(|Reverse(e)| e).collect();
+            sorted.sort_by_key(|e| (e.at, e.seq));
+            out.extend(sorted.into_iter().map(|e| (e.at, &e.event)));
+        }
+        heap_entries(&self.past, &mut out);
+        // Occupied wheel slots, earliest absolute cycle first.
+        let mut slots: Vec<usize> = (0..WHEEL_SLOTS)
+            .filter(|&s| self.occupied[s / 64] & (1 << (s % 64)) != 0)
+            .collect();
+        slots.sort_by_key(|&s| self.slot_cycle(s));
+        for s in slots {
+            let at = Cycle(self.slot_cycle(s));
+            out.extend(self.wheel[s].iter().map(|e| (at, e)));
+        }
+        heap_entries(&self.overflow, &mut out);
+        debug_assert_eq!(out.len(), self.len);
+        out
+    }
+
     /// Drops all pending events but keeps the sequence counter, so FIFO
     /// ordering guarantees still hold across the clear.
     pub fn clear(&mut self) {
@@ -563,6 +600,38 @@ mod tests {
         q.clear();
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_ordered_matches_pop_order_across_regions() {
+        let mut q = EventQueue::new();
+        // Seed all three regions: advance cur to 500, then park events
+        // in the past, the wheel window, and the overflow.
+        q.push(Cycle(500), 0u32);
+        assert_eq!(q.pop(), Some((Cycle(500), 0)));
+        q.push(Cycle(100), 1); // past
+        q.push(Cycle(100), 2); // past, FIFO after 1
+        q.push(Cycle(700), 3); // wheel
+        q.push(Cycle(501), 4); // wheel
+        q.push(Cycle(700), 5); // wheel, same slot FIFO after 3
+        q.push(Cycle(90_000), 6); // overflow
+        q.push(Cycle(5_000), 7); // overflow, pops before 6
+        let snapshot: Vec<(Cycle, u32)> = q.iter_ordered().iter().map(|&(c, &e)| (c, e)).collect();
+        // Re-pushing the snapshot into a fresh queue reproduces pop order.
+        let mut rebuilt = EventQueue::new();
+        for &(at, e) in &snapshot {
+            rebuilt.push(at, e);
+        }
+        let mut popped = Vec::new();
+        while let Some(p) = q.pop() {
+            popped.push(p);
+        }
+        assert_eq!(snapshot, popped);
+        let mut rebuilt_popped = Vec::new();
+        while let Some(p) = rebuilt.pop() {
+            rebuilt_popped.push(p);
+        }
+        assert_eq!(rebuilt_popped, popped);
     }
 
     #[test]

@@ -73,6 +73,27 @@ impl DetRng {
         lo + self.gen_range(hi - lo + 1)
     }
 
+    /// The raw generator state, for snapshotting a generator mid-stream.
+    /// Restore with [`DetRng::from_state`]; unlike [`DetRng::new`] no
+    /// seed remapping is applied, so the resumed stream continues
+    /// exactly where the snapshot was taken.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a [`DetRng::state`] snapshot.
+    ///
+    /// A zero state (impossible from a live generator, possible from a
+    /// corrupted snapshot) is remapped like a zero seed so the generator
+    /// stays usable.
+    pub fn from_state(state: u64) -> Self {
+        if state == 0 {
+            DetRng::new(0)
+        } else {
+            DetRng { state }
+        }
+    }
+
     /// Derives an independent child generator, used to give each simulated
     /// node its own stream without correlated backoff choices.
     pub fn fork(&mut self, salt: u64) -> DetRng {

@@ -1,0 +1,417 @@
+//! A tiny deterministic binary codec for machine snapshots.
+//!
+//! The workspace builds hermetically (no serde), so snapshotting the
+//! simulator serializes through this hand-rolled writer/reader pair:
+//! little-endian fixed-width integers, length-prefixed sequences, floats
+//! by bit pattern. Every snapshot is wrapped in a sealed container —
+//! magic, format version, payload digest, payload length — so a
+//! truncated, corrupted, or version-mismatched snapshot is *rejected*,
+//! never silently loaded ([`unseal`] checks all four fields before
+//! handing back the payload).
+//!
+//! The same FNV-1a digests double as the content-address for the result
+//! cache in `wisync-serve`: [`digest128`] over canonical bytes is the
+//! cache key, [`digest64`] stamps snapshot payloads.
+
+use std::fmt;
+
+/// Why a snapshot failed to load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream ended before the expected field.
+    Truncated,
+    /// The container does not start with the expected magic.
+    BadMagic,
+    /// The container's format version is not the supported one.
+    UnsupportedVersion {
+        /// Version found in the container.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The payload digest does not match the sealed digest.
+    DigestMismatch,
+    /// A decoded value is structurally impossible (bad enum tag, length
+    /// overflow, inconsistent table size, …).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "snapshot truncated"),
+            SnapError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "snapshot format version {found} (this build reads {expected})"
+                )
+            }
+            SnapError::DigestMismatch => write!(f, "snapshot digest mismatch (corrupted)"),
+            SnapError::Invalid(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit digest (deterministic, dependency-free).
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a 128-bit digest, used as the content-address of cached results
+/// (collision-safe at any realistic cache size).
+pub fn digest128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6C62_272E_07BB_0142_62B8_2175_6295_C58D;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013B);
+    }
+    h
+}
+
+/// Append-only serializer: fixed-width little-endian primitives.
+#[derive(Clone, Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Serialized bytes so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Takes the serialized bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a 32-bit integer, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a 64-bit integer, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a 128-bit integer, little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as 64 bits.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a float by bit pattern (lossless, NaN-preserving).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes `Some`/`None` as a tag byte, then the value via `f`.
+    pub fn option<T>(&mut self, v: Option<T>, f: impl FnOnce(&mut Self, T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length prefix for a sequence the caller then writes.
+    pub fn seq(&mut self, len: usize) {
+        self.usize(len);
+    }
+}
+
+/// Cursor-based deserializer matching [`SnapWriter`].
+#[derive(Clone, Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SnapReader { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a 32-bit integer.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a 64-bit integer.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a 128-bit integer.
+    pub fn u128(&mut self) -> Result<u128, SnapError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
+    }
+
+    /// Reads a `usize` (stored as 64 bits); rejects values that do not
+    /// fit the host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Invalid("usize overflow"))
+    }
+
+    /// Reads a boolean; any byte other than 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Invalid("bool tag")),
+        }
+    }
+
+    /// Reads a float by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `Option` written by [`SnapWriter::option`].
+    pub fn option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, SnapError>,
+    ) -> Result<Option<T>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            _ => Err(SnapError::Invalid("option tag")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Invalid("utf-8 string"))
+    }
+
+    /// Reads a sequence length, sanity-capped so a corrupted prefix
+    /// cannot drive a pre-allocation of petabytes. Each element is at
+    /// least one byte, so a claimed length beyond the remaining bytes is
+    /// structurally impossible.
+    pub fn seq(&mut self) -> Result<usize, SnapError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(SnapError::Invalid("sequence length exceeds payload"));
+        }
+        Ok(len)
+    }
+}
+
+/// Wraps `payload` in a sealed container: `magic` (8 bytes), `version`,
+/// FNV-1a digest of the payload, payload length, payload.
+pub fn seal(magic: [u8; 8], version: u32, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 28);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&digest64(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates a sealed container and returns its payload slice.
+///
+/// # Errors
+///
+/// [`SnapError::BadMagic`], [`SnapError::UnsupportedVersion`],
+/// [`SnapError::Truncated`], or [`SnapError::DigestMismatch`] — a
+/// snapshot that fails any check is rejected before any state is built.
+pub fn unseal(magic: [u8; 8], version: u32, bytes: &[u8]) -> Result<&[u8], SnapError> {
+    if bytes.len() < 28 {
+        return Err(if bytes.len() >= 8 && bytes[..8] != magic {
+            SnapError::BadMagic
+        } else {
+            SnapError::Truncated
+        });
+    }
+    if bytes[..8] != magic {
+        return Err(SnapError::BadMagic);
+    }
+    let found = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if found != version {
+        return Err(SnapError::UnsupportedVersion {
+            found,
+            expected: version,
+        });
+    }
+    let digest = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    let payload = &bytes[28..];
+    if payload.len() as u64 != len {
+        return Err(SnapError::Truncated);
+    }
+    if digest64(payload) != digest {
+        return Err(SnapError::DigestMismatch);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.u128(0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        w.usize(42);
+        w.bool(true);
+        w.f64(-0.5);
+        w.option(Some(9u64), |w, v| w.u64(v));
+        w.option(None::<u64>, |w, v| w.u64(v));
+        w.str("héllo");
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u128().unwrap(), 0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert_eq!(r.option(|r| r.u64()).unwrap(), Some(9));
+        assert_eq!(r.option(|r| r.u64()).unwrap(), None);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes[..4]);
+        assert_eq!(r.u64(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn bad_tags_are_invalid() {
+        let bytes = [3u8];
+        assert_eq!(
+            SnapReader::new(&bytes).bool(),
+            Err(SnapError::Invalid("bool tag"))
+        );
+        assert_eq!(
+            SnapReader::new(&bytes).option(|r| r.u8()),
+            Err(SnapError::Invalid("option tag"))
+        );
+    }
+
+    #[test]
+    fn absurd_sequence_length_rejected() {
+        let mut w = SnapWriter::new();
+        w.seq(usize::MAX);
+        let bytes = w.finish();
+        assert!(SnapReader::new(&bytes).seq().is_err());
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_rejection() {
+        const MAGIC: [u8; 8] = *b"WSYNTEST";
+        let payload = b"payload bytes".to_vec();
+        let sealed = seal(MAGIC, 3, payload.clone());
+        assert_eq!(unseal(MAGIC, 3, &sealed).unwrap(), &payload[..]);
+
+        // Wrong magic.
+        assert_eq!(unseal(*b"ELSEWHER", 3, &sealed), Err(SnapError::BadMagic));
+        // Wrong version.
+        assert_eq!(
+            unseal(MAGIC, 4, &sealed),
+            Err(SnapError::UnsupportedVersion {
+                found: 3,
+                expected: 4
+            })
+        );
+        // Truncated payload.
+        assert_eq!(
+            unseal(MAGIC, 3, &sealed[..sealed.len() - 1]),
+            Err(SnapError::Truncated)
+        );
+        // Flipped payload byte.
+        let mut corrupt = sealed.clone();
+        *corrupt.last_mut().unwrap() ^= 0x40;
+        assert_eq!(unseal(MAGIC, 3, &corrupt), Err(SnapError::DigestMismatch));
+        // Too short to even hold a header.
+        assert_eq!(unseal(MAGIC, 3, b"WS"), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn digests_are_stable_and_input_sensitive() {
+        assert_eq!(digest64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(digest64(b"a"), digest64(b"b"));
+        assert_ne!(digest128(b"a"), digest128(b"b"));
+        assert_eq!(digest128(b"wisync"), digest128(b"wisync"));
+    }
+}

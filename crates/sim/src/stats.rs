@@ -181,6 +181,37 @@ impl Histogram {
             })
     }
 
+    /// Serializes the full histogram state (including empty-sentinel
+    /// min/max) for machine snapshots.
+    pub fn write_snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+    }
+
+    /// Rebuilds a histogram written by [`Histogram::write_snap`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snap::SnapError`] on truncation.
+    pub fn read_snap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let mut h = Histogram {
+            count: r.u64()?,
+            sum: r.u64()?,
+            min: r.u64()?,
+            max: r.u64()?,
+            buckets: [0; 64],
+        };
+        for b in h.buckets.iter_mut() {
+            *b = r.u64()?;
+        }
+        Ok(h)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;

@@ -44,6 +44,6 @@ pub mod runner;
 pub mod sweep;
 
 pub use bench::{BenchConfig, BenchResult, Harness};
-pub use json::Json;
+pub use json::{write_doc, Json, JsonError};
 pub use runner::{check, check_with, Config, Failed, PropResult};
-pub use sweep::{derive_seed, run_sweep, run_sweep_timed, SweepJob};
+pub use sweep::{derive_seed, run_sweep, run_sweep_indexed, run_sweep_timed, SweepJob};

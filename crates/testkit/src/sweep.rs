@@ -65,9 +65,29 @@ pub fn run_sweep_timed(
     threads: usize,
     base_seed: u64,
 ) -> Vec<(String, Json, Duration)> {
+    let indexed = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, j)| (i as u64, j))
+        .collect();
+    run_sweep_indexed(indexed, threads, base_seed)
+}
+
+/// [`run_sweep_timed`] over jobs carrying *explicit* seed indices.
+///
+/// A job's RNG seed is `derive_seed(base_seed, index)`, so a subset of
+/// a larger grid (e.g. one figure's rows, re-run by `wisync-serve`)
+/// reproduces the exact per-job seeds — and therefore the exact results
+/// — it had inside the full sweep, as long as each job keeps the index
+/// it had there. Results come back in the order the jobs were passed.
+pub fn run_sweep_indexed(
+    jobs: Vec<(u64, SweepJob)>,
+    threads: usize,
+    base_seed: u64,
+) -> Vec<(String, Json, Duration)> {
     let n = jobs.len();
     let workers = threads.max(1).min(n.max(1));
-    let queue: Mutex<VecDeque<(usize, SweepJob)>> =
+    let queue: Mutex<VecDeque<(usize, (u64, SweepJob))>> =
         Mutex::new(jobs.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<(String, Json, Duration)>>> =
         Mutex::new((0..n).map(|_| None).collect());
@@ -76,12 +96,14 @@ pub fn run_sweep_timed(
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let next = queue.lock().expect("sweep queue poisoned").pop_front();
-                let Some((index, job)) = next else { break };
-                let rng = DetRng::new(derive_seed(base_seed, index as u64));
+                let Some((slot, (index, job))) = next else {
+                    break;
+                };
+                let rng = DetRng::new(derive_seed(base_seed, index));
                 let start = Instant::now();
                 let value = (job.run)(rng);
                 let elapsed = start.elapsed();
-                results.lock().expect("sweep results poisoned")[index] =
+                results.lock().expect("sweep results poisoned")[slot] =
                     Some((job.name, value, elapsed));
             });
         }
@@ -146,6 +168,26 @@ mod tests {
         let a = run_sweep(jobs(), 2, 1);
         let b = run_sweep(jobs(), 2, 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_subset_reproduces_full_grid_results() {
+        let full = run_sweep(jobs(), 4, 7);
+        let subset: Vec<(u64, SweepJob)> = [3u64, 11, 14]
+            .into_iter()
+            .map(|i| {
+                let job = SweepJob::new(format!("job{i}"), move |mut rng| {
+                    Json::obj([("i", Json::U64(i)), ("draw", Json::U64(rng.next_u64()))])
+                });
+                (i, job)
+            })
+            .collect();
+        for (index, (name, value, _)) in [3usize, 11, 14]
+            .into_iter()
+            .zip(run_sweep_indexed(subset, 2, 7))
+        {
+            assert_eq!((name, value), full[index].clone());
+        }
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub enum TxLen {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TxToken(u64);
 
+impl TxToken {
+    /// The raw token id, for snapshot serialization.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a token from [`TxToken::as_u64`] output. Only meaningful
+    /// against the channel instance the token came from.
+    pub fn from_u64(raw: u64) -> Self {
+        TxToken(raw)
+    }
+}
+
 /// What happened when a pending slot was resolved.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Resolution<M> {
@@ -402,6 +415,117 @@ impl<M> DataChannel<M> {
     /// channel state.
     pub fn peek(&self, token: TxToken) -> Option<&M> {
         self.pending.get(&token).map(|p| &p.message)
+    }
+
+    /// Serializes the full channel state. The caller supplies the payload
+    /// encoder, since the channel is generic over its message type. The
+    /// pending map is written in token order so identical states produce
+    /// identical bytes; per-slot attempt lists keep their insertion order
+    /// (it decides collision membership and retry dithering).
+    pub fn write_snap(
+        &self,
+        w: &mut wisync_sim::SnapWriter,
+        mut write_msg: impl FnMut(&mut wisync_sim::SnapWriter, &M),
+    ) {
+        w.u64(self.busy_until.as_u64());
+        w.u64(self.reserved_until.as_u64());
+        w.u64(self.next_token);
+        w.u64(self.rng.state());
+
+        w.seq(self.pending_by_slot.len());
+        for (slot, tokens) in &self.pending_by_slot {
+            w.u64(slot.as_u64());
+            w.seq(tokens.len());
+            for t in tokens {
+                w.u64(t.0);
+            }
+        }
+
+        let mut pend: Vec<_> = self.pending.iter().collect();
+        pend.sort_unstable_by_key(|(t, _)| t.0);
+        w.seq(pend.len());
+        for (t, p) in pend {
+            w.u64(t.0);
+            w.usize(p.node.as_usize());
+            w.u8(match p.len {
+                TxLen::Normal => 0,
+                TxLen::Bulk => 1,
+            });
+            write_msg(w, &p.message);
+            w.u64(p.requested_at.as_u64());
+            w.u64(p.slot.as_u64());
+            p.mac.write_snap(w);
+            w.u32(p.collisions);
+        }
+
+        w.u64(self.stats.transfers);
+        w.u64(self.stats.collisions);
+        w.u64(self.stats.busy_cycles);
+        w.u64(self.stats.backoff_exhaustions);
+        self.stats.latency.write_snap(w);
+        self.stats.retries.write_snap(w);
+    }
+
+    /// Rebuilds a channel from [`DataChannel::write_snap`] bytes, with
+    /// the matching payload decoder. `config` and `nodes` must match the
+    /// snapshotted machine's configuration.
+    pub fn read_snap(
+        config: WirelessConfig,
+        nodes: usize,
+        r: &mut wisync_sim::SnapReader<'_>,
+        mut read_msg: impl FnMut(&mut wisync_sim::SnapReader<'_>) -> Result<M, wisync_sim::SnapError>,
+    ) -> Result<Self, wisync_sim::SnapError> {
+        use wisync_sim::SnapError;
+
+        let mut ch = DataChannel::new(config, nodes);
+        ch.busy_until = Cycle(r.u64()?);
+        ch.reserved_until = Cycle(r.u64()?);
+        ch.next_token = r.u64()?;
+        ch.rng = DetRng::from_state(r.u64()?);
+
+        for _ in 0..r.seq()? {
+            let slot = Cycle(r.u64()?);
+            let mut tokens = Vec::new();
+            for _ in 0..r.seq()? {
+                tokens.push(TxToken(r.u64()?));
+            }
+            ch.pending_by_slot.insert(slot, tokens);
+        }
+
+        for _ in 0..r.seq()? {
+            let token = TxToken(r.u64()?);
+            let node = NodeId(r.usize()?);
+            let len = match r.u8()? {
+                0 => TxLen::Normal,
+                1 => TxLen::Bulk,
+                _ => return Err(SnapError::Invalid("tx length tag")),
+            };
+            let message = read_msg(r)?;
+            let requested_at = Cycle(r.u64()?);
+            let slot = Cycle(r.u64()?);
+            let mac = MacState::read_snap(r)?;
+            let collisions = r.u32()?;
+            ch.pending.insert(
+                token,
+                Pending {
+                    node,
+                    len,
+                    message,
+                    requested_at,
+                    slot,
+                    mac,
+                    collisions,
+                },
+            );
+        }
+
+        ch.stats.transfers = r.u64()?;
+        ch.stats.collisions = r.u64()?;
+        ch.stats.busy_cycles = r.u64()?;
+        ch.stats.backoff_exhaustions = r.u64()?;
+        ch.stats.latency = Histogram::read_snap(r)?;
+        ch.stats.retries = Histogram::read_snap(r)?;
+        Ok(ch)
     }
 }
 

@@ -77,6 +77,23 @@ impl MacState {
     pub fn on_success(&mut self) {
         self.exponent = self.exponent.saturating_sub(1);
     }
+
+    /// Serializes the backoff state, including the raw RNG state so a
+    /// restored frame draws the same wait sequence it would have.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.u32(self.exponent);
+        w.u32(self.max_exponent);
+        w.u64(self.rng.state());
+    }
+
+    /// Rebuilds a MAC from [`MacState::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        Ok(MacState {
+            exponent: r.u32()?,
+            max_exponent: r.u32()?,
+            rng: DetRng::from_state(r.u64()?),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -300,6 +300,65 @@ impl ToneChannel {
         self.stats.active_cycles += now.saturating_since(entry.activated_at);
         Ok(())
     }
+
+    /// Serializes both controller tables and the statistics. Table order
+    /// is preserved: ActiveB position decides round-robin slot ownership,
+    /// so it is semantically significant state, not insertion noise.
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        w.usize(self.capacity);
+        w.seq(self.alloc_b.len());
+        for e in &self.alloc_b {
+            w.u64(e.addr);
+            for word in e.armed.to_words() {
+                w.u64(word);
+            }
+        }
+        w.seq(self.active_b.len());
+        for e in &self.active_b {
+            w.u64(e.addr);
+            for word in e.participants.to_words() {
+                w.u64(word);
+            }
+            for word in e.arrived.to_words() {
+                w.u64(word);
+            }
+            w.u64(e.activated_at.as_u64());
+        }
+        w.u64(self.stats.barriers_completed);
+        w.u64(self.stats.active_cycles);
+        w.usize(self.stats.peak_active);
+    }
+
+    /// Rebuilds a tone channel from [`ToneChannel::write_snap`] bytes.
+    pub fn read_snap(r: &mut wisync_sim::SnapReader<'_>) -> Result<Self, wisync_sim::SnapError> {
+        fn node_set(r: &mut wisync_sim::SnapReader<'_>) -> Result<NodeSet, wisync_sim::SnapError> {
+            let mut words = [0u64; 4];
+            for word in &mut words {
+                *word = r.u64()?;
+            }
+            Ok(NodeSet::from_words(words))
+        }
+
+        let mut tc = ToneChannel::new(r.usize()?);
+        for _ in 0..r.seq()? {
+            tc.alloc_b.push(AllocEntry {
+                addr: r.u64()?,
+                armed: node_set(r)?,
+            });
+        }
+        for _ in 0..r.seq()? {
+            tc.active_b.push(ActiveEntry {
+                addr: r.u64()?,
+                participants: node_set(r)?,
+                arrived: node_set(r)?,
+                activated_at: Cycle(r.u64()?),
+            });
+        }
+        tc.stats.barriers_completed = r.u64()?;
+        tc.stats.active_cycles = r.u64()?;
+        tc.stats.peak_active = r.usize()?;
+        Ok(tc)
+    }
 }
 
 #[cfg(test)]
