@@ -8,6 +8,7 @@
 //! cargo run -p wisync-bench --bin report -- --digest out.digest # row count + fingerprint of the trace
 //! cargo run -p wisync-bench --bin report -- --workload fifo     # profile another workload (see report::profile_named)
 //! cargo run -p wisync-bench --bin report -- --stats             # append the raw MachineStats dump
+//! cargo run -p wisync-bench --bin report -- --syncs             # sync-episode leaderboards + results/sync_profile.json
 //! cargo run --release -p wisync-bench --bin report -- --obs-overhead
 //!                                                               # gate: instrumentation wall-clock overhead within budget
 //! ```
@@ -24,7 +25,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wisync_bench::report::{
-    obs_overhead_ns, overhead_pct, profile_named, trace_digest, OVERHEAD_BUDGET_PCT,
+    obs_overhead_ns, overhead_pct, profile_named, sync_profile_json, trace_digest,
+    OVERHEAD_BUDGET_PCT,
 };
 use wisync_bench::serve_metrics::service_summary;
 use wisync_testkit::{write_doc, Json};
@@ -44,6 +46,8 @@ struct Options {
     trace: Option<PathBuf>,
     digest: Option<PathBuf>,
     stats: bool,
+    syncs: bool,
+    syncs_out: Option<PathBuf>,
     obs_overhead: bool,
     quick: bool,
     service: Option<PathBuf>,
@@ -68,6 +72,8 @@ fn parse_args() -> Options {
         trace: None,
         digest: None,
         stats: false,
+        syncs: false,
+        syncs_out: None,
         obs_overhead: false,
         quick: std::env::var_os("WISYNC_QUICK").is_some(),
         service: None,
@@ -86,12 +92,18 @@ fn parse_args() -> Options {
             "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
             "--digest" => opts.digest = Some(PathBuf::from(value("--digest"))),
             "--stats" => opts.stats = true,
+            "--syncs" => opts.syncs = true,
+            "--syncs-out" => {
+                opts.syncs = true;
+                opts.syncs_out = Some(PathBuf::from(value("--syncs-out")));
+            }
             "--obs-overhead" => opts.obs_overhead = true,
             "--quick" => opts.quick = true,
             "--service" => opts.service = Some(PathBuf::from(value("--service"))),
             other => panic!(
                 "unknown argument {other:?} (try --workload/--cores/--iters/\
-                 --out/--trace/--digest/--stats/--obs-overhead/--quick/--service)"
+                 --out/--trace/--digest/--stats/--syncs/--syncs-out/--obs-overhead/\
+                 --quick/--service)"
             ),
         }
     }
@@ -100,6 +112,19 @@ fn parse_args() -> Options {
 
 fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn default_syncs_out(opts: &Options) -> PathBuf {
+    if opts.is_pinned() {
+        results_dir().join("sync_profile.json")
+    } else {
+        results_dir().join(format!(
+            "sync_profile_{}_{}c_{}.json",
+            opts.workload.replace('/', "_"),
+            opts.cores,
+            opts.iters
+        ))
+    }
 }
 
 fn default_out(opts: &Options) -> PathBuf {
@@ -162,6 +187,15 @@ fn main() -> ExitCode {
     if opts.stats {
         println!();
         println!("{}", p.stats);
+    }
+    if opts.syncs {
+        println!();
+        print!("{}", p.render_syncs_text());
+        let syncs_out = opts
+            .syncs_out
+            .clone()
+            .unwrap_or_else(|| default_syncs_out(&opts));
+        write_doc(&syncs_out, &sync_profile_json(&p).render());
     }
 
     let out = opts.out.clone().unwrap_or_else(|| default_out(&opts));

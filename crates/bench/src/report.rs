@@ -85,10 +85,14 @@ pub fn profile_run(
     // Spans streamed into the unbounded sink as they closed, so no run
     // is long enough to drop anything.
     assert_eq!(obs.attrib.dropped_segments(), 0, "streaming dropped spans");
+    obs.episodes
+        .check()
+        .expect("episode lag decompositions tile their windows");
 
     let mut sink = m.take_trace_sink().expect("trace sink installed");
     let chrome_sink = sink.as_chrome_mut().expect("sink is a ChromeTrace");
     chrome_sink.push_counters(&obs.timeline);
+    chrome_sink.push_episodes(&obs.episodes);
     let chrome = chrome_sink.to_json();
     validate_chrome(&chrome).expect("chrome trace validates");
 
@@ -346,7 +350,122 @@ fn profile_json(
     ])
 }
 
+/// The deterministic sync-episode profile document
+/// (`wisync-sync-profile/v1`): every committed field derives from
+/// simulated state, so the pinned run's export
+/// (`results/sync_profile.json`) is byte-reproducible across hosts,
+/// invocations, and `WISYNC_SHARDS` settings.
+pub fn sync_profile_json(p: &ProfiledRun) -> Json {
+    Json::obj([
+        ("schema", Json::Str("wisync-sync-profile/v1".to_string())),
+        ("workload", Json::Str(p.workload.clone())),
+        ("machine", Json::Str(p.machine.clone())),
+        ("cores", Json::U64(p.cores as u64)),
+        (
+            "run",
+            Json::obj([
+                ("outcome", Json::Str(format!("{:?}", p.outcome))),
+                ("cycles", Json::U64(p.cycles)),
+                ("tone_barriers", Json::U64(p.stats.tone_barriers)),
+                ("rmw_successes", Json::U64(p.stats.rmw_successes)),
+            ]),
+        ),
+        ("episodes", p.obs.episodes.to_json(LEADERBOARD_TOP)),
+    ])
+}
+
 impl ProfiledRun {
+    /// Human-readable sync-episode report (the `report` binary's
+    /// `--syncs` stdout): barrier-episode and lock-handoff leaderboards
+    /// with the straggler-lag bucket decomposition. Derived entirely
+    /// from simulated state, so byte-reproducible like
+    /// [`ProfiledRun::render_text`].
+    pub fn render_syncs_text(&self) -> String {
+        const TOP: usize = 8;
+        let mut out = String::new();
+        let w = &mut out;
+        let eps = &self.obs.episodes;
+        let _ = writeln!(
+            w,
+            "sync episodes: {} barrier episodes ({} recorded, {} dropped), \
+             {} lock holds recorded ({} dropped)",
+            eps.completed_barriers(),
+            eps.barriers().len(),
+            eps.dropped_barriers(),
+            eps.handoffs().len(),
+            eps.dropped_handoffs()
+        );
+        let _ = writeln!(w);
+
+        let _ = writeln!(w, "straggler lag by bucket (all episodes)");
+        let lag = eps.lag_totals();
+        let grand: u64 = lag.iter().sum();
+        for (b, &n) in Bucket::ALL.iter().zip(lag.iter()) {
+            let pct = if grand == 0 {
+                0.0
+            } else {
+                n as f64 * 100.0 / grand as f64
+            };
+            let _ = writeln!(w, "  {:<14} {pct:>6.2}%  {n}", b.label());
+        }
+        let _ = writeln!(w);
+
+        let stragglers = eps.straggler_leaderboard(TOP);
+        let _ = writeln!(w, "stragglers (top {})", stragglers.len());
+        if !stragglers.is_empty() {
+            let _ = writeln!(w, "  {:>6} {:>9} {:>12}", "core", "episodes", "lag_cycles");
+            for (core, count, lag) in stragglers {
+                let _ = writeln!(w, "  {core:>6} {count:>9} {lag:>12}");
+            }
+        }
+        let _ = writeln!(w);
+
+        let slowest = eps.slowest_episodes(TOP);
+        let _ = writeln!(w, "slowest episodes (top {})", slowest.len());
+        if !slowest.is_empty() {
+            let _ = writeln!(
+                w,
+                "  {:>6} {:>10} {:>10} {:>9} {:>6} {:>12}",
+                "phys", "opened", "released", "arrivals", "core", "lag_cycles"
+            );
+            for e in slowest {
+                let _ = writeln!(
+                    w,
+                    "  {:>6} {:>10} {:>10} {:>9} {:>6} {:>12}",
+                    e.phys,
+                    e.opened.as_u64(),
+                    e.released.as_u64(),
+                    e.arrivals,
+                    e.straggler,
+                    e.lag_cycles()
+                );
+            }
+        }
+        let _ = writeln!(w);
+
+        let locks = eps.lock_leaderboard(TOP);
+        let _ = writeln!(w, "contended locks (top {})", locks.len());
+        if !locks.is_empty() {
+            let _ = writeln!(
+                w,
+                "  {:>6} {:>9} {:>7} {:>12} {:>9} {:>14}",
+                "phys", "acquires", "fails", "hold_cycles", "handoffs", "handoff_cycles"
+            );
+            for (phys, agg) in locks {
+                let _ = writeln!(
+                    w,
+                    "  {phys:>6} {:>9} {:>7} {:>12} {:>9} {:>14}",
+                    agg.acquires,
+                    agg.failed_attempts,
+                    agg.hold_cycles,
+                    agg.handoffs,
+                    agg.handoff_cycles
+                );
+            }
+        }
+        out
+    }
+
     /// Human-readable run profile (the `report` binary's stdout).
     /// Derived entirely from simulated state, so it is as deterministic
     /// as the JSON documents.
@@ -583,6 +702,38 @@ mod tests {
         ] {
             assert!(profile_grid_job(bad, true).is_err(), "{bad} should fail");
         }
+    }
+
+    #[test]
+    fn sync_profile_is_complete_and_reproducible() {
+        let p = quick_profile();
+        let text = sync_profile_json(&p).render();
+        assert!(text.contains("\"schema\": \"wisync-sync-profile/v1\""));
+        assert!(text.contains("\"stragglers\""));
+        assert!(text.contains("\"slowest_episodes\""));
+        // One barrier episode per TightLoop iteration, all recorded.
+        assert_eq!(p.obs.episodes.completed_barriers(), 3);
+        assert_eq!(p.obs.episodes.dropped_barriers(), 0);
+        assert_eq!(text, sync_profile_json(&quick_profile()).render());
+        let syncs = p.render_syncs_text();
+        assert!(syncs.contains("sync episodes: 3 barrier episodes"));
+        for b in Bucket::ALL {
+            assert!(syncs.contains(b.label()), "missing {}", b.label());
+        }
+        assert_eq!(syncs, quick_profile().render_syncs_text());
+        // The chrome export carries the episode track.
+        assert!(p.chrome.render().contains("\"sync episodes\""));
+    }
+
+    #[test]
+    fn lock_handoffs_surface_for_cas_workloads() {
+        let p = profile_named("fifo", 4, 2).unwrap();
+        let eps = &p.obs.episodes;
+        assert!(!eps.handoffs().is_empty(), "fifo should record lock holds");
+        assert!(!eps.lock_leaderboard(4).is_empty());
+        let syncs = p.render_syncs_text();
+        assert!(syncs.contains("contended locks"));
+        assert!(p.chrome.render().contains("\"lock holds\""));
     }
 
     #[test]

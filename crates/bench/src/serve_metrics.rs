@@ -54,6 +54,57 @@ impl ServiceMetrics {
         }
     }
 
+    /// Renders the metrics in the Prometheus text exposition format
+    /// (version 0.0.4): one counter family per field plus a cumulative
+    /// histogram of request wall time built from the power-of-two
+    /// buckets. Served verbatim by `wisync-serve`'s `GET /metrics`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut sample = |name: &str, kind: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        };
+        sample(
+            "wisync_serve_jobs_run_total",
+            "counter",
+            "Grid jobs simulated (cache misses re-run the slice).",
+            self.jobs_run,
+        );
+        sample(
+            "wisync_serve_cache_hits_total",
+            "counter",
+            "Requests answered straight from the result cache.",
+            self.cache_hits,
+        );
+        sample(
+            "wisync_serve_cache_misses_total",
+            "counter",
+            "Requests that missed the cache and simulated.",
+            self.cache_misses,
+        );
+        sample(
+            "wisync_serve_cache_bytes",
+            "gauge",
+            "Bytes currently stored in the result cache.",
+            self.cache_bytes,
+        );
+        let h = &self.request_wall_us;
+        let name = "wisync_serve_request_wall_us";
+        out.push_str(&format!(
+            "# HELP {name} Wall time per request, in microseconds.\n# TYPE {name} histogram\n"
+        ));
+        let mut cumulative = 0u64;
+        for (_, hi, n) in h.nonzero_buckets() {
+            cumulative += n;
+            out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+        out
+    }
+
     /// Serializes the metrics in the obs-profile document style.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -133,6 +184,32 @@ mod tests {
         assert!(text.contains("grid jobs simulated: 12"));
         assert!(text.contains("result cache: 4096 bytes"));
         assert!(text.contains("request wall time:"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut m = ServiceMetrics::default();
+        m.record_miss(12, 45_000);
+        m.record_hit(300);
+        m.cache_bytes = 4_096;
+        let text = m.to_prometheus();
+        assert!(text.starts_with("# HELP wisync_serve_jobs_run_total "));
+        assert!(text.contains("# TYPE wisync_serve_jobs_run_total counter\n"));
+        assert!(text.contains("wisync_serve_jobs_run_total 12\n"));
+        assert!(text.contains("wisync_serve_cache_hits_total 1\n"));
+        assert!(text.contains("wisync_serve_cache_misses_total 1\n"));
+        assert!(text.contains("wisync_serve_cache_bytes 4096\n"));
+        assert!(text.contains("# TYPE wisync_serve_request_wall_us histogram\n"));
+        assert!(text.contains("wisync_serve_request_wall_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("wisync_serve_request_wall_us_sum 45300\n"));
+        assert!(text.contains("wisync_serve_request_wall_us_count 2\n"));
+        // Bucket counts are cumulative: the last finite bucket holds
+        // every observation.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 2"), "{last_finite}");
     }
 
     #[test]

@@ -345,6 +345,94 @@ fn sharded_runs_keep_observability_exact_and_identical() {
     }
 }
 
+/// ISSUE satellite: per-episode straggler lag decompositions tile their
+/// windows exactly — `sum(lag buckets) == released - ready` for every
+/// completed barrier episode, with each bucket's lag bounded by the
+/// straggler's whole-run bucket total — across random TightLoop/FIFO
+/// shapes on the micro-op engine, the sharded micro-op engine, and the
+/// reference interpreter. The obs-off arm of the same shape must stay
+/// byte-identical to the obs-on arm's results JSON.
+#[test]
+fn episode_lag_decomposition_tiles_for_random_workloads() {
+    let shapes = (
+        gen::range_incl(0u64, 1),
+        gen::range_incl(0u64, 2),
+        gen::range_incl(1u64, 10),
+        gen::range_incl(0u64, 0xFFFF),
+    );
+    check_with(
+        Config::with_cases(18),
+        "episode_lag_tiles",
+        shapes,
+        |(class, engine, size, seed)| {
+            let build = |instrumented: bool| {
+                let mut cfg = MachineConfig::wisync(8);
+                cfg = match engine {
+                    0 => cfg.with_exec(wisync_core::ExecMode::Uop),
+                    1 => cfg
+                        .with_exec(wisync_core::ExecMode::Uop)
+                        .with_shards(4)
+                        .with_shard_threads(Some(2)),
+                    _ => cfg.with_exec(wisync_core::ExecMode::Reference),
+                };
+                cfg.seed = seed;
+                let mut m = Machine::new(cfg);
+                if instrumented {
+                    m.enable_observability(ObsConfig::default());
+                }
+                match class {
+                    0 => TightLoop::new(size).load(&mut m),
+                    _ => {
+                        CasKernel {
+                            kind: CasKind::Fifo,
+                            critical_section: 16,
+                            ops_per_thread: size,
+                        }
+                        .load(&mut m);
+                    }
+                }
+                m
+            };
+
+            let mut m = build(true);
+            let r = m.run(BUDGET);
+            prop_assert_eq!(r.outcome, RunOutcome::Completed);
+            let obs = m.observability().expect("observability enabled");
+            obs.episodes.check().map_err(|e| {
+                wisync_testkit::Failed::new(format!("episode tiling violated: {e}"))
+            })?;
+            // Every recorded episode was checked above; restate the
+            // invariant from raw fields and bound each bucket by the
+            // straggler's whole-run attribution totals.
+            for e in obs.episodes.barriers() {
+                let lag_sum: u64 = e.lag.iter().sum();
+                prop_assert_eq!(lag_sum, e.released.saturating_since(e.ready));
+                let totals = obs.attrib.core_buckets(e.straggler);
+                for (b, (&lag, &total)) in e.lag.iter().zip(totals.iter()).enumerate() {
+                    if lag > total {
+                        return Err(wisync_testkit::Failed::new(format!(
+                            "episode phys {} bucket {b}: lag {lag} exceeds the \
+                             straggler's run total {total}",
+                            e.phys
+                        )));
+                    }
+                }
+            }
+            // TightLoop completes one barrier episode per iteration.
+            if class == 0 {
+                prop_assert_eq!(obs.episodes.completed_barriers(), size);
+            }
+
+            // The obs-off arm of the identical shape is unperturbed.
+            let instrumented = results_json(&m, r.outcome);
+            let mut plain = build(false);
+            let rp = plain.run(BUDGET);
+            prop_assert_eq!(results_json(&plain, rp.outcome), instrumented);
+            Ok(())
+        },
+    );
+}
+
 /// Property test: the invariant holds for random workload shapes, not
 /// just the hand-picked matrix points.
 #[test]

@@ -52,6 +52,7 @@ pub mod config;
 pub mod machine;
 pub mod model;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use bm::{BmError, BroadcastMemory, Pid};
@@ -61,6 +62,7 @@ pub use machine::{
     SNAPSHOT_VERSION,
 };
 pub use stats::MachineStats;
+pub use telemetry::TelemetrySnapshot;
 pub use trace::{ChromeTrace, Trace, TraceEvent, TraceSink};
 // Fault-injection vocabulary, re-exported so workloads and harnesses can
 // build plans without depending on `wisync-fault` directly.

@@ -13,7 +13,7 @@ use wisync_isa::uop::Uop;
 use wisync_isa::{Cond, DecodedProgram, Instr, Program, Reg, RmwSpec, Space};
 use wisync_mem::{MemOp, MemSystem, RmwKind};
 use wisync_noc::{Mesh, NodeId, NodeSet};
-use wisync_obs::{Bucket, ObsConfig, ObsState, Timeline};
+use wisync_obs::{Bucket, Episodes, ObsConfig, ObsState, Timeline};
 use wisync_sim::{Cycle, DetRng, EventQueue, ShardPool};
 use wisync_wireless::{DataChannel, Resolution, ToneChannel, TxLen, TxToken};
 
@@ -802,6 +802,16 @@ impl Machine {
         }
     }
 
+    /// Bumps the sync-episode recorder. Every call site sits on the
+    /// serial commit path (deliveries, tone completions, RMW issue), so
+    /// the recorded episodes are identical across shard settings.
+    #[inline]
+    fn obs_episodes(&mut self, f: impl FnOnce(&mut Episodes)) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            f(&mut o.episodes);
+        }
+    }
+
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -1038,6 +1048,14 @@ impl Machine {
     /// budget is exhausted. Returns the report; machine state is
     /// inspectable afterwards.
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        // Baseline for the per-run deltas published to the process-wide
+        // telemetry counters when this run returns (stats are cumulative
+        // across runs on the same machine).
+        let telemetry_base = (
+            self.stats.tone_barriers,
+            self.stats.rmw_successes,
+            self.stats.dropped_sync_episodes,
+        );
         // Kick off every loaded core.
         for i in 0..self.cores.len() {
             if self.cores[i].status == CoreStatus::Running && self.cores[i].program.is_some() {
@@ -1111,6 +1129,7 @@ impl Machine {
             .fold(self.now, Cycle::max);
         if let Some(o) = self.obs.as_deref_mut() {
             o.finalize(end);
+            self.stats.dropped_sync_episodes = o.episodes.dropped_total();
         }
         // Stream the spans finalize just closed before reading the
         // sink's drop count, so a streaming run's count is final.
@@ -1156,6 +1175,13 @@ impl Machine {
         if let Some(f) = &self.fault {
             self.stats.fault_stats = f.stats().clone();
         }
+        crate::telemetry::record_run(
+            self.stats.tone_barriers - telemetry_base.0,
+            self.stats.rmw_successes - telemetry_base.1,
+            self.stats
+                .dropped_sync_episodes
+                .saturating_sub(telemetry_base.2),
+        );
         RunReport {
             outcome,
             cycles: self.now,
@@ -1222,6 +1248,7 @@ impl Machine {
                                 .collect();
                             if let Some(o) = self.obs.as_deref_mut() {
                                 o.timeline.collision(now, busy);
+                                o.episodes.collision();
                                 for &p in &physes {
                                     o.addr.collision(p);
                                 }
@@ -1958,6 +1985,7 @@ impl Machine {
         self.cores[core].afb = false;
         if !writes {
             // CAS comparison failed: no broadcast, no atomicity window.
+            self.obs_episodes(|e| e.rmw_fail(phys));
             self.cores[core].pc += 1;
             let end = t + self.config.bm_rt;
             self.obs_op(core, t, end, Bucket::MemStall);
@@ -2048,7 +2076,7 @@ impl Machine {
         }
         // tone_st is fire-and-forget: the core proceeds (to its spin).
         if let Some(o) = self.obs.as_deref_mut() {
-            o.barrier_arrive(phys, t);
+            o.barrier_arrive(core, phys, t);
         }
         self.obs_op(core, t, t + 1, Bucket::Compute);
         self.cores[core].pc += 1;
@@ -2074,6 +2102,7 @@ impl Machine {
             self.cores[i].afb = true;
             self.stats.bm_rmw_atomicity_failures += 1;
             self.obs_timeline(|tl| tl.rmw_failure(at));
+            self.obs_episodes(|e| e.rmw_fail(phys));
             self.record(TraceEvent::RmwAborted { at, core: i, phys });
             // Hold the failed instruction for an exponentially-backed-off
             // wait before software sees the AFB (§5.3).
@@ -2134,6 +2163,9 @@ impl Machine {
                 if self.cores[core].store_buffer == Some((phys, value)) {
                     self.cores[core].store_buffer = None;
                 }
+                // A plain store by the current holder releases the lock
+                // (recorded before the atomicity breaks it causes).
+                self.obs_episodes(|e| e.store_release(phys, core, at));
                 self.break_conflicting_rmws(phys, core, at);
                 self.wake_bm_waiters(phys, at);
                 if self.cores[core].drain_block {
@@ -2172,6 +2204,9 @@ impl Machine {
                 self.bm.write_phys(phys, value);
                 self.cores[core].rmw_exp = self.cores[core].rmw_exp.saturating_sub(1);
                 self.stats.note_bm_rmw_committed(pending.is_cas);
+                // The committed RMW acquires the address; the atomicity
+                // failures it inflicts below attach to the new hold.
+                self.obs_episodes(|e| e.rmw_commit(phys, core, at));
                 self.break_conflicting_rmws(phys, core, at);
                 self.wake_bm_waiters(phys, at);
                 self.queue.push(at, Event::Resume(core));
@@ -2190,6 +2225,7 @@ impl Machine {
                 }
                 for (k, v) in values.iter().enumerate() {
                     self.bm.write_phys(phys + k, *v);
+                    self.obs_episodes(|e| e.store_release(phys + k, core, at));
                     self.break_conflicting_rmws(phys + k, core, at);
                     self.wake_bm_waiters(phys + k, at);
                 }
@@ -2300,6 +2336,7 @@ impl Machine {
                 if let Some(o) = self.obs.as_deref_mut() {
                     o.timeline.retransmit(at);
                     o.addr.retransmit(phys0);
+                    o.episodes.retransmit();
                 }
                 self.record(TraceEvent::Retransmit {
                     at,
@@ -2542,7 +2579,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"WISYNCSN";
 
 /// Machine snapshot format version. Bump on any layout change; old
 /// versions are rejected with [`SnapError::UnsupportedVersion`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 fn write_space(w: &mut SnapWriter, s: Space) {
     w.u8(match s {
@@ -3222,6 +3259,7 @@ fn write_stats(w: &mut SnapWriter, s: &MachineStats) {
     w.u64(s.cas_attempts);
     w.u64(s.cas_successes);
     w.u64(s.dropped_trace_events);
+    w.u64(s.dropped_sync_episodes);
     w.seq(s.faults.len());
     for f in &s.faults {
         match f {
@@ -3290,6 +3328,7 @@ fn read_stats(r: &mut SnapReader<'_>) -> Result<MachineStats, SnapError> {
         cas_attempts: r.u64()?,
         cas_successes: r.u64()?,
         dropped_trace_events: r.u64()?,
+        dropped_sync_episodes: r.u64()?,
         ..MachineStats::default()
     };
     for _ in 0..r.seq()? {

@@ -41,6 +41,11 @@ pub struct MachineStats {
     /// Trace events discarded by the bounded trace sink after it filled
     /// (0 when tracing is off or the sink never overflowed).
     pub dropped_trace_events: u64,
+    /// Sync-episode records (barrier episodes + lock holds) discarded by
+    /// the bounded episode rings after they filled (0 when observability
+    /// is off or the rings never saturated) — a non-zero value means the
+    /// sync profile is truncated.
+    pub dropped_sync_episodes: u64,
     /// Simulation and injected faults (protection violations, exhausted
     /// retransmit budgets, audited replica divergence).
     pub faults: Vec<FaultRecord>,
@@ -128,6 +133,9 @@ impl fmt::Display for MachineStats {
         row(f, "faults", self.faults.len())?;
         if self.dropped_trace_events > 0 {
             row(f, "dropped_trace_events", self.dropped_trace_events)?;
+        }
+        if self.dropped_sync_episodes > 0 {
+            row(f, "dropped_sync_episodes", self.dropped_sync_episodes)?;
         }
         writeln!(f, "data channel")?;
         row(f, "transfers", self.data.transfers)?;

@@ -222,6 +222,14 @@ impl Attribution {
         self.cores[core].buckets
     }
 
+    /// One core's attribution cursor: everything before this cycle has
+    /// been attributed. At a cycle the core's own hooks have advanced
+    /// it to, `core_buckets` is an exact snapshot of `[start, cursor)`
+    /// — the episode recorder's lag decomposition builds on this.
+    pub fn cursor(&self, core: usize) -> Cycle {
+        self.cores[core].cursor
+    }
+
     /// Closed cycles per bucket summed over all cores.
     pub fn totals(&self) -> [u64; NUM_BUCKETS] {
         let mut out = [0u64; NUM_BUCKETS];

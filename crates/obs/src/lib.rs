@@ -26,6 +26,11 @@
 //! 5. **Per-address contention** ([`AddrContention`]): Data-channel busy
 //!    cycles, collisions, and retransmits booked per BM line, feeding
 //!    the contended-line leaderboard in the profile report.
+//! 6. **Sync-episode causal records** ([`Episodes`]): every tone-barrier
+//!    episode with its arrival order, straggler, and a bucket
+//!    decomposition of the straggler's lag that provably tiles the
+//!    episode window, plus BM lock acquire→release handoff chains —
+//!    both in bounded rings with saturation counters.
 //!
 //! Everything here follows the `wisync-fault` contract in reverse: the
 //! machine *writes* observability state but never *reads* it, so
@@ -34,6 +39,7 @@
 
 pub mod addr;
 pub mod attrib;
+pub mod episodes;
 pub mod event;
 pub mod sink;
 pub mod state;
@@ -41,7 +47,11 @@ pub mod timeline;
 
 pub use addr::{AddrContention, AddrStats};
 pub use attrib::{Attribution, Bucket, Segment, NUM_BUCKETS};
+pub use episodes::{BarrierEpisode, Episodes, HandoffRecord, LockAgg, DEFAULT_EPISODE_CAPACITY};
 pub use event::{Trace, TraceEvent};
-pub use sink::{validate_chrome, ChromeTrace, TraceSink, CHANNEL_TID_BASE, COUNTER_TID, TONE_TID};
+pub use sink::{
+    validate_chrome, ChromeTrace, TraceSink, CHANNEL_TID_BASE, COUNTER_TID, LOCK_TID, SYNC_TID,
+    TONE_TID,
+};
 pub use state::{histogram_json, ObsConfig, ObsState};
 pub use timeline::{Epoch, Timeline};

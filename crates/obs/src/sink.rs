@@ -6,6 +6,7 @@
 use wisync_testkit::Json;
 
 use crate::attrib::Segment;
+use crate::episodes::Episodes;
 use crate::event::{Trace, TraceEvent};
 use crate::timeline::Timeline;
 
@@ -87,6 +88,12 @@ pub const TONE_TID: u64 = 900;
 pub const CHANNEL_TID_BASE: u64 = 1000;
 /// Thread id carrying the timeline counter tracks (`ph:"C"` rows).
 pub const COUNTER_TID: u64 = 2000;
+/// Thread id carrying tone-barrier episode spans (`ph:"X"` rows from
+/// [`ChromeTrace::push_episodes`]).
+pub const SYNC_TID: u64 = 3000;
+/// Thread id carrying lock-hold spans (`ph:"X"` rows from
+/// [`ChromeTrace::push_episodes`]).
+pub const LOCK_TID: u64 = 3001;
 
 #[derive(Clone, Debug)]
 struct ChromeRow {
@@ -219,6 +226,51 @@ impl ChromeTrace {
         }
     }
 
+    /// Adds the sync-episode records as "X" (complete) rows: barrier
+    /// episodes (first arrival → release) on the [`SYNC_TID`] track and
+    /// lock holds (acquire → release) on the [`LOCK_TID`] track, each
+    /// carrying its causal args (straggler / holder, lag, failed
+    /// attempts). Call after the run, before [`ChromeTrace::to_json`].
+    pub fn push_episodes(&mut self, episodes: &Episodes) {
+        for e in episodes.barriers() {
+            let dur = e.released.saturating_since(e.opened);
+            if dur == 0 {
+                continue;
+            }
+            self.push(ChromeRow {
+                name: "barrier episode",
+                ph: "X",
+                ts: e.opened.as_u64(),
+                dur: Some(dur),
+                tid: SYNC_TID,
+                args: vec![
+                    ("phys", e.phys as u64),
+                    ("arrivals", e.arrivals),
+                    ("straggler", e.straggler as u64),
+                    ("lag_cycles", e.lag_cycles()),
+                ],
+            });
+        }
+        for h in episodes.handoffs() {
+            let dur = h.hold_cycles();
+            if dur == 0 {
+                continue;
+            }
+            self.push(ChromeRow {
+                name: "lock hold",
+                ph: "X",
+                ts: h.acquired.as_u64(),
+                dur: Some(dur),
+                tid: LOCK_TID,
+                args: vec![
+                    ("phys", h.phys as u64),
+                    ("holder", h.holder as u64),
+                    ("failed_attempts", h.failed_attempts),
+                ],
+            });
+        }
+    }
+
     /// Adds the timeline's contention counters as `ph:"C"` rows on the
     /// [`COUNTER_TID`] track: one `busy_cycles`, `collisions`, and
     /// `retransmits` sample per materialized epoch (interior zeros
@@ -264,6 +316,10 @@ impl ChromeTrace {
                     "barriers".to_string()
                 } else if tid == COUNTER_TID {
                     "timeline".to_string()
+                } else if tid == SYNC_TID {
+                    "sync episodes".to_string()
+                } else if tid == LOCK_TID {
+                    "lock holds".to_string()
                 } else if tid >= CHANNEL_TID_BASE {
                     format!("channel {}", tid - CHANNEL_TID_BASE)
                 } else {
@@ -543,6 +599,32 @@ mod tests {
         assert!(text.contains("\"ph\": \"X\""));
         assert!(text.contains("\"channel_wait\""));
         assert!(text.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn episode_tracks_export_and_label() {
+        use crate::attrib::Attribution;
+        use crate::episodes::Episodes;
+
+        let mut attrib = Attribution::new(2, Cycle(0), 64);
+        let mut eps = Episodes::new(2, 16);
+        eps.barrier_arrive(0, 7, Cycle(10));
+        eps.barrier_arrive(1, 7, Cycle(40));
+        eps.barrier_release(7, Cycle(50), &mut attrib);
+        eps.rmw_commit(3, 0, Cycle(5));
+        eps.store_release(3, 0, Cycle(25));
+        let mut c = ChromeTrace::new(1 << 10);
+        c.push_episodes(&eps);
+        let doc = c.to_json();
+        // 2 spans + 2 thread_name rows.
+        assert_eq!(validate_chrome(&doc).unwrap(), 4);
+        let text = doc.render();
+        assert!(text.contains("\"barrier episode\""));
+        assert!(text.contains("\"lock hold\""));
+        assert!(text.contains("\"sync episodes\""));
+        assert!(text.contains("\"lock holds\""));
+        assert!(text.contains("\"straggler\": 1"));
+        assert!(!text.contains("channel 2000")); // tids 3000+ are not channels
     }
 
     #[test]

@@ -7,6 +7,7 @@ use wisync_testkit::Json;
 
 use crate::addr::AddrContention;
 use crate::attrib::{Attribution, Bucket};
+use crate::episodes::{Episodes, DEFAULT_EPISODE_CAPACITY};
 use crate::timeline::Timeline;
 
 /// Configuration for [`ObsState`].
@@ -24,6 +25,10 @@ pub struct ObsConfig {
     /// end-of-run drain. On by default; the exported bytes are
     /// identical either way on bounded runs (test-proven).
     pub stream_segments: bool,
+    /// Capacity of each sync-episode ring (barrier episodes and lock
+    /// holds are bounded separately; overflow is counted, not silent —
+    /// see [`Episodes`]).
+    pub episode_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -32,6 +37,7 @@ impl Default for ObsConfig {
             epoch_len: 1024,
             segment_capacity: 1 << 16,
             stream_segments: true,
+            episode_capacity: DEFAULT_EPISODE_CAPACITY,
         }
     }
 }
@@ -52,6 +58,9 @@ pub struct ObsState {
     pub timeline: Timeline,
     /// Per-BM-address Data-channel contention attribution.
     pub addr: AddrContention,
+    /// Sync-episode causal records: barrier episodes with straggler lag
+    /// decompositions, and lock acquire→release handoff chains.
+    pub episodes: Episodes,
     /// Barrier arrival-to-release spread: release cycle minus the
     /// episode's first `tone_st` arrival, per completed tone barrier.
     pub barrier_spread: Histogram,
@@ -71,26 +80,32 @@ impl ObsState {
             attrib: Attribution::new(cores, start, config.segment_capacity),
             timeline: Timeline::new(config.epoch_len),
             addr: AddrContention::new(),
+            episodes: Episodes::new(cores, config.episode_capacity),
             barrier_spread: Histogram::new(),
             stream_segments: config.stream_segments,
             arrivals: FxHashMap::default(),
         }
     }
 
-    /// Records a core's arrival at tone barrier `phys` (only the
-    /// episode's first arrival is kept).
+    /// Records `core`'s arrival at tone barrier `phys` (the spread
+    /// histogram keeps the episode's first arrival; the episode record
+    /// keeps them all).
     #[inline]
-    pub fn barrier_arrive(&mut self, phys: usize, at: Cycle) {
+    pub fn barrier_arrive(&mut self, core: usize, phys: usize, at: Cycle) {
         self.arrivals.entry(phys).or_insert(at);
+        self.episodes.barrier_arrive(core, phys, at);
     }
 
-    /// Records the release of tone barrier `phys`, closing the episode
-    /// and recording its arrival-to-release spread.
+    /// Records the release of tone barrier `phys`: closes the episode
+    /// record (snapshotting every participant's attribution at `at` —
+    /// see [`Episodes::barrier_release`]) and records the episode's
+    /// arrival-to-release spread.
     #[inline]
     pub fn barrier_release(&mut self, phys: usize, at: Cycle) {
         if let Some(first) = self.arrivals.remove(&phys) {
             self.barrier_spread.record(at.saturating_since(first));
         }
+        self.episodes.barrier_release(phys, at, &mut self.attrib);
     }
 
     /// Closes attribution at the end of a run (idempotent; a later run
@@ -106,6 +121,7 @@ impl ObsState {
         self.attrib.write_snap(w);
         self.timeline.write_snap(w);
         self.addr.write_snap(w);
+        self.episodes.write_snap(w);
         self.barrier_spread.write_snap(w);
         w.bool(self.stream_segments);
         let mut arrivals: Vec<_> = self.arrivals.iter().collect();
@@ -122,6 +138,7 @@ impl ObsState {
         let attrib = Attribution::read_snap(r)?;
         let timeline = Timeline::read_snap(r)?;
         let addr = AddrContention::read_snap(r)?;
+        let episodes = Episodes::read_snap(r)?;
         let barrier_spread = Histogram::read_snap(r)?;
         let stream_segments = r.bool()?;
         let mut arrivals = FxHashMap::default();
@@ -133,6 +150,7 @@ impl ObsState {
             attrib,
             timeline,
             addr,
+            episodes,
             barrier_spread,
             stream_segments,
             arrivals,
@@ -212,16 +230,20 @@ mod tests {
     #[test]
     fn barrier_spread_tracks_first_arrival() {
         let mut o = ObsState::new(4, Cycle(0), ObsConfig::default());
-        o.barrier_arrive(7, Cycle(100));
-        o.barrier_arrive(7, Cycle(150)); // later arrivals ignored
+        o.barrier_arrive(0, 7, Cycle(100));
+        o.barrier_arrive(1, 7, Cycle(150)); // spread keeps the first
         o.barrier_release(7, Cycle(180));
         assert_eq!(o.barrier_spread.count(), 1);
         assert_eq!(o.barrier_spread.max(), Some(80));
         // Next episode starts fresh.
-        o.barrier_arrive(7, Cycle(200));
+        o.barrier_arrive(0, 7, Cycle(200));
         o.barrier_release(7, Cycle(210));
         assert_eq!(o.barrier_spread.count(), 2);
         assert_eq!(o.barrier_spread.min(), Some(10));
+        // The episode recorder saw both episodes, stragglers included.
+        assert_eq!(o.episodes.completed_barriers(), 2);
+        assert_eq!(o.episodes.barriers()[0].straggler, 1);
+        o.episodes.check().unwrap();
     }
 
     #[test]

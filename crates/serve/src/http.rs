@@ -6,23 +6,43 @@
 //!
 //! Routes:
 //!
-//! | request          | response                                        |
-//! |------------------|-------------------------------------------------|
-//! | `POST /jobs`     | figure-report bytes; `X-Wisync-Cache: hit|miss`,|
-//! |                  | `X-Wisync-Key: <32-hex content address>`        |
-//! | `GET /metrics`   | cumulative [`ServiceMetrics`] document          |
-//! | `GET /figures`   | the figures the grid can produce                |
+//! | request                   | response                                        |
+//! |---------------------------|-------------------------------------------------|
+//! | `POST /jobs`              | figure-report bytes; `X-Wisync-Cache: hit|miss`,|
+//! |                           | `X-Wisync-Key: <32-hex content address>`,       |
+//! |                           | `X-Wisync-Job: <registry id>`                   |
+//! | `GET /metrics`            | Prometheus text exposition (version 0.0.4):     |
+//! |                           | cumulative [`ServiceMetrics`] plus process-wide |
+//! |                           | sync telemetry and the in-flight job gauge      |
+//! | `GET /metrics.json`       | cumulative [`ServiceMetrics`] document          |
+//! | `GET /jobs/<id>/progress` | live per-job progress (state, grid jobs done,   |
+//! |                           | sync counters) — answered from the registry, so |
+//! |                           | it works while the job is still simulating      |
+//! | `GET /figures`            | the figures the grid can produce                |
+//!
+//! Connections are handled on scoped threads over a shared service: a
+//! long `POST /jobs` holds the service lock, while the read-only routes
+//! answer from shared handles and never block behind it.
 //!
 //! [`ServiceMetrics`]: wisync_bench::serve_metrics::ServiceMetrics
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
 
 use wisync_bench::grid;
+use wisync_bench::serve_metrics::ServiceMetrics;
+use wisync_core::telemetry;
 use wisync_testkit::Json;
 
+use crate::registry::JobRegistry;
 use crate::service::{JobService, ServeError};
+
+/// `Content-Type` for JSON bodies.
+const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` for the Prometheus text exposition format.
+const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
 
 /// Upper bound on accepted request bodies; a job spec is tens of bytes.
 const MAX_BODY_BYTES: usize = 64 * 1024;
@@ -79,17 +99,19 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request { method, path, body })
 }
 
-/// Writes a response with the given extra headers and closes.
+/// Writes a response with the given content type and extra headers,
+/// then closes.
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
+    content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &str,
 ) {
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n",
         body.len()
@@ -108,55 +130,186 @@ fn error_body(error: &str) -> String {
     Json::obj([("error", Json::Str(error.to_string()))]).render()
 }
 
-/// Handles one connection against the service.
-pub fn handle_connection(service: &mut JobService, stream: &mut TcpStream) {
+/// The handles one connection needs: the lockable service for
+/// submissions, plus the shared metrics and registry the read-only
+/// routes answer from without touching the service lock.
+struct Shared<'a> {
+    service: Mutex<&'a mut JobService>,
+    metrics: Arc<Mutex<ServiceMetrics>>,
+    registry: Arc<JobRegistry>,
+}
+
+impl<'a> Shared<'a> {
+    fn new(service: &'a mut JobService) -> Shared<'a> {
+        let metrics = service.metrics_handle();
+        let registry = service.registry();
+        Shared {
+            service: Mutex::new(service),
+            metrics,
+            registry,
+        }
+    }
+}
+
+/// The full `GET /metrics` exposition: service counters, process-wide
+/// sync telemetry, and the in-flight submission gauge.
+fn prometheus_body(metrics: &ServiceMetrics, registry: &JobRegistry) -> String {
+    let mut out = metrics.to_prometheus();
+    out.push_str(&format!(
+        "# HELP wisync_serve_jobs_in_flight Submissions accepted but not yet answered.\n\
+         # TYPE wisync_serve_jobs_in_flight gauge\n\
+         wisync_serve_jobs_in_flight {}\n",
+        registry.in_flight()
+    ));
+    let t = telemetry::snapshot();
+    let mut sample = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    sample(
+        "wisync_sim_runs_total",
+        "Machine runs completed in this process.",
+        t.runs,
+    );
+    sample(
+        "wisync_sim_tone_barriers_total",
+        "Tone barriers completed across all runs in this process.",
+        t.tone_barriers,
+    );
+    sample(
+        "wisync_sim_rmw_commits_total",
+        "Committed atomic RMWs across all runs in this process.",
+        t.rmw_commits,
+    );
+    sample(
+        "wisync_sim_episodes_dropped_total",
+        "Sync-episode records dropped by saturated observability rings.",
+        t.episodes_dropped,
+    );
+    out
+}
+
+/// `/jobs/<id>/progress` → `Some(id)`.
+fn progress_path_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?
+        .strip_suffix("/progress")?
+        .parse()
+        .ok()
+}
+
+fn handle(shared: &Shared<'_>, stream: &mut TcpStream) {
     let request = match read_request(stream) {
         Ok(r) => r,
         Err(e) => {
-            write_response(stream, 400, "Bad Request", &[], &error_body(&e));
+            write_response(
+                stream,
+                400,
+                "Bad Request",
+                CONTENT_TYPE_JSON,
+                &[],
+                &error_body(&e),
+            );
             return;
         }
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/jobs") => match service.submit(&request.body) {
-            Ok(response) => {
-                let cache = if response.cache_hit { "hit" } else { "miss" };
-                write_response(
-                    stream,
-                    200,
-                    "OK",
-                    &[
-                        ("X-Wisync-Cache", cache),
-                        ("X-Wisync-Key", &response.key),
-                        ("X-Wisync-Jobs-Run", &response.jobs_run.to_string()),
-                    ],
-                    &response.body,
-                );
+        ("POST", "/jobs") => {
+            let result = shared
+                .service
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .submit(&request.body);
+            match result {
+                Ok(response) => {
+                    let cache = if response.cache_hit { "hit" } else { "miss" };
+                    write_response(
+                        stream,
+                        200,
+                        "OK",
+                        CONTENT_TYPE_JSON,
+                        &[
+                            ("X-Wisync-Cache", cache),
+                            ("X-Wisync-Key", &response.key),
+                            ("X-Wisync-Jobs-Run", &response.jobs_run.to_string()),
+                            ("X-Wisync-Job", &response.job_id.to_string()),
+                        ],
+                        &response.body,
+                    );
+                }
+                Err(e @ ServeError::BadSpec(_)) => {
+                    write_response(
+                        stream,
+                        400,
+                        "Bad Request",
+                        CONTENT_TYPE_JSON,
+                        &[],
+                        &error_body(&e.to_string()),
+                    );
+                }
+                Err(e @ ServeError::UnknownFigure(_)) => {
+                    write_response(
+                        stream,
+                        404,
+                        "Not Found",
+                        CONTENT_TYPE_JSON,
+                        &[],
+                        &error_body(&e.to_string()),
+                    );
+                }
+                Err(e @ ServeError::Io(_)) => {
+                    write_response(
+                        stream,
+                        500,
+                        "Internal Server Error",
+                        CONTENT_TYPE_JSON,
+                        &[],
+                        &error_body(&e.to_string()),
+                    );
+                }
             }
-            Err(e @ ServeError::BadSpec(_)) => {
-                write_response(stream, 400, "Bad Request", &[], &error_body(&e.to_string()));
-            }
-            Err(e @ ServeError::UnknownFigure(_)) => {
-                write_response(stream, 404, "Not Found", &[], &error_body(&e.to_string()));
-            }
-            Err(e @ ServeError::Io(_)) => {
-                write_response(
-                    stream,
-                    500,
-                    "Internal Server Error",
-                    &[],
-                    &error_body(&e.to_string()),
-                );
-            }
-        },
+        }
         ("GET", "/metrics") => {
+            let metrics = shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
             write_response(
                 stream,
                 200,
                 "OK",
+                CONTENT_TYPE_PROMETHEUS,
                 &[],
-                &service.metrics().to_json().render(),
+                &prometheus_body(&metrics, &shared.registry),
             );
+        }
+        ("GET", "/metrics.json") => {
+            let body = shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .to_json()
+                .render();
+            write_response(stream, 200, "OK", CONTENT_TYPE_JSON, &[], &body);
+        }
+        ("GET", path) if progress_path_id(path).is_some() => {
+            let id = progress_path_id(path).expect("guard checked");
+            match shared.registry.progress_json(id) {
+                Some(doc) => {
+                    write_response(stream, 200, "OK", CONTENT_TYPE_JSON, &[], &doc.render());
+                }
+                None => {
+                    write_response(
+                        stream,
+                        404,
+                        "Not Found",
+                        CONTENT_TYPE_JSON,
+                        &[],
+                        &error_body(&format!("no job {id}")),
+                    );
+                }
+            }
         }
         ("GET", "/figures") => {
             let names = grid::figure_names(false);
@@ -165,33 +318,51 @@ pub fn handle_connection(service: &mut JobService, stream: &mut TcpStream) {
                 Json::Arr(names.into_iter().map(Json::Str).collect()),
             )])
             .render();
-            write_response(stream, 200, "OK", &[], &body);
+            write_response(stream, 200, "OK", CONTENT_TYPE_JSON, &[], &body);
         }
         _ => {
             write_response(
                 stream,
                 404,
                 "Not Found",
+                CONTENT_TYPE_JSON,
                 &[],
-                &error_body("no such route (try POST /jobs, GET /metrics, GET /figures)"),
+                &error_body(
+                    "no such route (try POST /jobs, GET /metrics, GET /metrics.json, \
+                     GET /jobs/<id>/progress, GET /figures)",
+                ),
             );
         }
     }
 }
 
-/// Runs the accept loop. `max_requests` bounds how many connections are
-/// served before returning (`None` = forever) — the CI smoke job uses a
-/// bound so the server exits on its own.
+/// Handles one connection against the service.
+pub fn handle_connection(service: &mut JobService, stream: &mut TcpStream) {
+    let shared = Shared::new(service);
+    handle(&shared, stream);
+}
+
+/// Runs the accept loop. Each connection is handled on its own scoped
+/// thread so the read-only routes (`GET /metrics`,
+/// `GET /jobs/<id>/progress`) answer while a `POST /jobs` simulation
+/// holds the service lock. `max_requests` bounds how many connections
+/// are accepted before returning (`None` = forever) — the CI smoke job
+/// uses a bound so the server exits on its own; in-flight handlers
+/// finish before the call returns.
 pub fn run_server(listener: TcpListener, service: &mut JobService, max_requests: Option<u64>) {
-    let mut served = 0u64;
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        handle_connection(service, &mut stream);
-        served += 1;
-        if max_requests.is_some_and(|max| served >= max) {
-            return;
+    let shared = Shared::new(service);
+    std::thread::scope(|scope| {
+        let mut served = 0u64;
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let shared = &shared;
+            scope.spawn(move || handle(shared, &mut stream));
+            served += 1;
+            if max_requests.is_some_and(|max| served >= max) {
+                break;
+            }
         }
-    }
+    });
 }
 
 /// A client-side response: status, headers (lowercased names), body.

@@ -18,16 +18,21 @@
 //! ([`wisync_bench::serve_metrics::ServiceMetrics`]) persist next to
 //! the cache and render via `report --service`.
 //!
-//! Layering: [`spec`] (requests and keys) → [`service`] (cache +
+//! Layering: [`spec`] (requests and keys) → [`registry`] (live
+//! per-job progress + sync telemetry deltas) → [`service`] (cache +
 //! scheduling, fully usable in-process) → [`http`] (a minimal
-//! dependency-free HTTP/1.1 shell) → the `serve` binary.
+//! dependency-free HTTP/1.1 shell: `POST /jobs`, `GET /metrics`
+//! Prometheus exposition, `GET /jobs/<id>/progress`,
+//! `GET /metrics.json`, `GET /figures`) → the `serve` binary.
 
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod registry;
 pub mod service;
 pub mod spec;
 
 pub use http::{http_request, submit_http, HttpResponse};
+pub use registry::JobRegistry;
 pub use service::{JobResponse, JobService, ServeError};
 pub use spec::{cache_key, key_hex, ExecKnobs, JobSpec, DEFAULT_SEED};

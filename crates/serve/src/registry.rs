@@ -1,0 +1,160 @@
+//! Live per-job progress, readable while a submission is still running.
+//!
+//! [`crate::service::JobService`] registers every submission here under
+//! a small sequential id (returned to the client in the `X-Wisync-Job`
+//! response header) and bumps the entry as grid jobs finish. The HTTP
+//! shell answers `GET /jobs/<id>/progress` from this registry alone —
+//! no service lock — so progress polls keep working while a long
+//! `POST /jobs` is simulating.
+//!
+//! Each entry also pins the process-wide sync telemetry
+//! ([`wisync_core::telemetry`]) at submission time; the progress
+//! document reports the deltas since then (tone barriers, committed
+//! RMWs, dropped episode records). With concurrent submissions the
+//! counters aggregate across all machines in the process — an upper
+//! bound on the job's own sync activity, exact when it runs alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wisync_core::telemetry::{self, TelemetrySnapshot};
+use wisync_testkit::Json;
+
+/// One registered submission.
+#[derive(Clone, Debug)]
+struct JobEntry {
+    id: u64,
+    figure: String,
+    done: bool,
+    /// `None` while running, the cache disposition once done.
+    cache_hit: Option<bool>,
+    jobs_total: u64,
+    jobs_done: u64,
+    /// Telemetry at submission time.
+    base: TelemetrySnapshot,
+    /// Telemetry when the job finished (equals a live snapshot until
+    /// then).
+    end: Option<TelemetrySnapshot>,
+}
+
+/// Registry of submissions with sequential ids, shared between the
+/// service (writer) and the HTTP shell (reader).
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<Vec<JobEntry>>,
+}
+
+impl JobRegistry {
+    /// An empty registry; ids start at 1.
+    pub fn new() -> JobRegistry {
+        JobRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<JobEntry>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new submission and returns its id.
+    pub fn begin(&self, figure: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.lock().push(JobEntry {
+            id,
+            figure: figure.to_string(),
+            done: false,
+            cache_hit: None,
+            jobs_total: 0,
+            jobs_done: 0,
+            base: telemetry::snapshot(),
+            end: None,
+        });
+        id
+    }
+
+    /// Sets the number of grid jobs the submission will simulate.
+    pub fn set_total(&self, id: u64, total: u64) {
+        if let Some(e) = self.lock().iter_mut().find(|e| e.id == id) {
+            e.jobs_total = total;
+        }
+    }
+
+    /// Bumps the finished-grid-job count (called from pool workers).
+    pub fn job_done(&self, id: u64) {
+        if let Some(e) = self.lock().iter_mut().find(|e| e.id == id) {
+            e.jobs_done += 1;
+        }
+    }
+
+    /// Marks the submission answered.
+    pub fn finish(&self, id: u64, cache_hit: bool) {
+        if let Some(e) = self.lock().iter_mut().find(|e| e.id == id) {
+            e.done = true;
+            e.cache_hit = Some(cache_hit);
+            e.end = Some(telemetry::snapshot());
+        }
+    }
+
+    /// Submissions registered but not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.lock().iter().filter(|e| !e.done).count() as u64
+    }
+
+    /// The progress document for one submission, or `None` for an
+    /// unknown id.
+    pub fn progress_json(&self, id: u64) -> Option<Json> {
+        let entry = self.lock().iter().find(|e| e.id == id)?.clone();
+        let now = entry.end.unwrap_or_else(telemetry::snapshot);
+        let delta =
+            |f: fn(&TelemetrySnapshot) -> u64| Json::U64(f(&now).saturating_sub(f(&entry.base)));
+        Some(Json::obj([
+            ("job", Json::U64(entry.id)),
+            ("figure", Json::Str(entry.figure)),
+            (
+                "state",
+                Json::Str(if entry.done { "done" } else { "running" }.to_string()),
+            ),
+            ("cache_hit", entry.cache_hit.map_or(Json::Null, Json::Bool)),
+            ("jobs_total", Json::U64(entry.jobs_total)),
+            ("jobs_done", Json::U64(entry.jobs_done)),
+            (
+                "sync",
+                Json::obj([
+                    ("runs", delta(|t| t.runs)),
+                    ("tone_barriers", delta(|t| t.tone_barriers)),
+                    ("rmw_commits", delta(|t| t.rmw_commits)),
+                    ("episodes_dropped", delta(|t| t.episodes_dropped)),
+                ]),
+            ),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_renders_progress() {
+        let r = JobRegistry::new();
+        let id = r.begin("fig7");
+        assert_eq!(id, 1);
+        r.set_total(id, 3);
+        r.job_done(id);
+        assert_eq!(r.in_flight(), 1);
+        let text = r.progress_json(id).unwrap().render();
+        assert!(text.contains("\"state\": \"running\""));
+        assert!(text.contains("\"jobs_total\": 3"));
+        assert!(text.contains("\"jobs_done\": 1"));
+        assert!(text.contains("\"cache_hit\": null"));
+        assert!(text.contains("\"tone_barriers\""));
+
+        r.finish(id, false);
+        assert_eq!(r.in_flight(), 0);
+        let text = r.progress_json(id).unwrap().render();
+        assert!(text.contains("\"state\": \"done\""));
+        assert!(text.contains("\"cache_hit\": false"));
+        assert!(r.progress_json(99).is_none());
+        // Ids stay sequential across submissions.
+        assert_eq!(r.begin("table4"), 2);
+    }
+}

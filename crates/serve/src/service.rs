@@ -9,13 +9,14 @@
 //! smoke job) exercise the same path a remote client does.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use wisync_bench::grid;
 use wisync_bench::serve_metrics::ServiceMetrics;
 use wisync_testkit::{run_sweep_indexed, Json, SweepJob};
 
+use crate::registry::JobRegistry;
 use crate::spec::{cache_key, key_hex, ExecKnobs, JobSpec};
 
 /// Why a submission failed, split by who got it wrong.
@@ -54,6 +55,10 @@ pub struct JobResponse {
     pub key: String,
     /// Grid jobs simulated for this request (0 on a hit).
     pub jobs_run: u64,
+    /// The submission's id in the live [`JobRegistry`] (the
+    /// `X-Wisync-Job` response header; poll
+    /// `GET /jobs/<id>/progress` with it).
+    pub job_id: u64,
 }
 
 /// Per-job progress callback: called from pool worker threads as each
@@ -66,7 +71,11 @@ pub struct JobService {
     cache_dir: PathBuf,
     threads: usize,
     knobs: ExecKnobs,
-    metrics: ServiceMetrics,
+    // Shared handles (not service-private state) so the HTTP shell can
+    // answer `GET /metrics` and `GET /jobs/<id>/progress` while a
+    // submission holds the service itself.
+    metrics: Arc<Mutex<ServiceMetrics>>,
+    registry: Arc<JobRegistry>,
     progress: Option<Progress>,
 }
 
@@ -100,7 +109,8 @@ impl JobService {
             cache_dir,
             threads: threads.max(1),
             knobs: ExecKnobs::from_env(),
-            metrics,
+            metrics: Arc::new(Mutex::new(metrics)),
+            registry: Arc::new(JobRegistry::new()),
             progress: None,
         })
     }
@@ -119,9 +129,25 @@ impl JobService {
         self
     }
 
-    /// The service's cumulative utilization counters.
-    pub fn metrics(&self) -> &ServiceMetrics {
-        &self.metrics
+    /// A point-in-time copy of the service's cumulative utilization
+    /// counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The shared metrics handle — lets `GET /metrics` answer without
+    /// taking the service lock a running submission holds.
+    pub fn metrics_handle(&self) -> Arc<Mutex<ServiceMetrics>> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The live job registry (shared with the HTTP shell for
+    /// `GET /jobs/<id>/progress`).
+    pub fn registry(&self) -> Arc<JobRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Where [`ServiceMetrics`] is persisted after every request.
@@ -154,65 +180,77 @@ impl JobService {
         }
         let key = key_hex(cache_key(&spec, &self.knobs));
         let path = self.cache_path(&key);
+        let job_id = self.registry.begin(&spec.figure);
 
         if let Ok(body) = std::fs::read_to_string(&path) {
             let wall = started.elapsed().as_micros() as u64;
-            self.metrics.record_hit(wall);
+            self.lock_metrics().record_hit(wall);
             self.persist_metrics();
+            self.registry.finish(job_id, true);
             return Ok(JobResponse {
                 body,
                 cache_hit: true,
                 key,
                 jobs_run: 0,
+                job_id,
             });
         }
 
-        let body = self.run_figure(&spec);
         let jobs_run = grid::figure_jobs(spec.quick, &spec.figure).len() as u64;
+        self.registry.set_total(job_id, jobs_run);
+        let body = self.run_figure(&spec, job_id);
         std::fs::write(&path, &body)
             .map_err(|e| ServeError::Io(format!("write {}: {e}", path.display())))?;
-        self.metrics.cache_bytes = dir_bytes(&self.cache_dir);
-        let wall = started.elapsed().as_micros() as u64;
-        self.metrics.record_miss(jobs_run, wall);
+        {
+            let mut metrics = self.lock_metrics();
+            metrics.cache_bytes = dir_bytes(&self.cache_dir);
+            let wall = started.elapsed().as_micros() as u64;
+            metrics.record_miss(jobs_run, wall);
+        }
         self.persist_metrics();
+        self.registry.finish(job_id, false);
         Ok(JobResponse {
             body,
             cache_hit: false,
             key,
             jobs_run,
+            job_id,
         })
     }
 
     /// Runs the figure's slice of the grid and renders the report,
     /// byte-identical to what a full `sweep` run writes for the same
     /// seed and scale (job seeds derive from global grid indices).
-    fn run_figure(&self, spec: &JobSpec) -> String {
+    fn run_figure(&self, spec: &JobSpec, job_id: u64) -> String {
         let jobs = grid::figure_jobs(spec.quick, &spec.figure);
         let indices: Vec<u64> = jobs.iter().map(|(i, _)| *i).collect();
         let total = jobs.len();
-        let jobs = match &self.progress {
-            None => jobs,
-            Some(progress) => jobs
-                .into_iter()
-                .map(|(i, job)| {
-                    let progress = Arc::clone(progress);
-                    let name = job.name.clone();
-                    let run = job.run;
-                    (
-                        i,
-                        SweepJob::new(name.clone(), move |rng| {
-                            let t = Instant::now();
-                            let out = run(rng);
+        // Every job reports to the live registry as it finishes (and to
+        // the installed progress callback, if any).
+        let jobs: Vec<_> = jobs
+            .into_iter()
+            .map(|(i, job)| {
+                let progress = self.progress.clone();
+                let registry = Arc::clone(&self.registry);
+                let name = job.name.clone();
+                let run = job.run;
+                (
+                    i,
+                    SweepJob::new(name.clone(), move |rng| {
+                        let t = Instant::now();
+                        let out = run(rng);
+                        registry.job_done(job_id);
+                        if let Some(progress) = &progress {
                             progress(&format!(
                                 "job {name} done in {:.1} ms",
                                 t.elapsed().as_secs_f64() * 1e3
                             ));
-                            out
-                        }),
-                    )
-                })
-                .collect(),
-        };
+                        }
+                        out
+                    }),
+                )
+            })
+            .collect();
         if let Some(progress) = &self.progress {
             progress(&format!(
                 "figure {} -> {total} grid jobs on {} threads",
@@ -235,8 +273,12 @@ impl JobService {
         grid::figure_report(&spec.figure, spec.seed, spec.quick, rows).render()
     }
 
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, ServiceMetrics> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn persist_metrics(&self) {
-        let doc = self.metrics.to_json().render();
+        let doc = self.lock_metrics().to_json().render();
         // Metrics are advisory; a failed write must not fail the request.
         let _ = std::fs::write(self.metrics_path(), doc + "\n");
     }

@@ -200,3 +200,112 @@ fn http_round_trip_serves_and_caches() {
 
     server.join().unwrap();
 }
+
+#[test]
+fn content_types_metrics_and_progress_routes() {
+    let dir = cache_dir("routes");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let mut service = JobService::new(&dir, 2).unwrap().with_knobs(pinned_knobs());
+        run_server(listener, &mut service, Some(5));
+    });
+
+    // JSON bodies carry application/json; the Prometheus exposition
+    // carries the text format's versioned content type.
+    let post = submit_http(&addr, r#"{"figure": "table4"}"#).unwrap();
+    assert_eq!(post.status, 200);
+    assert_eq!(
+        post.headers.get("content-type").unwrap(),
+        "application/json"
+    );
+    let job_id = post.headers.get("x-wisync-job").unwrap().clone();
+    assert_eq!(job_id, "1");
+
+    let metrics = wisync_serve::http_request(&addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.headers.get("content-type").unwrap(),
+        "text/plain; version=0.0.4"
+    );
+    assert!(metrics.body.starts_with("# HELP "));
+    assert!(metrics.body.contains("wisync_serve_cache_misses_total 1\n"));
+    assert!(metrics
+        .body
+        .contains("wisync_serve_request_wall_us_bucket{le=\"+Inf\"} 1\n"));
+    assert!(metrics.body.contains("wisync_serve_jobs_in_flight 0\n"));
+    assert!(metrics
+        .body
+        .contains("# TYPE wisync_sim_tone_barriers_total counter\n"));
+
+    let json = wisync_serve::http_request(&addr, "GET", "/metrics.json", "").unwrap();
+    assert_eq!(json.status, 200);
+    assert_eq!(
+        json.headers.get("content-type").unwrap(),
+        "application/json"
+    );
+    assert!(json.body.contains("\"cache_misses\": 1"));
+
+    let progress =
+        wisync_serve::http_request(&addr, "GET", &format!("/jobs/{job_id}/progress"), "").unwrap();
+    assert_eq!(progress.status, 200);
+    assert_eq!(
+        progress.headers.get("content-type").unwrap(),
+        "application/json"
+    );
+    assert!(progress.body.contains("\"state\": \"done\""));
+    assert!(progress.body.contains("\"figure\": \"table4\""));
+    assert!(progress.body.contains("\"cache_hit\": false"));
+    assert!(progress.body.contains("\"jobs_total\": 1"));
+    assert!(progress.body.contains("\"jobs_done\": 1"));
+    assert!(progress.body.contains("\"tone_barriers\""));
+
+    let unknown = wisync_serve::http_request(&addr, "GET", "/jobs/999/progress", "").unwrap();
+    assert_eq!(unknown.status, 404);
+
+    server.join().unwrap();
+}
+
+#[test]
+fn metrics_and_progress_answer_during_a_running_job() {
+    let dir = cache_dir("live");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // Polled from inside the progress callback, which fires while the
+    // POST handler still holds the service lock — the reads must be
+    // served concurrently, not after the POST.
+    let live: Arc<std::sync::Mutex<Vec<(u16, String, String)>>> = Arc::default();
+    let polled = Arc::clone(&live);
+    let poll_addr = addr.clone();
+    let server = std::thread::spawn(move || {
+        let mut service = JobService::new(&dir, 2)
+            .unwrap()
+            .with_knobs(pinned_knobs())
+            .with_progress(Arc::new(move |line: &str| {
+                if !line.starts_with("figure ") {
+                    return; // poll once, on the header line
+                }
+                for path in ["/metrics", "/jobs/1/progress"] {
+                    let r = wisync_serve::http_request(&poll_addr, "GET", path, "").unwrap();
+                    polled
+                        .lock()
+                        .unwrap()
+                        .push((r.status, path.to_string(), r.body));
+                }
+            }));
+        run_server(listener, &mut service, Some(3));
+    });
+
+    let post = submit_http(&addr, r#"{"figure": "table4"}"#).unwrap();
+    assert_eq!(post.status, 200);
+    server.join().unwrap();
+
+    let live = live.lock().unwrap();
+    assert_eq!(live.len(), 2, "both mid-run polls were answered");
+    let (status, _, body) = &live[0];
+    assert_eq!(*status, 200);
+    assert!(body.contains("wisync_serve_jobs_in_flight 1\n"), "{body}");
+    let (status, _, body) = &live[1];
+    assert_eq!(*status, 200);
+    assert!(body.contains("\"state\": \"running\""), "{body}");
+}

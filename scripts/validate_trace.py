@@ -11,7 +11,11 @@ Checks the subset of the trace-event format the simulator emits:
     are all numeric
   * ``ph`` is one of the phases the exporter produces (i/X/M/C)
 
-Usage: scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+Usage: scripts/validate_trace.py [--require-track NAME ...] TRACE.json [TRACE2.json ...]
+
+``--require-track`` (repeatable) additionally fails validation unless a
+``thread_name`` metadata row labels a track with that exact name — CI
+uses it to prove the sync-episode tracks made it into the export.
 
 Exits non-zero on the first malformed file; on success prints one
 summary line per file with per-phase row counts.
@@ -24,7 +28,7 @@ KNOWN_PHASES = {"i", "X", "M", "C"}
 REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
 
 
-def validate(path):
+def validate(path, require_tracks=()):
     """Returns a summary string, or raises ValueError on a bad trace."""
     with open(path) as f:
         doc = json.load(f)
@@ -69,17 +73,44 @@ def validate(path):
                 if not isinstance(v, (int, float)) or isinstance(v, bool):
                     raise ValueError(f"{where}: counter arg {k!r} is not numeric: {v!r}")
 
+    labels = {
+        row["args"]["name"]
+        for row in rows
+        if row["ph"] == "M"
+        and row["name"] == "thread_name"
+        and isinstance(row.get("args"), dict)
+        and isinstance(row["args"].get("name"), str)
+    }
+    missing = [t for t in require_tracks if t not in labels]
+    if missing:
+        raise ValueError(f"missing required thread_name tracks: {missing} (have {sorted(labels)})")
+
     counts = " ".join(f"{ph}:{n}" for ph, n in sorted(by_phase.items()))
     return f"{path}: {len(rows)} rows on {len(tracks)} tracks ({counts}): schema OK"
 
 
 def main(argv):
-    if len(argv) < 2:
-        print("usage: scripts/validate_trace.py TRACE.json [TRACE2.json ...]", file=sys.stderr)
+    require_tracks = []
+    paths = []
+    args = iter(argv[1:])
+    for arg in args:
+        if arg == "--require-track":
+            name = next(args, None)
+            if name is None:
+                print("--require-track needs a value", file=sys.stderr)
+                return 2
+            require_tracks.append(name)
+        else:
+            paths.append(arg)
+    if not paths:
+        print(
+            "usage: scripts/validate_trace.py [--require-track NAME ...] TRACE.json ...",
+            file=sys.stderr,
+        )
         return 2
-    for path in argv[1:]:
+    for path in paths:
         try:
-            print(validate(path))
+            print(validate(path, require_tracks))
         except (ValueError, OSError, json.JSONDecodeError) as e:
             print(f"{path}: INVALID: {e}", file=sys.stderr)
             return 1
