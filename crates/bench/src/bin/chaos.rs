@@ -328,12 +328,10 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("create results/");
     for (figure, rows) in by_figure {
-        let report = Json::obj([
-            ("figure", Json::Str(figure.clone())),
-            ("base_seed", Json::U64(opts.seed)),
-            ("quick", Json::Bool(opts.quick)),
-            ("rows", Json::Arr(rows)),
-        ]);
+        // Same shape (and non-default MAC stamp) as the sweep's figure
+        // documents, so a `WISYNC_MAC=token` chaos run can never be
+        // mistaken for the committed backoff artifacts.
+        let report = wisync_bench::grid::figure_report(&figure, opts.seed, opts.quick, rows);
         let path = format!("results/{figure}.json");
         std::fs::write(&path, report.render()).expect("write figure json");
         println!("wrote {path}");

@@ -249,14 +249,24 @@ pub fn derive_table5(fig10_rows: &[Json]) -> Vec<Json> {
 }
 
 /// The document written to `results/<figure>.json`: figure name, base
-/// seed, grid size, and the rows.
+/// seed, grid size, and the rows. When the ambient `WISYNC_MAC` selects
+/// a non-default MAC policy the document is stamped with it — the rows
+/// genuinely differ from the committed (backoff) artifacts, and the
+/// stamp keeps such a file from ever byte-matching or being mistaken
+/// for them. Under the default policy no stamp is emitted, so default
+/// runs stay byte-identical to the committed results.
 pub fn figure_report(figure: &str, base_seed: u64, quick: bool, rows: Vec<Json>) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("figure", Json::Str(figure.to_string())),
         ("base_seed", Json::U64(base_seed)),
         ("quick", Json::Bool(quick)),
-        ("rows", Json::Arr(rows)),
-    ])
+    ];
+    let mac = wisync_wireless::MacPolicy::from_env();
+    if mac != wisync_wireless::MacPolicy::Exponential {
+        fields.push(("mac", Json::Str(mac.to_string())));
+    }
+    fields.push(("rows", Json::Arr(rows)));
+    Json::obj(fields)
 }
 
 /// Pulls (app name, utilization pair) back out of a fig10 sweep row.

@@ -8,6 +8,7 @@
 
 pub mod chaos;
 pub mod grid;
+pub mod mac_lab;
 pub mod perf;
 pub mod report;
 pub mod serve_metrics;
@@ -288,6 +289,10 @@ mod ablation_tests {
     #[test]
     fn no_backoff_livelocks_the_data_channel() {
         let mut cfg = MachineConfig::wisync_not(16);
+        // Pinned to the backoff MAC: the ablation removes *its* retry
+        // dither specifically, and must hold even when the ambient
+        // `WISYNC_MAC` selects a collision-free policy.
+        cfg.wireless.mac_policy = wisync_wireless::MacPolicy::Exponential;
         cfg.wireless.max_backoff_exp = 0;
         let mut m = Machine::new(cfg);
         TightLoop::new(3).load(&mut m);

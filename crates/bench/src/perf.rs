@@ -260,8 +260,16 @@ pub fn extend_history(
 /// [`extend_history`]); its keys are distinct from the per-case ones so
 /// [`parse_baseline_wall_ns`] is unaffected by its presence.
 pub fn perf_report_json(cases: &[PerfCase], history: &[HistoryEntry]) -> Json {
-    Json::obj([
-        ("schema", Json::from("wisync-perf-baseline/v1")),
+    let mut fields = vec![("schema", Json::from("wisync-perf-baseline/v1"))];
+    // Stamp non-default MAC policies: their wall times and simulated
+    // counts are not comparable to the committed backoff baseline, and
+    // the stamp keeps such a document from ever being mistaken for it.
+    // The default policy emits no stamp, preserving the committed shape.
+    let mac = wisync_wireless::MacPolicy::from_env();
+    if mac != wisync_wireless::MacPolicy::Exponential {
+        fields.push(("mac", Json::Str(mac.to_string())));
+    }
+    fields.extend([
         (
             "cases",
             Json::Arr(cases.iter().map(PerfCase::to_json).collect()),
@@ -287,7 +295,8 @@ pub fn perf_report_json(cases: &[PerfCase], history: &[HistoryEntry]) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ]);
+    Json::obj(fields)
 }
 
 /// Extracts the history entries from a rendered baseline document (same

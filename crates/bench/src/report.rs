@@ -34,6 +34,9 @@ pub struct ProfiledRun {
     pub workload: String,
     /// Machine variant label (e.g. `"WiSync"`).
     pub machine: String,
+    /// Medium-access policy label the Data channel ran under (e.g.
+    /// `"backoff"`).
+    pub mac: String,
     /// Core count.
     pub cores: usize,
     /// Termination cause.
@@ -99,6 +102,7 @@ pub fn profile_run(
     let stats = m.stats().clone();
     let cycles = r.cycles.as_u64();
     let machine = m.config().kind.to_string();
+    let mac = m.config().wireless.mac_policy.to_string();
     let cores = m.config().cores;
     let profile = profile_json(
         workload,
@@ -112,6 +116,7 @@ pub fn profile_run(
     ProfiledRun {
         workload: workload.to_string(),
         machine,
+        mac,
         cores,
         outcome: r.outcome,
         cycles,
@@ -482,6 +487,22 @@ impl ProfiledRun {
             "  {:?} after {} cycles, {} events, {} instructions",
             self.outcome, self.cycles, self.stats.sim_events, self.stats.instructions
         );
+        // The MAC header pairs with the contended-lines leaderboard
+        // below: together they say which policy arbitrated the Data
+        // channel and which broadcast lines made it sweat.
+        let d = &self.stats.data;
+        let _ = writeln!(
+            w,
+            "  mac {}: {} transfers, {} collisions, {} grants, {} exhaustions, \
+             {} token-pass cycles, {} mode switches",
+            self.mac,
+            d.transfers,
+            d.collisions,
+            d.mac_grants,
+            d.mac_exhaustions,
+            d.token_pass_cycles,
+            d.mac_mode_switches
+        );
         let _ = writeln!(w);
 
         let _ = writeln!(w, "cycle attribution ({} cores)", self.cores);
@@ -766,6 +787,10 @@ mod tests {
         assert!(text.contains("timeline:"));
         assert!(text.contains("contended lines"));
         assert!(text.contains("broadcast latency"));
+        // The MAC header cites the policy next to the leaderboard it
+        // explains. (The pinned profile runs under the ambient policy,
+        // so only the prefix is asserted here.)
+        assert!(text.contains("  mac "), "{text}");
     }
 
     #[test]

@@ -205,7 +205,14 @@ impl MachineConfig {
             cores,
             hop_latency: 4,
             mem,
-            wireless: WirelessConfig::new(),
+            wireless: WirelessConfig {
+                // The WISYNC_MAC knob selects the Data channel's
+                // medium-access policy; unset or unknown values keep the
+                // paper's exponential backoff, so committed results are
+                // untouched.
+                mac_policy: wisync_wireless::MacPolicy::from_env(),
+                ..WirelessConfig::new()
+            },
             bm_rt: 2,
             bm_entries: 2048,
             tone_table_capacity: 16,
@@ -276,6 +283,14 @@ impl MachineConfig {
     /// Overrides the deterministic seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the Data channel's medium-access policy (see
+    /// [`wisync_wireless::MacPolicy`]). The default comes from the
+    /// `WISYNC_MAC` environment knob (exponential backoff when unset).
+    pub fn with_mac(mut self, mac: wisync_wireless::MacPolicy) -> Self {
+        self.wireless.mac_policy = mac;
         self
     }
 

@@ -1055,6 +1055,7 @@ impl Machine {
             self.stats.tone_barriers,
             self.stats.rmw_successes,
             self.stats.dropped_sync_episodes,
+            self.stats.data.mac_exhaustions,
         );
         // Kick off every loaded core.
         for i in 0..self.cores.len() {
@@ -1162,7 +1163,10 @@ impl Machine {
             data_stats.transfers += s.transfers;
             data_stats.collisions += s.collisions;
             data_stats.busy_cycles += s.busy_cycles;
-            data_stats.backoff_exhaustions += s.backoff_exhaustions;
+            data_stats.mac_exhaustions += s.mac_exhaustions;
+            data_stats.mac_grants += s.mac_grants;
+            data_stats.token_pass_cycles += s.token_pass_cycles;
+            data_stats.mac_mode_switches += s.mac_mode_switches;
             data_stats.latency.merge(&s.latency);
             data_stats.retries.merge(&s.retries);
         }
@@ -1181,6 +1185,10 @@ impl Machine {
             self.stats
                 .dropped_sync_episodes
                 .saturating_sub(telemetry_base.2),
+            self.stats
+                .data
+                .mac_exhaustions
+                .saturating_sub(telemetry_base.3),
         );
         RunReport {
             outcome,
@@ -1221,12 +1229,27 @@ impl Machine {
                     Resolution::Started {
                         message,
                         complete_at,
+                        retry_slots,
+                        exhausted,
                         ..
                     } => {
                         if let Some(o) = self.obs.as_deref_mut() {
                             let busy = complete_at.saturating_since(now);
                             o.timeline.transfer(now, busy);
                             o.addr.transfer(message.msg.phys(), busy);
+                        }
+                        // Token policies: losers of a collision-free
+                        // grant retry at the winner's completion, and
+                        // starvation reports surface like backoff caps.
+                        for n in exhausted {
+                            self.record(TraceEvent::MacExhausted {
+                                at: now,
+                                channel: ch,
+                                core: n.as_usize(),
+                            });
+                        }
+                        for s in retry_slots {
+                            self.queue.push(s, Event::ChannelResolve(ch));
                         }
                         self.queue
                             .push(complete_at, Event::Deliver(Box::new(message)));
@@ -1266,7 +1289,7 @@ impl Machine {
                             channel: ch,
                         });
                         for n in exhausted {
-                            self.record(TraceEvent::BackoffExhausted {
+                            self.record(TraceEvent::MacExhausted {
                                 at: now,
                                 channel: ch,
                                 core: n.as_usize(),
@@ -2579,7 +2602,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"WISYNCSN";
 
 /// Machine snapshot format version. Bump on any layout change; old
 /// versions are rejected with [`SnapError::UnsupportedVersion`].
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 fn write_space(w: &mut SnapWriter, s: Space) {
     w.u8(match s {
@@ -3173,7 +3196,10 @@ fn write_config(w: &mut SnapWriter, c: &MachineConfig) {
     w.u8(match c.wireless.mac_policy {
         wisync_wireless::MacPolicy::Exponential => 0,
         wisync_wireless::MacPolicy::Reactive => 1,
+        wisync_wireless::MacPolicy::TokenRing => 2,
+        wisync_wireless::MacPolicy::AdaptiveHybrid => 3,
     });
+    w.u64(c.wireless.token_hop_cycles);
     w.usize(c.wireless.data_channels);
     w.u64(c.bm_rt);
     w.usize(c.bm_entries);
@@ -3218,8 +3244,11 @@ fn read_config(r: &mut SnapReader<'_>) -> Result<MachineConfig, SnapError> {
         mac_policy: match r.u8()? {
             0 => wisync_wireless::MacPolicy::Exponential,
             1 => wisync_wireless::MacPolicy::Reactive,
+            2 => wisync_wireless::MacPolicy::TokenRing,
+            3 => wisync_wireless::MacPolicy::AdaptiveHybrid,
             _ => return Err(SnapError::Invalid("mac policy tag")),
         },
+        token_hop_cycles: r.u64()?,
         data_channels: r.usize()?,
     };
     Ok(MachineConfig {
@@ -3298,7 +3327,10 @@ fn write_stats(w: &mut SnapWriter, s: &MachineStats) {
     w.u64(s.data.transfers);
     w.u64(s.data.collisions);
     w.u64(s.data.busy_cycles);
-    w.u64(s.data.backoff_exhaustions);
+    w.u64(s.data.mac_exhaustions);
+    w.u64(s.data.mac_grants);
+    w.u64(s.data.token_pass_cycles);
+    w.u64(s.data.mac_mode_switches);
     s.data.latency.write_snap(w);
     s.data.retries.write_snap(w);
     w.f64(s.data_utilization);
@@ -3362,7 +3394,10 @@ fn read_stats(r: &mut SnapReader<'_>) -> Result<MachineStats, SnapError> {
     s.data.transfers = r.u64()?;
     s.data.collisions = r.u64()?;
     s.data.busy_cycles = r.u64()?;
-    s.data.backoff_exhaustions = r.u64()?;
+    s.data.mac_exhaustions = r.u64()?;
+    s.data.mac_grants = r.u64()?;
+    s.data.token_pass_cycles = r.u64()?;
+    s.data.mac_mode_switches = r.u64()?;
     s.data.latency = wisync_sim::Histogram::read_snap(r)?;
     s.data.retries = wisync_sim::Histogram::read_snap(r)?;
     s.data_utilization = r.f64()?;

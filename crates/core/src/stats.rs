@@ -141,7 +141,10 @@ impl fmt::Display for MachineStats {
         row(f, "transfers", self.data.transfers)?;
         row(f, "collisions", self.data.collisions)?;
         row(f, "busy_cycles", self.data.busy_cycles)?;
-        row(f, "backoff_exhaustions", self.data.backoff_exhaustions)?;
+        row(f, "mac_exhaustions", self.data.mac_exhaustions)?;
+        row(f, "mac_grants", self.data.mac_grants)?;
+        row(f, "token_pass_cycles", self.data.token_pass_cycles)?;
+        row(f, "mac_mode_switches", self.data.mac_mode_switches)?;
         row(
             f,
             "utilization",

@@ -20,6 +20,7 @@ static RUNS: AtomicU64 = AtomicU64::new(0);
 static TONE_BARRIERS: AtomicU64 = AtomicU64::new(0);
 static RMW_COMMITS: AtomicU64 = AtomicU64::new(0);
 static EPISODES_DROPPED: AtomicU64 = AtomicU64::new(0);
+static MAC_EXHAUSTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// One reading of the process-wide sync telemetry counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,6 +33,9 @@ pub struct TelemetrySnapshot {
     pub rmw_commits: u64,
     /// Sync-episode records dropped by saturated observability rings.
     pub episodes_dropped: u64,
+    /// Per-policy MAC exhaustion reports (capped backoff frames,
+    /// starved token-ring losers) across all runs.
+    pub mac_exhaustions: u64,
 }
 
 /// Reads the current counter values (relaxed; each counter is
@@ -42,16 +46,23 @@ pub fn snapshot() -> TelemetrySnapshot {
         tone_barriers: TONE_BARRIERS.load(Ordering::Relaxed),
         rmw_commits: RMW_COMMITS.load(Ordering::Relaxed),
         episodes_dropped: EPISODES_DROPPED.load(Ordering::Relaxed),
+        mac_exhaustions: MAC_EXHAUSTIONS.load(Ordering::Relaxed),
     }
 }
 
 /// Publishes one run's deltas. Called by [`crate::Machine::run`] on
 /// return; not intended for direct use.
-pub(crate) fn record_run(tone_barriers: u64, rmw_commits: u64, episodes_dropped: u64) {
+pub(crate) fn record_run(
+    tone_barriers: u64,
+    rmw_commits: u64,
+    episodes_dropped: u64,
+    mac_exhaustions: u64,
+) {
     RUNS.fetch_add(1, Ordering::Relaxed);
     TONE_BARRIERS.fetch_add(tone_barriers, Ordering::Relaxed);
     RMW_COMMITS.fetch_add(rmw_commits, Ordering::Relaxed);
     EPISODES_DROPPED.fetch_add(episodes_dropped, Ordering::Relaxed);
+    MAC_EXHAUSTIONS.fetch_add(mac_exhaustions, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -61,7 +72,7 @@ mod tests {
     #[test]
     fn record_run_bumps_counters() {
         let before = snapshot();
-        record_run(3, 5, 1);
+        record_run(3, 5, 1, 2);
         let after = snapshot();
         // Other tests in this process may run machines concurrently, so
         // assert lower bounds on the deltas rather than exact values.
@@ -69,5 +80,6 @@ mod tests {
         assert!(after.tone_barriers >= before.tone_barriers + 3);
         assert!(after.rmw_commits >= before.rmw_commits + 5);
         assert!(after.episodes_dropped > before.episodes_dropped);
+        assert!(after.mac_exhaustions >= before.mac_exhaustions + 2);
     }
 }

@@ -144,8 +144,11 @@ fn trace_captures_afb_aborts_under_contention() {
 #[test]
 fn trace_captures_backoff_cap_exhaustion() {
     // Clamp the backoff window so synchronized store bursts drive every
-    // frame's MAC exponent to the cap almost immediately.
+    // frame's MAC exponent to the cap almost immediately. Pin the policy:
+    // this is a backoff-specific trace event, and an ambient WISYNC_MAC
+    // selecting a collision-free policy would starve it.
     let mut cfg = MachineConfig::wisync(16);
+    cfg.wireless.mac_policy = wisync_wireless::MacPolicy::Exponential;
     cfg.wireless.max_backoff_exp = 1;
     let mut m = Machine::new(cfg);
     let base = m.bm_alloc(PID, 16).unwrap();
@@ -172,7 +175,7 @@ fn trace_captures_backoff_cap_exhaustion() {
     let exhausted = trace
         .events()
         .iter()
-        .filter(|e| matches!(e, TraceEvent::BackoffExhausted { .. }))
+        .filter(|e| matches!(e, TraceEvent::MacExhausted { .. }))
         .count() as u64;
     assert!(
         exhausted > 0,
@@ -180,7 +183,7 @@ fn trace_captures_backoff_cap_exhaustion() {
     );
     if trace.dropped() == 0 {
         // With nothing dropped, the trace agrees with the counter.
-        assert_eq!(exhausted, m.stats().data.backoff_exhaustions);
+        assert_eq!(exhausted, m.stats().data.mac_exhaustions);
     }
     // Every exhaustion event accompanies a collision at the same cycle.
     let collisions: std::collections::HashSet<(u64, usize)> = trace
@@ -192,7 +195,7 @@ fn trace_captures_backoff_cap_exhaustion() {
         })
         .collect();
     for e in trace.events() {
-        if let TraceEvent::BackoffExhausted { at, channel, .. } = *e {
+        if let TraceEvent::MacExhausted { at, channel, .. } = *e {
             assert!(collisions.contains(&(at.as_u64(), channel)));
         }
     }

@@ -53,15 +53,17 @@ pub enum TraceEvent {
         /// Barrier's physical BM index.
         phys: usize,
     },
-    /// A colliding frame's MAC backoff exponent was already at
-    /// `max_backoff_exp`: escalation gave up and the frame keeps
-    /// retrying at the capped window.
-    BackoffExhausted {
-        /// Collision slot.
+    /// The MAC policy reported a frame's escalation as exhausted: a
+    /// colliding frame's backoff exponent was already at
+    /// `max_backoff_exp` (escalation gave up; it keeps retrying at the
+    /// capped window), or a token-ring loser crossed the starvation
+    /// watchdog (two full rotations of deferrals).
+    MacExhausted {
+        /// Arbitration slot that produced the report.
         at: Cycle,
         /// Which Data channel.
         channel: usize,
-        /// Core whose frame is stuck at the cap.
+        /// Core whose frame is exhausted.
         core: usize,
     },
     /// A receiver's checksum caught a corrupted delivery and dropped the
@@ -111,7 +113,7 @@ impl TraceEvent {
             | TraceEvent::RmwAborted { at, .. }
             | TraceEvent::ToneActivated { at, .. }
             | TraceEvent::ToneCompleted { at, .. }
-            | TraceEvent::BackoffExhausted { at, .. }
+            | TraceEvent::MacExhausted { at, .. }
             | TraceEvent::ChecksumReject { at, .. }
             | TraceEvent::Retransmit { at, .. }
             | TraceEvent::ReplicaResync { at, .. }
@@ -141,10 +143,10 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ToneCompleted { at, phys } => {
                 write!(f, "{at:>8} tone-    barrier bm[{phys}] released")
             }
-            TraceEvent::BackoffExhausted { at, channel, core } => {
+            TraceEvent::MacExhausted { at, channel, core } => {
                 write!(
                     f,
-                    "{at:>8} backoff! core {core} capped on channel {channel}"
+                    "{at:>8} mac!     core {core} exhausted on channel {channel}"
                 )
             }
             TraceEvent::ChecksumReject { at, core, phys } => {
@@ -288,7 +290,7 @@ mod tests {
                 at: Cycle(5),
                 phys: 3,
             },
-            TraceEvent::BackoffExhausted {
+            TraceEvent::MacExhausted {
                 at: Cycle(6),
                 channel: 0,
                 core: 4,

@@ -396,8 +396,8 @@ impl TraceSink for ChromeTrace {
                 tid: TONE_TID,
                 args: vec![("phys", phys as u64)],
             },
-            TraceEvent::BackoffExhausted { channel, core, .. } => ChromeRow {
-                name: "backoff exhausted",
+            TraceEvent::MacExhausted { channel, core, .. } => ChromeRow {
+                name: "mac exhausted",
                 ph: "i",
                 ts: at,
                 dur: None,

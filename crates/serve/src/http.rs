@@ -187,6 +187,13 @@ fn prometheus_body(metrics: &ServiceMetrics, registry: &JobRegistry) -> String {
         "Sync-episode records dropped by saturated observability rings.",
         t.episodes_dropped,
     );
+    sample(
+        "wisync_sim_mac_exhaustions_total",
+        "Data-channel frames whose MAC policy exhausted its patience \
+         (capped backoff window or token-ring starvation) across all \
+         runs in this process.",
+        t.mac_exhaustions,
+    );
     out
 }
 

@@ -8,8 +8,9 @@
 //! (`WISYNC_EXEC`, `WISYNC_SHARDS`, `WISYNC_SHARD_THREADS` — the
 //! determinism contract says they *shouldn't* change results, so keying
 //! on them turns any contract violation into a cache miss instead of a
-//! silently wrong cache hit), observability/fault enablement, and the
-//! code version. Two submissions that differ only in JSON whitespace or
+//! silently wrong cache hit), the MAC policy (`WISYNC_MAC` — which
+//! *does* change result bytes away from the default backoff),
+//! observability/fault enablement, and the code version. Two submissions that differ only in JSON whitespace or
 //! key order map to the same key; two that differ in any
 //! result-relevant knob never collide.
 
@@ -103,6 +104,10 @@ pub struct ExecKnobs {
     pub shards: String,
     /// `WISYNC_SHARD_THREADS`, or `"default"` when unset.
     pub shard_threads: String,
+    /// `WISYNC_MAC` (the Data channel medium-access policy — *does*
+    /// change result bytes for any value other than the default
+    /// backoff), or `"default"` when unset.
+    pub mac: String,
     /// Whether the service runs grid jobs with observability attached.
     pub obs: bool,
     /// Whether a fault plan is injected into grid jobs.
@@ -126,6 +131,7 @@ impl ExecKnobs {
             exec: env("WISYNC_EXEC"),
             shards: env("WISYNC_SHARDS"),
             shard_threads: env("WISYNC_SHARD_THREADS"),
+            mac: env("WISYNC_MAC"),
             obs: false,
             fault: false,
         }
@@ -148,6 +154,7 @@ pub fn cache_key(spec: &JobSpec, knobs: &ExecKnobs) -> u128 {
         ),
         ("exec", Json::Str(knobs.exec.clone())),
         ("fault", Json::Bool(knobs.fault)),
+        ("mac", Json::Str(knobs.mac.clone())),
         ("obs", Json::Bool(knobs.obs)),
         ("shard_threads", Json::Str(knobs.shard_threads.clone())),
         ("shards", Json::Str(knobs.shards.clone())),
@@ -170,6 +177,7 @@ mod tests {
             exec: "default".to_string(),
             shards: "default".to_string(),
             shard_threads: "default".to_string(),
+            mac: "default".to_string(),
             obs: false,
             fault: false,
         }
@@ -232,6 +240,16 @@ mod tests {
         let mut k = knobs();
         k.shard_threads = "2".to_string();
         assert_ne!(base, cache_key(&spec, &k));
+        // The MAC policy genuinely changes result bytes, so two runs
+        // under different `WISYNC_MAC` values must never share a cache
+        // entry — and distinct non-default policies must not collide
+        // with each other either.
+        let mut k = knobs();
+        k.mac = "token".to_string();
+        let token_key = cache_key(&spec, &k);
+        assert_ne!(base, token_key);
+        k.mac = "hybrid".to_string();
+        assert_ne!(token_key, cache_key(&spec, &k));
         let mut k = knobs();
         k.obs = true;
         assert_ne!(base, cache_key(&spec, &k));

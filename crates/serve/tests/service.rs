@@ -28,6 +28,7 @@ fn pinned_knobs() -> ExecKnobs {
         exec: "default".to_string(),
         shards: "default".to_string(),
         shard_threads: "default".to_string(),
+        mac: "default".to_string(),
         obs: false,
         fault: false,
     }
@@ -96,6 +97,7 @@ fn knob_differing_submissions_get_distinct_keys() {
         |k: &mut ExecKnobs| k.exec = "reference".to_string(),
         |k: &mut ExecKnobs| k.shards = "4".to_string(),
         |k: &mut ExecKnobs| k.shard_threads = "2".to_string(),
+        |k: &mut ExecKnobs| k.mac = "token".to_string(),
         |k: &mut ExecKnobs| k.obs = true,
         |k: &mut ExecKnobs| k.fault = true,
     ] {
@@ -237,6 +239,9 @@ fn content_types_metrics_and_progress_routes() {
     assert!(metrics
         .body
         .contains("# TYPE wisync_sim_tone_barriers_total counter\n"));
+    assert!(metrics
+        .body
+        .contains("# TYPE wisync_sim_mac_exhaustions_total counter\n"));
 
     let json = wisync_serve::http_request(&addr, "GET", "/metrics.json", "").unwrap();
     assert_eq!(json.status, 200);

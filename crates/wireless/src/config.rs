@@ -1,22 +1,86 @@
 //! Wireless channel timing parameters (Table 1, §4.1).
 
-/// Collision-resolution policy of the MAC (§5.3).
+/// Medium-access policy of the shared Data channel (§5.3).
 ///
 /// The paper uses exponential backoff and notes that adaptive policies
 /// (a la Reactive Synchronization \[27\]) "would be easy to support
 /// because all nodes have all the information at all times" — but does
-/// not explore them. [`MacPolicy::Reactive`] implements that idea:
-/// since every transceiver observed the same collision, the colliding
-/// nodes resolve it by deterministic consensus (node-id order), taking
-/// staggered slots with no further collisions among themselves.
+/// not explore them. The same authors' MAC context analysis maps the
+/// wider design space (random access, token passing, reservation,
+/// hybrids); each variant here selects one [`crate::mac::Mac`]
+/// implementation of that taxonomy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MacPolicy {
     /// Random exponential backoff (paper §5.3, the default).
     #[default]
     Exponential,
     /// Deterministic consensus ordering after a collision (the paper's
-    /// unexplored adaptive alternative).
+    /// unexplored adaptive alternative): since every transceiver
+    /// observed the same collision, the colliding nodes book staggered
+    /// TDMA slots in node-id order with no further collisions among
+    /// themselves.
     Reactive,
+    /// Deterministic rotating grant ([`crate::mac::TokenRing`]):
+    /// contended slots never collide; the pending node nearest the
+    /// token cursor wins and pays
+    /// [`WirelessConfig::token_hop_cycles`] per ring hop to receive the
+    /// grant.
+    TokenRing,
+    /// Token-vs-random switch on a contention EWMA
+    /// ([`crate::mac::AdaptiveHybrid`]).
+    AdaptiveHybrid,
+}
+
+impl MacPolicy {
+    /// Stable lowercase label, used in result stamps, cache keys, and
+    /// the `WISYNC_MAC` knob.
+    pub fn label(self) -> &'static str {
+        match self {
+            MacPolicy::Exponential => "backoff",
+            MacPolicy::Reactive => "reactive",
+            MacPolicy::TokenRing => "token",
+            MacPolicy::AdaptiveHybrid => "hybrid",
+        }
+    }
+
+    /// Parses a knob value. Recognizes each variant's [`label`] plus
+    /// common aliases; `None` for anything else.
+    ///
+    /// [`label`]: MacPolicy::label
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "backoff" | "exp" | "exponential" | "default" => Some(MacPolicy::Exponential),
+            "reactive" => Some(MacPolicy::Reactive),
+            "token" | "tokenring" | "token-ring" | "token_ring" => Some(MacPolicy::TokenRing),
+            "hybrid" | "adaptive" | "adaptivehybrid" => Some(MacPolicy::AdaptiveHybrid),
+            _ => None,
+        }
+    }
+
+    /// Reads the `WISYNC_MAC` environment knob. Unset, empty, or
+    /// unrecognized values fall back to the paper's exponential backoff
+    /// (the same forgiving shape as `WISYNC_EXEC`), so existing
+    /// invocations and committed results are unaffected.
+    pub fn from_env() -> Self {
+        std::env::var("WISYNC_MAC")
+            .ok()
+            .and_then(|v| MacPolicy::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// All selectable policies, in stamp order.
+    pub const ALL: [MacPolicy; 4] = [
+        MacPolicy::Exponential,
+        MacPolicy::Reactive,
+        MacPolicy::TokenRing,
+        MacPolicy::AdaptiveHybrid,
+    ];
+}
+
+impl std::fmt::Display for MacPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Timing parameters of the wireless channels.
@@ -51,8 +115,14 @@ pub struct WirelessConfig {
     pub max_backoff_exp: u32,
     /// Seed for the MAC's deterministic backoff randomness.
     pub seed: u64,
-    /// Collision-resolution policy (§5.3).
+    /// Medium-access policy (§5.3).
     pub mac_policy: MacPolicy,
+    /// Cycles to pass the grant one ring hop under the token policies
+    /// ([`MacPolicy::TokenRing`], [`MacPolicy::AdaptiveHybrid`]'s token
+    /// mode). The grant is a short control tone, far cheaper than a
+    /// 5-cycle data message, but not free — this keeps token passing an
+    /// honest trade against collision windows.
+    pub token_hop_cycles: u64,
     /// Number of parallel Data channels at different frequency bands.
     ///
     /// The paper uses one ("we want to keep our system simple and the
@@ -96,6 +166,7 @@ impl WirelessConfig {
             max_backoff_exp: 10,
             seed: 0x5739_4C01,
             mac_policy: MacPolicy::Exponential,
+            token_hop_cycles: 1,
             data_channels: 1,
         }
     }
@@ -119,6 +190,21 @@ mod tests {
         assert_eq!(c.collision_cycles, 2);
         assert!(c.max_backoff_exp >= 4);
         assert_eq!(c.data_channels, 1, "the paper's single-channel design");
+    }
+
+    #[test]
+    fn mac_policy_labels_round_trip_through_parse() {
+        for p in MacPolicy::ALL {
+            assert_eq!(MacPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(MacPolicy::parse("exp"), Some(MacPolicy::Exponential));
+        assert_eq!(MacPolicy::parse("Token-Ring"), Some(MacPolicy::TokenRing));
+        assert_eq!(
+            MacPolicy::parse("ADAPTIVE"),
+            Some(MacPolicy::AdaptiveHybrid)
+        );
+        assert_eq!(MacPolicy::parse("nonsense"), None);
+        assert_eq!(MacPolicy::default(), MacPolicy::Exponential);
     }
 
     #[test]

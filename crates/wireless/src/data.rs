@@ -3,10 +3,10 @@
 use std::collections::BTreeMap;
 
 use wisync_noc::NodeId;
-use wisync_sim::{Cycle, DetRng, FxHashMap, Histogram};
+use wisync_sim::{Cycle, FxHashMap, Histogram};
 
 use crate::config::{MacPolicy, WirelessConfig};
-use crate::mac::MacState;
+use crate::mac::{Arbitration, Attempt, Mac, MacImpl, MacState};
 
 /// Length class of a Data channel message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,9 +42,9 @@ pub enum Resolution<M> {
     /// Nothing was pending at this slot (stale resolve; harmless).
     Idle,
     /// The channel was busy; the pending attempts moved to the returned
-    /// slots (the first lands when the channel frees, the rest are
-    /// dithered to avoid a synchronized pile-up). Schedule resolves at
-    /// each returned slot.
+    /// slots (where they land is the MAC policy's call — backoff dithers
+    /// them, the token policies re-aim everyone at the release slot).
+    /// Schedule resolves at each returned slot.
     Deferred(Vec<Cycle>),
     /// Exactly one node transmitted. The message is delivered to every
     /// node (including the sender's own BM) at `complete_at`.
@@ -57,16 +57,26 @@ pub enum Resolution<M> {
         message: M,
         /// Cycle at which the transfer completes chip-wide.
         complete_at: Cycle,
+        /// Retry slots of attempts that shared the slot but lost a
+        /// collision-free arbitration (token policies). Empty under
+        /// random access, where a contended slot always collides.
+        /// Schedule resolves at each slot.
+        retry_slots: Vec<Cycle>,
+        /// Losers the policy reports as starved (past its deferral
+        /// watchdog). They keep retrying; the report is a diagnosis.
+        exhausted: Vec<NodeId>,
     },
-    /// Two or more nodes started in the same slot. Each backs off and
-    /// retries; schedule resolves at the returned slots.
+    /// Two or more nodes started in the same slot and none was granted.
+    /// Each retries per the MAC policy; schedule resolves at the
+    /// returned slots.
     Collision {
         /// Distinct retry slots that now need resolving.
         retry_slots: Vec<Cycle>,
-        /// Nodes whose backoff exponent was already at `max_backoff_exp`
-        /// when this collision hit: their window no longer widens, so
-        /// escalation has given up and they keep retrying at the cap.
-        /// Empty under the Reactive policy (it has no exponent).
+        /// Nodes whose escalation the policy reports as exhausted (e.g.
+        /// a backoff window already pinned at `max_backoff_exp` when
+        /// this collision hit: it no longer widens, so the frame keeps
+        /// retrying at the cap). Empty under the Reactive policy (its
+        /// consensus booking cannot starve).
         exhausted: Vec<NodeId>,
         /// The colliding transmissions, in request order. They are all
         /// still queued, so [`DataChannel::peek`] reads their messages —
@@ -83,11 +93,21 @@ pub struct DataChannelStats {
     pub transfers: u64,
     /// Collision events (each involves ≥2 nodes).
     pub collisions: u64,
-    /// Cycles the channel was occupied (transfers + collision windows).
+    /// Cycles the channel was occupied (transfers + collision windows +
+    /// grant passing).
     pub busy_cycles: u64,
-    /// Collision events where a frame's backoff exponent was already at
-    /// its cap (per colliding capped frame).
-    pub backoff_exhaustions: u64,
+    /// Per-policy exhaustion reports: backoff frames colliding at their
+    /// window cap, or token-ring losers past the starvation watchdog
+    /// (per affected frame per event).
+    pub mac_exhaustions: u64,
+    /// Contended slots the MAC resolved collision-free by granting one
+    /// attempt (token policies; always 0 under random access).
+    pub mac_grants: u64,
+    /// Channel cycles spent passing the grant to winners (token
+    /// policies).
+    pub token_pass_cycles: u64,
+    /// Operating-mode switches of an adaptive policy (0 otherwise).
+    pub mac_mode_switches: u64,
     /// Latency from request to chip-wide delivery, per transfer.
     pub latency: Histogram,
     /// Collisions each successfully started frame suffered before its
@@ -108,6 +128,10 @@ struct Pending<M> {
     mac: MacState,
     /// Collisions this frame has suffered so far.
     collisions: u32,
+    /// Times this frame was pushed back without transmitting (busy
+    /// deferrals + lost arbitrations) — the starvation odometer the
+    /// token policies watch.
+    defers: u32,
 }
 
 /// The single shared wireless Data channel (§4.1).
@@ -117,14 +141,17 @@ struct Pending<M> {
 /// 1. [`DataChannel::request`] enqueues a transmission and returns the
 ///    slot in which the node will attempt to start (`max(now, expected
 ///    free)` — the paper's "wait until the cycle when the network is next
-///    expected to be free").
+///    expected to be free" — or later if the policy knows the medium is
+///    spoken for).
 /// 2. The owner schedules a resolve event at that slot and calls
 ///    [`DataChannel::resolve`], acting on the returned [`Resolution`]:
 ///    deliver started messages at their completion cycle, schedule
-///    further resolves for deferred/collided attempts.
+///    further resolves for deferred/collided/losing attempts.
 ///
-/// Collisions happen exactly when ≥2 pending transmissions share a start
-/// slot; each collided node backs off exponentially ([`MacState`]).
+/// The channel owns the queue and the clock; every arbitration decision
+/// — first-attempt slots, busy-retry placement, and what a contended
+/// slot does — is delegated to the configured [`Mac`] policy
+/// ([`WirelessConfig::mac_policy`]).
 ///
 /// # Examples
 ///
@@ -147,16 +174,13 @@ struct Pending<M> {
 pub struct DataChannel<M> {
     config: WirelessConfig,
     busy_until: Cycle,
-    /// Reactive policy only: the consensus reservation horizon. Every
-    /// node observes every collision (the paper's §5.3 observation that
-    /// chip-wide broadcast makes consensus trivial), so colliding nodes
-    /// book non-overlapping TDMA slots that all other nodes respect.
-    reserved_until: Cycle,
+    /// The medium-access policy. All slot placement and contended-slot
+    /// verdicts come from here; the channel applies them.
+    mac: MacImpl,
     pending_by_slot: BTreeMap<Cycle, Vec<TxToken>>,
     pending: FxHashMap<TxToken, Pending<M>>,
     nodes: usize,
     next_token: u64,
-    rng: DetRng,
     stats: DataChannelStats,
 }
 
@@ -165,12 +189,11 @@ impl<M> DataChannel<M> {
     pub fn new(config: WirelessConfig, nodes: usize) -> Self {
         DataChannel {
             busy_until: Cycle::ZERO,
-            reserved_until: Cycle::ZERO,
+            mac: MacImpl::new(&config, nodes),
             pending_by_slot: BTreeMap::new(),
             pending: FxHashMap::default(),
             nodes,
             next_token: 0,
-            rng: DetRng::new(config.seed ^ 0x0D17_E4ED),
             stats: DataChannelStats::default(),
             config,
         }
@@ -179,6 +202,11 @@ impl<M> DataChannel<M> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &DataChannelStats {
         &self.stats
+    }
+
+    /// The policy arbitrating this channel.
+    pub fn mac_policy(&self) -> MacPolicy {
+        self.config.mac_policy
     }
 
     /// Channel utilization over `[0, now)`.
@@ -210,17 +238,7 @@ impl<M> DataChannel<M> {
         now: Cycle,
     ) -> (TxToken, Cycle) {
         assert!(node.as_usize() < self.nodes, "node {node} out of range");
-        let slot = match self.config.mac_policy {
-            MacPolicy::Exponential => now.max_with(self.busy_until),
-            MacPolicy::Reactive => {
-                // A node's intent is private until it transmits, so a
-                // fresh request cannot book the consensus schedule; it
-                // attempts at the public horizon (busy time plus slots
-                // booked by previously observed collisions). Ties
-                // collide once and are then booked publicly.
-                now.max_with(self.busy_until).max_with(self.reserved_until)
-            }
-        };
+        let slot = self.mac.request_slot(node, now, self.busy_until);
         let token = TxToken(self.next_token);
         self.next_token += 1;
         let mac = MacState::new(
@@ -237,6 +255,7 @@ impl<M> DataChannel<M> {
                 slot,
                 mac,
                 collisions: 0,
+                defers: 0,
             },
         );
         self.pending_by_slot.entry(slot).or_default().push(token);
@@ -257,11 +276,73 @@ impl<M> DataChannel<M> {
         Some(p.message)
     }
 
-    fn duration_of(&self, token: &TxToken) -> u64 {
-        match self.pending[token].len {
+    fn duration_of_len(&self, len: TxLen) -> u64 {
+        match len {
             TxLen::Normal => self.config.tx_cycles,
             TxLen::Bulk => self.config.bulk_cycles,
         }
+    }
+
+    /// Materializes the due tokens into the MAC's [`Attempt`] view, in
+    /// queue order.
+    fn attempts_of(&self, due: &[TxToken]) -> Vec<Attempt> {
+        due.iter()
+            .map(|t| {
+                let p = &self.pending[t];
+                Attempt {
+                    node: p.node,
+                    token: *t,
+                    duration: self.duration_of_len(p.len),
+                    collisions: p.collisions,
+                    defers: p.defers,
+                    mac: p.mac.clone(),
+                    retry: Cycle::ZERO,
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the MAC's verdict to non-granted attempts: writes back
+    /// per-frame state and re-queues each at its policy-written retry
+    /// slot, in slice order (which decides future same-slot collision
+    /// membership). Returns the distinct retry slots in first-seen
+    /// order.
+    fn requeue(&mut self, attempts: Vec<Attempt>, collided: bool) -> Vec<Cycle> {
+        let mut retry_slots: Vec<Cycle> = Vec::new();
+        for a in attempts {
+            let p = self.pending.get_mut(&a.token).expect("pending");
+            p.mac = a.mac;
+            p.slot = a.retry;
+            p.defers += 1;
+            if collided {
+                p.collisions += 1;
+            }
+            self.pending_by_slot
+                .entry(a.retry)
+                .or_default()
+                .push(a.token);
+            if !retry_slots.contains(&a.retry) {
+                retry_slots.push(a.retry);
+            }
+        }
+        retry_slots
+    }
+
+    /// Records a started transfer's bookkeeping and returns
+    /// `complete_at`. `lead_cycles` is occupancy before the payload
+    /// (grant passing).
+    fn start_transfer(&mut self, p: &Pending<M>, slot: Cycle, lead_cycles: u64) -> Cycle {
+        let dur = self.duration_of_len(p.len);
+        let complete_at = slot + lead_cycles + dur;
+        self.busy_until = complete_at;
+        self.stats.transfers += 1;
+        self.stats.busy_cycles += lead_cycles + dur;
+        self.stats.token_pass_cycles += lead_cycles;
+        self.stats
+            .latency
+            .record(complete_at.saturating_since(p.requested_at));
+        self.stats.retries.record(p.collisions as u64);
+        complete_at
     }
 
     /// Resolves the attempts scheduled for `slot`. See [`Resolution`].
@@ -291,121 +372,73 @@ impl<M> DataChannel<M> {
             return Resolution::Idle;
         }
         if self.busy_until > slot {
-            // Channel still busy. A strictly 1-persistent retry (all
-            // waiters attempting the instant the channel frees) causes a
-            // synchronized pile-up whose collision chains never die down
-            // under barrier bursts. Under exponential backoff, waiters
-            // beyond the first dither over a window proportional to the
-            // group size (non-persistent CSMA); under the Reactive
-            // policy they take consensus-spaced slots one transfer
-            // apart (TDMA-style).
+            // Channel still busy: the policy places every attempt's
+            // retry relative to the release slot (backoff dithers the
+            // group, reservation spaces it, the token ring re-aims
+            // everyone at the release for a collision-free grant).
             let free = self.busy_until;
-            let window = 2 * due.len() as u64;
-            let mut retry_slots: Vec<Cycle> = Vec::new();
-            let mut ordered = due;
-            if self.config.mac_policy == MacPolicy::Reactive {
-                ordered.sort_by_key(|t| self.pending[t].node);
-            }
-            for (i, t) in ordered.into_iter().enumerate() {
-                let retry = match self.config.mac_policy {
-                    MacPolicy::Exponential => {
-                        if i == 0 {
-                            free
-                        } else {
-                            free + self.rng.gen_range(window)
-                        }
-                    }
-                    MacPolicy::Reactive => {
-                        // Deferred attempts re-aim at the public horizon
-                        // without booking (their intent is still
-                        // private); ties resolve via one collision.
-                        free.max_with(self.reserved_until)
-                    }
-                };
-                self.pending.get_mut(&t).expect("pending").slot = retry;
-                self.pending_by_slot.entry(retry).or_default().push(t);
-                if !retry_slots.contains(&retry) {
-                    retry_slots.push(retry);
-                }
-            }
+            let mut attempts = self.attempts_of(&due);
+            self.mac.on_busy(free, &mut attempts);
+            let retry_slots = self.requeue(attempts, false);
             return Resolution::Deferred(retry_slots);
         }
         if due.len() == 1 {
             let token = due[0];
             let p = self.pending.remove(&token).expect("pending");
-            let dur = match p.len {
-                TxLen::Normal => self.config.tx_cycles,
-                TxLen::Bulk => self.config.bulk_cycles,
-            };
-            let complete_at = slot + dur;
-            self.busy_until = complete_at;
-            self.stats.transfers += 1;
-            self.stats.busy_cycles += dur;
-            self.stats
-                .latency
-                .record(complete_at.saturating_since(p.requested_at));
-            self.stats.retries.record(p.collisions as u64);
+            let complete_at = self.start_transfer(&p, slot, 0);
+            self.mac.on_grant(p.node, complete_at);
+            self.stats.mac_mode_switches = self.mac.mode_switches();
             return Resolution::Started {
                 node: p.node,
                 token,
                 message: p.message,
                 complete_at,
+                retry_slots: Vec::new(),
+                exhausted: Vec::new(),
             };
         }
-        // Collision: detected in cycle 2; channel free afterwards.
-        self.stats.collisions += 1;
-        self.stats.busy_cycles += self.config.collision_cycles;
-        self.busy_until = slot + self.config.collision_cycles;
+        // Contended slot: the policy decides whether it collides or one
+        // attempt is granted collision-free. Contenders are captured in
+        // queue order before the policy may reorder the slice.
         let contenders = due.clone();
-        let mut retry_slots = Vec::new();
-        let mut exhausted = Vec::new();
-        match self.config.mac_policy {
-            MacPolicy::Exponential => {
-                for token in due {
-                    let p = self.pending.get_mut(&token).expect("pending");
-                    p.collisions += 1;
-                    if p.mac.at_cap() {
-                        // The retry window stopped growing at
-                        // max_backoff_exp; surface the give-up so owners
-                        // can trace livelock-prone contention.
-                        exhausted.push(p.node);
-                        self.stats.backoff_exhaustions += 1;
-                    }
-                    let wait = p.mac.on_collision();
-                    let retry =
-                        (slot + self.config.collision_cycles + wait).max_with(self.busy_until);
-                    p.slot = retry;
-                    self.pending_by_slot.entry(retry).or_default().push(token);
-                    if !retry_slots.contains(&retry) {
-                        retry_slots.push(retry);
-                    }
+        let collision_free_at = slot + self.config.collision_cycles;
+        let mut attempts = self.attempts_of(&due);
+        let verdict = self.mac.arbitrate(slot, collision_free_at, &mut attempts);
+        self.stats.mac_mode_switches = self.mac.mode_switches();
+        match verdict {
+            Arbitration::Collide { exhausted } => {
+                // Collision: detected in cycle 2; channel free afterwards.
+                self.stats.collisions += 1;
+                self.stats.busy_cycles += self.config.collision_cycles;
+                self.busy_until = collision_free_at;
+                self.stats.mac_exhaustions += exhausted.len() as u64;
+                let retry_slots = self.requeue(attempts, true);
+                Resolution::Collision {
+                    retry_slots,
+                    exhausted,
+                    contenders,
                 }
             }
-            MacPolicy::Reactive => {
-                // Every node decoded the same collision, so the
-                // contenders re-book consensus TDMA slots at the shared
-                // reservation horizon, in node-id order.
-                let mut ordered = due;
-                ordered.sort_by_key(|t| self.pending[t].node);
-                for token in ordered {
-                    let retry = (slot + self.config.collision_cycles)
-                        .max_with(self.busy_until)
-                        .max_with(self.reserved_until);
-                    self.reserved_until = retry + self.duration_of(&token);
-                    let p = self.pending.get_mut(&token).expect("pending");
-                    p.slot = retry;
-                    p.collisions += 1;
-                    self.pending_by_slot.entry(retry).or_default().push(token);
-                    if !retry_slots.contains(&retry) {
-                        retry_slots.push(retry);
-                    }
+            Arbitration::Grant {
+                winner,
+                pass_cycles,
+                exhausted,
+            } => {
+                let granted = attempts.remove(winner);
+                let p = self.pending.remove(&granted.token).expect("pending");
+                let complete_at = self.start_transfer(&p, slot, pass_cycles);
+                self.stats.mac_grants += 1;
+                self.stats.mac_exhaustions += exhausted.len() as u64;
+                let retry_slots = self.requeue(attempts, false);
+                Resolution::Started {
+                    node: p.node,
+                    token: granted.token,
+                    message: p.message,
+                    complete_at,
+                    retry_slots,
+                    exhausted,
                 }
             }
-        }
-        Resolution::Collision {
-            retry_slots,
-            exhausted,
-            contenders,
         }
     }
 
@@ -428,9 +461,8 @@ impl<M> DataChannel<M> {
         mut write_msg: impl FnMut(&mut wisync_sim::SnapWriter, &M),
     ) {
         w.u64(self.busy_until.as_u64());
-        w.u64(self.reserved_until.as_u64());
+        self.mac.write_snap(w);
         w.u64(self.next_token);
-        w.u64(self.rng.state());
 
         w.seq(self.pending_by_slot.len());
         for (slot, tokens) in &self.pending_by_slot {
@@ -456,12 +488,16 @@ impl<M> DataChannel<M> {
             w.u64(p.slot.as_u64());
             p.mac.write_snap(w);
             w.u32(p.collisions);
+            w.u32(p.defers);
         }
 
         w.u64(self.stats.transfers);
         w.u64(self.stats.collisions);
         w.u64(self.stats.busy_cycles);
-        w.u64(self.stats.backoff_exhaustions);
+        w.u64(self.stats.mac_exhaustions);
+        w.u64(self.stats.mac_grants);
+        w.u64(self.stats.token_pass_cycles);
+        w.u64(self.stats.mac_mode_switches);
         self.stats.latency.write_snap(w);
         self.stats.retries.write_snap(w);
     }
@@ -479,9 +515,8 @@ impl<M> DataChannel<M> {
 
         let mut ch = DataChannel::new(config, nodes);
         ch.busy_until = Cycle(r.u64()?);
-        ch.reserved_until = Cycle(r.u64()?);
+        ch.mac = MacImpl::read_snap(&ch.config, nodes, r)?;
         ch.next_token = r.u64()?;
-        ch.rng = DetRng::from_state(r.u64()?);
 
         for _ in 0..r.seq()? {
             let slot = Cycle(r.u64()?);
@@ -505,6 +540,7 @@ impl<M> DataChannel<M> {
             let slot = Cycle(r.u64()?);
             let mac = MacState::read_snap(r)?;
             let collisions = r.u32()?;
+            let defers = r.u32()?;
             ch.pending.insert(
                 token,
                 Pending {
@@ -515,6 +551,7 @@ impl<M> DataChannel<M> {
                     slot,
                     mac,
                     collisions,
+                    defers,
                 },
             );
         }
@@ -522,7 +559,10 @@ impl<M> DataChannel<M> {
         ch.stats.transfers = r.u64()?;
         ch.stats.collisions = r.u64()?;
         ch.stats.busy_cycles = r.u64()?;
-        ch.stats.backoff_exhaustions = r.u64()?;
+        ch.stats.mac_exhaustions = r.u64()?;
+        ch.stats.mac_grants = r.u64()?;
+        ch.stats.token_pass_cycles = r.u64()?;
+        ch.stats.mac_mode_switches = r.u64()?;
         ch.stats.latency = Histogram::read_snap(r)?;
         ch.stats.retries = Histogram::read_snap(r)?;
         Ok(ch)
@@ -535,6 +575,14 @@ mod tests {
 
     fn chan(nodes: usize) -> DataChannel<u32> {
         DataChannel::new(WirelessConfig::default(), nodes)
+    }
+
+    fn chan_with(policy: MacPolicy, nodes: usize) -> DataChannel<u32> {
+        let cfg = WirelessConfig {
+            mac_policy: policy,
+            ..WirelessConfig::default()
+        };
+        DataChannel::new(cfg, nodes)
     }
 
     /// Drives the channel to completion, returning (message, sender,
@@ -551,8 +599,12 @@ mod tests {
                     node,
                     message,
                     complete_at,
+                    retry_slots,
                     ..
-                } => out.push((message, node, complete_at)),
+                } => {
+                    out.push((message, node, complete_at));
+                    slots.extend(retry_slots);
+                }
                 Resolution::Collision { retry_slots, .. } => slots.extend(retry_slots),
             }
             guard += 1;
@@ -643,7 +695,7 @@ mod tests {
             other => panic!("expected collision, got {other:?}"),
         }
         assert_eq!(ch.stats().busy_cycles, 2);
-        assert_eq!(ch.stats().backoff_exhaustions, 0);
+        assert_eq!(ch.stats().mac_exhaustions, 0);
     }
 
     #[test]
@@ -667,7 +719,7 @@ mod tests {
             }
             other => panic!("expected collision, got {other:?}"),
         }
-        assert_eq!(ch.stats().backoff_exhaustions, 2);
+        assert_eq!(ch.stats().mac_exhaustions, 2);
     }
 
     #[test]
@@ -779,5 +831,142 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_node_panics() {
         chan(2).request(NodeId(2), TxLen::Normal, 0, Cycle(0));
+    }
+
+    // --- token-ring policy ---------------------------------------------
+
+    #[test]
+    fn token_ring_contended_slot_grants_without_collision() {
+        let mut ch = chan_with(MacPolicy::TokenRing, 4);
+        ch.request(NodeId(2), TxLen::Normal, 2, Cycle(0));
+        ch.request(NodeId(1), TxLen::Normal, 1, Cycle(0));
+        match ch.resolve(Cycle(0)) {
+            Resolution::Started {
+                node,
+                complete_at,
+                retry_slots,
+                ..
+            } => {
+                // Cursor 0: node 1 (distance 1) beats node 2; one hop of
+                // grant passing precedes the 5-cycle payload.
+                assert_eq!(node, NodeId(1));
+                assert_eq!(complete_at, Cycle(1 + 5));
+                // The loser retries exactly at completion.
+                assert_eq!(retry_slots, vec![Cycle(6)]);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(ch.stats().collisions, 0);
+        assert_eq!(ch.stats().mac_grants, 1);
+        assert_eq!(ch.stats().token_pass_cycles, 1);
+        // The loser now transmits uncontended.
+        let done = drain(&mut ch, vec![Cycle(6)]);
+        assert_eq!(done.len(), 1);
+        assert_eq!(ch.stats().transfers, 2);
+        assert_eq!(ch.stats().collisions, 0, "a ring never collides");
+    }
+
+    #[test]
+    fn token_ring_burst_is_collision_free_and_fair() {
+        let mut ch = chan_with(MacPolicy::TokenRing, 16);
+        let mut slots = Vec::new();
+        for n in 0..16 {
+            let (_, s) = ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+            slots.push(s);
+        }
+        slots.dedup();
+        let done = drain(&mut ch, slots);
+        assert_eq!(done.len(), 16);
+        assert_eq!(ch.stats().collisions, 0);
+        // Round-robin from cursor 0 delivers in node order.
+        let order: Vec<usize> = done.iter().map(|d| d.1.as_usize()).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn token_passing_costs_show_in_busy_cycles() {
+        // Only even nodes contend on an 8-node ring, so after the first
+        // grant the cursor (winner + 1, an odd node) is always one hop
+        // short of the next winner: grant passing has a real cost.
+        let mut ch = chan_with(MacPolicy::TokenRing, 8);
+        for n in [0usize, 2, 4, 6] {
+            ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+        }
+        let done = drain(&mut ch, vec![Cycle(0)]);
+        assert_eq!(done.len(), 4);
+        let s = ch.stats().clone();
+        assert_eq!(s.busy_cycles, 4 * 5 + s.token_pass_cycles);
+        // The last frame starts uncontended (no pass cost), but every
+        // contended grant after the first hops the cursor's odd-node gap.
+        assert!(s.token_pass_cycles >= 2, "contended grants pass the token");
+    }
+
+    #[test]
+    fn hybrid_burst_completes_and_switches_modes() {
+        let mut ch = chan_with(MacPolicy::AdaptiveHybrid, 32);
+        let mut slots = Vec::new();
+        for n in 0..32 {
+            let (_, s) = ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+            slots.push(s);
+        }
+        slots.dedup();
+        let done = drain(&mut ch, slots);
+        assert_eq!(done.len(), 32);
+        let s = ch.stats().clone();
+        // The burst's sustained contention flips the hybrid into token
+        // mode: grants follow the initial collisions.
+        assert!(s.collisions >= 1, "starts in random mode");
+        assert!(
+            s.mac_grants >= 1,
+            "EWMA must flip the burst into token mode"
+        );
+        assert!(s.mac_mode_switches >= 1);
+    }
+
+    #[test]
+    fn per_policy_drain_is_deterministic() {
+        for policy in MacPolicy::ALL {
+            let run = || {
+                let mut ch = chan_with(policy, 16);
+                let mut slots = Vec::new();
+                for n in 0..16 {
+                    let (_, s) = ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+                    slots.push(s);
+                }
+                slots.dedup();
+                drain(&mut ch, slots)
+            };
+            assert_eq!(run(), run(), "{policy} drain not deterministic");
+        }
+    }
+
+    #[test]
+    fn channel_snapshot_round_trips_mid_contention_for_every_policy() {
+        for policy in MacPolicy::ALL {
+            let mut ch = chan_with(policy, 8);
+            for n in 0..8 {
+                ch.request(NodeId(n), TxLen::Normal, n as u32, Cycle(0));
+            }
+            // One arbitration in, frames still queued.
+            let first = ch.resolve(Cycle(0));
+            let continue_slots: Vec<Cycle> = match &first {
+                Resolution::Collision { retry_slots, .. } => retry_slots.clone(),
+                Resolution::Started { retry_slots, .. } => retry_slots.clone(),
+                other => panic!("expected contention, got {other:?}"),
+            };
+
+            let mut w = wisync_sim::SnapWriter::new();
+            ch.write_snap(&mut w, |w, m| w.u32(*m));
+            let bytes = w.finish();
+            let mut r = wisync_sim::SnapReader::new(&bytes);
+            let mut restored: DataChannel<u32> =
+                DataChannel::read_snap(ch.config, 8, &mut r, |r| r.u32())
+                    .expect("snapshot round trip");
+
+            // Restored channel continues exactly like the original.
+            let a = drain(&mut ch, continue_slots.clone());
+            let b = drain(&mut restored, continue_slots);
+            assert_eq!(a, b, "{policy} snapshot diverged");
+        }
     }
 }

@@ -27,5 +27,8 @@ pub mod tone;
 
 pub use config::{MacPolicy, WirelessConfig};
 pub use data::{DataChannel, DataChannelStats, Resolution, TxLen, TxToken};
-pub use mac::MacState;
+pub use mac::{
+    AdaptiveHybrid, Arbitration, Attempt, ExpBackoff, HybridMode, Mac, MacImpl, MacState,
+    ReactiveMac, TokenRing,
+};
 pub use tone::{ToneChannel, ToneChannelStats, ToneError};

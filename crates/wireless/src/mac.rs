@@ -1,6 +1,40 @@
-//! Medium Access Control: exponential backoff (§5.3).
+//! Medium Access Control policies for the shared Data channel.
+//!
+//! The paper hardcodes exponential backoff (§5.3); "Medium Access
+//! Control in Wireless Network-on-Chip: A Context Analysis" (same
+//! authors) catalogs the wider design space — random access, token
+//! passing, reservation, and adaptive hybrids. This module puts that
+//! space behind the [`Mac`] trait: the [`crate::DataChannel`] owns the
+//! queue and the clock, the policy owns every arbitration decision —
+//! which slot a fresh request attempts in, where deferred attempts
+//! retry, and whether a contended slot collides or grants.
+//!
+//! Four policies implement the trait:
+//!
+//! - [`ExpBackoff`] — the paper's §5.3 random exponential backoff,
+//!   byte-identical by construction to the pre-trait channel.
+//! - [`ReactiveMac`] — the paper's unexplored "adaptive" note: every
+//!   node decodes every collision, so contenders book consensus TDMA
+//!   slots in node-id order.
+//! - [`TokenRing`] — a deterministic rotating grant: a contended slot
+//!   never collides, the pending node closest to the token cursor wins
+//!   and the token advances past it. Passing the grant costs
+//!   [`crate::WirelessConfig::token_hop_cycles`] per ring hop, so the
+//!   policy pays latency where random access pays collisions.
+//! - [`AdaptiveHybrid`] — random access that switches to the rotating
+//!   grant when an EWMA of observed slot contention crosses a
+//!   threshold, and back when traffic thins (the context-analysis
+//!   taxonomy's token-vs-random hybrid).
+//!
+//! Determinism contract: every policy is seeded, integer-state, and
+//! snapshot round-trippable; two channels driven through the same
+//! request/resolve sequence make identical decisions.
 
-use wisync_sim::DetRng;
+use wisync_noc::NodeId;
+use wisync_sim::{Cycle, DetRng};
+
+use crate::config::{MacPolicy, WirelessConfig};
+use crate::data::TxToken;
 
 /// Per-frame MAC backoff state.
 ///
@@ -96,6 +130,713 @@ impl MacState {
     }
 }
 
+/// One queued transmission as the MAC sees it during a decision.
+///
+/// The channel materializes the due attempt set into this view, the
+/// policy writes its verdict back (a `retry` slot for every attempt it
+/// does not grant), and the channel re-queues accordingly. Policies may
+/// reorder the slice — the final slice order becomes the re-queue
+/// insertion order, which decides future same-slot collision membership.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// Requesting node.
+    pub node: NodeId,
+    /// The queued transmission's token.
+    pub token: TxToken,
+    /// Channel cycles the transmission occupies if granted.
+    pub duration: u64,
+    /// Collisions this frame has suffered so far.
+    pub collisions: u32,
+    /// Times this frame has been pushed back without transmitting
+    /// (busy-channel deferrals plus lost arbitrations) — the token
+    /// policies' starvation odometer.
+    pub defers: u32,
+    /// Per-frame backoff lane (only the random-access policies use it).
+    pub mac: MacState,
+    /// Out-parameter: the slot this attempt retries in, written by the
+    /// policy for every non-granted attempt.
+    pub retry: Cycle,
+}
+
+/// A policy's verdict on a contended (≥ 2 attempts) free slot.
+#[derive(Debug)]
+pub enum Arbitration {
+    /// `attempts[winner]` transmits; it starts `pass_cycles` after the
+    /// slot (the cost of passing the grant) and every other attempt
+    /// retries at its written `retry` slot. `exhausted` lists losers the
+    /// policy considers starved (they keep retrying; the report is a
+    /// diagnosis, not a drop).
+    Grant {
+        /// Index of the granted attempt in the (possibly reordered)
+        /// slice.
+        winner: usize,
+        /// Channel cycles spent moving the grant to the winner before
+        /// its transfer starts.
+        pass_cycles: u64,
+        /// Losers past the policy's starvation threshold.
+        exhausted: Vec<NodeId>,
+    },
+    /// Every attempt collided; each retries at its written `retry` slot.
+    /// `exhausted` lists frames whose escalation has given up (e.g. a
+    /// backoff window pinned at its cap).
+    Collide {
+        /// Frames at the policy's escalation cap.
+        exhausted: Vec<NodeId>,
+    },
+}
+
+/// A medium-access policy for the shared Data channel.
+///
+/// The channel calls exactly one method per arbitration event:
+///
+/// - [`Mac::request_slot`] when a fresh transmission is enqueued,
+/// - [`Mac::on_busy`] when due attempts find the channel occupied,
+/// - [`Mac::arbitrate`] when ≥ 2 attempts share a free slot,
+/// - [`Mac::on_grant`] when a transmission starts uncontended.
+///
+/// Implementations must be deterministic: all randomness comes from
+/// seeded [`DetRng`] state that snapshot round-trips.
+pub trait Mac {
+    /// Which [`MacPolicy`] this implementation realizes.
+    fn policy(&self) -> MacPolicy;
+
+    /// The slot a fresh request from `node` at `now` first attempts in.
+    fn request_slot(&mut self, node: NodeId, now: Cycle, busy_until: Cycle) -> Cycle;
+
+    /// The attempts' slot found the channel busy until `free`: write a
+    /// retry slot (≥ `free`) into every attempt.
+    fn on_busy(&mut self, free: Cycle, attempts: &mut [Attempt]);
+
+    /// Arbitrate ≥ 2 attempts in a free `slot`. On a collision the
+    /// channel is busy until `collision_free_at`; retry slots must not
+    /// precede it. On a grant, losers' retry slots must not precede the
+    /// winner's completion.
+    fn arbitrate(
+        &mut self,
+        slot: Cycle,
+        collision_free_at: Cycle,
+        attempts: &mut [Attempt],
+    ) -> Arbitration;
+
+    /// A transmission started without contention (the only attempt due
+    /// in its slot), completing at `complete_at`.
+    fn on_grant(&mut self, node: NodeId, complete_at: Cycle);
+
+    /// Times the policy has switched operating mode (0 for everything
+    /// except [`AdaptiveHybrid`]).
+    fn mode_switches(&self) -> u64 {
+        0
+    }
+}
+
+// --- ExpBackoff -------------------------------------------------------------
+
+/// The paper's §5.3 MAC: random exponential backoff per frame, with
+/// group-sized dithering when a burst finds the channel busy
+/// (non-persistent CSMA). Byte-identical by construction to the
+/// pre-trait channel: same RNG seed, same draw order, same slot
+/// arithmetic.
+#[derive(Debug)]
+pub struct ExpBackoff {
+    rng: DetRng,
+}
+
+impl ExpBackoff {
+    /// Seeds the dither RNG exactly as the pre-trait channel did.
+    pub fn new(config: &WirelessConfig) -> Self {
+        ExpBackoff {
+            rng: DetRng::new(config.seed ^ 0x0D17_E4ED),
+        }
+    }
+}
+
+impl Mac for ExpBackoff {
+    fn policy(&self) -> MacPolicy {
+        MacPolicy::Exponential
+    }
+
+    fn request_slot(&mut self, _node: NodeId, now: Cycle, busy_until: Cycle) -> Cycle {
+        now.max_with(busy_until)
+    }
+
+    fn on_busy(&mut self, free: Cycle, attempts: &mut [Attempt]) {
+        // A strictly 1-persistent retry (all waiters attempting the
+        // instant the channel frees) causes a synchronized pile-up whose
+        // collision chains never die down under barrier bursts; waiters
+        // beyond the first dither over a window proportional to the
+        // group size.
+        let window = 2 * attempts.len() as u64;
+        for (i, a) in attempts.iter_mut().enumerate() {
+            a.retry = if i == 0 {
+                free
+            } else {
+                free + self.rng.gen_range(window)
+            };
+        }
+    }
+
+    fn arbitrate(
+        &mut self,
+        _slot: Cycle,
+        collision_free_at: Cycle,
+        attempts: &mut [Attempt],
+    ) -> Arbitration {
+        let mut exhausted = Vec::new();
+        for a in attempts.iter_mut() {
+            if a.mac.at_cap() {
+                // The retry window stopped growing at max_backoff_exp;
+                // surface the give-up so owners can trace livelock-prone
+                // contention.
+                exhausted.push(a.node);
+            }
+            let wait = a.mac.on_collision();
+            a.retry = collision_free_at + wait;
+        }
+        Arbitration::Collide { exhausted }
+    }
+
+    fn on_grant(&mut self, _node: NodeId, _complete_at: Cycle) {}
+}
+
+// --- ReactiveMac ------------------------------------------------------------
+
+/// Consensus reservation (the paper's unexplored adaptive note): every
+/// node observes every collision chip-wide, so colliding nodes book
+/// non-overlapping TDMA slots in node-id order that all other nodes
+/// respect. A node's *intent* stays private until it transmits, so
+/// fresh requests aim at the public horizon and ties resolve through
+/// one collision.
+#[derive(Debug)]
+pub struct ReactiveMac {
+    /// The consensus reservation horizon.
+    reserved_until: Cycle,
+}
+
+impl ReactiveMac {
+    /// A reactive policy with an empty reservation schedule.
+    pub fn new() -> Self {
+        ReactiveMac {
+            reserved_until: Cycle::ZERO,
+        }
+    }
+
+    pub(crate) fn reserved_until(&self) -> Cycle {
+        self.reserved_until
+    }
+
+    pub(crate) fn restore(reserved_until: Cycle) -> Self {
+        ReactiveMac { reserved_until }
+    }
+}
+
+impl Default for ReactiveMac {
+    fn default() -> Self {
+        ReactiveMac::new()
+    }
+}
+
+impl Mac for ReactiveMac {
+    fn policy(&self) -> MacPolicy {
+        MacPolicy::Reactive
+    }
+
+    fn request_slot(&mut self, _node: NodeId, now: Cycle, busy_until: Cycle) -> Cycle {
+        now.max_with(busy_until).max_with(self.reserved_until)
+    }
+
+    fn on_busy(&mut self, free: Cycle, attempts: &mut [Attempt]) {
+        // Deferred attempts re-aim at the public horizon without booking
+        // (their intent is still private); ties resolve via one
+        // collision.
+        attempts.sort_by_key(|a| a.node);
+        let retry = free.max_with(self.reserved_until);
+        for a in attempts.iter_mut() {
+            a.retry = retry;
+        }
+    }
+
+    fn arbitrate(
+        &mut self,
+        _slot: Cycle,
+        collision_free_at: Cycle,
+        attempts: &mut [Attempt],
+    ) -> Arbitration {
+        // Every node decoded the same collision, so the contenders
+        // re-book consensus TDMA slots at the shared reservation
+        // horizon, in node-id order.
+        attempts.sort_by_key(|a| a.node);
+        for a in attempts.iter_mut() {
+            let retry = collision_free_at.max_with(self.reserved_until);
+            self.reserved_until = retry + a.duration;
+            a.retry = retry;
+        }
+        Arbitration::Collide {
+            exhausted: Vec::new(),
+        }
+    }
+
+    fn on_grant(&mut self, _node: NodeId, _complete_at: Cycle) {}
+}
+
+// --- TokenRing --------------------------------------------------------------
+
+/// Deterministic rotating grant. A contended slot never collides: the
+/// pending node closest to the token cursor (in ring order) transmits,
+/// the cursor advances past it, and the losers retry when the transfer
+/// completes. Passing the grant over `d` ring hops occupies the channel
+/// for `d * token_hop_cycles` — the price token passing pays where
+/// random access pays collision windows. An uncontended attempt
+/// transmits immediately (the ring is work-conserving when idle).
+#[derive(Debug)]
+pub struct TokenRing {
+    nodes: usize,
+    /// Next node favored by the grant.
+    cursor: usize,
+    hop_cycles: u64,
+    /// Deferral count at which a still-waiting frame is reported
+    /// starved (two full rotations).
+    starve_after: u32,
+}
+
+impl TokenRing {
+    /// A ring over `nodes` transceivers with the configured hop cost.
+    pub fn new(config: &WirelessConfig, nodes: usize) -> Self {
+        TokenRing {
+            nodes: nodes.max(1),
+            cursor: 0,
+            hop_cycles: config.token_hop_cycles,
+            starve_after: starve_threshold(nodes),
+        }
+    }
+
+    pub(crate) fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    pub(crate) fn restore(config: &WirelessConfig, nodes: usize, cursor: usize) -> Self {
+        let mut ring = TokenRing::new(config, nodes);
+        ring.cursor = cursor % ring.nodes;
+        ring
+    }
+}
+
+/// Starvation watchdog threshold: two full rotations of deferrals.
+/// Round-robin fairness keeps an attempt's wait under one rotation of
+/// the *currently pending* set, so crossing two ring turns means
+/// arrivals or cancellations are churning the schedule against it.
+fn starve_threshold(nodes: usize) -> u32 {
+    (2 * nodes.max(4)) as u32
+}
+
+/// Grant arbitration shared by [`TokenRing`] and [`AdaptiveHybrid`]'s
+/// token mode.
+fn token_arbitrate(
+    nodes: usize,
+    cursor: &mut usize,
+    hop_cycles: u64,
+    starve_after: u32,
+    slot: Cycle,
+    attempts: &mut [Attempt],
+) -> Arbitration {
+    let mut winner = 0;
+    let mut best = usize::MAX;
+    for (i, a) in attempts.iter().enumerate() {
+        let d = (a.node.as_usize() + nodes - *cursor) % nodes;
+        if d < best {
+            best = d;
+            winner = i;
+        }
+    }
+    let pass_cycles = best as u64 * hop_cycles;
+    *cursor = (attempts[winner].node.as_usize() + 1) % nodes;
+    let done = slot + pass_cycles + attempts[winner].duration;
+    let mut exhausted = Vec::new();
+    for (i, a) in attempts.iter_mut().enumerate() {
+        if i == winner {
+            continue;
+        }
+        a.retry = done;
+        if a.defers + 1 >= starve_after {
+            exhausted.push(a.node);
+        }
+    }
+    Arbitration::Grant {
+        winner,
+        pass_cycles,
+        exhausted,
+    }
+}
+
+impl Mac for TokenRing {
+    fn policy(&self) -> MacPolicy {
+        MacPolicy::TokenRing
+    }
+
+    fn request_slot(&mut self, _node: NodeId, now: Cycle, busy_until: Cycle) -> Cycle {
+        now.max_with(busy_until)
+    }
+
+    fn on_busy(&mut self, free: Cycle, attempts: &mut [Attempt]) {
+        // Everyone re-aims at the release slot; the grant arbitrates
+        // there, collision-free.
+        for a in attempts.iter_mut() {
+            a.retry = free;
+        }
+    }
+
+    fn arbitrate(
+        &mut self,
+        slot: Cycle,
+        _collision_free_at: Cycle,
+        attempts: &mut [Attempt],
+    ) -> Arbitration {
+        token_arbitrate(
+            self.nodes,
+            &mut self.cursor,
+            self.hop_cycles,
+            self.starve_after,
+            slot,
+            attempts,
+        )
+    }
+
+    fn on_grant(&mut self, node: NodeId, _complete_at: Cycle) {
+        // An uncontended transmitter implicitly held the grant; rotate
+        // past it so the next contended slot favors its successor.
+        self.cursor = (node.as_usize() + 1) % self.nodes;
+    }
+}
+
+// --- AdaptiveHybrid ---------------------------------------------------------
+
+/// Operating mode of the [`AdaptiveHybrid`] policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HybridMode {
+    /// Random access with per-frame exponential backoff.
+    Random,
+    /// Rotating grant (token) arbitration.
+    Token,
+}
+
+/// Token-vs-random switch on an EWMA of observed slot contention (the
+/// MAC context-analysis taxonomy's adaptive hybrid).
+///
+/// Every arbitration event feeds a contention sample — 1 for a
+/// contended slot (≥ 2 attempts), 0 for a clean uncontended start —
+/// into a fixed-point EWMA (`α = 1/8`, per-mille units, pure integer
+/// arithmetic so the switch is deterministic). Above
+/// [`AdaptiveHybrid::HI`] per mille the policy arbitrates like a token
+/// ring (collision-free, paying grant-pass latency); below
+/// [`AdaptiveHybrid::LO`] it reverts to random access (zero-overhead
+/// clean starts). The hysteresis gap prevents flapping.
+#[derive(Debug)]
+pub struct AdaptiveHybrid {
+    nodes: usize,
+    cursor: usize,
+    hop_cycles: u64,
+    starve_after: u32,
+    mode: HybridMode,
+    /// Contention EWMA in per-mille (0..=1000).
+    ewma_milli: u32,
+    switches: u64,
+    rng: DetRng,
+}
+
+impl AdaptiveHybrid {
+    /// Contention per-mille above which the policy goes token.
+    pub const HI: u32 = 400;
+    /// Contention per-mille below which the policy returns to random.
+    pub const LO: u32 = 100;
+
+    /// A hybrid starting in random mode with an idle-contention EWMA.
+    pub fn new(config: &WirelessConfig, nodes: usize) -> Self {
+        AdaptiveHybrid {
+            nodes: nodes.max(1),
+            cursor: 0,
+            hop_cycles: config.token_hop_cycles,
+            starve_after: starve_threshold(nodes),
+            mode: HybridMode::Random,
+            ewma_milli: 0,
+            switches: 0,
+            rng: DetRng::new(config.seed ^ 0xAD4B_7158),
+        }
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> HybridMode {
+        self.mode
+    }
+
+    /// Current contention EWMA in per-mille.
+    pub fn ewma_milli(&self) -> u32 {
+        self.ewma_milli
+    }
+
+    pub(crate) fn snapshot_fields(&self) -> (usize, u8, u32, u64, u64) {
+        (
+            self.cursor,
+            match self.mode {
+                HybridMode::Random => 0,
+                HybridMode::Token => 1,
+            },
+            self.ewma_milli,
+            self.switches,
+            self.rng.state(),
+        )
+    }
+
+    pub(crate) fn restore(
+        config: &WirelessConfig,
+        nodes: usize,
+        cursor: usize,
+        mode: HybridMode,
+        ewma_milli: u32,
+        switches: u64,
+        rng_state: u64,
+    ) -> Self {
+        let mut h = AdaptiveHybrid::new(config, nodes);
+        h.cursor = cursor % h.nodes;
+        h.mode = mode;
+        h.ewma_milli = ewma_milli.min(1000);
+        h.switches = switches;
+        h.rng = DetRng::from_state(rng_state);
+        h
+    }
+
+    /// Feeds one contention sample and applies the hysteresis switch.
+    fn observe(&mut self, contended: bool) {
+        let sample: i64 = if contended { 1000 } else { 0 };
+        let next = self.ewma_milli as i64 + (sample - self.ewma_milli as i64) / 8;
+        self.ewma_milli = next.clamp(0, 1000) as u32;
+        match self.mode {
+            HybridMode::Random if self.ewma_milli > Self::HI => {
+                self.mode = HybridMode::Token;
+                self.switches += 1;
+            }
+            HybridMode::Token if self.ewma_milli < Self::LO => {
+                self.mode = HybridMode::Random;
+                self.switches += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Mac for AdaptiveHybrid {
+    fn policy(&self) -> MacPolicy {
+        MacPolicy::AdaptiveHybrid
+    }
+
+    fn request_slot(&mut self, _node: NodeId, now: Cycle, busy_until: Cycle) -> Cycle {
+        now.max_with(busy_until)
+    }
+
+    fn on_busy(&mut self, free: Cycle, attempts: &mut [Attempt]) {
+        match self.mode {
+            HybridMode::Random => {
+                let window = 2 * attempts.len() as u64;
+                for (i, a) in attempts.iter_mut().enumerate() {
+                    a.retry = if i == 0 {
+                        free
+                    } else {
+                        free + self.rng.gen_range(window)
+                    };
+                }
+            }
+            HybridMode::Token => {
+                for a in attempts.iter_mut() {
+                    a.retry = free;
+                }
+            }
+        }
+    }
+
+    fn arbitrate(
+        &mut self,
+        slot: Cycle,
+        collision_free_at: Cycle,
+        attempts: &mut [Attempt],
+    ) -> Arbitration {
+        // Sample first so a burst can flip the mode mid-storm; the
+        // verdict uses the post-sample mode.
+        self.observe(true);
+        match self.mode {
+            HybridMode::Random => {
+                let mut exhausted = Vec::new();
+                for a in attempts.iter_mut() {
+                    if a.mac.at_cap() {
+                        exhausted.push(a.node);
+                    }
+                    let wait = a.mac.on_collision();
+                    a.retry = collision_free_at + wait;
+                }
+                Arbitration::Collide { exhausted }
+            }
+            HybridMode::Token => token_arbitrate(
+                self.nodes,
+                &mut self.cursor,
+                self.hop_cycles,
+                self.starve_after,
+                slot,
+                attempts,
+            ),
+        }
+    }
+
+    fn on_grant(&mut self, node: NodeId, _complete_at: Cycle) {
+        self.observe(false);
+        self.cursor = (node.as_usize() + 1) % self.nodes;
+    }
+
+    fn mode_switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+// --- MacImpl ----------------------------------------------------------------
+
+/// The concrete policy a [`crate::DataChannel`] runs, selected by
+/// [`WirelessConfig::mac_policy`]. Enum dispatch keeps the channel
+/// `Debug` + snapshot-friendly while the [`Mac`] trait stays the
+/// authoring contract (and the conformance suite's generic boundary).
+#[derive(Debug)]
+pub enum MacImpl {
+    /// Random exponential backoff (paper §5.3).
+    Exp(ExpBackoff),
+    /// Consensus TDMA reservations.
+    Reactive(ReactiveMac),
+    /// Deterministic rotating grant.
+    Token(TokenRing),
+    /// EWMA-switched token-vs-random hybrid.
+    Hybrid(AdaptiveHybrid),
+}
+
+impl MacImpl {
+    /// Builds the policy `config.mac_policy` selects, for a channel
+    /// shared by `nodes` transceivers.
+    pub fn new(config: &WirelessConfig, nodes: usize) -> Self {
+        match config.mac_policy {
+            MacPolicy::Exponential => MacImpl::Exp(ExpBackoff::new(config)),
+            MacPolicy::Reactive => MacImpl::Reactive(ReactiveMac::new()),
+            MacPolicy::TokenRing => MacImpl::Token(TokenRing::new(config, nodes)),
+            MacPolicy::AdaptiveHybrid => MacImpl::Hybrid(AdaptiveHybrid::new(config, nodes)),
+        }
+    }
+
+    fn inner(&mut self) -> &mut dyn Mac {
+        match self {
+            MacImpl::Exp(m) => m,
+            MacImpl::Reactive(m) => m,
+            MacImpl::Token(m) => m,
+            MacImpl::Hybrid(m) => m,
+        }
+    }
+
+    /// Serializes the policy state (tagged, so restore can verify the
+    /// configuration still selects the same policy).
+    pub fn write_snap(&self, w: &mut wisync_sim::SnapWriter) {
+        match self {
+            MacImpl::Exp(m) => {
+                w.u8(0);
+                w.u64(m.rng.state());
+            }
+            MacImpl::Reactive(m) => {
+                w.u8(1);
+                w.u64(m.reserved_until().as_u64());
+            }
+            MacImpl::Token(m) => {
+                w.u8(2);
+                w.usize(m.cursor());
+            }
+            MacImpl::Hybrid(m) => {
+                let (cursor, mode, ewma, switches, rng) = m.snapshot_fields();
+                w.u8(3);
+                w.usize(cursor);
+                w.u8(mode);
+                w.u32(ewma);
+                w.u64(switches);
+                w.u64(rng);
+            }
+        }
+    }
+
+    /// Rebuilds policy state from [`MacImpl::write_snap`] bytes.
+    /// `config`/`nodes` must match the snapshotted channel's.
+    pub fn read_snap(
+        config: &WirelessConfig,
+        nodes: usize,
+        r: &mut wisync_sim::SnapReader<'_>,
+    ) -> Result<Self, wisync_sim::SnapError> {
+        use wisync_sim::SnapError;
+        let tag = r.u8()?;
+        let restored = match tag {
+            0 => MacImpl::Exp(ExpBackoff {
+                rng: DetRng::from_state(r.u64()?),
+            }),
+            1 => MacImpl::Reactive(ReactiveMac::restore(Cycle(r.u64()?))),
+            2 => MacImpl::Token(TokenRing::restore(config, nodes, r.usize()?)),
+            3 => {
+                let cursor = r.usize()?;
+                let mode = match r.u8()? {
+                    0 => HybridMode::Random,
+                    1 => HybridMode::Token,
+                    _ => return Err(SnapError::Invalid("hybrid mode tag")),
+                };
+                let ewma = r.u32()?;
+                let switches = r.u64()?;
+                let rng = r.u64()?;
+                MacImpl::Hybrid(AdaptiveHybrid::restore(
+                    config, nodes, cursor, mode, ewma, switches, rng,
+                ))
+            }
+            _ => return Err(SnapError::Invalid("mac policy tag")),
+        };
+        if restored.policy() != config.mac_policy {
+            return Err(SnapError::Invalid("mac policy does not match config"));
+        }
+        Ok(restored)
+    }
+}
+
+impl Mac for MacImpl {
+    fn policy(&self) -> MacPolicy {
+        match self {
+            MacImpl::Exp(_) => MacPolicy::Exponential,
+            MacImpl::Reactive(_) => MacPolicy::Reactive,
+            MacImpl::Token(_) => MacPolicy::TokenRing,
+            MacImpl::Hybrid(_) => MacPolicy::AdaptiveHybrid,
+        }
+    }
+
+    fn request_slot(&mut self, node: NodeId, now: Cycle, busy_until: Cycle) -> Cycle {
+        self.inner().request_slot(node, now, busy_until)
+    }
+
+    fn on_busy(&mut self, free: Cycle, attempts: &mut [Attempt]) {
+        self.inner().on_busy(free, attempts)
+    }
+
+    fn arbitrate(
+        &mut self,
+        slot: Cycle,
+        collision_free_at: Cycle,
+        attempts: &mut [Attempt],
+    ) -> Arbitration {
+        self.inner().arbitrate(slot, collision_free_at, attempts)
+    }
+
+    fn on_grant(&mut self, node: NodeId, complete_at: Cycle) {
+        self.inner().on_grant(node, complete_at)
+    }
+
+    fn mode_switches(&self) -> u64 {
+        match self {
+            MacImpl::Hybrid(m) => m.switches,
+            _ => 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +893,169 @@ mod tests {
             (0..20).map(|_| m.on_collision()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    fn attempt(node: usize, token: u64, defers: u32) -> Attempt {
+        Attempt {
+            node: NodeId(node),
+            token: TxToken::from_u64(token),
+            duration: 5,
+            collisions: 0,
+            defers,
+            mac: MacState::new(token + 1, 10),
+            retry: Cycle::ZERO,
+        }
+    }
+
+    #[test]
+    fn token_ring_grants_nearest_to_cursor_and_rotates() {
+        let cfg = WirelessConfig::default();
+        let mut ring = TokenRing::new(&cfg, 8);
+        let mut attempts = vec![attempt(5, 0, 0), attempt(2, 1, 0), attempt(7, 2, 0)];
+        match ring.arbitrate(Cycle(10), Cycle(12), &mut attempts) {
+            Arbitration::Grant {
+                winner,
+                pass_cycles,
+                exhausted,
+            } => {
+                // Cursor 0: node 2 is nearest (distance 2).
+                assert_eq!(attempts[winner].node, NodeId(2));
+                assert_eq!(pass_cycles, 2 * cfg.token_hop_cycles);
+                assert!(exhausted.is_empty());
+                // Losers retry when the winner's transfer completes.
+                let done = Cycle(10) + pass_cycles + 5;
+                assert_eq!(attempts[0].retry, done);
+                assert_eq!(attempts[2].retry, done);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(ring.cursor(), 3, "token advanced past the winner");
+        // Next round favors node 5 (distance 2 from cursor 3).
+        let mut next = vec![attempt(5, 3, 0), attempt(7, 4, 0)];
+        match ring.arbitrate(Cycle(20), Cycle(22), &mut next) {
+            Arbitration::Grant { winner, .. } => assert_eq!(next[winner].node, NodeId(5)),
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_ring_reports_starved_losers() {
+        let cfg = WirelessConfig::default();
+        let mut ring = TokenRing::new(&cfg, 4);
+        let deep = starve_threshold(4) - 1;
+        let mut attempts = vec![attempt(0, 0, 0), attempt(3, 1, deep)];
+        match ring.arbitrate(Cycle(0), Cycle(2), &mut attempts) {
+            Arbitration::Grant { exhausted, .. } => {
+                assert_eq!(exhausted, vec![NodeId(3)], "loser past two rotations");
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hybrid_switches_to_token_under_sustained_contention_and_back() {
+        let cfg = WirelessConfig::default();
+        let mut h = AdaptiveHybrid::new(&cfg, 8);
+        assert_eq!(h.mode(), HybridMode::Random);
+        // Sustained contended slots push the EWMA over HI.
+        let mut flipped_at = None;
+        for i in 0..32 {
+            let mut attempts = vec![attempt(1, 2 * i, 0), attempt(2, 2 * i + 1, 0)];
+            h.arbitrate(Cycle(i * 10), Cycle(i * 10 + 2), &mut attempts);
+            if h.mode() == HybridMode::Token && flipped_at.is_none() {
+                flipped_at = Some(i);
+            }
+        }
+        let flipped_at = flipped_at.expect("sustained contention must flip to token");
+        assert!(flipped_at >= 3, "hysteresis: one collision must not flip");
+        assert_eq!(h.mode_switches(), 1);
+        // A quiet spell of clean grants decays the EWMA back below LO.
+        for i in 0..32u64 {
+            h.on_grant(NodeId((i % 8) as usize), Cycle(1000 + i));
+        }
+        assert_eq!(h.mode(), HybridMode::Random);
+        assert_eq!(h.mode_switches(), 2);
+    }
+
+    #[test]
+    fn hybrid_token_mode_grants_without_collisions() {
+        let cfg = WirelessConfig::default();
+        let mut h = AdaptiveHybrid::new(&cfg, 8);
+        for i in 0..16 {
+            let mut attempts = vec![attempt(1, 2 * i, 0), attempt(2, 2 * i + 1, 0)];
+            let verdict = h.arbitrate(Cycle(i * 10), Cycle(i * 10 + 2), &mut attempts);
+            if h.mode() == HybridMode::Token {
+                assert!(
+                    matches!(verdict, Arbitration::Grant { .. }),
+                    "token mode must not collide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_ewma_is_deterministic_and_bounded() {
+        let run = || {
+            let cfg = WirelessConfig::default();
+            let mut h = AdaptiveHybrid::new(&cfg, 4);
+            let mut trace = Vec::new();
+            for i in 0..64u64 {
+                if i % 3 == 0 {
+                    h.on_grant(NodeId((i % 4) as usize), Cycle(i));
+                } else {
+                    let mut attempts = vec![attempt(0, 2 * i, 0), attempt(1, 2 * i + 1, 0)];
+                    h.arbitrate(Cycle(i * 10), Cycle(i * 10 + 2), &mut attempts);
+                }
+                assert!(h.ewma_milli() <= 1000);
+                trace.push((h.ewma_milli(), h.mode() == HybridMode::Token));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mac_impl_snapshot_round_trips_every_policy() {
+        for policy in [
+            MacPolicy::Exponential,
+            MacPolicy::Reactive,
+            MacPolicy::TokenRing,
+            MacPolicy::AdaptiveHybrid,
+        ] {
+            let cfg = WirelessConfig {
+                mac_policy: policy,
+                ..WirelessConfig::default()
+            };
+            let mut mac = MacImpl::new(&cfg, 8);
+            // Age the state so the round trip is non-trivial.
+            let mut attempts = vec![attempt(1, 0, 0), attempt(2, 1, 0)];
+            mac.arbitrate(Cycle(0), Cycle(2), &mut attempts);
+            mac.on_grant(NodeId(3), Cycle(9));
+
+            let mut w = wisync_sim::SnapWriter::new();
+            mac.write_snap(&mut w);
+            let bytes = w.finish();
+            let mut r = wisync_sim::SnapReader::new(&bytes);
+            let restored = MacImpl::read_snap(&cfg, 8, &mut r).expect("round trip");
+
+            let mut w2 = wisync_sim::SnapWriter::new();
+            restored.write_snap(&mut w2);
+            assert_eq!(bytes, w2.finish(), "{policy:?} snapshot not stable");
+        }
+    }
+
+    #[test]
+    fn mac_impl_read_rejects_policy_mismatch() {
+        let cfg = WirelessConfig::default();
+        let mac = MacImpl::new(&cfg, 4);
+        let mut w = wisync_sim::SnapWriter::new();
+        mac.write_snap(&mut w);
+        let bytes = w.finish();
+        let token_cfg = WirelessConfig {
+            mac_policy: MacPolicy::TokenRing,
+            ..cfg
+        };
+        let mut r = wisync_sim::SnapReader::new(&bytes);
+        assert!(MacImpl::read_snap(&token_cfg, 4, &mut r).is_err());
     }
 }
